@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Supplementary microbenchmark: software encode/decode throughput of
+ * every coding scheme in the library (google-benchmark). Not a paper
+ * figure -- it documents that the simulator's codec implementations
+ * are fast enough to run the full experiment grid, and catches
+ * accidental complexity regressions in the encoders.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coding/cafo.hh"
+#include "coding/dbi.hh"
+#include "coding/milc.hh"
+#include "coding/three_lwc.hh"
+#include "common/random.hh"
+#include "mil/padded_code.hh"
+
+namespace
+{
+
+using namespace mil;
+
+Line
+randomLine(Rng &rng)
+{
+    Line line;
+    for (auto &b : line)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return line;
+}
+
+template <typename CodeT, typename... Args>
+void
+benchEncode(benchmark::State &state, Args... args)
+{
+    CodeT code(args...);
+    Rng rng(7);
+    std::vector<Line> lines;
+    for (int i = 0; i < 64; ++i)
+        lines.push_back(randomLine(rng));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.encode(lines[i % lines.size()]));
+        ++i;
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            lineBytes);
+}
+
+template <typename CodeT, typename... Args>
+void
+benchRoundTrip(benchmark::State &state, Args... args)
+{
+    CodeT code(args...);
+    Rng rng(9);
+    const Line line = randomLine(rng);
+    for (auto _ : state) {
+        const BusFrame frame = code.encode(line);
+        benchmark::DoNotOptimize(code.decode(frame));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            lineBytes);
+}
+
+void BM_DbiEncode(benchmark::State &s) { benchEncode<DbiCode>(s); }
+void BM_MilcEncode(benchmark::State &s) { benchEncode<MilcCode>(s); }
+void BM_ThreeLwcEncode(benchmark::State &s)
+{
+    benchEncode<ThreeLwcCode>(s);
+}
+void BM_Cafo2Encode(benchmark::State &s) { benchEncode<CafoCode>(s, 2u); }
+void BM_Cafo4Encode(benchmark::State &s) { benchEncode<CafoCode>(s, 4u); }
+void BM_PaddedEncode(benchmark::State &s)
+{
+    benchEncode<PaddedSparseCode>(s, 12u);
+}
+
+void BM_DbiRoundTrip(benchmark::State &s) { benchRoundTrip<DbiCode>(s); }
+void BM_MilcRoundTrip(benchmark::State &s)
+{
+    benchRoundTrip<MilcCode>(s);
+}
+void BM_ThreeLwcRoundTrip(benchmark::State &s)
+{
+    benchRoundTrip<ThreeLwcCode>(s);
+}
+void BM_Cafo4RoundTrip(benchmark::State &s)
+{
+    benchRoundTrip<CafoCode>(s, 4u);
+}
+
+BENCHMARK(BM_DbiEncode);
+BENCHMARK(BM_MilcEncode);
+BENCHMARK(BM_ThreeLwcEncode);
+BENCHMARK(BM_Cafo2Encode);
+BENCHMARK(BM_Cafo4Encode);
+BENCHMARK(BM_PaddedEncode);
+BENCHMARK(BM_DbiRoundTrip);
+BENCHMARK(BM_MilcRoundTrip);
+BENCHMARK(BM_ThreeLwcRoundTrip);
+BENCHMARK(BM_Cafo4RoundTrip);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension study: did DDR4 create MiL's opportunity? (Section 3.1.)
+ *
+ * The paper argues the DDRx family "has evolved toward a more heavily
+ * constrained interface": DDR4's bank groups made tCCD, tRRD, and
+ * tWTR bimodal (the _L variants), idling the bus in situations where
+ * DDR3 would have streamed. This bench runs the same microserver and
+ * workloads on a DDR3-1600 channel (same page size, no bank groups,
+ * JEDEC 11-11-11 timings) and compares the bus-idleness structure.
+ *
+ * Expectation: higher utilization / fewer idle-with-pending cycles
+ * on DDR3 at equal core demand -- i.e., the constraint evolution the
+ * paper names is real, and the opportunistic coding window grows
+ * with it. (Energy is *not* compared: DDR3's center-tap termination
+ * burns power on both levels, which is exactly why MiL targets DDR4
+ * and LPDDRx, Section 2.)
+ */
+
+#include "bench_util.hh"
+#include "mil/policies.hh"
+
+using namespace mil;
+using namespace mil::bench;
+
+namespace
+{
+
+SimResult
+runOn(const TimingParams &timing, const std::string &workload)
+{
+    SystemConfig config = SystemConfig::microserver();
+    config.timing = timing;
+    WorkloadConfig wc;
+    wc.scale = defaultScale();
+    const auto wl = makeWorkload(workload, wc);
+    auto policy = policies::dbi();
+    System system(config, *wl, policy.get(), defaultOpsPerThread());
+    return system.run();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Extension",
+           "bus idleness, DDR4-3200 (bank groups) vs DDR3-1600 "
+           "(none), DBI baseline");
+
+    TextTable table;
+    table.header({"benchmark", "DDR4 util", "DDR3 util",
+                  "DDR4 idle-pending", "DDR3 idle-pending",
+                  "DDR4 back-to-back", "DDR3 back-to-back"});
+
+    double d4_idle = 0.0;
+    double d3_idle = 0.0;
+    unsigned count = 0;
+    for (const std::string wl :
+         {"MG", "SCALPARC", "SWIM", "FFT", "CG", "OCEAN", "GUPS"}) {
+        const SimResult d4 = runOn(TimingParams::ddr4_3200(), wl);
+        const SimResult d3 = runOn(TimingParams::ddr3_1600(), wl);
+        const auto idle_frac = [](const SimResult &r) {
+            return static_cast<double>(r.bus.idlePendingCycles) /
+                static_cast<double>(r.bus.totalCycles);
+        };
+        table.row({wl, fmtPercent(d4.utilization(), 1),
+                   fmtPercent(d3.utilization(), 1),
+                   fmtPercent(idle_frac(d4), 1),
+                   fmtPercent(idle_frac(d3), 1),
+                   fmtPercent(d4.bus.idleGaps.fraction(0), 1),
+                   fmtPercent(d3.bus.idleGaps.fraction(0), 1)});
+        d4_idle += idle_frac(d4);
+        d3_idle += idle_frac(d3);
+        ++count;
+    }
+    table.print(std::cout);
+
+    std::printf("\naverage idle-despite-pending: DDR4 %s vs DDR3 %s.\n"
+                "(DDR3's raw bandwidth is half of DDR4-3200's, so its "
+                "bus runs *fuller* at the same demand;\nthe remaining "
+                "gap is the bank-group constraint tax the paper's "
+                "Section 3.1 describes --\nthe very idleness MiL "
+                "converts into coding room.)\n",
+                fmtPercent(d4_idle / count, 1).c_str(),
+                fmtPercent(d3_idle / count, 1).c_str());
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Extension study: signaling alternatives for the unterminated
+ * LPDDR3 interface (paper Sections 2.1.2 and 4.5).
+ *
+ * On an unterminated bus the energy is in the wire *flips*. The
+ * choices the paper discusses:
+ *
+ *   - level signaling, uncoded: flips depend on consecutive-beat
+ *     correlation -- the baseline nobody ships;
+ *   - classic bus-invert (BI): caps the per-group flips at 4/9;
+ *   - transition signaling + a minimize-zeros code: flips become a
+ *     function of the codeword alone (flips == zeros), making the
+ *     whole DDR4 code family -- DBI, MiLC, 3-LWC -- applicable.
+ *
+ * This bench measures all of them functionally over each workload's
+ * data stream and shows why MiL picks transition signaling.
+ */
+
+#include "bench_util.hh"
+#include "coding/bus_invert.hh"
+#include "coding/dbi.hh"
+#include "coding/milc.hh"
+#include "coding/transition.hh"
+
+using namespace mil;
+using namespace mil::bench;
+
+namespace
+{
+
+struct Totals
+{
+    std::uint64_t uncodedLevel = 0;
+    std::uint64_t busInvert = 0;
+    std::uint64_t dbiTs = 0;
+    std::uint64_t milcTs = 0;
+};
+
+Totals
+measure(const std::string &workload)
+{
+    WorkloadConfig config;
+    config.scale = defaultScale();
+    const auto wl = makeWorkload(workload, config);
+    FunctionalMemory mem;
+    wl->registerRegions(mem);
+
+    const UncodedTransfer uncoded;
+    const DbiCode dbi;
+    const MilcCode milc;
+    const BusInvertCode bi;
+    WireState uncoded_state(64);
+    WireState bi_state(72);
+    TransitionSignaling dbi_ts(72, FlipOn::Zero);
+    TransitionSignaling milc_ts(64, FlipOn::Zero);
+
+    Totals totals;
+    auto stream = wl->makeStream(0, 8);
+    Addr last_line = invalidAddr;
+    for (int i = 0; i < 6000; ++i) {
+        CoreMemOp op{};
+        if (!stream->next(op))
+            break;
+        const Addr line_addr = op.addr & ~Addr{lineBytes - 1};
+        if (line_addr == last_line)
+            continue; // One burst per touched line.
+        last_line = line_addr;
+        const Line &line = mem.read(line_addr);
+
+        totals.uncodedLevel +=
+            uncoded.encode(line).transitionCount(uncoded_state);
+        {
+            WireState pre = bi_state;
+            const BusFrame frame = bi.encode(line, bi_state);
+            totals.busInvert += frame.transitionCount(pre);
+        }
+        {
+            WireState probe(72);
+            const BusFrame wire = dbi_ts.encode(dbi.encode(line));
+            // Count flips relative to the encoder's previous state:
+            // the logical zeros equal the flips by construction.
+            totals.dbiTs += dbi.encode(line).zeroCount();
+            (void)wire;
+            (void)probe;
+        }
+        totals.milcTs += milc.encode(line).zeroCount();
+    }
+    return totals;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Extension",
+           "LPDDR3 signaling alternatives: wire flips per burst "
+           "(lower is less IO energy)");
+
+    TextTable table;
+    table.header({"benchmark", "level+uncoded", "bus-invert",
+                  "DBI+transition", "MiLC+transition"});
+
+    double sums[4] = {};
+    unsigned count = 0;
+    for (const auto &wl : workloadNames()) {
+        const Totals t = measure(wl);
+        const double base = static_cast<double>(t.uncodedLevel);
+        if (base == 0)
+            continue;
+        const double vals[4] = {
+            1.0,
+            static_cast<double>(t.busInvert) / base,
+            static_cast<double>(t.dbiTs) / base,
+            static_cast<double>(t.milcTs) / base,
+        };
+        table.row({wl, fmtDouble(vals[0], 3), fmtDouble(vals[1], 3),
+                   fmtDouble(vals[2], 3), fmtDouble(vals[3], 3)});
+        for (int k = 0; k < 4; ++k)
+            sums[k] += vals[k];
+        ++count;
+    }
+    std::vector<std::string> avg{"average"};
+    for (int k = 0; k < 4; ++k)
+        avg.push_back(fmtDouble(sums[k] / count, 3));
+    table.row(std::move(avg));
+    table.print(std::cout);
+
+    std::printf(
+        "\ntransition signaling converts the flip-count problem into "
+        "the zero-count problem, so the\nsparse codes (here MiLC) "
+        "transfer their DDR4 wins to the unterminated interface -- "
+        "the\nSection 4.5 argument. An honest wrinkle this study "
+        "exposes: on strongly beat-correlated\ndata (GUPS's index "
+        "table, stencil grids) plain level signaling already flips "
+        "little, and\nDBI+transition can *increase* flips -- only a "
+        "code that drives the zero count well below\nthe data's "
+        "natural switching rate (MiLC here, or MiL's long codes) "
+        "pays for the conversion.\nThe paper (and our Figures 16-19) "
+        "evaluates LPDDR3 against the DBI+transition baseline,\n"
+        "within which MiL's relative savings are exactly the zero "
+        "reductions.\n");
+    return 0;
+}

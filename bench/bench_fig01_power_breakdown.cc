@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 1: DRAM power breakdown by component.
+ *
+ * The paper cites a vendor breakdown showing the IO interface at ~42%
+ * of aggregate DDR4 module power. We regenerate the breakdown from
+ * the simulator's own power model by averaging the component energies
+ * over the full benchmark suite on each memory standard.
+ */
+
+#include "bench_util.hh"
+
+using namespace mil;
+using namespace mil::bench;
+
+int
+main()
+{
+    banner("Figure 1", "DRAM power breakdown by module type");
+
+    TextTable table;
+    table.header({"component", "DDR4-3200", "LPDDR3-1600"});
+
+    struct Totals
+    {
+        DramEnergyBreakdown e;
+    };
+    Totals ddr4;
+    Totals lpddr3;
+    for (const auto &wl : workloadNames()) {
+        ddr4.e += cell("ddr4", wl, "DBI").dramEnergy;
+        lpddr3.e += cell("lpddr3", wl, "DBI").dramEnergy;
+    }
+
+    auto frac = [](const DramEnergyBreakdown &e, double part) {
+        return fmtPercent(part / e.totalMj(), 1);
+    };
+    table.row({"background", frac(ddr4.e, ddr4.e.backgroundMj),
+               frac(lpddr3.e, lpddr3.e.backgroundMj)});
+    table.row({"activate/precharge", frac(ddr4.e, ddr4.e.activateMj),
+               frac(lpddr3.e, lpddr3.e.activateMj)});
+    table.row({"read/write", frac(ddr4.e, ddr4.e.readWriteMj),
+               frac(lpddr3.e, lpddr3.e.readWriteMj)});
+    table.row({"refresh", frac(ddr4.e, ddr4.e.refreshMj),
+               frac(lpddr3.e, lpddr3.e.refreshMj)});
+    table.row({"IO interface", frac(ddr4.e, ddr4.e.ioMj),
+               frac(lpddr3.e, lpddr3.e.ioMj)});
+    table.print(std::cout);
+
+    std::printf("\npaper (Samsung DDR4 brochure): IO ~= 42%% of DDR4 "
+                "module power.\nmeasured DDR4 IO share: %s\n",
+                fmtPercent(ddr4.e.ioFraction(), 1).c_str());
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 4: the distribution of idle cycles between successive
+ * transactions on the DDR4 data bus (DBI baseline).
+ *
+ * Paper: bursts are back-to-back in only ~13% of cases; long idle
+ * windows are plentiful even in memory-intensive applications.
+ */
+
+#include "bench_util.hh"
+
+using namespace mil;
+using namespace mil::bench;
+
+int
+main()
+{
+    banner("Figure 4",
+           "idle-gap distribution between data bus transactions (DDR4, "
+           "DBI)");
+
+    TextTable table;
+    bool have_header = false;
+
+    double back_to_back_sum = 0.0;
+    unsigned count = 0;
+    for (const auto &wl : workloadsByUtilization("ddr4")) {
+        const auto &r = cell("ddr4", wl, "DBI");
+        const auto &h = r.bus.idleGaps;
+        if (!have_header) {
+            std::vector<std::string> header{"benchmark"};
+            for (std::size_t i = 0; i < h.size(); ++i)
+                header.push_back(h.label(i));
+            table.header(std::move(header));
+            have_header = true;
+        }
+        std::vector<std::string> row{wl};
+        for (std::size_t i = 0; i < h.size(); ++i)
+            row.push_back(fmtPercent(h.fraction(i), 1));
+        table.row(std::move(row));
+        back_to_back_sum += h.fraction(0);
+        ++count;
+    }
+    table.print(std::cout);
+
+    std::printf("\n(columns are idle-gap buckets in controller cycles; "
+                "'0' means back-to-back bursts)\n");
+    std::printf("average back-to-back fraction: %s  (paper: ~13%%)\n",
+                fmtPercent(back_to_back_sum / count, 1).c_str());
+    return 0;
+}

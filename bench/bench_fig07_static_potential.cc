@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figure 7: how much headroom is left beyond DBI -- the zero counts
+ * achieved by *optimal static* (8,n) codes built from each
+ * application's byte-pattern frequencies, normalized to the zeros of
+ * the original (uncoded) data.
+ *
+ * This is a purely functional study: we sample each workload's data
+ * stream (the lines its op streams touch in the functional image),
+ * build the frequency-ranked codebooks, and evaluate expected zeros.
+ */
+
+#include <array>
+
+#include "bench_util.hh"
+#include "coding/dbi.hh"
+#include "coding/static_lwc.hh"
+#include "coding/three_lwc.hh"
+#include "common/bitops.hh"
+
+using namespace mil;
+using namespace mil::bench;
+
+namespace
+{
+
+/** Sample the byte-pattern histogram of a workload's data stream. */
+PatternHistogram
+sampleWorkload(const std::string &name)
+{
+    WorkloadConfig config;
+    config.scale = defaultScale();
+    const auto wl = makeWorkload(name, config);
+    FunctionalMemory mem;
+    wl->registerRegions(mem);
+
+    PatternHistogram hist;
+    auto stream = wl->makeStream(0, 8);
+    for (int i = 0; i < 20000; ++i) {
+        CoreMemOp op{};
+        if (!stream->next(op))
+            break;
+        const Addr line_addr = op.addr & ~Addr{lineBytes - 1};
+        const Line &line = mem.read(line_addr);
+        hist.add(std::span<const std::uint8_t>(line));
+    }
+    return hist;
+}
+
+double
+dbiZerosPerByte(std::span<const std::uint64_t, 256> freq)
+{
+    double zeros = 0.0;
+    double total = 0.0;
+    for (unsigned p = 0; p < 256; ++p) {
+        bool dbi_bit = false;
+        const auto wire =
+            DbiCode::encodeByte(static_cast<std::uint8_t>(p), dbi_bit);
+        const double z = zeroCount8(wire) + (dbi_bit ? 0 : 1);
+        zeros += z * static_cast<double>(freq[p]);
+        total += static_cast<double>(freq[p]);
+    }
+    return zeros / total;
+}
+
+double
+lwcZerosPerByte(std::span<const std::uint64_t, 256> freq)
+{
+    double zeros = 0.0;
+    double total = 0.0;
+    for (unsigned p = 0; p < 256; ++p) {
+        const double z = ThreeLwcCode::wireZeros(
+            ThreeLwcCode::encodeByte(static_cast<std::uint8_t>(p)));
+        zeros += z * static_cast<double>(freq[p]);
+        total += static_cast<double>(freq[p]);
+    }
+    return zeros / total;
+}
+
+double
+rawZerosPerByte(std::span<const std::uint64_t, 256> freq)
+{
+    double zeros = 0.0;
+    double total = 0.0;
+    for (unsigned p = 0; p < 256; ++p) {
+        zeros += zeroCount8(static_cast<std::uint8_t>(p)) *
+            static_cast<double>(freq[p]);
+        total += static_cast<double>(freq[p]);
+    }
+    return zeros / total;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Figure 7",
+           "zero-count potential of optimal static (8,n) codes, "
+           "normalized to the original data's zeros");
+
+    TextTable table;
+    table.header({"benchmark", "DBI", "(8,9)", "(8,10)", "(8,12)",
+                  "(8,17)", "3-LWC(8,17)"});
+
+    std::array<double, 6> sums{};
+    unsigned count = 0;
+    for (const auto &wl : workloadNames()) {
+        const PatternHistogram hist = sampleWorkload(wl);
+        const auto freq = hist.counts();
+        const double raw = rawZerosPerByte(freq);
+
+        std::array<double, 6> vals{};
+        vals[0] = dbiZerosPerByte(freq) / raw;
+        unsigned i = 1;
+        for (unsigned n : {9u, 10u, 12u, 17u}) {
+            StaticLwcCodebook book(freq, n);
+            vals[i++] = book.expectedZerosPerByte(freq) / raw;
+        }
+        vals[5] = lwcZerosPerByte(freq) / raw;
+
+        std::vector<std::string> row{wl};
+        for (unsigned k = 0; k < 6; ++k) {
+            row.push_back(fmtDouble(vals[k], 3));
+            sums[k] += vals[k];
+        }
+        table.row(std::move(row));
+        ++count;
+    }
+    std::vector<std::string> avg{"average"};
+    for (unsigned k = 0; k < 6; ++k)
+        avg.push_back(fmtDouble(sums[k] / count, 3));
+    table.row(std::move(avg));
+    table.print(std::cout);
+
+    std::printf("\npaper shape: optimal same-overhead (8,9) codes "
+                "already clearly beat DBI, and wider codes keep "
+                "helping; algorithmic 3-LWC tracks the optimal (8,17) "
+                "closely.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 19: whole-system energy (processor + DRAM) under CAFO2,
+ * CAFO4, MiLC-only, and MiL, normalized to DBI, for both systems.
+ *
+ * Paper: average system savings on the microserver are 2.2/1.6/3.1/
+ * 3.7% (CAFO2/CAFO4/MiLC-only/MiL); on mobile 5/5/6/7%. Memory-
+ * intensive benchmarks save the most; MM and STRMATCH save little
+ * despite big zero reductions because their memory-energy share is
+ * small.
+ */
+
+#include "bench_util.hh"
+
+using namespace mil;
+using namespace mil::bench;
+
+namespace
+{
+
+void
+oneSystem(const std::string &system, const std::string &label)
+{
+    std::printf("--- (%s) ---\n", label.c_str());
+    const std::vector<std::string> schemes = {"CAFO2", "CAFO4", "MiLC",
+                                              "MiL"};
+    TextTable table;
+    table.header({"benchmark", "CAFO2", "CAFO4", "MiLC-only", "MiL"});
+
+    std::vector<std::vector<double>> columns(schemes.size());
+    for (const auto &wl : workloadsByUtilization(system)) {
+        const double base =
+            cell(system, wl, "DBI").systemEnergy.totalMj();
+        std::vector<std::string> row{wl};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const double e =
+                cell(system, wl, schemes[s]).systemEnergy.totalMj() /
+                base;
+            columns[s].push_back(e);
+            row.push_back(fmtDouble(e, 3));
+        }
+        table.row(std::move(row));
+    }
+    std::vector<std::string> mean{"average savings"};
+    for (auto &col : columns) {
+        double sum = 0.0;
+        for (double v : col)
+            sum += v;
+        mean.push_back(fmtPercent(1.0 - sum / col.size(), 1));
+    }
+    table.row(std::move(mean));
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Figure 19", "system energy normalized to DBI");
+    oneSystem("ddr4", "a: DDR4 microserver");
+    oneSystem("lpddr3", "b: LPDDR3 mobile");
+    std::printf("paper averages: DDR4 2.2/1.6/3.1/3.7%% savings; "
+                "LPDDR3 5/5/6/7%%.\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 20: sensitivity of execution time to *always* coding with a
+ * fixed burst length (BL10/12/14/16), normalized to BL8 (DBI).
+ *
+ * Paper: average slowdowns of 3 / 6 / 6.5 / 9.3% -- monotone in BL,
+ * worst on SWIM, OCEAN, CG, GUPS; STRMATCH even speeds up slightly at
+ * BL14 (queueing gives the scheduler more choices). The conclusion:
+ * always-on long codes are unattractive, motivating the opportunistic
+ * hybrid.
+ */
+
+#include "bench_util.hh"
+
+using namespace mil;
+using namespace mil::bench;
+
+int
+main()
+{
+    banner("Figure 20",
+           "execution time vs fixed burst length, normalized to BL8 "
+           "(DDR4)");
+
+    const std::vector<std::string> schemes = {"BL10", "BL12", "BL14",
+                                              "BL16"};
+    TextTable table;
+    table.header({"benchmark", "BL10", "BL12", "BL14", "BL16"});
+
+    std::vector<std::vector<double>> columns(schemes.size());
+    for (const auto &wl : workloadsByUtilization("ddr4")) {
+        std::vector<std::string> row{wl};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const double t = normCycles("ddr4", wl, schemes[s]);
+            columns[s].push_back(t);
+            row.push_back(fmtDouble(t, 3));
+        }
+        table.row(std::move(row));
+    }
+    std::vector<std::string> gmean{"geomean"};
+    for (auto &col : columns)
+        gmean.push_back(fmtDouble(geomean(col), 3));
+    table.row(std::move(gmean));
+    table.print(std::cout);
+
+    std::printf("\npaper averages: +3%% / +6%% / +6.5%% / +9.3%%, "
+                "monotone in burst length.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 4: area, power, and latency of the MiLC and 3-LWC codecs at a
+ * 22nm DRAM process, from the analytic gate model (the substitution
+ * for the paper's Synopsys DC synthesis; see DESIGN.md).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "coding/codec_cost.hh"
+#include "common/table.hh"
+
+using namespace mil;
+
+int
+main()
+{
+    std::printf("=== Table 4: codec area / power / latency (22nm DRAM "
+                "process, gate model) ===\n\n");
+
+    const CodecCostModel model;
+    TextTable table;
+    table.header({"block", "area (um2)", "power (mW)", "latency (ns)",
+                  "paper area", "paper power", "paper latency"});
+
+    const char *paper[4][3] = {
+        {"1429", "3.32", "0.35"},
+        {"188", "0.16", "0.39"},
+        {"173", "0.44", "0.10"},
+        {"81", "0.70", "0.12"},
+    };
+    unsigned i = 0;
+    for (const auto &row : model.table4()) {
+        table.row({row.block, fmtDouble(row.areaUm2, 0),
+                   fmtDouble(row.powerMw, 2),
+                   fmtDouble(row.latencyNs, 2), paper[i][0],
+                   paper[i][1], paper[i][2]});
+        ++i;
+    }
+    table.print(std::cout);
+
+    std::printf("\nworst-case codec latency costs %u extra clock "
+                "cycle(s) at the DDR4-3200 period (0.625 ns) -> the "
+                "tCL+1 the simulator charges when MiL is enabled.\n",
+                model.extraClockCycles(0.625));
+    std::printf("(MiLC instance = one 64-bit square codec; 3-LWC "
+                "instance = one byte codec, as in the paper's "
+                "footnote.)\n");
+    return 0;
+}

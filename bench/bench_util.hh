@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses. Each bench
+ * binary reproduces one table or figure from the paper and prints the
+ * same rows/series the paper reports, normalized the same way.
+ */
+
+#ifndef MIL_BENCH_BENCH_UTIL_HH
+#define MIL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+namespace mil::bench
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &figure, const std::string &what)
+{
+    std::printf("=== %s: %s ===\n", figure.c_str(), what.c_str());
+    std::printf("(ops/thread=%llu, scale=%.2f; override with "
+                "MIL_OPS_PER_THREAD / MIL_SCALE)\n\n",
+                static_cast<unsigned long long>(defaultOpsPerThread()),
+                defaultScale());
+}
+
+/** Run one (system, workload, policy) cell of the standard grid. */
+inline const SimResult &
+cell(const std::string &system, const std::string &workload,
+     const std::string &policy, unsigned lookahead = 8)
+{
+    RunSpec spec;
+    spec.system = system;
+    spec.workload = workload;
+    spec.policy = policy;
+    spec.lookahead = lookahead;
+    return runSpec(spec);
+}
+
+/** Execution time of a run normalized to the DBI baseline. */
+inline double
+normCycles(const std::string &system, const std::string &workload,
+           const std::string &policy, unsigned lookahead = 8)
+{
+    const double base =
+        static_cast<double>(cell(system, workload, "DBI").cycles);
+    return static_cast<double>(
+               cell(system, workload, policy, lookahead).cycles) /
+        base;
+}
+
+/** Transferred zeros normalized to the DBI baseline. */
+inline double
+normZeros(const std::string &system, const std::string &workload,
+          const std::string &policy, unsigned lookahead = 8)
+{
+    const double base = static_cast<double>(
+        cell(system, workload, "DBI").bus.zerosTransferred);
+    return static_cast<double>(
+               cell(system, workload, policy, lookahead)
+                   .bus.zerosTransferred) /
+        base;
+}
+
+} // namespace mil::bench
+
+#endif // MIL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A miniature, annotated version of the paper's Figure 8: drive the
+ * memory controller directly with a handful of requests and print
+ * each burst's schedule under DBI and under MiL, showing how MiL
+ * stretches bursts into cycles that were idle anyway.
+ */
+
+#include <cstdio>
+
+#include "dram/address_map.hh"
+#include "dram/controller.hh"
+#include "mil/policies.hh"
+
+using namespace mil;
+
+namespace
+{
+
+struct TraceSink : MemResponseSink
+{
+    void
+    memResponse(ReqId id, const Line &, Cycle when) override
+    {
+        std::printf("    cycle %4llu: read %llu data delivered\n",
+                    static_cast<unsigned long long>(when),
+                    static_cast<unsigned long long>(id));
+    }
+};
+
+/** Prints every DRAM command as the controller issues it. */
+struct PrintingTracer : Tracer
+{
+    void
+    traceEvent(const TraceEvent &event) override
+    {
+        if (event.kind == TraceEvent::Kind::Read ||
+            event.kind == TraceEvent::Kind::Write) {
+            std::printf("    cycle %4llu: %-3s bank(%u,%u) row %u -> "
+                        "data [%llu, %llu) %s, %llu zeros\n",
+                        static_cast<unsigned long long>(event.cycle),
+                        event.mnemonic(), event.coord.bankGroup,
+                        event.coord.bank, event.coord.row,
+                        static_cast<unsigned long long>(
+                            event.dataStart),
+                        static_cast<unsigned long long>(event.dataEnd),
+                        event.scheme.c_str(),
+                        static_cast<unsigned long long>(event.zeros));
+        } else {
+            std::printf("    cycle %4llu: %-3s bank(%u,%u) row %u\n",
+                        static_cast<unsigned long long>(event.cycle),
+                        event.mnemonic(), event.coord.bankGroup,
+                        event.coord.bank, event.coord.row);
+        }
+    }
+};
+
+void
+runTrace(const char *label, CodingPolicy &policy)
+{
+    std::printf("\n%s\n", label);
+    const TimingParams timing = TimingParams::ddr4_3200();
+    ControllerConfig config;
+    config.refreshEnabled = false;
+    FunctionalMemory memory;
+    MemoryController controller(timing, config, &memory, &policy);
+    const AddressMap map(timing, 1);
+    TraceSink sink;
+    PrintingTracer tracer;
+    controller.setTracer(&tracer);
+
+    // Two reads to the same open row, then one to a different row of
+    // the same bank: the row conflict guarantees a long idle window
+    // after the second burst -- exactly the opportunity in Figure 8.
+    DramCoord c;
+    c.row = 5;
+    for (ReqId id = 1; id <= 2; ++id) {
+        MemRequest req;
+        req.id = id;
+        c.col = static_cast<std::uint32_t>(id);
+        req.coord = c;
+        req.lineAddr = map.encode(0, c);
+        // Give the lines text-like content so the zero counts are
+        // representative rather than the all-zero default.
+        Line data;
+        for (unsigned i = 0; i < lineBytes; ++i)
+            data[i] = static_cast<std::uint8_t>(
+                "more is less! "[i % 14]);
+        memory.write(req.lineAddr, data);
+        controller.enqueue(req, &sink);
+    }
+    {
+        MemRequest req;
+        req.id = 3;
+        c.row = 9;
+        c.col = 0;
+        req.coord = c;
+        req.lineAddr = map.encode(0, c);
+        controller.enqueue(req, &sink);
+    }
+
+    for (Cycle now = 0; now < 400 && controller.busy(); ++now)
+        controller.tick(now);
+
+    const auto &stats = controller.stats();
+    std::printf("  bursts:");
+    for (const auto &[scheme, usage] : stats.schemes)
+        std::printf(" %llux %s (%llu zeros)",
+                    static_cast<unsigned long long>(usage.bursts),
+                    scheme.c_str(),
+                    static_cast<unsigned long long>(usage.zeros));
+    std::printf("\n  bus busy %llu cycles; zeros transferred %llu\n",
+                static_cast<unsigned long long>(stats.busBusyCycles),
+                static_cast<unsigned long long>(
+                    stats.zerosTransferred));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Figure 8 in miniature: read0/read1 are row hits, "
+                "read2 conflicts (PRE+ACT gap).\nUnder MiL the "
+                "controller sees the gap coming and ships sparse "
+                "codes into it.\n");
+
+    auto dbi = policies::dbi();
+    runTrace("--- conventional DDR4 (DBI, BL8) ---", *dbi);
+
+    auto mil = policies::mil(8);
+    runTrace("--- MiL (MiLC BL10 / 3-LWC BL16) ---", *mil);
+
+    std::printf("\nSame reads, same data -- MiL occupies more bus "
+                "cycles but moves fewer zeros,\nand the responses "
+                "arrive within a cycle or two of the baseline.\n");
+    return 0;
+}

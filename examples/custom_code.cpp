@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Extending the framework: MiL is code-agnostic -- any deterministic-
+ * latency Code can serve as the base or the opportunistic scheme
+ * (paper Section 4.3). This example implements a brand-new code (a
+ * simple "nibble-rotate" 4-LWC-flavored scheme at burst length 12),
+ * plugs it into MilPolicy as the long code with MiLC as the base, and
+ * runs it on the microserver.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "coding/milc.hh"
+#include "mil/policies.hh"
+#include "sim/system.hh"
+
+using namespace mil;
+
+namespace
+{
+
+/**
+ * A user-defined sparse code: each byte becomes 12 bits -- the byte's
+ * two nibbles one-hot-ish encoded into 6 bits each (value v in 0..15
+ * maps to a 6-bit word with at most two 1s), then complemented for
+ * the POD bus. 512 data bits -> 768 wire bits = 64 lanes x 12 beats.
+ * It is deliberately simple; the point is the interface.
+ */
+class NibbleCode : public Code
+{
+  public:
+    std::string name() const override { return "Nibble12"; }
+    unsigned burstLength() const override { return 12; }
+    unsigned lanes() const override { return 64; }
+    unsigned extraLatency() const override { return 1; }
+
+    BusFrame
+    encode(LineView line) const override
+    {
+        BusFrame frame(lanes(), burstLength());
+        std::uint64_t pos = 0;
+        for (std::uint8_t byte : line) {
+            const std::uint16_t word =
+                static_cast<std::uint16_t>(enc6(byte >> 4) |
+                                           (enc6(byte & 0xF) << 6));
+            // Complement: at most four 0s per 12 transmitted bits.
+            for (unsigned t = 0; t < 12; ++t)
+                frame.setLinearBit(pos++, !((word >> t) & 1));
+        }
+        return frame;
+    }
+
+    Line
+    decode(const BusFrame &frame) const override
+    {
+        Line line{};
+        std::uint64_t pos = 0;
+        for (auto &byte : line) {
+            std::uint16_t word = 0;
+            for (unsigned t = 0; t < 12; ++t)
+                if (!frame.linearBit(pos++))
+                    word = static_cast<std::uint16_t>(word | (1u << t));
+            byte = static_cast<std::uint8_t>(
+                (dec6(word & 0x3F) << 4) | dec6((word >> 6) & 0x3F));
+        }
+        return line;
+    }
+
+  private:
+    // 16 values -> 6-bit words of weight <= 2, fixed table.
+    static constexpr std::uint8_t table[16] = {
+        0b000000, 0b000001, 0b000010, 0b000100, 0b001000, 0b010000,
+        0b100000, 0b000011, 0b000101, 0b001001, 0b010001, 0b100001,
+        0b000110, 0b001010, 0b010010, 0b100010,
+    };
+
+    static std::uint8_t
+    enc6(unsigned nibble)
+    {
+        return table[nibble & 0xF];
+    }
+
+    static std::uint8_t
+    dec6(unsigned word)
+    {
+        for (unsigned v = 0; v < 16; ++v)
+            if (table[v] == word)
+                return static_cast<std::uint8_t>(v);
+        return 0;
+    }
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    // MiL with a custom long code: base = MiLC (BL10), long =
+    // Nibble12 (BL12). Look-ahead matches the long code's occupancy.
+    MilPolicy custom(std::make_shared<MilcCode>(),
+                     std::make_shared<NibbleCode>(),
+                     /*lookahead_x=*/6, /*write_optimization=*/true);
+
+    const SystemConfig config = SystemConfig::microserver();
+    WorkloadConfig wl_config;
+    wl_config.scale = 0.25;
+    const WorkloadPtr workload = makeWorkload("SCALPARC", wl_config);
+
+    auto dbi = policies::dbi();
+    System baseline(config, *workload, dbi.get(), 2000);
+    const SimResult base = baseline.run();
+
+    System system(config, *workload, &custom, 2000);
+    const SimResult r = system.run();
+
+    std::printf("MiL with a user-defined long code (%s):\n",
+                custom.longCode().name().c_str());
+    std::printf("  exec time  %.3fx of DBI\n",
+                static_cast<double>(r.cycles) /
+                    static_cast<double>(base.cycles));
+    std::printf("  zeros      %.3fx of DBI\n",
+                static_cast<double>(r.bus.zerosTransferred) /
+                    static_cast<double>(base.bus.zerosTransferred));
+    std::printf("  scheme mix:");
+    const double bursts =
+        static_cast<double>(r.bus.reads + r.bus.writes);
+    for (const auto &[scheme, usage] : r.bus.schemes)
+        std::printf(" %s %.0f%%", scheme.c_str(),
+                    100.0 * static_cast<double>(usage.bursts) / bursts);
+    std::printf("\n\nAny deterministic-latency Code slots into the "
+                "framework -- the controller's\ndecision logic and "
+                "burst accounting adapt to its burst length "
+                "automatically.\n");
+    return 0;
+}

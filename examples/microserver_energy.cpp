@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microserver scenario: run the DDR4-3200 system of Table 2 on a
+ * bandwidth-hungry workload (GUPS) and on a data-mining workload
+ * (SCALPARC), with the conventional DBI baseline and with MiL, and
+ * report the performance/energy trade-off end to end.
+ *
+ * This is the intended top-level use of the library: construct a
+ * SystemConfig, pick a Workload and a CodingPolicy, run, and read the
+ * SimResult.
+ */
+
+#include <cstdio>
+
+#include "mil/policies.hh"
+#include "sim/system.hh"
+
+using namespace mil;
+
+namespace
+{
+
+void
+report(const char *name, const SimResult &base, const SimResult &coded)
+{
+    const double time = static_cast<double>(coded.cycles) /
+        static_cast<double>(base.cycles);
+    const double io = coded.dramEnergy.ioMj / base.dramEnergy.ioMj;
+    const double dram =
+        coded.dramEnergy.totalMj() / base.dramEnergy.totalMj();
+    const double sys = coded.systemEnergy.totalMj() /
+        base.systemEnergy.totalMj();
+    std::printf("%-10s exec time %.3fx | IO energy %.3fx | DRAM "
+                "energy %.3fx | system energy %.3fx\n",
+                name, time, io, dram, sys);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::microserver();
+    constexpr std::uint64_t ops_per_thread = 3000;
+
+    WorkloadConfig wl_config;
+    wl_config.scale = 0.25;
+
+    std::printf("DDR4-3200 microserver, 8 cores x 4 threads, MiL vs "
+                "DBI\n");
+    std::printf("------------------------------------------------------"
+                "----\n");
+
+    for (const char *name : {"GUPS", "SCALPARC"}) {
+        const WorkloadPtr workload = makeWorkload(name, wl_config);
+
+        auto dbi = policies::dbi();
+        System baseline(config, *workload, dbi.get(), ops_per_thread);
+        const SimResult base = baseline.run();
+
+        auto mil = policies::mil(/*lookahead_x=*/8);
+        System coded_system(config, *workload, mil.get(),
+                            ops_per_thread);
+        const SimResult coded = coded_system.run();
+
+        report(name, base, coded);
+        const auto &schemes = coded.bus.schemes;
+        const double bursts =
+            static_cast<double>(coded.bus.reads + coded.bus.writes);
+        std::printf("           bus utilization %.1f%% -> %.1f%%; "
+                    "scheme mix:",
+                    100.0 * base.utilization(),
+                    100.0 * coded.utilization());
+        for (const auto &[scheme, usage] : schemes)
+            std::printf(" %s %.0f%%", scheme.c_str(),
+                        100.0 * static_cast<double>(usage.bursts) /
+                            bursts);
+        std::printf("\n\n");
+    }
+
+    std::printf("MiL stretches bursts into idle cycles: utilization "
+                "rises, zeros (and IO energy) fall,\nand execution "
+                "time moves by only a couple of percent.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Mobile scenario: the LPDDR3-1600 system of Table 2 running a
+ * streaming stencil workload (SWIM). Demonstrates the unterminated-
+ * interface story: LPDDR3 charges per wire *flip*, MiL layers
+ * transition signaling underneath its codes so flips equal the
+ * transmitted zeros, and the aggressively-optimized LPDDR3 background
+ * power means the IO savings carry through to DRAM energy almost
+ * undiluted (paper Section 7.4).
+ */
+
+#include <cstdio>
+
+#include "mil/policies.hh"
+#include "sim/system.hh"
+
+using namespace mil;
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::mobile();
+    constexpr std::uint64_t ops_per_thread = 3000;
+
+    WorkloadConfig wl_config;
+    wl_config.scale = 0.25;
+    const WorkloadPtr workload = makeWorkload("SWIM", wl_config);
+
+    std::printf("LPDDR3-1600 mobile system, 8 OoO cores, SWIM\n");
+    std::printf("---------------------------------------------\n");
+
+    SimResult results[2];
+    const char *labels[2] = {"DBI", "MiL"};
+    {
+        auto policy = policies::dbi();
+        System system(config, *workload, policy.get(), ops_per_thread);
+        results[0] = system.run();
+    }
+    {
+        auto policy = policies::mil(8);
+        System system(config, *workload, policy.get(), ops_per_thread);
+        results[1] = system.run();
+    }
+
+    for (int i = 0; i < 2; ++i) {
+        const auto &r = results[i];
+        std::printf("%-4s cycles %9llu | zeros/bit %.3f | DRAM mJ "
+                    "%.3f (IO share %.0f%%) | system mJ %.3f\n",
+                    labels[i],
+                    static_cast<unsigned long long>(r.cycles),
+                    r.zeroDensity(), r.dramEnergy.totalMj(),
+                    100.0 * r.dramEnergy.ioFraction(),
+                    r.systemEnergy.totalMj());
+    }
+
+    const double dram = results[1].dramEnergy.totalMj() /
+        results[0].dramEnergy.totalMj();
+    const double sys = results[1].systemEnergy.totalMj() /
+        results[0].systemEnergy.totalMj();
+    const double time = static_cast<double>(results[1].cycles) /
+        static_cast<double>(results[0].cycles);
+    std::printf("\nMiL vs DBI: DRAM energy %.3fx, system energy %.3fx, "
+                "exec time %.3fx\n",
+                dram, sys, time);
+    std::printf("On LPDDR3 the background power is small, so cutting "
+                "the wire flips shows up\nalmost 1:1 in DRAM energy -- "
+                "the paper's 17%% average.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: encode one cache line with every coding scheme in the
+ * library and compare the zeros each would drive onto a DDR4 (POD)
+ * bus. This is the 60-second tour of the coding substrate.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "coding/cafo.hh"
+#include "coding/dbi.hh"
+#include "coding/milc.hh"
+#include "coding/three_lwc.hh"
+#include "coding/transition.hh"
+
+using namespace mil;
+
+int
+main()
+{
+    // A cache line of eight doubles from a smooth field -- the kind of
+    // data a stencil benchmark streams: correlated sign/exponent
+    // bytes, zero-heavy low mantissas.
+    Line line{};
+    const double values[8] = {41.0, 41.25, 41.5, 40.75, 41.0,
+                              41.125, 40.875, 41.0};
+    std::memcpy(line.data(), values, sizeof(values));
+
+    const UncodedTransfer uncoded;
+    const DbiCode dbi;
+    const MilcCode milc;
+    const ThreeLwcCode lwc;
+    const CafoCode cafo4(4);
+
+    std::printf("scheme     lanes beats bits  zeros  vs-uncoded\n");
+    std::printf("--------------------------------------------------\n");
+    const double raw =
+        static_cast<double>(uncoded.encode(line).zeroCount());
+    const Code *codes[] = {&uncoded, &dbi, &milc, &lwc, &cafo4};
+    for (const Code *code : codes) {
+        const BusFrame frame = code->encode(line);
+        // Every code must round-trip exactly.
+        if (code->decode(frame) != line) {
+            std::printf("%s corrupted the line!\n",
+                        code->name().c_str());
+            return 1;
+        }
+        std::printf("%-10s %5u %5u %4llu  %5llu  %.2fx fewer\n",
+                    code->name().c_str(), code->lanes(),
+                    code->burstLength(),
+                    static_cast<unsigned long long>(frame.totalBits()),
+                    static_cast<unsigned long long>(frame.zeroCount()),
+                    raw / static_cast<double>(frame.zeroCount() + 1));
+    }
+
+    // The LPDDR3 story: transition signaling makes wire flips equal
+    // the transmitted zeros, so the same codes apply to the
+    // unterminated interface (paper Section 4.5).
+    TransitionSignaling ts(64, FlipOn::Zero);
+    const BusFrame logical = milc.encode(line);
+    const BusFrame wire = ts.encode(logical);
+    WireState probe(64);
+    std::printf("\nLPDDR3 via transition signaling: MiLC frame has "
+                "%llu zeros -> %llu wire flips\n",
+                static_cast<unsigned long long>(logical.zeroCount()),
+                static_cast<unsigned long long>(
+                    wire.transitionCount(probe)));
+
+    std::printf("\nMore is Less: a longer, sparser codeword moves the "
+                "same 64 bytes with less IO energy --\nMiL's decision "
+                "logic spends otherwise-idle bus cycles to buy that "
+                "headroom.\n");
+    return 0;
+}

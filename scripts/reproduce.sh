@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the extension studies, and
+# leave the transcripts next to the build.
+#
+# Usage: scripts/reproduce.sh [build-dir]
+# Knobs: MIL_OPS_PER_THREAD (default 3000), MIL_SCALE (default 0.25).
+set -euo pipefail
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee test_output.txt | tail -3
+
+echo "== benches =="
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+        echo "### $(basename "$b")" | tee -a bench_output.txt
+        "$b" | tee -a bench_output.txt
+    fi
+done
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,76 @@
+#include "bus_frame.hh"
+
+namespace mil
+{
+
+std::uint64_t
+BusFrame::maskLow() const
+{
+    return lanes_ >= 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << lanes_) - 1);
+}
+
+std::uint64_t
+BusFrame::maskHigh() const
+{
+    if (lanes_ <= 64)
+        return 0;
+    const unsigned hi = lanes_ - 64;
+    return hi >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << hi) - 1);
+}
+
+std::uint64_t
+BusFrame::zeroCount() const
+{
+    const std::uint64_t lo_mask = maskLow();
+    const std::uint64_t hi_mask = maskHigh();
+    std::uint64_t ones = 0;
+    for (unsigned b = 0; b < beats_; ++b) {
+        ones += popcount(words_[2 * b] & lo_mask);
+        ones += popcount(words_[2 * b + 1] & hi_mask);
+    }
+    return totalBits() - ones;
+}
+
+std::uint64_t
+BusFrame::transitionCount(WireState &state) const
+{
+    const std::uint64_t lo_mask = maskLow();
+    const std::uint64_t hi_mask = maskHigh();
+    std::uint64_t prev_lo = state.word(0) & lo_mask;
+    std::uint64_t prev_hi = (state.lanes() > 64 ? state.word(1) : 0) &
+        hi_mask;
+    std::uint64_t flips = 0;
+    for (unsigned b = 0; b < beats_; ++b) {
+        const std::uint64_t lo = words_[2 * b] & lo_mask;
+        const std::uint64_t hi = words_[2 * b + 1] & hi_mask;
+        flips += popcount(lo ^ prev_lo) + popcount(hi ^ prev_hi);
+        prev_lo = lo;
+        prev_hi = hi;
+    }
+    // Leave wires outside this frame's lane range untouched.
+    state.setWord(0, (state.word(0) & ~lo_mask) | prev_lo);
+    if (state.lanes() > 64)
+        state.setWord(1, (state.word(1) & ~hi_mask) | prev_hi);
+    return flips;
+}
+
+bool
+BusFrame::operator==(const BusFrame &other) const
+{
+    if (lanes_ != other.lanes_ || beats_ != other.beats_)
+        return false;
+    const std::uint64_t lo_mask = maskLow();
+    const std::uint64_t hi_mask = maskHigh();
+    for (unsigned b = 0; b < beats_; ++b) {
+        if ((words_[2 * b] & lo_mask) != (other.words_[2 * b] & lo_mask))
+            return false;
+        if ((words_[2 * b + 1] & hi_mask) !=
+            (other.words_[2 * b + 1] & hi_mask)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace mil

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * BusFrame: the bit-level image of one data burst on the DDRx bus.
+ *
+ * A frame is a (lanes x beats) bit matrix. Lane l at beat b is the value
+ * driven on physical wire l during the b-th data beat of the burst. The
+ * DDR4 energy model charges for every 0 bit in the frame (pseudo open
+ * drain termination); the LPDDR3 model charges for every wire transition
+ * between consecutive beats (unterminated CMOS).
+ */
+
+#ifndef MIL_CODING_BUS_FRAME_HH
+#define MIL_CODING_BUS_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mil
+{
+
+/** Per-wire bus state carried between bursts for transition counting. */
+class WireState
+{
+  public:
+    explicit WireState(unsigned max_lanes = 72)
+        : words_((max_lanes + 63) / 64, 0), lanes_(max_lanes)
+    {}
+
+    bool
+    level(unsigned lane) const
+    {
+        return bit(words_[lane / 64], lane % 64);
+    }
+
+    void
+    setLevel(unsigned lane, bool v)
+    {
+        words_[lane / 64] = setBit(words_[lane / 64], lane % 64, v);
+    }
+
+    unsigned lanes() const { return lanes_; }
+
+    std::uint64_t word(unsigned i) const { return words_[i]; }
+    void setWord(unsigned i, std::uint64_t v) { words_[i] = v; }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    unsigned lanes_;
+};
+
+/**
+ * One burst's worth of bits on the bus.
+ *
+ * Storage is two 64-bit words per beat (enough for the 72-lane DDR4 bus
+ * with DBI pins). Bits above the frame width are always zero in storage
+ * and never counted.
+ */
+class BusFrame
+{
+  public:
+    BusFrame() : lanes_(0), beats_(0) {}
+
+    BusFrame(unsigned lanes, unsigned beats)
+        : words_(2 * beats, 0), lanes_(lanes), beats_(beats)
+    {
+        mil_assert(lanes >= 1 && lanes <= 128, "unsupported lane count");
+    }
+
+    unsigned lanes() const { return lanes_; }
+    unsigned beats() const { return beats_; }
+
+    /** Total bits carried by the frame. */
+    std::uint64_t
+    totalBits() const
+    {
+        return std::uint64_t{lanes_} * beats_;
+    }
+
+    bool
+    bitAt(unsigned beat, unsigned lane) const
+    {
+        return bit(words_[2 * beat + lane / 64], lane % 64);
+    }
+
+    void
+    setBitAt(unsigned beat, unsigned lane, bool v)
+    {
+        auto &w = words_[2 * beat + lane / 64];
+        w = setBit(w, lane % 64, v);
+    }
+
+    /** Write @p width bits of @p value across lanes [lane, lane+width). */
+    void
+    setLaneField(unsigned beat, unsigned lane, unsigned width,
+                 std::uint64_t value)
+    {
+        for (unsigned i = 0; i < width; ++i)
+            setBitAt(beat, lane + i, bit(value, i));
+    }
+
+    /** Read @p width bits starting at @p lane of @p beat. */
+    std::uint64_t
+    laneField(unsigned beat, unsigned lane, unsigned width) const
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < width; ++i)
+            v = setBit(v, i, bitAt(beat, lane + i));
+        return v;
+    }
+
+    /** Set the k-th bit of the frame in (beat-major, lane-minor) order. */
+    void
+    setLinearBit(std::uint64_t k, bool v)
+    {
+        setBitAt(static_cast<unsigned>(k / lanes_),
+                 static_cast<unsigned>(k % lanes_), v);
+    }
+
+    bool
+    linearBit(std::uint64_t k) const
+    {
+        return bitAt(static_cast<unsigned>(k / lanes_),
+                     static_cast<unsigned>(k % lanes_));
+    }
+
+    /** Number of 0 bits in the frame (the DDR4/POD energy proxy). */
+    std::uint64_t zeroCount() const;
+
+    /** Number of 1 bits in the frame. */
+    std::uint64_t oneCount() const { return totalBits() - zeroCount(); }
+
+    /**
+     * Number of wire transitions incurred by driving this frame,
+     * starting from @p state, which is updated to the post-burst wire
+     * levels. This is the LPDDR3/unterminated energy proxy.
+     */
+    std::uint64_t transitionCount(WireState &state) const;
+
+    /** Bitwise equality over the declared lanes and beats. */
+    bool operator==(const BusFrame &other) const;
+
+  private:
+    std::uint64_t maskLow() const;
+    std::uint64_t maskHigh() const;
+
+    std::vector<std::uint64_t> words_;
+    unsigned lanes_;
+    unsigned beats_;
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_BUS_FRAME_HH

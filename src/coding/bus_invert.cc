@@ -1,0 +1,63 @@
+#include "bus_invert.hh"
+
+#include "common/bitops.hh"
+
+namespace mil
+{
+
+BusFrame
+BusInvertCode::encode(LineView line, WireState &state) const
+{
+    BusFrame frame(lanes(), burstLength());
+    for (unsigned b = 0; b < 8; ++b) {
+        for (unsigned c = 0; c < 8; ++c) {
+            const std::uint8_t data = line[b * 8 + c];
+            std::uint8_t prev = 0;
+            for (unsigned i = 0; i < 8; ++i)
+                prev = static_cast<std::uint8_t>(
+                    setBit(prev, i, state.level(c * 8 + i)));
+            const bool prev_bi = state.level(64 + c);
+
+            // Transitions if sent as-is: data bits that differ from the
+            // wires, plus the BI wire moving to 0 (the "not inverted"
+            // level) if it was 1.
+            const unsigned plain =
+                popcount(static_cast<std::uint8_t>(data ^ prev)) +
+                (prev_bi ? 1u : 0u);
+            const unsigned inverted =
+                popcount(static_cast<std::uint8_t>(~data ^ prev)) +
+                (prev_bi ? 0u : 1u);
+
+            const bool invert = inverted < plain;
+            const std::uint8_t wire =
+                invert ? static_cast<std::uint8_t>(~data) : data;
+            frame.setLaneField(b, c * 8, 8, wire);
+            frame.setBitAt(b, 64 + c, invert);
+
+            for (unsigned i = 0; i < 8; ++i)
+                state.setLevel(c * 8 + i, bit(wire, i));
+            state.setLevel(64 + c, invert);
+        }
+    }
+    return frame;
+}
+
+Line
+BusInvertCode::decode(const BusFrame &frame,
+                      const WireState &pre_state) const
+{
+    (void)pre_state; // Decoding needs only the per-beat BI bits.
+    Line line{};
+    for (unsigned b = 0; b < 8; ++b) {
+        for (unsigned c = 0; c < 8; ++c) {
+            const auto wire = static_cast<std::uint8_t>(
+                frame.laneField(b, c * 8, 8));
+            const bool invert = frame.bitAt(b, 64 + c);
+            line[b * 8 + c] =
+                invert ? static_cast<std::uint8_t>(~wire) : wire;
+        }
+    }
+    return line;
+}
+
+} // namespace mil

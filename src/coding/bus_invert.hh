@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Classic bus-invert (BI) coding (Stan & Burleson, 1995).
+ *
+ * BI is the transition-minimizing predecessor of DBI: each byte group
+ * compares the candidate beat against the *previous* wire levels and
+ * inverts when more than four of the nine wires (eight data plus the
+ * BI wire itself) would toggle. On the unterminated LPDDR3 interface
+ * (Section 2.1.2) this directly halves the worst-case switching energy
+ * without any transition-signaling layer.
+ *
+ * Unlike the other codes, BI is stateful across bursts: encoding
+ * depends on the wire levels left by the previous transfer, so the
+ * encoder takes an explicit WireState.
+ */
+
+#ifndef MIL_CODING_BUS_INVERT_HH
+#define MIL_CODING_BUS_INVERT_HH
+
+#include "coding/bus_frame.hh"
+#include "coding/code.hh"
+
+namespace mil
+{
+
+/** Transition-minimizing bus-invert coding over 72 lanes, burst 8. */
+class BusInvertCode
+{
+  public:
+    unsigned burstLength() const { return 8; }
+    unsigned lanes() const { return 72; }
+
+    /**
+     * Encode @p line given (and updating) the bus wire levels.
+     * The returned frame holds the actual wire levels per beat.
+     */
+    BusFrame encode(LineView line, WireState &state) const;
+
+    /** Recover the line; needs the pre-burst wire levels. */
+    Line decode(const BusFrame &frame, const WireState &pre_state) const;
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_BUS_INVERT_HH

@@ -1,0 +1,182 @@
+#include "cafo.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mil
+{
+
+unsigned
+CafoSquare::zeroCount() const
+{
+    unsigned zeros = 0;
+    for (std::uint8_t r : rows)
+        zeros += zeroCount8(r);
+    // Flags transmit directly with flip == 1: on the zero-heavy data
+    // where flipping is exercised, the flag columns cost nothing
+    // (the same POD-friendly polarity MiLC's mode bits use, keeping
+    // the comparison overhead-matched).
+    zeros += zeroCount8(rowFlags) + zeroCount8(colFlags);
+    return zeros;
+}
+
+namespace
+{
+
+/** Apply the current flags to the original data. */
+std::array<std::uint8_t, 8>
+applyFlags(const std::array<std::uint8_t, 8> &data, std::uint8_t row_flags,
+           std::uint8_t col_flags)
+{
+    std::array<std::uint8_t, 8> out{};
+    for (unsigned i = 0; i < 8; ++i) {
+        std::uint8_t v = data[i];
+        if ((row_flags >> i) & 1)
+            v = static_cast<std::uint8_t>(~v);
+        v = static_cast<std::uint8_t>(v ^ col_flags);
+        out[i] = v;
+    }
+    return out;
+}
+
+/**
+ * One row pass: re-decide every row flag to minimize that row's zeros
+ * (including the flag's own wire cost) given the current column flags.
+ * Returns true when any flag changed.
+ */
+bool
+rowPass(const std::array<std::uint8_t, 8> &data, std::uint8_t &row_flags,
+        std::uint8_t col_flags)
+{
+    bool changed = false;
+    for (unsigned i = 0; i < 8; ++i) {
+        const auto base = static_cast<std::uint8_t>(data[i] ^ col_flags);
+        // An unset flag transmits a 0 (one zero); a set flag is free.
+        const unsigned keep_cost = zeroCount8(base) + 1;
+        const unsigned flip_cost =
+            zeroCount8(static_cast<std::uint8_t>(~base));
+        const bool flip = flip_cost < keep_cost;
+        const bool old = (row_flags >> i) & 1;
+        if (flip != old) {
+            row_flags = static_cast<std::uint8_t>(
+                setBit(row_flags, i, flip));
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** One column pass, symmetric to rowPass. */
+bool
+colPass(const std::array<std::uint8_t, 8> &data, std::uint8_t row_flags,
+        std::uint8_t &col_flags)
+{
+    bool changed = false;
+    for (unsigned j = 0; j < 8; ++j) {
+        // Gather column j after row flips.
+        unsigned zeros = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            bool b = (data[i] >> j) & 1;
+            if ((row_flags >> i) & 1)
+                b = !b;
+            if (!b)
+                ++zeros;
+        }
+        const unsigned keep_cost = zeros + 1;
+        const unsigned flip_cost = 8 - zeros;
+        const bool flip = flip_cost < keep_cost;
+        const bool old = (col_flags >> j) & 1;
+        if (flip != old) {
+            col_flags = static_cast<std::uint8_t>(
+                setBit(col_flags, j, flip));
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+} // anonymous namespace
+
+CafoSquare
+CafoCode::encodeSquare(const std::array<std::uint8_t, 8> &rows,
+                       unsigned passes)
+{
+    std::uint8_t row_flags = 0;
+    std::uint8_t col_flags = 0;
+    const unsigned budget = passes == 0 ? 64 : passes;
+    bool row_turn = true;
+    for (unsigned p = 0; p < budget; ++p) {
+        const bool changed = row_turn
+            ? rowPass(rows, row_flags, col_flags)
+            : colPass(rows, row_flags, col_flags);
+        row_turn = !row_turn;
+        if (passes == 0 && !changed && p > 0)
+            break;
+    }
+
+    CafoSquare sq{};
+    sq.rows = applyFlags(rows, row_flags, col_flags);
+    sq.rowFlags = row_flags;
+    sq.colFlags = col_flags;
+    return sq;
+}
+
+std::array<std::uint8_t, 8>
+CafoCode::decodeSquare(const CafoSquare &square)
+{
+    // Flips are involutive: applying the same flags again restores the
+    // original data.
+    return applyFlags(square.rows, square.rowFlags, square.colFlags);
+}
+
+CafoCode::CafoCode(unsigned passes) : passes_(passes)
+{
+    mil_assert(passes >= 1 && passes <= 16,
+               "CAFO pass budget must be in [1, 16]");
+}
+
+std::string
+CafoCode::name() const
+{
+    return "CAFO" + std::to_string(passes_);
+}
+
+BusFrame
+CafoCode::encode(LineView line) const
+{
+    BusFrame frame(lanes(), burstLength());
+    for (unsigned c = 0; c < 8; ++c) {
+        std::array<std::uint8_t, 8> rows{};
+        for (unsigned j = 0; j < 8; ++j)
+            rows[j] = line[j * 8 + c];
+        const CafoSquare sq = encodeSquare(rows, passes_);
+        for (unsigned j = 0; j < 8; ++j)
+            frame.setLaneField(j, c * 8, 8, sq.rows[j]);
+        // Flags ship directly (flip-active-high polarity).
+        frame.setLaneField(8, c * 8, 8, sq.rowFlags);
+        frame.setLaneField(9, c * 8, 8, sq.colFlags);
+    }
+    return frame;
+}
+
+Line
+CafoCode::decode(const BusFrame &frame) const
+{
+    Line line{};
+    for (unsigned c = 0; c < 8; ++c) {
+        CafoSquare sq{};
+        for (unsigned j = 0; j < 8; ++j)
+            sq.rows[j] = static_cast<std::uint8_t>(
+                frame.laneField(j, c * 8, 8));
+        sq.rowFlags = static_cast<std::uint8_t>(
+            frame.laneField(8, c * 8, 8));
+        sq.colFlags = static_cast<std::uint8_t>(
+            frame.laneField(9, c * 8, 8));
+        const auto rows = decodeSquare(sq);
+        for (unsigned j = 0; j < 8; ++j)
+            line[j * 8 + c] = rows[j];
+    }
+    return line;
+}
+
+} // namespace mil

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CAFO (Cost-Aware Flip Optimization, HPCA 2015) adapted to the MiL
+ * framework as a comparison coding scheme (Sections 2.2 and 7.2).
+ *
+ * CAFO is two-dimensional bus-invert coding: an 8x8 data square is
+ * augmented with 8 row-flip flags and 8 column-flip flags; transmitted
+ * bit (i,j) is d(i,j) ^ row_i ^ col_j. The flags are found by an
+ * iterative alternating search: a row pass greedily re-decides every
+ * row flag given the current column flags, then a column pass does the
+ * converse, until no pass improves the zero count or the iteration
+ * budget is exhausted.
+ *
+ * The iteration count is the scheme's weakness under MiL: each pass
+ * costs one DRAM cycle of encode latency (the paper models CAFOk as
+ * adding k cycles to tCL), and bounding k compromises the zero
+ * reduction. Flag bits follow the DBI polarity convention: a flipped
+ * row/column transmits a 0 flag, so each engaged flip costs one zero.
+ */
+
+#ifndef MIL_CODING_CAFO_HH
+#define MIL_CODING_CAFO_HH
+
+#include <array>
+#include <cstdint>
+
+#include "coding/code.hh"
+
+namespace mil
+{
+
+/** Encoded CAFO square: flipped data plus row/column flag bytes. */
+struct CafoSquare
+{
+    std::array<std::uint8_t, 8> rows; ///< Data after row & column flips.
+    std::uint8_t rowFlags;            ///< Bit i set = row i flipped.
+    std::uint8_t colFlags;            ///< Bit j set = column j flipped.
+
+    /**
+     * Transmitted zeros. Flags ship flip-active-high, so engaging a
+     * flip is free and declining one costs a zero on the flag wire.
+     */
+    unsigned zeroCount() const;
+};
+
+/**
+ * CAFO over the full line with a bounded pass count; same 80-bit/square
+ * (64-lane, burst-10) footprint as MiLC so the comparison is overhead-
+ * matched, as in the paper's evaluation.
+ */
+class CafoCode : public Code
+{
+  public:
+    /** @param passes iteration budget k (CAFO2 -> 2, CAFO4 -> 4). */
+    explicit CafoCode(unsigned passes);
+
+    std::string name() const override;
+    unsigned burstLength() const override { return 10; }
+    unsigned lanes() const override { return 64; }
+    unsigned extraLatency() const override { return passes_; }
+
+    BusFrame encode(LineView line) const override;
+    Line decode(const BusFrame &frame) const override;
+
+    unsigned passes() const { return passes_; }
+
+    /**
+     * Encode one square with at most @p passes alternating passes
+     * (row pass first). @p passes == 0 means iterate to a fixpoint
+     * (the "original CAFO" with data-dependent latency).
+     */
+    static CafoSquare
+    encodeSquare(const std::array<std::uint8_t, 8> &rows, unsigned passes);
+
+    /** Undo the row/column flips. */
+    static std::array<std::uint8_t, 8>
+    decodeSquare(const CafoSquare &square);
+
+  private:
+    unsigned passes_;
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_CAFO_HH

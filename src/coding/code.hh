@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The abstract interface every bus coding scheme implements.
+ *
+ * A Code turns a 64-byte cache line into a BusFrame (the exact bits the
+ * chips drive on the wires) and back. The MiL framework composes Codes:
+ * the memory controller picks which Code each transaction uses based on
+ * the slack it finds on the data bus.
+ */
+
+#ifndef MIL_CODING_CODE_HH
+#define MIL_CODING_CODE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "coding/bus_frame.hh"
+#include "common/types.hh"
+
+namespace mil
+{
+
+/** A decoded cache line. */
+using Line = std::array<std::uint8_t, lineBytes>;
+
+/** Read-only view of a cache line being encoded. */
+using LineView = std::span<const std::uint8_t, lineBytes>;
+
+/**
+ * Abstract bus coding scheme.
+ *
+ * Implementations must be stateless and thread-compatible: encode() and
+ * decode() may be called concurrently from different simulated channels.
+ */
+class Code
+{
+  public:
+    virtual ~Code() = default;
+
+    /** Short scheme name used in reports (e.g. "DBI", "MiLC"). */
+    virtual std::string name() const = 0;
+
+    /** Burst length in data beats (8 for DBI, 10 for MiLC, 16 for LWC). */
+    virtual unsigned burstLength() const = 0;
+
+    /** Physical wires driven during the burst. */
+    virtual unsigned lanes() const = 0;
+
+    /**
+     * Extra DRAM clock cycles of codec latency added to tCL/tCWL
+     * relative to the DBI baseline (Table 4 / Section 4.4).
+     */
+    virtual unsigned extraLatency() const = 0;
+
+    /** Encode @p line into the frame driven on the bus. */
+    virtual BusFrame encode(LineView line) const = 0;
+
+    /** Recover the original line from a received frame. */
+    virtual Line decode(const BusFrame &frame) const = 0;
+
+    /**
+     * Bus occupancy of one transaction in memory-controller clock
+     * cycles. DDR transfers two beats per clock.
+     */
+    unsigned
+    busCycles() const
+    {
+        return (burstLength() + 1) / 2;
+    }
+};
+
+using CodePtr = std::shared_ptr<const Code>;
+
+} // namespace mil
+
+#endif // MIL_CODING_CODE_HH

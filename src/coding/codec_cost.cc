@@ -1,0 +1,214 @@
+#include "codec_cost.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mil
+{
+
+double
+GateCounts::nand2Equivalents() const
+{
+    // Standard-cell complexity weights relative to a NAND2.
+    return 0.6 * inv + 1.0 * nand2 + 2.2 * xor2 + 1.8 * mux2 + 5.5 * ff;
+}
+
+GateCounts &
+GateCounts::operator+=(const GateCounts &o)
+{
+    inv += o.inv;
+    nand2 += o.nand2;
+    xor2 += o.xor2;
+    mux2 += o.mux2;
+    ff += o.ff;
+    return *this;
+}
+
+namespace
+{
+
+/** A combinational 8-input popcount: 4 FAs + 2 HAs + a 3-bit adder. */
+GateCounts
+popcount8()
+{
+    GateCounts g;
+    g.xor2 = 4 * 2 + 2 * 1 + 3 * 2; // FA: 2 XOR, HA: 1 XOR, adder XORs.
+    g.nand2 = 4 * 3 + 2 * 1 + 3 * 3; // Carry logic.
+    return g;
+}
+
+/** A 4-bit magnitude comparator. */
+GateCounts
+compare4()
+{
+    GateCounts g;
+    g.xor2 = 4;
+    g.nand2 = 9;
+    return g;
+}
+
+/** A 4-to-15 one-hot decoder (15 AND4 gates, shared predecoders). */
+GateCounts
+oneHot15()
+{
+    GateCounts g;
+    g.nand2 = 15 * 2 + 6; // Each AND4 ~ 2 gates + predecode.
+    g.inv = 4;
+    return g;
+}
+
+} // anonymous namespace
+
+GateCounts
+CodecCostModel::milcEncoderGates()
+{
+    // One 8x8 square encoder: per Figure 14, each row evaluates four
+    // candidates, counts zeros in each, adds the mode-bit constant,
+    // picks the minimum, and muxes the winning candidate out; the xor
+    // column then passes through the xorbi bus-invert stage.
+    GateCounts g;
+
+    // Candidate generation: rows 1..7 need an 8-bit XOR with the
+    // previous row plus inverted variants; row 0 needs one inverter
+    // rank.
+    g.xor2 += 7 * 8;        // xor-with-previous candidates.
+    g.inv += 7 * 16 + 8;    // inverted and inverted-xor candidates.
+
+    // Zero counting: 4 popcounts for rows 1..7, 2 for row 0.
+    const GateCounts pc = popcount8();
+    for (int i = 0; i < 7 * 4 + 2; ++i)
+        g += pc;
+
+    // Mode-constant addition and 4-way minimum selection per row:
+    // three 4-bit compare+select stages.
+    const GateCounts cmp = compare4();
+    for (int i = 0; i < 8 * 3; ++i)
+        g += cmp;
+    g.mux2 += 8 * 3 * 10;   // Select data (8b) + mode (2b) per stage.
+
+    // xorbi stage: popcount of 7 xor-mode bits, threshold compare,
+    // conditional inversion.
+    g += pc;
+    g += cmp;
+    g.xor2 += 7;
+
+    // Pipeline registers: 64b data in, 80b code out.
+    g.ff += 64 + 80;
+    return g;
+}
+
+GateCounts
+CodecCostModel::milcDecoderGates()
+{
+    // Step 1: conditional inversion of the 8x8 region and the xor
+    // column (XOR with the broadcast bi/xorbi bits); step 2: serial
+    // conditional XOR with the previous decoded row.
+    GateCounts g;
+    g.xor2 += 8 * 8;  // Per-row conditional inversion.
+    g.xor2 += 7;      // xorbi over the xor column.
+    g.xor2 += 7 * 8;  // XOR with previous decoded row.
+    g.mux2 += 7 * 8;  // Select xor-ed vs plain row.
+    g.ff += 80 + 64;  // Code in, data out.
+    return g;
+}
+
+GateCounts
+CodecCostModel::lwcEncoderGates()
+{
+    // One byte encoder (Figure 13): two one-hot generators, a 15-bit
+    // OR merge, and the Table 1 mode-generation logic (nibble zero
+    // detects, equality, magnitude compare).
+    GateCounts g;
+    g += oneHot15();
+    g += oneHot15();
+    g.nand2 += 15;     // OR merge.
+    g.nand2 += 2 * 3;  // Nibble zero detectors.
+    g.xor2 += 4;       // Nibble equality.
+    g += compare4();   // Greater/smaller resolution.
+    g.nand2 += 8;      // Mode select logic.
+    g.inv += 17;       // Output complement (footnote 4).
+    g.ff += 8 + 17;    // Input/output registers.
+    return g;
+}
+
+GateCounts
+CodecCostModel::lwcDecoderGates()
+{
+    // Inverse of Table 1: complement, two 15-to-4 priority encoders
+    // (lowest and second-lowest set bit), weight classification, and
+    // nibble steering.
+    GateCounts g;
+    g.inv += 17;
+    g.nand2 += 2 * 18; // Two priority encoders.
+    g.nand2 += 10;     // Weight-0/1/2 classification.
+    g.mux2 += 8;       // Nibble steering by mode.
+    g.ff += 17 + 8;
+    return g;
+}
+
+double
+CodecCostModel::milcEncoderLevels()
+{
+    // xor candidate (1) + popcount tree (5) + constant add (2) +
+    // two compare/select stages in series (2 x 4) + xorbi popcount
+    // re-use amortized (3).
+    return 19.0;
+}
+
+double
+CodecCostModel::milcDecoderLevels()
+{
+    // The row chain is serial: each of rows 1..7 adds an XOR and a
+    // mux level after the parallel inversion stage.
+    return 1.0 + 7 * 2.9;
+}
+
+double
+CodecCostModel::lwcEncoderLevels()
+{
+    // One-hot decode (3) + OR merge (1) + mode logic (2).
+    return 6.0;
+}
+
+double
+CodecCostModel::lwcDecoderLevels()
+{
+    // Complement (0.5) + priority encode (4) + steering (2.5).
+    return 7.0;
+}
+
+CostEstimate
+CodecCostModel::estimate(const std::string &name, const GateCounts &gates,
+                         double levels) const
+{
+    const double ge = gates.nand2Equivalents();
+    CostEstimate e;
+    e.block = name;
+    e.areaUm2 = ge * tech_.areaPerGateUm2;
+    e.powerMw = ge * tech_.activity * tech_.energyPerGateFj *
+        tech_.clockGhz * 1e-3; // fJ * GHz = uW; /1000 -> mW.
+    e.latencyNs = levels * tech_.delayPerLevelNs;
+    return e;
+}
+
+std::array<CostEstimate, 4>
+CodecCostModel::table4() const
+{
+    return {
+        estimate("MiLC Enc", milcEncoderGates(), milcEncoderLevels()),
+        estimate("MiLC Dec", milcDecoderGates(), milcDecoderLevels()),
+        estimate("3-LWC Enc", lwcEncoderGates(), lwcEncoderLevels()),
+        estimate("3-LWC Dec", lwcDecoderGates(), lwcDecoderLevels()),
+    };
+}
+
+unsigned
+CodecCostModel::extraClockCycles(double clock_period_ns) const
+{
+    double worst = 0.0;
+    for (const auto &row : table4())
+        worst = std::max(worst, row.latencyNs);
+    return static_cast<unsigned>(std::ceil(worst / clock_period_ns));
+}
+
+} // namespace mil

@@ -1,0 +1,84 @@
+#include "dbi.hh"
+
+#include "common/bitops.hh"
+
+namespace mil
+{
+
+/*
+ * Data layout (Figure 12(a)): during beat b, chip c supplies line byte
+ * (b * 8 + c) on lanes [c*8, c*8+8); the chip's DBI pin is lane 64 + c.
+ * Over the 8-beat burst, chip c therefore owns the stride-8 byte column
+ * {c, c+8, ..., c+56} of the cache line.
+ */
+
+std::uint8_t
+DbiCode::encodeByte(std::uint8_t data, bool &dbi_bit)
+{
+    if (zeroCount8(data) >= 5) {
+        dbi_bit = false;
+        return static_cast<std::uint8_t>(~data);
+    }
+    dbi_bit = true;
+    return data;
+}
+
+std::uint8_t
+DbiCode::decodeByte(std::uint8_t wire_byte, bool dbi_bit)
+{
+    return dbi_bit ? wire_byte : static_cast<std::uint8_t>(~wire_byte);
+}
+
+BusFrame
+DbiCode::encode(LineView line) const
+{
+    BusFrame frame(lanes(), burstLength());
+    for (unsigned b = 0; b < 8; ++b) {
+        for (unsigned c = 0; c < 8; ++c) {
+            bool dbi_bit = false;
+            const std::uint8_t wire =
+                encodeByte(line[b * 8 + c], dbi_bit);
+            frame.setLaneField(b, c * 8, 8, wire);
+            frame.setBitAt(b, 64 + c, dbi_bit);
+        }
+    }
+    return frame;
+}
+
+Line
+DbiCode::decode(const BusFrame &frame) const
+{
+    Line line{};
+    for (unsigned b = 0; b < 8; ++b) {
+        for (unsigned c = 0; c < 8; ++c) {
+            const auto wire = static_cast<std::uint8_t>(
+                frame.laneField(b, c * 8, 8));
+            const bool dbi_bit = frame.bitAt(b, 64 + c);
+            line[b * 8 + c] = decodeByte(wire, dbi_bit);
+        }
+    }
+    return line;
+}
+
+BusFrame
+UncodedTransfer::encode(LineView line) const
+{
+    BusFrame frame(lanes(), burstLength());
+    for (unsigned b = 0; b < 8; ++b)
+        for (unsigned c = 0; c < 8; ++c)
+            frame.setLaneField(b, c * 8, 8, line[b * 8 + c]);
+    return frame;
+}
+
+Line
+UncodedTransfer::decode(const BusFrame &frame) const
+{
+    Line line{};
+    for (unsigned b = 0; b < 8; ++b)
+        for (unsigned c = 0; c < 8; ++c)
+            line[b * 8 + c] = static_cast<std::uint8_t>(
+                frame.laneField(b, c * 8, 8));
+    return line;
+}
+
+} // namespace mil

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DDR4 data bus inversion (DBI-DC) coding -- the paper's baseline.
+ *
+ * DBI is applied at byte granularity: each group of eight data pins is
+ * paired with one DBI pin. When a byte contains five or more zeros, its
+ * ones' complement is transmitted with the DBI bit driven to 0;
+ * otherwise the byte is transmitted unchanged with the DBI bit at 1
+ * (Section 2.1.1). The invariant, tested exhaustively, is that every
+ * 9-bit group carries at most four zeros.
+ */
+
+#ifndef MIL_CODING_DBI_HH
+#define MIL_CODING_DBI_HH
+
+#include "coding/code.hh"
+
+namespace mil
+{
+
+/** DDR4 DBI-DC over a 72-lane (64 data + 8 DBI) bus, burst length 8. */
+class DbiCode : public Code
+{
+  public:
+    std::string name() const override { return "DBI"; }
+    unsigned burstLength() const override { return 8; }
+    unsigned lanes() const override { return 72; }
+    unsigned extraLatency() const override { return 0; }
+
+    BusFrame encode(LineView line) const override;
+    Line decode(const BusFrame &frame) const override;
+
+    /**
+     * Encode a single byte: returns the transmitted byte and sets
+     * @p dbi_bit (false means the complement was sent).
+     */
+    static std::uint8_t encodeByte(std::uint8_t data, bool &dbi_bit);
+
+    /** Invert @p wire_byte back to data when @p dbi_bit is false. */
+    static std::uint8_t decodeByte(std::uint8_t wire_byte, bool dbi_bit);
+};
+
+/**
+ * Identity (uncoded) transfer over the 64-lane data bus. Used as the
+ * reference when normalizing zero counts "to the original data" and to
+ * model x4 devices, which do not support DBI.
+ */
+class UncodedTransfer : public Code
+{
+  public:
+    std::string name() const override { return "Uncoded"; }
+    unsigned burstLength() const override { return 8; }
+    unsigned lanes() const override { return 64; }
+    unsigned extraLatency() const override { return 0; }
+
+    BusFrame encode(LineView line) const override;
+    Line decode(const BusFrame &frame) const override;
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_DBI_HH

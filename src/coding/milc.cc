@@ -1,0 +1,164 @@
+#include "milc.hh"
+
+#include "common/bitops.hh"
+
+namespace mil
+{
+
+unsigned
+MilcSquare::zeroCount() const
+{
+    unsigned zeros = 0;
+    for (std::uint8_t r : rows)
+        zeros += zeroCount8(r);
+    zeros += zeroCount8(biColumn);
+    zeros += zeroCount8(xorColumn);
+    return zeros;
+}
+
+MilcSquare
+MilcCode::encodeSquare(const std::array<std::uint8_t, 8> &rows)
+{
+    MilcSquare sq{};
+    std::uint8_t bi_col = 0;
+    std::uint8_t xor_col = 0;
+
+    // Row 0: inverted (inv=1, free) vs original (inv=0, one mode zero).
+    {
+        const std::uint8_t orig = rows[0];
+        const auto inv = static_cast<std::uint8_t>(~orig);
+        if (zeroCount8(inv) <= zeroCount8(orig) + 1) {
+            sq.rows[0] = inv;
+            bi_col |= 1u;
+        } else {
+            sq.rows[0] = orig;
+        }
+    }
+
+    // Rows 1..7: four candidates; cost = data zeros + mode-bit zeros.
+    for (unsigned i = 1; i < 8; ++i) {
+        const std::uint8_t prev = rows[i - 1];
+        const std::uint8_t orig = rows[i];
+        const auto inv = static_cast<std::uint8_t>(~orig);
+        const auto xored = static_cast<std::uint8_t>(orig ^ prev);
+        const auto inv_xored = static_cast<std::uint8_t>(~xored);
+
+        struct Candidate
+        {
+            std::uint8_t value;
+            bool bi;  ///< Inv-mode bit: true = inverted.
+            bool xr;  ///< Xor-mode bit: true = no xor with previous row.
+            unsigned modeZeros;
+        };
+        // Listed in tie-break priority: on equal cost, prefer the
+        // xor-engaged candidate -- its mode zero lands in the xor
+        // column, where the xorbi bus-invert can erase it when the
+        // pattern repeats across rows.
+        const Candidate candidates[4] = {
+            {inv_xored, true, false, 1},
+            {inv, true, true, 0},
+            {orig, false, true, 1},
+            {xored, false, false, 2},
+        };
+
+        unsigned best = 0;
+        unsigned best_cost =
+            zeroCount8(candidates[0].value) + candidates[0].modeZeros;
+        for (unsigned k = 1; k < 4; ++k) {
+            const unsigned cost = zeroCount8(candidates[k].value) +
+                candidates[k].modeZeros;
+            if (cost < best_cost) {
+                best = k;
+                best_cost = cost;
+            }
+        }
+
+        sq.rows[i] = candidates[best].value;
+        if (candidates[best].bi)
+            bi_col |= std::uint8_t{1} << i;
+        if (candidates[best].xr)
+            xor_col |= std::uint8_t{1} << i;
+    }
+
+    // xorbi: DBI over the seven xor mode bits of rows 1..7. Inverting
+    // costs the xorbi bit itself becoming a zero, so invert only when
+    // it strictly pays off (>= 4 zeros among the seven bits).
+    const unsigned xor_zeros = 7 - popcount(xor_col >> 1);
+    if (xor_zeros >= 4) {
+        xor_col = static_cast<std::uint8_t>(~xor_col & 0xFE);
+        // xorbi stays 0.
+    } else {
+        xor_col |= 1u;
+    }
+
+    sq.biColumn = bi_col;
+    sq.xorColumn = xor_col;
+    return sq;
+}
+
+std::array<std::uint8_t, 8>
+MilcCode::decodeSquare(const MilcSquare &square)
+{
+    std::array<std::uint8_t, 8> rows{};
+    std::uint8_t xor_col = square.xorColumn;
+    if (!(xor_col & 1u))
+        xor_col = static_cast<std::uint8_t>(~xor_col & 0xFE);
+
+    for (unsigned i = 0; i < 8; ++i) {
+        const bool inv = (square.biColumn >> i) & 1;
+        std::uint8_t v = square.rows[i];
+        if (inv)
+            v = static_cast<std::uint8_t>(~v);
+        if (i > 0) {
+            const bool no_xor = (xor_col >> i) & 1;
+            if (!no_xor)
+                v = static_cast<std::uint8_t>(v ^ rows[i - 1]);
+        }
+        rows[i] = v;
+    }
+    return rows;
+}
+
+/*
+ * Chip c's square uses rows {line[j*8 + c]} and is shipped on lanes
+ * [c*8, c*8+8): beats 0..7 carry the transformed rows, beat 8 the bi
+ * column, beat 9 the xor column.
+ */
+BusFrame
+MilcCode::encode(LineView line) const
+{
+    BusFrame frame(lanes(), burstLength());
+    for (unsigned c = 0; c < 8; ++c) {
+        std::array<std::uint8_t, 8> rows{};
+        for (unsigned j = 0; j < 8; ++j)
+            rows[j] = line[j * 8 + c];
+        const MilcSquare sq = encodeSquare(rows);
+        for (unsigned j = 0; j < 8; ++j)
+            frame.setLaneField(j, c * 8, 8, sq.rows[j]);
+        frame.setLaneField(8, c * 8, 8, sq.biColumn);
+        frame.setLaneField(9, c * 8, 8, sq.xorColumn);
+    }
+    return frame;
+}
+
+Line
+MilcCode::decode(const BusFrame &frame) const
+{
+    Line line{};
+    for (unsigned c = 0; c < 8; ++c) {
+        MilcSquare sq{};
+        for (unsigned j = 0; j < 8; ++j)
+            sq.rows[j] = static_cast<std::uint8_t>(
+                frame.laneField(j, c * 8, 8));
+        sq.biColumn = static_cast<std::uint8_t>(
+            frame.laneField(8, c * 8, 8));
+        sq.xorColumn = static_cast<std::uint8_t>(
+            frame.laneField(9, c * 8, 8));
+        const auto rows = decodeSquare(sq);
+        for (unsigned j = 0; j < 8; ++j)
+            line[j * 8 + c] = rows[j];
+    }
+    return line;
+}
+
+} // namespace mil

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MiLC -- the "More is Less Code" proposed by the paper (Section 4.3.2).
+ *
+ * Each 64-bit block of the line is laid out as an 8x8 square. Every
+ * 8-bit row is replaced by the best of four candidates (Figure 10):
+ *
+ *   (inv, xor) = (1,1): the inverted row
+ *   (inv, xor) = (1,0): the inverted XOR with the previous original row
+ *   (inv, xor) = (0,1): the original row
+ *   (inv, xor) = (0,0): the row XORed with the previous *original* row
+ *
+ * "Best" minimizes transmitted zeros including the mode bits' own
+ * contribution (the per-candidate constants of Figure 14). The mode
+ * polarity is chosen for the POD bus: on the data where coding pays
+ * off -- zero-heavy or row-correlated values -- the winning candidates
+ * are the two *inverting* modes, so those transmit a 1 in the inv-mode
+ * column and the column costs nothing precisely when it is exercised
+ * the most. Row 0 has no previous row; it only chooses between
+ * original and inverted, and its xor-column slot carries the *xorbi*
+ * bit, which bus-inverts the other seven xor mode bits of the square
+ * (the gray bit in Figure 10).
+ *
+ * A square therefore becomes 80 bits: the 8x8 transformed data plus a
+ * bi column and an xor column. A 512-bit line maps to 8 squares = 640
+ * bits = 64 lanes x 10 beats; each x8 chip encodes its own stride-8
+ * byte column and ships its square on its own lanes over 10 beats.
+ */
+
+#ifndef MIL_CODING_MILC_HH
+#define MIL_CODING_MILC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "coding/code.hh"
+
+namespace mil
+{
+
+/** The 80-bit encoded image of one 8x8 square. */
+struct MilcSquare
+{
+    std::array<std::uint8_t, 8> rows; ///< Transformed data rows.
+    std::uint8_t biColumn;            ///< Row i's bi bit at bit i.
+    std::uint8_t xorColumn;           ///< Bit 0 is xorbi; bits 1..7 are
+                                      ///< the (possibly inverted) xor
+                                      ///< mode bits of rows 1..7.
+
+    /** Transmitted zeros in this square's 80 bits. */
+    unsigned zeroCount() const;
+};
+
+/** MiLC over the full line: 64 lanes, burst length 10. */
+class MilcCode : public Code
+{
+  public:
+    std::string name() const override { return "MiLC"; }
+    unsigned burstLength() const override { return 10; }
+    unsigned lanes() const override { return 64; }
+    unsigned extraLatency() const override { return 1; }
+
+    BusFrame encode(LineView line) const override;
+    Line decode(const BusFrame &frame) const override;
+
+    /** Encode one 8-row square (rows are original data bytes). */
+    static MilcSquare encodeSquare(const std::array<std::uint8_t, 8> &rows);
+
+    /** Decode one square back to its original rows. */
+    static std::array<std::uint8_t, 8>
+    decodeSquare(const MilcSquare &square);
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_MILC_HH

@@ -1,0 +1,113 @@
+#include "perfect_lwc.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+/** Generator polynomial of the [23,12] Golay code:
+ *  g(x) = x^11 + x^10 + x^6 + x^5 + x^4 + x^2 + 1. */
+constexpr std::uint32_t golayGen = 0xC75;
+
+} // anonymous namespace
+
+std::uint32_t
+GolayCoset::syndrome(std::uint32_t vector23)
+{
+    // Reduce v(x) modulo g(x) over GF(2).
+    std::uint32_t v = vector23 & 0x7FFFFF;
+    for (int bit = 22; bit >= 11; --bit) {
+        if (v & (std::uint32_t{1} << bit))
+            v ^= golayGen << (bit - 11);
+    }
+    return v & 0x7FF;
+}
+
+GolayCoset::GolayCoset()
+{
+    std::array<bool, 2048> filled{};
+    leaders_.fill(0);
+
+    auto place = [&](std::uint32_t vec) {
+        const std::uint32_t s = syndrome(vec);
+        mil_assert(!filled[s],
+                   "two weight<=3 vectors share syndrome 0x%x", s);
+        filled[s] = true;
+        leaders_[s] = vec;
+    };
+
+    place(0);
+    for (unsigned i = 0; i < 23; ++i)
+        place(std::uint32_t{1} << i);
+    for (unsigned i = 0; i < 23; ++i)
+        for (unsigned j = i + 1; j < 23; ++j)
+            place((std::uint32_t{1} << i) | (std::uint32_t{1} << j));
+    for (unsigned i = 0; i < 23; ++i)
+        for (unsigned j = i + 1; j < 23; ++j)
+            for (unsigned k = j + 1; k < 23; ++k)
+                place((std::uint32_t{1} << i) |
+                      (std::uint32_t{1} << j) |
+                      (std::uint32_t{1} << k));
+
+    for (bool f : filled)
+        mil_assert(f, "Golay coset table incomplete");
+}
+
+BusFrame
+PerfectLwcCode::encode(LineView line) const
+{
+    BusFrame frame(lanes(), burstLength());
+    std::uint64_t bitpos = 0; // Position in the 512-bit data stream.
+    std::uint64_t out = 0;
+
+    auto data_bit = [&](std::uint64_t k) {
+        return k < lineBits
+            ? ((line[k / 8] >> (k % 8)) & 1) != 0
+            : false; // Zero padding past the line.
+    };
+
+    for (unsigned sym = 0; sym < 47; ++sym) {
+        std::uint32_t datum = 0;
+        for (unsigned b = 0; b < 11; ++b)
+            datum = static_cast<std::uint32_t>(
+                setBit(datum, b, data_bit(bitpos + b)));
+        bitpos += 11;
+        const std::uint32_t wire =
+            ~coset_.encode(datum) & 0x7FFFFF; // Complement for POD.
+        for (unsigned t = 0; t < 23; ++t)
+            frame.setLinearBit(out++, bit(wire, t));
+    }
+    // Idle-high filler in the last 7 frame bits.
+    while (out < frame.totalBits())
+        frame.setLinearBit(out++, true);
+    return frame;
+}
+
+Line
+PerfectLwcCode::decode(const BusFrame &frame) const
+{
+    Line line{};
+    std::uint64_t bitpos = 0;
+    std::uint64_t in = 0;
+    for (unsigned sym = 0; sym < 47; ++sym) {
+        std::uint32_t wire = 0;
+        for (unsigned t = 0; t < 23; ++t)
+            wire = static_cast<std::uint32_t>(
+                setBit(wire, t, frame.linearBit(in++)));
+        const std::uint32_t datum =
+            GolayCoset::syndrome(~wire & 0x7FFFFF);
+        for (unsigned b = 0; b < 11 && bitpos + b < lineBits; ++b) {
+            if (bit(datum, b))
+                line[(bitpos + b) / 8] |= std::uint8_t{1}
+                    << ((bitpos + b) % 8);
+        }
+        bitpos += 11;
+    }
+    return line;
+}
+
+} // namespace mil

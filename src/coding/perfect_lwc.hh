@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The perfect 3-limited-weight code (Stan & Zhang, PATMOS 2004),
+ * cited by the paper in Section 2.2 as the dual of the binary Golay
+ * code: 11 data bits map to a 23-bit codeword of Hamming weight at
+ * most 3.
+ *
+ * Construction: the [23,12,7] binary Golay code partitions F_2^23
+ * into 2^11 cosets, and because its covering radius is 3 (it is a
+ * perfect code), every coset has a *unique* leader of weight <= 3 --
+ * there are exactly 1 + 23 + C(23,2) + C(23,3) = 2048 = 2^11 such
+ * vectors. Encoding sends the 11-bit datum to the leader of the coset
+ * whose syndrome equals the datum; decoding is a syndrome
+ * computation (a polynomial reduction), which is why the paper calls
+ * the scheme algorithmically cheap.
+ *
+ * Against the (8,17) 3-LWC, the rate improves from 8/17 to 11/23 at
+ * the same <= 3 zeros per codeword, so under MiL it is a strictly
+ * better long code at the *same* burst length of 16 -- one of the
+ * "better sparse coding schemes" the paper leaves for future work.
+ * This module is an extension beyond the paper's evaluated design.
+ */
+
+#ifndef MIL_CODING_PERFECT_LWC_HH
+#define MIL_CODING_PERFECT_LWC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "coding/code.hh"
+
+namespace mil
+{
+
+/** The (11,23) perfect 3-LWC symbol codec. */
+class GolayCoset
+{
+  public:
+    GolayCoset();
+
+    /** Weight-<=3 coset leader for an 11-bit datum (pre-complement). */
+    std::uint32_t
+    encode(std::uint32_t data11) const
+    {
+        return leaders_[data11 & 0x7FF];
+    }
+
+    /** Syndrome of a 23-bit vector = the 11-bit datum. */
+    static std::uint32_t syndrome(std::uint32_t vector23);
+
+  private:
+    std::array<std::uint32_t, 2048> leaders_;
+};
+
+/**
+ * Perfect 3-LWC over the line: 512 data bits are consumed 11 at a
+ * time (47 symbols, the last padded), producing 47 x 23 = 1081 wire
+ * bits -- fitting the very same 68-lane x 16-beat frame as the
+ * (8,17) 3-LWC, so it drops into MiL's long-code slot unchanged.
+ * Codewords are complemented for the POD bus (<= 3 zeros each).
+ */
+class PerfectLwcCode : public Code
+{
+  public:
+    std::string name() const override { return "P3-LWC"; }
+    unsigned burstLength() const override { return 16; }
+    unsigned lanes() const override { return 68; }
+    unsigned extraLatency() const override { return 1; }
+
+    BusFrame encode(LineView line) const override;
+    Line decode(const BusFrame &frame) const override;
+
+  private:
+    GolayCoset coset_;
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_PERFECT_LWC_HH

@@ -1,0 +1,125 @@
+#include "static_lwc.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+/**
+ * Enumerate the 256 n-bit codewords of highest Hamming weight, in
+ * descending weight order (ties broken by numeric value for
+ * determinism).
+ */
+std::vector<std::uint32_t>
+sparsestCodewords(unsigned n)
+{
+    std::vector<std::uint32_t> words;
+    words.reserve(256);
+    // Walk weights from n down; generate all words of each weight via
+    // the standard combination enumeration.
+    for (unsigned weight = n; words.size() < 256; --weight) {
+        // Combinations of positions of the (n - weight) zero bits.
+        const unsigned zeros = n - weight;
+        std::vector<unsigned> idx(zeros);
+        std::iota(idx.begin(), idx.end(), 0);
+        const std::uint32_t all_ones =
+            n >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << n) - 1);
+        while (true) {
+            std::uint32_t w = all_ones;
+            for (unsigned p : idx)
+                w &= ~(std::uint32_t{1} << p);
+            words.push_back(w);
+            if (words.size() == 256)
+                break;
+            // Next combination.
+            int i = static_cast<int>(zeros) - 1;
+            while (i >= 0 &&
+                   idx[static_cast<unsigned>(i)] ==
+                       n - zeros + static_cast<unsigned>(i)) {
+                --i;
+            }
+            if (i < 0)
+                break;
+            ++idx[static_cast<unsigned>(i)];
+            for (unsigned j = static_cast<unsigned>(i) + 1; j < zeros; ++j)
+                idx[j] = idx[j - 1] + 1;
+        }
+        if (weight == 0)
+            break;
+    }
+    mil_assert(words.size() == 256,
+               "code width %u cannot host 256 codewords", n);
+    return words;
+}
+
+} // anonymous namespace
+
+StaticLwcCodebook::StaticLwcCodebook(
+    std::span<const std::uint64_t, 256> freq, unsigned code_bits)
+    : codeBits_(code_bits)
+{
+    mil_assert(code_bits >= 8 && code_bits <= 24,
+               "static LWC width %u out of range", code_bits);
+
+    // Patterns sorted by descending frequency (ties by value).
+    std::array<unsigned, 256> order{};
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return freq[a] > freq[b];
+                     });
+
+    const auto words = sparsestCodewords(code_bits);
+    decodeTable_.reserve(256);
+    for (unsigned rank = 0; rank < 256; ++rank) {
+        const auto pattern = static_cast<std::uint8_t>(order[rank]);
+        encodeTable_[pattern] = words[rank];
+        zerosTable_[pattern] = static_cast<std::uint8_t>(
+            code_bits - popcount(words[rank]));
+        decodeTable_.emplace_back(words[rank], pattern);
+    }
+    std::sort(decodeTable_.begin(), decodeTable_.end());
+}
+
+std::uint8_t
+StaticLwcCodebook::decode(std::uint32_t codeword) const
+{
+    const auto it = std::lower_bound(
+        decodeTable_.begin(), decodeTable_.end(),
+        std::make_pair(codeword, std::uint8_t{0}),
+        [](const auto &a, const auto &b) { return a.first < b.first; });
+    mil_assert(it != decodeTable_.end() && it->first == codeword,
+               "codeword 0x%x is not in the book", codeword);
+    return it->second;
+}
+
+double
+StaticLwcCodebook::expectedZerosPerByte(
+    std::span<const std::uint64_t, 256> freq) const
+{
+    std::uint64_t total = 0;
+    double weighted = 0.0;
+    for (unsigned p = 0; p < 256; ++p) {
+        total += freq[p];
+        weighted += static_cast<double>(freq[p]) * zerosTable_[p];
+    }
+    return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+std::uint64_t
+PatternHistogram::total() const
+{
+    std::uint64_t t = 0;
+    for (auto c : counts_)
+        t += c;
+    return t;
+}
+
+} // namespace mil

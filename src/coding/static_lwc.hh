@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Optimal static (8,n) limited-weight codebooks for the Figure 7
+ * potential study.
+ *
+ * "(8,n) denotes an LWC which optimally encodes an 8-bit data pattern
+ * into an n-bit code according to the frequency of different data
+ * patterns." Given the empirical frequency of the 256 byte patterns in
+ * a data stream, the optimal static code assigns the n-bit codewords in
+ * descending Hamming weight (fewest transmitted zeros first) to the
+ * patterns in descending frequency. No algorithmic structure is
+ * imposed -- this is the information-theoretic best case for any static
+ * byte-granularity code of width n, which is exactly what the paper
+ * uses to size the remaining headroom beyond DBI.
+ */
+
+#ifndef MIL_CODING_STATIC_LWC_HH
+#define MIL_CODING_STATIC_LWC_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mil
+{
+
+/** An optimal static (8,n) codebook built from a pattern histogram. */
+class StaticLwcCodebook
+{
+  public:
+    /**
+     * Build the codebook.
+     *
+     * @param freq      occurrence count per 8-bit pattern.
+     * @param code_bits codeword width n, 8 <= n <= 24.
+     */
+    StaticLwcCodebook(std::span<const std::uint64_t, 256> freq,
+                      unsigned code_bits);
+
+    unsigned codeBits() const { return codeBits_; }
+
+    /** Codeword for @p pattern. */
+    std::uint32_t encode(std::uint8_t pattern) const
+    {
+        return encodeTable_[pattern];
+    }
+
+    /** Pattern for @p codeword; must be a codeword in the book. */
+    std::uint8_t decode(std::uint32_t codeword) const;
+
+    /** Transmitted zeros for @p pattern's codeword. */
+    unsigned zeros(std::uint8_t pattern) const
+    {
+        return zerosTable_[pattern];
+    }
+
+    /**
+     * Expected transmitted zeros per byte under the build-time
+     * frequency distribution.
+     */
+    double expectedZerosPerByte(std::span<const std::uint64_t, 256> freq)
+        const;
+
+  private:
+    unsigned codeBits_;
+    std::array<std::uint32_t, 256> encodeTable_{};
+    std::array<std::uint8_t, 256> zerosTable_{};
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> decodeTable_;
+};
+
+/** Accumulates the byte-pattern histogram of a data stream. */
+class PatternHistogram
+{
+  public:
+    void
+    add(std::span<const std::uint8_t> data)
+    {
+        for (std::uint8_t b : data)
+            ++counts_[b];
+    }
+
+    std::span<const std::uint64_t, 256>
+    counts() const
+    {
+        return std::span<const std::uint64_t, 256>(counts_);
+    }
+
+    std::uint64_t total() const;
+
+  private:
+    std::array<std::uint64_t, 256> counts_{};
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_STATIC_LWC_HH

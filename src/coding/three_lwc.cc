@@ -1,0 +1,162 @@
+#include "three_lwc.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+/** One-hot encode a nibble: 0 -> all-zeros, v -> bit (v-1). */
+std::uint32_t
+oneHot15(unsigned nibble)
+{
+    return nibble == 0 ? 0u : (std::uint32_t{1} << (nibble - 1));
+}
+
+/** Invert oneHot15: all-zeros -> 0, bit p -> p+1. */
+unsigned
+fromOneHot15(std::uint32_t oh)
+{
+    if (oh == 0)
+        return 0;
+    unsigned pos = 0;
+    while (!((oh >> pos) & 1))
+        ++pos;
+    return pos + 1;
+}
+
+} // anonymous namespace
+
+/*
+ * Mode assignment (Table 1). "Left" is the high nibble, "right" the low
+ * nibble. The shared mode 00 cases are disambiguated by code weight:
+ *
+ *   mode 00, code weight 0: left = right = 0
+ *   mode 01, code weight 1: left = right = v (same nonzero nibble)
+ *   mode 00, code weight 1: left = v, right = 0
+ *   mode 10, code weight 1: left = 0, right = v
+ *   mode 10, code weight 2: left is the greater nibble
+ *   mode 00, code weight 2: left is the smaller nibble
+ */
+Lwc17
+ThreeLwcCode::encodeByte(std::uint8_t data)
+{
+    const unsigned left = (data >> 4) & 0xF;
+    const unsigned right = data & 0xF;
+    const std::uint32_t l = oneHot15(left);
+    const std::uint32_t r = oneHot15(right);
+    Lwc17 enc{l | r, 0};
+
+    if (left == 0 && right == 0) {
+        enc.mode = 0b00;
+    } else if (left == right) {
+        enc.mode = 0b01;
+    } else if (right == 0) {
+        enc.mode = 0b00;
+    } else if (left == 0) {
+        enc.mode = 0b10;
+    } else {
+        enc.mode = left > right ? 0b10 : 0b00;
+    }
+    return enc;
+}
+
+std::uint8_t
+ThreeLwcCode::decodeByte(const Lwc17 &enc)
+{
+    const unsigned weight = popcount(enc.code);
+    unsigned left = 0;
+    unsigned right = 0;
+
+    switch (weight) {
+      case 0:
+        mil_assert(enc.mode == 0b00, "weight-0 code must use mode 00");
+        break;
+      case 1: {
+        const unsigned v = fromOneHot15(enc.code);
+        if (enc.mode == 0b01) {
+            left = right = v;
+        } else if (enc.mode == 0b00) {
+            left = v;
+        } else if (enc.mode == 0b10) {
+            right = v;
+        } else {
+            mil_panic("invalid 3-LWC mode %u for weight-1 code", enc.mode);
+        }
+        break;
+      }
+      case 2: {
+        // Find the two set positions: small p, large q.
+        std::uint32_t c = enc.code;
+        const unsigned p = fromOneHot15(c & (~c + 1));
+        c &= c - 1;
+        const unsigned q = fromOneHot15(c & (~c + 1));
+        if (enc.mode == 0b10) {
+            left = q;
+            right = p;
+        } else if (enc.mode == 0b00) {
+            left = p;
+            right = q;
+        } else {
+            mil_panic("invalid 3-LWC mode %u for weight-2 code", enc.mode);
+        }
+        break;
+      }
+      default:
+        mil_panic("3-LWC codeword weight %u exceeds 2", weight);
+    }
+    return static_cast<std::uint8_t>((left << 4) | right);
+}
+
+std::uint8_t
+ThreeLwcCode::decodeWire(std::uint32_t wire_bits)
+{
+    const std::uint32_t raw = ~wire_bits & 0x1FFFFu;
+    Lwc17 enc{raw & 0x7FFFu, static_cast<std::uint8_t>((raw >> 15) & 0x3u)};
+    return decodeByte(enc);
+}
+
+/*
+ * Frame layout: chip c owns the stride-8 byte column {j*8 + c}; its
+ * eight 17-bit codewords are streamed in order into a per-chip region
+ * of the linearized (68-lane x 16-beat) frame. The abstract linear
+ * placement preserves total bit counts exactly; the physical pin-level
+ * serialization within a chip does not affect the POD (zero-count)
+ * energy model and only marginally affects the transition model.
+ */
+BusFrame
+ThreeLwcCode::encode(LineView line) const
+{
+    BusFrame frame(lanes(), burstLength());
+    std::uint64_t pos = 0;
+    for (unsigned c = 0; c < 8; ++c) {
+        for (unsigned j = 0; j < 8; ++j) {
+            const std::uint32_t wire = encodeByte(line[j * 8 + c])
+                .wireBits();
+            for (unsigned t = 0; t < 17; ++t)
+                frame.setLinearBit(pos++, bit(wire, t));
+        }
+    }
+    return frame;
+}
+
+Line
+ThreeLwcCode::decode(const BusFrame &frame) const
+{
+    Line line{};
+    std::uint64_t pos = 0;
+    for (unsigned c = 0; c < 8; ++c) {
+        for (unsigned j = 0; j < 8; ++j) {
+            std::uint32_t wire = 0;
+            for (unsigned t = 0; t < 17; ++t)
+                wire = setBit(wire, t, frame.linearBit(pos++));
+            line[j * 8 + c] = decodeWire(wire);
+        }
+    }
+    return line;
+}
+
+} // namespace mil

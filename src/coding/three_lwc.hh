@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The (8,17) 3-limited-weight code with the paper's improved mode table.
+ *
+ * Each data byte is split into two nibbles, each nibble is one-hot
+ * encoded into 15 bits (value 0 maps to all-zeros, value v>0 sets bit
+ * v-1), the two one-hot vectors are ORed into a single 15-bit code, and
+ * a 2-bit mode disambiguates the merge (Table 1). The paper's
+ * improvement reassigns mode values so that different structural cases
+ * share mode 00 whenever the code's weight already distinguishes them,
+ * which lowers the worst-case zero count of the mode bits.
+ *
+ * The LWC proper bounds the number of ONES at three; because the DDR4
+ * POD interface charges for zeros, the *transmitted* form is the ones'
+ * complement of (code, mode), bounding transmitted zeros at three per
+ * 17 bits (footnote 4 of the paper).
+ */
+
+#ifndef MIL_CODING_THREE_LWC_HH
+#define MIL_CODING_THREE_LWC_HH
+
+#include <cstdint>
+
+#include "coding/code.hh"
+
+namespace mil
+{
+
+/** One encoded byte: 15-bit code plus 2-bit mode, pre-complement. */
+struct Lwc17
+{
+    std::uint32_t code; ///< 15-bit merged one-hot code (bits 0..14).
+    std::uint8_t mode;  ///< 2-bit mode per Table 1.
+
+    /** The 17 bits actually driven on the wires (complemented). */
+    std::uint32_t
+    wireBits() const
+    {
+        const std::uint32_t raw = code | (std::uint32_t{mode} << 15);
+        return ~raw & 0x1FFFFu;
+    }
+};
+
+/**
+ * The (8,17) 3-LWC applied per byte across the line; 512 data bits
+ * become 1088 wire bits carried on 68 lanes (the 64 data lanes plus
+ * four repurposed DBI pins) over a burst of 16 (Section 5.2.1).
+ */
+class ThreeLwcCode : public Code
+{
+  public:
+    std::string name() const override { return "3-LWC"; }
+    unsigned burstLength() const override { return 16; }
+    unsigned lanes() const override { return 68; }
+    unsigned extraLatency() const override { return 1; }
+
+    BusFrame encode(LineView line) const override;
+    Line decode(const BusFrame &frame) const override;
+
+    /** Encode one byte to its 17-bit (code, mode) form. */
+    static Lwc17 encodeByte(std::uint8_t data);
+
+    /** Decode a 17-bit (code, mode) form back to the byte. */
+    static std::uint8_t decodeByte(const Lwc17 &enc);
+
+    /** Decode from the complemented wire image. */
+    static std::uint8_t decodeWire(std::uint32_t wire_bits);
+
+    /** Zeros on the wire for one encoded byte (at most 3). */
+    static unsigned
+    wireZeros(const Lwc17 &enc)
+    {
+        return 17 - popcount(enc.wireBits());
+    }
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_THREE_LWC_HH

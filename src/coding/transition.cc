@@ -1,0 +1,53 @@
+#include "transition.hh"
+
+namespace mil
+{
+
+bool
+TransitionSignaling::togglesOn(bool logical_bit) const
+{
+    return polarity_ == FlipOn::One ? logical_bit : !logical_bit;
+}
+
+BusFrame
+TransitionSignaling::encode(const BusFrame &logical)
+{
+    BusFrame wire(logical.lanes(), logical.beats());
+    for (unsigned b = 0; b < logical.beats(); ++b) {
+        for (unsigned l = 0; l < logical.lanes(); ++l) {
+            bool level = state_.level(l);
+            if (togglesOn(logical.bitAt(b, l)))
+                level = !level;
+            wire.setBitAt(b, l, level);
+            state_.setLevel(l, level);
+        }
+    }
+    return wire;
+}
+
+BusFrame
+TransitionSignaling::decode(const BusFrame &wire_levels)
+{
+    BusFrame logical(wire_levels.lanes(), wire_levels.beats());
+    for (unsigned b = 0; b < wire_levels.beats(); ++b) {
+        for (unsigned l = 0; l < wire_levels.lanes(); ++l) {
+            const bool prev = state_.level(l);
+            const bool now = wire_levels.bitAt(b, l);
+            const bool toggled = prev != now;
+            const bool logical_bit =
+                polarity_ == FlipOn::One ? toggled : !toggled;
+            logical.setBitAt(b, l, logical_bit);
+            state_.setLevel(l, now);
+        }
+    }
+    return logical;
+}
+
+void
+TransitionSignaling::reset()
+{
+    for (unsigned l = 0; l < state_.lanes(); ++l)
+        state_.setLevel(l, false);
+}
+
+} // namespace mil

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Transition signaling for the unterminated LPDDR3 interface
+ * (Sections 2.1.2, 4.5, 5.3).
+ *
+ * Level signaling maps logic values to wire voltages, so the energy of
+ * an unterminated bus depends on consecutive-beat correlations.
+ * Transition signaling instead maps one logic value to "toggle the
+ * wire" and the other to "hold the wire", which makes the flip count --
+ * and therefore the energy -- a function of the codeword alone.
+ *
+ * The sparse codes in this project maximize transmitted ones, so the
+ * energy-optimal convention is flip-on-ZERO: the number of wire flips
+ * equals the number of zeros in the codeword, and every minimize-zeros
+ * code becomes directly applicable to LPDDR3 (paper Section 2.1.2:
+ * "transition signaling can make the number of bit flips on the bus
+ * equal to the number of transmitted zeroes"). The implementation is
+ * the XOR accumulator of Figure 15 with an inverter on the data input.
+ */
+
+#ifndef MIL_CODING_TRANSITION_HH
+#define MIL_CODING_TRANSITION_HH
+
+#include "coding/bus_frame.hh"
+
+namespace mil
+{
+
+/** Which logic value toggles the wire. */
+enum class FlipOn
+{
+    Zero, ///< Zeros toggle; flips == zero count (used with sparse codes).
+    One,  ///< Ones toggle; flips == one count (plain Figure 15 circuit).
+};
+
+/**
+ * Stateful per-wire transition signaling codec. One instance models
+ * the encoder/decoder pair on a channel; the wire registers persist
+ * across bursts exactly as the flip-flops in Figure 15 do.
+ */
+class TransitionSignaling
+{
+  public:
+    explicit TransitionSignaling(unsigned lanes, FlipOn polarity)
+        : state_(lanes), polarity_(polarity)
+    {}
+
+    /**
+     * Convert a logical frame into the wire-level frame actually
+     * driven, updating the per-wire registers.
+     */
+    BusFrame encode(const BusFrame &logical);
+
+    /**
+     * Recover the logical frame from observed wire levels. The
+     * decoder keeps its own wire registers; with a connected channel
+     * they track the encoder's.
+     */
+    BusFrame decode(const BusFrame &wire_levels);
+
+    /** Reset all wire registers to 0. */
+    void reset();
+
+    const WireState &state() const { return state_; }
+
+  private:
+    bool togglesOn(bool logical_bit) const;
+
+    WireState state_;
+    FlipOn polarity_;
+};
+
+} // namespace mil
+
+#endif // MIL_CODING_TRANSITION_HH

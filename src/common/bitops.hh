@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the coding and DRAM models.
+ */
+
+#ifndef MIL_COMMON_BITOPS_HH
+#define MIL_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace mil
+{
+
+/** Number of 1 bits in @p v. */
+inline unsigned
+popcount(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Number of 0 bits in the low @p width bits of @p v. */
+inline unsigned
+zeroCount(std::uint64_t v, unsigned width)
+{
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return width - popcount(v & mask);
+}
+
+/** Number of 0 bits in a byte. */
+inline unsigned
+zeroCount8(std::uint8_t v)
+{
+    return 8 - popcount(v);
+}
+
+/** Extract bit @p pos (0 = LSB) of @p v. */
+inline bool
+bit(std::uint64_t v, unsigned pos)
+{
+    return (v >> pos) & 1;
+}
+
+/** Return @p v with bit @p pos set to @p value. */
+inline std::uint64_t
+setBit(std::uint64_t v, unsigned pos, bool value)
+{
+    const std::uint64_t mask = std::uint64_t{1} << pos;
+    return value ? (v | mask) : (v & ~mask);
+}
+
+/** Extract bits [lo, lo+width) of @p v, right-aligned. */
+inline std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Insert @p field into bits [lo, lo+width) of @p v. */
+inline std::uint64_t
+insertBits(std::uint64_t v, unsigned lo, unsigned width, std::uint64_t field)
+{
+    const std::uint64_t mask =
+        (width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1))
+        << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+/** Count zero bits over a byte buffer. */
+inline std::uint64_t
+zeroCountBytes(std::span<const std::uint8_t> data)
+{
+    std::uint64_t zeros = 0;
+    for (std::uint8_t b : data)
+        zeros += zeroCount8(b);
+    return zeros;
+}
+
+/** Count one bits over a byte buffer. */
+inline std::uint64_t
+oneCountBytes(std::span<const std::uint8_t> data)
+{
+    return data.size() * 8 - zeroCountBytes(data);
+}
+
+/** Load a little-endian 64-bit word from @p p. */
+inline std::uint64_t
+load64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+/** Store a little-endian 64-bit word to @p p. */
+inline void
+store64(std::uint8_t *p, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** True when @p v is a power of two (and nonzero). */
+inline bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be nonzero. */
+inline unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63 - static_cast<unsigned>(std::countl_zero(v));
+}
+
+} // namespace mil
+
+#endif // MIL_COMMON_BITOPS_HH

@@ -1,0 +1,84 @@
+#include "histogram.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace mil
+{
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0)
+{
+    mil_assert(!bounds_.empty(), "histogram needs at least one bound");
+    mil_assert(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must ascend");
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    sample(value, 1);
+}
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t weight)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - bounds_.begin());
+    counts_[idx] += weight;
+    total_ += weight;
+    sum_ += static_cast<double>(value) * static_cast<double>(weight);
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+std::string
+Histogram::label(std::size_t i) const
+{
+    mil_assert(i < counts_.size(), "bucket index out of range");
+    if (i == bounds_.size())
+        return ">" + std::to_string(bounds_.back());
+    const std::uint64_t hi = bounds_[i];
+    const std::uint64_t lo = i == 0 ? 0 : bounds_[i - 1] + 1;
+    if (lo >= hi)
+        return std::to_string(hi);
+    return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(total_);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    mil_assert(bounds_ == other.bounds_,
+               "cannot merge histograms with different buckets");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace mil

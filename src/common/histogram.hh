@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bucketed histograms for bus idle-gap and slack distributions.
+ */
+
+#ifndef MIL_COMMON_HISTOGRAM_HH
+#define MIL_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mil
+{
+
+/**
+ * A histogram over explicit, caller-supplied bucket upper bounds.
+ *
+ * Buckets are half-open intervals: with bounds {0, 2, 8}, the buckets
+ * are [min,0], (0,2], (2,8], and an implicit overflow bucket (8, inf).
+ * This matches the bucketings used by the paper's Figures 4 and 6
+ * (e.g. 0 cycles, 1-2 cycles, 3-8 cycles, >8 cycles).
+ */
+class Histogram
+{
+  public:
+    /** @param upper_bounds ascending inclusive upper bounds per bucket. */
+    explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    /** Record @p weight samples of the same value. */
+    void sample(std::uint64_t value, std::uint64_t weight);
+
+    /** Number of buckets, including the overflow bucket. */
+    std::size_t size() const { return counts_.size(); }
+
+    /** Raw count in bucket @p i. */
+    std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** Total number of samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bucket @p i (0 when empty). */
+    double fraction(std::size_t i) const;
+
+    /** Human-readable label for bucket @p i, e.g. "3-8" or ">8". */
+    std::string label(std::size_t i) const;
+
+    /** Mean of all recorded samples (0 when empty). */
+    double mean() const;
+
+    /** Reset all counts. */
+    void reset();
+
+    /** Merge another histogram with identical bucketing. */
+    void merge(const Histogram &other);
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace mil
+
+#endif // MIL_COMMON_HISTOGRAM_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- an internal invariant was violated; this is a simulator bug.
+ *             Aborts so a debugger or core dump can pinpoint the fault.
+ * fatal()  -- the simulation cannot continue due to a user-level problem
+ *             (bad configuration, impossible parameters). Exits cleanly.
+ * warn()   -- something is questionable but the simulation proceeds.
+ * inform() -- plain status output.
+ */
+
+#ifndef MIL_COMMON_LOGGING_HH
+#define MIL_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mil
+{
+
+/** Print a formatted bug message and abort. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted user-error message and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a failed-assertion message (condition + explanation), abort. */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** Print a formatted warning to stderr. */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace mil
+
+#define mil_panic(...) ::mil::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define mil_fatal(...) ::mil::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define mil_warn(...) ::mil::warnImpl(__VA_ARGS__)
+#define mil_inform(...) ::mil::informImpl(__VA_ARGS__)
+
+/** Assert an invariant with a formatted explanation; panics on failure. */
+#define mil_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mil::assertFailImpl(__FILE__, __LINE__, #cond, __VA_ARGS__);  \
+        }                                                                   \
+    } while (0)
+
+#endif // MIL_COMMON_LOGGING_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-reproducible across runs and platforms, so all
+ * stochastic behaviour (workload address streams, data-value synthesis)
+ * draws from this self-contained xoshiro256** generator rather than from
+ * std::mt19937 whose distributions are implementation-defined.
+ */
+
+#ifndef MIL_COMMON_RANDOM_HH
+#define MIL_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace mil
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded through
+ * splitmix64 so that nearby seeds yield unrelated streams.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free multiply-shift reduction; the bias
+        // is below 2^-64 * bound, which is negligible for simulation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace mil
+
+#endif // MIL_COMMON_RANDOM_HH

@@ -1,0 +1,75 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace mil
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &cell = c < r.size() ? r[c] : std::string{};
+            os << cell;
+            if (c + 1 < cols)
+                os << std::string(width[c] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < cols; ++c)
+            total += width[c] + (c + 1 < cols ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v * 100.0);
+    return buf;
+}
+
+} // namespace mil

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark harness output.
+ *
+ * Every bench binary reproduces a paper table or figure as rows of text;
+ * this helper keeps the formatting uniform (aligned columns, optional
+ * normalization annotations) across all of them.
+ */
+
+#ifndef MIL_COMMON_TABLE_HH
+#define MIL_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mil
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p digits decimal places. */
+std::string fmtDouble(double v, int digits = 3);
+
+/** Format @p v as a percentage with @p digits decimal places. */
+std::string fmtPercent(double v, int digits = 1);
+
+} // namespace mil
+
+#endif // MIL_COMMON_TABLE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the MiL simulator.
+ */
+
+#ifndef MIL_COMMON_TYPES_HH
+#define MIL_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace mil
+{
+
+/** Simulated time, measured in memory-controller clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A cache-line worth of data is always 64 bytes in this project. */
+inline constexpr std::size_t lineBytes = 64;
+
+/** Number of data bits in a cache line. */
+inline constexpr std::size_t lineBits = lineBytes * 8;
+
+/** A value that never compares equal to a real cycle. */
+inline constexpr Cycle invalidCycle = ~Cycle{0};
+
+/** A value that never compares equal to a real address. */
+inline constexpr Addr invalidAddr = ~Addr{0};
+
+} // namespace mil
+
+#endif // MIL_COMMON_TYPES_HH

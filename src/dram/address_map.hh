@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Page-interleaved physical address mapping (Table 2).
+ *
+ * Bit layout from LSB to MSB:
+ *
+ *   [line offset 6b][channel][column][bank][bank group][rank][row]
+ *
+ * Keeping the column bits directly above the channel bits gives
+ * consecutive cache lines row-buffer locality within a channel, while
+ * consecutive DRAM pages interleave across banks, then bank groups,
+ * then ranks -- the "page-interleaving" policy named by the paper.
+ */
+
+#ifndef MIL_DRAM_ADDRESS_MAP_HH
+#define MIL_DRAM_ADDRESS_MAP_HH
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "dram/request.hh"
+#include "dram/timing.hh"
+
+namespace mil
+{
+
+/** Decodes physical addresses into (channel, DramCoord). */
+class AddressMap
+{
+  public:
+    AddressMap(const TimingParams &params, unsigned channels)
+        : channels_(channels),
+          channelBits_(floorLog2(channels)),
+          colBits_(floorLog2(params.linesPerRow())),
+          bankBits_(floorLog2(params.banksPerGroup)),
+          groupBits_(floorLog2(params.bankGroups)),
+          rankBits_(floorLog2(params.ranks))
+    {
+        mil_assert(isPow2(channels), "channel count must be a power of 2");
+        mil_assert(isPow2(params.linesPerRow()), "page must be a power of 2");
+        mil_assert(isPow2(params.banksPerGroup) && isPow2(params.bankGroups)
+                   && isPow2(params.ranks), "organization must be pow2");
+    }
+
+    unsigned channels() const { return channels_; }
+
+    /** Channel owning @p addr. */
+    unsigned
+    channelOf(Addr addr) const
+    {
+        return static_cast<unsigned>(bits(addr, 6, channelBits_));
+    }
+
+    /** Decode @p addr into DRAM coordinates (within its channel). */
+    DramCoord
+    decode(Addr addr) const
+    {
+        unsigned lo = 6 + channelBits_;
+        DramCoord c;
+        c.col = static_cast<std::uint32_t>(bits(addr, lo, colBits_));
+        lo += colBits_;
+        c.bank = static_cast<unsigned>(bits(addr, lo, bankBits_));
+        lo += bankBits_;
+        c.bankGroup = static_cast<unsigned>(bits(addr, lo, groupBits_));
+        lo += groupBits_;
+        c.rank = static_cast<unsigned>(bits(addr, lo, rankBits_));
+        lo += rankBits_;
+        c.row = static_cast<std::uint32_t>(bits(addr, lo, 32));
+        return c;
+    }
+
+    /** Inverse of decode() + channelOf(); used by tests. */
+    Addr
+    encode(unsigned channel, const DramCoord &c) const
+    {
+        Addr addr = 0;
+        unsigned lo = 6;
+        addr = insertBits(addr, lo, channelBits_, channel);
+        lo += channelBits_;
+        addr = insertBits(addr, lo, colBits_, c.col);
+        lo += colBits_;
+        addr = insertBits(addr, lo, bankBits_, c.bank);
+        lo += bankBits_;
+        addr = insertBits(addr, lo, groupBits_, c.bankGroup);
+        lo += groupBits_;
+        addr = insertBits(addr, lo, rankBits_, c.rank);
+        lo += rankBits_;
+        addr = insertBits(addr, lo, 32, c.row);
+        return addr;
+    }
+
+  private:
+    unsigned channels_;
+    unsigned channelBits_;
+    unsigned colBits_;
+    unsigned bankBits_;
+    unsigned groupBits_;
+    unsigned rankBits_;
+};
+
+} // namespace mil
+
+#endif // MIL_DRAM_ADDRESS_MAP_HH

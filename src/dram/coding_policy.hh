@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The controller-facing interface that MiL (or any other bus coding
+ * policy) implements. The memory controller consults the policy each
+ * time it schedules a column command; the policy returns the Code that
+ * transaction will use, which determines burst length (bus occupancy)
+ * and any extra codec latency.
+ */
+
+#ifndef MIL_DRAM_CODING_POLICY_HH
+#define MIL_DRAM_CODING_POLICY_HH
+
+#include "coding/code.hh"
+#include "dram/request.hh"
+
+namespace mil
+{
+
+/** Everything the decision logic may inspect when choosing a code. */
+struct ColumnContext
+{
+    bool isWrite = false;
+
+    /** Write payload (null for reads -- the controller cannot inspect
+     *  read data at scheduling time, Section 4.6). */
+    const Line *writeData = nullptr;
+
+    /**
+     * Number of *other* column commands (reads or writes in the
+     * active queues) whose timing constraints will all be satisfied
+     * within the policy's look-ahead distance. This is the paper's
+     * rdyX count (Figure 11).
+     */
+    unsigned othersReadyWithinX = 0;
+
+    /** Current cycle, for policies that care. */
+    Cycle now = 0;
+};
+
+/** Per-transaction coding decision. */
+class CodingPolicy
+{
+  public:
+    virtual ~CodingPolicy() = default;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Look-ahead distance X in controller cycles. The controller
+     * computes othersReadyWithinX against this horizon before calling
+     * choose(). Zero disables the readiness scan.
+     */
+    virtual unsigned lookahead() const = 0;
+
+    /** Pick the code for the column command described by @p ctx. */
+    virtual const Code &choose(const ColumnContext &ctx) = 0;
+
+    /**
+     * Fixed addition to tCL/tCWL for codec latency (Section 4.4):
+     * the controller programs the DRAM with a static read/write
+     * latency, so the adder is the worst case over the codes this
+     * policy can pick (one cycle for MiLC/3-LWC, k for CAFOk, zero
+     * for the DBI baseline).
+     */
+    virtual unsigned latencyAdder() const = 0;
+
+    /**
+     * The longest burst (in controller cycles) this policy can ever
+     * pick; used by the controller for worst-case scheduling windows.
+     */
+    virtual unsigned maxBusCycles() const = 0;
+
+    /**
+     * Feedback from the controller after each burst: the code used
+     * and the bits/zeros it actually moved. Adaptive policies use
+     * this the way hardware would use per-scheme zero counters; the
+     * default implementation ignores it.
+     */
+    virtual void
+    observe(const Code &code, std::uint64_t bits, std::uint64_t zeros)
+    {
+        (void)code;
+        (void)bits;
+        (void)zeros;
+    }
+};
+
+} // namespace mil
+
+#endif // MIL_DRAM_CODING_POLICY_HH

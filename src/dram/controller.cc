@@ -1,0 +1,604 @@
+#include "controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mil
+{
+
+MemoryController::MemoryController(const TimingParams &timing,
+                                   const ControllerConfig &config,
+                                   FunctionalMemory *backing,
+                                   CodingPolicy *policy)
+    : timing_(timing), config_(config), backing_(backing), policy_(policy)
+{
+    mil_assert(backing_ != nullptr, "controller needs a backing store");
+    mil_assert(policy_ != nullptr, "controller needs a coding policy");
+    mil_assert(config_.drainLowWatermark < config_.drainHighWatermark &&
+               config_.drainHighWatermark <= config_.writeQueueSize,
+               "bad drain watermarks");
+
+    ranks_.resize(timing_.ranks);
+    rankPending_.assign(timing_.ranks, 0);
+    for (unsigned r = 0; r < timing_.ranks; ++r) {
+        auto &rank = ranks_[r];
+        rank.banks.resize(timing_.banks());
+        rank.nextColSameGroup.assign(timing_.bankGroups, 0);
+        rank.nextRdSameGroup.assign(timing_.bankGroups, 0);
+        // Stagger refreshes across ranks so they do not collide.
+        rank.nextRefresh = timing_.tREFI * (r + 1) / timing_.ranks;
+    }
+}
+
+MemoryController::BankState &
+MemoryController::bank(const DramCoord &c)
+{
+    return ranks_[c.rank].banks[c.flatBank(timing_.banksPerGroup)];
+}
+
+const MemoryController::BankState &
+MemoryController::bank(const DramCoord &c) const
+{
+    return ranks_[c.rank].banks[c.flatBank(timing_.banksPerGroup)];
+}
+
+bool
+MemoryController::canAccept(bool is_write) const
+{
+    return is_write ? writeQ_.size() < config_.writeQueueSize
+                    : readQ_.size() < config_.readQueueSize;
+}
+
+bool
+MemoryController::enqueue(const MemRequest &req, MemResponseSink *sink)
+{
+    if (!canAccept(req.isWrite))
+        return false;
+
+    if (req.isWrite) {
+        // Coalesce with an already-queued write to the same line.
+        for (auto &e : writeQ_) {
+            if (e.req.lineAddr == req.lineAddr) {
+                e.req.data = req.data;
+                return true;
+            }
+        }
+        writeQ_.push_back(Entry{req, nullptr});
+        ++rankPending_[req.coord.rank];
+        updateDrainMode();
+        return true;
+    }
+
+    // Read forwarding from the write queue: the freshest queued write
+    // to this line supplies the data without a DRAM access.
+    for (auto it = writeQ_.rbegin(); it != writeQ_.rend(); ++it) {
+        if (it->req.lineAddr == req.lineAddr) {
+            mil_assert(sink != nullptr, "read without a response sink");
+            responses_.push_back(PendingResponse{
+                req.arrival + timing_.tCL, req.id, it->req.data, sink});
+            return true;
+        }
+    }
+
+    mil_assert(sink != nullptr, "read without a response sink");
+    readQ_.push_back(Entry{req, sink});
+    ++rankPending_[req.coord.rank];
+    return true;
+}
+
+void
+MemoryController::updateDrainMode()
+{
+    if (!draining_ && writeQ_.size() >= config_.drainHighWatermark)
+        draining_ = true;
+    else if (draining_ && writeQ_.size() <= config_.drainLowWatermark)
+        draining_ = false;
+}
+
+Cycle
+MemoryController::turnaroundGap(bool next_is_write,
+                                unsigned next_rank) const
+{
+    if (!havePrevBurst_)
+        return 0;
+    if (prevBurstWrite_ == next_is_write && prevBurstRank_ == next_rank)
+        return 0;
+    // Rank switches and read/write direction changes require the bus
+    // to float for tRTRS (Section 3.1 lists tWTR, tRTRS, and tOST as
+    // the turnaround constraints; tWTR is enforced at the command
+    // level separately).
+    return timing_.tRTRS;
+}
+
+Cycle
+MemoryController::earliestColumn(const Entry &e, Cycle now) const
+{
+    const DramCoord &c = e.req.coord;
+    const BankState &b = bank(c);
+    if (!b.open || b.row != c.row)
+        return invalidCycle;
+
+    const RankState &rank = ranks_[c.rank];
+    Cycle t = std::max({b.nextCol, rank.nextColAnyGroup,
+                        rank.nextColSameGroup[c.bankGroup],
+                        rank.wakeReadyAt});
+    if (!e.req.isWrite) {
+        t = std::max({t, rank.nextRdAnyGroup,
+                      rank.nextRdSameGroup[c.bankGroup]});
+    }
+
+    // Data-bus availability: the burst must start no earlier than the
+    // bus frees up plus any turnaround gap.
+    const Cycle latency =
+        (e.req.isWrite ? timing_.tCWL : timing_.tCL) +
+        policy_->latencyAdder();
+    const Cycle bus_ready =
+        busFreeAt_ + turnaroundGap(e.req.isWrite, c.rank);
+    if (bus_ready > latency && bus_ready - latency > t)
+        t = bus_ready - latency;
+
+    return std::max(t, now);
+}
+
+Cycle
+MemoryController::earliestActivate(const Entry &e, Cycle now) const
+{
+    const DramCoord &c = e.req.coord;
+    const BankState &b = bank(c);
+    if (b.open)
+        return invalidCycle;
+
+    const RankState &rank = ranks_[c.rank];
+    if (rank.refreshPending)
+        return invalidCycle; // Quiesce the rank for refresh first.
+
+    // Four-activate window: the fourth-newest ACT gates the next one.
+    const Cycle faw_gate = rank.actCount >= 4
+        ? rank.actTimes[rank.actPtr] + timing_.tFAW
+        : 0;
+    return std::max({b.nextAct, faw_gate, rank.wakeReadyAt, now});
+}
+
+Cycle
+MemoryController::earliestPrecharge(const Entry &e, Cycle now) const
+{
+    const DramCoord &c = e.req.coord;
+    const BankState &b = bank(c);
+    if (!b.open || b.row == c.row)
+        return invalidCycle;
+    return std::max(b.nextPre, now);
+}
+
+unsigned
+MemoryController::columnReadyWithin(Cycle now, Cycle horizon,
+                                    const void *exclude) const
+{
+    unsigned count = 0;
+    auto scan = [&](const std::deque<Entry> &q) {
+        for (const auto &e : q) {
+            if (&e == exclude)
+                continue;
+            const Cycle t = earliestColumn(e, now);
+            if (t != invalidCycle && t <= now + horizon)
+                ++count;
+        }
+    };
+    scan(readQ_);
+    scan(writeQ_);
+    return count;
+}
+
+void
+MemoryController::transferData(Cycle data_start, const Entry &entry,
+                               bool is_write, const Code &code)
+{
+    const Line *line = nullptr;
+    if (is_write) {
+        backing_->write(entry.req.lineAddr, entry.req.data);
+        line = &entry.req.data;
+    } else {
+        line = &backing_->read(entry.req.lineAddr);
+    }
+
+    const BusFrame frame = code.encode(*line);
+    const Cycle burst_cycles = code.busCycles();
+    const Cycle data_end = data_start + burst_cycles;
+
+    if (config_.verifyData) {
+        const Line round_trip = code.decode(frame);
+        mil_assert(round_trip == *line,
+                   "code %s corrupted line at 0x%llx", code.name().c_str(),
+                   static_cast<unsigned long long>(entry.req.lineAddr));
+    }
+
+    // Bus statistics.
+    if (havePrevBurst_) {
+        const Cycle gap = data_start - prevBurstEnd_;
+        stats_.idleGaps.sample(gap);
+        const Cycle required =
+            turnaroundGap(is_write, entry.req.coord.rank);
+        stats_.slack.sample(gap > required ? gap - required : 0);
+    }
+    stats_.busBusyCycles += burst_cycles;
+    const std::uint64_t bits = frame.totalBits();
+    const std::uint64_t zeros = frame.zeroCount();
+    stats_.bitsTransferred += bits;
+    stats_.zerosTransferred += zeros;
+    stats_.wireTransitions += frame.transitionCount(wireState_);
+
+    auto &usage = stats_.schemes[code.name()];
+    usage.bursts += 1;
+    usage.bitsTransferred += bits;
+    usage.zeros += zeros;
+    policy_->observe(code, bits, zeros);
+
+    if (tracer_ != nullptr) {
+        TraceEvent event;
+        event.kind = is_write ? TraceEvent::Kind::Write
+                              : TraceEvent::Kind::Read;
+        event.cycle = lastTick_;
+        event.coord = entry.req.coord;
+        event.dataStart = data_start;
+        event.dataEnd = data_end;
+        event.scheme = code.name();
+        event.zeros = zeros;
+        tracer_->traceEvent(event);
+    }
+
+    busBursts_.push_back(Burst{data_start, data_end});
+    busFreeAt_ = data_end;
+    havePrevBurst_ = true;
+    prevBurstEnd_ = data_end;
+    prevBurstWrite_ = is_write;
+    prevBurstRank_ = entry.req.coord.rank;
+
+    if (!is_write) {
+        // Response one cycle after the burst for decode pipelining.
+        responses_.push_back(PendingResponse{
+            data_end + 1, entry.req.id, *line, entry.sink});
+    }
+}
+
+void
+MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
+{
+    const DramCoord &c = entry.req.coord;
+    RankState &rank = ranks_[c.rank];
+    BankState &b = bank(c);
+
+    // Consult the coding policy (the MiL decision point, Section 4.2).
+    ColumnContext ctx;
+    ctx.isWrite = is_write;
+    ctx.writeData = is_write ? &entry.req.data : nullptr;
+    ctx.now = now;
+    const unsigned x = policy_->lookahead();
+    ctx.othersReadyWithinX =
+        x == 0 ? 0 : columnReadyWithin(now, x, &entry);
+    const Code &code = policy_->choose(ctx);
+
+    const Cycle latency =
+        (is_write ? timing_.tCWL : timing_.tCL) + policy_->latencyAdder();
+    const Cycle data_start = now + latency;
+
+    // Column-to-column spacing (bank-group aware).
+    rank.nextColAnyGroup =
+        std::max(rank.nextColAnyGroup, now + timing_.tCCD_S);
+    rank.nextColSameGroup[c.bankGroup] = std::max(
+        rank.nextColSameGroup[c.bankGroup], now + timing_.tCCD_L);
+
+    const Cycle data_end = data_start + code.busCycles();
+    if (is_write) {
+        // Write-to-read turnaround, measured from the end of write data.
+        rank.nextRdAnyGroup =
+            std::max(rank.nextRdAnyGroup, data_end + timing_.tWTR_S);
+        rank.nextRdSameGroup[c.bankGroup] = std::max(
+            rank.nextRdSameGroup[c.bankGroup], data_end + timing_.tWTR_L);
+        // Write recovery gates the precharge.
+        b.nextPre = std::max(b.nextPre, data_end + timing_.tWR);
+        ++stats_.writes;
+    } else {
+        b.nextPre = std::max(b.nextPre, now + timing_.tRTP);
+        ++stats_.reads;
+    }
+
+    // Closed-page policy: auto-precharge after the access; the bank
+    // reopens for every new column command.
+    if (config_.pagePolicy == PagePolicy::Closed) {
+        b.open = false;
+        b.nextAct = std::max(b.nextAct, b.nextPre + timing_.tRP);
+        ++stats_.precharges;
+    }
+
+    transferData(data_start, entry, is_write, code);
+}
+
+bool
+MemoryController::tryIssueColumn(Cycle now, std::deque<Entry> &queue,
+                                 bool is_write)
+{
+    // FR-FCFS: the oldest ready column command wins. Only open-row
+    // hits can be column-ready, so this is exactly "first ready".
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        Entry &e = queue[i];
+        const Cycle t = earliestColumn(e, now);
+        if (t == now) {
+            ++stats_.rowHits;
+            issueColumn(now, e, is_write);
+            --rankPending_[e.req.coord.rank];
+            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+            if (is_write)
+                updateDrainMode();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::tryIssueRowCommand(Cycle now, std::deque<Entry> &queue)
+{
+    // Consider only the oldest entry per bank; younger entries to the
+    // same bank wait behind it.
+    std::vector<bool> bank_seen(timing_.ranks * timing_.banks(), false);
+    // Open rows that still have pending hits must not be closed.
+    std::vector<bool> row_wanted(timing_.ranks * timing_.banks(), false);
+    for (const auto &e : queue) {
+        const DramCoord &c = e.req.coord;
+        const BankState &b = bank(c);
+        if (b.open && b.row == c.row) {
+            row_wanted[c.rank * timing_.banks() +
+                       c.flatBank(timing_.banksPerGroup)] = true;
+        }
+    }
+
+    for (auto &e : queue) {
+        const DramCoord &c = e.req.coord;
+        const unsigned idx =
+            c.rank * timing_.banks() + c.flatBank(timing_.banksPerGroup);
+        if (bank_seen[idx])
+            continue;
+        bank_seen[idx] = true;
+
+        const BankState &b = bank(c);
+        if (!b.open) {
+            if (earliestActivate(e, now) == now) {
+                // Issue ACT.
+                RankState &rank = ranks_[c.rank];
+                BankState &bs = bank(c);
+                bs.open = true;
+                bs.row = c.row;
+                bs.nextCol = now + timing_.tRCD;
+                bs.nextPre = std::max(bs.nextPre, now + timing_.tRAS);
+                bs.nextAct = now + timing_.tRC;
+                for (unsigned g = 0; g < timing_.bankGroups; ++g) {
+                    const Cycle rrd = now + timing_.rrd(g == c.bankGroup);
+                    for (unsigned k = 0; k < timing_.banksPerGroup; ++k) {
+                        BankState &other =
+                            rank.banks[g * timing_.banksPerGroup + k];
+                        if (&other != &bs)
+                            other.nextAct =
+                                std::max(other.nextAct, rrd);
+                    }
+                }
+                rank.actTimes[rank.actPtr] = now;
+                rank.actPtr = (rank.actPtr + 1) % 4;
+                ++rank.actCount;
+                ++stats_.activates;
+                ++stats_.rowMisses;
+                if (tracer_ != nullptr) {
+                    TraceEvent event;
+                    event.kind = TraceEvent::Kind::Activate;
+                    event.cycle = now;
+                    event.coord = c;
+                    tracer_->traceEvent(event);
+                }
+                return true;
+            }
+        } else if (b.row != c.row && !row_wanted[idx]) {
+            if (earliestPrecharge(e, now) == now) {
+                BankState &bs = bank(c);
+                bs.open = false;
+                bs.nextAct = std::max(bs.nextAct, now + timing_.tRP);
+                ++stats_.precharges;
+                if (tracer_ != nullptr) {
+                    TraceEvent event;
+                    event.kind = TraceEvent::Kind::Precharge;
+                    event.cycle = now;
+                    event.coord = c;
+                    tracer_->traceEvent(event);
+                }
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::tryRefresh(Cycle now)
+{
+    if (!config_.refreshEnabled)
+        return false;
+
+    for (unsigned r = 0; r < timing_.ranks; ++r) {
+        RankState &rank = ranks_[r];
+        if (now >= rank.nextRefresh)
+            rank.refreshPending = true;
+        if (!rank.refreshPending)
+            continue;
+
+        // Quiesce: close any open bank as soon as its precharge is
+        // allowed; each PRE consumes this cycle's command slot.
+        bool all_closed = true;
+        Cycle ready = now;
+        for (auto &b : rank.banks) {
+            if (b.open) {
+                all_closed = false;
+                if (b.nextPre <= now) {
+                    b.open = false;
+                    b.nextAct = std::max(b.nextAct, now + timing_.tRP);
+                    ++stats_.precharges;
+                    return true;
+                }
+            } else {
+                ready = std::max(ready, b.nextAct);
+            }
+        }
+        if (all_closed && ready <= now) {
+            for (auto &b : rank.banks)
+                b.nextAct = std::max(b.nextAct, now + timing_.tRFC);
+            rank.refreshUntil = now + timing_.tRFC;
+            rank.refreshPending = false;
+            rank.nextRefresh += timing_.tREFI;
+            ++stats_.refreshes;
+            if (tracer_ != nullptr) {
+                TraceEvent event;
+                event.kind = TraceEvent::Kind::Refresh;
+                event.cycle = now;
+                event.coord.rank = r;
+                tracer_->traceEvent(event);
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryController::managePowerDown(Cycle now)
+{
+    if (!config_.powerDownEnabled)
+        return;
+    for (unsigned r = 0; r < timing_.ranks; ++r) {
+        RankState &rank = ranks_[r];
+        bool active = rankPending_[r] > 0 || rank.refreshPending ||
+            now < rank.refreshUntil ||
+            now + config_.powerDownIdleCycles >= rank.nextRefresh;
+        if (!active) {
+            for (const auto &b : rank.banks) {
+                if (b.open) {
+                    active = true;
+                    break;
+                }
+            }
+        }
+        if (active) {
+            rank.idleSince = now;
+            if (rank.poweredDown) {
+                rank.poweredDown = false;
+                rank.wakeReadyAt = now + timing_.tXP;
+                if (tracer_ != nullptr) {
+                    TraceEvent event;
+                    event.kind = TraceEvent::Kind::PowerDownExit;
+                    event.cycle = now;
+                    event.coord.rank = r;
+                    tracer_->traceEvent(event);
+                }
+            }
+        } else if (!rank.poweredDown &&
+                   now - rank.idleSince >= config_.powerDownIdleCycles) {
+            rank.poweredDown = true;
+            ++stats_.powerDownEntries;
+            if (tracer_ != nullptr) {
+                TraceEvent event;
+                event.kind = TraceEvent::Kind::PowerDownEnter;
+                event.cycle = now;
+                event.coord.rank = r;
+                tracer_->traceEvent(event);
+            }
+        }
+    }
+}
+
+void
+MemoryController::accountCycle(Cycle now)
+{
+    ++stats_.totalCycles;
+
+    while (!busBursts_.empty() && busBursts_.front().end <= now)
+        busBursts_.pop_front();
+    const bool bus_busy =
+        !busBursts_.empty() && busBursts_.front().start <= now;
+    const bool pending = !readQ_.empty() || !writeQ_.empty();
+
+    // busBusyCycles is accumulated at burst-schedule time; here we only
+    // classify the idle cycles (Figure 5).
+    if (!bus_busy) {
+        if (pending)
+            ++stats_.idlePendingCycles;
+        else
+            ++stats_.idleNoPendingCycles;
+    }
+
+    for (const auto &rank : ranks_) {
+        if (now < rank.refreshUntil) {
+            ++stats_.rankRefreshCycles;
+            continue;
+        }
+        if (rank.poweredDown) {
+            ++stats_.rankPowerDownCycles;
+            continue;
+        }
+        bool any_open = false;
+        for (const auto &b : rank.banks) {
+            if (b.open) {
+                any_open = true;
+                break;
+            }
+        }
+        if (any_open)
+            ++stats_.rankActiveStandbyCycles;
+        else
+            ++stats_.rankPrechargeStandbyCycles;
+    }
+}
+
+void
+MemoryController::drainResponses(Cycle now)
+{
+    for (std::size_t i = 0; i < responses_.size();) {
+        if (responses_[i].when <= now) {
+            PendingResponse resp = std::move(responses_[i]);
+            responses_[i] = std::move(responses_.back());
+            responses_.pop_back();
+            resp.sink->memResponse(resp.id, resp.data, now);
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    mil_assert(!ticked_ || now == lastTick_ + 1,
+               "controller ticks must be consecutive");
+    lastTick_ = now;
+    ticked_ = true;
+
+    accountCycle(now);
+    managePowerDown(now);
+    drainResponses(now);
+
+    // One command per cycle: refresh management first, then FR-FCFS.
+    if (tryRefresh(now))
+        return;
+
+    const bool serve_writes =
+        draining_ || (readQ_.empty() && !writeQ_.empty());
+    std::deque<Entry> &active = serve_writes ? writeQ_ : readQ_;
+
+    if (tryIssueColumn(now, active, serve_writes))
+        return;
+    tryIssueRowCommand(now, active);
+}
+
+bool
+MemoryController::busy() const
+{
+    return !readQ_.empty() || !writeQ_.empty() || !responses_.empty() ||
+        !busBursts_.empty();
+}
+
+} // namespace mil

@@ -1,0 +1,46 @@
+#include "functional_memory.hh"
+
+#include "common/logging.hh"
+
+namespace mil
+{
+
+void
+FunctionalMemory::addRegion(Addr base, std::uint64_t size, Initializer init)
+{
+    mil_assert(base % lineBytes == 0 && size % lineBytes == 0,
+               "region must be line-aligned");
+    regions_.push_back(Region{base, size, std::move(init)});
+}
+
+Line &
+FunctionalMemory::materialize(Addr line_addr)
+{
+    auto [it, inserted] = lines_.try_emplace(line_addr);
+    if (inserted) {
+        it->second.fill(0);
+        // Later-registered regions win, so scan in reverse.
+        for (auto r = regions_.rbegin(); r != regions_.rend(); ++r) {
+            if (line_addr >= r->base && line_addr < r->base + r->size) {
+                if (r->init)
+                    r->init(line_addr, it->second);
+                break;
+            }
+        }
+    }
+    return it->second;
+}
+
+const Line &
+FunctionalMemory::read(Addr line_addr)
+{
+    return materialize(line_addr);
+}
+
+void
+FunctionalMemory::write(Addr line_addr, const Line &data)
+{
+    materialize(line_addr) = data;
+}
+
+} // namespace mil

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional backing store for simulated DRAM contents.
+ *
+ * The coding results depend on the actual data values moved over the
+ * bus, so the simulator keeps a functional image of memory. Storage is
+ * sparse: lines materialize on first touch, filled by the initializer
+ * of the region they fall in (workload generators register region
+ * initializers that synthesize benchmark-characteristic data).
+ */
+
+#ifndef MIL_DRAM_FUNCTIONAL_MEMORY_HH
+#define MIL_DRAM_FUNCTIONAL_MEMORY_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/code.hh"
+#include "common/types.hh"
+
+namespace mil
+{
+
+/** Sparse, lazily-initialized line-granularity memory image. */
+class FunctionalMemory
+{
+  public:
+    /** Synthesizes the initial contents of one line. */
+    using Initializer = std::function<void(Addr line_addr, Line &out)>;
+
+    /**
+     * Register an initializer for [base, base+size). Later regions
+     * take precedence on overlap. @p base and @p size must be
+     * line-aligned.
+     */
+    void addRegion(Addr base, std::uint64_t size, Initializer init);
+
+    /** Read a line, materializing it if needed. */
+    const Line &read(Addr line_addr);
+
+    /** Overwrite a line. */
+    void write(Addr line_addr, const Line &data);
+
+    /** Number of materialized lines (for tests / memory accounting). */
+    std::size_t residentLines() const { return lines_.size(); }
+
+  private:
+    struct Region
+    {
+        Addr base;
+        std::uint64_t size;
+        Initializer init;
+    };
+
+    Line &materialize(Addr line_addr);
+
+    std::vector<Region> regions_;
+    std::unordered_map<Addr, Line> lines_;
+};
+
+} // namespace mil
+
+#endif // MIL_DRAM_FUNCTIONAL_MEMORY_HH

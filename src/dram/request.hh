@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory requests exchanged between the cache hierarchy and the
+ * memory controller, and their decoded DRAM coordinates.
+ */
+
+#ifndef MIL_DRAM_REQUEST_HH
+#define MIL_DRAM_REQUEST_HH
+
+#include <cstdint>
+
+#include "coding/code.hh"
+#include "common/types.hh"
+
+namespace mil
+{
+
+/** DRAM coordinates of a cache-line address on one channel. */
+struct DramCoord
+{
+    unsigned rank = 0;
+    unsigned bankGroup = 0;
+    unsigned bank = 0;      ///< Bank index within the group.
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;  ///< Cache-line column within the row.
+
+    /** Flat bank index within the rank. */
+    unsigned
+    flatBank(unsigned banks_per_group) const
+    {
+        return bankGroup * banks_per_group + bank;
+    }
+
+    bool
+    sameBankAs(const DramCoord &o) const
+    {
+        return rank == o.rank && bankGroup == o.bankGroup && bank == o.bank;
+    }
+};
+
+/** Identifier the requester uses to match responses. */
+using ReqId = std::uint64_t;
+
+/** One line-granularity memory transaction. */
+struct MemRequest
+{
+    ReqId id = 0;
+    Addr lineAddr = 0;      ///< Line-aligned physical address.
+    bool isWrite = false;
+    Cycle arrival = 0;      ///< Cycle the controller accepted it.
+    DramCoord coord;
+    Line data{};            ///< Write payload (unused for reads).
+};
+
+/**
+ * Callback interface for read completions. Writes are posted: they
+ * complete for the requester as soon as the controller accepts them.
+ */
+class MemResponseSink
+{
+  public:
+    virtual ~MemResponseSink() = default;
+
+    /** Read data has been received (and decoded) by the controller. */
+    virtual void memResponse(ReqId id, const Line &data, Cycle when) = 0;
+};
+
+} // namespace mil
+
+#endif // MIL_DRAM_REQUEST_HH

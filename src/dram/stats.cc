@@ -1,0 +1,38 @@
+#include "stats.hh"
+
+namespace mil
+{
+
+void
+ChannelStats::merge(const ChannelStats &other)
+{
+    reads += other.reads;
+    writes += other.writes;
+    activates += other.activates;
+    precharges += other.precharges;
+    refreshes += other.refreshes;
+    rowHits += other.rowHits;
+    rowMisses += other.rowMisses;
+    totalCycles += other.totalCycles;
+    busBusyCycles += other.busBusyCycles;
+    idlePendingCycles += other.idlePendingCycles;
+    idleNoPendingCycles += other.idleNoPendingCycles;
+    bitsTransferred += other.bitsTransferred;
+    zerosTransferred += other.zerosTransferred;
+    wireTransitions += other.wireTransitions;
+    rankActiveStandbyCycles += other.rankActiveStandbyCycles;
+    rankPrechargeStandbyCycles += other.rankPrechargeStandbyCycles;
+    rankRefreshCycles += other.rankRefreshCycles;
+    rankPowerDownCycles += other.rankPowerDownCycles;
+    powerDownEntries += other.powerDownEntries;
+    idleGaps.merge(other.idleGaps);
+    slack.merge(other.slack);
+    for (const auto &[name, usage] : other.schemes) {
+        auto &mine = schemes[name];
+        mine.bursts += usage.bursts;
+        mine.bitsTransferred += usage.bitsTransferred;
+        mine.zeros += usage.zeros;
+    }
+}
+
+} // namespace mil

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-channel statistics collected at the data bus and command engine.
+ * These feed Figures 4, 5, 6, 17, 18, and 22 directly.
+ */
+
+#ifndef MIL_DRAM_STATS_HH
+#define MIL_DRAM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace mil
+{
+
+/** Usage and bit accounting for one coding scheme (Figures 17, 22). */
+struct SchemeUsage
+{
+    std::uint64_t bursts = 0;
+    std::uint64_t bitsTransferred = 0;
+    std::uint64_t zeros = 0;
+};
+
+/** Statistics for one memory channel. */
+struct ChannelStats
+{
+    // Command counts.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+
+    // Cycle classification (Figure 5).
+    Cycle totalCycles = 0;
+    Cycle busBusyCycles = 0;
+    Cycle idlePendingCycles = 0;
+    Cycle idleNoPendingCycles = 0;
+
+    // Data movement (Figures 17/18).
+    std::uint64_t bitsTransferred = 0;
+    std::uint64_t zerosTransferred = 0;
+    std::uint64_t wireTransitions = 0;
+
+    // Background-power residency, summed over ranks.
+    Cycle rankActiveStandbyCycles = 0;
+    Cycle rankPrechargeStandbyCycles = 0;
+    Cycle rankRefreshCycles = 0;
+    Cycle rankPowerDownCycles = 0;
+    std::uint64_t powerDownEntries = 0;
+
+    // Distributions (Figures 4 and 6).
+    Histogram idleGaps{{0, 2, 4, 8, 16, 32, 64, 128}};
+    Histogram slack{{0, 2, 4, 8, 16, 32, 64, 128}};
+
+    // Per-scheme accounting (Figures 17 and 22).
+    std::map<std::string, SchemeUsage> schemes;
+
+    /** Data bus utilization in [0,1]. */
+    double
+    utilization() const
+    {
+        return totalCycles == 0
+            ? 0.0
+            : static_cast<double>(busBusyCycles) /
+              static_cast<double>(totalCycles);
+    }
+
+    /** Merge another channel's statistics into this one. */
+    void merge(const ChannelStats &other);
+};
+
+} // namespace mil
+
+#endif // MIL_DRAM_STATS_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * DDRx timing and organization parameters (paper Table 2).
+ *
+ * All timing values are in memory-controller clock cycles (one
+ * controller cycle = two data beats on the DDR bus). The DDR4 bank-
+ * group architecture makes tCCD, tRRD, and tWTR depend on whether
+ * consecutive commands target the same bank group (the _L, "long"
+ * variants) or different groups (_S, "short"); LPDDR3 has no bank
+ * groups, so its _S and _L values coincide.
+ */
+
+#ifndef MIL_DRAM_TIMING_HH
+#define MIL_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mil
+{
+
+/** Which DDRx standard a channel implements. */
+enum class DramStandard
+{
+    DDR4,   ///< VDDQ-terminated POD interface; energy follows zeros.
+    LPDDR3, ///< Unterminated interface; MiL adds transition signaling.
+    DDR3,   ///< Center-tap terminated; used for the Section 3.1
+            ///< bus-idleness comparison (no bank groups).
+};
+
+/** Full timing/organization description of one memory channel. */
+struct TimingParams
+{
+    DramStandard standard = DramStandard::DDR4;
+    std::string name = "DDR4-3200";
+
+    // Organization.
+    unsigned ranks = 2;
+    unsigned bankGroups = 4;     ///< 1 means no bank-group timing.
+    unsigned banksPerGroup = 2;  ///< Total banks = groups * per-group.
+    unsigned pageBytes = 8192;   ///< Row-buffer size per bank.
+    unsigned deviceWidth = 8;    ///< x8 devices, 8 per rank.
+
+    // Clock.
+    double clockNs = 0.625;      ///< Controller clock period.
+    double dataRateMtps = 3200;  ///< Transfers per second per pin.
+
+    // Column access.
+    unsigned tCL = 20;   ///< Read command to first data beat.
+    unsigned tCWL = 16;  ///< Write command to first data beat.
+    unsigned tCCD_S = 4; ///< Column-to-column, different bank group.
+    unsigned tCCD_L = 8; ///< Column-to-column, same bank group.
+
+    // Row management.
+    unsigned tRC = 72;   ///< ACT to ACT, same bank.
+    unsigned tRTP = 12;  ///< Read to precharge.
+    unsigned tRP = 20;   ///< Precharge to ACT.
+    unsigned tRCD = 20;  ///< ACT to column command.
+    unsigned tRAS = 52;  ///< ACT to precharge.
+    unsigned tWR = 4;    ///< Write recovery (end of data to precharge).
+
+    // Turnaround.
+    unsigned tRTRS = 2;  ///< Rank-to-rank (and RD->WR) bus gap.
+    unsigned tWTR_S = 4; ///< Write-to-read, different bank group.
+    unsigned tWTR_L = 12;///< Write-to-read, same bank group.
+
+    // Activation pacing.
+    unsigned tRRD_S = 9; ///< ACT to ACT, different bank group.
+    unsigned tRRD_L = 11;///< ACT to ACT, same bank group.
+    unsigned tFAW = 48;  ///< Four-activate window per rank.
+
+    // Refresh.
+    unsigned tREFI = 12480; ///< Average refresh interval.
+    unsigned tRFC = 416;    ///< Refresh cycle time.
+
+    // Power-down (used only when the controller enables the mode).
+    unsigned tXP = 10;      ///< Power-down exit to first command.
+
+    /** Total banks per rank. */
+    unsigned banks() const { return bankGroups * banksPerGroup; }
+
+    /** Cache lines per open row. */
+    unsigned linesPerRow() const { return pageBytes / lineBytes; }
+
+    /** Same-vs-different bank group helpers. */
+    unsigned ccd(bool same_group) const
+    {
+        return same_group ? tCCD_L : tCCD_S;
+    }
+    unsigned rrd(bool same_group) const
+    {
+        return same_group ? tRRD_L : tRRD_S;
+    }
+    unsigned wtr(bool same_group) const
+    {
+        return same_group ? tWTR_L : tWTR_S;
+    }
+
+    /** The paper's DDR4-3200 microserver channel (Table 2). */
+    static TimingParams ddr4_3200();
+
+    /** The paper's LPDDR3-1600 mobile channel (Table 2). */
+    static TimingParams lpddr3_1600();
+
+    /**
+     * A DDR3-1600 channel (JEDEC 11-11-11), for the Section 3.1
+     * study: DDR3 has no bank groups, so its tCCD/tRRD/tWTR lack the
+     * long variants that idle the DDR4 bus.
+     */
+    static TimingParams ddr3_1600();
+};
+
+} // namespace mil
+
+#endif // MIL_DRAM_TIMING_HH

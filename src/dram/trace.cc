@@ -1,0 +1,28 @@
+#include "trace.hh"
+
+namespace mil
+{
+
+const char *
+TraceEvent::mnemonic() const
+{
+    switch (kind) {
+      case Kind::Activate:
+        return "ACT";
+      case Kind::Precharge:
+        return "PRE";
+      case Kind::Read:
+        return "RD";
+      case Kind::Write:
+        return "WR";
+      case Kind::Refresh:
+        return "REF";
+      case Kind::PowerDownEnter:
+        return "PDE";
+      case Kind::PowerDownExit:
+        return "PDX";
+    }
+    return "?";
+}
+
+} // namespace mil

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Command/burst tracing hooks for the memory controller.
+ *
+ * A Tracer observes every DRAM command the controller issues, with
+ * enough context (coordinates, data window, coding scheme, zeros) to
+ * reconstruct the bus schedule -- the machine-readable version of the
+ * paper's Figure 8. Used by debugging tools, the bus_trace example,
+ * and tests that assert on command-level behaviour.
+ */
+
+#ifndef MIL_DRAM_TRACE_HH
+#define MIL_DRAM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "dram/request.hh"
+
+namespace mil
+{
+
+/** One traced controller event. */
+struct TraceEvent
+{
+    enum class Kind
+    {
+        Activate,
+        Precharge,
+        Read,
+        Write,
+        Refresh,
+        PowerDownEnter,
+        PowerDownExit,
+    };
+
+    Kind kind = Kind::Activate;
+    Cycle cycle = 0;     ///< Command-issue cycle.
+    DramCoord coord;     ///< Target (rank-only for REF/power-down).
+    Cycle dataStart = 0; ///< Column commands: burst window start...
+    Cycle dataEnd = 0;   ///< ...and end (exclusive).
+    std::string scheme;  ///< Column commands: coding scheme used.
+    std::uint64_t zeros = 0; ///< Column commands: zeros in the frame.
+
+    /** Short mnemonic ("ACT", "RD", ...). */
+    const char *mnemonic() const;
+};
+
+/** Observer interface. */
+class Tracer
+{
+  public:
+    virtual ~Tracer() = default;
+
+    virtual void traceEvent(const TraceEvent &event) = 0;
+};
+
+} // namespace mil
+
+#endif // MIL_DRAM_TRACE_HH

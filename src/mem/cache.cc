@@ -1,0 +1,467 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "mem/prefetcher.hh"
+
+namespace mil
+{
+
+Cache::Cache(const CacheParams &params, MemLevel *downstream)
+    : params_(params), downstream_(downstream)
+{
+    mil_assert(downstream_ != nullptr, "cache needs a downstream level");
+    mil_assert(params_.sizeBytes % (params_.ways * lineBytes) == 0,
+               "cache size must be a multiple of ways * line size");
+    sets_ = params_.sizeBytes / (params_.ways * lineBytes);
+    mil_assert(isPow2(sets_), "set count must be a power of two");
+    tags_.assign(sets_, std::vector<Way>(params_.ways));
+}
+
+void
+Cache::setL1s(std::vector<Cache *> l1s)
+{
+    mil_assert(params_.inclusiveOfL1s,
+               "only the shared L2 tracks L1 presence");
+    mil_assert(l1s.size() <= 32, "presence bitmap holds up to 32 L1s");
+    l1s_ = std::move(l1s);
+}
+
+std::size_t
+Cache::setOf(Addr line_addr) const
+{
+    return static_cast<std::size_t>((line_addr / lineBytes) % sets_);
+}
+
+Cache::Way *
+Cache::findWay(Addr line_addr)
+{
+    for (auto &way : tags_[setOf(line_addr)])
+        if (way.valid && way.tag == line_addr)
+            return &way;
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(Addr line_addr) const
+{
+    for (const auto &way : tags_[setOf(line_addr)])
+        if (way.valid && way.tag == line_addr)
+            return &way;
+    return nullptr;
+}
+
+bool
+Cache::probe(Addr line_addr) const
+{
+    return findWay(line_addr) != nullptr;
+}
+
+bool
+Cache::probeWritable(Addr line_addr) const
+{
+    const Way *way = findWay(line_addr);
+    return way != nullptr && way->writable;
+}
+
+bool
+Cache::probeDirty(Addr line_addr) const
+{
+    const Way *way = findWay(line_addr);
+    return way != nullptr && way->dirty;
+}
+
+Cache::Way &
+Cache::victimWay(Addr line_addr, Cycle now)
+{
+    // Prefer invalid ways, then the LRU among ways without an
+    // in-flight directory grant (evicting those would back-invalidate
+    // an L1 copy that has not been installed yet). The caller defers
+    // the fill when only granted ways remain.
+    auto &set = tags_[setOf(line_addr)];
+    Way *victim = nullptr;
+    for (auto &way : set) {
+        if (!way.valid)
+            return way;
+        if (params_.inclusiveOfL1s && pendingGrants_.count(way.tag))
+            continue;
+        if (victim == nullptr || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    (void)now;
+    return victim != nullptr ? *victim : set[0];
+}
+
+void
+Cache::scheduleResponse(Cycle when, std::uint64_t token,
+                        MemClient *client, Addr grant_line)
+{
+    if (grant_line != invalidAddr)
+        ++pendingGrants_[grant_line];
+    responses_.push_back(Response{when, token, client, grant_line});
+}
+
+void
+Cache::pushDownstream(const MemAccess &acc)
+{
+    sendQueue_.push_back(acc);
+}
+
+/**
+ * Directory actions when a request hits (or fills) at the inclusive
+ * L2: enforce single-writer / multiple-reader and grant permissions.
+ * Returns the number of coherence messages sent, each of which adds
+ * CacheParams::invalPenalty cycles to the triggering access.
+ */
+unsigned
+Cache::grantAtDirectory(Way &way, const MemAccess &acc, bool wants_write)
+{
+    if (!params_.inclusiveOfL1s || acc.core == noCore)
+        return 0;
+
+    unsigned messages = 0;
+    const std::uint32_t requester_bit = std::uint32_t{1} << acc.core;
+
+    if (wants_write) {
+        // Invalidate every other sharer; requester becomes owner.
+        for (std::size_t i = 0; i < l1s_.size(); ++i) {
+            const std::uint32_t ibit = std::uint32_t{1} << i;
+            if ((way.presence & ibit) && i != acc.core) {
+                if (l1s_[i]->invalidateLine(way.tag))
+                    way.dirty = true;
+                way.presence &= ~ibit;
+                ++messages;
+                ++stats_.invalidationsSent;
+            }
+        }
+        way.presence |= requester_bit;
+        way.owner = acc.core;
+    } else {
+        // A previous writable owner must downgrade to Shared.
+        if (way.owner != noCore && way.owner != acc.core) {
+            if (way.owner < l1s_.size() &&
+                (way.presence & (std::uint32_t{1} << way.owner))) {
+                if (l1s_[way.owner]->downgradeLine(way.tag))
+                    way.dirty = true;
+                ++messages;
+                ++stats_.invalidationsSent;
+            }
+            way.owner = noCore;
+        }
+        way.presence |= requester_bit;
+    }
+    return messages;
+}
+
+/** Evict @p way (which holds a valid line), writing back if dirty. */
+void
+Cache::evict(Way &way, Addr /* line_addr_of_set_member */)
+{
+    mil_assert(way.valid, "evicting an invalid way");
+
+    bool dirty = way.dirty;
+    if (params_.inclusiveOfL1s && way.presence != 0) {
+        for (std::size_t i = 0; i < l1s_.size(); ++i) {
+            if (way.presence & (std::uint32_t{1} << i)) {
+                if (l1s_[i]->invalidateLine(way.tag))
+                    dirty = true;
+                ++stats_.backInvalidations;
+            }
+        }
+    }
+
+    if (dirty) {
+        MemAccess wb;
+        wb.lineAddr = way.tag;
+        wb.isWrite = true;
+        wb.isWriteback = true;
+        pushDownstream(wb);
+        ++stats_.writebacks;
+    }
+    way.valid = false;
+    way.dirty = false;
+    way.writable = false;
+    way.presence = 0;
+    way.owner = noCore;
+}
+
+void
+Cache::handleWriteback(const MemAccess &acc)
+{
+    Way *way = findWay(acc.lineAddr);
+    if (way != nullptr) {
+        way->dirty = true;
+        if (params_.inclusiveOfL1s && acc.core != noCore) {
+            way->presence &= ~(std::uint32_t{1} << acc.core);
+            if (way->owner == acc.core)
+                way->owner = noCore;
+        }
+        return;
+    }
+    // Not resident (e.g. raced with our own eviction): pass through.
+    pushDownstream(acc);
+}
+
+bool
+Cache::access(const MemAccess &acc, MemClient *client)
+{
+    if (acc.isWriteback) {
+        // Writebacks are sunk without a response and never blocked
+        // (the send queue is the writeback buffer).
+        handleWriteback(acc);
+        return true;
+    }
+
+    Way *way = findWay(acc.lineAddr);
+
+    // Hit with sufficient permission?
+    if (way != nullptr) {
+        // Directory grant serialization: while a previous grant for
+        // this line is still travelling to its L1, a new grant could
+        // invalidate a copy that has not been installed yet and leave
+        // two writable copies behind. Make the requester retry.
+        if (params_.inclusiveOfL1s && !acc.isPrefetch &&
+            pendingGrants_.count(acc.lineAddr)) {
+            ++stats_.blockedAccesses;
+            return false;
+        }
+        // A demand hit on a prefetched line is a stream-training event:
+        // without it the prefetcher would stall at its own distance.
+        if (way->prefetched && !acc.isPrefetch) {
+            way->prefetched = false;
+            if (prefetcher_ != nullptr)
+                prefetcher_->observeMiss(acc.lineAddr, now_);
+        }
+        const bool needs_upgrade =
+            acc.isWrite && !params_.inclusiveOfL1s && !way->writable;
+        if (!needs_upgrade) {
+            way->lastUse = now_;
+            unsigned messages = 0;
+            if (params_.inclusiveOfL1s)
+                messages = grantAtDirectory(*way, acc, acc.isWrite);
+            if (acc.isWrite && !params_.inclusiveOfL1s)
+                way->dirty = true;
+            ++stats_.hits;
+            if (!acc.isPrefetch) {
+                scheduleResponse(
+                    now_ + params_.hitLatency +
+                        messages * params_.invalPenalty,
+                    acc.token, client,
+                    params_.inclusiveOfL1s ? acc.lineAddr
+                                           : invalidAddr);
+            }
+            return true;
+        }
+        // Upgrade: modelled as a full miss requesting write permission
+        // (self-invalidate the Shared copy; it cannot be dirty).
+        mil_assert(!way->dirty, "dirty line without write permission");
+        way->valid = false;
+        ++stats_.upgrades;
+    }
+
+    // Miss (or upgrade). Merge into an existing MSHR when possible.
+    auto it = mshrs_.find(acc.lineAddr);
+    if (it != mshrs_.end()) {
+        auto &entry = it->second;
+        if (params_.inclusiveOfL1s && !acc.isPrefetch) {
+            // Directory hazard: permissions are granted per target as
+            // the fill's responses go out, but the targets' L1s only
+            // install their copies when those responses *arrive*. A
+            // cross-core merge involving write permission would let an
+            // invalidation race a not-yet-delivered fill and leave two
+            // writable copies. Refuse the merge; the requester retries
+            // once the in-flight fill completes.
+            const bool write_involved = acc.isWrite ||
+                entry.needsWritable;
+            for (const auto &t : entry.targets) {
+                if (write_involved && t.core != acc.core) {
+                    ++stats_.blockedAccesses;
+                    return false;
+                }
+            }
+        }
+        if (!acc.isPrefetch) {
+            if (acc.isWrite && !entry.needsWritable &&
+                !params_.inclusiveOfL1s) {
+                // The in-flight fetch was issued downstream as a
+                // read: it will bring a Shared copy, and silently
+                // upgrading it here would bypass the directory.
+                // Retry; after the fill the store takes the normal
+                // upgrade path.
+                ++stats_.blockedAccesses;
+                return false;
+            }
+            entry.targets.push_back(MshrEntry::Target{
+                acc.token, client, acc.isWrite, acc.core});
+            entry.prefetchOnly = false;
+            if (acc.isWrite)
+                entry.needsWritable = true;
+            if (entry.core == noCore)
+                entry.core = acc.core;
+        }
+        ++stats_.mshrMerges;
+        return true;
+    }
+
+    if (mshrs_.size() >= params_.mshrs) {
+        ++stats_.blockedAccesses;
+        return false;
+    }
+
+    MshrEntry entry;
+    entry.prefetchOnly = acc.isPrefetch;
+    entry.core = acc.core;
+    if (!acc.isPrefetch) {
+        entry.targets.push_back(MshrEntry::Target{
+            acc.token, client, acc.isWrite, acc.core});
+        entry.needsWritable = acc.isWrite;
+    }
+    mshrs_.emplace(acc.lineAddr, std::move(entry));
+    ++stats_.misses;
+
+    if (prefetcher_ != nullptr && !acc.isPrefetch)
+        prefetcher_->observeMiss(acc.lineAddr, now_);
+
+    MemAccess down;
+    down.lineAddr = acc.lineAddr;
+    down.isWrite = acc.isWrite;
+    down.isPrefetch = acc.isPrefetch;
+    down.core = acc.core;
+    down.token = acc.lineAddr; // Fills are keyed by line address.
+    pushDownstream(down);
+    return true;
+}
+
+void
+Cache::accessDone(std::uint64_t token, Cycle now)
+{
+    // A fill arrived from downstream for line address == token.
+    const Addr line_addr = token;
+    auto it = mshrs_.find(line_addr);
+    mil_assert(it != mshrs_.end(), "fill without an MSHR");
+
+    Way &victim = victimWay(line_addr, now);
+    if (params_.inclusiveOfL1s && victim.valid &&
+        pendingGrants_.count(victim.tag)) {
+        // Every way of the set has a grant in flight: defer the fill
+        // one cycle (grants drain within the hit latency) by sending
+        // ourselves the fill token again.
+        scheduleResponse(now + 1, token, this);
+        return;
+    }
+    MshrEntry entry = std::move(it->second);
+    mshrs_.erase(it);
+
+    if (victim.valid)
+        evict(victim, line_addr);
+
+    victim.valid = true;
+    victim.tag = line_addr;
+    victim.lastUse = now;
+    victim.dirty = false;
+    victim.prefetched = entry.prefetchOnly;
+    victim.presence = 0;
+    victim.owner = noCore;
+
+    if (!params_.inclusiveOfL1s) {
+        victim.writable = entry.needsWritable;
+        victim.dirty = entry.needsWritable;
+    }
+
+    if (entry.prefetchOnly)
+        ++stats_.prefetchFills;
+
+    for (const auto &target : entry.targets) {
+        unsigned messages = 0;
+        if (params_.inclusiveOfL1s) {
+            MemAccess pseudo;
+            pseudo.lineAddr = line_addr;
+            pseudo.core = target.core;
+            messages = grantAtDirectory(victim, pseudo, target.isWrite);
+        }
+        scheduleResponse(now + params_.hitLatency +
+                             messages * params_.invalPenalty,
+                         target.token, target.client,
+                         params_.inclusiveOfL1s ? line_addr
+                                                : invalidAddr);
+    }
+}
+
+bool
+Cache::invalidateLine(Addr line_addr)
+{
+    Way *way = findWay(line_addr);
+    if (way == nullptr)
+        return false;
+    const bool was_dirty = way->dirty;
+    way->valid = false;
+    way->dirty = false;
+    way->writable = false;
+    return was_dirty;
+}
+
+bool
+Cache::downgradeLine(Addr line_addr)
+{
+    Way *way = findWay(line_addr);
+    if (way == nullptr)
+        return false;
+    const bool was_dirty = way->dirty;
+    way->writable = false;
+    way->dirty = false;
+    return was_dirty;
+}
+
+void
+Cache::tick(Cycle now)
+{
+    now_ = now;
+
+    // Inject prefetches generated by the observed misses. A prefetch
+    // that cannot allocate an MSHR is simply dropped (it is a hint).
+    if (prefetcher_ != nullptr) {
+        prefetchBuf_.clear();
+        prefetcher_->drainPending(prefetchBuf_);
+        for (Addr a : prefetchBuf_) {
+            MemAccess p;
+            p.lineAddr = a;
+            p.isPrefetch = true;
+            (void)access(p, nullptr);
+        }
+    }
+
+    // Retry downstream sends (misses and writebacks).
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < sendQueue_.size(); ++i) {
+        if (!downstream_->access(sendQueue_[i], this))
+            sendQueue_[kept++] = sendQueue_[i];
+    }
+    sendQueue_.resize(kept);
+
+    // Deliver matured responses.
+    for (std::size_t i = 0; i < responses_.size();) {
+        if (responses_[i].when <= now) {
+            Response r = responses_[i];
+            responses_[i] = responses_.back();
+            responses_.pop_back();
+            if (r.grantLine != invalidAddr) {
+                auto it = pendingGrants_.find(r.grantLine);
+                if (it != pendingGrants_.end() && --it->second == 0)
+                    pendingGrants_.erase(it);
+            }
+            r.client->accessDone(r.token, now);
+        } else {
+            ++i;
+        }
+    }
+}
+
+bool
+Cache::busy() const
+{
+    return !mshrs_.empty() || !sendQueue_.empty() || !responses_.empty();
+}
+
+} // namespace mil

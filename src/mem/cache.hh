@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Set-associative write-back caches with MSHRs and MESI-style
+ * coherence between private L1s and a shared, inclusive L2.
+ *
+ * The protocol is directory-based: the L2 keeps per-line presence bits
+ * and grants write permission (M) to at most one L1 at a time. Loads
+ * fill Exclusive when no other sharer exists, Shared otherwise; stores
+ * to non-writable lines send an upgrade that invalidates the other
+ * sharers. Inclusion is enforced by back-invalidating L1 copies when
+ * the L2 evicts a line. Because functional data lives in the
+ * FunctionalMemory image (stores update it at issue), coherence here
+ * is purely a timing/traffic model -- which is all the paper's
+ * experiments require of it.
+ */
+
+#ifndef MIL_MEM_CACHE_HH
+#define MIL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/mem_types.hh"
+
+namespace mil
+{
+
+class Prefetcher;
+
+/** Cache geometry and timing. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 4;
+    std::uint32_t hitLatency = 1;  ///< Cycles from access to response.
+    std::uint32_t mshrs = 8;
+    std::uint32_t invalPenalty = 2; ///< Extra cycles per coherence inval.
+    bool inclusiveOfL1s = false;    ///< Acts as shared L2 directory.
+};
+
+/** Cache statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t mshrMerges = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t backInvalidations = 0;
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t blockedAccesses = 0;
+
+    double
+    missRate() const
+    {
+        const auto total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(misses) /
+                            static_cast<double>(total);
+    }
+};
+
+/**
+ * One cache level. The same class serves as a private L1 (coherence
+ * client) and as the shared inclusive L2 (directory home), selected by
+ * CacheParams::inclusiveOfL1s.
+ */
+class Cache : public MemLevel, public MemClient
+{
+  public:
+    Cache(const CacheParams &params, MemLevel *downstream);
+
+    /** Register the private L1s (directory mode only). */
+    void setL1s(std::vector<Cache *> l1s);
+
+    /** Attach a prefetcher that observes demand misses (L2 only). */
+    void setPrefetcher(Prefetcher *pf) { prefetcher_ = pf; }
+
+    // MemLevel interface.
+    bool access(const MemAccess &acc, MemClient *client) override;
+    void tick(Cycle now) override;
+    bool busy() const override;
+
+    // MemClient interface (fills arriving from downstream).
+    void accessDone(std::uint64_t token, Cycle now) override;
+
+    /**
+     * Coherence entry points (called by the L2 directory on its L1s).
+     * Both are functionally immediate; their latency cost is charged
+     * to the triggering access at the directory.
+     *
+     * @return true when the victim copy was dirty.
+     */
+    bool invalidateLine(Addr line_addr);
+    bool downgradeLine(Addr line_addr);
+
+    /** True when the line is resident (any state). */
+    bool probe(Addr line_addr) const;
+
+    /** True when the line is resident with write permission (M/E). */
+    bool probeWritable(Addr line_addr) const;
+
+    /** True when the line is resident and dirty. */
+    bool probeDirty(Addr line_addr) const;
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool writable = false;
+        bool prefetched = false; ///< Filled by prefetch, untouched yet.
+        Addr tag = 0;
+        Cycle lastUse = 0;
+        std::uint32_t presence = 0; ///< L1 presence bits (L2 only).
+        CoreId owner = noCore;      ///< Writable L1, if any (L2 only).
+    };
+
+    struct MshrEntry
+    {
+        struct Target
+        {
+            std::uint64_t token;
+            MemClient *client;
+            bool isWrite;
+            CoreId core;
+        };
+        std::vector<Target> targets;
+        bool needsWritable = false;
+        bool sentDownstream = false;
+        bool prefetchOnly = false;
+        CoreId core = noCore;
+    };
+
+    struct Response
+    {
+        Cycle when;
+        std::uint64_t token;
+        MemClient *client;
+        /** Line whose directory grant this response carries, or
+         *  invalidAddr. While any grant for a line is in flight the
+         *  directory refuses further demand accesses to it. */
+        Addr grantLine = invalidAddr;
+    };
+
+    std::size_t setOf(Addr line_addr) const;
+    Way *findWay(Addr line_addr);
+    const Way *findWay(Addr line_addr) const;
+    Way &victimWay(Addr line_addr, Cycle now);
+
+    void scheduleResponse(Cycle when, std::uint64_t token,
+                          MemClient *client,
+                          Addr grant_line = invalidAddr);
+    void handleWriteback(const MemAccess &acc);
+    unsigned grantAtDirectory(Way &way, const MemAccess &acc,
+                              bool wants_write);
+    void evict(Way &way, Addr line_addr_of_set_member);
+    void pushDownstream(const MemAccess &acc);
+
+    CacheParams params_;
+    MemLevel *downstream_;
+    std::vector<Cache *> l1s_;
+    Prefetcher *prefetcher_ = nullptr;
+
+    std::size_t sets_;
+    std::vector<std::vector<Way>> tags_;
+
+    std::unordered_map<Addr, MshrEntry> mshrs_;
+    std::unordered_map<Addr, unsigned> pendingGrants_;
+    std::vector<MemAccess> sendQueue_; ///< Downstream sends to (re)try.
+    std::vector<Addr> prefetchBuf_;    ///< Drained from the prefetcher.
+    std::vector<Response> responses_;
+    Cycle now_ = 0;
+
+    CacheStats stats_;
+};
+
+} // namespace mil
+
+#endif // MIL_MEM_CACHE_HH

@@ -1,0 +1,160 @@
+#include "core.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+/** Token layout: [threadId : 16][blocking : 1][isLoad : 1]. */
+std::uint64_t
+makeToken(unsigned tid, bool blocking, bool is_load)
+{
+    return (std::uint64_t{tid} << 2) | (blocking ? 2u : 0u) |
+        (is_load ? 1u : 0u);
+}
+
+} // anonymous namespace
+
+Core::Core(CoreId id, const CoreParams &params, MemLevel *l1,
+           FunctionalMemory *mem)
+    : id_(id), params_(params), l1_(l1), mem_(mem),
+      threads_(params.threads)
+{
+    mil_assert(l1_ != nullptr && mem_ != nullptr,
+               "core needs an L1 and the functional image");
+    mil_assert(params.threads >= 1 && params.threads <= 16,
+               "unsupported thread count");
+}
+
+void
+Core::setStream(unsigned tid, ThreadStreamPtr stream)
+{
+    mil_assert(tid < threads_.size(), "thread id out of range");
+    threads_[tid].stream = std::move(stream);
+    fetchNextOp(threads_[tid]);
+}
+
+void
+Core::fetchNextOp(Thread &t)
+{
+    if (t.stream == nullptr ||
+        (params_.opQuota != 0 && t.retired >= params_.opQuota)) {
+        t.opValid = false;
+        t.finished = true;
+        return;
+    }
+    if (!t.stream->next(t.op)) {
+        t.opValid = false;
+        t.finished = true;
+        return;
+    }
+    t.opValid = true;
+    t.gapLeft = t.op.gap;
+}
+
+void
+Core::performStore(const CoreMemOp &op)
+{
+    // Functional update at issue: merge the 8-byte store value into
+    // the line image so later bursts carry the program's data.
+    const Addr line_addr = op.addr & ~static_cast<Addr>(lineBytes - 1);
+    const unsigned offset =
+        static_cast<unsigned>(op.addr - line_addr) & ~7u;
+    Line line = mem_->read(line_addr);
+    store64(line.data() + offset, op.storeValue);
+    mem_->write(line_addr, line);
+}
+
+bool
+Core::tryIssue(Thread &t, unsigned tid, Cycle now)
+{
+    (void)now;
+    const bool is_load = !t.op.isWrite;
+    const bool blocks = is_load &&
+        (t.op.blocking || params_.blockOnEveryLoad);
+
+    if (is_load && t.outstanding >= params_.maxOutstandingLoads)
+        return false;
+
+    MemAccess acc;
+    acc.lineAddr = t.op.addr & ~static_cast<Addr>(lineBytes - 1);
+    acc.isWrite = t.op.isWrite;
+    acc.core = id_;
+    acc.token = makeToken(tid, blocks, is_load);
+
+    if (!l1_->access(acc, this)) {
+        ++stats_.retryCycles;
+        return false;
+    }
+
+    if (t.op.isWrite) {
+        performStore(t.op);
+        ++stats_.stores;
+    } else {
+        ++t.outstanding;
+        if (blocks)
+            t.blocked = true;
+        ++stats_.loads;
+    }
+
+    ++t.retired;
+    fetchNextOp(t);
+    return true;
+}
+
+void
+Core::tick(Cycle now)
+{
+    // Progress compute gaps on every live thread.
+    for (auto &t : threads_) {
+        if (t.opValid && !t.blocked && t.gapLeft > 0)
+            --t.gapLeft;
+    }
+
+    // Issue up to issueWidth ops, round-robin across ready threads.
+    unsigned issued = 0;
+    const unsigned n = static_cast<unsigned>(threads_.size());
+    for (unsigned k = 0; k < n && issued < params_.issueWidth; ++k) {
+        const unsigned tid = (rrNext_ + k) % n;
+        Thread &t = threads_[tid];
+        if (!t.opValid || t.blocked || t.gapLeft > 0)
+            continue;
+        if (tryIssue(t, tid, now))
+            ++issued;
+    }
+    rrNext_ = n == 0 ? 0 : (rrNext_ + 1) % n;
+    if (issued == 0)
+        ++stats_.stallCycles;
+}
+
+void
+Core::accessDone(std::uint64_t token, Cycle /* now */)
+{
+    const unsigned tid = static_cast<unsigned>(token >> 2);
+    const bool blocking = (token & 2u) != 0;
+    const bool is_load = (token & 1u) != 0;
+    mil_assert(tid < threads_.size(), "bad response token");
+    Thread &t = threads_[tid];
+    if (is_load) {
+        mil_assert(t.outstanding > 0, "load response without a load");
+        --t.outstanding;
+        if (blocking)
+            t.blocked = false;
+    }
+}
+
+bool
+Core::done() const
+{
+    for (const auto &t : threads_) {
+        if (!t.finished || t.outstanding > 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace mil

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Simplified multicore processor model.
+ *
+ * Each core hosts a configurable number of hardware thread contexts
+ * (one for the mobile out-of-order cores, four for the Niagara-like
+ * in-order microserver cores, Table 2). A thread executes its
+ * workload's op stream: it spends the op's compute gap, then issues
+ * the memory access to its private L1. Dependence-limited memory-level
+ * parallelism is modelled by (a) the per-thread outstanding-load
+ * window and (b) per-op blocking flags emitted by the workload
+ * (pointer-chasing loads block the thread until data returns).
+ *
+ * This substitutes for the paper's SESC cores: what the experiments
+ * need from the core model is the request stream's timing envelope --
+ * bandwidth demand, MLP, and multi-threaded interleaving -- not
+ * per-instruction microarchitecture (see DESIGN.md, Section 2).
+ */
+
+#ifndef MIL_MEM_CORE_HH
+#define MIL_MEM_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/functional_memory.hh"
+#include "mem/mem_types.hh"
+#include "mem/op_stream.hh"
+
+namespace mil
+{
+
+/** Core configuration. */
+struct CoreParams
+{
+    unsigned threads = 1;
+    /** Memory ops the core may issue per controller cycle. */
+    unsigned issueWidth = 1;
+    /** Outstanding-load window per thread (MLP limit). */
+    unsigned maxOutstandingLoads = 4;
+    /** In-order cores block on every load regardless of op flags. */
+    bool blockOnEveryLoad = false;
+    /** Memory ops a thread retires before it is done (0 = stream end). */
+    std::uint64_t opQuota = 0;
+};
+
+/** Core statistics. */
+struct CoreStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t stallCycles = 0; ///< Cycles with no thread issuable.
+    std::uint64_t retryCycles = 0; ///< Ops rejected by a full L1.
+};
+
+/** One processor core driving a private L1. */
+class Core : public MemClient
+{
+  public:
+    Core(CoreId id, const CoreParams &params, MemLevel *l1,
+         FunctionalMemory *mem);
+
+    /** Install thread @p tid's op stream. */
+    void setStream(unsigned tid, ThreadStreamPtr stream);
+
+    /** Advance one cycle: progress gaps, issue ready ops. */
+    void tick(Cycle now);
+
+    /** All threads finished and no loads in flight? */
+    bool done() const;
+
+    // MemClient interface (L1 responses).
+    void accessDone(std::uint64_t token, Cycle now) override;
+
+    const CoreStats &stats() const { return stats_; }
+    CoreId id() const { return id_; }
+
+  private:
+    struct Thread
+    {
+        ThreadStreamPtr stream;
+        CoreMemOp op{};
+        bool opValid = false;      ///< op holds the next op to issue.
+        std::uint64_t gapLeft = 0; ///< Compute cycles before issue.
+        bool blocked = false;      ///< Stalled on a blocking load.
+        unsigned outstanding = 0;  ///< Loads in flight.
+        std::uint64_t retired = 0;
+        bool finished = false;
+    };
+
+    void fetchNextOp(Thread &t);
+    bool tryIssue(Thread &t, unsigned tid, Cycle now);
+    void performStore(const CoreMemOp &op);
+
+    CoreId id_;
+    CoreParams params_;
+    MemLevel *l1_;
+    FunctionalMemory *mem_;
+    std::vector<Thread> threads_;
+    unsigned rrNext_ = 0;
+    CoreStats stats_;
+};
+
+} // namespace mil
+
+#endif // MIL_MEM_CORE_HH

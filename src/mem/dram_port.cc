@@ -1,0 +1,82 @@
+#include "dram_port.hh"
+
+#include "common/logging.hh"
+
+namespace mil
+{
+
+DramPort::DramPort(const AddressMap &map,
+                   std::vector<MemoryController *> controllers,
+                   FunctionalMemory *backing)
+    : map_(map), controllers_(std::move(controllers)), backing_(backing)
+{
+    mil_assert(controllers_.size() == map_.channels(),
+               "one controller per channel required");
+    mil_assert(backing_ != nullptr, "port needs the functional image");
+}
+
+bool
+DramPort::access(const MemAccess &acc, MemClient *client)
+{
+    const unsigned channel = map_.channelOf(acc.lineAddr);
+    MemoryController *ctrl = controllers_[channel];
+
+    // Only dirty evictions are DRAM writes; a store miss (RFO) still
+    // has to *fetch* the line -- write permission is a coherence
+    // concept that does not exist below the L2.
+    const bool is_write = acc.isWriteback;
+    if (!ctrl->canAccept(is_write))
+        return false;
+
+    MemRequest req;
+    req.id = nextId_++;
+    req.lineAddr = acc.lineAddr;
+    req.isWrite = is_write;
+    req.arrival = now_;
+    req.coord = map_.decode(acc.lineAddr);
+
+    if (is_write) {
+        // Snapshot current line contents for the burst.
+        req.data = backing_->read(acc.lineAddr);
+        const bool ok = ctrl->enqueue(req, nullptr);
+        mil_assert(ok, "controller rejected an accepted write");
+        ++writesSent_;
+        return true;
+    }
+
+    waiters_.emplace(req.id, Waiter{acc.token, client});
+    const bool ok = ctrl->enqueue(req, this);
+    mil_assert(ok, "controller rejected an accepted read");
+    ++readsSent_;
+    return true;
+}
+
+void
+DramPort::memResponse(ReqId id, const Line & /* data */, Cycle when)
+{
+    auto it = waiters_.find(id);
+    mil_assert(it != waiters_.end(), "response for unknown request");
+    Waiter w = it->second;
+    waiters_.erase(it);
+    if (w.client != nullptr)
+        w.client->accessDone(w.token, when);
+}
+
+void
+DramPort::tick(Cycle now)
+{
+    now_ = now;
+}
+
+bool
+DramPort::busy() const
+{
+    if (!waiters_.empty())
+        return true;
+    for (const auto *c : controllers_)
+        if (c->busy())
+            return true;
+    return false;
+}
+
+} // namespace mil

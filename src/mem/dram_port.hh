@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Adapter between the cache hierarchy (MemLevel protocol) and the
+ * per-channel memory controllers. Routes accesses by the address map,
+ * converts them to MemRequests, and fans read responses back to the
+ * requesting cache. Write data is snapshotted from the functional
+ * memory image at enqueue time, so writebacks carry the program's
+ * current line contents onto the bus.
+ */
+
+#ifndef MIL_MEM_DRAM_PORT_HH
+#define MIL_MEM_DRAM_PORT_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "dram/address_map.hh"
+#include "dram/controller.hh"
+#include "mem/mem_types.hh"
+
+namespace mil
+{
+
+/** MemLevel facade over the set of memory channels. */
+class DramPort : public MemLevel, public MemResponseSink
+{
+  public:
+    DramPort(const AddressMap &map,
+             std::vector<MemoryController *> controllers,
+             FunctionalMemory *backing);
+
+    // MemLevel interface.
+    bool access(const MemAccess &acc, MemClient *client) override;
+    void tick(Cycle now) override;
+    bool busy() const override;
+
+    // MemResponseSink interface.
+    void memResponse(ReqId id, const Line &data, Cycle when) override;
+
+    std::uint64_t readsSent() const { return readsSent_; }
+    std::uint64_t writesSent() const { return writesSent_; }
+
+  private:
+    struct Waiter
+    {
+        std::uint64_t token;
+        MemClient *client;
+    };
+
+    AddressMap map_;
+    std::vector<MemoryController *> controllers_;
+    FunctionalMemory *backing_;
+    std::unordered_map<ReqId, Waiter> waiters_;
+    ReqId nextId_ = 1;
+    Cycle now_ = 0;
+    std::uint64_t readsSent_ = 0;
+    std::uint64_t writesSent_ = 0;
+};
+
+} // namespace mil
+
+#endif // MIL_MEM_DRAM_PORT_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interfaces between cores, caches, and the memory-controller port.
+ *
+ * Timing and functional state are decoupled in the usual simulator
+ * fashion: stores update the functional memory image immediately at
+ * issue, while the tag-only cache hierarchy models the timing. The
+ * DRAM controller reads line contents from the functional image when
+ * a burst actually occurs, so the bits on the bus are the program's
+ * current values.
+ */
+
+#ifndef MIL_MEM_MEM_TYPES_HH
+#define MIL_MEM_MEM_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mil
+{
+
+/** Identifies the requesting L1 cache for coherence bookkeeping. */
+using CoreId = unsigned;
+
+inline constexpr CoreId noCore = ~0u;
+
+/** One timing access descending the hierarchy. */
+struct MemAccess
+{
+    Addr lineAddr = 0;        ///< Line-aligned address.
+    bool isWrite = false;     ///< Store (needs write permission).
+    bool isWriteback = false; ///< Dirty eviction descending; no response.
+    bool isPrefetch = false;  ///< Install without a requester to wake.
+    CoreId core = noCore;     ///< Originating core (for coherence).
+    std::uint64_t token = 0;  ///< Requester-private identifier.
+};
+
+/** Upcall interface for completed timing accesses. */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** The access identified by @p token finished at @p now. */
+    virtual void accessDone(std::uint64_t token, Cycle now) = 0;
+};
+
+/** Downstream interface (a cache level or the DRAM port). */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Start a timing access. Returns false when the level cannot
+     * accept it this cycle (MSHRs or queues full); the caller must
+     * retry on a later cycle.
+     */
+    virtual bool access(const MemAccess &acc, MemClient *client) = 0;
+
+    /** Advance one cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Outstanding work at this level or below? */
+    virtual bool busy() const = 0;
+};
+
+} // namespace mil
+
+#endif // MIL_MEM_MEM_TYPES_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The interface between the core model and workload generators: a
+ * per-thread stream of memory operations with compute gaps.
+ */
+
+#ifndef MIL_MEM_OP_STREAM_HH
+#define MIL_MEM_OP_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace mil
+{
+
+/** One memory operation as seen by a hardware thread. */
+struct CoreMemOp
+{
+    Addr addr = 0;          ///< Byte address (any alignment).
+    bool isWrite = false;
+    /**
+     * Dependence flag: a blocking load stalls the issuing thread until
+     * the data returns (pointer-chasing / address-dependent code); a
+     * non-blocking load only counts against the thread's MLP window.
+     */
+    bool blocking = false;
+    /**
+     * Compute cycles (in controller clocks) the thread spends before
+     * issuing this operation; models the non-memory instructions in
+     * between and therefore the workload's memory intensity.
+     */
+    std::uint32_t gap = 0;
+    std::uint64_t storeValue = 0; ///< 8-byte value stored (writes only).
+};
+
+/** A deterministic, seedable generator of one thread's op stream. */
+class ThreadStream
+{
+  public:
+    virtual ~ThreadStream() = default;
+
+    /**
+     * Produce the next operation. Returns false when the thread's
+     * program ends (streams may also be infinite; the simulator stops
+     * them at the configured op quota).
+     */
+    virtual bool next(CoreMemOp &op) = 0;
+};
+
+using ThreadStreamPtr = std::unique_ptr<ThreadStream>;
+
+} // namespace mil
+
+#endif // MIL_MEM_OP_STREAM_HH

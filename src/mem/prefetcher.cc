@@ -1,0 +1,101 @@
+#include "prefetcher.hh"
+
+#include <cstdlib>
+
+namespace mil
+{
+
+Prefetcher::Prefetcher(const PrefetcherParams &params)
+    : params_(params), streams_(params.nstreams)
+{
+}
+
+void
+Prefetcher::observeMiss(Addr line_addr, Cycle now)
+{
+    if (!params_.enabled)
+        return;
+
+    const Addr line = line_addr / lineBytes;
+
+    // Match against tracked streams: the miss continues a stream when
+    // it lands within a small forward window of the last demand line.
+    for (auto &s : streams_) {
+        if (!s.valid)
+            continue;
+        const long long delta = static_cast<long long>(line) -
+            static_cast<long long>(s.lastLine);
+        const long long along = delta * s.dir;
+        if (along >= 1 && along <= 4) {
+            s.lastLine = line;
+            s.lastUse = now;
+            if (!s.trained) {
+                s.trained = true;
+                s.prefetchHead = line;
+                ++stats_.trainings;
+            }
+            // Never prefetch at or behind the demand stream: pull the
+            // head up to the current miss before advancing.
+            if ((s.dir > 0 && s.prefetchHead < line) ||
+                (s.dir < 0 && s.prefetchHead > line)) {
+                s.prefetchHead = line;
+            }
+            // Advance the head up to `distance` ahead, at most
+            // `degree` lines per trigger.
+            const long long target = static_cast<long long>(line) +
+                static_cast<long long>(s.dir) *
+                    static_cast<long long>(params_.distance);
+            unsigned issued = 0;
+            while (issued < params_.degree) {
+                const long long next =
+                    static_cast<long long>(s.prefetchHead) + s.dir;
+                if (s.dir > 0 ? next > target : next < target)
+                    break;
+                if (next < 0)
+                    break;
+                s.prefetchHead = static_cast<Addr>(next);
+                pending_.push_back(s.prefetchHead * lineBytes);
+                ++issued;
+                ++stats_.prefetchesIssued;
+            }
+            return;
+        }
+        if (along >= -4 && along <= -1 && !s.trained) {
+            // Second miss behind the first: a descending stream.
+            s.dir = -1;
+            s.lastLine = line;
+            s.trained = true;
+            s.prefetchHead = line;
+            s.lastUse = now;
+            ++stats_.trainings;
+            return;
+        }
+    }
+
+    // Allocate a new stream over the LRU entry.
+    Stream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    victim->valid = true;
+    victim->trained = false;
+    victim->dir = 1;
+    victim->lastLine = line;
+    victim->prefetchHead = line;
+    victim->lastUse = now;
+    ++stats_.streamAllocations;
+}
+
+void
+Prefetcher::drainPending(std::vector<Addr> &out)
+{
+    out.insert(out.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+}
+
+} // namespace mil

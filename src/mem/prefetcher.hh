@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reference stream prefetcher (Table 2: nstreams / distance / degree).
+ *
+ * The prefetcher observes demand misses at the shared L2. Each stream
+ * table entry tracks an address neighborhood and direction; once a
+ * stream is confirmed by a second nearby miss, every further hit
+ * advances a prefetch head up to `distance` lines ahead of the demand
+ * stream, issuing at most `degree` prefetches per triggering miss.
+ * Prefetches install into the L2 only, mirroring the paper's setup
+ * (Srinath et al. feedback-directed prefetching, simplified to the
+ * static best-performing configuration).
+ */
+
+#ifndef MIL_MEM_PREFETCHER_HH
+#define MIL_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mil
+{
+
+/** Stream prefetcher configuration. */
+struct PrefetcherParams
+{
+    unsigned nstreams = 64;
+    unsigned distance = 32; ///< Lines ahead of the demand stream.
+    unsigned degree = 4;    ///< Prefetches per triggering miss.
+    bool enabled = true;
+};
+
+/** Prefetcher statistics. */
+struct PrefetcherStats
+{
+    std::uint64_t trainings = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t streamAllocations = 0;
+};
+
+/** Stream prefetcher observing one cache level. */
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(const PrefetcherParams &params);
+
+    /** Called by the observed cache on each demand miss. */
+    void observeMiss(Addr line_addr, Cycle now);
+
+    /**
+     * Move the prefetch addresses generated since the last drain into
+     * @p out (the cache issues them to itself on its tick).
+     */
+    void drainPending(std::vector<Addr> &out);
+
+    const PrefetcherStats &stats() const { return stats_; }
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        bool trained = false;
+        int dir = 1;
+        Addr lastLine = 0;     ///< Last demand line (line index).
+        Addr prefetchHead = 0; ///< Next line index to prefetch.
+        Cycle lastUse = 0;
+    };
+
+    PrefetcherParams params_;
+    std::vector<Stream> streams_;
+    std::vector<Addr> pending_;
+    PrefetcherStats stats_;
+};
+
+} // namespace mil
+
+#endif // MIL_MEM_PREFETCHER_HH

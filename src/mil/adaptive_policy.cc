@@ -1,0 +1,99 @@
+#include "adaptive_policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mil
+{
+
+AdaptiveMilPolicy::AdaptiveMilPolicy(CodePtr base,
+                                     std::vector<CodePtr> candidates,
+                                     unsigned lookahead_x,
+                                     unsigned explore_bursts,
+                                     unsigned exploit_bursts)
+    : base_(std::move(base)), candidates_(std::move(candidates)),
+      tallies_(candidates_.size()), lookaheadX_(lookahead_x),
+      exploreBursts_(explore_bursts), exploitBursts_(exploit_bursts)
+{
+    mil_assert(!candidates_.empty(), "need at least one long code");
+    const unsigned bl = candidates_.front()->burstLength();
+    for (const auto &c : candidates_) {
+        mil_assert(c->burstLength() == bl,
+                   "candidate long codes must share a burst length");
+        mil_assert(base_->busCycles() <= c->busCycles(),
+                   "the base code must not outlast the long codes");
+    }
+    mil_assert(explore_bursts > 0 && exploit_bursts > 0,
+               "epoch lengths must be positive");
+}
+
+unsigned
+AdaptiveMilPolicy::latencyAdder() const
+{
+    unsigned adder = base_->extraLatency();
+    for (const auto &c : candidates_)
+        adder = std::max(adder, c->extraLatency());
+    return adder;
+}
+
+unsigned
+AdaptiveMilPolicy::maxBusCycles() const
+{
+    return candidates_.front()->busCycles();
+}
+
+void
+AdaptiveMilPolicy::advanceEpoch()
+{
+    burstsInEpoch_ = 0;
+    if (exploring_) {
+        if (current_ + 1 < candidates_.size()) {
+            ++current_; // Next candidate's exploration round.
+            return;
+        }
+        // All candidates sampled: commit to the sparsest.
+        best_ = 0;
+        for (std::size_t i = 1; i < candidates_.size(); ++i) {
+            if (tallies_[i].density() < tallies_[best_].density())
+                best_ = i;
+        }
+        exploring_ = false;
+        current_ = best_;
+        return;
+    }
+    // Exploit epoch over: re-explore with fresh counters (phases
+    // change the data mix).
+    exploring_ = true;
+    current_ = 0;
+    std::fill(tallies_.begin(), tallies_.end(), Tally{});
+}
+
+const Code &
+AdaptiveMilPolicy::choose(const ColumnContext &ctx)
+{
+    if (ctx.othersReadyWithinX != 0)
+        return *base_;
+    return *candidates_[current_];
+}
+
+void
+AdaptiveMilPolicy::observe(const Code &code, std::uint64_t bits,
+                           std::uint64_t zeros)
+{
+    // Only long-slot bursts advance the epoch machinery; base-code
+    // bursts carry no information about the long-code choice.
+    if (code.name() == base_->name())
+        return;
+    if (exploring_ && code.name() == candidates_[current_]->name()) {
+        tallies_[current_].bits += bits;
+        tallies_[current_].zeros += zeros;
+    }
+    ++burstsInEpoch_;
+    const std::uint64_t limit =
+        exploring_ ? exploreBursts_ : exploitBursts_;
+    if (burstsInEpoch_ >= limit)
+        advanceEpoch();
+}
+
+} // namespace mil

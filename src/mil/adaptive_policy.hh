@@ -1,0 +1,94 @@
+/**
+ * @file
+ * AdaptiveMilPolicy -- the paper's Section 4.4 future-work idea made
+ * concrete: "the burst length can even be made application-specific
+ * with a few candidate coding schemes".
+ *
+ * The policy keeps a set of candidate long codes (all sharing the
+ * same burst length, so the decision logic and DRAM mode programming
+ * are unchanged) and uses the per-scheme zero counters the controller
+ * already feeds back (CodingPolicy::observe) to learn which candidate
+ * compresses *this application's* data best. Operation alternates
+ * explore epochs -- each candidate serves the long slot for a fixed
+ * number of bursts -- with much longer exploit epochs that run the
+ * current best candidate. Re-exploration keeps the choice fresh
+ * across program phases.
+ *
+ * Everything is deterministic: epoch boundaries are counted in
+ * bursts, not cycles, so simulation results are reproducible.
+ */
+
+#ifndef MIL_MIL_ADAPTIVE_POLICY_HH
+#define MIL_MIL_ADAPTIVE_POLICY_HH
+
+#include <vector>
+
+#include "dram/coding_policy.hh"
+
+namespace mil
+{
+
+/** MiL with an application-adaptive long-code choice. */
+class AdaptiveMilPolicy : public CodingPolicy
+{
+  public:
+    /**
+     * @param base        the always-available short code (MiLC).
+     * @param candidates  long codes; all must share one burst length.
+     * @param lookahead_x decision horizon, as in MilPolicy.
+     * @param explore_bursts long-slot bursts given to each candidate
+     *        per exploration round.
+     * @param exploit_bursts long-slot bursts run with the winner
+     *        before re-exploring.
+     */
+    AdaptiveMilPolicy(CodePtr base, std::vector<CodePtr> candidates,
+                      unsigned lookahead_x = 8,
+                      unsigned explore_bursts = 256,
+                      unsigned exploit_bursts = 8192);
+
+    std::string name() const override { return "MiL-adaptive"; }
+    unsigned lookahead() const override { return lookaheadX_; }
+    unsigned latencyAdder() const override;
+    unsigned maxBusCycles() const override;
+
+    const Code &choose(const ColumnContext &ctx) override;
+    void observe(const Code &code, std::uint64_t bits,
+                 std::uint64_t zeros) override;
+
+    /** Currently preferred long-code index (for tests/reports). */
+    std::size_t currentBest() const { return best_; }
+    bool exploring() const { return exploring_; }
+
+  private:
+    struct Tally
+    {
+        std::uint64_t bits = 0;
+        std::uint64_t zeros = 0;
+
+        double
+        density() const
+        {
+            return bits == 0
+                ? 1.0
+                : static_cast<double>(zeros) / static_cast<double>(bits);
+        }
+    };
+
+    void advanceEpoch();
+
+    CodePtr base_;
+    std::vector<CodePtr> candidates_;
+    std::vector<Tally> tallies_;
+    unsigned lookaheadX_;
+    unsigned exploreBursts_;
+    unsigned exploitBursts_;
+
+    bool exploring_ = true;
+    std::size_t current_ = 0; ///< Candidate serving the long slot.
+    std::size_t best_ = 0;
+    std::uint64_t burstsInEpoch_ = 0;
+};
+
+} // namespace mil
+
+#endif // MIL_MIL_ADAPTIVE_POLICY_HH

@@ -1,0 +1,46 @@
+#include "padded_code.hh"
+
+#include "common/logging.hh"
+
+namespace mil
+{
+
+PaddedSparseCode::PaddedSparseCode(unsigned burst_length)
+    : burstLength_(burst_length)
+{
+    mil_assert(burst_length >= 8 && burst_length <= 32,
+               "padded burst length %u out of range", burst_length);
+}
+
+std::string
+PaddedSparseCode::name() const
+{
+    return "BL" + std::to_string(burstLength_);
+}
+
+BusFrame
+PaddedSparseCode::encode(LineView line) const
+{
+    const BusFrame base = dbi_.encode(line);
+    BusFrame frame(lanes(), burstLength_);
+    for (unsigned b = 0; b < burstLength_; ++b) {
+        for (unsigned l = 0; l < lanes(); ++l) {
+            // Padding beats idle high: free on the POD interface.
+            frame.setBitAt(b, l, b < base.beats() ? base.bitAt(b, l)
+                                                  : true);
+        }
+    }
+    return frame;
+}
+
+Line
+PaddedSparseCode::decode(const BusFrame &frame) const
+{
+    BusFrame base(72, 8);
+    for (unsigned b = 0; b < 8; ++b)
+        for (unsigned l = 0; l < 72; ++l)
+            base.setBitAt(b, l, frame.bitAt(b, l));
+    return dbi_.decode(base);
+}
+
+} // namespace mil

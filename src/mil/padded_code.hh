@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A hypothetical fixed-burst-length code used by the Figure 20
+ * sensitivity study ("always code with burst length N").
+ *
+ * The study varies only the bus occupancy; the paper's BL12/BL14
+ * points correspond to intermediate sparse codes that were never
+ * specified. PaddedSparseCode models them conservatively: the DBI
+ * image of the line is transferred first, and the extra beats are
+ * driven with all-ones (free on a POD bus), so the execution-time
+ * sensitivity is exactly that of the burst length while the energy
+ * never looks better than DBI.
+ */
+
+#ifndef MIL_MIL_PADDED_CODE_HH
+#define MIL_MIL_PADDED_CODE_HH
+
+#include "coding/dbi.hh"
+
+namespace mil
+{
+
+/** DBI payload padded to an arbitrary burst length with idle-high beats. */
+class PaddedSparseCode : public Code
+{
+  public:
+    explicit PaddedSparseCode(unsigned burst_length);
+
+    std::string name() const override;
+    unsigned burstLength() const override { return burstLength_; }
+    unsigned lanes() const override { return 72; }
+    unsigned extraLatency() const override { return 1; }
+
+    BusFrame encode(LineView line) const override;
+    Line decode(const BusFrame &frame) const override;
+
+  private:
+    unsigned burstLength_;
+    DbiCode dbi_;
+};
+
+} // namespace mil
+
+#endif // MIL_MIL_PADDED_CODE_HH

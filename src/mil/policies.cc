@@ -1,0 +1,128 @@
+#include "policies.hh"
+
+#include <algorithm>
+
+#include "coding/perfect_lwc.hh"
+#include "common/logging.hh"
+#include "mil/adaptive_policy.hh"
+#include "mil/padded_code.hh"
+
+namespace mil
+{
+
+MilPolicy::MilPolicy(unsigned lookahead_x, bool write_optimization)
+    : MilPolicy(std::make_shared<MilcCode>(),
+                std::make_shared<ThreeLwcCode>(), lookahead_x,
+                write_optimization)
+{
+}
+
+MilPolicy::MilPolicy(CodePtr base, CodePtr long_code, unsigned lookahead_x,
+                     bool write_optimization)
+    : base_(std::move(base)), long_(std::move(long_code)),
+      lookaheadX_(lookahead_x), writeOpt_(write_optimization)
+{
+    mil_assert(base_->busCycles() <= long_->busCycles(),
+               "the base code must not outlast the long code");
+}
+
+unsigned
+MilPolicy::latencyAdder() const
+{
+    // The DRAM is programmed with one static CL; it must cover the
+    // slower codec (Section 4.4: one extra cycle for MiLC/3-LWC).
+    return std::max(base_->extraLatency(), long_->extraLatency());
+}
+
+unsigned
+MilPolicy::maxBusCycles() const
+{
+    return long_->busCycles();
+}
+
+const Code &
+MilPolicy::choose(const ColumnContext &ctx)
+{
+    // Opportunity check (Section 4.2): the long code may be used only
+    // when no other column command becomes ready inside its bus
+    // occupancy window.
+    const bool long_slot = ctx.othersReadyWithinX == 0;
+    if (!long_slot)
+        return *base_;
+
+    if (ctx.isWrite && writeOpt_ && ctx.writeData != nullptr) {
+        // Dual-encode write optimization (Section 4.6): MiLC
+        // occasionally beats 3-LWC; since it is also shorter, picking
+        // it can never delay the next column command.
+        const auto long_zeros =
+            long_->encode(*ctx.writeData).zeroCount();
+        const auto base_zeros =
+            base_->encode(*ctx.writeData).zeroCount();
+        if (base_zeros <= long_zeros)
+            return *base_;
+    }
+    return *long_;
+}
+
+namespace policies
+{
+
+std::unique_ptr<CodingPolicy>
+dbi()
+{
+    return std::make_unique<DbiPolicy>();
+}
+
+std::unique_ptr<CodingPolicy>
+milcOnly()
+{
+    return std::make_unique<FixedCodePolicy>(std::make_shared<MilcCode>());
+}
+
+std::unique_ptr<CodingPolicy>
+cafo(unsigned passes)
+{
+    return std::make_unique<FixedCodePolicy>(
+        std::make_shared<CafoCode>(passes));
+}
+
+std::unique_ptr<CodingPolicy>
+alwaysLwc()
+{
+    return std::make_unique<FixedCodePolicy>(
+        std::make_shared<ThreeLwcCode>());
+}
+
+std::unique_ptr<CodingPolicy>
+fixedBurst(unsigned burst_length)
+{
+    return std::make_unique<FixedCodePolicy>(
+        std::make_shared<PaddedSparseCode>(burst_length));
+}
+
+std::unique_ptr<CodingPolicy>
+mil(unsigned lookahead_x)
+{
+    return std::make_unique<MilPolicy>(lookahead_x);
+}
+
+std::unique_ptr<CodingPolicy>
+milPerfect(unsigned lookahead_x)
+{
+    return std::make_unique<MilPolicy>(std::make_shared<MilcCode>(),
+                                       std::make_shared<PerfectLwcCode>(),
+                                       lookahead_x, true);
+}
+
+std::unique_ptr<CodingPolicy>
+milAdaptive(unsigned lookahead_x)
+{
+    std::vector<CodePtr> longs{std::make_shared<ThreeLwcCode>(),
+                               std::make_shared<PerfectLwcCode>()};
+    return std::make_unique<AdaptiveMilPolicy>(
+        std::make_shared<MilcCode>(), std::move(longs), lookahead_x);
+}
+
+} // namespace policies
+
+} // namespace mil

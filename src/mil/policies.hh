@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The coding policies evaluated by the paper.
+ *
+ *  - DbiPolicy:       the DDR4 baseline -- every burst is DBI, BL8.
+ *  - FixedCodePolicy: one code for every transaction (Figure 2's
+ *                     always-on 3-LWC; MiLC-only; CAFO2/CAFO4;
+ *                     Figure 20's fixed-BL hypotheticals).
+ *  - MilPolicy:       the paper's contribution. At every column
+ *                     command, the decision logic (Section 4.2 /
+ *                     Figure 11) checks whether any other queued
+ *                     column command becomes ready within the
+ *                     look-ahead distance X. If none does, the idle
+ *                     window is long enough for the long sparse code
+ *                     (3-LWC, BL16); otherwise the base code (MiLC,
+ *                     BL10) is used. Writes additionally apply the
+ *                     dual-encode optimization of Section 4.6: when
+ *                     the long slot was granted, the code with fewer
+ *                     transmitted zeros wins (MiLC never exceeds the
+ *                     granted slot, so there is no latency risk).
+ */
+
+#ifndef MIL_MIL_POLICIES_HH
+#define MIL_MIL_POLICIES_HH
+
+#include <memory>
+
+#include "coding/cafo.hh"
+#include "coding/dbi.hh"
+#include "coding/milc.hh"
+#include "coding/three_lwc.hh"
+#include "dram/coding_policy.hh"
+
+namespace mil
+{
+
+/** Conventional DDR4/LPDDR3 baseline: DBI on every burst. */
+class DbiPolicy : public CodingPolicy
+{
+  public:
+    std::string name() const override { return "DBI"; }
+    unsigned lookahead() const override { return 0; }
+    unsigned latencyAdder() const override { return 0; }
+    unsigned maxBusCycles() const override { return code_.busCycles(); }
+
+    const Code &
+    choose(const ColumnContext & /* ctx */) override
+    {
+        return code_;
+    }
+
+  private:
+    DbiCode code_;
+};
+
+/** Applies one fixed code to every transaction. */
+class FixedCodePolicy : public CodingPolicy
+{
+  public:
+    explicit FixedCodePolicy(CodePtr code) : code_(std::move(code)) {}
+
+    std::string name() const override { return code_->name() + "-only"; }
+    unsigned lookahead() const override { return 0; }
+    unsigned latencyAdder() const override { return code_->extraLatency(); }
+    unsigned maxBusCycles() const override { return code_->busCycles(); }
+
+    const Code &
+    choose(const ColumnContext & /* ctx */) override
+    {
+        return *code_;
+    }
+
+  private:
+    CodePtr code_;
+};
+
+/** The opportunistic MiL framework. */
+class MilPolicy : public CodingPolicy
+{
+  public:
+    /**
+     * @param lookahead_x decision-logic horizon X in controller
+     *        cycles; the paper's default is the long code's bus
+     *        occupancy (8 cycles for 3-LWC at BL16).
+     * @param write_optimization enable the Section 4.6 dual-encode.
+     */
+    explicit MilPolicy(unsigned lookahead_x = 8,
+                       bool write_optimization = true);
+
+    /** Use custom base/long codes (the framework is code-agnostic). */
+    MilPolicy(CodePtr base, CodePtr long_code, unsigned lookahead_x,
+              bool write_optimization);
+
+    std::string name() const override { return "MiL"; }
+    unsigned lookahead() const override { return lookaheadX_; }
+    unsigned latencyAdder() const override;
+    unsigned maxBusCycles() const override;
+
+    const Code &choose(const ColumnContext &ctx) override;
+
+    const Code &baseCode() const { return *base_; }
+    const Code &longCode() const { return *long_; }
+
+  private:
+    CodePtr base_;
+    CodePtr long_;
+    unsigned lookaheadX_;
+    bool writeOpt_;
+};
+
+/** Convenience factories for the configurations the paper evaluates. */
+namespace policies
+{
+
+std::unique_ptr<CodingPolicy> dbi();
+std::unique_ptr<CodingPolicy> milcOnly();
+std::unique_ptr<CodingPolicy> cafo(unsigned passes);
+std::unique_ptr<CodingPolicy> alwaysLwc();
+std::unique_ptr<CodingPolicy> fixedBurst(unsigned burst_length);
+std::unique_ptr<CodingPolicy> mil(unsigned lookahead_x = 8);
+
+/** MiL with the perfect (11,23) 3-LWC as the long code (extension). */
+std::unique_ptr<CodingPolicy> milPerfect(unsigned lookahead_x = 8);
+
+/**
+ * MiL with an adaptive long-code choice over {3-LWC, perfect 3-LWC}
+ * (the paper's Section 4.4 future work; extension).
+ */
+std::unique_ptr<CodingPolicy> milAdaptive(unsigned lookahead_x = 8);
+
+} // namespace policies
+
+} // namespace mil
+
+#endif // MIL_MIL_POLICIES_HH

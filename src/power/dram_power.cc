@@ -1,0 +1,103 @@
+#include "dram_power.hh"
+
+namespace mil
+{
+
+DramPowerParams
+DramPowerParams::ddr4()
+{
+    DramPowerParams p;
+    // Rank of eight x8 4Gb devices at 1.2 V. DDR4 lacks a fast
+    // power-down mode in this model (as in the paper), so standby
+    // power accrues whenever the rank is not refreshing.
+    p.pActStandbyMw = 330.0;
+    p.pPreStandbyMw = 255.0;
+    p.pRefreshMw = 1150.0;
+    p.pPowerDownMw = 75.0;
+    p.eActPreNj = 2.4;
+    p.eReadCoreNj = 2.4;
+    p.eWriteCoreNj = 2.4;
+    // POD termination + ODT + PHY at both ends of the link, folded
+    // into a per-zero bit-beat energy (the paper's IO model makes the
+    // whole interface energy proportional to the zeros moved;
+    // calibrated so the Figure 1 breakdown holds, IO ~= 42% of DRAM
+    // power for an active DDR4 module).
+    // Note the tension the paper itself carries: the vendor brochure
+    // puts IO at ~42% of module power (Figure 1, a fully-utilized
+    // module), while the -8% DRAM-energy result of Figure 18 implies
+    // a much smaller IO share under the evaluated workloads. The
+    // constant below is calibrated to the *evaluation* (Figures
+    // 18/19); see EXPERIMENTS.md.
+    p.eIoPerZeroPj = 24.0;
+    p.eIoPerTransitionPj = 0.0; // Terminated bus: levels, not flips.
+    return p;
+}
+
+DramPowerParams
+DramPowerParams::lpddr3()
+{
+    DramPowerParams p;
+    // LPDDR3 is aggressively optimized for low background power
+    // (deep/fast power-down, low-current standby), which is why IO is
+    // a large share of its DRAM energy (Section 7.4).
+    p.pActStandbyMw = 55.0;
+    p.pPreStandbyMw = 20.0;
+    p.pRefreshMw = 380.0;
+    p.pPowerDownMw = 6.0;
+    p.eActPreNj = 1.5;
+    p.eReadCoreNj = 1.8;
+    p.eWriteCoreNj = 1.8;
+    // Unterminated CMOS: charging the load capacitance per flip; with
+    // MiL's transition signaling, flips == transmitted zeros.
+    p.eIoPerZeroPj = 36.0;
+    p.eIoPerTransitionPj = 36.0;
+    return p;
+}
+
+DramEnergyBreakdown &
+DramEnergyBreakdown::operator+=(const DramEnergyBreakdown &o)
+{
+    backgroundMj += o.backgroundMj;
+    activateMj += o.activateMj;
+    readWriteMj += o.readWriteMj;
+    refreshMj += o.refreshMj;
+    ioMj += o.ioMj;
+    return *this;
+}
+
+DramEnergyBreakdown
+DramPowerModel::channelEnergy(const ChannelStats &stats) const
+{
+    DramEnergyBreakdown e;
+    const double cycle_s = timing_.clockNs * 1e-9;
+
+    // Background: per-rank state residency times the state power.
+    // mW * s = mJ.
+    e.backgroundMj =
+        (static_cast<double>(stats.rankActiveStandbyCycles) *
+             params_.pActStandbyMw +
+         static_cast<double>(stats.rankPrechargeStandbyCycles) *
+             params_.pPreStandbyMw +
+         static_cast<double>(stats.rankPowerDownCycles) *
+             params_.pPowerDownMw) *
+        cycle_s;
+
+    e.refreshMj = static_cast<double>(stats.rankRefreshCycles) *
+        params_.pRefreshMw * cycle_s;
+
+    e.activateMj = static_cast<double>(stats.activates) *
+        params_.eActPreNj * 1e-6;
+
+    e.readWriteMj =
+        (static_cast<double>(stats.reads) * params_.eReadCoreNj +
+         static_cast<double>(stats.writes) * params_.eWriteCoreNj) *
+        1e-6;
+
+    // IO: the POD/transition-signaling energy proxy is the zero count.
+    e.ioMj = static_cast<double>(stats.zerosTransferred) *
+        params_.eIoPerZeroPj * 1e-9;
+
+    return e;
+}
+
+} // namespace mil

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DRAM power model in the style of the Micron DDR4/LPDDR3 power
+ * calculators the paper uses: state-residency background power,
+ * per-event core (array) energies, and an IO model that captures the
+ * asymmetry MiL exploits.
+ *
+ * DDR4 IO (pseudo open drain, VDDQ-terminated): energy is charged per
+ * ZERO bit-time on the bus; ones are free (Section 2.1.1).
+ *
+ * LPDDR3 IO (unterminated CMOS): energy is charged per wire
+ * transition. Under MiL's transition signaling the number of flips
+ * equals the number of transmitted zeros (Section 4.5), so the same
+ * zero statistic drives both interfaces, with different per-event
+ * energies.
+ */
+
+#ifndef MIL_POWER_DRAM_POWER_HH
+#define MIL_POWER_DRAM_POWER_HH
+
+#include <string>
+
+#include "dram/stats.hh"
+#include "dram/timing.hh"
+
+namespace mil
+{
+
+/** Energy/power constants for one DRAM standard (per rank/channel). */
+struct DramPowerParams
+{
+    // Background power per rank (mW).
+    double pActStandbyMw = 380.0;
+    double pPreStandbyMw = 310.0;
+    double pRefreshMw = 1100.0;  ///< During tRFC.
+    double pPowerDownMw = 90.0;  ///< Precharge power-down (CKE low).
+
+    // Array-event energies. Column accesses are charged per command:
+    // a longer sparse burst moves the same 64-byte line out of the
+    // array, so only its IO time grows, not its array energy.
+    double eActPreNj = 2.2;   ///< Per ACT/PRE pair.
+    double eReadCoreNj = 2.2; ///< Array read, per column command.
+    double eWriteCoreNj = 2.2;///< Array write, per column command.
+
+    // IO energies.
+    double eIoPerZeroPj = 14.0;       ///< DDR4: per zero bit-beat.
+    double eIoPerTransitionPj = 5.5;  ///< LPDDR3: per wire flip.
+
+    /** Constants calibrated for the paper's DDR4-3200 microserver. */
+    static DramPowerParams ddr4();
+
+    /** Constants calibrated for the paper's LPDDR3-1600 mobile system. */
+    static DramPowerParams lpddr3();
+};
+
+/** Energy split of one channel over a simulated interval (Figure 18). */
+struct DramEnergyBreakdown
+{
+    double backgroundMj = 0; ///< Standby + refresh-state residency.
+    double activateMj = 0;   ///< ACT/PRE array energy.
+    double readWriteMj = 0;  ///< Column-access array energy.
+    double refreshMj = 0;    ///< Refresh bursts.
+    double ioMj = 0;         ///< Interface (termination / switching).
+
+    double
+    totalMj() const
+    {
+        return backgroundMj + activateMj + readWriteMj + refreshMj + ioMj;
+    }
+
+    /** IO share of total DRAM energy (Figure 1). */
+    double
+    ioFraction() const
+    {
+        const double t = totalMj();
+        return t == 0.0 ? 0.0 : ioMj / t;
+    }
+
+    DramEnergyBreakdown &operator+=(const DramEnergyBreakdown &o);
+};
+
+/** Computes channel energy from the controller's statistics. */
+class DramPowerModel
+{
+  public:
+    DramPowerModel(const TimingParams &timing,
+                   const DramPowerParams &params)
+        : timing_(timing), params_(params)
+    {}
+
+    /**
+     * Energy consumed by one channel whose controller collected
+     * @p stats. The IO term uses zeros for DDR4 and, per the MiL
+     * transition-signaling argument, also zeros for LPDDR3 (flips ==
+     * zeros); the raw level-signaling transition count is kept in the
+     * stats for analysis.
+     */
+    DramEnergyBreakdown channelEnergy(const ChannelStats &stats) const;
+
+    const DramPowerParams &params() const { return params_; }
+
+  private:
+    TimingParams timing_;
+    DramPowerParams params_;
+};
+
+} // namespace mil
+
+#endif // MIL_POWER_DRAM_POWER_HH

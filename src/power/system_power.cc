@@ -1,0 +1,32 @@
+#include "system_power.hh"
+
+namespace mil
+{
+
+SystemPowerParams
+SystemPowerParams::microserver()
+{
+    SystemPowerParams p;
+    p.cores = 8;
+    // Atom-class in-order cores (Intel C2000 microserver whitepaper):
+    // a few watts of SoC power beyond the memory system. Microservers
+    // are the regime where memory approaches half the system power
+    // (Malladi et al., ISCA'12), which is why the paper targets them.
+    p.corePowerW = 0.55;
+    p.uncorePowerW = 1.7;
+    return p;
+}
+
+SystemPowerParams
+SystemPowerParams::mobile()
+{
+    SystemPowerParams p;
+    p.cores = 8;
+    // Mobile cores are far more energy-efficient, so memory is a
+    // larger share of system energy (Section 7.4).
+    p.corePowerW = 0.10;
+    p.uncorePowerW = 0.30;
+    return p;
+}
+
+} // namespace mil

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Whole-system energy model (the McPAT substitute).
+ *
+ * The paper reports system energy as processor energy plus DRAM
+ * energy; the processor side is modelled as per-core and uncore power
+ * draws integrated over the execution time. Slowing the program down
+ * therefore costs core/uncore (and DRAM background) energy, which is
+ * exactly the trade-off MiL's decision logic has to balance
+ * (Section 4.2).
+ */
+
+#ifndef MIL_POWER_SYSTEM_POWER_HH
+#define MIL_POWER_SYSTEM_POWER_HH
+
+#include "power/dram_power.hh"
+
+namespace mil
+{
+
+/** Processor-side power constants. */
+struct SystemPowerParams
+{
+    unsigned cores = 8;
+    double corePowerW = 1.1;   ///< Per core, averaged over activity.
+    double uncorePowerW = 3.0; ///< Shared L2, NoC, IO, misc.
+
+    /** Niagara-like microserver (Atom-class in-order cores). */
+    static SystemPowerParams microserver();
+
+    /** Snapdragon-like mobile SoC. */
+    static SystemPowerParams mobile();
+};
+
+/** System-level energy split (Figure 19). */
+struct SystemEnergy
+{
+    double processorMj = 0;
+    DramEnergyBreakdown dram;
+
+    double
+    totalMj() const
+    {
+        return processorMj + dram.totalMj();
+    }
+
+    /** DRAM share of system energy. */
+    double
+    dramFraction() const
+    {
+        const double t = totalMj();
+        return t == 0.0 ? 0.0 : dram.totalMj() / t;
+    }
+};
+
+/** Integrates processor power over an execution interval. */
+class SystemPowerModel
+{
+  public:
+    SystemPowerModel(const SystemPowerParams &params, double clock_ns)
+        : params_(params), clockNs_(clock_ns)
+    {}
+
+    /** Combine a run's duration and DRAM energy into system energy. */
+    SystemEnergy
+    energy(Cycle elapsed_cycles, const DramEnergyBreakdown &dram) const
+    {
+        SystemEnergy e;
+        const double seconds =
+            static_cast<double>(elapsed_cycles) * clockNs_ * 1e-9;
+        e.processorMj =
+            (params_.cores * params_.corePowerW + params_.uncorePowerW) *
+            seconds * 1e3;
+        e.dram = dram;
+        return e;
+    }
+
+    const SystemPowerParams &params() const { return params_; }
+
+  private:
+    SystemPowerParams params_;
+    double clockNs_;
+};
+
+} // namespace mil
+
+#endif // MIL_POWER_SYSTEM_POWER_HH

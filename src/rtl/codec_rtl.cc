@@ -1,0 +1,468 @@
+#include "codec_rtl.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace mil::rtl
+{
+
+namespace
+{
+
+/** A little-endian group of nets. */
+using Bus = std::vector<NetId>;
+
+Bus
+inputBus(Netlist &nl, const std::string &prefix, unsigned width)
+{
+    Bus bus;
+    for (unsigned i = 0; i < width; ++i)
+        bus.push_back(nl.input(prefix + std::to_string(i)));
+    return bus;
+}
+
+void
+outputBus(Netlist &nl, const std::string &prefix, const Bus &bus)
+{
+    for (unsigned i = 0; i < bus.size(); ++i)
+        nl.output(prefix + std::to_string(i), bus[i]);
+}
+
+Bus
+notBus(Netlist &nl, const Bus &a)
+{
+    Bus out;
+    for (NetId n : a)
+        out.push_back(nl.gNot(n));
+    return out;
+}
+
+Bus
+xorBusBit(Netlist &nl, const Bus &a, NetId bit)
+{
+    Bus out;
+    for (NetId n : a)
+        out.push_back(nl.gXor(n, bit));
+    return out;
+}
+
+Bus
+xorBus(Netlist &nl, const Bus &a, const Bus &b)
+{
+    mil_assert(a.size() == b.size(), "bus width mismatch");
+    Bus out;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.push_back(nl.gXor(a[i], b[i]));
+    return out;
+}
+
+Bus
+muxBus(Netlist &nl, NetId sel, const Bus &when1, const Bus &when0)
+{
+    mil_assert(when1.size() == when0.size(), "bus width mismatch");
+    Bus out;
+    for (std::size_t i = 0; i < when1.size(); ++i)
+        out.push_back(nl.gMux(sel, when1[i], when0[i]));
+    return out;
+}
+
+/** Balanced OR tree (log depth, as a synthesis tool would build). */
+NetId
+orReduce(Netlist &nl, const Bus &a)
+{
+    mil_assert(!a.empty(), "empty reduction");
+    Bus layer = a;
+    while (layer.size() > 1) {
+        Bus next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(nl.gOr(layer[i], layer[i + 1]));
+        if (layer.size() % 2)
+            next.push_back(layer.back());
+        layer = std::move(next);
+    }
+    return layer.front();
+}
+
+/** prefix[p] = OR of a[0..p-1] (prefix[0] = 0), tree-built per slot. */
+Bus
+prefixOr(Netlist &nl, const Bus &a)
+{
+    Bus prefix;
+    prefix.push_back(nl.constant(false));
+    for (std::size_t p = 1; p < a.size(); ++p)
+        prefix.push_back(orReduce(nl, Bus(a.begin(), a.begin() + p)));
+    return prefix;
+}
+
+/** Ripple-carry addition; result is one bit wider than the inputs. */
+Bus
+addBus(Netlist &nl, Bus a, Bus b)
+{
+    const std::size_t width = std::max(a.size(), b.size());
+    while (a.size() < width)
+        a.push_back(nl.constant(false));
+    while (b.size() < width)
+        b.push_back(nl.constant(false));
+    Bus sum;
+    NetId carry = nl.constant(false);
+    for (std::size_t i = 0; i < width; ++i) {
+        const NetId axb = nl.gXor(a[i], b[i]);
+        sum.push_back(nl.gXor(axb, carry));
+        carry = nl.gOr(nl.gAnd(a[i], b[i]), nl.gAnd(axb, carry));
+    }
+    sum.push_back(carry);
+    return sum;
+}
+
+/** Population count of arbitrary-width input via an adder tree. */
+Bus
+popcountBus(Netlist &nl, const Bus &bits)
+{
+    std::vector<Bus> layer;
+    for (NetId n : bits)
+        layer.push_back(Bus{n});
+    while (layer.size() > 1) {
+        std::vector<Bus> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(addBus(nl, layer[i], layer[i + 1]));
+        if (layer.size() % 2)
+            next.push_back(layer.back());
+        layer = std::move(next);
+    }
+    return layer.front();
+}
+
+/** Unsigned a < b (inputs padded to a common width). */
+NetId
+lessThan(Netlist &nl, Bus a, Bus b)
+{
+    const std::size_t width = std::max(a.size(), b.size());
+    while (a.size() < width)
+        a.push_back(nl.constant(false));
+    while (b.size() < width)
+        b.push_back(nl.constant(false));
+    // From the LSB: lt = (~a & b) | (a~^b) & lt_below.
+    NetId lt = nl.constant(false);
+    for (std::size_t i = 0; i < width; ++i) {
+        const NetId a_lt_b = nl.gAnd(nl.gNot(a[i]), b[i]);
+        const NetId eq = nl.gNot(nl.gXor(a[i], b[i]));
+        lt = nl.gOr(a_lt_b, nl.gAnd(eq, lt));
+    }
+    return lt;
+}
+
+/** Bus holding an unsigned constant. */
+Bus
+constBus(Netlist &nl, std::uint32_t value, unsigned width)
+{
+    Bus out;
+    for (unsigned i = 0; i < width; ++i)
+        out.push_back(nl.constant((value >> i) & 1));
+    return out;
+}
+
+/** Equality of a bus against a small constant. */
+NetId
+equalsConst(Netlist &nl, const Bus &a, std::uint32_t value)
+{
+    NetId acc = ~NetId{0};
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const bool bit = (value >> i) & 1;
+        const NetId term = bit ? a[i] : nl.gNot(a[i]);
+        acc = acc == ~NetId{0} ? term : nl.gAnd(acc, term);
+    }
+    return acc;
+}
+
+/** Zeros in a bus == popcount of its complement. */
+Bus
+zeroCountBus(Netlist &nl, const Bus &a)
+{
+    return popcountBus(nl, notBus(nl, a));
+}
+
+} // anonymous namespace
+
+Netlist
+buildDbiEncoder()
+{
+    Netlist nl("mil_dbi_enc");
+    const Bus d = inputBus(nl, "d", 8);
+    const Bus zeros = zeroCountBus(nl, d);
+    // Invert when zeros >= 5, i.e. 4 < zeros.
+    const NetId invert = lessThan(nl, constBus(nl, 4, 4), zeros);
+    outputBus(nl, "w", xorBusBit(nl, d, invert));
+    nl.output("dbi", nl.gNot(invert)); // DBI pin low = inverted.
+    return nl;
+}
+
+Netlist
+buildDbiDecoder()
+{
+    Netlist nl("mil_dbi_dec");
+    const Bus w = inputBus(nl, "w", 8);
+    const NetId dbi = nl.input("dbi");
+    outputBus(nl, "d", xorBusBit(nl, w, nl.gNot(dbi)));
+    return nl;
+}
+
+Netlist
+buildThreeLwcEncoder()
+{
+    Netlist nl("mil_lwc_enc");
+    const Bus d = inputBus(nl, "d", 8);
+    const Bus right{d[0], d[1], d[2], d[3]};
+    const Bus left{d[4], d[5], d[6], d[7]};
+
+    // One-hot generators (value v>0 sets bit v-1; Figure 13).
+    Bus l_oh;
+    Bus r_oh;
+    for (unsigned v = 1; v <= 15; ++v) {
+        l_oh.push_back(equalsConst(nl, left, v));
+        r_oh.push_back(equalsConst(nl, right, v));
+    }
+    Bus code;
+    for (unsigned i = 0; i < 15; ++i)
+        code.push_back(nl.gOr(l_oh[i], r_oh[i]));
+
+    // Mode generation (Table 1).
+    const NetId left_zero = nl.gNot(orReduce(nl, left));
+    const NetId right_zero = nl.gNot(orReduce(nl, right));
+    NetId eq = ~NetId{0};
+    for (unsigned i = 0; i < 4; ++i) {
+        const NetId bit_eq = nl.gNot(nl.gXor(left[i], right[i]));
+        eq = eq == ~NetId{0} ? bit_eq : nl.gAnd(eq, bit_eq);
+    }
+    const NetId gt = lessThan(nl, right, left);
+
+    const NetId mode0 = nl.gAnd(eq, nl.gNot(left_zero));
+    const NetId both_nonzero =
+        nl.gAnd(nl.gNot(left_zero), nl.gNot(right_zero));
+    const NetId mode1 = nl.gOr(
+        nl.gAnd(left_zero, nl.gNot(right_zero)),
+        nl.gAnd(both_nonzero, nl.gAnd(nl.gNot(eq), gt)));
+
+    // Transmitted form is the complement (footnote 4 of the paper).
+    Bus raw = code;
+    raw.push_back(mode0);
+    raw.push_back(mode1);
+    outputBus(nl, "w", notBus(nl, raw));
+    return nl;
+}
+
+Netlist
+buildThreeLwcDecoder()
+{
+    Netlist nl("mil_lwc_dec");
+    const Bus w = inputBus(nl, "w", 17);
+    const Bus raw = notBus(nl, w);
+    const Bus code(raw.begin(), raw.begin() + 15);
+    const NetId m0 = raw[15];
+    const NetId m1 = raw[16];
+
+    // Lowest / highest set-bit extraction via parallel-prefix ORs.
+    Bus is_low;
+    Bus is_high(15, 0);
+    {
+        const Bus has_lower = prefixOr(nl, code);
+        for (unsigned p = 0; p < 15; ++p)
+            is_low.push_back(
+                nl.gAnd(code[p], nl.gNot(has_lower[p])));
+        Bus reversed(code.rbegin(), code.rend());
+        const Bus has_higher_rev = prefixOr(nl, reversed);
+        for (unsigned p = 0; p < 15; ++p)
+            is_high[p] =
+                nl.gAnd(code[p], nl.gNot(has_higher_rev[14 - p]));
+    }
+    // Encode positions as nibble values (p+1), one OR tree per bit.
+    auto value_of = [&](const Bus &onehot) {
+        Bus v;
+        for (unsigned j = 0; j < 4; ++j) {
+            Bus terms;
+            for (unsigned p = 0; p < 15; ++p)
+                if (((p + 1) >> j) & 1)
+                    terms.push_back(onehot[p]);
+            v.push_back(orReduce(nl, terms));
+        }
+        return v;
+    };
+    const Bus low_val = value_of(is_low);
+    const Bus high_val = value_of(is_high);
+
+    const NetId any = orReduce(nl, code);
+    // Weight >= 2 iff some set bit has a set bit below it.
+    NetId two;
+    {
+        const Bus has_lower = prefixOr(nl, code);
+        Bus terms;
+        for (unsigned p = 0; p < 15; ++p)
+            terms.push_back(nl.gAnd(code[p], has_lower[p]));
+        two = orReduce(nl, terms);
+    }
+    const NetId weight1 = nl.gAnd(any, nl.gNot(two));
+
+    const Bus zero4 = constBus(nl, 0, 4);
+    // Weight 1: mode 01 -> (v,v); mode 00 -> (v,0); mode 10 -> (0,v).
+    const Bus left_w1 = muxBus(nl, m1, zero4, low_val);
+    const Bus right_w1 =
+        muxBus(nl, nl.gOr(m0, m1), low_val, zero4);
+    // Weight 2: mode 10 -> (high,low); mode 00 -> (low,high).
+    const Bus left_w2 = muxBus(nl, m1, high_val, low_val);
+    const Bus right_w2 = muxBus(nl, m1, low_val, high_val);
+
+    const Bus left_nz = muxBus(nl, weight1, left_w1, left_w2);
+    const Bus right_nz = muxBus(nl, weight1, right_w1, right_w2);
+    const Bus left = muxBus(nl, any, left_nz, zero4);
+    const Bus right = muxBus(nl, any, right_nz, zero4);
+
+    Bus d = right;
+    d.insert(d.end(), left.begin(), left.end());
+    outputBus(nl, "d", d);
+    return nl;
+}
+
+namespace
+{
+
+/** Shared row machinery for the MiLC encoder. */
+struct MilcRowResult
+{
+    Bus value;  ///< Transformed 8-bit row.
+    NetId bi;   ///< Inv-mode bit (1 = inverted).
+    NetId xr;   ///< Xor-mode bit, pre-xorbi (1 = no xor).
+};
+
+/**
+ * Rows 1..7: four candidates scored by zeros + mode-bit zeros, with
+ * the tie-break priority order [inv-xor, inv, orig, xor] of the C++
+ * encoder (strictly-less replacement).
+ */
+MilcRowResult
+milcRow(Netlist &nl, const Bus &row, const Bus &prev)
+{
+    const Bus inv = notBus(nl, row);
+    const Bus xored = xorBus(nl, row, prev);
+    const Bus inv_xored = notBus(nl, xored);
+
+    // Candidate order matches the C++ tie-break: 0 = inv-xor (mode
+    // cost 1), 1 = inv (0), 2 = orig (1), 3 = xor (2).
+    const Bus cand[4] = {inv_xored, inv, row, xored};
+    const unsigned mode_cost[4] = {1, 0, 1, 2};
+    Bus cost[4];
+    for (unsigned k = 0; k < 4; ++k)
+        cost[k] = addBus(nl, zeroCountBus(nl, cand[k]),
+                         constBus(nl, mode_cost[k], 2));
+
+    // Sequential strictly-less tournament.
+    Bus best_cost = cost[0];
+    NetId b0 = nl.constant(false); // Index bit 0.
+    NetId b1 = nl.constant(false); // Index bit 1.
+    for (unsigned k = 1; k < 4; ++k) {
+        const NetId take = lessThan(nl, cost[k], best_cost);
+        best_cost = muxBus(nl, take, cost[k], best_cost);
+        b0 = nl.gMux(take, nl.constant((k & 1) != 0), b0);
+        b1 = nl.gMux(take, nl.constant((k & 2) != 0), b1);
+    }
+
+    MilcRowResult out;
+    // value = b1 ? (b0 ? xor : orig) : (b0 ? inv : inv-xor).
+    const Bus hi = muxBus(nl, b0, cand[3], cand[2]);
+    const Bus lo = muxBus(nl, b0, cand[1], cand[0]);
+    out.value = muxBus(nl, b1, hi, lo);
+    out.bi = nl.gNot(b1);       // inv-xor, inv -> 1; orig, xor -> 0.
+    out.xr = nl.gXor(b0, b1);   // inv, orig -> 1; inv-xor, xor -> 0.
+    return out;
+}
+
+} // anonymous namespace
+
+Netlist
+buildMilcEncoder()
+{
+    Netlist nl("mil_milc_enc");
+    // Inputs: r<i>_<j> = bit j of row i.
+    Bus rows[8];
+    for (unsigned i = 0; i < 8; ++i)
+        rows[i] =
+            inputBus(nl, "r" + std::to_string(i) + "_", 8);
+
+    Bus out_rows[8];
+    Bus bi(8, 0);
+    Bus xr(8, 0);
+
+    // Row 0: inverted (free) vs original (one mode zero); choose the
+    // inverted form unless the original is strictly better by more
+    // than the mode bonus: inv iff !(z_orig + 1 < z_inv).
+    {
+        const Bus z_orig = zeroCountBus(nl, rows[0]);
+        const Bus z_inv = popcountBus(nl, rows[0]);
+        const NetId orig_wins = lessThan(
+            nl, addBus(nl, z_orig, constBus(nl, 1, 1)), z_inv);
+        const NetId choose_inv = nl.gNot(orig_wins);
+        out_rows[0] =
+            muxBus(nl, choose_inv, notBus(nl, rows[0]), rows[0]);
+        bi[0] = choose_inv;
+        xr[0] = nl.constant(false); // Placeholder; becomes xorbi.
+    }
+
+    for (unsigned i = 1; i < 8; ++i) {
+        const MilcRowResult r = milcRow(nl, rows[i], rows[i - 1]);
+        out_rows[i] = r.value;
+        bi[i] = r.bi;
+        xr[i] = r.xr;
+    }
+
+    // xorbi: invert the seven xor-mode bits when they carry >= 4
+    // zeros (3 < zeros).
+    Bus xr_tail(xr.begin() + 1, xr.end());
+    const Bus xr_zeros = zeroCountBus(nl, xr_tail);
+    const NetId invert = lessThan(nl, constBus(nl, 3, 2), xr_zeros);
+    Bus x_out;
+    x_out.push_back(nl.gNot(invert)); // xorbi: 0 = inverted.
+    for (NetId n : xr_tail)
+        x_out.push_back(nl.gXor(n, invert));
+
+    for (unsigned i = 0; i < 8; ++i)
+        outputBus(nl, "q" + std::to_string(i) + "_", out_rows[i]);
+    outputBus(nl, "bi", bi);
+    outputBus(nl, "x", x_out);
+    return nl;
+}
+
+Netlist
+buildMilcDecoder()
+{
+    Netlist nl("mil_milc_dec");
+    Bus rows[8];
+    for (unsigned i = 0; i < 8; ++i)
+        rows[i] = inputBus(nl, "q" + std::to_string(i) + "_", 8);
+    const Bus bi = inputBus(nl, "bi", 8);
+    const Bus x = inputBus(nl, "x", 8);
+
+    // Undo xorbi over x[1..7].
+    const NetId invert = nl.gNot(x[0]);
+    Bus xr(8, 0);
+    xr[0] = nl.constant(false);
+    for (unsigned i = 1; i < 8; ++i)
+        xr[i] = nl.gXor(x[i], invert);
+
+    Bus decoded[8];
+    for (unsigned i = 0; i < 8; ++i) {
+        // Undo the inversion: d = q ^ bi.
+        Bus u = xorBusBit(nl, rows[i], bi[i]);
+        if (i > 0) {
+            // Conditional XOR with the previous *decoded* row.
+            const NetId engage = nl.gNot(xr[i]);
+            Bus masked;
+            for (NetId n : decoded[i - 1])
+                masked.push_back(nl.gAnd(n, engage));
+            u = xorBus(nl, u, masked);
+        }
+        decoded[i] = u;
+        outputBus(nl, "r" + std::to_string(i) + "_", u);
+    }
+    return nl;
+}
+
+} // namespace mil::rtl

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Gate-level constructions of the paper's codecs.
+ *
+ * Each builder returns a combinational Netlist implementing exactly
+ * the algorithm of its C++ reference codec; the test suite proves
+ * bit-exact equivalence (exhaustively for the byte codecs,
+ * randomized-plus-corner-cases for the 64-bit MiLC square). The
+ * netlists feed three consumers: the built-in simulator (functional
+ * verification), the gate tallies and logic depths (grounding the
+ * Table 4 cost model's assumptions), and the Verilog emitter
+ * (tools/milrtl) for anyone with a real synthesis flow -- the
+ * methodology of the paper's Section 6, reproduced in-repo.
+ *
+ * Bit conventions: input/output ports are LSB-first, matching the
+ * packed words of Netlist::evaluateWord. The wire-side ports carry
+ * the *transmitted* (complemented, for POD) form.
+ */
+
+#ifndef MIL_RTL_CODEC_RTL_HH
+#define MIL_RTL_CODEC_RTL_HH
+
+#include "rtl/netlist.hh"
+
+namespace mil::rtl
+{
+
+/** DBI byte encoder: d[8] -> w[8], dbi (Section 2.1.1). */
+Netlist buildDbiEncoder();
+
+/** DBI byte decoder: w[8], dbi -> d[8]. */
+Netlist buildDbiDecoder();
+
+/** (8,17) 3-LWC byte encoder (Figure 13 + Table 1): d[8] -> w[17]. */
+Netlist buildThreeLwcEncoder();
+
+/** (8,17) 3-LWC byte decoder: w[17] -> d[8]. */
+Netlist buildThreeLwcDecoder();
+
+/**
+ * MiLC square encoder (Figure 14): r[64] (eight 8-bit rows,
+ * row-major, LSB-first) -> q[64] transformed rows, bi[8], x[8]
+ * (x[0] is the xorbi bit).
+ */
+Netlist buildMilcEncoder();
+
+/** MiLC square decoder: q[64], bi[8], x[8] -> r[64]. */
+Netlist buildMilcDecoder();
+
+} // namespace mil::rtl
+
+#endif // MIL_RTL_CODEC_RTL_HH

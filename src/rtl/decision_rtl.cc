@@ -1,0 +1,101 @@
+#include "decision_rtl.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace mil::rtl
+{
+
+namespace
+{
+
+/** Unsigned bus <= constant, by explicit magnitude logic. */
+NetId
+lessEqualConst(Netlist &nl, const std::vector<NetId> &a,
+               std::uint32_t limit)
+{
+    // a <= limit  <=>  NOT (a > limit). Fold from the LSB so the
+    // most-significant comparison dominates:
+    //   gt = a[i] & ~limit[i]  |  (a[i] == limit[i]) & gt_lower.
+    NetId gt = nl.constant(false);
+    for (unsigned i = 0; i < a.size(); ++i) {
+        const bool lbit = (limit >> i) & 1;
+        const NetId abit = a[i];
+        const NetId a_gt = lbit ? nl.constant(false)
+                                : abit; // a=1, limit=0.
+        const NetId eq = lbit ? abit : nl.gNot(abit);
+        gt = nl.gOr(a_gt, nl.gAnd(eq, gt));
+    }
+    return nl.gNot(gt);
+}
+
+} // anonymous namespace
+
+Netlist
+buildDecisionLogic(const DecisionLogicParams &params)
+{
+    mil_assert(params.commands >= 2 && params.constraints >= 1 &&
+                   params.counterBits >= 1 && params.counterBits <= 16,
+               "bad decision-logic shape");
+    Netlist nl("mil_decision_x" + std::to_string(params.lookaheadX));
+
+    std::vector<NetId> rdy;
+    for (unsigned i = 0; i < params.commands; ++i) {
+        NetId all_ready = ~NetId{0};
+        for (unsigned j = 0; j < params.constraints; ++j) {
+            std::vector<NetId> counter;
+            for (unsigned t = 0; t < params.counterBits; ++t) {
+                counter.push_back(nl.input(
+                    "c" + std::to_string(i) + "_k" +
+                    std::to_string(j) + "_b" + std::to_string(t)));
+            }
+            const NetId within =
+                lessEqualConst(nl, counter, params.lookaheadX);
+            all_ready = all_ready == ~NetId{0}
+                ? within
+                : nl.gAnd(all_ready, within);
+        }
+        rdy.push_back(all_ready);
+        nl.output("rdy" + std::to_string(i), all_ready);
+    }
+
+    // "More than one ready": pairwise AND, OR-reduced as a tree --
+    // the one-hot-scheduler selection of Figure 11b reduces to this
+    // because the scheduled command is itself ready.
+    std::vector<NetId> pairs;
+    for (unsigned i = 0; i < params.commands; ++i)
+        for (unsigned j = i + 1; j < params.commands; ++j)
+            pairs.push_back(nl.gAnd(rdy[i], rdy[j]));
+    std::vector<NetId> layer = pairs;
+    while (layer.size() > 1) {
+        std::vector<NetId> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(nl.gOr(layer[i], layer[i + 1]));
+        if (layer.size() % 2)
+            next.push_back(layer.back());
+        layer = std::move(next);
+    }
+    nl.output("use_base", layer.front());
+    return nl;
+}
+
+bool
+referenceUseBase(const std::vector<std::vector<unsigned>> &counters,
+                 unsigned x, std::vector<bool> *rdy_out)
+{
+    unsigned ready = 0;
+    if (rdy_out != nullptr)
+        rdy_out->clear();
+    for (const auto &command : counters) {
+        bool rdy = true;
+        for (unsigned counter : command)
+            rdy = rdy && counter <= x;
+        if (rdy_out != nullptr)
+            rdy_out->push_back(rdy);
+        ready += rdy ? 1 : 0;
+    }
+    return ready > 1;
+}
+
+} // namespace mil::rtl

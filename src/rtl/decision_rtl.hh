@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Gate-level construction of the MiL decision logic (Figure 11).
+ *
+ * The paper implements "is any other column command ready within X
+ * cycles" with the hardware the controller already has: each timing
+ * constraint is tracked by a saturating down-counter, so readiness-
+ * within-X is a per-counter "value <= X" compare, ANDed across the
+ * command's constraints (the rdyX signal of Figure 11a), and the
+ * final MiLC-vs-3-LWC choice is "more than one rdyX asserted"
+ * (Figure 11b; the scheduled command itself is one of them).
+ *
+ * buildDecisionLogic() emits exactly that: per-command comparator
+ * trees over the counter inputs plus a population-threshold stage,
+ * parameterized by queue depth, constraints per command, counter
+ * width, and the look-ahead distance X (a synthesis-time constant,
+ * as in the paper).
+ */
+
+#ifndef MIL_RTL_DECISION_RTL_HH
+#define MIL_RTL_DECISION_RTL_HH
+
+#include "rtl/netlist.hh"
+
+namespace mil::rtl
+{
+
+/** Shape of the decision-logic block. */
+struct DecisionLogicParams
+{
+    unsigned commands = 8;     ///< Column commands inspected.
+    unsigned constraints = 4;  ///< Timing counters per command.
+    unsigned counterBits = 6;  ///< Down-counter width.
+    unsigned lookaheadX = 8;   ///< Compare threshold (constant).
+};
+
+/**
+ * Inputs: c<i>_k<j>_b<t> -- bit t of command i's j-th constraint
+ * counter. Outputs: rdy<i> per command, and `use_base` (pick MiLC)
+ * when more than one command is ready within X.
+ */
+Netlist buildDecisionLogic(const DecisionLogicParams &params);
+
+/**
+ * C++ reference for the equivalence tests: counters[i][j] holds the
+ * remaining cycles of command i's j-th constraint.
+ */
+bool referenceUseBase(
+    const std::vector<std::vector<unsigned>> &counters, unsigned x,
+    std::vector<bool> *rdy_out = nullptr);
+
+} // namespace mil::rtl
+
+#endif // MIL_RTL_DECISION_RTL_HH

@@ -1,0 +1,278 @@
+#include "netlist.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace mil::rtl
+{
+
+Netlist::Netlist(std::string module_name) : name_(std::move(module_name))
+{
+}
+
+NetId
+Netlist::addGate(GateKind kind, NetId a, NetId b, NetId c)
+{
+    const auto check = [&](NetId n) {
+        mil_assert(n < gates_.size(),
+                   "gate references a net that does not exist yet");
+    };
+    if (kind != GateKind::Input && kind != GateKind::Const0 &&
+        kind != GateKind::Const1) {
+        check(a);
+        if (kind != GateKind::Not) {
+            check(b);
+            if (kind == GateKind::Mux)
+                check(c);
+        }
+    }
+    gates_.push_back(Gate{kind, {a, b, c}});
+    return static_cast<NetId>(gates_.size() - 1);
+}
+
+NetId
+Netlist::input(const std::string &name)
+{
+    const NetId id = addGate(GateKind::Input);
+    inputs_.push_back(id);
+    inputNames_.push_back(name);
+    return id;
+}
+
+NetId
+Netlist::constant(bool value)
+{
+    NetId &cached = value ? const1_ : const0_;
+    if (cached == ~NetId{0})
+        cached = addGate(value ? GateKind::Const1 : GateKind::Const0);
+    return cached;
+}
+
+NetId
+Netlist::gNot(NetId a)
+{
+    return addGate(GateKind::Not, a);
+}
+
+NetId
+Netlist::gAnd(NetId a, NetId b)
+{
+    return addGate(GateKind::And, a, b);
+}
+
+NetId
+Netlist::gOr(NetId a, NetId b)
+{
+    return addGate(GateKind::Or, a, b);
+}
+
+NetId
+Netlist::gXor(NetId a, NetId b)
+{
+    return addGate(GateKind::Xor, a, b);
+}
+
+NetId
+Netlist::gMux(NetId sel, NetId when1, NetId when0)
+{
+    return addGate(GateKind::Mux, sel, when1, when0);
+}
+
+void
+Netlist::output(const std::string &name, NetId net)
+{
+    mil_assert(net < gates_.size(), "output references an unknown net");
+    outputs_.emplace_back(name, net);
+}
+
+std::vector<bool>
+Netlist::evaluate(const std::vector<bool> &inputs) const
+{
+    mil_assert(inputs.size() == inputs_.size(),
+               "expected %zu input bits, got %zu", inputs_.size(),
+               inputs.size());
+    std::vector<bool> value(gates_.size(), false);
+    std::size_t next_input = 0;
+    for (NetId id = 0; id < gates_.size(); ++id) {
+        const Gate &g = gates_[id];
+        switch (g.kind) {
+          case GateKind::Input:
+            value[id] = inputs[next_input++];
+            break;
+          case GateKind::Const0:
+            value[id] = false;
+            break;
+          case GateKind::Const1:
+            value[id] = true;
+            break;
+          case GateKind::Not:
+            value[id] = !value[g.in[0]];
+            break;
+          case GateKind::And:
+            value[id] = value[g.in[0]] && value[g.in[1]];
+            break;
+          case GateKind::Or:
+            value[id] = value[g.in[0]] || value[g.in[1]];
+            break;
+          case GateKind::Xor:
+            value[id] = value[g.in[0]] != value[g.in[1]];
+            break;
+          case GateKind::Mux:
+            value[id] = value[g.in[0]] ? value[g.in[1]]
+                                       : value[g.in[2]];
+            break;
+        }
+    }
+    std::vector<bool> out;
+    out.reserve(outputs_.size());
+    for (const auto &[name, net] : outputs_)
+        out.push_back(value[net]);
+    return out;
+}
+
+std::uint64_t
+Netlist::evaluateWord(std::uint64_t input_bits) const
+{
+    mil_assert(inputs_.size() <= 64 && outputs_.size() <= 64,
+               "evaluateWord needs <= 64 bit interfaces");
+    std::vector<bool> in(inputs_.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = (input_bits >> i) & 1;
+    const auto out = evaluate(in);
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        if (out[i])
+            word |= std::uint64_t{1} << i;
+    return word;
+}
+
+GateTally
+Netlist::tally() const
+{
+    GateTally t;
+    for (const Gate &g : gates_) {
+        switch (g.kind) {
+          case GateKind::Input:
+            ++t.inputs;
+            break;
+          case GateKind::Const0:
+          case GateKind::Const1:
+            ++t.constants;
+            break;
+          case GateKind::Not:
+            ++t.nots;
+            break;
+          case GateKind::And:
+            ++t.ands;
+            break;
+          case GateKind::Or:
+            ++t.ors;
+            break;
+          case GateKind::Xor:
+            ++t.xors;
+            break;
+          case GateKind::Mux:
+            ++t.muxes;
+            break;
+        }
+    }
+    return t;
+}
+
+unsigned
+Netlist::depth() const
+{
+    std::vector<unsigned> d(gates_.size(), 0);
+    unsigned worst = 0;
+    for (NetId id = 0; id < gates_.size(); ++id) {
+        const Gate &g = gates_[id];
+        unsigned in_depth = 0;
+        switch (g.kind) {
+          case GateKind::Input:
+          case GateKind::Const0:
+          case GateKind::Const1:
+            d[id] = 0;
+            continue;
+          case GateKind::Not:
+            in_depth = d[g.in[0]];
+            break;
+          case GateKind::And:
+          case GateKind::Or:
+          case GateKind::Xor:
+            in_depth = std::max(d[g.in[0]], d[g.in[1]]);
+            break;
+          case GateKind::Mux:
+            in_depth = std::max({d[g.in[0]], d[g.in[1]], d[g.in[2]]});
+            break;
+        }
+        d[id] = in_depth + 1;
+        worst = std::max(worst, d[id]);
+    }
+    return worst;
+}
+
+void
+Netlist::emitVerilog(std::ostream &os) const
+{
+    os << "// Generated by the MiL RTL emitter.\n";
+    os << "module " << name_ << " (\n";
+    for (std::size_t i = 0; i < inputNames_.size(); ++i)
+        os << "    input  wire " << inputNames_[i] << ",\n";
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+        os << "    output wire " << outputs_[i].first
+           << (i + 1 < outputs_.size() ? ",\n" : "\n");
+    }
+    os << ");\n\n";
+
+    auto net = [&](NetId id) { return "n" + std::to_string(id); };
+
+    for (NetId id = 0; id < gates_.size(); ++id) {
+        const Gate &g = gates_[id];
+        switch (g.kind) {
+          case GateKind::Input: {
+            // Bind the named port to its net alias.
+            const auto pos = static_cast<std::size_t>(
+                std::find(inputs_.begin(), inputs_.end(), id) -
+                inputs_.begin());
+            os << "    wire " << net(id) << " = "
+               << inputNames_[pos] << ";\n";
+            break;
+          }
+          case GateKind::Const0:
+            os << "    wire " << net(id) << " = 1'b0;\n";
+            break;
+          case GateKind::Const1:
+            os << "    wire " << net(id) << " = 1'b1;\n";
+            break;
+          case GateKind::Not:
+            os << "    wire " << net(id) << " = ~" << net(g.in[0])
+               << ";\n";
+            break;
+          case GateKind::And:
+            os << "    wire " << net(id) << " = " << net(g.in[0])
+               << " & " << net(g.in[1]) << ";\n";
+            break;
+          case GateKind::Or:
+            os << "    wire " << net(id) << " = " << net(g.in[0])
+               << " | " << net(g.in[1]) << ";\n";
+            break;
+          case GateKind::Xor:
+            os << "    wire " << net(id) << " = " << net(g.in[0])
+               << " ^ " << net(g.in[1]) << ";\n";
+            break;
+          case GateKind::Mux:
+            os << "    wire " << net(id) << " = " << net(g.in[0])
+               << " ? " << net(g.in[1]) << " : " << net(g.in[2])
+               << ";\n";
+            break;
+        }
+    }
+    os << "\n";
+    for (const auto &[name, id] : outputs_)
+        os << "    assign " << name << " = " << net(id) << ";\n";
+    os << "endmodule\n";
+}
+
+} // namespace mil::rtl

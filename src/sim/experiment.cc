@@ -1,0 +1,143 @@
+#include "experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "mil/policies.hh"
+
+namespace mil
+{
+
+std::string
+RunSpec::key() const
+{
+    return system + "/" + workload + "/" + policy + "/X" +
+        std::to_string(lookahead) + "/" + std::to_string(opsPerThread) +
+        "/" + std::to_string(scale);
+}
+
+std::unique_ptr<CodingPolicy>
+makePolicy(const std::string &name, unsigned lookahead)
+{
+    if (name == "DBI")
+        return policies::dbi();
+    if (name == "Uncoded") {
+        // The x4-device baseline: x4 DDR4 chips have no DBI pins
+        // (Section 2.1.1), so their conventional bus is uncoded.
+        return std::make_unique<FixedCodePolicy>(
+            std::make_shared<UncodedTransfer>());
+    }
+    if (name == "MiL")
+        return policies::mil(lookahead);
+    if (name == "MiL-nowopt")
+        return std::make_unique<MilPolicy>(lookahead, false);
+    if (name == "MiLC")
+        return policies::milcOnly();
+    if (name == "CAFO2")
+        return policies::cafo(2);
+    if (name == "CAFO4")
+        return policies::cafo(4);
+    if (name == "3LWC")
+        return policies::alwaysLwc();
+    if (name == "MiL-P3")
+        return policies::milPerfect(lookahead);
+    if (name == "MiL-adaptive")
+        return policies::milAdaptive(lookahead);
+    if (name.rfind("BL", 0) == 0) {
+        const unsigned bl = static_cast<unsigned>(
+            std::strtoul(name.c_str() + 2, nullptr, 10));
+        return policies::fixedBurst(bl);
+    }
+    mil_fatal("unknown policy '%s'", name.c_str());
+}
+
+SystemConfig
+makeSystemConfig(const std::string &name)
+{
+    if (name == "ddr4")
+        return SystemConfig::microserver();
+    if (name == "lpddr3")
+        return SystemConfig::mobile();
+    mil_fatal("unknown system '%s'", name.c_str());
+}
+
+std::uint64_t
+defaultOpsPerThread()
+{
+    // Overridable so CI or exploratory runs can trade precision for
+    // time without recompiling.
+    if (const char *env = std::getenv("MIL_OPS_PER_THREAD"))
+        return std::strtoull(env, nullptr, 10);
+    return 3000;
+}
+
+double
+defaultScale()
+{
+    if (const char *env = std::getenv("MIL_SCALE"))
+        return std::strtod(env, nullptr);
+    return 0.25;
+}
+
+const SimResult &
+runSpec(const RunSpec &spec)
+{
+    static std::map<std::string, SimResult> cache;
+
+    RunSpec s = spec;
+    if (s.opsPerThread == 0)
+        s.opsPerThread = defaultOpsPerThread();
+    if (s.scale == 0.0)
+        s.scale = defaultScale();
+
+    const std::string key = s.key();
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const SystemConfig config = makeSystemConfig(s.system);
+    WorkloadConfig wl_config;
+    wl_config.scale = s.scale;
+    const WorkloadPtr workload = makeWorkload(s.workload, wl_config);
+    const auto policy = makePolicy(s.policy, s.lookahead);
+
+    System system(config, *workload, policy.get(), s.opsPerThread);
+    SimResult result = system.run();
+    auto [pos, inserted] = cache.emplace(key, std::move(result));
+    (void)inserted;
+    return pos->second;
+}
+
+std::vector<std::string>
+workloadsByUtilization(const std::string &system)
+{
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto &name : workloadNames()) {
+        RunSpec spec;
+        spec.system = system;
+        spec.workload = name;
+        spec.policy = "DBI";
+        ranked.emplace_back(runSpec(spec).utilization(), name);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<std::string> names;
+    names.reserve(ranked.size());
+    for (const auto &[util, name] : ranked)
+        names.push_back(name);
+    return names;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace mil

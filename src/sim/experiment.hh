@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared experiment-grid machinery for the benchmark harnesses: named
+ * policies, standard run sizes, result caching within a process, and
+ * the benchmark orderings/normalizations the paper's figures use.
+ */
+
+#ifndef MIL_SIM_EXPERIMENT_HH
+#define MIL_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace mil
+{
+
+/** Identifies one simulation of the experiment grid. */
+struct RunSpec
+{
+    std::string system = "ddr4";   ///< "ddr4" or "lpddr3".
+    std::string workload = "GUPS"; ///< Table 3 name.
+    std::string policy = "DBI";    ///< See makePolicy().
+    unsigned lookahead = 8;        ///< X for the MiL policy.
+    std::uint64_t opsPerThread = 0;///< 0 = the harness default.
+    double scale = 0.0;            ///< 0 = the harness default.
+
+    std::string key() const;
+};
+
+/**
+ * Instantiate a policy by name: "DBI", "MiL", "MiLC", "CAFO2",
+ * "CAFO4", "3LWC", "MiL-nowopt", or "BLn" (fixed burst length n).
+ */
+std::unique_ptr<CodingPolicy> makePolicy(const std::string &name,
+                                         unsigned lookahead = 8);
+
+/** System config by name ("ddr4" or "lpddr3"). */
+SystemConfig makeSystemConfig(const std::string &name);
+
+/** Harness defaults chosen so a full figure regenerates in seconds. */
+std::uint64_t defaultOpsPerThread();
+double defaultScale();
+
+/** Run one spec (results are memoized per process). */
+const SimResult &runSpec(const RunSpec &spec);
+
+/** The eleven Table 3 workloads sorted by DBI-baseline utilization. */
+std::vector<std::string>
+workloadsByUtilization(const std::string &system);
+
+/** Geometric mean helper for normalized figures. */
+double geomean(const std::vector<double> &values);
+
+} // namespace mil
+
+#endif // MIL_SIM_EXPERIMENT_HH

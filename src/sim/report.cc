@@ -1,0 +1,44 @@
+#include "report.hh"
+
+#include <ostream>
+
+namespace mil
+{
+
+void
+CsvReporter::writeHeader(std::ostream &os)
+{
+    os << "system,workload,policy,cycles,total_ops,utilization,"
+          "reads,writes,activates,precharges,refreshes,"
+          "bits_transferred,zeros_transferred,zero_density,"
+          "wire_transitions,l1_hits,l1_misses,l2_hits,l2_misses,"
+          "prefetches_issued,idle_pending_cycles,idle_empty_cycles,"
+          "powerdown_cycles,dram_background_mj,dram_activate_mj,"
+          "dram_rw_mj,dram_refresh_mj,dram_io_mj,dram_total_mj,"
+          "processor_mj,system_total_mj\n";
+}
+
+void
+CsvReporter::writeRow(std::ostream &os, const std::string &system,
+                      const std::string &workload,
+                      const std::string &policy, const SimResult &r)
+{
+    const auto &e = r.dramEnergy;
+    os << system << ',' << workload << ',' << policy << ','
+       << r.cycles << ',' << r.totalOps << ',' << r.utilization()
+       << ',' << r.bus.reads << ',' << r.bus.writes << ','
+       << r.bus.activates << ',' << r.bus.precharges << ','
+       << r.bus.refreshes << ',' << r.bus.bitsTransferred << ','
+       << r.bus.zerosTransferred << ',' << r.zeroDensity() << ','
+       << r.bus.wireTransitions << ',' << r.l1.hits << ','
+       << r.l1.misses << ',' << r.l2.hits << ',' << r.l2.misses << ','
+       << r.prefetcher.prefetchesIssued << ','
+       << r.bus.idlePendingCycles << ',' << r.bus.idleNoPendingCycles
+       << ',' << r.bus.rankPowerDownCycles << ',' << e.backgroundMj
+       << ',' << e.activateMj << ',' << e.readWriteMj << ','
+       << e.refreshMj << ',' << e.ioMj << ',' << e.totalMj() << ','
+       << r.systemEnergy.processorMj << ','
+       << r.systemEnergy.totalMj() << '\n';
+}
+
+} // namespace mil

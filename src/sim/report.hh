@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Machine-readable result export. Sweep scripts and plotting
+ * pipelines consume CSV; every bench binary's human-readable table
+ * has an equivalent here.
+ */
+
+#ifndef MIL_SIM_REPORT_HH
+#define MIL_SIM_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/system.hh"
+
+namespace mil
+{
+
+/** Writes SimResults as CSV rows. */
+class CsvReporter
+{
+  public:
+    /** Column header line (no trailing newline handling needed). */
+    static void writeHeader(std::ostream &os);
+
+    /**
+     * One result row. @p system / @p workload / @p policy label the
+     * run (they are not recoverable from the result itself).
+     */
+    static void writeRow(std::ostream &os, const std::string &system,
+                         const std::string &workload,
+                         const std::string &policy, const SimResult &r);
+};
+
+} // namespace mil
+
+#endif // MIL_SIM_REPORT_HH

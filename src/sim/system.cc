@@ -1,0 +1,140 @@
+#include "system.hh"
+
+#include "common/logging.hh"
+#include "dram/address_map.hh"
+#include "power/dram_power.hh"
+
+namespace mil
+{
+
+System::System(const SystemConfig &config, const Workload &workload,
+               CodingPolicy *policy, std::uint64_t ops_per_thread)
+    : config_(config)
+{
+    funcMem_ = std::make_unique<FunctionalMemory>();
+    workload.registerRegions(*funcMem_);
+
+    const AddressMap map(config_.timing, config_.channels);
+    std::vector<MemoryController *> raw_controllers;
+    for (unsigned ch = 0; ch < config_.channels; ++ch) {
+        controllers_.push_back(std::make_unique<MemoryController>(
+            config_.timing, config_.controller, funcMem_.get(), policy));
+        raw_controllers.push_back(controllers_.back().get());
+    }
+    port_ = std::make_unique<DramPort>(map, raw_controllers,
+                                       funcMem_.get());
+
+    l2_ = std::make_unique<Cache>(config_.l2, port_.get());
+    // Table 2 gives the per-core stream table; the shared L2 observes
+    // every core's miss stream, so the aggregate table scales with the
+    // hardware thread count.
+    PrefetcherParams pf_params = config_.prefetcher;
+    pf_params.nstreams *= config_.cores * config_.core.threads;
+    prefetcher_ = std::make_unique<Prefetcher>(pf_params);
+    l2_->setPrefetcher(prefetcher_.get());
+
+    CoreParams core_params = config_.core;
+    core_params.opQuota = ops_per_thread;
+
+    std::vector<Cache *> raw_l1s;
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        l1s_.push_back(std::make_unique<Cache>(config_.l1, l2_.get()));
+        raw_l1s.push_back(l1s_.back().get());
+        cores_.push_back(std::make_unique<Core>(
+            c, core_params, l1s_.back().get(), funcMem_.get()));
+        for (unsigned t = 0; t < core_params.threads; ++t) {
+            const unsigned global_tid = c * core_params.threads + t;
+            cores_.back()->setStream(
+                t, workload.makeStream(
+                       global_tid, config_.cores * core_params.threads));
+        }
+    }
+    l2_->setL1s(std::move(raw_l1s));
+}
+
+SimResult
+System::run(Cycle max_cycles)
+{
+    Cycle now = 0;
+    std::uint64_t last_progress_ops = 0;
+    Cycle last_progress_cycle = 0;
+
+    auto all_done = [&]() {
+        for (const auto &core : cores_)
+            if (!core->done())
+                return false;
+        if (l2_->busy() || port_->busy())
+            return false;
+        for (const auto &l1 : l1s_)
+            if (l1->busy())
+                return false;
+        return true;
+    };
+
+    auto retired = [&]() {
+        std::uint64_t ops = 0;
+        for (const auto &core : cores_)
+            ops += core->stats().loads + core->stats().stores;
+        return ops;
+    };
+
+    while (now < max_cycles) {
+        for (auto &ctrl : controllers_)
+            ctrl->tick(now);
+        port_->tick(now);
+        l2_->tick(now);
+        for (auto &l1 : l1s_)
+            l1->tick(now);
+        for (auto &core : cores_)
+            core->tick(now);
+
+        if (all_done())
+            break;
+
+        // Forward-progress watchdog: a livelock in the protocol would
+        // otherwise spin to max_cycles silently.
+        if ((now & 0xFFFFF) == 0) {
+            const std::uint64_t ops = retired();
+            if (ops == last_progress_ops && now > last_progress_cycle &&
+                now - last_progress_cycle > 4'000'000 && !all_done()) {
+                mil_panic("no forward progress for 4M cycles "
+                          "(cycle %llu, %llu ops retired)",
+                          static_cast<unsigned long long>(now),
+                          static_cast<unsigned long long>(ops));
+            }
+            if (ops != last_progress_ops) {
+                last_progress_ops = ops;
+                last_progress_cycle = now;
+            }
+        }
+        ++now;
+    }
+
+    SimResult result;
+    result.cycles = now;
+    result.totalOps = retired();
+    for (const auto &ctrl : controllers_) {
+        result.perChannel.push_back(ctrl->stats());
+        result.bus.merge(ctrl->stats());
+    }
+    for (const auto &l1 : l1s_) {
+        result.l1.hits += l1->stats().hits;
+        result.l1.misses += l1->stats().misses;
+        result.l1.writebacks += l1->stats().writebacks;
+        result.l1.upgrades += l1->stats().upgrades;
+        result.l1.mshrMerges += l1->stats().mshrMerges;
+    }
+    result.l2 = l2_->stats();
+    result.prefetcher = prefetcher_->stats();
+
+    const DramPowerModel dram_power(config_.timing, config_.dramPower);
+    for (const auto &ctrl : controllers_)
+        result.dramEnergy += dram_power.channelEnergy(ctrl->stats());
+
+    const SystemPowerModel system_power(config_.systemPower,
+                                        config_.timing.clockNs);
+    result.systemEnergy = system_power.energy(now, result.dramEnergy);
+    return result;
+}
+
+} // namespace mil

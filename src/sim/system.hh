@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The full-system simulator: cores -> private L1s -> shared inclusive
+ * L2 (+ stream prefetcher) -> per-channel memory controllers with a
+ * pluggable coding policy, plus the power models. One System instance
+ * runs one (system config, workload, policy) combination to completion
+ * and reports the measurements every paper figure is built from.
+ */
+
+#ifndef MIL_SIM_SYSTEM_HH
+#define MIL_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/coding_policy.hh"
+#include "mem/cache.hh"
+#include "mem/core.hh"
+#include "mem/dram_port.hh"
+#include "mem/prefetcher.hh"
+#include "sim/system_config.hh"
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+/** Everything measured by one simulation. */
+struct SimResult
+{
+    Cycle cycles = 0;              ///< Execution time.
+    std::uint64_t totalOps = 0;    ///< Memory ops retired by cores.
+    ChannelStats bus;              ///< Merged over channels.
+    std::vector<ChannelStats> perChannel;
+    CacheStats l1;                 ///< Merged over cores.
+    CacheStats l2;
+    PrefetcherStats prefetcher;
+    DramEnergyBreakdown dramEnergy;
+    SystemEnergy systemEnergy;
+
+    double utilization() const { return bus.utilization(); }
+
+    /** Zeros per transferred bit -- the IO energy density. */
+    double
+    zeroDensity() const
+    {
+        return bus.bitsTransferred == 0
+            ? 0.0
+            : static_cast<double>(bus.zerosTransferred) /
+              static_cast<double>(bus.bitsTransferred);
+    }
+};
+
+/** One simulated machine executing one workload under one policy. */
+class System
+{
+  public:
+    /**
+     * @param ops_per_thread memory ops each hardware thread retires
+     *        before finishing (the fixed work that defines execution
+     *        time).
+     */
+    System(const SystemConfig &config, const Workload &workload,
+           CodingPolicy *policy, std::uint64_t ops_per_thread);
+
+    /** Run to completion (or @p max_cycles) and collect results. */
+    SimResult run(Cycle max_cycles = 400'000'000);
+
+    FunctionalMemory &memory() { return *funcMem_; }
+    MemoryController &controller(unsigned ch) { return *controllers_[ch]; }
+
+  private:
+    SystemConfig config_;
+    std::unique_ptr<FunctionalMemory> funcMem_;
+    std::vector<std::unique_ptr<MemoryController>> controllers_;
+    std::unique_ptr<DramPort> port_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::unique_ptr<Cache> l2_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace mil
+
+#endif // MIL_SIM_SYSTEM_HH

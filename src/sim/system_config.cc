@@ -1,0 +1,80 @@
+#include "system_config.hh"
+
+namespace mil
+{
+
+SystemConfig
+SystemConfig::microserver()
+{
+    SystemConfig c;
+    c.name = "microserver";
+    c.timing = TimingParams::ddr4_3200();
+    c.channels = 2;
+    c.cores = 8;
+
+    // 8 in-order cores, 4 threads each, fetch/issue 4/2 at 3.2 GHz.
+    c.core.threads = 4;
+    c.core.issueWidth = 1; // One memory op per controller clock.
+    c.core.maxOutstandingLoads = 1;
+    c.core.blockOnEveryLoad = true;
+
+    c.l1.name = "L1D";
+    c.l1.sizeBytes = 32 * 1024;
+    c.l1.ways = 4;
+    c.l1.hitLatency = 1; // 2 CPU cycles.
+    c.l1.mshrs = 8;
+
+    c.l2.name = "L2";
+    c.l2.sizeBytes = 4 * 1024 * 1024;
+    c.l2.ways = 8;
+    c.l2.hitLatency = 8; // 16 CPU cycles.
+    c.l2.mshrs = 32;
+    c.l2.inclusiveOfL1s = true;
+
+    c.prefetcher.nstreams = 64;
+    c.prefetcher.distance = 32;
+    c.prefetcher.degree = 4;
+
+    c.dramPower = DramPowerParams::ddr4();
+    c.systemPower = SystemPowerParams::microserver();
+    return c;
+}
+
+SystemConfig
+SystemConfig::mobile()
+{
+    SystemConfig c;
+    c.name = "mobile";
+    c.timing = TimingParams::lpddr3_1600();
+    c.channels = 2;
+    c.cores = 8;
+
+    // 8 out-of-order cores, one thread each, issue width 3 at 1.6 GHz.
+    c.core.threads = 1;
+    c.core.issueWidth = 2;
+    c.core.maxOutstandingLoads = 8;
+    c.core.blockOnEveryLoad = false;
+
+    c.l1.name = "L1D";
+    c.l1.sizeBytes = 32 * 1024;
+    c.l1.ways = 4;
+    c.l1.hitLatency = 1;
+    c.l1.mshrs = 8;
+
+    c.l2.name = "L2";
+    c.l2.sizeBytes = 2 * 1024 * 1024;
+    c.l2.ways = 8;
+    c.l2.hitLatency = 4; // 8 CPU cycles.
+    c.l2.mshrs = 32;
+    c.l2.inclusiveOfL1s = true;
+
+    c.prefetcher.nstreams = 64;
+    c.prefetcher.distance = 8;
+    c.prefetcher.degree = 1;
+
+    c.dramPower = DramPowerParams::lpddr3();
+    c.systemPower = SystemPowerParams::mobile();
+    return c;
+}
+
+} // namespace mil

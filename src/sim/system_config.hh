@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Full-system configurations reproducing Table 2.
+ *
+ * All latencies are expressed in memory-controller clock cycles. Both
+ * evaluated systems run their cores at twice the controller clock
+ * (3.2 GHz cores / 1.6 GHz DDR4-3200 controller; 1.6 GHz cores /
+ * 0.8 GHz LPDDR3-1600 controller), so CPU-cycle latencies from the
+ * paper's table are halved here.
+ */
+
+#ifndef MIL_SIM_SYSTEM_CONFIG_HH
+#define MIL_SIM_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "dram/controller.hh"
+#include "dram/timing.hh"
+#include "mem/cache.hh"
+#include "mem/core.hh"
+#include "mem/prefetcher.hh"
+#include "power/dram_power.hh"
+#include "power/system_power.hh"
+
+namespace mil
+{
+
+/** Everything needed to instantiate one of the paper's two systems. */
+struct SystemConfig
+{
+    std::string name;
+    TimingParams timing;
+    unsigned channels = 2;
+    unsigned cores = 8;
+    CoreParams core;
+    CacheParams l1;
+    CacheParams l2;
+    PrefetcherParams prefetcher;
+    ControllerConfig controller;
+    DramPowerParams dramPower;
+    SystemPowerParams systemPower;
+
+    /** Niagara-like DDR4-3200 microserver (Table 2, right column). */
+    static SystemConfig microserver();
+
+    /** Snapdragon-like LPDDR3-1600 mobile system (Table 2, left). */
+    static SystemConfig mobile();
+};
+
+} // namespace mil
+
+#endif // MIL_SIM_SYSTEM_CONFIG_HH

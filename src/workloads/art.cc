@@ -1,0 +1,92 @@
+#include "art.hh"
+
+#include "common/random.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+class ArtStream : public ThreadStream
+{
+  public:
+    ArtStream(std::uint64_t seed, Addr f1, Addr f2, std::uint64_t bytes)
+        : rng_(seed), f1_(f1), f2_(f2), bytes_(bytes)
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        op.storeValue = 0;
+        op.blocking = false;
+        switch (step_) {
+          case 0:
+            // Bottom-up weight read.
+            op.addr = f1_ + cursor_;
+            op.isWrite = false;
+            op.gap = 1;
+            break;
+          case 1:
+            // Top-down weight read.
+            op.addr = f2_ + cursor_;
+            op.isWrite = false;
+            op.gap = 2;
+            break;
+          default:
+            // Periodic weight adaptation write.
+            op.addr = f1_ + cursor_;
+            op.isWrite = true;
+            op.gap = 2;
+            op.storeValue = rng_.next() & 0x3F00'0000'3F00'0000ull;
+            break;
+        }
+        if (++step_ >= (adaptPass_ ? 3u : 2u)) {
+            step_ = 0;
+            cursor_ += 8;
+            if (cursor_ >= bytes_) {
+                cursor_ = 0;
+                adaptPass_ = !adaptPass_;
+            }
+        }
+        return true;
+    }
+
+  private:
+    Rng rng_;
+    Addr f1_;
+    Addr f2_;
+    std::uint64_t bytes_;
+    std::uint64_t cursor_ = 0;
+    unsigned step_ = 0;
+    bool adaptPass_ = false;
+};
+
+} // anonymous namespace
+
+void
+ArtWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    const std::uint64_t bytes = weights() * 4;
+    mem.addRegion(f1Base, bytes, [seed](Addr a, Line &out) {
+        fillFp32Unit(a, out, seed + 90);
+    });
+    mem.addRegion(f2Base, bytes, [seed](Addr a, Line &out) {
+        fillFp32Unit(a, out, seed + 91);
+    });
+}
+
+ThreadStreamPtr
+ArtWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t bytes = weights() * 4;
+    const std::uint64_t slice =
+        (bytes / nthreads) & ~std::uint64_t{lineBytes - 1};
+    return std::make_unique<ArtStream>(config_.seed * 61 + tid,
+                                       f1Base + tid * slice,
+                                       f2Base + tid * slice, slice);
+}
+
+} // namespace mil

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * ART (SPEC OMP, adaptive resonance theory image recognition):
+ * repeated sweeps over f1/f2 neuron weight arrays (fp32 in [0,1])
+ * with moderate compute per element.
+ */
+
+#ifndef MIL_WORKLOADS_ART_HH
+#define MIL_WORKLOADS_ART_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class ArtWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "ART"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Weight elements (MinneSpec-Large working set; scaled). */
+    std::uint64_t weights() const { return scaledPow2(1ull << 22); }
+
+    static constexpr Addr f1Base = 0x1'0000'0000;
+    static constexpr Addr f2Base = 0x1'1000'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_ART_HH

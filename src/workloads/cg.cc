@@ -1,0 +1,140 @@
+#include "cg.hh"
+
+#include "common/random.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+class CgStream : public ThreadStream
+{
+  public:
+    CgStream(std::uint64_t seed, std::uint64_t row_begin,
+             std::uint64_t row_end, std::uint64_t n)
+        : rng_(seed), rowBegin_(row_begin), row_(row_begin),
+          rowEnd_(row_end), n_(n)
+    {
+        elem_ = row_ * CgWorkload::nnzPerRow;
+    }
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        op.storeValue = 0;
+        switch (phase_) {
+          case Phase::Index:
+            // Stream the column index (4B, sequential).
+            op.addr = CgWorkload::idxBase + elem_ * 4;
+            op.isWrite = false;
+            op.blocking = false;
+            op.gap = 0;
+            phase_ = Phase::Value;
+            return true;
+          case Phase::Value:
+            // Stream the matrix coefficient (8B, sequential).
+            op.addr = CgWorkload::valsBase + elem_ * 8;
+            op.isWrite = false;
+            op.blocking = false;
+            op.gap = 0;
+            phase_ = Phase::Gather;
+            return true;
+          case Phase::Gather: {
+            // Gather x[col]: the address depends on the index load.
+            const std::uint64_t band = n_ / 8;
+            const std::uint64_t lo =
+                row_ > band / 2 ? row_ - band / 2 : 0;
+            const std::uint64_t col =
+                std::min(lo + rng_.below(band), n_ - 1);
+            op.addr = CgWorkload::xBase + col * 8;
+            op.isWrite = false;
+            op.blocking = true;
+            op.gap = 1; // The multiply-accumulate.
+            ++elem_;
+            ++nnzDone_;
+            if (nnzDone_ >= CgWorkload::nnzPerRow) {
+                nnzDone_ = 0;
+                phase_ = Phase::Store;
+            } else {
+                phase_ = Phase::Index;
+            }
+            return true;
+          }
+          case Phase::Store:
+            // y[row] = accumulated dot product.
+            op.addr = CgWorkload::yBase + row_ * 8;
+            op.isWrite = true;
+            op.blocking = false;
+            op.gap = 1;
+            // Accumulated dot product at reduced effective precision.
+            op.storeValue = (rng_.next() & 0x000F'FFFF'F000'0000ull) |
+                0x4010'0000'0000'0000ull;
+            ++row_;
+            if (row_ >= rowEnd_) {
+                // Next CG iteration: sweep this thread's rows again.
+                row_ = rowBegin_;
+                elem_ = row_ * CgWorkload::nnzPerRow;
+            }
+            phase_ = Phase::Index;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    enum class Phase
+    {
+        Index,
+        Value,
+        Gather,
+        Store,
+    };
+
+    Rng rng_;
+    std::uint64_t rowBegin_;
+    std::uint64_t row_;
+    std::uint64_t rowEnd_;
+    std::uint64_t n_;
+    std::uint64_t elem_ = 0;
+    unsigned nnzDone_ = 0;
+    Phase phase_ = Phase::Index;
+};
+
+} // anonymous namespace
+
+void
+CgWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    const std::uint64_t n = rows();
+    mem.addRegion(valsBase, n * nnzPerRow * 8,
+                  [seed](Addr a, Line &out) {
+                      fillFp64Values(a, out, seed + 1);
+                  });
+    mem.addRegion(idxBase, n * nnzPerRow * 4,
+                  [seed, n](Addr a, Line &out) {
+                      fillIndexArray(a, out, seed + 2, idxBase,
+                                     static_cast<std::uint32_t>(n / 8));
+                  });
+    mem.addRegion(xBase, n * 8, [seed](Addr a, Line &out) {
+        fillFp64Smooth(a, out, seed + 3);
+    });
+    mem.addRegion(yBase, n * 8, [seed](Addr a, Line &out) {
+        fillFp64Smooth(a, out, seed + 4);
+    });
+}
+
+ThreadStreamPtr
+CgWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t n = rows();
+    const std::uint64_t chunk = n / nthreads;
+    const std::uint64_t begin = tid * chunk;
+    const std::uint64_t end = tid + 1 == nthreads ? n : begin + chunk;
+    return std::make_unique<CgStream>(config_.seed * 7 + tid, begin, end,
+                                      n);
+}
+
+} // namespace mil

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CG (NAS Parallel Benchmarks, conjugate gradient, Class A): sparse
+ * matrix-vector products. Streams the matrix value and column-index
+ * arrays, gathers from the dense vector through the indices
+ * (address-dependent loads), and writes the result vector.
+ */
+
+#ifndef MIL_WORKLOADS_CG_HH
+#define MIL_WORKLOADS_CG_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class CgWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "CG"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Matrix rows (Class A: n = 14000 rows, ~2M nonzeros; scaled). */
+    std::uint64_t rows() const { return scaledPow2(1ull << 17); }
+    /** Average nonzeros per row. */
+    static constexpr unsigned nnzPerRow = 12;
+
+    static constexpr Addr valsBase = 0x2000'0000;
+    static constexpr Addr idxBase = 0x3000'0000;
+    static constexpr Addr xBase = 0x3800'0000;
+    static constexpr Addr yBase = 0x3C00'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_CG_HH

@@ -1,0 +1,178 @@
+#include "data_gen.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bitops.hh"
+
+namespace mil
+{
+
+Rng
+lineRng(std::uint64_t seed, Addr line_addr)
+{
+    // splitmix-style mix of the two inputs; Rng reseeds through
+    // splitmix64 internally, so a simple xor-multiply suffices.
+    return Rng(seed ^ (line_addr * 0x9E3779B97F4A7C15ull) ^
+               (line_addr >> 17));
+}
+
+namespace
+{
+
+void
+storeDouble(Line &out, unsigned slot, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    store64(out.data() + slot * 8, bits);
+}
+
+/**
+ * Store a double at reduced effective precision: scientific arrays
+ * are typically initialized from single-precision inputs, linear
+ * ramps, or short decimal constants, so their low mantissa bytes are
+ * predominantly zero. Keeping ~24 significant mantissa bits models
+ * that (and is what makes FP data compressible in practice).
+ */
+void
+storeDoubleQuantized(Line &out, unsigned slot, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    bits &= ~((std::uint64_t{1} << 28) - 1);
+    store64(out.data() + slot * 8, bits);
+}
+
+void
+storeFloat(Line &out, unsigned slot, float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (unsigned i = 0; i < 4; ++i)
+        out[slot * 4 + i] = static_cast<std::uint8_t>(bits >> (8 * i));
+}
+
+} // anonymous namespace
+
+void
+fillRandom64(Addr line_addr, Line &out, std::uint64_t seed)
+{
+    Rng rng = lineRng(seed, line_addr);
+    for (unsigned i = 0; i < 8; ++i)
+        store64(out.data() + i * 8, rng.next());
+}
+
+void
+fillFp64Smooth(Addr line_addr, Line &out, std::uint64_t seed)
+{
+    Rng rng = lineRng(seed, line_addr);
+    // A slowly varying field: base level depends on the coarse
+    // position, neighbors perturb it slightly, so the eight doubles
+    // in a line share sign/exponent bytes.
+    const double base =
+        std::sin(static_cast<double>(line_addr >> 12) * 0.37 +
+                 static_cast<double>(seed & 0xFF) * 0.11) *
+        40.0;
+    for (unsigned i = 0; i < 8; ++i) {
+        const double v = base + rng.uniform() * 0.5 - 0.25;
+        storeDoubleQuantized(out, i, v);
+    }
+}
+
+void
+fillFp64Values(Addr line_addr, Line &out, std::uint64_t seed)
+{
+    Rng rng = lineRng(seed, line_addr);
+    for (unsigned i = 0; i < 8; ++i) {
+        // Coefficients spanning a few decades, occasionally exactly
+        // zero (explicit zeros are common in assembled matrices).
+        double v;
+        if (rng.chance(0.08)) {
+            v = 0.0;
+        } else {
+            const double mag = std::pow(10.0, rng.uniform() * 4.0 - 2.0);
+            v = (rng.chance(0.5) ? mag : -mag);
+        }
+        storeDoubleQuantized(out, i, v);
+    }
+}
+
+void
+fillFp32Unit(Addr line_addr, Line &out, std::uint64_t seed)
+{
+    Rng rng = lineRng(seed, line_addr);
+    for (unsigned i = 0; i < 16; ++i) {
+        // ART weights live in [0,1] and saturate toward the interval
+        // ends as training converges; quantize to ~12 significant
+        // bits (the adaptation step size).
+        float v = static_cast<float>(rng.uniform());
+        if (rng.chance(0.3))
+            v = rng.chance(0.5) ? 0.0f : 1.0f;
+        std::uint32_t fbits;
+        std::memcpy(&fbits, &v, sizeof(fbits));
+        fbits &= ~((std::uint32_t{1} << 12) - 1);
+        std::memcpy(&v, &fbits, sizeof(fbits));
+        storeFloat(out, i, v);
+    }
+}
+
+void
+fillAsciiText(Addr line_addr, Line &out, std::uint64_t seed)
+{
+    static const char lexicon[] =
+        "the quick brown fox jumps over a lazy dog while sparse codes "
+        "cut the zeros moved across the memory bus in long bursts ";
+    Rng rng = lineRng(seed, line_addr);
+    // Start at a random phase so lines differ, then emit running text.
+    std::size_t pos = static_cast<std::size_t>(
+        rng.below(sizeof(lexicon) - 1));
+    for (auto &byte : out) {
+        byte = static_cast<std::uint8_t>(lexicon[pos]);
+        pos = (pos + 1) % (sizeof(lexicon) - 1);
+    }
+}
+
+void
+fillPixels(Addr line_addr, Line &out, std::uint64_t seed)
+{
+    Rng rng = lineRng(seed, line_addr);
+    // Locally correlated intensities around a per-line mean.
+    const auto mean = static_cast<int>(rng.below(200)) + 20;
+    for (auto &byte : out) {
+        const int v = mean + static_cast<int>(rng.below(31)) - 15;
+        byte = static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+}
+
+void
+fillSmallInts(Addr line_addr, Line &out, std::uint64_t seed,
+              std::uint32_t max_value)
+{
+    Rng rng = lineRng(seed, line_addr);
+    for (unsigned i = 0; i < 16; ++i) {
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(rng.below(max_value + 1));
+        for (unsigned k = 0; k < 4; ++k)
+            out[i * 4 + k] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+}
+
+void
+fillIndexArray(Addr line_addr, Line &out, std::uint64_t seed,
+               Addr region_base, std::uint32_t spread)
+{
+    Rng rng = lineRng(seed, line_addr);
+    // Indices roughly proportional to the element position, plus a
+    // bounded random spread: the typical banded-sparse-matrix shape.
+    const std::uint64_t first_elem = (line_addr - region_base) / 4;
+    for (unsigned i = 0; i < 16; ++i) {
+        const std::uint64_t base = (first_elem + i) / 12;
+        const std::uint32_t v = static_cast<std::uint32_t>(
+            base + rng.below(spread + 1));
+        for (unsigned k = 0; k < 4; ++k)
+            out[i * 4 + k] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+}
+
+} // namespace mil

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Benchmark-characteristic data-value synthesis.
+ *
+ * The coding results (Figures 7 and 17) depend on the bit patterns on
+ * the bus, so each workload region is filled with values whose byte-
+ * level statistics match its benchmark: IEEE-754 doubles from smooth
+ * fields (correlated sign/exponent bytes), ASCII text (high bit always
+ * zero), 8-bit pixels, small integers (zero-heavy high bytes), sparse-
+ * matrix index arrays, and uniform random words. All generators are
+ * deterministic functions of (line address, seed).
+ */
+
+#ifndef MIL_WORKLOADS_DATA_GEN_HH
+#define MIL_WORKLOADS_DATA_GEN_HH
+
+#include <cstdint>
+
+#include "coding/code.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "dram/functional_memory.hh"
+
+namespace mil
+{
+
+/** Deterministic per-line RNG: mixes the region seed and the address. */
+Rng lineRng(std::uint64_t seed, Addr line_addr);
+
+/** Uniform random 64-bit words (GUPS table). */
+void fillRandom64(Addr line_addr, Line &out, std::uint64_t seed);
+
+/**
+ * Doubles sampled from a smooth scalar field: neighboring values share
+ * sign and exponent and differ slowly in the high mantissa (stencil
+ * grids: MG, SWIM, OCEAN, FFT twiddles).
+ */
+void fillFp64Smooth(Addr line_addr, Line &out, std::uint64_t seed);
+
+/** Doubles typical of sparse-matrix coefficient arrays (CG, MM). */
+void fillFp64Values(Addr line_addr, Line &out, std::uint64_t seed);
+
+/** Floats in [0,1) (ART weights). */
+void fillFp32Unit(Addr line_addr, Line &out, std::uint64_t seed);
+
+/** English-like ASCII text (STRMATCH corpus). */
+void fillAsciiText(Addr line_addr, Line &out, std::uint64_t seed);
+
+/** 8-bit pixels with local spatial correlation (HISTOGRAM input). */
+void fillPixels(Addr line_addr, Line &out, std::uint64_t seed);
+
+/**
+ * 32-bit integers with small magnitudes (SCALPARC attributes,
+ * categorical data): high bytes are mostly zero.
+ */
+void fillSmallInts(Addr line_addr, Line &out, std::uint64_t seed,
+                   std::uint32_t max_value);
+
+/**
+ * Mostly-ascending 32-bit index arrays (CG column indices): values
+ * grow with the address, deltas are small.
+ */
+void fillIndexArray(Addr line_addr, Line &out, std::uint64_t seed,
+                    Addr region_base, std::uint32_t spread);
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_DATA_GEN_HH

@@ -1,0 +1,122 @@
+#include "fft.hh"
+
+#include "common/bitops.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+/** Butterfly passes over this thread's slice of the array. */
+class FftStream : public ThreadStream
+{
+  public:
+    FftStream(std::uint64_t seed, Addr slice_base,
+              std::uint64_t slice_points)
+        : rng_(seed), base_(slice_base), points_(slice_points)
+    {
+        stride_ = points_ / 2;
+    }
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        // Each butterfly: load (i), load (i+stride), twiddle load,
+        // store (i), store (i+stride); 16 bytes per complex.
+        const Addr lo = base_ + idx_ * 16;
+        const Addr hi = base_ + (idx_ + stride_) * 16;
+        op.blocking = false;
+        op.storeValue = 0;
+        switch (step_) {
+          case 0:
+            op.addr = lo;
+            op.isWrite = false;
+            op.gap = 0;
+            break;
+          case 1:
+            op.addr = hi;
+            op.isWrite = false;
+            op.gap = 0;
+            break;
+          case 2:
+            op.addr = FftWorkload::twiddleBase +
+                (idx_ % 4096) * 16;
+            op.isWrite = false;
+            op.gap = 1;
+            break;
+          case 3:
+            op.addr = lo;
+            op.isWrite = true;
+            op.gap = 1;
+            op.storeValue = (rng_.next() & 0x000F'FFFF'F000'0000ull) |
+                0x3FE0'0000'0000'0000ull;
+            break;
+          case 4:
+            op.addr = hi;
+            op.isWrite = true;
+            op.gap = 0;
+            op.storeValue = (rng_.next() & 0x000F'FFFF'F000'0000ull) |
+                0x3FE0'0000'0000'0000ull;
+            break;
+          default:
+            break;
+        }
+        if (++step_ == 5) {
+            step_ = 0;
+            advance();
+        }
+        return true;
+    }
+
+  private:
+    void
+    advance()
+    {
+        // Walk the butterflies of the current pass; groups of `stride_`
+        // consecutive low indices, then jump past the partner block.
+        ++idx_;
+        if (idx_ % stride_ == 0)
+            idx_ += stride_;
+        if (idx_ + stride_ >= points_) {
+            // Next pass: halve the stride (down to one line).
+            idx_ = 0;
+            stride_ /= 2;
+            if (stride_ < 4)
+                stride_ = points_ / 2;
+        }
+    }
+
+    Rng rng_;
+    Addr base_;
+    std::uint64_t points_;
+    std::uint64_t stride_;
+    std::uint64_t idx_ = 0;
+    unsigned step_ = 0;
+};
+
+} // anonymous namespace
+
+void
+FftWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    mem.addRegion(dataBase, points() * 16, [seed](Addr a, Line &out) {
+        fillFp64Smooth(a, out, seed + 50);
+    });
+    mem.addRegion(twiddleBase, 4096 * 16, [seed](Addr a, Line &out) {
+        fillFp64Smooth(a, out, seed + 51);
+    });
+}
+
+ThreadStreamPtr
+FftWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t slice = points() / nthreads;
+    return std::make_unique<FftStream>(config_.seed * 43 + tid,
+                                       dataBase + tid * slice * 16,
+                                       slice);
+}
+
+} // namespace mil

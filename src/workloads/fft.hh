@@ -1,0 +1,36 @@
+/**
+ * @file
+ * FFT (SPLASH-2, 2^20 complex points): log2(N) butterfly passes with
+ * geometrically shrinking strides. Large-stride passes defeat the
+ * stream prefetcher and stress the DRAM row buffer; small-stride
+ * passes stream.
+ */
+
+#ifndef MIL_WORKLOADS_FFT_HH
+#define MIL_WORKLOADS_FFT_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class FftWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "FFT"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Complex points (paper: 2^20; scaled). */
+    std::uint64_t points() const { return scaledPow2(1ull << 20); }
+
+    static constexpr Addr dataBase = 0x9800'0000;
+    static constexpr Addr twiddleBase = 0xA800'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_FFT_HH

@@ -1,0 +1,86 @@
+#include "gups.hh"
+
+#include "common/bitops.hh"
+#include "common/random.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+class GupsStream : public ThreadStream
+{
+  public:
+    GupsStream(std::uint64_t seed, Addr base, std::uint64_t elems)
+        : rng_(seed), base_(base), elems_(elems)
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        if (pendingStore_) {
+            // The update half of the RMW: store back to the same slot.
+            pendingStore_ = false;
+            op.addr = lastAddr_;
+            op.isWrite = true;
+            op.blocking = false;
+            op.gap = 0;
+            op.storeValue = rng_.next(); // table[i] ^= ran; random image.
+            return true;
+        }
+        // The load half: the table index comes from the LFSR output of
+        // the previous update, so the load is address-dependent.
+        lastAddr_ = base_ + rng_.below(elems_) * 8;
+        op.addr = lastAddr_;
+        op.isWrite = false;
+        op.blocking = true;
+        op.gap = 0;
+        op.storeValue = 0;
+        pendingStore_ = true;
+        return true;
+    }
+
+  private:
+    Rng rng_;
+    Addr base_;
+    std::uint64_t elems_;
+    Addr lastAddr_ = 0;
+    bool pendingStore_ = false;
+};
+
+} // anonymous namespace
+
+void
+GupsWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    // HPCC RandomAccess initializes table[i] = i, and only a small
+    // fraction of entries has been XORed with the random stream at any
+    // point of the run, so lines on the bus mostly carry small-integer
+    // index values (zero-heavy high bytes).
+    const std::uint64_t seed = config_.seed;
+    mem.addRegion(tableBase, tableElems() * 8,
+                  [seed](Addr line_addr, Line &out) {
+                      Rng rng = lineRng(seed, line_addr);
+                      const std::uint64_t first =
+                          (line_addr - tableBase) / 8;
+                      for (unsigned i = 0; i < 8; ++i) {
+                          std::uint64_t v = first + i;
+                          if (rng.chance(0.03))
+                              v ^= rng.next();
+                          store64(out.data() + i * 8, v);
+                      }
+                  });
+}
+
+ThreadStreamPtr
+GupsWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    (void)nthreads; // Every thread updates the shared table.
+    return std::make_unique<GupsStream>(
+        config_.seed * 1315423911u + tid * 2654435761u, tableBase,
+        tableElems());
+}
+
+} // namespace mil

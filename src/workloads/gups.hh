@@ -1,0 +1,34 @@
+/**
+ * @file
+ * GUPS (HPCC RandomAccess): dependent random 8-byte read-modify-write
+ * updates over a large table. The canonical worst case for row-buffer
+ * locality and the paper's most bandwidth-hungry benchmark.
+ */
+
+#ifndef MIL_WORKLOADS_GUPS_HH
+#define MIL_WORKLOADS_GUPS_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class GupsWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "GUPS"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Table size in 8-byte elements (paper: 2^25). */
+    std::uint64_t tableElems() const { return scaledPow2(1ull << 25); }
+
+    static constexpr Addr tableBase = 0x0800'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_GUPS_HH

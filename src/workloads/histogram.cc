@@ -1,0 +1,75 @@
+#include "histogram.hh"
+
+#include "common/random.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+class HistogramStream : public ThreadStream
+{
+  public:
+    HistogramStream(std::uint64_t seed, Addr begin, std::uint64_t bytes)
+        : rng_(seed), begin_(begin), bytes_(bytes)
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        op.storeValue = 0;
+        op.blocking = false;
+        if (step_ < 8) {
+            // Eight sequential 8-byte pixel loads; the per-byte bin
+            // arithmetic (3 channels x ~2 CPU cycles per byte) shows
+            // up as the gap.
+            op.addr = begin_ + (cursor_ + step_ * 8) % bytes_;
+            op.isWrite = false;
+            op.gap = 38;
+            ++step_;
+            return true;
+        }
+        // One bin update (the bins are tiny and stay in the L1).
+        op.addr = HistogramWorkload::binsBase + rng_.below(3 * 256) * 4;
+        op.isWrite = true;
+        op.gap = 2;
+        op.storeValue = rng_.below(1u << 20);
+        step_ = 0;
+        cursor_ = (cursor_ + 64) % bytes_;
+        return true;
+    }
+
+  private:
+    Rng rng_;
+    Addr begin_;
+    std::uint64_t bytes_;
+    std::uint64_t cursor_ = 0;
+    unsigned step_ = 0;
+};
+
+} // anonymous namespace
+
+void
+HistogramWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    mem.addRegion(imageBase, imageBytes(), [seed](Addr a, Line &out) {
+        fillPixels(a, out, seed + 60);
+    });
+    mem.addRegion(binsBase, 4096, [seed](Addr a, Line &out) {
+        fillSmallInts(a, out, seed + 61, 4096);
+    });
+}
+
+ThreadStreamPtr
+HistogramWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t chunk =
+        (imageBytes() / nthreads) & ~std::uint64_t{lineBytes - 1};
+    return std::make_unique<HistogramStream>(
+        config_.seed * 47 + tid, imageBase + tid * chunk, chunk);
+}
+
+} // namespace mil

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * HISTOGRAM (Phoenix): a single streaming pass over an image,
+ * incrementing small per-channel bin arrays that stay cache-resident.
+ * Read-dominated sequential traffic that the stream prefetcher covers
+ * well.
+ */
+
+#ifndef MIL_WORKLOADS_HISTOGRAM_HH
+#define MIL_WORKLOADS_HISTOGRAM_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class HistogramWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "HISTOGRAM"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Image bytes (Phoenix small: ~100 MB; scaled). */
+    std::uint64_t imageBytes() const
+    {
+        return scaledLinear(100ull << 20) & ~std::uint64_t{lineBytes - 1};
+    }
+
+    static constexpr Addr imageBase = 0xB000'0000;
+    static constexpr Addr binsBase = 0x0010'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_HISTOGRAM_HH

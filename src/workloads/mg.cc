@@ -1,0 +1,74 @@
+#include "mg.hh"
+
+#include "workloads/data_gen.hh"
+#include "workloads/stencil.hh"
+
+namespace mil
+{
+
+void
+MgWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    const std::uint64_t n = dim();
+    const std::uint64_t bytes = n * n * n * 8;
+    mem.addRegion(gridBase, bytes, [seed](Addr a, Line &out) {
+        fillFp64Smooth(a, out, seed + 11);
+    });
+    mem.addRegion(resBase, bytes, [seed](Addr a, Line &out) {
+        fillFp64Smooth(a, out, seed + 12);
+    });
+}
+
+ThreadStreamPtr
+MgWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t n = dim();
+    const std::uint64_t plane = n * n * 8; // One z-slice in bytes.
+    const std::uint64_t row = n * 8;
+
+    // Threads partition the z dimension into slabs. The per-thread
+    // and per-array line staggers model the array padding real
+    // stencil codes use to break power-of-two set aliasing (the
+    // +/-plane and residual taps would otherwise all collide in one
+    // L1 set).
+    const std::uint64_t slab_planes = n / nthreads;
+    const Addr u0 =
+        gridBase + tid * slab_planes * plane + tid * 3 * lineBytes;
+    const Addr r0 = resBase + tid * slab_planes * plane +
+        (tid * 3 + 37) * lineBytes;
+    const std::uint64_t points = slab_planes * n * n;
+
+    // Fine-grid relaxation: the 7-point stencil reads the six
+    // neighbors (the +/-x pair shares the cursor's line) and the
+    // residual, then writes the updated point.
+    StencilSweep fine;
+    fine.cursorBase = u0 + plane + row; // Skip the boundary halo.
+    fine.points = points > 2 * n * n ? points - 2 * n * n : points;
+    fine.strideBytes = 8;
+    // De-alias the +/-plane taps by one padded line each, as padded
+    // arrays do.
+    fine.taps = {
+        {gridBase, 0, false, 1},
+        {gridBase, -static_cast<std::int64_t>(row), false, 0},
+        {gridBase, static_cast<std::int64_t>(row), false, 0},
+        {gridBase, -static_cast<std::int64_t>(plane + 5 * lineBytes),
+         false, 0},
+        {gridBase, static_cast<std::int64_t>(plane + 9 * lineBytes),
+         false, 0},
+        {resBase, static_cast<std::int64_t>(r0 - u0), false, 0},
+        {gridBase, 0, true, 1},
+    };
+
+    // Coarse-grid sweep (one level down): quarter the points, the
+    // same shape, double the strides.
+    StencilSweep coarse = fine;
+    coarse.points = std::max<std::uint64_t>(fine.points / 8, 1024);
+    coarse.strideBytes = 16;
+
+    return std::make_unique<StencilStream>(
+        config_.seed * 31 + tid,
+        std::vector<StencilSweep>{fine, coarse});
+}
+
+} // namespace mil

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * MG (NAS multigrid, Class A): 3D Poisson V-cycles. Modelled as
+ * stencil sweeps over a hierarchy of 3D grids -- the fine grid
+ * dominates the traffic; coarser levels add shorter, denser sweeps.
+ */
+
+#ifndef MIL_WORKLOADS_MG_HH
+#define MIL_WORKLOADS_MG_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class MgWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "MG"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Fine-grid dimension (Class A: 256^3; scaled). */
+    std::uint64_t dim() const
+    {
+        std::uint64_t d = 32;
+        while (d * 2 * d * 2 * d * 2 * 8 <=
+               scaledPow2(256ull * 256 * 256) * 8)
+            d *= 2;
+        return d;
+    }
+
+    static constexpr Addr gridBase = 0x4000'0000;
+    static constexpr Addr resBase = 0x5000'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_MG_HH

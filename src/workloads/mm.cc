@@ -1,0 +1,127 @@
+#include "mm.hh"
+
+#include "common/random.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+/**
+ * Blocked GEMM traffic model: per block step, stream one A-block and
+ * one B-block from memory (2 * 32x32 doubles), then a long compute
+ * phase of L1-resident accesses over those blocks, then write the
+ * C-block back.
+ */
+class MmStream : public ThreadStream
+{
+  public:
+    MmStream(std::uint64_t seed, Addr a, Addr b, Addr c,
+             std::uint64_t matrix_bytes)
+        : rng_(seed), a_(a), b_(b), c_(c), bytes_(matrix_bytes)
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        constexpr std::uint64_t block_bytes = 32 * 32 * 8;
+        op.storeValue = 0;
+        op.blocking = false;
+
+        if (phase_ == Phase::LoadA || phase_ == Phase::LoadB) {
+            const Addr base = phase_ == Phase::LoadA ? a_ : b_;
+            op.addr = base + (blockOffset_ + cursor_) % bytes_;
+            op.isWrite = false;
+            op.gap = 0;
+            cursor_ += 8;
+            if (cursor_ >= block_bytes) {
+                cursor_ = 0;
+                phase_ = phase_ == Phase::LoadA ? Phase::LoadB
+                                                : Phase::Compute;
+            }
+            return true;
+        }
+        if (phase_ == Phase::Compute) {
+            // L1-resident inner product accesses with real compute
+            // between them: the 32x32x32 MACs of the block.
+            op.addr = a_ + (blockOffset_ + rng_.below(block_bytes)) %
+                bytes_;
+            op.isWrite = false;
+            op.gap = 6;
+            if (++cursor_ >= 512) {
+                cursor_ = 0;
+                phase_ = Phase::StoreC;
+            }
+            return true;
+        }
+        // StoreC: write one row of the C block (accumulated integer
+        // dot products: two small ints per 8-byte store).
+        op.addr = c_ + (blockOffset_ + cursor_) % bytes_;
+        op.isWrite = true;
+        op.gap = 1;
+        op.storeValue = (rng_.below(30000000) << 32) |
+            rng_.below(30000000);
+        cursor_ += 8;
+        if (cursor_ >= block_bytes / 4) {
+            cursor_ = 0;
+            blockOffset_ = (blockOffset_ + block_bytes) % bytes_;
+            phase_ = Phase::LoadA;
+        }
+        return true;
+    }
+
+  private:
+    enum class Phase
+    {
+        LoadA,
+        LoadB,
+        Compute,
+        StoreC,
+    };
+
+    Rng rng_;
+    Addr a_;
+    Addr b_;
+    Addr c_;
+    std::uint64_t bytes_;
+    std::uint64_t blockOffset_ = 0;
+    std::uint64_t cursor_ = 0;
+    Phase phase_ = Phase::LoadA;
+};
+
+} // anonymous namespace
+
+void
+MmWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    // The Phoenix matrix_multiply kernel works on *integer* matrices
+    // whose entries are small (generated modulo 100), so the operand
+    // data is dominated by zero high bytes; products in C are larger
+    // but still far below 2^32.
+    const std::uint64_t seed = config_.seed;
+    const std::uint64_t bytes = dim() * dim() * 8;
+    mem.addRegion(aBase, bytes, [seed](Addr a, Line &out) {
+        fillSmallInts(a, out, seed + 70, 99);
+    });
+    mem.addRegion(bBase, bytes, [seed](Addr a, Line &out) {
+        fillSmallInts(a, out, seed + 71, 99);
+    });
+    mem.addRegion(cBase, bytes, [seed](Addr a, Line &out) {
+        fillSmallInts(a, out, seed + 72, 30000000);
+    });
+}
+
+ThreadStreamPtr
+MmWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t bytes = dim() * dim() * 8;
+    const std::uint64_t slice = bytes / nthreads;
+    return std::make_unique<MmStream>(config_.seed * 53 + tid,
+                                      aBase + tid * slice,
+                                      bBase + tid * slice,
+                                      cBase + tid * slice, bytes);
+}
+
+} // namespace mil

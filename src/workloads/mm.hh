@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Matrix Multiply (Phoenix, 3000x3000): cache-blocked dense GEMM.
+ * High arithmetic intensity and strong reuse make it the least
+ * memory-intensive benchmark: DRAM traffic is limited to streaming in
+ * fresh blocks between long compute phases.
+ */
+
+#ifndef MIL_WORKLOADS_MM_HH
+#define MIL_WORKLOADS_MM_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class MmWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "MM"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Matrix dimension (paper: 3000; scaled). */
+    std::uint64_t dim() const { return scaledPow2(4096); }
+
+    static constexpr Addr aBase = 0xC000'0000;
+    static constexpr Addr bBase = 0xD000'0000;
+    static constexpr Addr cBase = 0xE000'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_MM_HH

@@ -1,0 +1,80 @@
+#include "ocean.hh"
+
+#include "workloads/data_gen.hh"
+#include "workloads/stencil.hh"
+
+namespace mil
+{
+
+void
+OceanWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    const std::uint64_t bytes = dim() * dim() * 8;
+    for (unsigned g = 0; g < grids; ++g) {
+        const std::uint64_t salt = 40 + g;
+        mem.addRegion(gridBase + g * gridSpacing, bytes,
+                      [seed, salt](Addr a, Line &out) {
+                          fillFp64Smooth(a, out, seed + salt);
+                      });
+    }
+}
+
+ThreadStreamPtr
+OceanWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t n = dim();
+    const std::uint64_t row = n * 8;
+    const auto srow = static_cast<std::int64_t>(row);
+    const std::uint64_t rows_per_thread = n / nthreads;
+    // Stagger threads and partner grids by a few lines (the real
+    // 514-wide arrays are not set-aligned).
+    const std::uint64_t offset =
+        tid * rows_per_thread * row + tid * 5 * lineBytes;
+    const std::uint64_t points =
+        (rows_per_thread > 2 ? rows_per_thread - 2 : 1) * (n / 2);
+
+    std::vector<StencilSweep> sweeps;
+    // Red-black relaxation on grid pairs (g, g+1): stride 16 bytes
+    // (every other point), 5-point stencil, write in place.
+    for (unsigned g = 0; g + 1 < grids; g += 2) {
+        const Addr a = gridBase + g * gridSpacing;
+        const Addr b = gridBase + (g + 1) * gridSpacing;
+        StencilSweep s;
+        s.cursorBase = a + offset + row;
+        s.points = points;
+        s.strideBytes = 16;
+        s.taps = {
+            {a, 0, false, 1},
+            {a, -srow, false, 0},
+            {a, srow, false, 0},
+            {b, static_cast<std::int64_t>(b - a) +
+                    13 * static_cast<std::int64_t>(lineBytes),
+             false, 0},
+            {a, 0, true, 1},
+        };
+        sweeps.push_back(std::move(s));
+    }
+    // A laplacian phase streaming grid 0 into grid 5.
+    {
+        const Addr src = gridBase;
+        const Addr dst = gridBase + (grids - 1) * gridSpacing;
+        StencilSweep s;
+        s.cursorBase = src + offset + row;
+        s.points = points * 2;
+        s.strideBytes = 8;
+        s.taps = {
+            {src, 0, false, 1},
+            {src, srow, false, 0},
+            {dst, static_cast<std::int64_t>(dst - src) +
+                      29 * static_cast<std::int64_t>(lineBytes),
+             true, 1},
+        };
+        sweeps.push_back(std::move(s));
+    }
+
+    return std::make_unique<StencilStream>(config_.seed * 41 + tid,
+                                           std::move(sweeps));
+}
+
+} // namespace mil

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * OCEAN (SPLASH-2, 514x514): red-black Gauss-Seidel relaxations and
+ * laplacian/jacobian phases over many modest-sized 2D grids. The
+ * red-black ordering touches every line but uses only half of each,
+ * and phases alternate between several grids.
+ */
+
+#ifndef MIL_WORKLOADS_OCEAN_HH
+#define MIL_WORKLOADS_OCEAN_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class OceanWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "OCEAN"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Grid dimension (paper input 514x514; scaled, pow2). */
+    std::uint64_t dim() const
+    {
+        std::uint64_t d = 64;
+        while (d * 2 * d * 2 <= scaledPow2(514ull * 514))
+            d *= 2;
+        return d;
+    }
+
+    static constexpr unsigned grids = 6;
+    static constexpr Addr gridBase = 0x8000'0000;
+    static constexpr Addr gridSpacing = 0x0400'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_OCEAN_HH

@@ -1,0 +1,97 @@
+#include "scalparc.hh"
+
+#include "common/random.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+class ScalparcStream : public ThreadStream
+{
+  public:
+    ScalparcStream(std::uint64_t seed, std::uint64_t rec_begin,
+                   std::uint64_t rec_count, std::uint64_t total_records)
+        : rng_(seed), begin_(rec_begin), count_(rec_count),
+          total_(total_records)
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        op.storeValue = 0;
+        op.blocking = false;
+        if (step_ < 2) {
+            // Scan two attribute lists for the current split.
+            const Addr base = ScalparcWorkload::attrBase +
+                ((attr_ + step_) % ScalparcWorkload::attributes) *
+                    ScalparcWorkload::attrSpacing;
+            op.addr = base + (begin_ + rec_) * 4;
+            op.isWrite = false;
+            op.gap = 1;
+            ++step_;
+            return true;
+        }
+        if (step_ == 2 && rng_.chance(0.5)) {
+            // Record moves to a child partition: random-ish write.
+            op.addr = ScalparcWorkload::partBase +
+                rng_.below(total_) * 4;
+            op.isWrite = true;
+            op.gap = 1;
+            op.storeValue = begin_ + rec_;
+            step_ = 3;
+            return true;
+        }
+        // Advance to the next record (counting work in the gap).
+        step_ = 0;
+        rec_ = (rec_ + 1) % count_;
+        if (rec_ == 0)
+            attr_ = (attr_ + 2) % ScalparcWorkload::attributes;
+        op.addr = ScalparcWorkload::attrBase + (begin_ + rec_) * 4;
+        op.isWrite = false;
+        op.gap = 1;
+        step_ = 1;
+        return true;
+    }
+
+  private:
+    Rng rng_;
+    std::uint64_t begin_;
+    std::uint64_t count_;
+    std::uint64_t total_;
+    std::uint64_t rec_ = 0;
+    unsigned attr_ = 0;
+    unsigned step_ = 0;
+};
+
+} // anonymous namespace
+
+void
+ScalparcWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    const std::uint64_t n = records();
+    for (unsigned a = 0; a < attributes; ++a) {
+        const std::uint64_t salt = 100 + a;
+        mem.addRegion(attrBase + a * attrSpacing, n * 4,
+                      [seed, salt](Addr addr, Line &out) {
+                          fillSmallInts(addr, out, seed + salt, 26);
+                      });
+    }
+    mem.addRegion(partBase, n * 4, [seed](Addr a, Line &out) {
+        fillSmallInts(a, out, seed + 120, 1u << 20);
+    });
+}
+
+ThreadStreamPtr
+ScalparcWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t n = records();
+    const std::uint64_t chunk = n / nthreads;
+    return std::make_unique<ScalparcStream>(config_.seed * 67 + tid,
+                                            tid * chunk, chunk, n);
+}
+
+} // namespace mil

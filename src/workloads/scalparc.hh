@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ScalParC (NU-MineBench, decision-tree classification): per-split
+ * scans of column-major attribute lists (small integers) with random
+ * record-id writes into partition arrays. Memory intensive with mixed
+ * sequential and irregular traffic.
+ */
+
+#ifndef MIL_WORKLOADS_SCALPARC_HH
+#define MIL_WORKLOADS_SCALPARC_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class ScalparcWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "SCALPARC"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Records (paper input F26-A32-D125K; scaled up to stress DRAM). */
+    std::uint64_t records() const { return scaledPow2(1ull << 21); }
+    static constexpr unsigned attributes = 8;
+
+    static constexpr Addr attrBase = 0x1'2000'0000;
+    static constexpr Addr attrSpacing = 0x0100'0000;
+    static constexpr Addr partBase = 0x1'3000'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_SCALPARC_HH

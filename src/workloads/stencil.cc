@@ -1,0 +1,54 @@
+#include "stencil.hh"
+
+#include "common/logging.hh"
+
+namespace mil
+{
+
+StencilStream::StencilStream(std::uint64_t seed,
+                             std::vector<StencilSweep> sweeps)
+    : rng_(seed), sweeps_(std::move(sweeps))
+{
+    mil_assert(!sweeps_.empty(), "stencil needs at least one sweep");
+    for (const auto &s : sweeps_) {
+        mil_assert(s.points > 0 && !s.taps.empty(),
+                   "empty stencil sweep");
+    }
+}
+
+bool
+StencilStream::next(CoreMemOp &op)
+{
+    const StencilSweep &sweep = sweeps_[sweep_];
+    const StencilTap &tap = sweep.taps[tap_];
+
+    const std::int64_t cursor =
+        static_cast<std::int64_t>(sweep.cursorBase) +
+        static_cast<std::int64_t>(point_ * sweep.strideBytes);
+    std::int64_t addr = cursor + tap.byteOffset;
+    if (addr < static_cast<std::int64_t>(tap.base))
+        addr = static_cast<std::int64_t>(tap.base);
+
+    op.addr = static_cast<Addr>(addr);
+    op.isWrite = tap.isWrite;
+    op.blocking = false;
+    op.gap = tap.gap;
+    // Written results carry the same reduced effective precision as
+    // the initialized fields (low mantissa bytes zero).
+    op.storeValue = tap.isWrite
+        ? ((rng_.next() & 0x000F'FFFF'F000'0000ull) |
+           0x3FE0'0000'0000'0000ull)
+        : 0;
+
+    // Advance tap -> point -> sweep, wrapping at the end.
+    if (++tap_ >= sweep.taps.size()) {
+        tap_ = 0;
+        if (++point_ >= sweep.points) {
+            point_ = 0;
+            sweep_ = (sweep_ + 1) % sweeps_.size();
+        }
+    }
+    return true;
+}
+
+} // namespace mil

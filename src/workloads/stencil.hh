@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A reusable stencil-sweep op stream.
+ *
+ * MG, SWIM, and OCEAN are all grid stencil codes: per grid point they
+ * load a handful of neighbors at fixed byte strides (possibly from
+ * several grids) and store one or more results. The StencilStream
+ * captures that shape generically; each workload instantiates it with
+ * its own grid geometry, neighbor offsets, and compute gap.
+ */
+
+#ifndef MIL_WORKLOADS_STENCIL_HH
+#define MIL_WORKLOADS_STENCIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "mem/op_stream.hh"
+
+namespace mil
+{
+
+/** One access of the per-point stencil pattern. */
+struct StencilTap
+{
+    Addr base = 0;              ///< Grid base address.
+    std::int64_t byteOffset = 0;///< Offset from the sweep cursor.
+    bool isWrite = false;
+    std::uint32_t gap = 0;      ///< Compute cycles before this access.
+};
+
+/** Geometry of one sweep. */
+struct StencilSweep
+{
+    Addr cursorBase = 0;         ///< Byte address of point 0.
+    std::uint64_t points = 0;    ///< Points this thread sweeps.
+    std::uint64_t strideBytes = 8;
+    std::vector<StencilTap> taps;
+};
+
+/**
+ * Iterates a list of sweeps (one per program phase), endlessly
+ * restarting from the first when the last ends.
+ */
+class StencilStream : public ThreadStream
+{
+  public:
+    StencilStream(std::uint64_t seed, std::vector<StencilSweep> sweeps);
+
+    bool next(CoreMemOp &op) override;
+
+  private:
+    Rng rng_;
+    std::vector<StencilSweep> sweeps_;
+    std::size_t sweep_ = 0;
+    std::uint64_t point_ = 0;
+    std::size_t tap_ = 0;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_STENCIL_HH

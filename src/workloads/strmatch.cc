@@ -1,0 +1,71 @@
+#include "strmatch.hh"
+
+#include "common/random.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+class StrmatchStream : public ThreadStream
+{
+  public:
+    StrmatchStream(std::uint64_t seed, Addr begin, std::uint64_t bytes)
+        : rng_(seed), begin_(begin), bytes_(bytes)
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        op.storeValue = 0;
+        op.blocking = false;
+        if (rng_.chance(0.01)) {
+            // A match: record its offset.
+            op.addr = StrmatchWorkload::matchBase +
+                (matches_++ % 4096) * 8;
+            op.isWrite = true;
+            op.gap = 2;
+            op.storeValue = cursor_;
+            return true;
+        }
+        // Sequential 8-byte text load; the per-byte compare/keyhash
+        // work (~6 CPU cycles per byte) dominates.
+        op.addr = begin_ + cursor_;
+        op.isWrite = false;
+        op.gap = 56;
+        cursor_ = (cursor_ + 8) % bytes_;
+        return true;
+    }
+
+  private:
+    Rng rng_;
+    Addr begin_;
+    std::uint64_t bytes_;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t matches_ = 0;
+};
+
+} // anonymous namespace
+
+void
+StrmatchWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    mem.addRegion(corpusBase, corpusBytes(), [seed](Addr a, Line &out) {
+        fillAsciiText(a, out, seed + 80);
+    });
+    mem.addRegion(matchBase, 64 * 1024, nullptr);
+}
+
+ThreadStreamPtr
+StrmatchWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t chunk =
+        (corpusBytes() / nthreads) & ~std::uint64_t{lineBytes - 1};
+    return std::make_unique<StrmatchStream>(
+        config_.seed * 59 + tid, corpusBase + tid * chunk, chunk);
+}
+
+} // namespace mil

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * String Match (Phoenix, 50 MB corpus): sequential scan of text with
+ * per-byte comparison work; matches are rare and write little. The
+ * ASCII data (high bit always 0) is where sparse codes shine.
+ */
+
+#ifndef MIL_WORKLOADS_STRMATCH_HH
+#define MIL_WORKLOADS_STRMATCH_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class StrmatchWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "STRMATCH"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    std::uint64_t corpusBytes() const
+    {
+        return scaledLinear(50ull << 20) & ~std::uint64_t{lineBytes - 1};
+    }
+
+    static constexpr Addr corpusBase = 0xF000'0000;
+    static constexpr Addr matchBase = 0x0020'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_STRMATCH_HH

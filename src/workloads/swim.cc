@@ -1,0 +1,67 @@
+#include "swim.hh"
+
+#include "workloads/data_gen.hh"
+#include "workloads/stencil.hh"
+
+namespace mil
+{
+
+void
+SwimWorkload::registerRegions(FunctionalMemory &mem) const
+{
+    const std::uint64_t seed = config_.seed;
+    const std::uint64_t bytes = dim() * dim() * 8;
+    const Addr bases[] = {uBase, vBase, pBase, uNewBase, vNewBase,
+                          pNewBase};
+    std::uint64_t salt = 20;
+    for (Addr base : bases) {
+        mem.addRegion(base, bytes, [seed, salt](Addr a, Line &out) {
+            fillFp64Smooth(a, out, seed + salt);
+        });
+        ++salt;
+    }
+}
+
+ThreadStreamPtr
+SwimWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::uint64_t n = dim();
+    const std::uint64_t row = n * 8;
+    const std::uint64_t rows_per_thread = n / nthreads;
+    const std::uint64_t offset =
+        tid * rows_per_thread * row + tid * 7 * lineBytes;
+    const std::uint64_t points =
+        rows_per_thread > 2 ? (rows_per_thread - 2) * n : n;
+
+    // CALC1-like loop: read u, v, p with +/-1 and +/-row neighbors,
+    // write the three "new" grids, two points per (vectorized)
+    // iteration. Back-to-back FP ops keep gaps at zero: SWIM is
+    // bandwidth-bound. The per-grid line staggers model the odd
+    // leading dimension (1334) of the real arrays, which breaks
+    // power-of-two set aliasing between grids.
+    const auto srow = static_cast<std::int64_t>(row);
+    const auto grid = [&](Addr base, unsigned pad_lines) {
+        return static_cast<std::int64_t>(base - uBase) +
+            static_cast<std::int64_t>(pad_lines * lineBytes);
+    };
+    StencilSweep calc;
+    calc.cursorBase = uBase + offset + row;
+    calc.points = points / 2;
+    calc.strideBytes = 16;
+    calc.taps = {
+        {uBase, 0, false, 0},
+        {uBase, srow, false, 0},
+        {vBase, grid(vBase, 17), false, 0},
+        {vBase, grid(vBase, 17) + 8, false, 0},
+        {pBase, grid(pBase, 31), false, 0},
+        {pBase, grid(pBase, 31) + srow, false, 0},
+        {uNewBase, grid(uNewBase, 5), true, 1},
+        {vNewBase, grid(vNewBase, 23), true, 0},
+        {pNewBase, grid(pNewBase, 41), true, 0},
+    };
+
+    return std::make_unique<StencilStream>(
+        config_.seed * 37 + tid, std::vector<StencilSweep>{calc});
+}
+
+} // namespace mil

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SWIM (SPEC OMP, shallow-water model): 2D finite-difference sweeps
+ * over several state grids (u, v, p and their time-shifted copies).
+ * Almost pure streaming with very high bandwidth demand.
+ */
+
+#ifndef MIL_WORKLOADS_SWIM_HH
+#define MIL_WORKLOADS_SWIM_HH
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+class SwimWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "SWIM"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    /** Grid dimension (MinneSpec-Large: 1334^2; scaled, pow2). */
+    std::uint64_t dim() const
+    {
+        std::uint64_t d = 64;
+        while (d * 2 * d * 2 <= scaledPow2(1334ull * 1334))
+            d *= 2;
+        return d;
+    }
+
+    static constexpr Addr uBase = 0x6000'0000;
+    static constexpr Addr vBase = 0x6400'0000;
+    static constexpr Addr pBase = 0x6800'0000;
+    static constexpr Addr uNewBase = 0x6C00'0000;
+    static constexpr Addr vNewBase = 0x7000'0000;
+    static constexpr Addr pNewBase = 0x7400'0000;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_SWIM_HH

@@ -1,0 +1,117 @@
+#include "trace_workload.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mil
+{
+
+std::vector<TraceOp>
+parseTrace(std::istream &input)
+{
+    std::vector<TraceOp> ops;
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(input, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string kind;
+        if (!(fields >> kind))
+            continue; // Blank / comment-only line.
+
+        TraceOp op;
+        if (kind == "R" || kind == "r" || kind == "B" || kind == "b") {
+            op.blocking = kind == "B" || kind == "b";
+            if (!(fields >> std::hex >> op.addr >> std::dec))
+                mil_fatal("trace line %u: missing address", line_no);
+            fields >> op.gap;
+        } else if (kind == "W" || kind == "w") {
+            op.isWrite = true;
+            if (!(fields >> std::hex >> op.addr >> op.value >>
+                  std::dec)) {
+                mil_fatal("trace line %u: W needs <addr> <value>",
+                          line_no);
+            }
+            fields >> op.gap;
+        } else {
+            mil_fatal("trace line %u: unknown op '%s'", line_no,
+                      kind.c_str());
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+namespace
+{
+
+class TraceStream : public ThreadStream
+{
+  public:
+    TraceStream(std::shared_ptr<const std::vector<TraceOp>> ops,
+                std::size_t start)
+        : ops_(std::move(ops)), pos_(start)
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        if (ops_->empty() || emitted_ >= ops_->size())
+            return false; // One full pass per thread.
+        const TraceOp &t = (*ops_)[pos_];
+        pos_ = (pos_ + 1) % ops_->size();
+        ++emitted_;
+        op.addr = t.addr;
+        op.isWrite = t.isWrite;
+        op.blocking = t.blocking;
+        op.gap = t.gap;
+        op.storeValue = t.value;
+        return true;
+    }
+
+  private:
+    std::shared_ptr<const std::vector<TraceOp>> ops_;
+    std::size_t pos_;
+    std::size_t emitted_ = 0;
+};
+
+} // anonymous namespace
+
+TraceWorkload::TraceWorkload(const WorkloadConfig &config,
+                             std::vector<TraceOp> ops)
+    : Workload(config),
+      ops_(std::make_shared<const std::vector<TraceOp>>(std::move(ops)))
+{
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::fromFile(const WorkloadConfig &config,
+                        const std::string &path)
+{
+    std::ifstream input(path);
+    if (!input)
+        mil_fatal("cannot open trace file '%s'", path.c_str());
+    return std::make_unique<TraceWorkload>(config, parseTrace(input));
+}
+
+void
+TraceWorkload::registerRegions(FunctionalMemory & /* mem */) const
+{
+    // Replayed lines default to zero fill; the trace's own writes
+    // provide the data content.
+}
+
+ThreadStreamPtr
+TraceWorkload::makeStream(unsigned tid, unsigned nthreads) const
+{
+    const std::size_t n = ops_->size();
+    const std::size_t start = n == 0 ? 0 : (tid * n / nthreads) % n;
+    return std::make_unique<TraceStream>(ops_, start);
+}
+
+} // namespace mil

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace-replay workload: run your own memory traces through the
+ * simulated systems instead of the built-in Table 3 generators.
+ *
+ * Trace format (plain text, one op per line, '#' comments):
+ *
+ *   R <hex-addr> [gap]
+ *   W <hex-addr> <hex-value> [gap]
+ *   B <hex-addr> [gap]          # blocking (dependent) load
+ *
+ * `gap` is the compute-cycle count before the op (default 0); write
+ * values are 64-bit stores. Threads round-robin over the trace file
+ * starting at staggered offsets, which approximates a parallel replay
+ * of a single-threaded trace; a trace recorded per-thread can instead
+ * be split into one file per thread and stitched by the caller.
+ */
+
+#ifndef MIL_WORKLOADS_TRACE_WORKLOAD_HH
+#define MIL_WORKLOADS_TRACE_WORKLOAD_HH
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+/** One parsed trace record. */
+struct TraceOp
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    bool blocking = false;
+    std::uint32_t gap = 0;
+    std::uint64_t value = 0;
+};
+
+/** Parse a trace stream; fatal on malformed lines. */
+std::vector<TraceOp> parseTrace(std::istream &input);
+
+/** A workload that replays a parsed trace. */
+class TraceWorkload : public Workload
+{
+  public:
+    TraceWorkload(const WorkloadConfig &config,
+                  std::vector<TraceOp> ops);
+
+    /** Load from a file path. */
+    static std::unique_ptr<TraceWorkload>
+    fromFile(const WorkloadConfig &config, const std::string &path);
+
+    std::string name() const override { return "TRACE"; }
+    void registerRegions(FunctionalMemory &mem) const override;
+    ThreadStreamPtr makeStream(unsigned tid,
+                               unsigned nthreads) const override;
+
+    std::size_t opCount() const { return ops_->size(); }
+
+  private:
+    std::shared_ptr<const std::vector<TraceOp>> ops_;
+};
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_TRACE_WORKLOAD_HH

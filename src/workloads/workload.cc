@@ -1,0 +1,76 @@
+#include "workload.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "workloads/art.hh"
+#include "workloads/cg.hh"
+#include "workloads/fft.hh"
+#include "workloads/gups.hh"
+#include "workloads/histogram.hh"
+#include "workloads/mg.hh"
+#include "workloads/mm.hh"
+#include "workloads/ocean.hh"
+#include "workloads/scalparc.hh"
+#include "workloads/strmatch.hh"
+#include "workloads/swim.hh"
+
+namespace mil
+{
+
+std::uint64_t
+Workload::scaledPow2(std::uint64_t nominal) const
+{
+    const double scaled = static_cast<double>(nominal) * config_.scale;
+    std::uint64_t v = 1024;
+    while (v * 2 <= static_cast<std::uint64_t>(scaled))
+        v *= 2;
+    return v;
+}
+
+std::uint64_t
+Workload::scaledLinear(std::uint64_t nominal) const
+{
+    const auto scaled =
+        static_cast<std::uint64_t>(static_cast<double>(nominal) *
+                                   config_.scale);
+    return std::max<std::uint64_t>(scaled, 1024);
+}
+
+WorkloadPtr
+makeWorkload(const std::string &name, const WorkloadConfig &config)
+{
+    if (name == "GUPS")
+        return std::make_unique<GupsWorkload>(config);
+    if (name == "CG")
+        return std::make_unique<CgWorkload>(config);
+    if (name == "MG")
+        return std::make_unique<MgWorkload>(config);
+    if (name == "SCALPARC")
+        return std::make_unique<ScalparcWorkload>(config);
+    if (name == "HISTOGRAM")
+        return std::make_unique<HistogramWorkload>(config);
+    if (name == "MM")
+        return std::make_unique<MmWorkload>(config);
+    if (name == "STRMATCH")
+        return std::make_unique<StrmatchWorkload>(config);
+    if (name == "ART")
+        return std::make_unique<ArtWorkload>(config);
+    if (name == "SWIM")
+        return std::make_unique<SwimWorkload>(config);
+    if (name == "FFT")
+        return std::make_unique<FftWorkload>(config);
+    if (name == "OCEAN")
+        return std::make_unique<OceanWorkload>(config);
+    mil_fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"GUPS", "CG", "MG", "SCALPARC", "HISTOGRAM", "MM",
+            "STRMATCH", "ART", "SWIM", "FFT", "OCEAN"};
+}
+
+} // namespace mil

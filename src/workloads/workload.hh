@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The workload abstraction: each of the paper's eleven applications
+ * (Table 3) is modelled as a generator that (a) registers data-value
+ * initializers for its memory regions and (b) produces per-thread
+ * memory-op streams reproducing the benchmark's access pattern,
+ * dependence structure, and memory intensity.
+ */
+
+#ifndef MIL_WORKLOADS_WORKLOAD_HH
+#define MIL_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/functional_memory.hh"
+#include "mem/op_stream.hh"
+
+namespace mil
+{
+
+/** Scaling knobs shared by all workloads. */
+struct WorkloadConfig
+{
+    std::uint64_t seed = 12345;
+    /**
+     * Footprint scale in [0.05, 1]: 1 approximates the paper's input
+     * sizes; smaller values shrink regions proportionally so unit
+     * tests and quick sweeps stay fast. Access-pattern shape is
+     * preserved.
+     */
+    double scale = 1.0;
+};
+
+/** One benchmark from Table 3. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadConfig &config) : config_(config) {}
+    virtual ~Workload() = default;
+
+    /** Benchmark name as the paper spells it (e.g. "GUPS"). */
+    virtual std::string name() const = 0;
+
+    /** Register region data initializers with the functional image. */
+    virtual void registerRegions(FunctionalMemory &mem) const = 0;
+
+    /** Create the op stream for hardware thread @p tid of @p nthreads. */
+    virtual ThreadStreamPtr makeStream(unsigned tid,
+                                       unsigned nthreads) const = 0;
+
+    const WorkloadConfig &config() const { return config_; }
+
+  protected:
+    /** Scale a nominal element count, keeping it a power of two. */
+    std::uint64_t scaledPow2(std::uint64_t nominal) const;
+
+    /** Scale a nominal element count linearly (min 1024). */
+    std::uint64_t scaledLinear(std::uint64_t nominal) const;
+
+    WorkloadConfig config_;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/** Factory by paper name ("GUPS", "CG", ...). */
+WorkloadPtr makeWorkload(const std::string &name,
+                         const WorkloadConfig &config);
+
+/** All eleven benchmarks in the paper's Table 3 order. */
+std::vector<std::string> workloadNames();
+
+} // namespace mil
+
+#endif // MIL_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "coding/bus_frame.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(BusFrame, StartsAllZero)
+{
+    BusFrame f(72, 8);
+    EXPECT_EQ(f.totalBits(), 72u * 8u);
+    EXPECT_EQ(f.zeroCount(), 72u * 8u);
+    EXPECT_EQ(f.oneCount(), 0u);
+}
+
+TEST(BusFrame, SetAndGetBits)
+{
+    BusFrame f(72, 8);
+    f.setBitAt(3, 70, true);
+    EXPECT_TRUE(f.bitAt(3, 70));
+    EXPECT_FALSE(f.bitAt(3, 69));
+    EXPECT_FALSE(f.bitAt(2, 70));
+    EXPECT_EQ(f.oneCount(), 1u);
+    f.setBitAt(3, 70, false);
+    EXPECT_EQ(f.oneCount(), 0u);
+}
+
+TEST(BusFrame, LaneFields)
+{
+    BusFrame f(64, 10);
+    f.setLaneField(2, 8, 8, 0xA5);
+    EXPECT_EQ(f.laneField(2, 8, 8), 0xA5u);
+    EXPECT_EQ(f.laneField(2, 0, 8), 0u);
+    EXPECT_EQ(f.oneCount(), 4u);
+}
+
+TEST(BusFrame, LaneFieldSpansWordBoundary)
+{
+    BusFrame f(72, 8);
+    f.setLaneField(0, 60, 8, 0xFF);
+    EXPECT_EQ(f.laneField(0, 60, 8), 0xFFu);
+    EXPECT_EQ(f.oneCount(), 8u);
+}
+
+TEST(BusFrame, LinearBitOrder)
+{
+    BusFrame f(68, 16);
+    // Bit k maps to beat k/68, lane k%68.
+    f.setLinearBit(68 * 3 + 5, true);
+    EXPECT_TRUE(f.bitAt(3, 5));
+    EXPECT_TRUE(f.linearBit(68 * 3 + 5));
+}
+
+TEST(BusFrame, ZeroCountIgnoresUnusedLanes)
+{
+    // Lanes beyond the declared width never count even though storage
+    // is two words per beat.
+    BusFrame narrow(8, 2);
+    EXPECT_EQ(narrow.totalBits(), 16u);
+    EXPECT_EQ(narrow.zeroCount(), 16u);
+    narrow.setLaneField(0, 0, 8, 0xFF);
+    EXPECT_EQ(narrow.zeroCount(), 8u);
+}
+
+TEST(BusFrame, TransitionCountFromIdle)
+{
+    BusFrame f(8, 2);
+    f.setLaneField(0, 0, 8, 0xFF);
+    f.setLaneField(1, 0, 8, 0x00);
+    WireState state(8);
+    // Beat 0 flips all 8 wires up, beat 1 flips all 8 back down.
+    EXPECT_EQ(f.transitionCount(state), 16u);
+    // Wires end low.
+    for (unsigned l = 0; l < 8; ++l)
+        EXPECT_FALSE(state.level(l));
+}
+
+TEST(BusFrame, TransitionCountCarriesState)
+{
+    BusFrame f(8, 1);
+    f.setLaneField(0, 0, 8, 0xFF);
+    WireState state(8);
+    EXPECT_EQ(f.transitionCount(state), 8u);
+    // Re-driving the same beat from the new state flips nothing.
+    EXPECT_EQ(f.transitionCount(state), 0u);
+}
+
+TEST(BusFrame, EqualityComparesDeclaredBitsOnly)
+{
+    BusFrame a(9, 2);
+    BusFrame b(9, 2);
+    EXPECT_TRUE(a == b);
+    a.setBitAt(1, 8, true);
+    EXPECT_FALSE(a == b);
+    b.setBitAt(1, 8, true);
+    EXPECT_TRUE(a == b);
+    BusFrame c(9, 3);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(WireState, LevelsAcrossWords)
+{
+    WireState s(72);
+    s.setLevel(71, true);
+    EXPECT_TRUE(s.level(71));
+    EXPECT_FALSE(s.level(63));
+    s.setLevel(63, true);
+    EXPECT_TRUE(s.level(63));
+    s.setLevel(71, false);
+    EXPECT_FALSE(s.level(71));
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "coding/bus_invert.hh"
+#include "common/random.hh"
+
+namespace mil
+{
+namespace
+{
+
+Line
+randomLine(Rng &rng)
+{
+    Line line;
+    for (auto &b : line)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return line;
+}
+
+TEST(BusInvert, RoundTrip)
+{
+    BusInvertCode code;
+    WireState enc_state(72);
+    Rng rng(41);
+    for (int i = 0; i < 100; ++i) {
+        const Line line = randomLine(rng);
+        const WireState pre = enc_state;
+        const BusFrame frame = code.encode(line, enc_state);
+        EXPECT_EQ(code.decode(frame, pre), line);
+    }
+}
+
+TEST(BusInvert, NeverMoreTransitionsThanPlain)
+{
+    // The BI guarantee: per 9-wire group and beat, at most 4 of the 8
+    // data wires toggle (else the group would have been inverted).
+    BusInvertCode code;
+    WireState state(72);
+    Rng rng(42);
+    for (int i = 0; i < 50; ++i) {
+        const Line line = randomLine(rng);
+        WireState pre = state;
+        const BusFrame frame = code.encode(line, state);
+        // Count data-wire transitions per group per beat.
+        for (unsigned b = 0; b < 8; ++b) {
+            for (unsigned c = 0; c < 8; ++c) {
+                unsigned flips = 0;
+                for (unsigned k = 0; k < 8; ++k) {
+                    const bool now = frame.bitAt(b, c * 8 + k);
+                    if (now != pre.level(c * 8 + k))
+                        ++flips;
+                    pre.setLevel(c * 8 + k, now);
+                }
+                EXPECT_LE(flips, 4u);
+                pre.setLevel(64 + c, frame.bitAt(b, 64 + c));
+            }
+        }
+    }
+}
+
+TEST(BusInvert, IdenticalBeatsStayQuiet)
+{
+    // Sending the same data twice toggles nothing the second time.
+    BusInvertCode code;
+    WireState state(72);
+    Line line{};
+    line.fill(0x5A);
+    code.encode(line, state);
+    const WireState snapshot = state;
+    const BusFrame again = code.encode(line, state);
+    WireState probe = snapshot;
+    EXPECT_EQ(again.transitionCount(probe), 0u);
+}
+
+TEST(BusInvert, Geometry)
+{
+    BusInvertCode code;
+    EXPECT_EQ(code.burstLength(), 8u);
+    EXPECT_EQ(code.lanes(), 72u);
+}
+
+} // anonymous namespace
+} // namespace mil

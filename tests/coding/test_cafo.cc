@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "coding/cafo.hh"
+#include "common/bitops.hh"
+#include "common/random.hh"
+
+namespace mil
+{
+namespace
+{
+
+std::array<std::uint8_t, 8>
+randomRows(Rng &rng)
+{
+    std::array<std::uint8_t, 8> rows;
+    for (auto &r : rows)
+        r = static_cast<std::uint8_t>(rng.below(256));
+    return rows;
+}
+
+unsigned
+squareZeros(const std::array<std::uint8_t, 8> &rows,
+            std::uint8_t row_flags, std::uint8_t col_flags)
+{
+    unsigned zeros = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        std::uint8_t v = rows[i];
+        if ((row_flags >> i) & 1)
+            v = static_cast<std::uint8_t>(~v);
+        v = static_cast<std::uint8_t>(v ^ col_flags);
+        zeros += zeroCount8(v);
+    }
+    zeros += zeroCount8(row_flags) + zeroCount8(col_flags);
+    return zeros;
+}
+
+TEST(CafoSquare, RoundTripRandom)
+{
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        const auto rows = randomRows(rng);
+        for (unsigned passes : {1u, 2u, 4u, 0u}) {
+            const CafoSquare sq = CafoCode::encodeSquare(rows, passes);
+            EXPECT_EQ(CafoCode::decodeSquare(sq), rows);
+        }
+    }
+}
+
+TEST(CafoSquare, AllZerosPaysOnlyTheIdleFlagColumn)
+{
+    std::array<std::uint8_t, 8> rows{};
+    const CafoSquare sq = CafoCode::encodeSquare(rows, 2);
+    // All rows flip (free flags); the column dimension stays idle and
+    // its eight unengaged flags are the only zeros left. This is the
+    // structural overhead that lets MiLC beat CAFO (Section 2.2).
+    EXPECT_EQ(sq.rowFlags, 0xFF);
+    EXPECT_EQ(sq.colFlags, 0x00);
+    EXPECT_EQ(sq.zeroCount(), 8u);
+}
+
+TEST(CafoSquare, MorePassesNeverHurt)
+{
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        const auto rows = randomRows(rng);
+        const unsigned z1 = CafoCode::encodeSquare(rows, 1).zeroCount();
+        const unsigned z2 = CafoCode::encodeSquare(rows, 2).zeroCount();
+        const unsigned z4 = CafoCode::encodeSquare(rows, 4).zeroCount();
+        EXPECT_LE(z2, z1);
+        EXPECT_LE(z4, z2);
+    }
+}
+
+TEST(CafoSquare, FixpointMatchesLargePassCount)
+{
+    Rng rng(12);
+    for (int i = 0; i < 200; ++i) {
+        const auto rows = randomRows(rng);
+        const CafoSquare fix = CafoCode::encodeSquare(rows, 0);
+        const CafoSquare many = CafoCode::encodeSquare(rows, 16);
+        EXPECT_EQ(fix.zeroCount(), many.zeroCount());
+    }
+}
+
+TEST(CafoSquare, GreedyPassIsLocallyOptimal)
+{
+    // After convergence, flipping any single row or column flag must
+    // not reduce the zero count (definition of the CAFO fixpoint).
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        const auto rows = randomRows(rng);
+        const CafoSquare sq = CafoCode::encodeSquare(rows, 0);
+        // Reconstruct flags and check 1-flip neighborhoods.
+        const unsigned base =
+            squareZeros(rows, sq.rowFlags, sq.colFlags);
+        EXPECT_EQ(base, sq.zeroCount());
+        for (unsigned b = 0; b < 8; ++b) {
+            EXPECT_GE(squareZeros(rows,
+                                  sq.rowFlags ^ (1u << b), sq.colFlags),
+                      base);
+            EXPECT_GE(squareZeros(rows, sq.rowFlags,
+                                  sq.colFlags ^ (1u << b)),
+                      base);
+        }
+    }
+}
+
+TEST(Cafo, FrameGeometryMatchesMilcOverhead)
+{
+    CafoCode cafo2(2);
+    EXPECT_EQ(cafo2.burstLength(), 10u);
+    EXPECT_EQ(cafo2.lanes(), 64u);
+    EXPECT_EQ(cafo2.name(), "CAFO2");
+    EXPECT_EQ(cafo2.extraLatency(), 2u);
+    CafoCode cafo4(4);
+    EXPECT_EQ(cafo4.extraLatency(), 4u);
+    EXPECT_EQ(cafo4.name(), "CAFO4");
+}
+
+TEST(Cafo, LineRoundTrip)
+{
+    CafoCode code(4);
+    Rng rng(14);
+    for (int i = 0; i < 200; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(code.decode(code.encode(line)), line);
+    }
+}
+
+TEST(CafoDeath, RejectsZeroPasses)
+{
+    EXPECT_DEATH(CafoCode code(0), "pass budget");
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "coding/cafo.hh"
+#include "coding/dbi.hh"
+#include "coding/milc.hh"
+#include "coding/perfect_lwc.hh"
+#include "coding/three_lwc.hh"
+#include "common/random.hh"
+#include "mil/padded_code.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+namespace
+{
+
+/*
+ * Cross-cutting property sweep: EVERY code must round-trip EVERY kind
+ * of data the workloads generate, and its frame must respect its
+ * declared geometry. Parameterized over (code, data generator).
+ */
+
+using CodeFactory = std::function<CodePtr()>;
+using Filler = std::function<void(Addr, Line &, std::uint64_t)>;
+
+struct SweepParam
+{
+    std::string codeName;
+    CodeFactory make;
+    std::string dataName;
+    Filler fill;
+};
+
+class CodeDataSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(CodeDataSweep, RoundTripAndGeometry)
+{
+    const auto &param = GetParam();
+    const CodePtr code = param.make();
+    for (int i = 0; i < 64; ++i) {
+        Line line{};
+        param.fill(static_cast<Addr>(i) * lineBytes, line, 99);
+        const BusFrame frame = code->encode(line);
+        EXPECT_EQ(frame.lanes(), code->lanes());
+        EXPECT_EQ(frame.beats(), code->burstLength());
+        EXPECT_EQ(frame.totalBits(),
+                  std::uint64_t{code->lanes()} * code->burstLength());
+        ASSERT_EQ(code->decode(frame), line)
+            << param.codeName << " corrupted " << param.dataName
+            << " line " << i;
+    }
+}
+
+TEST_P(CodeDataSweep, EncodeIsDeterministic)
+{
+    const auto &param = GetParam();
+    const CodePtr code = param.make();
+    Line line{};
+    param.fill(0x1000, line, 42);
+    EXPECT_TRUE(code->encode(line) == code->encode(line));
+}
+
+std::vector<SweepParam>
+buildSweep()
+{
+    const std::vector<std::pair<std::string, CodeFactory>> codes = {
+        {"DBI", [] { return std::make_shared<DbiCode>(); }},
+        {"Uncoded", [] { return std::make_shared<UncodedTransfer>(); }},
+        {"MiLC", [] { return std::make_shared<MilcCode>(); }},
+        {"3LWC", [] { return std::make_shared<ThreeLwcCode>(); }},
+        {"P3LWC", [] { return std::make_shared<PerfectLwcCode>(); }},
+        {"CAFO2", [] { return std::make_shared<CafoCode>(2); }},
+        {"CAFO4", [] { return std::make_shared<CafoCode>(4); }},
+        {"BL12", [] { return std::make_shared<PaddedSparseCode>(12); }},
+        {"BL14", [] { return std::make_shared<PaddedSparseCode>(14); }},
+    };
+    const std::vector<std::pair<std::string, Filler>> fillers = {
+        {"random", fillRandom64},
+        {"fp64smooth", fillFp64Smooth},
+        {"fp64vals", fillFp64Values},
+        {"fp32unit", fillFp32Unit},
+        {"ascii", fillAsciiText},
+        {"pixels", fillPixels},
+        {"smallints",
+         [](Addr a, Line &l, std::uint64_t s) {
+             fillSmallInts(a, l, s, 26);
+         }},
+        {"indices",
+         [](Addr a, Line &l, std::uint64_t s) {
+             fillIndexArray(a, l, s, 0, 4096);
+         }},
+    };
+
+    std::vector<SweepParam> sweep;
+    for (const auto &[cname, make] : codes)
+        for (const auto &[dname, fill] : fillers)
+            sweep.push_back(SweepParam{cname, make, dname, fill});
+    return sweep;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodesAllData, CodeDataSweep, ::testing::ValuesIn(buildSweep()),
+    [](const ::testing::TestParamInfo<SweepParam> &info) {
+        return info.param.codeName + "_" + info.param.dataName;
+    });
+
+/** Zero-bound invariants that hold regardless of data. */
+TEST(CodeBounds, WorstCaseZerosPerScheme)
+{
+    Rng rng(11);
+    DbiCode dbi;
+    ThreeLwcCode lwc;
+    PerfectLwcCode p3;
+    for (int i = 0; i < 500; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        // DBI: <= 4 zeros per 9-bit group -> <= 256 per line.
+        EXPECT_LE(dbi.encode(line).zeroCount(), 256u);
+        // 3-LWC: <= 3 per 17 -> <= 192.
+        EXPECT_LE(lwc.encode(line).zeroCount(), 192u);
+        // Perfect: <= 3 per 23 over 47 symbols -> <= 141.
+        EXPECT_LE(p3.encode(line).zeroCount(), 141u);
+    }
+}
+
+} // anonymous namespace
+} // namespace mil

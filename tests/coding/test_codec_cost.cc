@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "coding/codec_cost.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(CodecCost, GateCountArithmetic)
+{
+    GateCounts g;
+    g.nand2 = 10;
+    g.xor2 = 5;
+    GateCounts h;
+    h.nand2 = 2;
+    h.ff = 1;
+    g += h;
+    EXPECT_DOUBLE_EQ(g.nand2, 12.0);
+    EXPECT_DOUBLE_EQ(g.ff, 1.0);
+    EXPECT_GT(g.nand2Equivalents(), 12.0);
+}
+
+TEST(CodecCost, ComplexityOrdering)
+{
+    // The paper's Table 4 ordering: the MiLC encoder is by far the
+    // largest block; decoders are smaller than their encoders in gate
+    // complexity terms for MiLC, and all are small.
+    const double milc_enc =
+        CodecCostModel::milcEncoderGates().nand2Equivalents();
+    const double milc_dec =
+        CodecCostModel::milcDecoderGates().nand2Equivalents();
+    const double lwc_enc =
+        CodecCostModel::lwcEncoderGates().nand2Equivalents();
+    const double lwc_dec =
+        CodecCostModel::lwcDecoderGates().nand2Equivalents();
+    EXPECT_GT(milc_enc, 3 * milc_dec);
+    EXPECT_GT(milc_enc, 5 * lwc_enc);
+    EXPECT_GT(lwc_enc, lwc_dec);
+}
+
+TEST(CodecCost, Table4Shape)
+{
+    const CodecCostModel model;
+    const auto rows = model.table4();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].block, "MiLC Enc");
+    EXPECT_EQ(rows[3].block, "3-LWC Dec");
+
+    for (const auto &r : rows) {
+        EXPECT_GT(r.areaUm2, 0.0);
+        EXPECT_GT(r.powerMw, 0.0);
+        EXPECT_GT(r.latencyNs, 0.0);
+        // All blocks are tiny at DRAM-chip scale (< 0.01 mm^2) and
+        // sub-nanosecond, the two Table 4 conclusions.
+        EXPECT_LT(r.areaUm2, 10000.0);
+        EXPECT_LT(r.latencyNs, 1.0);
+    }
+
+    // MiLC decode is the slowest path (serial row chain), as in the
+    // paper (0.39 ns vs 0.35 ns for its encoder).
+    EXPECT_GT(rows[1].latencyNs, rows[0].latencyNs);
+    // 3-LWC paths are several times faster than MiLC paths.
+    EXPECT_LT(rows[2].latencyNs * 2, rows[0].latencyNs);
+}
+
+TEST(CodecCost, ExtraClockCyclesAtDdr4Speed)
+{
+    const CodecCostModel model;
+    // At the DDR4-3200 clock (0.625 ns) the worst-case codec latency
+    // costs exactly one extra cycle -- the paper's tCL + 1.
+    EXPECT_EQ(model.extraClockCycles(0.625), 1u);
+    // At the slower LPDDR3 clock it still fits in one.
+    EXPECT_EQ(model.extraClockCycles(1.25), 1u);
+}
+
+TEST(CodecCost, ScalesWithTechnology)
+{
+    TechParams fat;
+    fat.areaPerGateUm2 = 1.0;
+    const CodecCostModel big(fat);
+    const CodecCostModel small;
+    EXPECT_GT(big.table4()[0].areaUm2, small.table4()[0].areaUm2);
+}
+
+TEST(CodecCost, PowerScalesWithClock)
+{
+    TechParams slow;
+    slow.clockGhz = 0.8;
+    const CodecCostModel half(slow);
+    const CodecCostModel full;
+    EXPECT_NEAR(half.table4()[0].powerMw * 2.0,
+                full.table4()[0].powerMw, 1e-9);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "coding/dbi.hh"
+#include "common/bitops.hh"
+#include "common/random.hh"
+
+namespace mil
+{
+namespace
+{
+
+Line
+randomLine(Rng &rng)
+{
+    Line line;
+    for (auto &b : line)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return line;
+}
+
+TEST(Dbi, ByteEncodeInvertsZeroHeavy)
+{
+    bool dbi_bit = true;
+    const auto wire = DbiCode::encodeByte(0x00, dbi_bit);
+    EXPECT_FALSE(dbi_bit);
+    EXPECT_EQ(wire, 0xFF);
+}
+
+TEST(Dbi, ByteEncodeKeepsOneHeavy)
+{
+    bool dbi_bit = false;
+    const auto wire = DbiCode::encodeByte(0xFF, dbi_bit);
+    EXPECT_TRUE(dbi_bit);
+    EXPECT_EQ(wire, 0xFF);
+}
+
+TEST(Dbi, ByteBoundaryAtFiveZeros)
+{
+    // Exactly four zeros: sent as-is. Five zeros: inverted.
+    bool dbi_bit = false;
+    EXPECT_EQ(DbiCode::encodeByte(0x0F, dbi_bit), 0x0F); // 4 zeros.
+    EXPECT_TRUE(dbi_bit);
+    EXPECT_EQ(DbiCode::encodeByte(0x07, dbi_bit), 0xF8); // 5 zeros.
+    EXPECT_FALSE(dbi_bit);
+}
+
+TEST(Dbi, ExhaustiveByteRoundTrip)
+{
+    for (unsigned v = 0; v < 256; ++v) {
+        bool dbi_bit = false;
+        const auto wire =
+            DbiCode::encodeByte(static_cast<std::uint8_t>(v), dbi_bit);
+        EXPECT_EQ(DbiCode::decodeByte(wire, dbi_bit), v);
+    }
+}
+
+TEST(Dbi, ExhaustiveNineBitInvariant)
+{
+    // The DDR4 DBI guarantee: every 9-bit group has at most 4 zeros.
+    for (unsigned v = 0; v < 256; ++v) {
+        bool dbi_bit = false;
+        const auto wire =
+            DbiCode::encodeByte(static_cast<std::uint8_t>(v), dbi_bit);
+        const unsigned zeros =
+            zeroCount8(wire) + (dbi_bit ? 0u : 1u);
+        EXPECT_LE(zeros, 4u) << "pattern " << v;
+    }
+}
+
+TEST(Dbi, FrameGeometry)
+{
+    DbiCode code;
+    EXPECT_EQ(code.burstLength(), 8u);
+    EXPECT_EQ(code.lanes(), 72u);
+    EXPECT_EQ(code.busCycles(), 4u);
+    EXPECT_EQ(code.extraLatency(), 0u);
+}
+
+TEST(Dbi, LineRoundTrip)
+{
+    DbiCode code;
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        const Line line = randomLine(rng);
+        const BusFrame frame = code.encode(line);
+        EXPECT_EQ(frame.beats(), 8u);
+        EXPECT_EQ(frame.lanes(), 72u);
+        EXPECT_EQ(code.decode(frame), line);
+    }
+}
+
+TEST(Dbi, NeverWorseThanUncodedZeros)
+{
+    DbiCode dbi;
+    UncodedTransfer uncoded;
+    Rng rng(123);
+    for (int i = 0; i < 200; ++i) {
+        const Line line = randomLine(rng);
+        EXPECT_LE(dbi.encode(line).zeroCount(),
+                  uncoded.encode(line).zeroCount() + 0u);
+    }
+}
+
+TEST(Dbi, AllZeroLineCostsOneZeroPerByte)
+{
+    DbiCode code;
+    Line line{};
+    line.fill(0);
+    // Every byte inverts: 0 data zeros + 1 DBI-bit zero per byte.
+    EXPECT_EQ(code.encode(line).zeroCount(), 64u);
+}
+
+TEST(Dbi, AllOnesLineIsFree)
+{
+    DbiCode code;
+    Line line{};
+    line.fill(0xFF);
+    EXPECT_EQ(code.encode(line).zeroCount(), 0u);
+}
+
+TEST(Uncoded, RoundTripAndGeometry)
+{
+    UncodedTransfer code;
+    EXPECT_EQ(code.lanes(), 64u);
+    EXPECT_EQ(code.burstLength(), 8u);
+    Rng rng(5);
+    const Line line = randomLine(rng);
+    const BusFrame frame = code.encode(line);
+    EXPECT_EQ(frame.totalBits(), 512u);
+    EXPECT_EQ(code.decode(frame), line);
+    // Uncoded zeros == zeros of the raw data.
+    EXPECT_EQ(frame.zeroCount(),
+              zeroCountBytes(std::span<const std::uint8_t>(line)));
+}
+
+} // anonymous namespace
+} // namespace mil

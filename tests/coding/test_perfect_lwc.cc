@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coding/perfect_lwc.hh"
+#include "coding/three_lwc.hh"
+#include "common/bitops.hh"
+#include "common/random.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(GolayCoset, SyndromeOfZeroIsZero)
+{
+    EXPECT_EQ(GolayCoset::syndrome(0), 0u);
+}
+
+TEST(GolayCoset, EncodeIsPerfectBijection)
+{
+    // Exhaustive: every 11-bit datum maps to a distinct weight-<=3
+    // leader whose syndrome recovers the datum.
+    GolayCoset coset;
+    std::set<std::uint32_t> leaders;
+    for (std::uint32_t d = 0; d < 2048; ++d) {
+        const std::uint32_t leader = coset.encode(d);
+        EXPECT_LE(popcount(leader), 3u) << "datum " << d;
+        EXPECT_EQ(GolayCoset::syndrome(leader), d) << "datum " << d;
+        leaders.insert(leader);
+    }
+    EXPECT_EQ(leaders.size(), 2048u);
+}
+
+TEST(GolayCoset, SyndromeIsLinear)
+{
+    // syndrome(a ^ b) == syndrome(a) ^ syndrome(b): the defining
+    // property of a parity-check reduction.
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto a =
+            static_cast<std::uint32_t>(rng.next() & 0x7FFFFF);
+        const auto b =
+            static_cast<std::uint32_t>(rng.next() & 0x7FFFFF);
+        EXPECT_EQ(GolayCoset::syndrome(a ^ b),
+                  GolayCoset::syndrome(a) ^ GolayCoset::syndrome(b));
+    }
+}
+
+TEST(GolayCoset, CodewordsHaveZeroSyndrome)
+{
+    // Multiples of g(x) are codewords: their syndrome vanishes.
+    for (std::uint32_t m = 0; m < 4096; ++m) {
+        // m(x) * g(x) over GF(2), degree < 23.
+        std::uint32_t prod = 0;
+        for (unsigned b = 0; b < 12; ++b)
+            if ((m >> b) & 1)
+                prod ^= 0xC75u << b;
+        EXPECT_EQ(GolayCoset::syndrome(prod & 0x7FFFFF), 0u);
+    }
+}
+
+TEST(PerfectLwc, FrameGeometryMatchesThreeLwc)
+{
+    PerfectLwcCode perfect;
+    ThreeLwcCode lwc;
+    EXPECT_EQ(perfect.burstLength(), lwc.burstLength());
+    EXPECT_EQ(perfect.lanes(), lwc.lanes());
+    EXPECT_EQ(perfect.busCycles(), lwc.busCycles());
+}
+
+TEST(PerfectLwc, LineRoundTrip)
+{
+    PerfectLwcCode code;
+    Rng rng(5);
+    for (int i = 0; i < 300; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(code.decode(code.encode(line)), line);
+    }
+}
+
+TEST(PerfectLwc, ZeroBoundPerLine)
+{
+    // 47 symbols x <= 3 zeros = at most 141 zeros per line, always.
+    PerfectLwcCode code;
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_LE(code.encode(line).zeroCount(), 141u);
+    }
+}
+
+TEST(PerfectLwc, BeatsThreeLwcOnRandomData)
+{
+    // 3 zeros per 11 bits beats 3 per 8: the better rate shows on
+    // average.
+    PerfectLwcCode perfect;
+    ThreeLwcCode lwc;
+    Rng rng(7);
+    std::uint64_t perfect_zeros = 0;
+    std::uint64_t lwc_zeros = 0;
+    for (int i = 0; i < 200; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        perfect_zeros += perfect.encode(line).zeroCount();
+        lwc_zeros += lwc.encode(line).zeroCount();
+    }
+    EXPECT_LT(perfect_zeros, lwc_zeros);
+}
+
+TEST(PerfectLwc, AllZeroLineIsNearlyFree)
+{
+    PerfectLwcCode code;
+    Line line{};
+    EXPECT_EQ(code.encode(line).zeroCount(), 0u);
+    EXPECT_EQ(code.decode(code.encode(line)), line);
+}
+
+} // anonymous namespace
+} // namespace mil

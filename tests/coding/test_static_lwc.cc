@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coding/static_lwc.hh"
+#include "common/bitops.hh"
+#include "common/random.hh"
+
+namespace mil
+{
+namespace
+{
+
+std::array<std::uint64_t, 256>
+uniformFreq()
+{
+    std::array<std::uint64_t, 256> f;
+    f.fill(1);
+    return f;
+}
+
+TEST(StaticLwc, CodewordsAreDistinct)
+{
+    const auto freq = uniformFreq();
+    for (unsigned n : {9u, 10u, 12u, 17u}) {
+        StaticLwcCodebook book(freq, n);
+        std::set<std::uint32_t> words;
+        for (unsigned p = 0; p < 256; ++p)
+            words.insert(book.encode(static_cast<std::uint8_t>(p)));
+        EXPECT_EQ(words.size(), 256u) << "width " << n;
+    }
+}
+
+TEST(StaticLwc, RoundTrip)
+{
+    const auto freq = uniformFreq();
+    StaticLwcCodebook book(freq, 10);
+    for (unsigned p = 0; p < 256; ++p) {
+        const auto cw = book.encode(static_cast<std::uint8_t>(p));
+        EXPECT_EQ(book.decode(cw), p);
+    }
+}
+
+TEST(StaticLwc, ZerosTableConsistent)
+{
+    const auto freq = uniformFreq();
+    StaticLwcCodebook book(freq, 12);
+    for (unsigned p = 0; p < 256; ++p) {
+        const auto cw = book.encode(static_cast<std::uint8_t>(p));
+        EXPECT_EQ(book.zeros(static_cast<std::uint8_t>(p)),
+                  12u - popcount(cw));
+    }
+}
+
+TEST(StaticLwc, MostFrequentPatternGetsSparsestCode)
+{
+    std::array<std::uint64_t, 256> freq{};
+    freq.fill(1);
+    freq[0x42] = 1000000;
+    StaticLwcCodebook book(freq, 9);
+    // The all-ones 9-bit word (zero zeros) goes to 0x42.
+    EXPECT_EQ(book.zeros(0x42), 0u);
+    EXPECT_EQ(book.encode(0x42), 0x1FFu);
+}
+
+TEST(StaticLwc, WidthEightIsPermutation)
+{
+    // (8,8): every codeword weight occurs exactly as in the plain
+    // byte space; expected zeros can only be rearranged, not reduced
+    // below the frequency-weighted assignment.
+    const auto freq = uniformFreq();
+    StaticLwcCodebook book(freq, 8);
+    // With uniform frequencies the total zero budget is that of all
+    // 256 bytes: 256 * 4 = 1024.
+    std::uint64_t zeros = 0;
+    for (unsigned p = 0; p < 256; ++p)
+        zeros += book.zeros(static_cast<std::uint8_t>(p));
+    EXPECT_EQ(zeros, 1024u);
+}
+
+TEST(StaticLwc, WiderCodesNeverWorse)
+{
+    // More width means sparser codewords are available for every rank:
+    // expected zeros must be monotonically non-increasing in n.
+    Rng rng(77);
+    std::array<std::uint64_t, 256> freq{};
+    for (auto &f : freq)
+        f = rng.below(1000);
+    double prev = 1e9;
+    for (unsigned n = 8; n <= 17; ++n) {
+        StaticLwcCodebook book(freq, n);
+        const double z = book.expectedZerosPerByte(freq);
+        EXPECT_LE(z, prev + 1e-12) << "width " << n;
+        prev = z;
+    }
+}
+
+TEST(StaticLwc, SeventeenWideMatchesThreeZeroBound)
+{
+    // At width 17 the sparsest 256 codewords need weights down to 14
+    // (1 + 17 + 136 = 154 words of weight >= 15, the rest at 14), so
+    // the optimal static code meets the 3-LWC bound of <= 3 zeros --
+    // and beats its *average*, since most patterns get <= 2.
+    const auto freq = uniformFreq();
+    StaticLwcCodebook book(freq, 17);
+    unsigned at_most_two = 0;
+    for (unsigned p = 0; p < 256; ++p) {
+        EXPECT_LE(book.zeros(static_cast<std::uint8_t>(p)), 3u);
+        if (book.zeros(static_cast<std::uint8_t>(p)) <= 2)
+            ++at_most_two;
+    }
+    EXPECT_EQ(at_most_two, 154u);
+}
+
+TEST(StaticLwc, ExpectedZerosWeightsByFrequency)
+{
+    std::array<std::uint64_t, 256> freq{};
+    freq[0x00] = 3;
+    freq[0x01] = 1;
+    StaticLwcCodebook book(freq, 9);
+    // 0x00 (rank 0) -> all-ones (0 zeros); 0x01 (rank 1) -> 1 zero.
+    const double expected = (3.0 * 0 + 1.0 * 1) / 4.0;
+    EXPECT_DOUBLE_EQ(book.expectedZerosPerByte(freq), expected);
+}
+
+TEST(PatternHistogram, CountsBytes)
+{
+    PatternHistogram h;
+    const std::uint8_t data[] = {1, 2, 2, 3, 3, 3};
+    h.add(std::span<const std::uint8_t>(data, 6));
+    EXPECT_EQ(h.counts()[1], 1u);
+    EXPECT_EQ(h.counts()[2], 2u);
+    EXPECT_EQ(h.counts()[3], 3u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(StaticLwcDeath, RejectsTooNarrow)
+{
+    const auto freq = uniformFreq();
+    EXPECT_DEATH(StaticLwcCodebook(freq, 7), "out of range");
+}
+
+} // anonymous namespace
+} // namespace mil

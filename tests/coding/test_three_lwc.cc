@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coding/dbi.hh"
+#include "coding/three_lwc.hh"
+#include "common/bitops.hh"
+#include "common/random.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(ThreeLwc, ExhaustiveByteRoundTrip)
+{
+    for (unsigned v = 0; v < 256; ++v) {
+        const Lwc17 enc =
+            ThreeLwcCode::encodeByte(static_cast<std::uint8_t>(v));
+        EXPECT_EQ(ThreeLwcCode::decodeByte(enc), v) << "pattern " << v;
+        EXPECT_EQ(ThreeLwcCode::decodeWire(enc.wireBits()), v);
+    }
+}
+
+TEST(ThreeLwc, LimitedWeightInvariant)
+{
+    // The LWC property: the raw (pre-complement) codeword has at most
+    // three 1s, so the transmitted form has at most three 0s.
+    for (unsigned v = 0; v < 256; ++v) {
+        const Lwc17 enc =
+            ThreeLwcCode::encodeByte(static_cast<std::uint8_t>(v));
+        const std::uint32_t raw =
+            enc.code | (std::uint32_t{enc.mode} << 15);
+        EXPECT_LE(popcount(raw), 3u) << "pattern " << v;
+        EXPECT_LE(ThreeLwcCode::wireZeros(enc), 3u) << "pattern " << v;
+    }
+}
+
+TEST(ThreeLwc, CodeWeightMatchesNibbleStructure)
+{
+    // Code weight 0 iff both nibbles zero; weight 1 iff one distinct
+    // nonzero nibble value; weight 2 iff two distinct nonzero values.
+    for (unsigned v = 0; v < 256; ++v) {
+        const unsigned left = (v >> 4) & 0xF;
+        const unsigned right = v & 0xF;
+        const Lwc17 enc =
+            ThreeLwcCode::encodeByte(static_cast<std::uint8_t>(v));
+        const unsigned weight = popcount(enc.code);
+        if (left == 0 && right == 0)
+            EXPECT_EQ(weight, 0u);
+        else if (left == right || left == 0 || right == 0)
+            EXPECT_EQ(weight, 1u);
+        else
+            EXPECT_EQ(weight, left == right ? 1u : 2u);
+    }
+}
+
+TEST(ThreeLwc, ModeTableConformance)
+{
+    // Spot-check the Table 1 rows.
+    EXPECT_EQ(ThreeLwcCode::encodeByte(0x00).mode, 0b00); // all 0s.
+    EXPECT_EQ(ThreeLwcCode::encodeByte(0x55).mode, 0b01); // same nibbles.
+    EXPECT_EQ(ThreeLwcCode::encodeByte(0x50).mode, 0b00); // right zero.
+    EXPECT_EQ(ThreeLwcCode::encodeByte(0x05).mode, 0b10); // left zero.
+    EXPECT_EQ(ThreeLwcCode::encodeByte(0x52).mode, 0b10); // left greater.
+    EXPECT_EQ(ThreeLwcCode::encodeByte(0x25).mode, 0b00); // left smaller.
+}
+
+TEST(ThreeLwc, AllZeroByteTransmitsNoZeros)
+{
+    // The improved mode assignment gives the most common pattern
+    // (0x00) a fully complemented, all-ones wire image.
+    const Lwc17 enc = ThreeLwcCode::encodeByte(0x00);
+    EXPECT_EQ(ThreeLwcCode::wireZeros(enc), 0u);
+}
+
+TEST(ThreeLwc, WireImagesAreDistinct)
+{
+    std::set<std::uint32_t> images;
+    for (unsigned v = 0; v < 256; ++v)
+        images.insert(ThreeLwcCode::encodeByte(
+            static_cast<std::uint8_t>(v)).wireBits());
+    EXPECT_EQ(images.size(), 256u);
+}
+
+TEST(ThreeLwc, FrameGeometry)
+{
+    ThreeLwcCode code;
+    EXPECT_EQ(code.burstLength(), 16u);
+    EXPECT_EQ(code.lanes(), 68u);
+    EXPECT_EQ(code.busCycles(), 8u);
+    EXPECT_EQ(code.extraLatency(), 1u);
+    Line line{};
+    EXPECT_EQ(code.encode(line).totalBits(), 1088u);
+}
+
+TEST(ThreeLwc, LineRoundTrip)
+{
+    ThreeLwcCode code;
+    Rng rng(321);
+    for (int i = 0; i < 200; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(code.decode(code.encode(line)), line);
+    }
+}
+
+TEST(ThreeLwc, LineZeroBound)
+{
+    // At most 3 zeros per byte codeword => at most 192 per line.
+    ThreeLwcCode code;
+    Rng rng(55);
+    for (int i = 0; i < 100; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_LE(code.encode(line).zeroCount(), 192u);
+    }
+}
+
+TEST(ThreeLwc, BeatsDbiOnSmallIntegers)
+{
+    // The headline case: zero-heavy data. 3-LWC sends all-zero bytes
+    // with no wire zeros at all; DBI still pays the DBI bit.
+    ThreeLwcCode lwc;
+    DbiCode dbi;
+    Line line{};
+    for (unsigned i = 0; i < 16; ++i)
+        line[i * 4] = static_cast<std::uint8_t>(i + 1);
+    EXPECT_LT(lwc.encode(line).zeroCount(),
+              dbi.encode(line).zeroCount() / 2);
+}
+
+/** Property sweep: the wire image is injective under corruption of a
+ *  decode -> encode cycle for parameterized byte values. */
+class ThreeLwcParam : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ThreeLwcParam, EncodeDecodeStable)
+{
+    const auto v = static_cast<std::uint8_t>(GetParam());
+    const Lwc17 enc = ThreeLwcCode::encodeByte(v);
+    const auto decoded = ThreeLwcCode::decodeByte(enc);
+    const Lwc17 re = ThreeLwcCode::encodeByte(decoded);
+    EXPECT_EQ(re.code, enc.code);
+    EXPECT_EQ(re.mode, enc.mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBytes, ThreeLwcParam,
+                         ::testing::Range(0u, 256u, 7u));
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "coding/dbi.hh"
+#include "coding/transition.hh"
+#include "common/random.hh"
+
+namespace mil
+{
+namespace
+{
+
+BusFrame
+randomFrame(Rng &rng, unsigned lanes, unsigned beats)
+{
+    BusFrame f(lanes, beats);
+    for (unsigned b = 0; b < beats; ++b)
+        for (unsigned l = 0; l < lanes; ++l)
+            f.setBitAt(b, l, rng.chance(0.5));
+    return f;
+}
+
+TEST(TransitionSignaling, RoundTripAcrossBursts)
+{
+    Rng rng(31);
+    TransitionSignaling enc(72, FlipOn::Zero);
+    TransitionSignaling dec(72, FlipOn::Zero);
+    for (int burst = 0; burst < 50; ++burst) {
+        const BusFrame logical = randomFrame(rng, 72, 8);
+        const BusFrame wire = enc.encode(logical);
+        EXPECT_TRUE(dec.decode(wire) == logical) << "burst " << burst;
+    }
+}
+
+TEST(TransitionSignaling, FlipOnZeroMakesFlipsEqualZeros)
+{
+    // The MiL property (Section 4.5): wire flips == logical zeros.
+    Rng rng(32);
+    TransitionSignaling enc(64, FlipOn::Zero);
+    WireState probe(64);
+    for (int burst = 0; burst < 20; ++burst) {
+        const BusFrame logical = randomFrame(rng, 64, 10);
+        const BusFrame wire = enc.encode(logical);
+        EXPECT_EQ(wire.transitionCount(probe), logical.zeroCount());
+    }
+}
+
+TEST(TransitionSignaling, FlipOnOneMakesFlipsEqualOnes)
+{
+    Rng rng(33);
+    TransitionSignaling enc(64, FlipOn::One);
+    WireState probe(64);
+    for (int burst = 0; burst < 20; ++burst) {
+        const BusFrame logical = randomFrame(rng, 64, 8);
+        const BusFrame wire = enc.encode(logical);
+        EXPECT_EQ(wire.transitionCount(probe), logical.oneCount());
+    }
+}
+
+TEST(TransitionSignaling, AllOnesHoldsWiresFlipOnZero)
+{
+    TransitionSignaling enc(8, FlipOn::Zero);
+    BusFrame logical(8, 4);
+    for (unsigned b = 0; b < 4; ++b)
+        logical.setLaneField(b, 0, 8, 0xFF);
+    const BusFrame wire = enc.encode(logical);
+    // No zero anywhere: the wires never move from their reset level.
+    WireState probe(8);
+    EXPECT_EQ(wire.transitionCount(probe), 0u);
+}
+
+TEST(TransitionSignaling, ResetClearsWireRegisters)
+{
+    TransitionSignaling enc(8, FlipOn::Zero);
+    BusFrame logical(8, 1); // All zeros: flips every wire.
+    enc.encode(logical);
+    for (unsigned l = 0; l < 8; ++l)
+        EXPECT_TRUE(enc.state().level(l));
+    enc.reset();
+    for (unsigned l = 0; l < 8; ++l)
+        EXPECT_FALSE(enc.state().level(l));
+}
+
+TEST(TransitionSignaling, ComposesWithDbi)
+{
+    // The full LPDDR3 path: DBI-encode the line, transition-signal the
+    // frame, then undo both.
+    DbiCode dbi;
+    TransitionSignaling enc(72, FlipOn::Zero);
+    TransitionSignaling dec(72, FlipOn::Zero);
+    Rng rng(34);
+    for (int i = 0; i < 50; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const BusFrame logical = dbi.encode(line);
+        const BusFrame wire = enc.encode(logical);
+        const BusFrame back = dec.decode(wire);
+        EXPECT_EQ(dbi.decode(back), line);
+    }
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(Bitops, PopcountBasics)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(~std::uint64_t{0}), 64u);
+    EXPECT_EQ(popcount(0xF0F0), 8u);
+}
+
+TEST(Bitops, ZeroCountWidth)
+{
+    EXPECT_EQ(zeroCount(0, 8), 8u);
+    EXPECT_EQ(zeroCount(0xFF, 8), 0u);
+    EXPECT_EQ(zeroCount(0x0F, 8), 4u);
+    EXPECT_EQ(zeroCount(0, 64), 64u);
+    EXPECT_EQ(zeroCount(~std::uint64_t{0}, 64), 0u);
+    // Bits above the width never count.
+    EXPECT_EQ(zeroCount(0xFF00, 8), 8u);
+}
+
+TEST(Bitops, ZeroCount8MatchesGeneric)
+{
+    for (unsigned v = 0; v < 256; ++v) {
+        EXPECT_EQ(zeroCount8(static_cast<std::uint8_t>(v)),
+                  zeroCount(v, 8));
+    }
+}
+
+TEST(Bitops, BitAndSetBit)
+{
+    std::uint64_t v = 0;
+    v = setBit(v, 5, true);
+    EXPECT_TRUE(bit(v, 5));
+    EXPECT_FALSE(bit(v, 4));
+    v = setBit(v, 5, false);
+    EXPECT_EQ(v, 0u);
+    v = setBit(v, 63, true);
+    EXPECT_TRUE(bit(v, 63));
+}
+
+TEST(Bitops, BitsExtraction)
+{
+    const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+    EXPECT_EQ(bits(v, 0, 16), 0xF00Du);
+    EXPECT_EQ(bits(v, 16, 16), 0xCAFEu);
+    EXPECT_EQ(bits(v, 48, 16), 0xDEADu);
+    EXPECT_EQ(bits(v, 0, 64), v);
+    EXPECT_EQ(bits(v, 4, 0), 0u);
+}
+
+TEST(Bitops, InsertBitsRoundTrip)
+{
+    std::uint64_t v = 0;
+    v = insertBits(v, 12, 8, 0xAB);
+    EXPECT_EQ(bits(v, 12, 8), 0xABu);
+    // Overwrite the same field.
+    v = insertBits(v, 12, 8, 0x5);
+    EXPECT_EQ(bits(v, 12, 8), 0x5u);
+    // Neighbors untouched.
+    EXPECT_EQ(bits(v, 0, 12), 0u);
+    EXPECT_EQ(bits(v, 20, 20), 0u);
+}
+
+TEST(Bitops, InsertBitsMasksField)
+{
+    // A field value wider than the field must be truncated.
+    const std::uint64_t v = insertBits(0, 4, 4, 0xFF);
+    EXPECT_EQ(v, 0xF0u);
+}
+
+TEST(Bitops, ZeroCountBytes)
+{
+    const std::uint8_t data[] = {0x00, 0xFF, 0x0F};
+    EXPECT_EQ(zeroCountBytes(std::span<const std::uint8_t>(data, 3)),
+              12u);
+    EXPECT_EQ(oneCountBytes(std::span<const std::uint8_t>(data, 3)),
+              12u);
+}
+
+TEST(Bitops, Load64Store64RoundTrip)
+{
+    std::uint8_t buf[8];
+    const std::uint64_t v = 0x1122334455667788ull;
+    store64(buf, v);
+    EXPECT_EQ(buf[0], 0x88); // Little-endian byte order.
+    EXPECT_EQ(buf[7], 0x11);
+    EXPECT_EQ(load64(buf), v);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(12));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~std::uint64_t{0}), 63u);
+}
+
+} // anonymous namespace
+} // namespace mil

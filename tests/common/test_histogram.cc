@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(Histogram, BucketAssignment)
+{
+    Histogram h({0, 2, 8});
+    h.sample(0);  // Bucket 0: [.., 0]
+    h.sample(1);  // Bucket 1: (0, 2]
+    h.sample(2);  // Bucket 1.
+    h.sample(3);  // Bucket 2: (2, 8]
+    h.sample(8);  // Bucket 2.
+    h.sample(9);  // Overflow.
+    h.sample(100);
+
+    ASSERT_EQ(h.size(), 4u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 2u);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h({1});
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0); // Empty histogram.
+    h.sample(0);
+    h.sample(0);
+    h.sample(5);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 1.0 / 3.0);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h({10});
+    h.sample(3, 5);
+    EXPECT_EQ(h.count(0), 5u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, Labels)
+{
+    Histogram h({0, 2, 8});
+    EXPECT_EQ(h.label(0), "0");
+    EXPECT_EQ(h.label(1), "1-2");
+    EXPECT_EQ(h.label(2), "3-8");
+    EXPECT_EQ(h.label(3), ">8");
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h({100});
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.sample(10);
+    h.sample(20);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h({5});
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(0), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MergeAddsBucketwise)
+{
+    Histogram a({0, 4});
+    Histogram b({0, 4});
+    a.sample(0);
+    a.sample(2);
+    b.sample(2);
+    b.sample(9);
+    a.merge(b);
+    EXPECT_EQ(a.count(0), 1u);
+    EXPECT_EQ(a.count(1), 2u);
+    EXPECT_EQ(a.count(2), 1u);
+    EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(HistogramDeath, MergeRejectsDifferentBuckets)
+{
+    Histogram a({0, 4});
+    Histogram b({0, 5});
+    a.sample(1);
+    EXPECT_DEATH(a.merge(b), "different buckets");
+}
+
+} // anonymous namespace
+} // namespace mil

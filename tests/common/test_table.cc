@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header present, separator line present, both rows present.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // The value column starts at the same offset on every line.
+    std::istringstream is(out);
+    std::string header_line;
+    std::getline(is, header_line);
+    const auto col = header_line.find("value");
+    std::string sep;
+    std::getline(is, sep);
+    std::string row1;
+    std::getline(is, row1);
+    EXPECT_EQ(row1.find('1'), col);
+}
+
+TEST(TextTable, RowsWithoutHeader)
+{
+    TextTable t;
+    t.row({"a", "b"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str(), "a  b\n");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t;
+    EXPECT_EQ(t.rows(), 0u);
+    t.row({"x"});
+    t.row({"y"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RaggedRows)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"1", "2", "3"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find('3'), std::string::npos);
+}
+
+TEST(Format, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Format, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.5, 0), "50%");
+    EXPECT_EQ(fmtPercent(0.123, 1), "12.3%");
+}
+
+} // anonymous namespace
+} // namespace mil

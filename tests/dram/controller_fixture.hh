@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared fixture for directed memory-controller tests: a single DDR4
+ * channel behind the DBI baseline policy, with helpers to build
+ * requests at explicit DRAM coordinates and record response times.
+ */
+
+#ifndef MIL_TESTS_DRAM_CONTROLLER_FIXTURE_HH
+#define MIL_TESTS_DRAM_CONTROLLER_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dram/address_map.hh"
+#include "dram/controller.hh"
+#include "mil/policies.hh"
+
+namespace mil
+{
+
+class RecordingSink : public MemResponseSink
+{
+  public:
+    void
+    memResponse(ReqId id, const Line &data, Cycle when) override
+    {
+        times[id] = when;
+        payloads[id] = data;
+    }
+
+    std::map<ReqId, Cycle> times;
+    std::map<ReqId, Line> payloads;
+};
+
+class ControllerFixture
+{
+  public:
+    explicit ControllerFixture(
+        TimingParams timing = TimingParams::ddr4_3200(),
+        ControllerConfig config = {})
+        : timing_(timing), map_(timing, 1),
+          policy_(std::make_unique<DbiPolicy>()),
+          ctrl_(timing, config, &mem_, policy_.get())
+    {}
+
+    ControllerFixture(TimingParams timing, ControllerConfig config,
+                      std::unique_ptr<CodingPolicy> policy)
+        : timing_(timing), map_(timing, 1), policy_(std::move(policy)),
+          ctrl_(timing, config, &mem_, policy_.get())
+    {}
+
+    /** Build a request at explicit coordinates. */
+    MemRequest
+    makeRequest(unsigned rank, unsigned bg, unsigned bank,
+                std::uint32_t row, std::uint32_t col, bool is_write)
+    {
+        DramCoord c;
+        c.rank = rank;
+        c.bankGroup = bg;
+        c.bank = bank;
+        c.row = row;
+        c.col = col;
+        MemRequest req;
+        req.id = nextId_++;
+        req.lineAddr = map_.encode(0, c);
+        req.isWrite = is_write;
+        req.arrival = now_;
+        req.coord = c;
+        return req;
+    }
+
+    ReqId
+    read(unsigned rank, unsigned bg, unsigned bank, std::uint32_t row,
+         std::uint32_t col)
+    {
+        const MemRequest req =
+            makeRequest(rank, bg, bank, row, col, false);
+        EXPECT_TRUE(ctrl_.enqueue(req, &sink_));
+        return req.id;
+    }
+
+    ReqId
+    write(unsigned rank, unsigned bg, unsigned bank, std::uint32_t row,
+          std::uint32_t col)
+    {
+        const MemRequest req =
+            makeRequest(rank, bg, bank, row, col, true);
+        EXPECT_TRUE(ctrl_.enqueue(req, nullptr));
+        return req.id;
+    }
+
+    /** Tick until idle or the cycle budget runs out. */
+    void
+    run(Cycle budget = 100000)
+    {
+        const Cycle end = now_ + budget;
+        while (now_ < end && ctrl_.busy()) {
+            ctrl_.tick(now_);
+            ++now_;
+        }
+    }
+
+    /** Tick exactly @p cycles. */
+    void
+    runFor(Cycle cycles)
+    {
+        const Cycle end = now_ + cycles;
+        while (now_ < end) {
+            ctrl_.tick(now_);
+            ++now_;
+        }
+    }
+
+    Cycle
+    respTime(ReqId id) const
+    {
+        const auto it = sink_.times.find(id);
+        return it == sink_.times.end() ? invalidCycle : it->second;
+    }
+
+    TimingParams timing_;
+    AddressMap map_;
+    FunctionalMemory mem_;
+    std::unique_ptr<CodingPolicy> policy_;
+    MemoryController ctrl_;
+    RecordingSink sink_;
+    Cycle now_ = 0;
+    ReqId nextId_ = 1;
+};
+
+} // namespace mil
+
+#endif // MIL_TESTS_DRAM_CONTROLLER_FIXTURE_HH

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+#include "dram/address_map.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(AddressMap, RoundTripDdr4)
+{
+    const auto timing = TimingParams::ddr4_3200();
+    AddressMap map(timing, 2);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = (rng.next() & 0xFFFFFFFFFFull) & ~Addr{63};
+        const unsigned ch = map.channelOf(addr);
+        const DramCoord c = map.decode(addr);
+        EXPECT_EQ(map.encode(ch, c), addr);
+    }
+}
+
+TEST(AddressMap, ConsecutiveLinesInterleaveChannels)
+{
+    const auto timing = TimingParams::ddr4_3200();
+    AddressMap map(timing, 2);
+    EXPECT_EQ(map.channelOf(0), 0u);
+    EXPECT_EQ(map.channelOf(64), 1u);
+    EXPECT_EQ(map.channelOf(128), 0u);
+}
+
+TEST(AddressMap, SequentialLinesShareRow)
+{
+    // Page interleaving: a channel's consecutive lines walk the
+    // column bits first, so a whole row buffer is covered before the
+    // bank changes.
+    const auto timing = TimingParams::ddr4_3200();
+    AddressMap map(timing, 2);
+    const DramCoord first = map.decode(0);
+    for (unsigned i = 1; i < timing.linesPerRow(); ++i) {
+        const DramCoord c = map.decode(i * 128); // Same channel 0.
+        EXPECT_EQ(c.row, first.row);
+        EXPECT_EQ(c.bank, first.bank);
+        EXPECT_EQ(c.bankGroup, first.bankGroup);
+        EXPECT_EQ(c.rank, first.rank);
+        EXPECT_EQ(c.col, i);
+    }
+}
+
+TEST(AddressMap, ConsecutivePagesChangeBank)
+{
+    const auto timing = TimingParams::ddr4_3200();
+    AddressMap map(timing, 2);
+    const std::uint64_t page_span =
+        timing.linesPerRow() * lineBytes * 2; // x2 channels.
+    const DramCoord a = map.decode(0);
+    const DramCoord b = map.decode(page_span);
+    EXPECT_FALSE(a.sameBankAs(b));
+    EXPECT_EQ(a.row, b.row);
+}
+
+TEST(AddressMap, CoversAllBanksBeforeRowAdvances)
+{
+    const auto timing = TimingParams::ddr4_3200();
+    AddressMap map(timing, 2);
+    const std::uint64_t page_span =
+        timing.linesPerRow() * lineBytes * 2;
+    std::set<unsigned> banks_seen;
+    const unsigned total_banks =
+        timing.ranks * timing.bankGroups * timing.banksPerGroup;
+    for (unsigned p = 0; p < total_banks; ++p) {
+        const DramCoord c = map.decode(p * page_span);
+        banks_seen.insert(c.rank * 64 + c.bankGroup * 8 + c.bank);
+        EXPECT_EQ(c.row, 0u);
+    }
+    EXPECT_EQ(banks_seen.size(), total_banks);
+    EXPECT_EQ(map.decode(total_banks * page_span).row, 1u);
+}
+
+TEST(AddressMap, SingleChannelHasNoChannelBits)
+{
+    const auto timing = TimingParams::lpddr3_1600();
+    AddressMap map(timing, 1);
+    EXPECT_EQ(map.channelOf(64), 0u);
+    EXPECT_EQ(map.channelOf(0xDEADBEC0), 0u);
+    const DramCoord a = map.decode(0);
+    const DramCoord b = map.decode(64);
+    EXPECT_EQ(b.col, a.col + 1);
+}
+
+TEST(AddressMap, CoordFieldsWithinBounds)
+{
+    const auto timing = TimingParams::ddr4_3200();
+    AddressMap map(timing, 2);
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr addr = rng.next() & 0x7FFFFFFFFull & ~Addr{63};
+        const DramCoord c = map.decode(addr);
+        EXPECT_LT(c.rank, timing.ranks);
+        EXPECT_LT(c.bankGroup, timing.bankGroups);
+        EXPECT_LT(c.bank, timing.banksPerGroup);
+        EXPECT_LT(c.col, timing.linesPerRow());
+    }
+}
+
+TEST(AddressMap, FlatBank)
+{
+    DramCoord c;
+    c.bankGroup = 3;
+    c.bank = 1;
+    EXPECT_EQ(c.flatBank(2), 7u);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "controller_fixture.hh"
+
+namespace mil
+{
+namespace
+{
+
+/*
+ * Reference latency of a cold read under the DBI baseline:
+ * ACT at 0, RD at tRCD, data [tRCD+tCL, +4), response one cycle after
+ * the burst ends. For DDR4-3200: 0 + 20 + 20 + 4 + 1 = 45.
+ */
+constexpr Cycle coldReadResp = 45;
+
+ControllerConfig
+noRefresh()
+{
+    ControllerConfig cfg;
+    cfg.refreshEnabled = false;
+    return cfg;
+}
+
+TEST(ControllerTiming, ColdReadLatency)
+{
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    const ReqId id = f.read(0, 0, 0, /*row=*/5, /*col=*/0);
+    f.run();
+    EXPECT_EQ(f.respTime(id), coldReadResp);
+}
+
+TEST(ControllerTiming, RowHitSpacingIsCcdLong)
+{
+    // Same bank (same bank group): consecutive reads are tCCD_L apart.
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    const ReqId a = f.read(0, 0, 0, 5, 0);
+    const ReqId b = f.read(0, 0, 0, 5, 1);
+    f.run();
+    EXPECT_EQ(f.respTime(a), coldReadResp);
+    EXPECT_EQ(f.respTime(b), coldReadResp + f.timing_.tCCD_L);
+}
+
+TEST(ControllerTiming, CrossGroupBeatsSameGroup)
+{
+    // Reads to two banks in *different* groups pace at tRRD_S/tCCD_S;
+    // in the *same* group they pace at tRRD_L/tCCD_L. The second
+    // response must come back sooner in the cross-group case.
+    Cycle cross;
+    {
+        ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+        f.read(0, 0, 0, 5, 0);
+        const ReqId b = f.read(0, 1, 0, 5, 0);
+        f.run();
+        cross = f.respTime(b);
+    }
+    Cycle same;
+    {
+        ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+        f.read(0, 0, 0, 5, 0);
+        const ReqId b = f.read(0, 0, 1, 5, 0);
+        f.run();
+        same = f.respTime(b);
+    }
+    EXPECT_LT(cross, same);
+}
+
+TEST(ControllerTiming, RowConflictPaysPrechargeAndActivate)
+{
+    // Second read to a different row of the same bank: the precharge
+    // waits for tRAS, then tRP and tRCD apply; tRC also binds.
+    // ACT@0, RD1@20, PRE@52 (tRAS), ACT@72 (also == tRC), RD2@92,
+    // response at 92 + 20 + 4 + 1 = 117.
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    const ReqId a = f.read(0, 0, 0, 5, 0);
+    const ReqId b = f.read(0, 0, 0, 6, 0);
+    f.run();
+    EXPECT_EQ(f.respTime(a), coldReadResp);
+    EXPECT_EQ(f.respTime(b), 117u);
+}
+
+TEST(ControllerTiming, WriteToReadTurnaroundSameGroup)
+{
+    // Let the write schedule first (reads preempt writes, so the read
+    // arrives only after the WR command has issued at cycle 20).
+    // Write data occupies [36, 40); a read to the same bank group is
+    // then gated to 40 + tWTR_L = 52. Response: 52 + 20 + 4 + 1 = 77.
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    f.write(0, 0, 0, 5, 0);
+    f.runFor(21);
+    const ReqId r = f.read(0, 0, 0, 5, 1);
+    f.run();
+    EXPECT_EQ(f.respTime(r), 77u);
+}
+
+TEST(ControllerTiming, WriteToReadCrossGroupIsFaster)
+{
+    Cycle same;
+    {
+        // Same rank, *same* group, different bank: tWTR_L binds.
+        ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+        f.write(0, 0, 0, 5, 0);
+        f.runFor(21);
+        const ReqId r = f.read(0, 0, 1, 5, 0);
+        f.run();
+        same = f.respTime(r);
+    }
+    Cycle cross;
+    {
+        // Different group: only tWTR_S binds.
+        ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+        f.write(0, 0, 0, 5, 0);
+        f.runFor(21);
+        const ReqId r = f.read(0, 1, 0, 5, 0);
+        f.run();
+        cross = f.respTime(r);
+    }
+    EXPECT_LT(cross, same);
+    EXPECT_EQ(same - cross,
+              TimingParams::ddr4_3200().tWTR_L -
+                  TimingParams::ddr4_3200().tWTR_S);
+}
+
+TEST(ControllerTiming, FourActivateWindow)
+{
+    // Five reads to five distinct closed banks: the fifth ACT is held
+    // until tFAW after the first, so its response cannot beat
+    // tFAW + tRCD + tCL + burst + 1 = 48 + 20 + 20 + 4 + 1 = 93.
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    f.read(0, 0, 0, 5, 0);
+    f.read(0, 1, 0, 5, 0);
+    f.read(0, 2, 0, 5, 0);
+    f.read(0, 3, 0, 5, 0);
+    const ReqId fifth = f.read(0, 0, 1, 5, 0);
+    f.run();
+    EXPECT_GE(f.respTime(fifth), 93u);
+
+    // Four banks only: finishes well before the FAW bound.
+    ControllerFixture g(TimingParams::ddr4_3200(), noRefresh());
+    g.read(0, 0, 0, 5, 0);
+    g.read(0, 1, 0, 5, 0);
+    g.read(0, 2, 0, 5, 0);
+    const ReqId fourth = g.read(0, 3, 0, 5, 0);
+    g.run();
+    EXPECT_LT(g.respTime(fourth), 93u);
+}
+
+TEST(ControllerTiming, RankToRankGap)
+{
+    // Warm both rows first, so only column timing binds. Same-rank
+    // cross-group hits pace at tCCD_S = burst length: data flows
+    // back-to-back (+4 cycles). A rank switch must additionally float
+    // the bus for tRTRS: +burst+tRTRS = +6 cycles.
+    Cycle same_first;
+    Cycle same_second;
+    {
+        ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+        f.read(0, 0, 0, 5, 0);
+        f.read(0, 1, 0, 5, 0);
+        f.run();
+        const ReqId a = f.read(0, 0, 0, 5, 1);
+        const ReqId b = f.read(0, 1, 0, 5, 1);
+        f.run();
+        same_first = f.respTime(a);
+        same_second = f.respTime(b);
+    }
+    Cycle cross_first;
+    Cycle cross_second;
+    {
+        ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+        f.read(0, 0, 0, 5, 0);
+        f.read(1, 1, 0, 5, 0);
+        f.run();
+        const ReqId a = f.read(0, 0, 0, 5, 1);
+        const ReqId b = f.read(1, 1, 0, 5, 1);
+        f.run();
+        cross_first = f.respTime(a);
+        cross_second = f.respTime(b);
+    }
+    EXPECT_EQ(same_second - same_first,
+              TimingParams::ddr4_3200().tCCD_S);
+    EXPECT_EQ(cross_second - cross_first,
+              4u + TimingParams::ddr4_3200().tRTRS);
+}
+
+TEST(ControllerTiming, RefreshHappensAndBlocksTheRank)
+{
+    ControllerConfig cfg; // Refresh enabled.
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+    // Idle through two refresh intervals.
+    f.runFor(2 * f.timing_.tREFI + 2 * f.timing_.tRFC + 100);
+    EXPECT_GE(f.ctrl_.stats().refreshes, 2u);
+    EXPECT_GT(f.ctrl_.stats().rankRefreshCycles, 0u);
+}
+
+TEST(ControllerTiming, ReadDuringRefreshIsDelayed)
+{
+    ControllerConfig cfg;
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+    // Rank 0 refreshes at tREFI/2 (staggered): land a read just after
+    // the refresh begins.
+    const Cycle ref_start = f.timing_.tREFI / 2;
+    f.runFor(ref_start + 2);
+    const ReqId id = f.read(0, 0, 0, 5, 0);
+    f.run();
+    // The read cannot complete before the refresh window ends.
+    EXPECT_GE(f.respTime(id), ref_start + f.timing_.tRFC);
+}
+
+TEST(ControllerTiming, Lpddr3ColdRead)
+{
+    // LPDDR3-1600: ACT@0, RD@15 (tRCD), data [15+12, +4), resp 32.
+    ControllerFixture f(TimingParams::lpddr3_1600(), noRefresh());
+    const ReqId id = f.read(0, 0, 0, 3, 0);
+    f.run();
+    EXPECT_EQ(f.respTime(id), 32u);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "dram/functional_memory.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(FunctionalMemory, DefaultsToZero)
+{
+    FunctionalMemory mem;
+    const Line &line = mem.read(0x1000);
+    for (auto b : line)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(FunctionalMemory, WriteThenRead)
+{
+    FunctionalMemory mem;
+    Line data;
+    data.fill(0x3C);
+    mem.write(0x40, data);
+    EXPECT_EQ(mem.read(0x40), data);
+    // A neighboring line is unaffected.
+    EXPECT_EQ(mem.read(0x80)[0], 0);
+}
+
+TEST(FunctionalMemory, RegionInitializerRuns)
+{
+    FunctionalMemory mem;
+    mem.addRegion(0x1000, 0x1000, [](Addr addr, Line &out) {
+        out.fill(static_cast<std::uint8_t>(addr >> 6));
+    });
+    EXPECT_EQ(mem.read(0x1000)[0],
+              static_cast<std::uint8_t>(0x1000 >> 6));
+    EXPECT_EQ(mem.read(0x1FC0)[0],
+              static_cast<std::uint8_t>(0x1FC0 >> 6));
+    // Outside the region: zero fill.
+    EXPECT_EQ(mem.read(0x2000)[0], 0);
+}
+
+TEST(FunctionalMemory, LaterRegionsWinOnOverlap)
+{
+    FunctionalMemory mem;
+    mem.addRegion(0x0, 0x2000,
+                  [](Addr, Line &out) { out.fill(0x11); });
+    mem.addRegion(0x1000, 0x1000,
+                  [](Addr, Line &out) { out.fill(0x22); });
+    EXPECT_EQ(mem.read(0x0)[0], 0x11);
+    EXPECT_EQ(mem.read(0x1000)[0], 0x22);
+}
+
+TEST(FunctionalMemory, InitializerRunsOncePerLine)
+{
+    FunctionalMemory mem;
+    unsigned calls = 0;
+    mem.addRegion(0x0, 0x1000, [&calls](Addr, Line &out) {
+        ++calls;
+        out.fill(0xAA);
+    });
+    mem.read(0x0);
+    mem.read(0x0);
+    mem.read(0x40);
+    EXPECT_EQ(calls, 2u);
+}
+
+TEST(FunctionalMemory, WritesSurviveRegionInit)
+{
+    FunctionalMemory mem;
+    mem.addRegion(0x0, 0x1000,
+                  [](Addr, Line &out) { out.fill(0xAA); });
+    Line data;
+    data.fill(0xBB);
+    mem.write(0x40, data);
+    EXPECT_EQ(mem.read(0x40)[0], 0xBB);
+}
+
+TEST(FunctionalMemory, ResidencyGrowsLazily)
+{
+    FunctionalMemory mem;
+    mem.addRegion(0x0, 1ull << 30, nullptr); // A 1 GiB region.
+    EXPECT_EQ(mem.residentLines(), 0u);
+    mem.read(0x0);
+    mem.read(1ull << 29);
+    EXPECT_EQ(mem.residentLines(), 2u);
+}
+
+TEST(FunctionalMemoryDeath, RejectsUnalignedRegion)
+{
+    FunctionalMemory mem;
+    EXPECT_DEATH(mem.addRegion(0x10, 0x1000, nullptr), "line-aligned");
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "controller_fixture.hh"
+
+namespace mil
+{
+namespace
+{
+
+ControllerConfig
+pdConfig(unsigned idle_cycles = 16)
+{
+    ControllerConfig cfg;
+    cfg.refreshEnabled = false;
+    cfg.powerDownEnabled = true;
+    cfg.powerDownIdleCycles = idle_cycles;
+    return cfg;
+}
+
+TEST(PowerDown, IdleRanksEnterPowerDown)
+{
+    ControllerFixture f(TimingParams::ddr4_3200(), pdConfig());
+    f.runFor(500);
+    const auto &s = f.ctrl_.stats();
+    EXPECT_GE(s.powerDownEntries, 2u); // Both ranks.
+    EXPECT_GT(s.rankPowerDownCycles, 2u * 400u);
+}
+
+TEST(PowerDown, DisabledByDefault)
+{
+    ControllerConfig cfg;
+    cfg.refreshEnabled = false;
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+    f.runFor(500);
+    EXPECT_EQ(f.ctrl_.stats().powerDownEntries, 0u);
+    EXPECT_EQ(f.ctrl_.stats().rankPowerDownCycles, 0u);
+}
+
+TEST(PowerDown, WakeupCostsTxp)
+{
+    // Cold read against a sleeping rank pays tXP before the ACT.
+    Cycle asleep;
+    {
+        ControllerFixture f(TimingParams::ddr4_3200(), pdConfig());
+        f.runFor(200); // Both ranks asleep.
+        const ReqId id = f.read(0, 0, 0, 5, 0);
+        f.run();
+        asleep = f.respTime(id) - 200;
+    }
+    Cycle awake;
+    {
+        ControllerConfig cfg;
+        cfg.refreshEnabled = false;
+        ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+        f.runFor(200);
+        const ReqId id = f.read(0, 0, 0, 5, 0);
+        f.run();
+        awake = f.respTime(id) - 200;
+    }
+    EXPECT_EQ(asleep, awake + TimingParams::ddr4_3200().tXP);
+}
+
+TEST(PowerDown, ActiveRankStaysAwake)
+{
+    ControllerFixture f(TimingParams::ddr4_3200(), pdConfig(16));
+    // Keep rank 0 busy with a steady read stream.
+    for (unsigned i = 0; i < 40; ++i) {
+        f.read(0, 0, 0, 5, i % 16);
+        f.runFor(10);
+    }
+    const auto &s = f.ctrl_.stats();
+    // Rank 1 slept; rank 0's share of power-down is small.
+    EXPECT_GT(s.rankPowerDownCycles, 0u);
+    EXPECT_LT(s.rankPowerDownCycles, s.totalCycles * 2 * 3 / 4);
+    EXPECT_GT(s.rankActiveStandbyCycles, 100u);
+}
+
+TEST(PowerDown, DataIntegrityAcrossSleepWake)
+{
+    ControllerFixture f(TimingParams::ddr4_3200(), pdConfig());
+    MemRequest wr = f.makeRequest(0, 0, 0, 5, 0, true);
+    wr.data.fill(0x77);
+    EXPECT_TRUE(f.ctrl_.enqueue(wr, nullptr));
+    f.run();
+    f.runFor(300); // Sleep.
+    MemRequest rd = f.makeRequest(0, 0, 0, 5, 0, false);
+    rd.lineAddr = wr.lineAddr;
+    rd.coord = wr.coord;
+    EXPECT_TRUE(f.ctrl_.enqueue(rd, &f.sink_));
+    f.run();
+    EXPECT_EQ(f.sink_.payloads[rd.id][0], 0x77);
+}
+
+TEST(PowerDown, RefreshStillHappens)
+{
+    ControllerConfig cfg;
+    cfg.powerDownEnabled = true;
+    cfg.powerDownIdleCycles = 16;
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+    f.runFor(3 * f.timing_.tREFI);
+    EXPECT_GE(f.ctrl_.stats().refreshes, 4u);
+    EXPECT_GT(f.ctrl_.stats().rankPowerDownCycles, 0u);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(Timing, Ddr4MatchesTable2)
+{
+    const auto p = TimingParams::ddr4_3200();
+    EXPECT_EQ(p.standard, DramStandard::DDR4);
+    EXPECT_EQ(p.tCL, 20u);
+    EXPECT_EQ(p.tCWL, 16u);
+    EXPECT_EQ(p.tCCD_S, 4u);
+    EXPECT_EQ(p.tCCD_L, 8u);
+    EXPECT_EQ(p.tRC, 72u);
+    EXPECT_EQ(p.tRTP, 12u);
+    EXPECT_EQ(p.tRP, 20u);
+    EXPECT_EQ(p.tRCD, 20u);
+    EXPECT_EQ(p.tRAS, 52u);
+    EXPECT_EQ(p.tWR, 4u);
+    EXPECT_EQ(p.tRTRS, 2u);
+    EXPECT_EQ(p.tWTR_S, 4u);
+    EXPECT_EQ(p.tWTR_L, 12u);
+    EXPECT_EQ(p.tRRD_S, 9u);
+    EXPECT_EQ(p.tRRD_L, 11u);
+    EXPECT_EQ(p.tFAW, 48u);
+    EXPECT_EQ(p.tREFI, 12480u);
+    EXPECT_EQ(p.tRFC, 416u);
+    EXPECT_EQ(p.banks(), 8u);
+    EXPECT_EQ(p.pageBytes, 8192u);
+    EXPECT_DOUBLE_EQ(p.clockNs, 0.625);
+}
+
+TEST(Timing, Lpddr3MatchesTable2)
+{
+    const auto p = TimingParams::lpddr3_1600();
+    EXPECT_EQ(p.standard, DramStandard::LPDDR3);
+    EXPECT_EQ(p.tCL, 12u);
+    EXPECT_EQ(p.tCWL, 6u);
+    EXPECT_EQ(p.tCCD_S, 4u);
+    EXPECT_EQ(p.tCCD_L, 4u);
+    EXPECT_EQ(p.tRC, 51u);
+    EXPECT_EQ(p.tRP, 16u);
+    EXPECT_EQ(p.tRCD, 15u);
+    EXPECT_EQ(p.tRAS, 34u);
+    EXPECT_EQ(p.tFAW, 40u);
+    EXPECT_EQ(p.tREFI, 3120u);
+    EXPECT_EQ(p.tRFC, 104u);
+    // No bank groups: the short and long variants coincide.
+    EXPECT_EQ(p.bankGroups, 1u);
+    EXPECT_EQ(p.banks(), 8u);
+    EXPECT_EQ(p.tCCD_S, p.tCCD_L);
+    EXPECT_EQ(p.tWTR_S, p.tWTR_L);
+    EXPECT_EQ(p.tRRD_S, p.tRRD_L);
+    EXPECT_EQ(p.pageBytes, 4096u);
+}
+
+TEST(Timing, Ddr3HasNoBankGroups)
+{
+    const auto p = TimingParams::ddr3_1600();
+    EXPECT_EQ(p.standard, DramStandard::DDR3);
+    EXPECT_EQ(p.bankGroups, 1u);
+    EXPECT_EQ(p.banks(), 8u);
+    EXPECT_EQ(p.tCCD_S, p.tCCD_L);
+    EXPECT_EQ(p.tRRD_S, p.tRRD_L);
+    EXPECT_EQ(p.tWTR_S, p.tWTR_L);
+    EXPECT_EQ(p.tCL, 11u);
+    EXPECT_DOUBLE_EQ(p.clockNs, 1.25);
+    // Same page geometry as the DDR4 rank it is compared against.
+    EXPECT_EQ(p.pageBytes, TimingParams::ddr4_3200().pageBytes);
+}
+
+TEST(Timing, BankGroupHelpers)
+{
+    const auto p = TimingParams::ddr4_3200();
+    EXPECT_EQ(p.ccd(true), p.tCCD_L);
+    EXPECT_EQ(p.ccd(false), p.tCCD_S);
+    EXPECT_EQ(p.rrd(true), p.tRRD_L);
+    EXPECT_EQ(p.rrd(false), p.tRRD_S);
+    EXPECT_EQ(p.wtr(true), p.tWTR_L);
+    EXPECT_EQ(p.wtr(false), p.tWTR_S);
+}
+
+TEST(Timing, LinesPerRow)
+{
+    EXPECT_EQ(TimingParams::ddr4_3200().linesPerRow(), 128u);
+    EXPECT_EQ(TimingParams::lpddr3_1600().linesPerRow(), 64u);
+}
+
+TEST(Timing, BankGroupTimingsAreOrdered)
+{
+    const auto p = TimingParams::ddr4_3200();
+    // Same-group constraints are never looser than cross-group ones.
+    EXPECT_GE(p.tCCD_L, p.tCCD_S);
+    EXPECT_GE(p.tRRD_L, p.tRRD_S);
+    EXPECT_GE(p.tWTR_L, p.tWTR_S);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "controller_fixture.hh"
+
+namespace mil
+{
+namespace
+{
+
+struct VectorTracer : Tracer
+{
+    void
+    traceEvent(const TraceEvent &event) override
+    {
+        events.push_back(event);
+    }
+
+    std::vector<TraceEvent> events;
+
+    unsigned
+    count(TraceEvent::Kind kind) const
+    {
+        unsigned n = 0;
+        for (const auto &e : events)
+            if (e.kind == kind)
+                ++n;
+        return n;
+    }
+};
+
+ControllerConfig
+noRefresh()
+{
+    ControllerConfig cfg;
+    cfg.refreshEnabled = false;
+    return cfg;
+}
+
+TEST(Trace, CapturesCommandSequence)
+{
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    VectorTracer tracer;
+    f.ctrl_.setTracer(&tracer);
+    f.read(0, 0, 0, 5, 0);
+    f.read(0, 0, 0, 5, 1);
+    f.read(0, 0, 0, 9, 0); // Conflict: PRE + ACT.
+    f.run();
+
+    EXPECT_EQ(tracer.count(TraceEvent::Kind::Activate), 2u);
+    EXPECT_EQ(tracer.count(TraceEvent::Kind::Precharge), 1u);
+    EXPECT_EQ(tracer.count(TraceEvent::Kind::Read), 3u);
+    EXPECT_EQ(tracer.count(TraceEvent::Kind::Write), 0u);
+
+    // Events are emitted in issue order with monotone cycles.
+    for (std::size_t i = 1; i < tracer.events.size(); ++i)
+        EXPECT_GE(tracer.events[i].cycle, tracer.events[i - 1].cycle);
+
+    // The first event is the ACT of row 5; the first RD carries the
+    // DBI scheme and a sensible data window.
+    EXPECT_EQ(tracer.events.front().kind, TraceEvent::Kind::Activate);
+    for (const auto &e : tracer.events) {
+        if (e.kind == TraceEvent::Kind::Read) {
+            EXPECT_EQ(e.scheme, "DBI");
+            EXPECT_EQ(e.dataEnd - e.dataStart, 4u); // BL8 burst.
+            EXPECT_GT(e.dataStart, e.cycle);
+            break;
+        }
+    }
+}
+
+TEST(Trace, MnemonicsAndSchemesUnderMil)
+{
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh(),
+                        policies::mil(8));
+    VectorTracer tracer;
+    f.ctrl_.setTracer(&tracer);
+    f.read(0, 0, 0, 5, 0);
+    f.run();
+    bool saw_long_read = false;
+    for (const auto &e : tracer.events) {
+        if (e.kind == TraceEvent::Kind::Read) {
+            EXPECT_STREQ(e.mnemonic(), "RD");
+            EXPECT_EQ(e.scheme, "3-LWC"); // Isolated read: long slot.
+            EXPECT_EQ(e.dataEnd - e.dataStart, 8u); // BL16.
+            saw_long_read = true;
+        }
+    }
+    EXPECT_TRUE(saw_long_read);
+}
+
+TEST(Trace, RefreshAndPowerDownEvents)
+{
+    ControllerConfig cfg;
+    cfg.powerDownEnabled = true;
+    cfg.powerDownIdleCycles = 16;
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+    VectorTracer tracer;
+    f.ctrl_.setTracer(&tracer);
+    f.runFor(f.timing_.tREFI + f.timing_.tRFC + 100);
+    EXPECT_GE(tracer.count(TraceEvent::Kind::Refresh), 1u);
+    EXPECT_GE(tracer.count(TraceEvent::Kind::PowerDownEnter), 2u);
+    EXPECT_GE(tracer.count(TraceEvent::Kind::PowerDownExit), 1u);
+}
+
+TEST(Trace, DetachStopsEvents)
+{
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    VectorTracer tracer;
+    f.ctrl_.setTracer(&tracer);
+    f.read(0, 0, 0, 5, 0);
+    f.run();
+    const auto count = tracer.events.size();
+    EXPECT_GT(count, 0u);
+    f.ctrl_.setTracer(nullptr);
+    f.read(0, 0, 0, 5, 1);
+    f.run();
+    EXPECT_EQ(tracer.events.size(), count);
+}
+
+TEST(Trace, MnemonicsComplete)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Activate;
+    EXPECT_STREQ(e.mnemonic(), "ACT");
+    e.kind = TraceEvent::Kind::Precharge;
+    EXPECT_STREQ(e.mnemonic(), "PRE");
+    e.kind = TraceEvent::Kind::Write;
+    EXPECT_STREQ(e.mnemonic(), "WR");
+    e.kind = TraceEvent::Kind::Refresh;
+    EXPECT_STREQ(e.mnemonic(), "REF");
+    e.kind = TraceEvent::Kind::PowerDownEnter;
+    EXPECT_STREQ(e.mnemonic(), "PDE");
+    e.kind = TraceEvent::Kind::PowerDownExit;
+    EXPECT_STREQ(e.mnemonic(), "PDX");
+}
+
+TEST(ClosedPage, AutoPrechargeAfterColumn)
+{
+    ControllerConfig cfg = noRefresh();
+    cfg.pagePolicy = PagePolicy::Closed;
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+    VectorTracer tracer;
+    f.ctrl_.setTracer(&tracer);
+    const ReqId a = f.read(0, 0, 0, 5, 0);
+    f.run();
+    const ReqId b = f.read(0, 0, 0, 5, 1); // Same row, but bank closed.
+    f.run();
+    EXPECT_EQ(tracer.count(TraceEvent::Kind::Activate), 2u);
+    // No FR-FCFS row-hit benefit under closed-page.
+    EXPECT_GT(f.respTime(b) - f.respTime(a), 40u);
+}
+
+TEST(ClosedPage, OpenPageKeepsRowHits)
+{
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    VectorTracer tracer;
+    f.ctrl_.setTracer(&tracer);
+    f.read(0, 0, 0, 5, 0);
+    f.run();
+    f.read(0, 0, 0, 5, 1);
+    f.run();
+    EXPECT_EQ(tracer.count(TraceEvent::Kind::Activate), 1u);
+}
+
+TEST(ClosedPage, DataIntegrity)
+{
+    ControllerConfig cfg = noRefresh();
+    cfg.pagePolicy = PagePolicy::Closed;
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg,
+                        policies::mil(8));
+    MemRequest wr = f.makeRequest(0, 0, 0, 5, 0, true);
+    wr.data.fill(0x3B);
+    EXPECT_TRUE(f.ctrl_.enqueue(wr, nullptr));
+    f.run();
+    MemRequest rd = f.makeRequest(0, 0, 0, 5, 0, false);
+    rd.lineAddr = wr.lineAddr;
+    rd.coord = wr.coord;
+    EXPECT_TRUE(f.ctrl_.enqueue(rd, &f.sink_));
+    f.run();
+    EXPECT_EQ(f.sink_.payloads[rd.id][17], 0x3B);
+}
+
+} // anonymous namespace
+} // namespace mil

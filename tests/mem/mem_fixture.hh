@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Test doubles for the cache hierarchy: a scriptable downstream memory
+ * with configurable latency, and a recording client.
+ */
+
+#ifndef MIL_TESTS_MEM_MEM_FIXTURE_HH
+#define MIL_TESTS_MEM_MEM_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mem/mem_types.hh"
+
+namespace mil
+{
+
+/** Downstream stub: completes reads after a fixed latency. */
+class StubMemory : public MemLevel
+{
+  public:
+    explicit StubMemory(Cycle latency = 20) : latency_(latency) {}
+
+    bool
+    access(const MemAccess &acc, MemClient *client) override
+    {
+        if (blocked)
+            return false;
+        ++accesses;
+        log.push_back(acc);
+        if (acc.isWriteback) {
+            ++writebacks;
+            return true;
+        }
+        pending_.push_back({now_ + latency_, acc.token, client});
+        return true;
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        now_ = now;
+        for (std::size_t i = 0; i < pending_.size();) {
+            if (pending_[i].when <= now) {
+                auto p = pending_[i];
+                pending_[i] = pending_.back();
+                pending_.pop_back();
+                if (p.client != nullptr)
+                    p.client->accessDone(p.token, now);
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    bool busy() const override { return !pending_.empty(); }
+
+    bool blocked = false;
+    unsigned accesses = 0;
+    unsigned writebacks = 0;
+    std::vector<MemAccess> log;
+
+  private:
+    struct Pending
+    {
+        Cycle when;
+        std::uint64_t token;
+        MemClient *client;
+    };
+
+    Cycle latency_;
+    Cycle now_ = 0;
+    std::vector<Pending> pending_;
+};
+
+/** Client recording completion times by token. */
+class RecordingClient : public MemClient
+{
+  public:
+    void
+    accessDone(std::uint64_t token, Cycle now) override
+    {
+        completions[token] = now;
+        ++count;
+    }
+
+    bool done(std::uint64_t token) const { return completions.count(token); }
+
+    std::map<std::uint64_t, Cycle> completions;
+    unsigned count = 0;
+};
+
+} // namespace mil
+
+#endif // MIL_TESTS_MEM_MEM_FIXTURE_HH

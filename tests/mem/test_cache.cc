@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem_fixture.hh"
+
+namespace mil
+{
+namespace
+{
+
+CacheParams
+smallL1()
+{
+    CacheParams p;
+    p.name = "L1";
+    p.sizeBytes = 1024; // 4 sets x 4 ways.
+    p.ways = 4;
+    p.hitLatency = 1;
+    p.mshrs = 4;
+    return p;
+}
+
+struct CacheHarness
+{
+    CacheHarness() : mem(20), cache(smallL1(), &mem) {}
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle c = 0; c < cycles; ++c) {
+            mem.tick(now);
+            cache.tick(now);
+            ++now;
+        }
+    }
+
+    bool
+    load(Addr addr, std::uint64_t token)
+    {
+        MemAccess acc;
+        acc.lineAddr = addr;
+        acc.token = token;
+        return cache.access(acc, &client);
+    }
+
+    bool
+    store(Addr addr, std::uint64_t token)
+    {
+        MemAccess acc;
+        acc.lineAddr = addr;
+        acc.isWrite = true;
+        acc.token = token;
+        return cache.access(acc, &client);
+    }
+
+    StubMemory mem;
+    Cache cache;
+    RecordingClient client;
+    Cycle now = 0;
+};
+
+TEST(Cache, ColdMissFetchesAndFills)
+{
+    CacheHarness h;
+    EXPECT_TRUE(h.load(0x1000, 1));
+    h.run(60);
+    EXPECT_TRUE(h.client.done(1));
+    EXPECT_EQ(h.cache.stats().misses, 1u);
+    EXPECT_EQ(h.mem.accesses, 1u);
+    EXPECT_TRUE(h.cache.probe(0x1000));
+}
+
+TEST(Cache, SecondAccessHits)
+{
+    CacheHarness h;
+    h.load(0x1000, 1);
+    h.run(60);
+    h.load(0x1000, 2);
+    h.run(10);
+    EXPECT_TRUE(h.client.done(2));
+    EXPECT_EQ(h.cache.stats().hits, 1u);
+    EXPECT_EQ(h.mem.accesses, 1u); // No second fetch.
+}
+
+TEST(Cache, HitLatencyIsRespected)
+{
+    CacheHarness h;
+    h.load(0x1000, 1);
+    h.run(60);
+    // The access is issued between ticks: the cache timestamps it at
+    // its last tick (h.now - 1), so the response lands at
+    // (h.now - 1) + hitLatency.
+    const Cycle issue = h.now - 1;
+    h.load(0x1000, 2);
+    h.run(10);
+    EXPECT_EQ(h.client.completions[2], issue + smallL1().hitLatency);
+}
+
+TEST(Cache, MshrMergesSameLine)
+{
+    CacheHarness h;
+    h.load(0x1000, 1);
+    h.load(0x1040, 2); // Different line.
+    h.load(0x1000, 3); // Merges with token 1's MSHR.
+    h.run(80);
+    EXPECT_TRUE(h.client.done(1));
+    EXPECT_TRUE(h.client.done(3));
+    EXPECT_EQ(h.mem.accesses, 2u);
+    EXPECT_EQ(h.cache.stats().mshrMerges, 1u);
+}
+
+TEST(Cache, MshrLimitBlocks)
+{
+    CacheHarness h;
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_TRUE(h.load(0x1000 + i * 64, i));
+    EXPECT_FALSE(h.load(0x2000, 99)); // Fifth distinct line: blocked.
+    EXPECT_EQ(h.cache.stats().blockedAccesses, 1u);
+    h.run(80);
+    EXPECT_TRUE(h.load(0x2000, 99)); // Retry succeeds after fills.
+}
+
+TEST(Cache, LruEviction)
+{
+    CacheHarness h;
+    // 4 ways per set; lines 64*4 sets apart share a set.
+    const Addr set_stride = 4 * 64;
+    for (unsigned i = 0; i < 4; ++i) {
+        h.load(0x0 + i * set_stride, i);
+        h.run(40);
+    }
+    // Touch line 0 so line 1 becomes LRU.
+    h.load(0x0, 10);
+    h.run(10);
+    // A fifth line evicts the LRU (line 1).
+    h.load(4 * set_stride, 11);
+    h.run(40);
+    EXPECT_TRUE(h.cache.probe(0x0));
+    EXPECT_FALSE(h.cache.probe(set_stride));
+    EXPECT_TRUE(h.cache.probe(4 * set_stride));
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    CacheHarness h;
+    const Addr set_stride = 4 * 64;
+    h.store(0x0, 1); // Write-allocate: fetch then dirty.
+    h.run(40);
+    for (unsigned i = 1; i <= 4; ++i) {
+        h.load(i * set_stride, 10 + i);
+        h.run(40);
+    }
+    EXPECT_EQ(h.mem.writebacks, 1u);
+    EXPECT_EQ(h.cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionSilent)
+{
+    CacheHarness h;
+    const Addr set_stride = 4 * 64;
+    for (unsigned i = 0; i <= 4; ++i) {
+        h.load(i * set_stride, i);
+        h.run(40);
+    }
+    EXPECT_EQ(h.mem.writebacks, 0u);
+}
+
+TEST(Cache, StoreMissRequestsWritePermission)
+{
+    CacheHarness h;
+    h.store(0x1000, 1);
+    h.run(60);
+    ASSERT_EQ(h.mem.log.size(), 1u);
+    EXPECT_TRUE(h.mem.log[0].isWrite);
+    EXPECT_FALSE(h.mem.log[0].isWriteback);
+}
+
+TEST(Cache, UpgradeOnStoreToSharedLine)
+{
+    CacheHarness h;
+    h.load(0x1000, 1); // Fills non-writable (private cache mode).
+    h.run(60);
+    h.store(0x1000, 2); // Needs an upgrade.
+    h.run(60);
+    EXPECT_TRUE(h.client.done(2));
+    EXPECT_EQ(h.cache.stats().upgrades, 1u);
+    EXPECT_EQ(h.mem.accesses, 2u);
+}
+
+TEST(Cache, StoreAfterUpgradeHits)
+{
+    CacheHarness h;
+    h.store(0x1000, 1);
+    h.run(60);
+    h.store(0x1000, 2);
+    h.run(10);
+    EXPECT_TRUE(h.client.done(2));
+    EXPECT_EQ(h.cache.stats().upgrades, 0u);
+    EXPECT_EQ(h.mem.accesses, 1u);
+}
+
+TEST(Cache, RetriesWhenDownstreamBlocked)
+{
+    CacheHarness h;
+    h.mem.blocked = true;
+    h.load(0x1000, 1);
+    h.run(10);
+    EXPECT_FALSE(h.client.done(1));
+    h.mem.blocked = false;
+    h.run(60);
+    EXPECT_TRUE(h.client.done(1));
+}
+
+TEST(Cache, BusyReflectsOutstandingWork)
+{
+    CacheHarness h;
+    EXPECT_FALSE(h.cache.busy());
+    h.load(0x1000, 1);
+    EXPECT_TRUE(h.cache.busy());
+    h.run(80);
+    EXPECT_FALSE(h.cache.busy());
+}
+
+TEST(Cache, InvalidateLine)
+{
+    CacheHarness h;
+    h.load(0x1000, 1);
+    h.run(60);
+    EXPECT_FALSE(h.cache.invalidateLine(0x1000)); // Clean.
+    EXPECT_FALSE(h.cache.probe(0x1000));
+    EXPECT_FALSE(h.cache.invalidateLine(0x9999)); // Absent: no-op.
+}
+
+TEST(Cache, InvalidateDirtyReportsDirty)
+{
+    CacheHarness h;
+    h.store(0x1000, 1);
+    h.run(60);
+    EXPECT_TRUE(h.cache.invalidateLine(0x1000));
+}
+
+TEST(Cache, DowngradeClearsWritePermission)
+{
+    CacheHarness h;
+    h.store(0x1000, 1);
+    h.run(60);
+    EXPECT_TRUE(h.cache.downgradeLine(0x1000));
+    // Line still present but a store now needs an upgrade.
+    EXPECT_TRUE(h.cache.probe(0x1000));
+    h.store(0x1000, 2);
+    h.run(60);
+    EXPECT_EQ(h.cache.stats().upgrades, 1u);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem_fixture.hh"
+
+namespace mil
+{
+namespace
+{
+
+/** Two private L1s under an inclusive shared L2 over a stub memory. */
+struct CoherenceHarness
+{
+    CoherenceHarness() : mem(20)
+    {
+        CacheParams l2p;
+        l2p.name = "L2";
+        l2p.sizeBytes = 8 * 1024;
+        l2p.ways = 4;
+        l2p.hitLatency = 4;
+        l2p.mshrs = 8;
+        l2p.inclusiveOfL1s = true;
+        l2 = std::make_unique<Cache>(l2p, &mem);
+
+        CacheParams l1p;
+        l1p.name = "L1";
+        l1p.sizeBytes = 1024;
+        l1p.ways = 4;
+        l1p.hitLatency = 1;
+        l1p.mshrs = 4;
+        for (unsigned i = 0; i < 2; ++i)
+            l1s.push_back(std::make_unique<Cache>(l1p, l2.get()));
+        l2->setL1s({l1s[0].get(), l1s[1].get()});
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle c = 0; c < cycles; ++c) {
+            mem.tick(now);
+            l2->tick(now);
+            for (auto &l1 : l1s)
+                l1->tick(now);
+            ++now;
+        }
+    }
+
+    bool
+    access(unsigned core, Addr addr, bool is_write, std::uint64_t token)
+    {
+        MemAccess acc;
+        acc.lineAddr = addr;
+        acc.isWrite = is_write;
+        acc.core = core;
+        acc.token = token;
+        return l1s[core]->access(acc, &client);
+    }
+
+    StubMemory mem;
+    std::unique_ptr<Cache> l2;
+    std::vector<std::unique_ptr<Cache>> l1s;
+    RecordingClient client;
+    Cycle now = 0;
+};
+
+TEST(Coherence, TwoReadersShare)
+{
+    CoherenceHarness h;
+    h.access(0, 0x1000, false, 1);
+    h.run(80);
+    h.access(1, 0x1000, false, 2);
+    h.run(80);
+    EXPECT_TRUE(h.client.done(1));
+    EXPECT_TRUE(h.client.done(2));
+    EXPECT_TRUE(h.l1s[0]->probe(0x1000));
+    EXPECT_TRUE(h.l1s[1]->probe(0x1000));
+    // Only one memory fetch: the second reader hit in the L2.
+    EXPECT_EQ(h.mem.accesses, 1u);
+}
+
+TEST(Coherence, WriterInvalidatesReader)
+{
+    CoherenceHarness h;
+    h.access(0, 0x1000, false, 1);
+    h.run(80);
+    h.access(1, 0x1000, true, 2);
+    h.run(80);
+    EXPECT_TRUE(h.client.done(2));
+    // Core 0's copy must be gone; core 1 holds it writable.
+    EXPECT_FALSE(h.l1s[0]->probe(0x1000));
+    EXPECT_TRUE(h.l1s[1]->probe(0x1000));
+    EXPECT_GE(h.l2->stats().invalidationsSent, 1u);
+}
+
+TEST(Coherence, WriterThenReaderDowngrades)
+{
+    CoherenceHarness h;
+    h.access(0, 0x1000, true, 1);
+    h.run(80);
+    h.access(1, 0x1000, false, 2);
+    h.run(80);
+    EXPECT_TRUE(h.client.done(2));
+    // Both keep copies; the old writer lost write permission, so its
+    // next store upgrades.
+    EXPECT_TRUE(h.l1s[0]->probe(0x1000));
+    h.access(0, 0x1000, true, 3);
+    h.run(80);
+    EXPECT_EQ(h.l1s[0]->stats().upgrades, 1u);
+}
+
+TEST(Coherence, PingPongWrites)
+{
+    CoherenceHarness h;
+    for (unsigned round = 0; round < 4; ++round) {
+        const unsigned core = round % 2;
+        h.access(core, 0x2000, true, 100 + round);
+        h.run(100);
+        EXPECT_TRUE(h.client.done(100 + round));
+        EXPECT_TRUE(h.l1s[core]->probe(0x2000));
+        EXPECT_FALSE(h.l1s[1 - core]->probe(0x2000));
+    }
+    // One fetch from memory; the rest is permission traffic.
+    EXPECT_EQ(h.mem.accesses, 1u);
+}
+
+TEST(Coherence, InclusionBackInvalidatesL1)
+{
+    CoherenceHarness h;
+    // L2: 8KB, 4 ways, 32 sets -> same-set stride is 32*64 = 2KB.
+    const Addr stride = 32 * 64;
+    h.access(0, 0x0, false, 1);
+    h.run(80);
+    // Evict that set's ways with 4 more lines (L1 has only 4 sets of
+    // its own, but these map to distinct L1 sets anyway).
+    for (unsigned i = 1; i <= 4; ++i) {
+        h.access(0, i * stride, false, 1 + i);
+        h.run(80);
+    }
+    // Line 0 fell out of the L2, so inclusion forces it out of the L1.
+    EXPECT_FALSE(h.l2->probe(0x0));
+    EXPECT_FALSE(h.l1s[0]->probe(0x0));
+    EXPECT_GE(h.l2->stats().backInvalidations, 1u);
+}
+
+TEST(Coherence, DirtyL1VictimTriggersMemoryWriteback)
+{
+    CoherenceHarness h;
+    h.access(0, 0x0, true, 1); // Dirty in L1.
+    h.run(80);
+    const Addr stride = 32 * 64;
+    for (unsigned i = 1; i <= 4; ++i) {
+        h.access(0, i * stride, false, 1 + i);
+        h.run(80);
+    }
+    // The back-invalidated dirty copy must reach memory.
+    EXPECT_GE(h.mem.writebacks, 1u);
+}
+
+TEST(Coherence, L1WritebackAbsorbedByL2)
+{
+    CoherenceHarness h;
+    h.access(0, 0x0, true, 1);
+    h.run(80);
+    // Evict from the L1 only: L1 is 1KB/4-way -> 4 sets, stride 256.
+    for (unsigned i = 1; i <= 4; ++i) {
+        h.access(0, i * 256, false, 1 + i);
+        h.run(80);
+    }
+    EXPECT_FALSE(h.l1s[0]->probe(0x0));
+    EXPECT_TRUE(h.l2->probe(0x0));
+    // The dirty data stopped at the L2 (no memory writeback yet).
+    EXPECT_EQ(h.mem.writebacks, 0u);
+    EXPECT_GE(h.l1s[0]->stats().writebacks, 1u);
+}
+
+TEST(Coherence, SoleReaderCanBeInvalidatedByWriterMiss)
+{
+    // Writer misses everywhere; reader holds a copy: the directory
+    // must invalidate the reader before granting M.
+    CoherenceHarness h;
+    h.access(1, 0x3000, false, 1);
+    h.run(80);
+    h.access(0, 0x3000, true, 2);
+    h.run(100);
+    EXPECT_FALSE(h.l1s[1]->probe(0x3000));
+    EXPECT_TRUE(h.l1s[0]->probe(0x3000));
+}
+
+} // anonymous namespace
+} // namespace mil

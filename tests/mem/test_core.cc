@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "mem/core.hh"
+#include "mem_fixture.hh"
+
+namespace mil
+{
+namespace
+{
+
+/** Scripted op stream for driving the core in tests. */
+class ScriptStream : public ThreadStream
+{
+  public:
+    explicit ScriptStream(std::vector<CoreMemOp> ops)
+        : ops_(std::move(ops))
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<CoreMemOp> ops_;
+    std::size_t pos_ = 0;
+};
+
+CoreMemOp
+loadOp(Addr addr, bool blocking = false, std::uint32_t gap = 0)
+{
+    CoreMemOp op;
+    op.addr = addr;
+    op.blocking = blocking;
+    op.gap = gap;
+    return op;
+}
+
+CoreMemOp
+storeOp(Addr addr, std::uint64_t value, std::uint32_t gap = 0)
+{
+    CoreMemOp op;
+    op.addr = addr;
+    op.isWrite = true;
+    op.storeValue = value;
+    op.gap = gap;
+    return op;
+}
+
+struct CoreHarness
+{
+    explicit CoreHarness(CoreParams params) : mem(10)
+    {
+        core = std::make_unique<Core>(0, params, &mem, &fmem);
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle c = 0; c < cycles && !core->done(); ++c) {
+            mem.tick(now);
+            core->tick(now);
+            ++now;
+        }
+    }
+
+    StubMemory mem;
+    FunctionalMemory fmem;
+    std::unique_ptr<Core> core;
+    Cycle now = 0;
+};
+
+TEST(Core, RunsStreamToCompletion)
+{
+    CoreParams p;
+    p.threads = 1;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100), loadOp(0x200),
+                               storeOp(0x300, 7)}));
+    h.run(200);
+    EXPECT_TRUE(h.core->done());
+    EXPECT_EQ(h.core->stats().loads, 2u);
+    EXPECT_EQ(h.core->stats().stores, 1u);
+}
+
+TEST(Core, OpQuotaStopsInfiniteStreams)
+{
+    class Infinite : public ThreadStream
+    {
+      public:
+        bool
+        next(CoreMemOp &op) override
+        {
+            op = CoreMemOp{};
+            op.addr = 0x1000;
+            return true;
+        }
+    };
+    CoreParams p;
+    p.threads = 1;
+    p.opQuota = 25;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<Infinite>());
+    h.run(5000);
+    EXPECT_TRUE(h.core->done());
+    EXPECT_EQ(h.core->stats().loads, 25u);
+}
+
+TEST(Core, BlockingLoadStallsThread)
+{
+    CoreParams p;
+    p.threads = 1;
+    CoreHarness h(p);
+    // A blocking load (memory latency 10) then another op: the second
+    // op cannot issue until the first returns.
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100, /*blocking=*/true),
+                               loadOp(0x200)}));
+    h.run(4);
+    EXPECT_EQ(h.core->stats().loads, 1u);
+    h.run(200);
+    EXPECT_EQ(h.core->stats().loads, 2u);
+}
+
+TEST(Core, NonBlockingLoadsOverlap)
+{
+    CoreParams p;
+    p.threads = 1;
+    p.maxOutstandingLoads = 4;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100), loadOp(0x200),
+                               loadOp(0x300)}));
+    h.run(5);
+    // All three issued back-to-back without waiting for data.
+    EXPECT_EQ(h.core->stats().loads, 3u);
+    EXPECT_FALSE(h.core->done()); // Loads still in flight.
+    h.run(100);
+    EXPECT_TRUE(h.core->done());
+}
+
+TEST(Core, OutstandingLoadWindowLimits)
+{
+    CoreParams p;
+    p.threads = 1;
+    p.maxOutstandingLoads = 2;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100), loadOp(0x200),
+                               loadOp(0x300)}));
+    h.run(5);
+    EXPECT_EQ(h.core->stats().loads, 2u); // Third waits for a slot.
+    h.run(100);
+    EXPECT_EQ(h.core->stats().loads, 3u);
+}
+
+TEST(Core, BlockOnEveryLoadMode)
+{
+    CoreParams p;
+    p.threads = 1;
+    p.blockOnEveryLoad = true;
+    p.maxOutstandingLoads = 8;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100), loadOp(0x200)}));
+    h.run(5);
+    EXPECT_EQ(h.core->stats().loads, 1u); // In-order semantics.
+    h.run(100);
+    EXPECT_TRUE(h.core->done());
+}
+
+TEST(Core, ComputeGapsDelayIssue)
+{
+    CoreParams p;
+    p.threads = 1;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100, false, 20)}));
+    h.run(10);
+    EXPECT_EQ(h.core->stats().loads, 0u); // Still computing.
+    h.run(30);
+    EXPECT_EQ(h.core->stats().loads, 1u);
+}
+
+TEST(Core, MultipleThreadsInterleave)
+{
+    CoreParams p;
+    p.threads = 2;
+    p.issueWidth = 1;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100), loadOp(0x140)}));
+    h.core->setStream(1, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x200), loadOp(0x240)}));
+    h.run(200);
+    EXPECT_TRUE(h.core->done());
+    EXPECT_EQ(h.core->stats().loads, 4u);
+}
+
+TEST(Core, StoreUpdatesFunctionalMemory)
+{
+    CoreParams p;
+    p.threads = 1;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{storeOp(0x1008, 0xDEADBEEFull)}));
+    h.run(50);
+    const Line &line = h.fmem.read(0x1000);
+    EXPECT_EQ(load64(line.data() + 8), 0xDEADBEEFull);
+}
+
+TEST(Core, RetriesWhenL1Blocked)
+{
+    CoreParams p;
+    p.threads = 1;
+    CoreHarness h(p);
+    h.mem.blocked = true;
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100)}));
+    h.run(10);
+    EXPECT_EQ(h.core->stats().loads, 0u);
+    EXPECT_GT(h.core->stats().retryCycles, 0u);
+    h.mem.blocked = false;
+    h.run(100);
+    EXPECT_TRUE(h.core->done());
+}
+
+TEST(Core, UnsetStreamCountsAsFinished)
+{
+    CoreParams p;
+    p.threads = 2;
+    CoreHarness h(p);
+    h.core->setStream(0, std::make_unique<ScriptStream>(
+        std::vector<CoreMemOp>{loadOp(0x100)}));
+    // Thread 1 never gets a stream.
+    h.core->setStream(1, nullptr);
+    h.run(100);
+    EXPECT_TRUE(h.core->done());
+}
+
+} // anonymous namespace
+} // namespace mil

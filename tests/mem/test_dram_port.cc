@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram_port.hh"
+#include "mem_fixture.hh"
+#include "mil/policies.hh"
+
+namespace mil
+{
+namespace
+{
+
+struct PortHarness
+{
+    PortHarness()
+        : timing(TimingParams::ddr4_3200()), map(timing, 2),
+          policy(std::make_unique<DbiPolicy>())
+    {
+        ControllerConfig cfg;
+        cfg.refreshEnabled = false;
+        for (unsigned ch = 0; ch < 2; ++ch)
+            ctrls.push_back(std::make_unique<MemoryController>(
+                timing, cfg, &fmem, policy.get()));
+        port = std::make_unique<DramPort>(
+            map, std::vector<MemoryController *>{ctrls[0].get(),
+                                                 ctrls[1].get()},
+            &fmem);
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle c = 0; c < cycles; ++c) {
+            for (auto &ctrl : ctrls)
+                ctrl->tick(now);
+            port->tick(now);
+            ++now;
+        }
+    }
+
+    TimingParams timing;
+    AddressMap map;
+    FunctionalMemory fmem;
+    std::unique_ptr<CodingPolicy> policy;
+    std::vector<std::unique_ptr<MemoryController>> ctrls;
+    std::unique_ptr<DramPort> port;
+    RecordingClient client;
+    Cycle now = 0;
+};
+
+TEST(DramPort, RoutesByChannelBit)
+{
+    PortHarness h;
+    MemAccess a;
+    a.lineAddr = 0x0; // Channel 0.
+    a.token = 1;
+    EXPECT_TRUE(h.port->access(a, &h.client));
+    MemAccess b;
+    b.lineAddr = 0x40; // Channel 1.
+    b.token = 2;
+    EXPECT_TRUE(h.port->access(b, &h.client));
+    h.run(200);
+    EXPECT_TRUE(h.client.done(1));
+    EXPECT_TRUE(h.client.done(2));
+    EXPECT_EQ(h.ctrls[0]->stats().reads, 1u);
+    EXPECT_EQ(h.ctrls[1]->stats().reads, 1u);
+}
+
+TEST(DramPort, FetchForStoreMissIsARead)
+{
+    // An isWrite access (RFO) must fetch and respond, not post.
+    PortHarness h;
+    MemAccess a;
+    a.lineAddr = 0x1000;
+    a.isWrite = true;
+    a.token = 7;
+    EXPECT_TRUE(h.port->access(a, &h.client));
+    h.run(200);
+    EXPECT_TRUE(h.client.done(7));
+    EXPECT_EQ(h.ctrls[0]->stats().reads, 1u);
+    EXPECT_EQ(h.ctrls[0]->stats().writes, 0u);
+}
+
+TEST(DramPort, WritebackIsPostedWrite)
+{
+    PortHarness h;
+    MemAccess a;
+    a.lineAddr = 0x1000;
+    a.isWrite = true;
+    a.isWriteback = true;
+    a.token = 9;
+    EXPECT_TRUE(h.port->access(a, &h.client));
+    h.run(2000);
+    EXPECT_FALSE(h.client.done(9)); // No response for writebacks.
+    EXPECT_EQ(h.ctrls[0]->stats().writes, 1u);
+    EXPECT_EQ(h.port->writesSent(), 1u);
+}
+
+TEST(DramPort, WritebackCarriesFunctionalData)
+{
+    PortHarness h;
+    Line data;
+    data.fill(0x5C);
+    h.fmem.write(0x2000, data);
+    MemAccess a;
+    a.lineAddr = 0x2000;
+    a.isWriteback = true;
+    EXPECT_TRUE(h.port->access(a, nullptr));
+    h.run(2000);
+    // The burst moved 0x5C bytes; the backing store is unchanged.
+    EXPECT_EQ(h.fmem.read(0x2000)[0], 0x5C);
+    EXPECT_GT(h.ctrls[0]->stats().bitsTransferred, 0u);
+}
+
+TEST(DramPort, BlocksWhenQueueFull)
+{
+    PortHarness h;
+    // Fill channel 0's read queue (64) without ticking.
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < 80; ++i) {
+        MemAccess a;
+        a.lineAddr = static_cast<Addr>(i) * 128; // Even lines: ch 0.
+        a.token = 100 + i;
+        if (h.port->access(a, &h.client))
+            ++accepted;
+    }
+    EXPECT_EQ(accepted, 64u);
+    h.run(5000);
+    EXPECT_EQ(h.client.count, 64u);
+}
+
+TEST(DramPort, BusyTracksOutstanding)
+{
+    PortHarness h;
+    EXPECT_FALSE(h.port->busy());
+    MemAccess a;
+    a.lineAddr = 0x0;
+    a.token = 1;
+    h.port->access(a, &h.client);
+    EXPECT_TRUE(h.port->busy());
+    h.run(200);
+    EXPECT_FALSE(h.port->busy());
+}
+
+} // anonymous namespace
+} // namespace mil

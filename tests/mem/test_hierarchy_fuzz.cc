@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "mem/cache.hh"
+#include "mem_fixture.hh"
+
+namespace mil
+{
+namespace
+{
+
+/*
+ * Randomized coherence stress: four private L1s under the inclusive
+ * L2, driven by random loads and stores over a small line pool so
+ * that sharing, upgrades, back-invalidations, and evictions all fire
+ * constantly. After every quiescent point the protocol invariants are
+ * checked:
+ *
+ *   - single writer: at most one L1 holds a line writable;
+ *   - inclusion: an L1 copy implies an L2 copy;
+ *   - no lost responses: every access eventually completes.
+ */
+
+struct FuzzHarness
+{
+    FuzzHarness() : mem(15)
+    {
+        CacheParams l2p;
+        l2p.name = "L2";
+        l2p.sizeBytes = 4 * 1024;
+        l2p.ways = 4;
+        l2p.hitLatency = 3;
+        l2p.mshrs = 8;
+        l2p.inclusiveOfL1s = true;
+        l2 = std::make_unique<Cache>(l2p, &mem);
+
+        CacheParams l1p;
+        l1p.name = "L1";
+        l1p.sizeBytes = 512;
+        l1p.ways = 2;
+        l1p.hitLatency = 1;
+        l1p.mshrs = 4;
+        std::vector<Cache *> raw;
+        for (unsigned i = 0; i < 4; ++i) {
+            l1s.push_back(std::make_unique<Cache>(l1p, l2.get()));
+            raw.push_back(l1s.back().get());
+        }
+        l2->setL1s(std::move(raw));
+    }
+
+    void
+    tick()
+    {
+        mem.tick(now);
+        l2->tick(now);
+        for (auto &l1 : l1s)
+            l1->tick(now);
+        ++now;
+    }
+
+    bool
+    busy() const
+    {
+        if (l2->busy() || mem.busy())
+            return true;
+        for (const auto &l1 : l1s)
+            if (l1->busy())
+                return true;
+        return false;
+    }
+
+    void
+    checkInvariants(const std::vector<Addr> &lines) const
+    {
+        for (Addr line : lines) {
+            unsigned writers = 0;
+            unsigned holders = 0;
+            for (const auto &l1 : l1s) {
+                if (l1->probe(line)) {
+                    ++holders;
+                    if (l1->probeWritable(line))
+                        ++writers;
+                }
+            }
+            EXPECT_LE(writers, 1u) << "line 0x" << std::hex << line;
+            if (writers == 1)
+                EXPECT_EQ(holders, 1u)
+                    << "writable copy coexists with sharers";
+            if (holders > 0)
+                EXPECT_TRUE(l2->probe(line))
+                    << "inclusion violated for 0x" << std::hex << line;
+        }
+    }
+
+    StubMemory mem;
+    std::unique_ptr<Cache> l2;
+    std::vector<std::unique_ptr<Cache>> l1s;
+    RecordingClient client;
+    Cycle now = 0;
+};
+
+TEST(HierarchyFuzz, RandomSharingPreservesInvariants)
+{
+    FuzzHarness h;
+    Rng rng(0xCAFE);
+
+    // A pool small enough to force both sharing and eviction.
+    std::vector<Addr> lines;
+    for (unsigned i = 0; i < 24; ++i)
+        lines.push_back(0x10000 + i * 64);
+
+    std::uint64_t token = 1;
+    unsigned accepted = 0;
+    for (int step = 0; step < 4000; ++step) {
+        if (rng.chance(0.5)) {
+            MemAccess acc;
+            acc.lineAddr = lines[rng.below(lines.size())];
+            acc.isWrite = rng.chance(0.4);
+            acc.core = static_cast<CoreId>(rng.below(4));
+            acc.token = token;
+            if (h.l1s[acc.core]->access(acc, &h.client)) {
+                ++accepted;
+                ++token;
+            }
+        }
+        h.tick();
+        if ((step & 0x3F) == 0) {
+            // Drain, then audit the protocol state.
+            for (int k = 0; k < 400 && h.busy(); ++k)
+                h.tick();
+            h.checkInvariants(lines);
+        }
+    }
+    for (int k = 0; k < 2000 && h.busy(); ++k)
+        h.tick();
+    EXPECT_FALSE(h.busy());
+    EXPECT_EQ(h.client.count, accepted);
+    h.checkInvariants(lines);
+}
+
+TEST(HierarchyFuzz, WritebacksEventuallyReachMemory)
+{
+    FuzzHarness h;
+    Rng rng(0xD00D);
+    std::uint64_t token = 1;
+    // Dirty many distinct lines, far more than the L2 holds.
+    for (unsigned i = 0; i < 128; ++i) {
+        MemAccess acc;
+        acc.lineAddr = 0x40000 + i * 64;
+        acc.isWrite = true;
+        acc.core = static_cast<CoreId>(rng.below(4));
+        acc.token = token++;
+        while (!h.l1s[acc.core]->access(acc, &h.client))
+            h.tick();
+        for (int k = 0; k < 8; ++k)
+            h.tick();
+    }
+    for (int k = 0; k < 4000 && h.busy(); ++k)
+        h.tick();
+    // The 4KB L2 cannot hold 128 dirty lines: evictions must have
+    // pushed writebacks down to memory.
+    EXPECT_GT(h.mem.writebacks, 60u);
+}
+
+} // anonymous namespace
+} // namespace mil

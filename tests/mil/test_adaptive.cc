@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "coding/milc.hh"
+#include "coding/perfect_lwc.hh"
+#include "coding/three_lwc.hh"
+#include "mil/adaptive_policy.hh"
+#include "mil/policies.hh"
+
+namespace mil
+{
+namespace
+{
+
+AdaptiveMilPolicy
+makePolicyUnderTest(unsigned explore = 4, unsigned exploit = 16)
+{
+    std::vector<CodePtr> longs{std::make_shared<ThreeLwcCode>(),
+                               std::make_shared<PerfectLwcCode>()};
+    return AdaptiveMilPolicy(std::make_shared<MilcCode>(),
+                             std::move(longs), 8, explore, exploit);
+}
+
+TEST(Adaptive, BasicProperties)
+{
+    auto p = makePolicyUnderTest();
+    EXPECT_EQ(p.name(), "MiL-adaptive");
+    EXPECT_EQ(p.lookahead(), 8u);
+    EXPECT_EQ(p.latencyAdder(), 1u);
+    EXPECT_EQ(p.maxBusCycles(), 8u); // BL16.
+    EXPECT_TRUE(p.exploring());
+}
+
+TEST(Adaptive, BusyBusUsesBaseCode)
+{
+    auto p = makePolicyUnderTest();
+    ColumnContext ctx;
+    ctx.othersReadyWithinX = 2;
+    EXPECT_EQ(p.choose(ctx).name(), "MiLC");
+}
+
+TEST(Adaptive, ExploresCandidatesInOrder)
+{
+    auto p = makePolicyUnderTest(/*explore=*/4);
+    ColumnContext idle;
+    idle.othersReadyWithinX = 0;
+    EXPECT_EQ(p.choose(idle).name(), "3-LWC");
+
+    // Feed 4 long-slot observations: epoch advances to candidate 2.
+    ThreeLwcCode lwc;
+    for (int i = 0; i < 4; ++i)
+        p.observe(lwc, 1088, 100);
+    EXPECT_EQ(p.choose(idle).name(), "P3-LWC");
+}
+
+TEST(Adaptive, CommitsToSparserCandidate)
+{
+    auto p = makePolicyUnderTest(/*explore=*/4, /*exploit=*/16);
+    ColumnContext idle;
+    idle.othersReadyWithinX = 0;
+    ThreeLwcCode lwc;
+    PerfectLwcCode p3;
+
+    // Candidate 0 observes dense output, candidate 1 sparse output.
+    for (int i = 0; i < 4; ++i)
+        p.observe(lwc, 1088, 150);
+    for (int i = 0; i < 4; ++i)
+        p.observe(p3, 1088, 40);
+
+    EXPECT_FALSE(p.exploring());
+    EXPECT_EQ(p.currentBest(), 1u);
+    EXPECT_EQ(p.choose(idle).name(), "P3-LWC");
+}
+
+TEST(Adaptive, ReExploresAfterExploitEpoch)
+{
+    auto p = makePolicyUnderTest(/*explore=*/2, /*exploit=*/4);
+    ThreeLwcCode lwc;
+    PerfectLwcCode p3;
+    // Explore both candidates.
+    p.observe(lwc, 1088, 10);
+    p.observe(lwc, 1088, 10);
+    p.observe(p3, 1088, 500);
+    p.observe(p3, 1088, 500);
+    EXPECT_FALSE(p.exploring());
+    EXPECT_EQ(p.currentBest(), 0u);
+    // Exhaust the exploit epoch with winner observations.
+    for (int i = 0; i < 4; ++i)
+        p.observe(lwc, 1088, 10);
+    EXPECT_TRUE(p.exploring());
+}
+
+TEST(Adaptive, BaseCodeObservationsDoNotAdvanceEpochs)
+{
+    auto p = makePolicyUnderTest(/*explore=*/2);
+    MilcCode milc;
+    for (int i = 0; i < 100; ++i)
+        p.observe(milc, 640, 50);
+    EXPECT_TRUE(p.exploring());
+    ColumnContext idle;
+    idle.othersReadyWithinX = 0;
+    EXPECT_EQ(p.choose(idle).name(), "3-LWC"); // Still candidate 0.
+}
+
+TEST(Adaptive, FactoryConstructs)
+{
+    auto p = policies::milAdaptive(8);
+    EXPECT_EQ(p->name(), "MiL-adaptive");
+    EXPECT_EQ(p->latencyAdder(), 1u);
+}
+
+TEST(AdaptiveDeath, MismatchedBurstLengthsRejected)
+{
+    std::vector<CodePtr> longs{std::make_shared<ThreeLwcCode>(),
+                               std::make_shared<MilcCode>()};
+    EXPECT_DEATH(AdaptiveMilPolicy(std::make_shared<MilcCode>(),
+                                   std::move(longs), 8),
+                 "share a burst length");
+}
+
+} // anonymous namespace
+} // namespace mil

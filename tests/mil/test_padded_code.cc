@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "mil/padded_code.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(PaddedCode, Geometry)
+{
+    for (unsigned bl : {10u, 12u, 14u, 16u}) {
+        PaddedSparseCode code(bl);
+        EXPECT_EQ(code.burstLength(), bl);
+        EXPECT_EQ(code.lanes(), 72u);
+        EXPECT_EQ(code.busCycles(), bl / 2);
+        EXPECT_EQ(code.name(), "BL" + std::to_string(bl));
+    }
+}
+
+TEST(PaddedCode, RoundTrip)
+{
+    PaddedSparseCode code(14);
+    Rng rng(8);
+    for (int i = 0; i < 100; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(code.decode(code.encode(line)), line);
+    }
+}
+
+TEST(PaddedCode, PaddingIsFreeOnPodBus)
+{
+    // The padded beats are all ones: zero count equals plain DBI.
+    PaddedSparseCode padded(16);
+    DbiCode dbi;
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        Line line;
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(padded.encode(line).zeroCount(),
+                  dbi.encode(line).zeroCount());
+    }
+}
+
+TEST(PaddedCodeDeath, RejectsSillyLengths)
+{
+    EXPECT_DEATH(PaddedSparseCode code(4), "out of range");
+    EXPECT_DEATH(PaddedSparseCode code(64), "out of range");
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "power/dram_power.hh"
+
+namespace mil
+{
+namespace
+{
+
+ChannelStats
+sampleStats()
+{
+    ChannelStats s;
+    s.totalCycles = 1000000;
+    s.busBusyCycles = 300000;
+    s.reads = 50000;
+    s.writes = 20000;
+    s.activates = 40000;
+    s.rankActiveStandbyCycles = 1200000;
+    s.rankPrechargeStandbyCycles = 780000;
+    s.rankRefreshCycles = 20000;
+    s.bitsTransferred = 70000ull * 576;
+    s.zerosTransferred = 70000ull * 200;
+    return s;
+}
+
+TEST(DramPower, BreakdownSumsToTotal)
+{
+    DramPowerModel model(TimingParams::ddr4_3200(),
+                         DramPowerParams::ddr4());
+    const auto e = model.channelEnergy(sampleStats());
+    EXPECT_NEAR(e.totalMj(),
+                e.backgroundMj + e.activateMj + e.readWriteMj +
+                    e.refreshMj + e.ioMj,
+                1e-12);
+    EXPECT_GT(e.backgroundMj, 0.0);
+    EXPECT_GT(e.activateMj, 0.0);
+    EXPECT_GT(e.readWriteMj, 0.0);
+    EXPECT_GT(e.refreshMj, 0.0);
+    EXPECT_GT(e.ioMj, 0.0);
+}
+
+TEST(DramPower, IoEnergyProportionalToZeros)
+{
+    DramPowerModel model(TimingParams::ddr4_3200(),
+                         DramPowerParams::ddr4());
+    ChannelStats a = sampleStats();
+    ChannelStats b = sampleStats();
+    b.zerosTransferred = a.zerosTransferred / 2;
+    const auto ea = model.channelEnergy(a);
+    const auto eb = model.channelEnergy(b);
+    EXPECT_NEAR(eb.ioMj * 2.0, ea.ioMj, 1e-12);
+    // Non-IO terms unchanged.
+    EXPECT_NEAR(ea.backgroundMj, eb.backgroundMj, 1e-12);
+    EXPECT_NEAR(ea.readWriteMj, eb.readWriteMj, 1e-12);
+}
+
+TEST(DramPower, ArrayEnergyPerAccessNotPerCycle)
+{
+    // Lengthening bursts (more busy cycles, same access count) must
+    // not change the array read/write energy.
+    DramPowerModel model(TimingParams::ddr4_3200(),
+                         DramPowerParams::ddr4());
+    ChannelStats a = sampleStats();
+    ChannelStats b = sampleStats();
+    b.busBusyCycles = a.busBusyCycles * 2;
+    EXPECT_NEAR(model.channelEnergy(a).readWriteMj,
+                model.channelEnergy(b).readWriteMj, 1e-12);
+}
+
+TEST(DramPower, BackgroundScalesWithResidency)
+{
+    DramPowerModel model(TimingParams::ddr4_3200(),
+                         DramPowerParams::ddr4());
+    ChannelStats a = sampleStats();
+    ChannelStats b = sampleStats();
+    b.rankActiveStandbyCycles *= 2;
+    EXPECT_GT(model.channelEnergy(b).backgroundMj,
+              model.channelEnergy(a).backgroundMj);
+}
+
+TEST(DramPower, ActiveStandbyCostsMoreThanPrecharge)
+{
+    const auto p = DramPowerParams::ddr4();
+    EXPECT_GT(p.pActStandbyMw, p.pPreStandbyMw);
+    const auto lp = DramPowerParams::lpddr3();
+    EXPECT_GT(lp.pActStandbyMw, lp.pPreStandbyMw);
+}
+
+TEST(DramPower, Lpddr3BackgroundMuchLowerThanDdr4)
+{
+    // The architectural premise of Section 7.4: LPDDR3 standby power
+    // is aggressively optimized, so IO dominates its energy.
+    EXPECT_LT(DramPowerParams::lpddr3().pPreStandbyMw * 3,
+              DramPowerParams::ddr4().pPreStandbyMw);
+}
+
+TEST(DramPower, IoFractionHelper)
+{
+    DramEnergyBreakdown e;
+    e.ioMj = 2.0;
+    e.backgroundMj = 6.0;
+    EXPECT_DOUBLE_EQ(e.ioFraction(), 0.25);
+    DramEnergyBreakdown zero;
+    EXPECT_DOUBLE_EQ(zero.ioFraction(), 0.0);
+}
+
+TEST(DramPower, BreakdownAccumulates)
+{
+    DramEnergyBreakdown a;
+    a.ioMj = 1.0;
+    a.backgroundMj = 2.0;
+    DramEnergyBreakdown b;
+    b.ioMj = 0.5;
+    b.refreshMj = 0.25;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.ioMj, 1.5);
+    EXPECT_DOUBLE_EQ(a.refreshMj, 0.25);
+    EXPECT_DOUBLE_EQ(a.totalMj(), 3.75);
+}
+
+} // anonymous namespace
+} // namespace mil

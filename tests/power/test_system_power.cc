@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "power/system_power.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(SystemPower, ProcessorEnergyScalesWithTime)
+{
+    SystemPowerModel model(SystemPowerParams::microserver(), 0.625);
+    DramEnergyBreakdown dram;
+    const auto e1 = model.energy(1000000, dram);
+    const auto e2 = model.energy(2000000, dram);
+    EXPECT_NEAR(e1.processorMj * 2.0, e2.processorMj, 1e-9);
+}
+
+TEST(SystemPower, TotalIncludesDram)
+{
+    SystemPowerModel model(SystemPowerParams::microserver(), 0.625);
+    DramEnergyBreakdown dram;
+    dram.ioMj = 5.0;
+    dram.backgroundMj = 10.0;
+    const auto e = model.energy(1000000, dram);
+    EXPECT_NEAR(e.totalMj(), e.processorMj + 15.0, 1e-9);
+    EXPECT_GT(e.dramFraction(), 0.0);
+    EXPECT_LT(e.dramFraction(), 1.0);
+}
+
+TEST(SystemPower, MobileCoresAreMoreEfficient)
+{
+    EXPECT_LT(SystemPowerParams::mobile().corePowerW,
+              SystemPowerParams::microserver().corePowerW / 2);
+}
+
+TEST(SystemPower, SlowdownCostsProcessorEnergy)
+{
+    // The decision-logic trade-off: a 5% longer run burns ~5% more
+    // processor (and background) energy, which can wipe out IO savings.
+    SystemPowerModel model(SystemPowerParams::mobile(), 1.25);
+    DramEnergyBreakdown dram;
+    const auto base = model.energy(1000000, dram);
+    const auto slow = model.energy(1050000, dram);
+    EXPECT_NEAR(slow.processorMj / base.processorMj, 1.05, 1e-9);
+}
+
+TEST(SystemPower, DramFractionOfZeroTotal)
+{
+    SystemPowerModel model(SystemPowerParams::mobile(), 1.25);
+    DramEnergyBreakdown dram;
+    const auto e = model.energy(0, dram);
+    EXPECT_DOUBLE_EQ(e.totalMj(), 0.0);
+    EXPECT_DOUBLE_EQ(e.dramFraction(), 0.0);
+}
+
+} // anonymous namespace
+} // namespace mil

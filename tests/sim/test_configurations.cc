@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "mil/policies.hh"
+#include "sim/system.hh"
+
+namespace mil
+{
+namespace
+{
+
+/*
+ * Configuration-matrix sweep: every controller option combination
+ * must complete, preserve the accounting identities, and keep data
+ * integrity (verifyData asserts inside the controller on every
+ * burst). This is the guard against option interactions -- e.g.
+ * power-down racing refresh, closed-page under MiL's extended
+ * bursts -- regressing silently.
+ */
+
+struct ConfigCase
+{
+    std::string name;
+    std::string system;
+    std::string policy;
+    PagePolicy page;
+    bool powerDown;
+};
+
+class ConfigMatrix : public ::testing::TestWithParam<ConfigCase>
+{
+};
+
+TEST_P(ConfigMatrix, CompletesWithConsistentAccounting)
+{
+    const ConfigCase &c = GetParam();
+    SystemConfig config = c.system == "ddr4"
+        ? SystemConfig::microserver()
+        : SystemConfig::mobile();
+    config.controller.pagePolicy = c.page;
+    config.controller.powerDownEnabled = c.powerDown;
+    config.controller.powerDownIdleCycles = 24;
+
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const auto wl = makeWorkload("SCALPARC", wc);
+
+    std::unique_ptr<CodingPolicy> policy;
+    if (c.policy == "DBI")
+        policy = policies::dbi();
+    else if (c.policy == "MiL")
+        policy = policies::mil(8);
+    else if (c.policy == "MiL-adaptive")
+        policy = policies::milAdaptive(8);
+    else
+        policy = policies::cafo(2);
+
+    System system(config, *wl, policy.get(), 300);
+    const SimResult r = system.run();
+
+    const unsigned threads =
+        c.system == "ddr4" ? 8u * 4u : 8u * 1u;
+    EXPECT_EQ(r.totalOps, 300u * threads);
+    EXPECT_GT(r.bus.reads, 0u);
+    for (const auto &ch : r.perChannel) {
+        EXPECT_EQ(ch.totalCycles,
+                  ch.busBusyCycles + ch.idlePendingCycles +
+                      ch.idleNoPendingCycles);
+    }
+    std::uint64_t bursts = 0;
+    for (const auto &[name, usage] : r.bus.schemes)
+        bursts += usage.bursts;
+    EXPECT_EQ(bursts, r.bus.reads + r.bus.writes);
+    if (!c.powerDown)
+        EXPECT_EQ(r.bus.rankPowerDownCycles, 0u);
+    EXPECT_GT(r.systemEnergy.totalMj(), 0.0);
+}
+
+std::vector<ConfigCase>
+allCases()
+{
+    std::vector<ConfigCase> cases;
+    for (const std::string system : {"ddr4", "lpddr3"}) {
+        for (const std::string policy :
+             {"DBI", "MiL", "MiL-adaptive", "CAFO2"}) {
+            for (const PagePolicy page :
+                 {PagePolicy::Open, PagePolicy::Closed}) {
+                for (const bool pd : {false, true}) {
+                    ConfigCase c;
+                    c.system = system;
+                    c.policy = policy;
+                    c.page = page;
+                    c.powerDown = pd;
+                    c.name = system + "_" + policy + "_" +
+                        (page == PagePolicy::Open ? "open" : "closed") +
+                        (pd ? "_pd" : "_nopd");
+                    for (auto &ch : c.name)
+                        if (ch == '-')
+                            ch = '_';
+                    cases.push_back(std::move(c));
+                }
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConfigMatrix, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<ConfigCase> &info) {
+        return info.param.name;
+    });
+
+TEST(ConfigMatrix, ClosedPageCostsRowHits)
+{
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const auto wl = makeWorkload("SWIM", wc); // Streaming: hit-heavy.
+    SystemConfig open_cfg = SystemConfig::microserver();
+    SystemConfig closed_cfg = open_cfg;
+    closed_cfg.controller.pagePolicy = PagePolicy::Closed;
+
+    auto p1 = policies::dbi();
+    auto p2 = policies::dbi();
+    System open_sys(open_cfg, *wl, p1.get(), 400);
+    System closed_sys(closed_cfg, *wl, p2.get(), 400);
+    const SimResult open_r = open_sys.run();
+    const SimResult closed_r = closed_sys.run();
+
+    // Closed-page auto-precharges after every access, so each column
+    // command needs its own ACT; open-page amortizes ACTs over row
+    // hits.
+    EXPECT_EQ(closed_r.bus.activates,
+              closed_r.bus.reads + closed_r.bus.writes);
+    EXPECT_LT(open_r.bus.activates,
+              open_r.bus.reads + open_r.bus.writes);
+    EXPECT_GE(closed_r.cycles, open_r.cycles);
+}
+
+} // anonymous namespace
+} // namespace mil

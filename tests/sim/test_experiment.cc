@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+
+namespace mil
+{
+namespace
+{
+
+class ExperimentEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Keep the experiment helpers tiny inside the test binary.
+        setenv("MIL_OPS_PER_THREAD", "150", 1);
+        setenv("MIL_SCALE", "0.1", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("MIL_OPS_PER_THREAD");
+        unsetenv("MIL_SCALE");
+    }
+};
+
+TEST_F(ExperimentEnv, PolicyFactoryKnowsAllNames)
+{
+    EXPECT_EQ(makePolicy("DBI")->name(), "DBI");
+    EXPECT_EQ(makePolicy("MiL")->name(), "MiL");
+    EXPECT_EQ(makePolicy("MiL-nowopt")->name(), "MiL");
+    EXPECT_EQ(makePolicy("MiLC")->name(), "MiLC-only");
+    EXPECT_EQ(makePolicy("CAFO2")->name(), "CAFO2-only");
+    EXPECT_EQ(makePolicy("CAFO4")->name(), "CAFO4-only");
+    EXPECT_EQ(makePolicy("3LWC")->name(), "3-LWC-only");
+    EXPECT_EQ(makePolicy("BL12")->maxBusCycles(), 6u);
+}
+
+TEST_F(ExperimentEnv, SystemFactory)
+{
+    EXPECT_EQ(makeSystemConfig("ddr4").timing.standard,
+              DramStandard::DDR4);
+    EXPECT_EQ(makeSystemConfig("lpddr3").timing.standard,
+              DramStandard::LPDDR3);
+}
+
+TEST_F(ExperimentEnv, DefaultsReadEnvironment)
+{
+    EXPECT_EQ(defaultOpsPerThread(), 150u);
+    EXPECT_DOUBLE_EQ(defaultScale(), 0.1);
+}
+
+TEST_F(ExperimentEnv, RunSpecIsMemoized)
+{
+    RunSpec spec;
+    spec.system = "ddr4";
+    spec.workload = "MM";
+    spec.policy = "DBI";
+    const SimResult &a = runSpec(spec);
+    const SimResult &b = runSpec(spec);
+    EXPECT_EQ(&a, &b); // Same cached object.
+    EXPECT_GT(a.cycles, 0u);
+}
+
+TEST_F(ExperimentEnv, KeyDistinguishesFields)
+{
+    RunSpec a;
+    RunSpec b = a;
+    b.policy = "MiL";
+    EXPECT_NE(a.key(), b.key());
+    RunSpec c = a;
+    c.lookahead = 14;
+    EXPECT_NE(a.key(), c.key());
+}
+
+TEST(Experiment, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 10.0}), std::sqrt(10.0), 1e-12);
+}
+
+} // anonymous namespace
+} // namespace mil

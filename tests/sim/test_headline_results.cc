@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mil/policies.hh"
+#include "sim/system.hh"
+
+namespace mil
+{
+namespace
+{
+
+/*
+ * Shape-regression guard: the qualitative results the reproduction
+ * exists for (EXPERIMENTS.md), asserted at reduced scale so the suite
+ * stays fast. Bands are deliberately loose -- they flag "the paper's
+ * conclusion broke", not "a number moved 2%".
+ */
+
+struct Pair
+{
+    SimResult dbi;
+    SimResult mil;
+};
+
+Pair
+runPair(const std::string &workload, const SystemConfig &config,
+        std::uint64_t ops = 800)
+{
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const auto wl = makeWorkload(workload, wc);
+    Pair out;
+    {
+        auto policy = policies::dbi();
+        System system(config, *wl, policy.get(), ops);
+        out.dbi = system.run();
+    }
+    {
+        auto policy = policies::mil(8);
+        System system(config, *wl, policy.get(), ops);
+        out.mil = system.run();
+    }
+    return out;
+}
+
+double
+ratio(std::uint64_t a, std::uint64_t b)
+{
+    return static_cast<double>(a) / static_cast<double>(b);
+}
+
+TEST(Headline, MilCutsZerosAcrossTheSuite)
+{
+    // Figure 17's conclusion: a large average zero reduction. Checked
+    // on a representative intensity spread.
+    double sum = 0.0;
+    unsigned count = 0;
+    for (const std::string wl : {"MM", "SCALPARC", "SWIM", "GUPS"}) {
+        const Pair p = runPair(wl, SystemConfig::microserver());
+        const double z = ratio(p.mil.bus.zerosTransferred,
+                               p.dbi.bus.zerosTransferred);
+        EXPECT_LT(z, 0.95) << wl;
+        sum += z;
+        ++count;
+    }
+    EXPECT_LT(sum / count, 0.75); // Paper: 0.51; band allows 0.75.
+}
+
+TEST(Headline, MilSlowdownStaysSmall)
+{
+    // Figure 16's conclusion: low single-digit degradation.
+    double log_sum = 0.0;
+    unsigned count = 0;
+    for (const std::string wl : {"MM", "SCALPARC", "SWIM", "GUPS"}) {
+        const Pair p = runPair(wl, SystemConfig::microserver());
+        const double t = ratio(p.mil.cycles, p.dbi.cycles);
+        EXPECT_LT(t, 1.12) << wl;
+        log_sum += std::log(t);
+        ++count;
+    }
+    EXPECT_LT(std::exp(log_sum / count), 1.06);
+}
+
+TEST(Headline, MilSavesDramEnergyOnBothSystems)
+{
+    // Figure 18's conclusion, both interfaces.
+    const Pair ddr4 = runPair("SCALPARC", SystemConfig::microserver());
+    EXPECT_LT(ddr4.mil.dramEnergy.totalMj(),
+              ddr4.dbi.dramEnergy.totalMj());
+    const Pair lp = runPair("SCALPARC", SystemConfig::mobile());
+    EXPECT_LT(lp.mil.dramEnergy.totalMj(),
+              lp.dbi.dramEnergy.totalMj());
+    // And LPDDR3's relative saving exceeds DDR4's (tiny background).
+    EXPECT_LT(lp.mil.dramEnergy.totalMj() /
+                  lp.dbi.dramEnergy.totalMj(),
+              ddr4.mil.dramEnergy.totalMj() /
+                  ddr4.dbi.dramEnergy.totalMj());
+}
+
+TEST(Headline, IoEnergySavingTracksZeroReduction)
+{
+    // The premise of the whole paper: IO energy is proportional to
+    // the zeros moved, so the two ratios must coincide.
+    const Pair p = runPair("GUPS", SystemConfig::microserver());
+    const double zeros = ratio(p.mil.bus.zerosTransferred,
+                               p.dbi.bus.zerosTransferred);
+    const double io = p.mil.dramEnergy.ioMj / p.dbi.dramEnergy.ioMj;
+    EXPECT_NEAR(zeros, io, 1e-9);
+}
+
+TEST(Headline, UtilizationRisesUnderMil)
+{
+    // "More bits with less energy": the bus carries more beats.
+    const Pair p = runPair("SWIM", SystemConfig::microserver());
+    EXPECT_GT(p.mil.utilization(), p.dbi.utilization());
+    EXPECT_GT(p.mil.bus.bitsTransferred, p.dbi.bus.bitsTransferred);
+}
+
+TEST(Headline, IntensityOrderingSurvives)
+{
+    // Figure 5's sort: MM is the least bus-intensive of the four,
+    // and the intensive group pends most of the time.
+    const Pair mm = runPair("MM", SystemConfig::microserver());
+    const Pair gups = runPair("GUPS", SystemConfig::microserver());
+    EXPECT_LT(mm.dbi.utilization(), gups.dbi.utilization());
+    const double gups_pending =
+        static_cast<double>(gups.dbi.bus.idlePendingCycles +
+                            gups.dbi.bus.busBusyCycles) /
+        static_cast<double>(gups.dbi.bus.totalCycles);
+    EXPECT_GT(gups_pending, 0.8);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "mil/policies.hh"
+#include "sim/system.hh"
+
+namespace mil
+{
+namespace
+{
+
+/*
+ * End-to-end integration runs. These are deliberately small (hundreds
+ * of ops per thread at scale 0.1) so the whole file stays fast, but
+ * they exercise every layer together: workload -> cores -> coherent
+ * caches -> prefetcher -> controllers -> codecs -> power models.
+ */
+
+SimResult
+runSmall(const std::string &workload, CodingPolicy &policy,
+         const SystemConfig &config, std::uint64_t ops = 400)
+{
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const auto wl = makeWorkload(workload, wc);
+    System system(config, *wl, &policy, ops);
+    return system.run();
+}
+
+TEST(Integration, GupsCompletesOnMicroserver)
+{
+    auto policy = policies::dbi();
+    const auto r = runSmall("GUPS", *policy,
+                            SystemConfig::microserver());
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.totalOps, 400u * 8 * 4); // ops x cores x threads.
+    EXPECT_GT(r.bus.reads, 0u);
+    EXPECT_GT(r.utilization(), 0.0);
+    EXPECT_LT(r.utilization(), 1.0);
+}
+
+TEST(Integration, MobileSystemRuns)
+{
+    auto policy = policies::dbi();
+    const auto r = runSmall("SWIM", *policy, SystemConfig::mobile());
+    EXPECT_EQ(r.totalOps, 400u * 8);
+    EXPECT_GT(r.bus.reads, 0u);
+}
+
+TEST(Integration, CycleAccountingIdentity)
+{
+    auto policy = policies::dbi();
+    const auto r = runSmall("CG", *policy, SystemConfig::microserver());
+    // Per channel: total == busy + idle-pending + idle-empty.
+    for (const auto &ch : r.perChannel) {
+        EXPECT_EQ(ch.totalCycles,
+                  ch.busBusyCycles + ch.idlePendingCycles +
+                      ch.idleNoPendingCycles);
+    }
+}
+
+TEST(Integration, SchemeAccountingIdentity)
+{
+    auto policy = policies::mil(8);
+    const auto r = runSmall("MG", *policy, SystemConfig::microserver());
+    std::uint64_t bursts = 0;
+    std::uint64_t zeros = 0;
+    for (const auto &[name, usage] : r.bus.schemes) {
+        bursts += usage.bursts;
+        zeros += usage.zeros;
+    }
+    EXPECT_EQ(bursts, r.bus.reads + r.bus.writes);
+    EXPECT_EQ(zeros, r.bus.zerosTransferred);
+    // MiL used both codes somewhere in the run.
+    EXPECT_TRUE(r.bus.schemes.count("MiLC") ||
+                r.bus.schemes.count("3-LWC"));
+}
+
+TEST(Integration, MilReducesZeroDensity)
+{
+    auto dbi = policies::dbi();
+    auto mil = policies::mil(8);
+    const auto base = runSmall("SCALPARC", *dbi,
+                               SystemConfig::microserver());
+    const auto coded = runSmall("SCALPARC", *mil,
+                                SystemConfig::microserver());
+    // Zero count per transferred burst must drop under MiL on
+    // small-integer data.
+    const double base_per_burst =
+        static_cast<double>(base.bus.zerosTransferred) /
+        static_cast<double>(base.bus.reads + base.bus.writes);
+    const double coded_per_burst =
+        static_cast<double>(coded.bus.zerosTransferred) /
+        static_cast<double>(coded.bus.reads + coded.bus.writes);
+    EXPECT_LT(coded_per_burst, base_per_burst * 0.8);
+}
+
+TEST(Integration, MilSlowdownIsBounded)
+{
+    auto dbi = policies::dbi();
+    auto mil = policies::mil(8);
+    const auto base = runSmall("OCEAN", *dbi,
+                               SystemConfig::microserver());
+    const auto coded = runSmall("OCEAN", *mil,
+                                SystemConfig::microserver());
+    const double ratio = static_cast<double>(coded.cycles) /
+        static_cast<double>(base.cycles);
+    EXPECT_LT(ratio, 1.15);
+    EXPECT_GT(ratio, 0.9);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    auto p1 = policies::mil(8);
+    auto p2 = policies::mil(8);
+    const auto a = runSmall("FFT", *p1, SystemConfig::microserver());
+    const auto b = runSmall("FFT", *p2, SystemConfig::microserver());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.bus.zerosTransferred, b.bus.zerosTransferred);
+    EXPECT_EQ(a.bus.reads, b.bus.reads);
+}
+
+TEST(Integration, EnergyBreakdownsArePositive)
+{
+    auto policy = policies::dbi();
+    const auto r = runSmall("HISTOGRAM", *policy,
+                            SystemConfig::microserver());
+    EXPECT_GT(r.dramEnergy.backgroundMj, 0.0);
+    EXPECT_GT(r.dramEnergy.ioMj, 0.0);
+    EXPECT_GT(r.systemEnergy.processorMj, 0.0);
+    EXPECT_NEAR(r.systemEnergy.totalMj(),
+                r.systemEnergy.processorMj + r.dramEnergy.totalMj(),
+                1e-9);
+}
+
+TEST(Integration, CachesSeeTraffic)
+{
+    auto policy = policies::dbi();
+    const auto r = runSmall("ART", *policy,
+                            SystemConfig::microserver());
+    EXPECT_GT(r.l1.hits + r.l1.misses, 0u);
+    EXPECT_GT(r.l2.hits + r.l2.misses, 0u);
+}
+
+TEST(Integration, PrefetcherEngagesOnStreams)
+{
+    auto policy = policies::dbi();
+    const auto r = runSmall("STRMATCH", *policy,
+                            SystemConfig::microserver());
+    EXPECT_GT(r.prefetcher.prefetchesIssued, 0u);
+    EXPECT_GT(r.prefetcher.trainings, 0u);
+}
+
+/** Every workload must complete on both systems under MiL. */
+class AllWorkloadsIntegration
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllWorkloadsIntegration, RunsToCompletionUnderMil)
+{
+    auto policy = policies::mil(8);
+    const auto r = runSmall(GetParam(), *policy,
+                            SystemConfig::microserver(), 200);
+    EXPECT_EQ(r.totalOps, 200u * 8 * 4);
+    EXPECT_GT(r.bus.reads + r.bus.writes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, AllWorkloadsIntegration,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mil/policies.hh"
+#include "sim/report.hh"
+
+namespace mil
+{
+namespace
+{
+
+SimResult
+smallResult()
+{
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const auto wl = makeWorkload("MM", wc);
+    auto policy = policies::dbi();
+    System system(SystemConfig::microserver(), *wl, policy.get(), 200);
+    return system.run();
+}
+
+unsigned
+countCommas(const std::string &line)
+{
+    unsigned n = 0;
+    for (char c : line)
+        if (c == ',')
+            ++n;
+    return n;
+}
+
+TEST(CsvReporter, HeaderAndRowsAgreeOnColumnCount)
+{
+    std::ostringstream os;
+    CsvReporter::writeHeader(os);
+    const SimResult r = smallResult();
+    CsvReporter::writeRow(os, "ddr4", "MM", "DBI", r);
+
+    std::istringstream is(os.str());
+    std::string header;
+    std::string row;
+    std::getline(is, header);
+    std::getline(is, row);
+    EXPECT_EQ(countCommas(header), countCommas(row));
+    EXPECT_GT(countCommas(header), 20u);
+}
+
+TEST(CsvReporter, RowCarriesLabelsAndNumbers)
+{
+    std::ostringstream os;
+    const SimResult r = smallResult();
+    CsvReporter::writeRow(os, "ddr4", "MM", "DBI", r);
+    const std::string row = os.str();
+    EXPECT_EQ(row.rfind("ddr4,MM,DBI,", 0), 0u);
+    EXPECT_NE(row.find(std::to_string(r.cycles)), std::string::npos);
+    EXPECT_NE(row.find(std::to_string(r.bus.reads)),
+              std::string::npos);
+    EXPECT_EQ(row.back(), '\n');
+}
+
+TEST(CsvReporter, MultipleRowsAppend)
+{
+    std::ostringstream os;
+    CsvReporter::writeHeader(os);
+    const SimResult r = smallResult();
+    CsvReporter::writeRow(os, "ddr4", "MM", "DBI", r);
+    CsvReporter::writeRow(os, "ddr4", "MM", "MiL", r);
+    std::istringstream is(os.str());
+    std::string line;
+    unsigned lines = 0;
+    while (std::getline(is, line))
+        ++lines;
+    EXPECT_EQ(lines, 3u);
+}
+
+} // anonymous namespace
+} // namespace mil

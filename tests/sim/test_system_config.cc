@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "sim/system_config.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(SystemConfig, MicroserverMatchesTable2)
+{
+    const auto c = SystemConfig::microserver();
+    EXPECT_EQ(c.timing.standard, DramStandard::DDR4);
+    EXPECT_EQ(c.channels, 2u);
+    EXPECT_EQ(c.cores, 8u);
+    EXPECT_EQ(c.core.threads, 4u); // Niagara-like: 4 threads/core.
+    EXPECT_TRUE(c.core.blockOnEveryLoad);
+    EXPECT_EQ(c.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(c.l1.ways, 4u);
+    EXPECT_EQ(c.l2.sizeBytes, 4u * 1024 * 1024);
+    EXPECT_EQ(c.l2.ways, 8u);
+    EXPECT_TRUE(c.l2.inclusiveOfL1s);
+    EXPECT_EQ(c.prefetcher.distance, 32u);
+    EXPECT_EQ(c.prefetcher.degree, 4u);
+    EXPECT_EQ(c.controller.readQueueSize, 64u);
+    EXPECT_EQ(c.controller.drainHighWatermark, 60u);
+    EXPECT_EQ(c.controller.drainLowWatermark, 50u);
+}
+
+TEST(SystemConfig, MobileMatchesTable2)
+{
+    const auto c = SystemConfig::mobile();
+    EXPECT_EQ(c.timing.standard, DramStandard::LPDDR3);
+    EXPECT_EQ(c.channels, 2u);
+    EXPECT_EQ(c.cores, 8u);
+    EXPECT_EQ(c.core.threads, 1u); // Out-of-order single thread.
+    EXPECT_FALSE(c.core.blockOnEveryLoad);
+    EXPECT_GT(c.core.maxOutstandingLoads, 1u);
+    EXPECT_EQ(c.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(c.prefetcher.distance, 8u);
+    EXPECT_EQ(c.prefetcher.degree, 1u);
+}
+
+TEST(SystemConfig, PowerModelsMatchStandard)
+{
+    const auto server = SystemConfig::microserver();
+    const auto mobile = SystemConfig::mobile();
+    // LPDDR3 is the low-background-power part.
+    EXPECT_LT(mobile.dramPower.pPreStandbyMw,
+              server.dramPower.pPreStandbyMw);
+    EXPECT_LT(mobile.systemPower.corePowerW,
+              server.systemPower.corePowerW);
+}
+
+} // anonymous namespace
+} // namespace mil

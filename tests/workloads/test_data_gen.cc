@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "workloads/data_gen.hh"
+
+namespace mil
+{
+namespace
+{
+
+double
+zeroDensity(const Line &line)
+{
+    return static_cast<double>(
+               zeroCountBytes(std::span<const std::uint8_t>(line))) /
+        512.0;
+}
+
+TEST(DataGen, Deterministic)
+{
+    Line a;
+    Line b;
+    fillRandom64(0x4000, a, 9);
+    fillRandom64(0x4000, b, 9);
+    EXPECT_EQ(a, b);
+    fillRandom64(0x4040, b, 9);
+    EXPECT_NE(a, b);
+    fillRandom64(0x4000, b, 10); // Different seed.
+    EXPECT_NE(a, b);
+}
+
+TEST(DataGen, RandomIsBalanced)
+{
+    double total = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        Line line;
+        fillRandom64(i * 64, line, 3);
+        total += zeroDensity(line);
+    }
+    EXPECT_NEAR(total / 100, 0.5, 0.02);
+}
+
+TEST(DataGen, SmoothFp64SharesExponentBytes)
+{
+    // Adjacent doubles in a line must agree on their top (sign +
+    // exponent) byte most of the time -- that's what MiLC exploits.
+    unsigned agree = 0;
+    unsigned pairs = 0;
+    for (int i = 0; i < 50; ++i) {
+        Line line;
+        fillFp64Smooth(i * 64, line, 5);
+        for (unsigned k = 0; k + 1 < 8; ++k) {
+            if (line[k * 8 + 7] == line[(k + 1) * 8 + 7])
+                ++agree;
+            ++pairs;
+        }
+    }
+    EXPECT_GT(static_cast<double>(agree) / pairs, 0.8);
+}
+
+TEST(DataGen, SmoothFp64ValuesAreFinite)
+{
+    Line line;
+    fillFp64Smooth(0x1000, line, 5);
+    for (unsigned k = 0; k < 8; ++k) {
+        double v;
+        std::memcpy(&v, line.data() + k * 8, 8);
+        EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(DataGen, Fp64ValuesContainExplicitZeros)
+{
+    unsigned zero_vals = 0;
+    for (int i = 0; i < 200; ++i) {
+        Line line;
+        fillFp64Values(i * 64, line, 6);
+        for (unsigned k = 0; k < 8; ++k) {
+            double v;
+            std::memcpy(&v, line.data() + k * 8, 8);
+            EXPECT_TRUE(std::isfinite(v));
+            if (v == 0.0)
+                ++zero_vals;
+        }
+    }
+    // ~8% of coefficients are exact zeros.
+    EXPECT_GT(zero_vals, 50u);
+    EXPECT_LT(zero_vals, 300u);
+}
+
+TEST(DataGen, Fp32UnitRange)
+{
+    // Weights live in [0,1]; saturated values hit the ends exactly.
+    unsigned saturated = 0;
+    for (int i = 0; i < 32; ++i) {
+        Line line;
+        fillFp32Unit(0x2000 + i * 64, line, 7);
+        for (unsigned k = 0; k < 16; ++k) {
+            float v;
+            std::memcpy(&v, line.data() + k * 4, 4);
+            EXPECT_GE(v, 0.0f);
+            EXPECT_LE(v, 1.0f);
+            if (v == 0.0f || v == 1.0f)
+                ++saturated;
+        }
+    }
+    EXPECT_GT(saturated, 32u); // ~30% of weights saturate.
+}
+
+TEST(DataGen, AsciiHighBitAlwaysClear)
+{
+    for (int i = 0; i < 50; ++i) {
+        Line line;
+        fillAsciiText(i * 64, line, 8);
+        for (auto b : line) {
+            EXPECT_LT(b, 0x80);
+            EXPECT_GE(b, 0x20); // Printable.
+        }
+    }
+}
+
+TEST(DataGen, PixelsStayInByteRangeAndCorrelate)
+{
+    Line line;
+    fillPixels(0x3000, line, 9);
+    int min = 255;
+    int max = 0;
+    for (auto b : line) {
+        min = std::min<int>(min, b);
+        max = std::max<int>(max, b);
+    }
+    // Local correlation: intra-line dynamic range is bounded.
+    EXPECT_LE(max - min, 31);
+}
+
+TEST(DataGen, SmallIntsHaveZeroHighBytes)
+{
+    Line line;
+    fillSmallInts(0x5000, line, 10, 26);
+    for (unsigned k = 0; k < 16; ++k) {
+        EXPECT_LE(line[k * 4], 26);
+        EXPECT_EQ(line[k * 4 + 1], 0);
+        EXPECT_EQ(line[k * 4 + 2], 0);
+        EXPECT_EQ(line[k * 4 + 3], 0);
+    }
+    EXPECT_GT(zeroDensity(line), 0.8);
+}
+
+TEST(DataGen, IndexArrayAscendsWithAddress)
+{
+    Line a;
+    Line b;
+    fillIndexArray(0x10000, a, 11, 0x10000, 64);
+    fillIndexArray(0x10000 + 64 * 100, b, 11, 0x10000, 64);
+    const auto read_idx = [](const Line &l, unsigned k) {
+        std::uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= std::uint32_t{l[k * 4 + i]} << (8 * i);
+        return v;
+    };
+    // Far-later lines hold clearly larger indices.
+    EXPECT_GT(read_idx(b, 0), read_idx(a, 0));
+}
+
+TEST(DataGen, LineRngIndependentPerLine)
+{
+    Rng a = lineRng(1, 0x1000);
+    Rng b = lineRng(1, 0x1040);
+    unsigned same = 0;
+    for (int i = 0; i < 32; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_EQ(same, 0u);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "workloads/art.hh"
+#include "workloads/cg.hh"
+#include "workloads/fft.hh"
+#include "workloads/gups.hh"
+#include "workloads/histogram.hh"
+#include "workloads/mm.hh"
+#include "workloads/strmatch.hh"
+#include "workloads/swim.hh"
+#include "workloads/workload.hh"
+
+namespace mil
+{
+namespace
+{
+
+/*
+ * Behavioral assertions per benchmark: each generator must reproduce
+ * the access-pattern *shape* its benchmark is famous for (Table 3 /
+ * DESIGN.md section 8), not merely emit valid ops.
+ */
+
+WorkloadConfig
+cfg()
+{
+    WorkloadConfig c;
+    c.scale = 0.1;
+    c.seed = 321;
+    return c;
+}
+
+std::vector<CoreMemOp>
+collect(const std::string &name, unsigned tid, int n)
+{
+    const auto wl = makeWorkload(name, cfg());
+    auto stream = wl->makeStream(tid, 8);
+    std::vector<CoreMemOp> ops;
+    for (int i = 0; i < n; ++i) {
+        CoreMemOp op{};
+        if (!stream->next(op))
+            break;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+TEST(Patterns, GupsHasNoSpatialLocality)
+{
+    const auto ops = collect("GUPS", 0, 4000);
+    // Consecutive updates land on the same line essentially never
+    // (beyond the RMW pair itself).
+    std::set<Addr> lines;
+    for (const auto &op : ops)
+        lines.insert(op.addr / lineBytes);
+    EXPECT_GT(lines.size(), ops.size() / 3);
+}
+
+TEST(Patterns, GupsCoversTheTable)
+{
+    const auto wl = makeWorkload("GUPS", cfg());
+    auto *gups = dynamic_cast<GupsWorkload *>(wl.get());
+    ASSERT_NE(gups, nullptr);
+    const auto ops = collect("GUPS", 0, 8000);
+    Addr max_addr = 0;
+    for (const auto &op : ops) {
+        EXPECT_GE(op.addr, GupsWorkload::tableBase);
+        max_addr = std::max(max_addr, op.addr);
+    }
+    // Draws reach deep into the table (at least 3/4 of it).
+    EXPECT_GT(max_addr, GupsWorkload::tableBase +
+                  gups->tableElems() * 8 * 3 / 4);
+}
+
+TEST(Patterns, CgStreamsIndicesAndValuesSequentially)
+{
+    const auto ops = collect("CG", 0, 3000);
+    // Extract the idx-region accesses: they must ascend by 4 bytes.
+    std::vector<Addr> idx;
+    for (const auto &op : ops)
+        if (op.addr >= CgWorkload::idxBase &&
+            op.addr < CgWorkload::xBase && !op.isWrite)
+            idx.push_back(op.addr);
+    ASSERT_GT(idx.size(), 100u);
+    unsigned sequential = 0;
+    for (std::size_t i = 1; i < idx.size(); ++i)
+        if (idx[i] == idx[i - 1] + 4)
+            ++sequential;
+    EXPECT_GT(sequential, idx.size() * 9 / 10);
+}
+
+TEST(Patterns, CgGathersAreDependentLoads)
+{
+    const auto ops = collect("CG", 0, 3000);
+    unsigned gathers = 0;
+    for (const auto &op : ops) {
+        if (op.addr >= CgWorkload::xBase &&
+            op.addr < CgWorkload::yBase && !op.isWrite) {
+            EXPECT_TRUE(op.blocking); // Address-dependent x[col].
+            ++gathers;
+        }
+    }
+    EXPECT_GT(gathers, 100u);
+}
+
+TEST(Patterns, SwimIsAlmostPureStreaming)
+{
+    const auto ops = collect("SWIM", 0, 4000);
+    // Per grid region, the sweep front advances and never jumps far
+    // backwards (the +/-row taps trail the cursor by one grid row).
+    std::map<Addr, Addr> front_per_region;
+    unsigned violations = 0;
+    for (const auto &op : ops) {
+        const Addr region = op.addr & ~Addr{0x03FF'FFFF};
+        auto [it, fresh] =
+            front_per_region.try_emplace(region, op.addr);
+        if (!fresh) {
+            if (it->second > op.addr &&
+                it->second - op.addr > 64 * 1024) {
+                ++violations;
+            }
+            it->second = std::max(it->second, op.addr);
+        }
+    }
+    EXPECT_LT(violations, ops.size() / 50);
+    // Writes are a third of the mix (3 of 9 taps).
+    const auto writes = static_cast<std::size_t>(
+        std::count_if(ops.begin(), ops.end(),
+                      [](const CoreMemOp &op) { return op.isWrite; }));
+    EXPECT_NEAR(static_cast<double>(writes) / ops.size(), 0.333, 0.05);
+}
+
+TEST(Patterns, FftStridesShrinkAcrossPasses)
+{
+    const auto ops = collect("FFT", 0, 200000);
+    // Track the |hi - lo| distance of butterfly partners over time:
+    // it must take multiple distinct values (stride-halving passes).
+    std::set<Addr> strides;
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+        const auto &a = ops[i - 1];
+        const auto &b = ops[i];
+        if (!a.isWrite && !b.isWrite &&
+            a.addr >= FftWorkload::dataBase &&
+            b.addr > a.addr &&
+            b.addr < FftWorkload::twiddleBase) {
+            strides.insert(b.addr - a.addr);
+        }
+    }
+    EXPECT_GT(strides.size(), 3u);
+}
+
+TEST(Patterns, MmHasPhaseStructure)
+{
+    const auto ops = collect("MM", 0, 8000);
+    // Streaming phases (gap 0) alternate with compute phases (gap>4).
+    unsigned streaming = 0;
+    unsigned compute = 0;
+    for (const auto &op : ops) {
+        if (op.gap == 0)
+            ++streaming;
+        else if (op.gap >= 4)
+            ++compute;
+    }
+    EXPECT_GT(streaming, 1000u);
+    EXPECT_GT(compute, 500u);
+}
+
+TEST(Patterns, HistogramReadsDwarfBinWrites)
+{
+    const auto ops = collect("HISTOGRAM", 0, 4000);
+    unsigned image_reads = 0;
+    unsigned bin_writes = 0;
+    for (const auto &op : ops) {
+        if (!op.isWrite && op.addr >= HistogramWorkload::imageBase)
+            ++image_reads;
+        if (op.isWrite && op.addr < HistogramWorkload::imageBase)
+            ++bin_writes;
+    }
+    EXPECT_GT(image_reads, 7u * bin_writes);
+    EXPECT_GT(bin_writes, 0u);
+}
+
+TEST(Patterns, StrmatchIsComputeBound)
+{
+    const auto ops = collect("STRMATCH", 0, 2000);
+    double total_gap = 0.0;
+    for (const auto &op : ops)
+        total_gap += op.gap;
+    // Tens of compute cycles per memory op: the low-intensity end of
+    // the suite.
+    EXPECT_GT(total_gap / ops.size(), 20.0);
+}
+
+TEST(Patterns, ArtSweepsWeightsRepeatedly)
+{
+    const auto ops = collect("ART", 0, 60000);
+    // The f1 region is revisited: the same address appears in
+    // multiple sweeps.
+    std::map<Addr, unsigned> visits;
+    for (const auto &op : ops)
+        if (!op.isWrite && op.addr >= ArtWorkload::f1Base &&
+            op.addr < ArtWorkload::f2Base)
+            ++visits[op.addr];
+    unsigned repeated = 0;
+    for (const auto &[addr, n] : visits)
+        if (n >= 2)
+            ++repeated;
+    EXPECT_GT(repeated, 100u);
+}
+
+TEST(Patterns, IntensityOrderingMmBelowSwim)
+{
+    // The suite's defining ordering (Figure 5): per-op compute budget
+    // of MM far exceeds SWIM's.
+    const auto mm = collect("MM", 0, 4000);
+    const auto swim = collect("SWIM", 0, 4000);
+    auto density = [](const std::vector<CoreMemOp> &ops) {
+        double gap = 0.0;
+        for (const auto &op : ops)
+            gap += op.gap;
+        return gap / static_cast<double>(ops.size());
+    };
+    // SWIM is near-zero-gap streaming.
+    EXPECT_LT(density(swim), 1.0);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workload.hh"
+
+namespace mil
+{
+namespace
+{
+
+WorkloadConfig
+smallConfig()
+{
+    WorkloadConfig c;
+    c.scale = 0.1;
+    c.seed = 777;
+    return c;
+}
+
+TEST(Workloads, RegistryHasAllElevenBenchmarks)
+{
+    const auto names = workloadNames();
+    ASSERT_EQ(names.size(), 11u);
+    EXPECT_EQ(names.front(), "GUPS");
+    EXPECT_EQ(names.back(), "OCEAN");
+    for (const auto &name : names) {
+        const auto wl = makeWorkload(name, smallConfig());
+        ASSERT_NE(wl, nullptr);
+        EXPECT_EQ(wl->name(), name);
+    }
+}
+
+TEST(WorkloadsDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("NOPE", smallConfig()),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+/** Every workload, exercised generically. */
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllWorkloads, StreamsAreDeterministic)
+{
+    const auto a = makeWorkload(GetParam(), smallConfig());
+    const auto b = makeWorkload(GetParam(), smallConfig());
+    auto sa = a->makeStream(0, 4);
+    auto sb = b->makeStream(0, 4);
+    for (int i = 0; i < 2000; ++i) {
+        CoreMemOp oa{};
+        CoreMemOp ob{};
+        ASSERT_EQ(sa->next(oa), sb->next(ob));
+        ASSERT_EQ(oa.addr, ob.addr) << GetParam() << " op " << i;
+        ASSERT_EQ(oa.isWrite, ob.isWrite);
+        ASSERT_EQ(oa.gap, ob.gap);
+        ASSERT_EQ(oa.storeValue, ob.storeValue);
+    }
+}
+
+TEST_P(AllWorkloads, ThreadsDiffer)
+{
+    const auto wl = makeWorkload(GetParam(), smallConfig());
+    auto s0 = wl->makeStream(0, 4);
+    auto s1 = wl->makeStream(1, 4);
+    unsigned same = 0;
+    for (int i = 0; i < 500; ++i) {
+        CoreMemOp a{};
+        CoreMemOp b{};
+        s0->next(a);
+        s1->next(b);
+        if (a.addr == b.addr)
+            ++same;
+    }
+    // Threads partition or randomize their footprints; identical
+    // address streams would mean broken parallelization.
+    EXPECT_LT(same, 450u);
+}
+
+TEST_P(AllWorkloads, AddressesFallInRegisteredRegions)
+{
+    const auto wl = makeWorkload(GetParam(), smallConfig());
+    FunctionalMemory mem;
+    wl->registerRegions(mem);
+    auto stream = wl->makeStream(2, 8);
+    // Touch memory through the stream: lazily materialized lines come
+    // from the registered regions (or default-zero); the important
+    // property is that nothing crashes and addresses are sane.
+    std::set<Addr> lines;
+    for (int i = 0; i < 3000; ++i) {
+        CoreMemOp op{};
+        if (!stream->next(op))
+            break;
+        EXPECT_LT(op.addr, Addr{1} << 40);
+        lines.insert(op.addr / lineBytes);
+        mem.read(op.addr & ~Addr{lineBytes - 1});
+    }
+    // A real workload touches more than a couple of lines.
+    EXPECT_GT(lines.size(), 8u);
+}
+
+TEST_P(AllWorkloads, MixContainsLoads)
+{
+    const auto wl = makeWorkload(GetParam(), smallConfig());
+    auto stream = wl->makeStream(0, 4);
+    unsigned loads = 0;
+    unsigned stores = 0;
+    for (int i = 0; i < 2000; ++i) {
+        CoreMemOp op{};
+        if (!stream->next(op))
+            break;
+        (op.isWrite ? stores : loads)++;
+    }
+    EXPECT_GT(loads, 100u);
+    // No benchmark is store-dominated (GUPS is an exact 50/50 RMW).
+    EXPECT_GE(loads, stores);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, AllWorkloads,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Workloads, GupsIsDependentRandomRmw)
+{
+    const auto wl = makeWorkload("GUPS", smallConfig());
+    auto stream = wl->makeStream(0, 4);
+    for (int i = 0; i < 100; ++i) {
+        CoreMemOp load{};
+        CoreMemOp store{};
+        ASSERT_TRUE(stream->next(load));
+        ASSERT_TRUE(stream->next(store));
+        EXPECT_FALSE(load.isWrite);
+        EXPECT_TRUE(load.blocking); // Address-dependent update.
+        EXPECT_TRUE(store.isWrite);
+        EXPECT_EQ(load.addr, store.addr); // Read-modify-write.
+    }
+}
+
+TEST(Workloads, ScaleShrinksFootprint)
+{
+    WorkloadConfig big = smallConfig();
+    big.scale = 1.0;
+    WorkloadConfig small = smallConfig();
+    small.scale = 0.05;
+    FunctionalMemory bm;
+    FunctionalMemory sm;
+    makeWorkload("GUPS", big)->registerRegions(bm);
+    makeWorkload("GUPS", small)->registerRegions(sm);
+    // Probe: addresses valid in the big config map beyond the small
+    // table. Indirectly verified through stream address ranges.
+    auto bs = makeWorkload("GUPS", big)->makeStream(0, 1);
+    auto ss = makeWorkload("GUPS", small)->makeStream(0, 1);
+    Addr bmax = 0;
+    Addr smax = 0;
+    for (int i = 0; i < 4000; ++i) {
+        CoreMemOp op{};
+        bs->next(op);
+        bmax = std::max(bmax, op.addr);
+        ss->next(op);
+        smax = std::max(smax, op.addr);
+    }
+    EXPECT_GT(bmax, smax);
+}
+
+} // anonymous namespace
+} // namespace mil

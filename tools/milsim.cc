@@ -1,0 +1,247 @@
+/**
+ * @file
+ * milsim -- the command-line front end to the simulator.
+ *
+ * Runs one (system, workload, policy) combination and prints a full
+ * report: performance, bus statistics, idle/slack distributions,
+ * cache behaviour, and the energy breakdowns. This is the tool a
+ * user reaches for to explore a configuration before scripting a
+ * sweep against the library API.
+ *
+ * Usage:
+ *   milsim [--system ddr4|lpddr3] [--workload NAME] [--policy NAME]
+ *          [--ops N] [--scale F] [--lookahead X] [--powerdown]
+ *          [--baseline]  (also run DBI and print normalized deltas)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "workloads/trace_workload.hh"
+
+using namespace mil;
+
+namespace
+{
+
+struct Options
+{
+    std::string system = "ddr4";
+    std::string workload = "GUPS";
+    std::string policy = "MiL";
+    std::uint64_t ops = 3000;
+    double scale = 0.25;
+    unsigned lookahead = 8;
+    bool powerDown = false;
+    bool baseline = false;
+    bool histograms = false;
+    std::string csvPath;
+    std::string tracePath;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --system ddr4|lpddr3   Table 2 system (default ddr4)\n"
+        "  --workload NAME        Table 3 benchmark (default GUPS)\n"
+        "  --policy NAME          DBI | MiL | MiLC | CAFO2 | CAFO4 |\n"
+        "                         3LWC | BLn | MiL-P3 | MiL-adaptive |\n"
+        "                         MiL-nowopt (default MiL)\n"
+        "  --ops N                memory ops per hardware thread\n"
+        "  --scale F              workload footprint scale (0.05..1)\n"
+        "  --lookahead X          MiL decision horizon in cycles\n"
+        "  --powerdown            enable fast power-down (extension)\n"
+        "  --baseline             also run DBI and print deltas\n"
+        "  --csv FILE             append machine-readable rows to FILE\n"
+        "  --trace FILE           replay a memory trace instead of a\n"
+        "                         built-in workload (R/W/B records)\n"
+        "  --histograms           print idle-gap and slack histograms\n"
+        "                         (the Figure 4/6 views of this run)\n"
+        "workloads:",
+        argv0);
+    for (const auto &name : workloadNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--system")
+            opt.system = value();
+        else if (arg == "--workload")
+            opt.workload = value();
+        else if (arg == "--policy")
+            opt.policy = value();
+        else if (arg == "--ops")
+            opt.ops = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--scale")
+            opt.scale = std::strtod(value(), nullptr);
+        else if (arg == "--lookahead")
+            opt.lookahead = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (arg == "--powerdown")
+            opt.powerDown = true;
+        else if (arg == "--baseline")
+            opt.baseline = true;
+        else if (arg == "--csv")
+            opt.csvPath = value();
+        else if (arg == "--trace")
+            opt.tracePath = value();
+        else if (arg == "--histograms")
+            opt.histograms = true;
+        else
+            usage(argv[0]);
+    }
+    return opt;
+}
+
+SimResult
+runOne(const Options &opt, const std::string &policy_name)
+{
+    SystemConfig config = makeSystemConfig(opt.system);
+    config.controller.powerDownEnabled = opt.powerDown;
+    WorkloadConfig wc;
+    wc.scale = opt.scale;
+    WorkloadPtr workload;
+    std::uint64_t ops = opt.ops;
+    if (!opt.tracePath.empty()) {
+        workload = TraceWorkload::fromFile(wc, opt.tracePath);
+        ops = 0; // Run the trace to its end.
+    } else {
+        workload = makeWorkload(opt.workload, wc);
+    }
+    const auto policy = makePolicy(policy_name, opt.lookahead);
+    System system(config, *workload, policy.get(), ops);
+    return system.run();
+}
+
+void
+printReport(const Options &opt, const SimResult &r)
+{
+    std::printf("=== %s / %s / %s ===\n", opt.system.c_str(),
+                opt.workload.c_str(), opt.policy.c_str());
+    std::printf("cycles            %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("memory ops        %llu (%.3f per cycle)\n",
+                static_cast<unsigned long long>(r.totalOps),
+                static_cast<double>(r.totalOps) /
+                    static_cast<double>(r.cycles));
+    std::printf("bus utilization   %.1f%%\n", 100.0 * r.utilization());
+    std::printf("DRAM reads/writes %llu / %llu (row-hit rate %.1f%%)\n",
+                static_cast<unsigned long long>(r.bus.reads),
+                static_cast<unsigned long long>(r.bus.writes),
+                100.0 *
+                    (1.0 - static_cast<double>(r.bus.activates) /
+                         std::max<std::uint64_t>(
+                             r.bus.reads + r.bus.writes, 1)));
+    std::printf("bits on the bus   %llu (zero density %.3f)\n",
+                static_cast<unsigned long long>(r.bus.bitsTransferred),
+                r.zeroDensity());
+    std::printf("scheme mix       ");
+    for (const auto &[name, usage] : r.bus.schemes)
+        std::printf(" %s:%llu", name.c_str(),
+                    static_cast<unsigned long long>(usage.bursts));
+    std::printf("\n");
+    std::printf("L1 miss rate      %.2f%%; L2 miss rate %.2f%%\n",
+                100.0 * r.l1.missRate(), 100.0 * r.l2.missRate());
+    std::printf("prefetches        %llu issued, %llu streams trained\n",
+                static_cast<unsigned long long>(
+                    r.prefetcher.prefetchesIssued),
+                static_cast<unsigned long long>(
+                    r.prefetcher.trainings));
+    std::printf("idle gaps (cyc)   mean %.1f; back-to-back %.1f%%\n",
+                r.bus.idleGaps.mean(),
+                100.0 * r.bus.idleGaps.fraction(0));
+    const auto &e = r.dramEnergy;
+    std::printf("DRAM energy (mJ)  total %.4f = bg %.4f + act %.4f + "
+                "rw %.4f + ref %.4f + IO %.4f\n",
+                e.totalMj(), e.backgroundMj, e.activateMj,
+                e.readWriteMj, e.refreshMj, e.ioMj);
+    if (r.bus.rankPowerDownCycles > 0)
+        std::printf("power-down        %llu rank-cycles (%llu entries)\n",
+                    static_cast<unsigned long long>(
+                        r.bus.rankPowerDownCycles),
+                    static_cast<unsigned long long>(
+                        r.bus.powerDownEntries));
+    std::printf("system energy     %.4f mJ (DRAM share %.1f%%)\n",
+                r.systemEnergy.totalMj(),
+                100.0 * r.systemEnergy.dramFraction());
+
+    if (opt.histograms) {
+        auto print_hist = [](const char *label, const Histogram &h) {
+            std::printf("%s\n", label);
+            for (std::size_t i = 0; i < h.size(); ++i)
+                std::printf("  %-8s %6.1f%%\n", h.label(i).c_str(),
+                            100.0 * h.fraction(i));
+        };
+        print_hist("idle-gap distribution (cycles between bursts):",
+                   r.bus.idleGaps);
+        print_hist("slack distribution (postponable cycles):",
+                   r.bus.slack);
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    const SimResult r = runOne(opt, opt.policy);
+    printReport(opt, r);
+
+    if (!opt.csvPath.empty()) {
+        const bool fresh = !std::ifstream(opt.csvPath).good();
+        std::ofstream csv(opt.csvPath, std::ios::app);
+        if (!csv) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opt.csvPath.c_str());
+            return 1;
+        }
+        if (fresh)
+            CsvReporter::writeHeader(csv);
+        CsvReporter::writeRow(csv, opt.system, opt.workload, opt.policy,
+                              r);
+        std::printf("\n(csv row appended to %s)\n",
+                    opt.csvPath.c_str());
+    }
+
+    if (opt.baseline && opt.policy != "DBI") {
+        const SimResult base = runOne(opt, "DBI");
+        std::printf("\nvs DBI baseline:\n");
+        std::printf("  exec time     %.3fx\n",
+                    static_cast<double>(r.cycles) /
+                        static_cast<double>(base.cycles));
+        std::printf("  zeros         %.3fx\n",
+                    static_cast<double>(r.bus.zerosTransferred) /
+                        static_cast<double>(
+                            base.bus.zerosTransferred));
+        std::printf("  IO energy     %.3fx\n",
+                    r.dramEnergy.ioMj / base.dramEnergy.ioMj);
+        std::printf("  DRAM energy   %.3fx\n",
+                    r.dramEnergy.totalMj() /
+                        base.dramEnergy.totalMj());
+        std::printf("  system energy %.3fx\n",
+                    r.systemEnergy.totalMj() /
+                        base.systemEnergy.totalMj());
+    }
+    return 0;
+}

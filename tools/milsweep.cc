@@ -1,0 +1,131 @@
+/**
+ * @file
+ * milsweep -- run a (system x workload x policy) grid in one process
+ * and emit CSV, the batch companion to milsim.
+ *
+ * Usage:
+ *   milsweep [--systems ddr4,lpddr3] [--workloads GUPS,CG,...|all]
+ *            [--policies DBI,MiL,...] [--ops N] [--scale F]
+ *            [--lookahead X] [--out FILE]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+using namespace mil;
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::istringstream is(arg);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--systems a,b] [--workloads a,b|all] "
+        "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
+        "[--out FILE]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> systems = {"ddr4"};
+    std::vector<std::string> workloads = workloadNames();
+    std::vector<std::string> policies = {"DBI", "MiL"};
+    std::uint64_t ops = 3000;
+    double scale = 0.25;
+    unsigned lookahead = 8;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--systems")
+            systems = splitCsv(value());
+        else if (arg == "--workloads") {
+            const std::string v = value();
+            workloads = v == "all" ? workloadNames() : splitCsv(v);
+        } else if (arg == "--policies")
+            policies = splitCsv(value());
+        else if (arg == "--ops")
+            ops = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--scale")
+            scale = std::strtod(value(), nullptr);
+        else if (arg == "--lookahead")
+            lookahead = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (arg == "--out")
+            out_path = value();
+        else
+            usage(argv[0]);
+    }
+
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (!out_path.empty()) {
+        file.open(out_path);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+            return 1;
+        }
+        os = &file;
+    }
+
+    CsvReporter::writeHeader(*os);
+    const std::size_t total =
+        systems.size() * workloads.size() * policies.size();
+    std::size_t done = 0;
+    for (const auto &system : systems) {
+        for (const auto &workload : workloads) {
+            for (const auto &policy : policies) {
+                RunSpec spec;
+                spec.system = system;
+                spec.workload = workload;
+                spec.policy = policy;
+                spec.lookahead = lookahead;
+                spec.opsPerThread = ops;
+                spec.scale = scale;
+                const SimResult &r = runSpec(spec);
+                CsvReporter::writeRow(*os, system, workload, policy, r);
+                ++done;
+                if (!out_path.empty()) {
+                    std::fprintf(stderr, "\r%zu/%zu", done, total);
+                    std::fflush(stderr);
+                }
+            }
+        }
+    }
+    if (!out_path.empty())
+        std::fprintf(stderr, "\rwrote %zu rows to %s\n", total,
+                     out_path.c_str());
+    return 0;
+}
