@@ -51,6 +51,7 @@ main()
 {
     banner("Figure 16",
            "execution time normalized to DBI (sorted by utilization)");
+    prewarm({"ddr4", "lpddr3"}, {"DBI", "CAFO2", "CAFO4", "MiLC", "MiL"});
     oneSystem("ddr4", "a: DDR4 microserver");
     oneSystem("lpddr3", "b: LPDDR3 mobile");
     std::printf("paper: MiL geomean ~1.02 on DDR4 and ~1.04 on LPDDR3; "

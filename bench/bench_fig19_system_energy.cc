@@ -59,6 +59,7 @@ int
 main()
 {
     banner("Figure 19", "system energy normalized to DBI");
+    prewarm({"ddr4", "lpddr3"}, {"DBI", "CAFO2", "CAFO4", "MiLC", "MiL"});
     oneSystem("ddr4", "a: DDR4 microserver");
     oneSystem("lpddr3", "b: LPDDR3 mobile");
     std::printf("paper averages: DDR4 2.2/1.6/3.1/3.7%% savings; "

@@ -2,13 +2,39 @@
 # Regenerate every paper table/figure plus the extension studies, and
 # leave the transcripts next to the build.
 #
-# Usage: scripts/reproduce.sh [build-dir]
-# Knobs: MIL_OPS_PER_THREAD (default 3000), MIL_SCALE (default 0.25).
+# Usage: scripts/reproduce.sh [--quick] [build-dir]
+#   --quick  CI-sized run: shrinks the per-cell work
+#            (MIL_OPS_PER_THREAD=300, MIL_SCALE=0.1 unless already
+#            set) and skips the codec-throughput microbenchmark, so
+#            the whole end-to-end path finishes in minutes.
+# Knobs: MIL_OPS_PER_THREAD (default 3000), MIL_SCALE (default 0.25),
+#        MIL_JOBS (sweep parallelism, default: all hardware threads).
 set -euo pipefail
-BUILD="${1:-build}"
 
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
+QUICK=0
+BUILD=build
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        -h|--help)
+            sed -n '2,12p' "$0"
+            exit 0
+            ;;
+        *) BUILD="$arg" ;;
+    esac
+done
+
+if [ "$QUICK" = 1 ]; then
+    export MIL_OPS_PER_THREAD="${MIL_OPS_PER_THREAD:-300}"
+    export MIL_SCALE="${MIL_SCALE:-0.1}"
+fi
+
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+    GENERATOR=(-G Ninja)
+fi
+cmake -B "$BUILD" "${GENERATOR[@]}"
+cmake --build "$BUILD" -j
 
 echo "== tests =="
 ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee test_output.txt | tail -3
@@ -17,6 +43,10 @@ echo "== benches =="
 : > bench_output.txt
 for b in "$BUILD"/bench/*; do
     if [ -x "$b" ] && [ -f "$b" ]; then
+        if [ "$QUICK" = 1 ] &&
+           [ "$(basename "$b")" = bench_codec_throughput ]; then
+            continue # Ignores the env knobs; too slow for a smoke run.
+        fi
         echo "### $(basename "$b")" | tee -a bench_output.txt
         "$b" | tee -a bench_output.txt
     fi

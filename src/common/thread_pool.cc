@@ -1,0 +1,134 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+
+namespace mil
+{
+
+ThreadPool::ThreadPool(unsigned workers) : nworkers_(workers)
+{
+    threads_.reserve(nworkers_);
+    for (unsigned w = 0; w < nworkers_; ++w)
+        threads_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    if (nworkers_ == 0) {
+        // Inline mode: run right here so call sites see the exact
+        // serial execution order.
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    available_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(
+                lock, [this]() { return stopping_ || !queue_.empty(); });
+            // Keep draining after stop so already-queued futures
+            // still complete; exit only once the queue is empty.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    // Shared loop state, all guarded by one mutex: the bodies are
+    // whole simulation runs, so claim overhead is irrelevant and the
+    // single lock keeps the completion logic race-free. `next` only
+    // advances when a body will actually run, so completion is simply
+    // `finished == next` once no further claims can happen.
+    struct Loop
+    {
+        std::size_t next = 0;
+        std::size_t finished = 0;
+        bool failed = false;
+        std::exception_ptr error;
+        std::mutex mutex;
+        std::condition_variable done;
+    };
+    auto loop = std::make_shared<Loop>();
+
+    auto drive = [loop, count, &body]() {
+        std::unique_lock<std::mutex> lock(loop->mutex);
+        while (!loop->failed && loop->next < count) {
+            const std::size_t i = loop->next++;
+            lock.unlock();
+            std::exception_ptr error;
+            try {
+                body(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            lock.lock();
+            ++loop->finished;
+            if (error) {
+                if (!loop->error)
+                    loop->error = error;
+                loop->failed = true;
+            }
+            loop->done.notify_all();
+        }
+    };
+
+    // Queue one helper per worker (more could never run at once),
+    // capped by the iteration count; then the caller drives too.
+    // The caller waits only on claimed bodies -- never on the queued
+    // helpers -- so nested parallelFor calls cannot deadlock even
+    // when every worker is already occupied: late helpers find the
+    // range exhausted and return without touching `body`.
+    const std::size_t helpers = std::min<std::size_t>(nworkers_, count);
+    for (std::size_t h = 0; h < helpers; ++h)
+        post([drive]() { drive(); });
+    drive();
+
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->done.wait(lock, [&]() {
+        return (loop->failed || loop->next == count) &&
+            loop->finished == loop->next;
+    });
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+} // namespace mil

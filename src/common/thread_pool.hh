@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A small task-queue thread pool for running independent simulation
+ * tasks across cores.
+ *
+ * The pool is deliberately simple: a single FIFO queue guarded by a
+ * mutex feeds N worker threads. Simulation tasks (one full System run
+ * each) are seconds-long, so queue contention is irrelevant and a
+ * work-stealing deque would buy nothing. What matters here is
+ * predictable semantics:
+ *
+ *  - a pool constructed with 0 workers executes everything inline on
+ *    the calling thread, in submission order, so "parallel" call
+ *    sites degrade to the exact serial behaviour;
+ *  - with 1 worker, tasks run in FIFO submission order;
+ *  - exceptions thrown by tasks propagate: submit() delivers them
+ *    through the returned future, parallelFor() rethrows the first
+ *    one on the calling thread;
+ *  - parallelFor() lets the calling thread participate in the work,
+ *    so a pool of N workers uses N+1 threads and a nested
+ *    parallelFor cannot deadlock waiting for occupied workers.
+ */
+
+#ifndef MIL_COMMON_THREAD_POOL_HH
+#define MIL_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mil
+{
+
+/** Fixed-size pool of worker threads consuming a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers number of worker threads. 0 means no threads at
+     *        all: submit() and parallelFor() run inline on the caller.
+     */
+    explicit ThreadPool(unsigned workers = hardwareConcurrency());
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 = inline execution). */
+    unsigned workers() const { return nworkers_; }
+
+    /**
+     * Enqueue @p fn and return a future for its result. Tasks may
+     * themselves submit further tasks; a task must not block on a
+     * future of a task queued behind it on a 1-worker pool.
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F &>>
+    submit(F &&fn)
+    {
+        using R = std::invoke_result_t<F &>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        post([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run @p body(i) for every i in [0, count), distributing indices
+     * across the workers and the calling thread. Blocks until every
+     * index has finished. With 0 workers the indices run inline in
+     * increasing order. The first exception thrown by any invocation
+     * is rethrown here (remaining indices are abandoned, in-flight
+     * ones finish).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * std::thread::hardware_concurrency() with a floor of 1 (the
+     * standard allows it to return 0 when unknown).
+     */
+    static unsigned hardwareConcurrency();
+
+  private:
+    void post(std::function<void()> task);
+    void workerLoop();
+
+    unsigned nworkers_;
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+} // namespace mil
+
+#endif // MIL_COMMON_THREAD_POOL_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "mil/policies.hh"
@@ -15,7 +16,7 @@ RunSpec::key() const
 {
     return system + "/" + workload + "/" + policy + "/X" +
         std::to_string(lookahead) + "/" + std::to_string(opsPerThread) +
-        "/" + std::to_string(scale);
+        "/" + std::to_string(scale) + "/S" + std::to_string(seed);
 }
 
 std::unique_ptr<CodingPolicy>
@@ -81,33 +82,65 @@ defaultScale()
     return 0.25;
 }
 
-const SimResult &
-runSpec(const RunSpec &spec)
+namespace
 {
-    static std::map<std::string, SimResult> cache;
 
+/** Fill in the environment-dependent defaults for unset fields. */
+RunSpec
+canonicalize(const RunSpec &spec)
+{
     RunSpec s = spec;
     if (s.opsPerThread == 0)
         s.opsPerThread = defaultOpsPerThread();
     if (s.scale == 0.0)
         s.scale = defaultScale();
+    return s;
+}
 
-    const std::string key = s.key();
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+} // anonymous namespace
+
+SimResult
+runSpecFresh(const RunSpec &spec)
+{
+    const RunSpec s = canonicalize(spec);
 
     const SystemConfig config = makeSystemConfig(s.system);
     WorkloadConfig wl_config;
     wl_config.scale = s.scale;
+    if (s.seed != 0)
+        wl_config.seed = s.seed;
     const WorkloadPtr workload = makeWorkload(s.workload, wl_config);
     const auto policy = makePolicy(s.policy, s.lookahead);
 
     System system(config, *workload, policy.get(), s.opsPerThread);
-    SimResult result = system.run();
-    auto [pos, inserted] = cache.emplace(key, std::move(result));
-    (void)inserted;
-    return pos->second;
+    return system.run();
+}
+
+const SimResult &
+runSpec(const RunSpec &spec)
+{
+    // std::map never invalidates references on insert, so cached
+    // results can be handed out by reference while other threads keep
+    // inserting; only the map accesses themselves need the lock.
+    static std::mutex mutex;
+    static std::map<std::string, SimResult> cache;
+
+    const RunSpec s = canonicalize(spec);
+    const std::string key = s.key();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+
+    // Simulate outside the lock: concurrent callers racing on the
+    // same key duplicate work (the results are identical; first
+    // insert wins), but a sweep's keys are distinct, and holding the
+    // lock across a seconds-long run would serialize everything.
+    SimResult result = runSpecFresh(s);
+    std::lock_guard<std::mutex> lock(mutex);
+    return cache.emplace(key, std::move(result)).first->second;
 }
 
 std::vector<std::string>

@@ -28,6 +28,7 @@ struct RunSpec
     unsigned lookahead = 8;        ///< X for the MiL policy.
     std::uint64_t opsPerThread = 0;///< 0 = the harness default.
     double scale = 0.0;            ///< 0 = the harness default.
+    std::uint64_t seed = 0;        ///< 0 = the workload default seed.
 
     std::string key() const;
 };
@@ -46,7 +47,20 @@ SystemConfig makeSystemConfig(const std::string &name);
 std::uint64_t defaultOpsPerThread();
 double defaultScale();
 
-/** Run one spec (results are memoized per process). */
+/**
+ * Run one spec without touching the process-wide cache. The result
+ * depends only on the spec (plus the MIL_OPS_PER_THREAD / MIL_SCALE
+ * environment defaults it may fall back to), never on which thread
+ * runs it or what ran before, so concurrent calls are safe.
+ */
+SimResult runSpecFresh(const RunSpec &spec);
+
+/**
+ * Run one spec, memoized per process. Thread-safe: concurrent calls
+ * may race to simulate the same spec, but the first completed result
+ * wins and references returned for one key are always to the same
+ * object.
+ */
 const SimResult &runSpec(const RunSpec &spec);
 
 /** The eleven Table 3 workloads sorted by DBI-baseline utilization. */

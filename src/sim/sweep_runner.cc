@@ -1,0 +1,108 @@
+#include "sweep_runner.hh"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "common/thread_pool.hh"
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+/**
+ * splitmix64 finalizer: mixes the base seed with a grid index so
+ * that nearby indices get unrelated (and never-zero) RNG streams.
+ */
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z == 0 ? 1 : z;
+}
+
+} // anonymous namespace
+
+std::size_t
+SweepGrid::size() const
+{
+    const std::size_t nwl =
+        workloads.empty() ? workloadNames().size() : workloads.size();
+    return systems.size() * nwl * policies.size();
+}
+
+std::vector<RunSpec>
+SweepGrid::expand() const
+{
+    const std::vector<std::string> wls =
+        workloads.empty() ? workloadNames() : workloads;
+
+    std::vector<RunSpec> specs;
+    specs.reserve(systems.size() * wls.size() * policies.size());
+    for (const auto &system : systems) {
+        for (const auto &workload : wls) {
+            for (const auto &policy : policies) {
+                RunSpec spec;
+                spec.system = system;
+                spec.workload = workload;
+                spec.policy = policy;
+                spec.lookahead = lookahead;
+                spec.opsPerThread = opsPerThread;
+                spec.scale = scale;
+                if (baseSeed != 0)
+                    spec.seed = deriveSeed(baseSeed, specs.size());
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+    return specs;
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("MIL_JOBS")) {
+        const unsigned n = static_cast<unsigned>(
+            std::strtoul(env, nullptr, 10));
+        if (n > 0)
+            return n;
+    }
+    return ThreadPool::hardwareConcurrency();
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
+{
+    const std::vector<RunSpec> specs = grid.expand();
+
+    std::vector<SweepResult> results(specs.size());
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+
+    // jobs_ == 1 -> a 0-worker pool, i.e. the caller runs every cell
+    // inline in grid order: exactly the historic serial loop. Each
+    // cell writes only its own slot, so the output order is the grid
+    // order no matter which thread finishes when.
+    ThreadPool pool(jobs_ - 1);
+    pool.parallelFor(specs.size(), [&](std::size_t i) {
+        const RunSpec &spec = specs[i];
+        SweepResult cell;
+        cell.spec = spec;
+        cell.result = useCache_ ? runSpec(spec) : runSpecFresh(spec);
+        results[i] = std::move(cell);
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress(++done, specs.size());
+        }
+    });
+    return results;
+}
+
+} // namespace mil

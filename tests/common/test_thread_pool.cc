@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(ThreadPool, HardwareConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsSubmitInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 0u);
+    int ran_on = 0;
+    auto future = pool.submit([&]() {
+        ran_on = 42;
+        return 7;
+    });
+    // Inline mode completes before submit() returns.
+    EXPECT_EQ(ran_on, 42);
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get(), 7);
+}
+
+TEST(ThreadPool, ZeroWorkersParallelForRunsInOrder)
+{
+    ThreadPool pool(0);
+    std::vector<std::size_t> order;
+    pool.parallelFor(8, [&](std::size_t i) { order.push_back(i); });
+    const std::vector<std::size_t> expected{0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmitOrder)
+{
+    ThreadPool pool(1);
+    std::mutex mutex;
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 16; ++t) {
+        futures.push_back(pool.submit([&, t]() {
+            std::lock_guard<std::mutex> lock(mutex);
+            order.push_back(t);
+        }));
+    }
+    for (auto &f : futures)
+        f.get();
+    std::vector<int> expected(16);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, SubmitReturnsValuesAcrossWorkerCounts)
+{
+    for (unsigned workers : {0u, 1u, 4u}) {
+        ThreadPool pool(workers);
+        std::vector<std::future<int>> futures;
+        for (int t = 0; t < 20; ++t)
+            futures.push_back(pool.submit([t]() { return t * t; }));
+        for (int t = 0; t < 20; ++t)
+            EXPECT_EQ(futures[t].get(), t * t) << "workers=" << workers;
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    for (unsigned workers : {0u, 1u, 4u}) {
+        ThreadPool pool(workers);
+        constexpr std::size_t kCount = 200;
+        std::vector<std::atomic<int>> hits(kCount);
+        pool.parallelFor(kCount,
+                         [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (std::size_t i = 0; i < kCount; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "workers=" << workers
+                                         << " index=" << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsANoop)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsThroughFuture)
+{
+    for (unsigned workers : {0u, 2u}) {
+        ThreadPool pool(workers);
+        auto future = pool.submit(
+            []() { throw std::runtime_error("task failed"); });
+        EXPECT_THROW(future.get(), std::runtime_error)
+            << "workers=" << workers;
+    }
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstBodyException)
+{
+    for (unsigned workers : {0u, 1u, 4u}) {
+        ThreadPool pool(workers);
+        std::atomic<int> ran{0};
+        EXPECT_THROW(pool.parallelFor(64,
+                                      [&](std::size_t i) {
+                                          ran.fetch_add(1);
+                                          if (i == 3)
+                                              throw std::runtime_error(
+                                                  "body failed");
+                                      }),
+                     std::runtime_error)
+            << "workers=" << workers;
+        // Failure abandons the remaining range rather than running
+        // all 64 indices (in-flight bodies still finish).
+        EXPECT_GE(ran.load(), 1) << "workers=" << workers;
+    }
+}
+
+TEST(ThreadPool, NestedSubmitCompletes)
+{
+    ThreadPool pool(1);
+    auto inner_future = pool.submit([&pool]() {
+        // Submitting from inside a task must neither deadlock nor
+        // drop the nested task.
+        return pool.submit([]() { return 5; });
+    });
+    auto inner = inner_future.get();
+    EXPECT_EQ(inner.get(), 5);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // Outer iterations occupy every worker, so the inner loops can
+    // only make progress because the waiting callers drive their own
+    // ranges.
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ManyWorkersActuallyRunConcurrently)
+{
+    // The waiter is queued first, so it can only finish if a second
+    // worker runs the signaller concurrently with it.
+    ThreadPool pool(2);
+    std::promise<void> signal;
+    auto waiter = pool.submit(
+        [&]() { signal.get_future().wait(); });
+    auto signaller = pool.submit([&]() { signal.set_value(); });
+    waiter.get();
+    signaller.get();
+    SUCCEED();
+}
+
+} // anonymous namespace
+} // namespace mil

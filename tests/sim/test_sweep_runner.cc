@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "sim/report.hh"
+#include "sim/sweep_runner.hh"
+
+namespace mil
+{
+namespace
+{
+
+/** Tiny grid that still crosses >1 of each axis. */
+SweepGrid
+smallGrid()
+{
+    SweepGrid grid;
+    grid.systems = {"ddr4"};
+    grid.workloads = {"GUPS", "MM"};
+    grid.policies = {"DBI", "MiL"};
+    // Keep the cells tiny and independent of the env defaults.
+    grid.opsPerThread = 150;
+    grid.scale = 0.1;
+    return grid;
+}
+
+/** The CSV milsweep would emit for these results. */
+std::string
+toCsv(const std::vector<SweepResult> &results)
+{
+    std::ostringstream os;
+    CsvReporter::writeHeader(os);
+    for (const auto &cell : results)
+        CsvReporter::writeRow(os, cell.spec.system, cell.spec.workload,
+                              cell.spec.policy, cell.result);
+    return os.str();
+}
+
+TEST(SweepGrid, ExpandsInSystemWorkloadPolicyOrder)
+{
+    const SweepGrid grid = smallGrid();
+    EXPECT_EQ(grid.size(), 4u);
+    const std::vector<RunSpec> specs = grid.expand();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].workload, "GUPS");
+    EXPECT_EQ(specs[0].policy, "DBI");
+    EXPECT_EQ(specs[1].workload, "GUPS");
+    EXPECT_EQ(specs[1].policy, "MiL");
+    EXPECT_EQ(specs[2].workload, "MM");
+    EXPECT_EQ(specs[2].policy, "DBI");
+    EXPECT_EQ(specs[3].workload, "MM");
+    EXPECT_EQ(specs[3].policy, "MiL");
+}
+
+TEST(SweepGrid, EmptyWorkloadListMeansAllOfTable3)
+{
+    SweepGrid grid;
+    grid.workloads.clear();
+    EXPECT_EQ(grid.size(),
+              workloadNames().size() * grid.policies.size());
+    EXPECT_EQ(grid.expand().size(), grid.size());
+}
+
+TEST(SweepGrid, BaseSeedZeroKeepsWorkloadDefaultSeeds)
+{
+    for (const auto &spec : smallGrid().expand())
+        EXPECT_EQ(spec.seed, 0u);
+}
+
+TEST(SweepGrid, BaseSeedDerivesDistinctReproduciblePerCellSeeds)
+{
+    SweepGrid grid = smallGrid();
+    grid.baseSeed = 7;
+    const std::vector<RunSpec> a = grid.expand();
+    const std::vector<RunSpec> b = grid.expand();
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NE(a[i].seed, 0u);
+        EXPECT_EQ(a[i].seed, b[i].seed); // Pure function of the grid.
+        seeds.insert(a[i].seed);
+    }
+    EXPECT_EQ(seeds.size(), a.size()); // No two cells share a stream.
+
+    SweepGrid other = grid;
+    other.baseSeed = 8;
+    EXPECT_NE(other.expand()[0].seed, a[0].seed);
+}
+
+TEST(SweepRunner, JobsOneMatchesJobsFourByteForByte)
+{
+    const SweepGrid grid = smallGrid();
+
+    // Bypass the memo so the second run actually recomputes the
+    // cells in parallel instead of returning the first run's cached
+    // objects.
+    SweepRunner serial(1);
+    serial.setUseCache(false);
+    SweepRunner parallel(4);
+    parallel.setUseCache(false);
+
+    const auto a = serial.run(grid);
+    const auto b = parallel.run(grid);
+    ASSERT_EQ(a.size(), grid.size());
+    ASSERT_EQ(b.size(), grid.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].spec.key(), b[i].spec.key());
+        EXPECT_GT(a[i].result.cycles, 0u);
+    }
+    EXPECT_EQ(toCsv(a), toCsv(b));
+}
+
+TEST(SweepRunner, DerivedSeedsAreDeterministicAcrossJobCounts)
+{
+    SweepGrid grid = smallGrid();
+    grid.baseSeed = 12345;
+
+    SweepRunner serial(1);
+    serial.setUseCache(false);
+    SweepRunner parallel(3);
+    parallel.setUseCache(false);
+
+    EXPECT_EQ(toCsv(serial.run(grid)), toCsv(parallel.run(grid)));
+}
+
+TEST(SweepRunner, ProgressReportsEveryCellWithMonotoneCounts)
+{
+    const SweepGrid grid = smallGrid();
+    SweepRunner runner(2);
+    runner.setUseCache(false);
+    std::vector<std::size_t> dones;
+    runner.run(grid, [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, grid.size());
+        dones.push_back(done);
+    });
+    ASSERT_EQ(dones.size(), grid.size());
+    for (std::size_t i = 0; i < dones.size(); ++i)
+        EXPECT_EQ(dones[i], i + 1);
+}
+
+TEST(SweepRunner, CachedRunsWarmTheProcessWideMemo)
+{
+    SweepGrid grid = smallGrid();
+    grid.workloads = {"GUPS"};
+    SweepRunner runner(2);
+    const auto results = runner.run(grid);
+    ASSERT_EQ(results.size(), 2u);
+    // The memo now holds the same cells; runSpec must agree with the
+    // sweep's copies.
+    for (const auto &cell : results) {
+        const SimResult &memo = runSpec(cell.spec);
+        EXPECT_EQ(memo.cycles, cell.result.cycles);
+        EXPECT_EQ(memo.bus.zerosTransferred,
+                  cell.result.bus.zerosTransferred);
+    }
+}
+
+TEST(SweepRunnerDeathTest, UnknownPolicyDiesCleanly)
+{
+    // makePolicy() reports unknown names through mil_fatal (a clean
+    // exit(1)), which must terminate the sweep rather than hang the
+    // pool.
+    SweepGrid grid = smallGrid();
+    grid.policies = {"NoSuchPolicy"};
+    EXPECT_EXIT(
+        {
+            SweepRunner runner(1);
+            runner.setUseCache(false);
+            runner.run(grid);
+        },
+        ::testing::ExitedWithCode(1), "unknown policy");
+}
+
+TEST(SweepRunner, DefaultJobsHonorsEnvOverride)
+{
+    setenv("MIL_JOBS", "3", 1);
+    EXPECT_EQ(SweepRunner::defaultJobs(), 3u);
+    unsetenv("MIL_JOBS");
+    EXPECT_GE(SweepRunner::defaultJobs(), 1u);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -3,10 +3,16 @@
  * milsweep -- run a (system x workload x policy) grid in one process
  * and emit CSV, the batch companion to milsim.
  *
+ * The grid is evaluated by the SweepRunner across --jobs threads
+ * (default: all hardware threads). Rows are emitted in grid order and
+ * every cell's RNG seed is a pure function of the grid definition, so
+ * the CSV is byte-identical whatever the job count; --jobs 1 is the
+ * historic serial loop.
+ *
  * Usage:
  *   milsweep [--systems ddr4,lpddr3] [--workloads GUPS,CG,...|all]
  *            [--policies DBI,MiL,...] [--ops N] [--scale F]
- *            [--lookahead X] [--out FILE]
+ *            [--lookahead X] [--jobs N] [--seed S] [--out FILE]
  */
 
 #include <cstdio>
@@ -17,8 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep_runner.hh"
 
 using namespace mil;
 
@@ -44,7 +50,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--systems a,b] [--workloads a,b|all] "
         "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
-        "[--out FILE]\n",
+        "[--jobs N] [--seed S] [--out FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -54,12 +60,11 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> systems = {"ddr4"};
-    std::vector<std::string> workloads = workloadNames();
-    std::vector<std::string> policies = {"DBI", "MiL"};
-    std::uint64_t ops = 3000;
-    double scale = 0.25;
-    unsigned lookahead = 8;
+    SweepGrid grid;
+    grid.workloads = workloadNames();
+    grid.opsPerThread = 3000;
+    grid.scale = 0.25;
+    unsigned jobs = SweepRunner::defaultJobs();
     std::string out_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -70,24 +75,31 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--systems")
-            systems = splitCsv(value());
+            grid.systems = splitCsv(value());
         else if (arg == "--workloads") {
             const std::string v = value();
-            workloads = v == "all" ? workloadNames() : splitCsv(v);
+            grid.workloads = v == "all" ? workloadNames() : splitCsv(v);
         } else if (arg == "--policies")
-            policies = splitCsv(value());
+            grid.policies = splitCsv(value());
         else if (arg == "--ops")
-            ops = std::strtoull(value(), nullptr, 10);
+            grid.opsPerThread = std::strtoull(value(), nullptr, 10);
         else if (arg == "--scale")
-            scale = std::strtod(value(), nullptr);
+            grid.scale = std::strtod(value(), nullptr);
         else if (arg == "--lookahead")
-            lookahead = static_cast<unsigned>(
+            grid.lookahead = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 10));
+        else if (arg == "--jobs")
+            jobs = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (arg == "--seed")
+            grid.baseSeed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--out")
             out_path = value();
         else
             usage(argv[0]);
     }
+    if (jobs == 0)
+        usage(argv[0]);
 
     std::ofstream file;
     std::ostream *os = &std::cout;
@@ -100,32 +112,22 @@ main(int argc, char **argv)
         os = &file;
     }
 
-    CsvReporter::writeHeader(*os);
-    const std::size_t total =
-        systems.size() * workloads.size() * policies.size();
-    std::size_t done = 0;
-    for (const auto &system : systems) {
-        for (const auto &workload : workloads) {
-            for (const auto &policy : policies) {
-                RunSpec spec;
-                spec.system = system;
-                spec.workload = workload;
-                spec.policy = policy;
-                spec.lookahead = lookahead;
-                spec.opsPerThread = ops;
-                spec.scale = scale;
-                const SimResult &r = runSpec(spec);
-                CsvReporter::writeRow(*os, system, workload, policy, r);
-                ++done;
-                if (!out_path.empty()) {
-                    std::fprintf(stderr, "\r%zu/%zu", done, total);
-                    std::fflush(stderr);
-                }
-            }
-        }
+    SweepRunner runner(jobs);
+    SweepRunner::Progress progress;
+    if (!out_path.empty()) {
+        progress = [](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\r%zu/%zu", done, total);
+            std::fflush(stderr);
+        };
     }
+    const std::vector<SweepResult> results = runner.run(grid, progress);
+
+    CsvReporter::writeHeader(*os);
+    for (const auto &cell : results)
+        CsvReporter::writeRow(*os, cell.spec.system, cell.spec.workload,
+                              cell.spec.policy, cell.result);
     if (!out_path.empty())
-        std::fprintf(stderr, "\rwrote %zu rows to %s\n", total,
+        std::fprintf(stderr, "\rwrote %zu rows to %s\n", results.size(),
                      out_path.c_str());
     return 0;
 }
