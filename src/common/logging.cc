@@ -32,18 +32,6 @@ panicImpl(const char *file, int line, const char *fmt, ...)
 }
 
 void
-fatalImpl(const char *file, int line, const char *fmt, ...)
-{
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
-    va_list args;
-    va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
-    va_end(args);
-    std::fprintf(stderr, "\n");
-    std::exit(1);
-}
-
-void
 assertFailImpl(const char *file, int line, const char *cond,
                const char *fmt, ...)
 {

@@ -4,10 +4,13 @@
  *
  * panic()  -- an internal invariant was violated; this is a simulator bug.
  *             Aborts so a debugger or core dump can pinpoint the fault.
- * fatal()  -- the simulation cannot continue due to a user-level problem
- *             (bad configuration, impossible parameters). Exits cleanly.
  * warn()   -- something is questionable but the simulation proceeds.
  * inform() -- plain status output.
+ *
+ * User-level problems (bad configuration, malformed inputs) are NOT
+ * reported here: library code throws the mil::SimError hierarchy from
+ * common/sim_error.hh and only the tools translate an escaped error
+ * into process termination.
  */
 
 #ifndef MIL_COMMON_LOGGING_HH
@@ -21,10 +24,6 @@ namespace mil
 
 /** Print a formatted bug message and abort. */
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
-    __attribute__((format(printf, 3, 4)));
-
-/** Print a formatted user-error message and exit(1). */
-[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
 /** Print a failed-assertion message (condition + explanation), abort. */
@@ -43,7 +42,6 @@ void informImpl(const char *fmt, ...)
 } // namespace mil
 
 #define mil_panic(...) ::mil::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
-#define mil_fatal(...) ::mil::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define mil_warn(...) ::mil::warnImpl(__VA_ARGS__)
 #define mil_inform(...) ::mil::informImpl(__VA_ARGS__)
 

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The structured error hierarchy thrown by the simulator library.
+ *
+ * Library code never terminates the process: user-level problems
+ * (bad configuration, malformed inputs, protocol stalls, codec
+ * mismatches) surface as exceptions derived from mil::SimError so
+ * that embedders -- the sweep runner isolating one grid cell, a test
+ * asserting on failure modes, a tool translating to an exit code --
+ * decide the policy. Internal invariant violations (simulator bugs)
+ * still abort via mil_panic / mil_assert, where a core dump is the
+ * most useful artifact.
+ *
+ * Hierarchy:
+ *   SimError            -- base; anything the library can raise.
+ *     ConfigError       -- impossible/unknown user configuration.
+ *     TimingViolation   -- DRAM timing contract broken at runtime.
+ *     DecodeError       -- a codec failed decode(encode(x)) == x.
+ *     StallError        -- the forward-progress watchdog tripped.
+ */
+
+#ifndef MIL_COMMON_SIM_ERROR_HH
+#define MIL_COMMON_SIM_ERROR_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace mil
+{
+
+/** printf-style formatting into a std::string (for error messages). */
+inline std::string
+strformat(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+inline std::string
+strformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(static_cast<std::size_t>(n));
+    }
+    va_end(args);
+    return out;
+}
+
+/** Base class for every recoverable simulator error. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** A user-supplied configuration is unknown or impossible. */
+class ConfigError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** A DRAM timing/protocol contract was broken during simulation. */
+class TimingViolation : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** A codec failed its decode(encode(x)) == x round-trip contract. */
+class DecodeError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** The forward-progress watchdog detected a stalled simulation. */
+class StallError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+} // namespace mil
+
+#endif // MIL_COMMON_SIM_ERROR_HH

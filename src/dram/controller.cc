@@ -1,23 +1,53 @@
 #include "controller.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
+#include "fault/crc8.hh"
 
 namespace mil
 {
+
+namespace
+{
+
+/**
+ * MIL_PARANOID forces the decode(encode(x)) == x self-check on every
+ * transfer even when a config disables verifyData. Read once: the
+ * check is branch-predicted away when the knob is off.
+ */
+bool
+paranoidMode()
+{
+    static const bool on = [] {
+        const char *env = std::getenv("MIL_PARANOID");
+        return env != nullptr && *env != '\0' && *env != '0';
+    }();
+    return on;
+}
+
+} // anonymous namespace
 
 MemoryController::MemoryController(const TimingParams &timing,
                                    const ControllerConfig &config,
                                    FunctionalMemory *backing,
                                    CodingPolicy *policy)
-    : timing_(timing), config_(config), backing_(backing), policy_(policy)
+    : timing_(timing), config_(config), backing_(backing), policy_(policy),
+      injector_(config.faultModel)
 {
     mil_assert(backing_ != nullptr, "controller needs a backing store");
     mil_assert(policy_ != nullptr, "controller needs a coding policy");
-    mil_assert(config_.drainLowWatermark < config_.drainHighWatermark &&
-               config_.drainHighWatermark <= config_.writeQueueSize,
-               "bad drain watermarks");
+    timing_.validate();
+    if (config_.drainLowWatermark >= config_.drainHighWatermark ||
+        config_.drainHighWatermark > config_.writeQueueSize) {
+        throw ConfigError(strformat(
+            "controller drain watermarks low=%u high=%u must satisfy "
+            "low < high <= write queue size %u",
+            config_.drainLowWatermark, config_.drainHighWatermark,
+            config_.writeQueueSize));
+    }
 
     ranks_.resize(timing_.ranks);
     rankPending_.assign(timing_.ranks, 0);
@@ -189,7 +219,7 @@ MemoryController::columnReadyWithin(Cycle now, Cycle horizon,
     return count;
 }
 
-void
+Cycle
 MemoryController::transferData(Cycle data_start, const Entry &entry,
                                bool is_write, const Code &code)
 {
@@ -205,14 +235,23 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
     const Cycle burst_cycles = code.busCycles();
     const Cycle data_end = data_start + burst_cycles;
 
-    if (config_.verifyData) {
+    if (config_.verifyData || paranoidMode()) {
         const Line round_trip = code.decode(frame);
-        mil_assert(round_trip == *line,
-                   "code %s corrupted line at 0x%llx", code.name().c_str(),
-                   static_cast<unsigned long long>(entry.req.lineAddr));
+        if (round_trip != *line) {
+            std::size_t byte = 0;
+            while (byte < lineBytes && round_trip[byte] == (*line)[byte])
+                ++byte;
+            throw DecodeError(strformat(
+                "code %s corrupted line at 0x%llx: byte %zu wrote 0x%02x "
+                "read back 0x%02x (%u lanes x %u beats)",
+                code.name().c_str(),
+                static_cast<unsigned long long>(entry.req.lineAddr), byte,
+                (*line)[byte], round_trip[byte], frame.lanes(),
+                frame.beats()));
+        }
     }
 
-    // Bus statistics.
+    // Bus statistics for the first drive.
     if (havePrevBurst_) {
         const Cycle gap = data_start - prevBurstEnd_;
         stats_.idleGaps.sample(gap);
@@ -220,18 +259,84 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
             turnaroundGap(is_write, entry.req.coord.rank);
         stats_.slack.sample(gap > required ? gap - required : 0);
     }
-    stats_.busBusyCycles += burst_cycles;
-    const std::uint64_t bits = frame.totalBits();
-    const std::uint64_t zeros = frame.zeroCount();
-    stats_.bitsTransferred += bits;
-    stats_.zerosTransferred += zeros;
-    stats_.wireTransitions += frame.transitionCount(wireState_);
 
     auto &usage = stats_.schemes[code.name()];
+    const std::uint64_t bits = frame.totalBits();
+    const std::uint64_t zeros = frame.zeroCount();
+
+    // Charge one drive of the (clean) frame: the transmitter always
+    // drives the encoded values; receiver-side faults do not change
+    // the driven energy.
+    auto accountDrive = [&] {
+        stats_.busBusyCycles += burst_cycles;
+        stats_.bitsTransferred += bits;
+        stats_.zerosTransferred += zeros;
+        stats_.wireTransitions += frame.transitionCount(wireState_);
+        usage.bitsTransferred += bits;
+        usage.zeros += zeros;
+        policy_->observe(code, bits, zeros);
+    };
+    accountDrive();
     usage.bursts += 1;
-    usage.bitsTransferred += bits;
-    usage.zeros += zeros;
-    policy_->observe(code, bits, zeros);
+    busBursts_.push_back(Burst{data_start, data_end});
+
+    // Link-fault injection and the DDR4 write-CRC/retry path. Faults
+    // are timing/statistics events only: the functional image always
+    // holds the true line, so corruption never propagates into the
+    // simulated program (the paper's figures assume correct data; the
+    // robustness counters quantify what a real channel would risk).
+    Cycle final_end = data_end;
+    if (injector_.enabled()) {
+        BusFrame wire = frame;
+        FaultOutcome out = injector_.perturb(wire, frameCounter_++);
+        stats_.faultBitsInjected += out.flippedBits;
+        bool corrupted = !(wire == frame);
+        if (corrupted)
+            ++stats_.faultyFrames;
+
+        if (is_write) {
+            const std::uint8_t sent_crc = crc8(frame);
+            unsigned attempts = 0;
+            while (corrupted) {
+                if (crc8(wire) == sent_crc) {
+                    // The flips alias under CRC-8: silent corruption.
+                    ++stats_.crcUndetected;
+                    break;
+                }
+                ++stats_.crcDetected;
+                if (attempts == config_.crcMaxRetries) {
+                    ++stats_.retryAborts;
+                    break;
+                }
+                ++attempts;
+                ++stats_.crcRetries;
+                ++usage.retries;
+
+                // Re-drive after the alert: the bus carries the whole
+                // burst again, and the retry pays full IO energy.
+                const Cycle retry_start = final_end + timing_.tCrcAlert;
+                final_end = retry_start + burst_cycles;
+                stats_.retryCycles +=
+                    timing_.tCrcAlert + burst_cycles;
+                stats_.retryBits += bits;
+                accountDrive();
+                busBursts_.push_back(Burst{retry_start, final_end});
+
+                wire = frame;
+                out = injector_.perturb(wire, frameCounter_++);
+                stats_.faultBitsInjected += out.flippedBits;
+                corrupted = !(wire == frame);
+                if (corrupted)
+                    ++stats_.faultyFrames;
+            }
+        } else if (corrupted) {
+            // DDR4 has no read CRC; a corrupted read frame reaches
+            // the controller unflagged.
+            ++stats_.crcUndetected;
+        }
+    } else {
+        ++frameCounter_;
+    }
 
     if (tracer_ != nullptr) {
         TraceEvent event;
@@ -240,16 +345,15 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
         event.cycle = lastTick_;
         event.coord = entry.req.coord;
         event.dataStart = data_start;
-        event.dataEnd = data_end;
+        event.dataEnd = final_end;
         event.scheme = code.name();
         event.zeros = zeros;
         tracer_->traceEvent(event);
     }
 
-    busBursts_.push_back(Burst{data_start, data_end});
-    busFreeAt_ = data_end;
+    busFreeAt_ = final_end;
     havePrevBurst_ = true;
-    prevBurstEnd_ = data_end;
+    prevBurstEnd_ = final_end;
     prevBurstWrite_ = is_write;
     prevBurstRank_ = entry.req.coord.rank;
 
@@ -258,6 +362,7 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
         responses_.push_back(PendingResponse{
             data_end + 1, entry.req.id, *line, entry.sink});
     }
+    return final_end;
 }
 
 void
@@ -287,7 +392,10 @@ MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
     rank.nextColSameGroup[c.bankGroup] = std::max(
         rank.nextColSameGroup[c.bankGroup], now + timing_.tCCD_L);
 
-    const Cycle data_end = data_start + code.busCycles();
+    // data_end covers CRC retries: a re-driven write pushes its
+    // write-recovery and write-to-read windows out with the data.
+    const Cycle data_end =
+        transferData(data_start, entry, is_write, code);
     if (is_write) {
         // Write-to-read turnaround, measured from the end of write data.
         rank.nextRdAnyGroup =
@@ -309,8 +417,6 @@ MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
         b.nextAct = std::max(b.nextAct, b.nextPre + timing_.tRP);
         ++stats_.precharges;
     }
-
-    transferData(data_start, entry, is_write, code);
 }
 
 bool
@@ -572,8 +678,12 @@ MemoryController::drainResponses(Cycle now)
 void
 MemoryController::tick(Cycle now)
 {
-    mil_assert(!ticked_ || now == lastTick_ + 1,
-               "controller ticks must be consecutive");
+    if (ticked_ && now != lastTick_ + 1) {
+        throw TimingViolation(strformat(
+            "controller ticks must be consecutive: cycle %llu after %llu",
+            static_cast<unsigned long long>(now),
+            static_cast<unsigned long long>(lastTick_)));
+    }
     lastTick_ = now;
     ticked_ = true;
 

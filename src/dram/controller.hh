@@ -28,6 +28,7 @@
 #include "dram/stats.hh"
 #include "dram/timing.hh"
 #include "dram/trace.hh"
+#include "fault/fault_injector.hh"
 
 namespace mil
 {
@@ -62,6 +63,18 @@ struct ControllerConfig
     unsigned powerDownIdleCycles = 48;
 
     PagePolicy pagePolicy = PagePolicy::Open;
+
+    /**
+     * Link-fault characteristics of this channel. When any rate is
+     * nonzero, every burst's frame is perturbed in flight and writes
+     * go through the JEDEC write-CRC path: a detected error re-drives
+     * the burst after tCrcAlert, paying bus occupancy, re-driven IO
+     * energy, and a pushed-out write-recovery window.
+     */
+    FaultModel faultModel;
+
+    /** Give up re-driving one write after this many attempts. */
+    unsigned crcMaxRetries = 8;
 };
 
 /** One DDRx channel: command engine, queues, banks, data bus. */
@@ -97,6 +110,12 @@ class MemoryController
     std::size_t readQueueDepth() const { return readQ_.size(); }
     std::size_t writeQueueDepth() const { return writeQ_.size(); }
     bool draining() const { return draining_; }
+
+    /** In-flight read responses (used by the stall diagnostic). */
+    std::size_t pendingResponses() const { return responses_.size(); }
+
+    /** Bursts injected so far (the fault-injection frame index). */
+    std::uint64_t framesDriven() const { return frameCounter_; }
 
     /**
      * Number of column commands in the queues, other than @p exclude,
@@ -177,8 +196,14 @@ class MemoryController
     bool tryIssueRowCommand(Cycle now, std::deque<Entry> &queue);
 
     void issueColumn(Cycle now, Entry &entry, bool is_write);
-    void transferData(Cycle data_start, const Entry &entry, bool is_write,
-                      const Code &code);
+
+    /**
+     * Drive one burst (plus any CRC-triggered re-drives) on the bus.
+     * Returns the cycle the last data beat of the transfer -- retries
+     * included -- leaves the wire, which gates tWR/tWTR.
+     */
+    Cycle transferData(Cycle data_start, const Entry &entry, bool is_write,
+                       const Code &code);
 
     void updateDrainMode();
     void accountCycle(Cycle now);
@@ -193,6 +218,8 @@ class MemoryController
     ControllerConfig config_;
     FunctionalMemory *backing_;
     CodingPolicy *policy_;
+    FaultInjector injector_;
+    std::uint64_t frameCounter_ = 0; ///< Frames driven, retries included.
 
     std::deque<Entry> readQ_;
     std::deque<Entry> writeQ_;

@@ -20,6 +20,14 @@ ChannelStats::merge(const ChannelStats &other)
     bitsTransferred += other.bitsTransferred;
     zerosTransferred += other.zerosTransferred;
     wireTransitions += other.wireTransitions;
+    faultBitsInjected += other.faultBitsInjected;
+    faultyFrames += other.faultyFrames;
+    crcDetected += other.crcDetected;
+    crcRetries += other.crcRetries;
+    crcUndetected += other.crcUndetected;
+    retryAborts += other.retryAborts;
+    retryBits += other.retryBits;
+    retryCycles += other.retryCycles;
     rankActiveStandbyCycles += other.rankActiveStandbyCycles;
     rankPrechargeStandbyCycles += other.rankPrechargeStandbyCycles;
     rankRefreshCycles += other.rankRefreshCycles;
@@ -32,6 +40,7 @@ ChannelStats::merge(const ChannelStats &other)
         mine.bursts += usage.bursts;
         mine.bitsTransferred += usage.bitsTransferred;
         mine.zeros += usage.zeros;
+        mine.retries += usage.retries;
     }
 }
 

@@ -23,6 +23,11 @@ struct SchemeUsage
     std::uint64_t bursts = 0;
     std::uint64_t bitsTransferred = 0;
     std::uint64_t zeros = 0;
+
+    /** CRC retries of bursts sent under this scheme; the re-driven
+     *  bits are counted into bitsTransferred (they cost IO energy),
+     *  so bitsTransferred is this scheme's wire exposure. */
+    std::uint64_t retries = 0;
 };
 
 /** Statistics for one memory channel. */
@@ -43,10 +48,24 @@ struct ChannelStats
     Cycle idlePendingCycles = 0;
     Cycle idleNoPendingCycles = 0;
 
-    // Data movement (Figures 17/18).
+    // Data movement (Figures 17/18). Includes CRC-retry re-drives:
+    // bitsTransferred is the channel's total wire exposure in
+    // bit-cells, the quantity the IO energy model charges for.
     std::uint64_t bitsTransferred = 0;
     std::uint64_t zerosTransferred = 0;
     std::uint64_t wireTransitions = 0;
+
+    // Link faults and the DDR4 write-CRC/retry path.
+    std::uint64_t faultBitsInjected = 0; ///< Bit-flip events applied.
+    std::uint64_t faultyFrames = 0;      ///< Frames perturbed in flight.
+    std::uint64_t crcDetected = 0;       ///< Write bursts CRC flagged.
+    std::uint64_t crcRetries = 0;        ///< Write bursts re-driven.
+    std::uint64_t crcUndetected = 0;     ///< Corrupt frames CRC missed
+                                         ///< (plus unprotected reads).
+    std::uint64_t retryAborts = 0;       ///< Retry budget exhausted.
+    std::uint64_t retryBits = 0;         ///< Bits re-driven by retries.
+    Cycle retryCycles = 0;               ///< Bus cycles spent retrying
+                                         ///< (alert gaps + re-drives).
 
     // Background-power residency, summed over ranks.
     Cycle rankActiveStandbyCycles = 0;

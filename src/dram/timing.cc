@@ -1,7 +1,41 @@
 #include "timing.hh"
 
+#include "common/sim_error.hh"
+
 namespace mil
 {
+
+void
+TimingParams::validate() const
+{
+    if (ranks == 0 || bankGroups == 0 || banksPerGroup == 0)
+        throw TimingViolation(strformat(
+            "%s: organization needs >= 1 rank, bank group, and bank "
+            "(ranks=%u groups=%u banks/group=%u)",
+            name.c_str(), ranks, bankGroups, banksPerGroup));
+    if (clockNs <= 0.0)
+        throw TimingViolation(strformat(
+            "%s: controller clock period %g ns must be positive",
+            name.c_str(), clockNs));
+    if (pageBytes < lineBytes)
+        throw TimingViolation(strformat(
+            "%s: page of %u bytes cannot hold one %zu-byte line",
+            name.c_str(), pageBytes, lineBytes));
+    if (tRAS < tRCD)
+        throw TimingViolation(strformat(
+            "%s: tRAS (%u) below tRCD (%u) leaves no column window",
+            name.c_str(), tRAS, tRCD));
+    if (tRC < tRAS)
+        throw TimingViolation(strformat(
+            "%s: tRC (%u) below tRAS (%u)", name.c_str(), tRC, tRAS));
+    if (tREFI == 0 || tRFC == 0)
+        throw TimingViolation(strformat(
+            "%s: refresh needs nonzero tREFI/tRFC", name.c_str()));
+    if (tRFC >= tREFI)
+        throw TimingViolation(strformat(
+            "%s: tRFC (%u) >= tREFI (%u) refreshes forever",
+            name.c_str(), tRFC, tREFI));
+}
 
 TimingParams
 TimingParams::ddr4_3200()

@@ -78,6 +78,9 @@ struct TimingParams
     // Power-down (used only when the controller enables the mode).
     unsigned tXP = 10;      ///< Power-down exit to first command.
 
+    // Write CRC (used only when fault injection is active).
+    unsigned tCrcAlert = 8; ///< End of write data to CRC error alert.
+
     /** Total banks per rank. */
     unsigned banks() const { return bankGroups * banksPerGroup; }
 
@@ -97,6 +100,13 @@ struct TimingParams
     {
         return same_group ? tWTR_L : tWTR_S;
     }
+
+    /**
+     * Sanity-check the parameter set; throws mil::TimingViolation on
+     * impossible values (zero clock, no banks, tRAS < tRCD, ...).
+     * The controller validates its timing on construction.
+     */
+    void validate() const;
 
     /** The paper's DDR4-3200 microserver channel (Table 2). */
     static TimingParams ddr4_3200();

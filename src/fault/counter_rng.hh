@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Counter-based pseudo-random number generation for fault injection.
+ *
+ * Unlike the stateful xoshiro generator the workloads use, fault
+ * injection needs random draws that are a pure function of
+ * (seed, frame index, draw index): any frame's perturbation can then
+ * be reproduced exactly -- independent of how many frames were
+ * perturbed before it, in what order, or on which thread. This is the
+ * same determinism guarantee SweepRunner gives for per-cell seeds,
+ * pushed down to the individual bus transfer.
+ */
+
+#ifndef MIL_FAULT_COUNTER_RNG_HH
+#define MIL_FAULT_COUNTER_RNG_HH
+
+#include <cstdint>
+
+namespace mil
+{
+
+/**
+ * A stateless-by-construction generator: each draw hashes
+ * (seed, stream, counter) through two rounds of splitmix64-style
+ * mixing, so draw k of stream s under seed x is always the same
+ * 64-bit value. A CounterRng instance is just a cursor over one
+ * stream.
+ */
+class CounterRng
+{
+  public:
+    CounterRng(std::uint64_t seed, std::uint64_t stream)
+        : seed_(seed), stream_(stream)
+    {}
+
+    /** Next raw 64-bit draw (advances the draw counter). */
+    std::uint64_t
+    next()
+    {
+        return hash(seed_, stream_, counter_++);
+    }
+
+    /** Uniform draw in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** The pure hash behind every draw. */
+    static std::uint64_t
+    hash(std::uint64_t seed, std::uint64_t stream, std::uint64_t counter)
+    {
+        std::uint64_t z = seed;
+        z += 0x9E3779B97F4A7C15ull * (stream + 1);
+        z = mix(z);
+        z += 0x9E3779B97F4A7C15ull * (counter + 1);
+        z = mix(z);
+        return z;
+    }
+
+  private:
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t seed_;
+    std::uint64_t stream_;
+    std::uint64_t counter_ = 0;
+};
+
+} // namespace mil
+
+#endif // MIL_FAULT_COUNTER_RNG_HH

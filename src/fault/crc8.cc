@@ -1,0 +1,64 @@
+#include "crc8.hh"
+
+#include <array>
+
+namespace mil
+{
+
+namespace
+{
+
+constexpr std::uint8_t kPoly = 0x07; // X^8 + X^2 + X + 1, MSB-first.
+
+std::array<std::uint8_t, 256>
+buildTable()
+{
+    std::array<std::uint8_t, 256> table{};
+    for (unsigned byte = 0; byte < 256; ++byte) {
+        std::uint8_t crc = static_cast<std::uint8_t>(byte);
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 0x80u)
+                ? static_cast<std::uint8_t>((crc << 1) ^ kPoly)
+                : static_cast<std::uint8_t>(crc << 1);
+        }
+        table[byte] = crc;
+    }
+    return table;
+}
+
+} // anonymous namespace
+
+std::uint8_t
+crc8(const std::uint8_t *data, std::size_t len, std::uint8_t init)
+{
+    static const std::array<std::uint8_t, 256> table = buildTable();
+    std::uint8_t crc = init;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[crc ^ data[i]];
+    return crc;
+}
+
+std::uint8_t
+crc8(const BusFrame &frame)
+{
+    std::uint8_t crc = 0;
+    std::uint8_t pending = 0;
+    unsigned filled = 0;
+    const std::uint64_t total = frame.totalBits();
+    for (std::uint64_t k = 0; k < total; ++k) {
+        pending = static_cast<std::uint8_t>(
+            (pending << 1) | (frame.linearBit(k) ? 1 : 0));
+        if (++filled == 8) {
+            crc = crc8(&pending, 1, crc);
+            pending = 0;
+            filled = 0;
+        }
+    }
+    if (filled != 0) {
+        pending = static_cast<std::uint8_t>(pending << (8 - filled));
+        crc = crc8(&pending, 1, crc);
+    }
+    return crc;
+}
+
+} // namespace mil

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CRC-8 for the DDR4 write-CRC path.
+ *
+ * JEDEC DDR4 write CRC uses the ATM-8 polynomial X^8 + X^2 + X + 1
+ * (0x07 in normal MSB-first representation). Real DDR4 computes one
+ * checksum per x8 device over its 72-bit slice of the burst; this
+ * model computes a single CRC-8 over the whole bus frame, which keeps
+ * the detection behaviour (all single-bit errors caught, double-bit
+ * coverage degrading with frame length) while staying codec-agnostic:
+ * MiL's longer frames genuinely get weaker multi-bit coverage per
+ * checksum bit than DBI's shorter ones, which is the exposure
+ * trade-off the sweep reports measure.
+ */
+
+#ifndef MIL_FAULT_CRC8_HH
+#define MIL_FAULT_CRC8_HH
+
+#include <cstdint>
+
+#include "coding/bus_frame.hh"
+
+namespace mil
+{
+
+/** CRC-8/ATM (poly 0x07, init 0x00) over a raw byte buffer. */
+std::uint8_t crc8(const std::uint8_t *data, std::size_t len,
+                  std::uint8_t init = 0x00);
+
+/**
+ * CRC-8/ATM over a bus frame's bits in beat-major, lane-minor order
+ * (the order the beats appear on the wire), padded with zero bits to
+ * a byte boundary.
+ */
+std::uint8_t crc8(const BusFrame &frame);
+
+} // namespace mil
+
+#endif // MIL_FAULT_CRC8_HH

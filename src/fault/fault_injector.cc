@@ -1,0 +1,100 @@
+#include "fault_injector.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/sim_error.hh"
+#include "fault/counter_rng.hh"
+
+namespace mil
+{
+
+FaultInjector::FaultInjector(const FaultModel &model) : model_(model)
+{
+    if (model_.ber < 0.0 || model_.ber >= 1.0)
+        throw ConfigError(strformat(
+            "fault model: BER %g outside [0, 1)", model_.ber));
+    if (model_.burstProb < 0.0 || model_.burstProb > 1.0)
+        throw ConfigError(strformat(
+            "fault model: burst probability %g outside [0, 1]",
+            model_.burstProb));
+    if (model_.strobeGlitchProb < 0.0 || model_.strobeGlitchProb > 1.0)
+        throw ConfigError(strformat(
+            "fault model: strobe glitch probability %g outside [0, 1]",
+            model_.strobeGlitchProb));
+    if (model_.burstProb > 0.0 && model_.burstLanes == 0)
+        throw ConfigError("fault model: burst errors need burstLanes >= 1");
+    if (model_.ber > 0.0)
+        logOneMinusBer_ = std::log1p(-model_.ber);
+}
+
+FaultOutcome
+FaultInjector::perturb(BusFrame &frame, std::uint64_t frame_index) const
+{
+    FaultOutcome outcome;
+    if (!enabled() || frame.totalBits() == 0)
+        return outcome;
+
+    CounterRng rng(model_.seed, frame_index);
+    const std::uint64_t total = frame.totalBits();
+
+    // Independent bit flips at the configured BER, visited by
+    // geometric skip sampling so the draw count scales with the
+    // number of faults, not the number of bits.
+    if (model_.ber > 0.0) {
+        std::uint64_t pos = 0;
+        while (true) {
+            const double u = rng.uniform();
+            // Skip ~ Geometric(ber): floor(log(1-u) / log(1-ber)).
+            const double skip =
+                std::floor(std::log1p(-u) / logOneMinusBer_);
+            if (skip >= static_cast<double>(total - pos))
+                break;
+            pos += static_cast<std::uint64_t>(skip);
+            frame.setLinearBit(pos, !frame.linearBit(pos));
+            ++outcome.flippedBits;
+            if (++pos >= total)
+                break;
+        }
+    }
+
+    // One burst error corrupts a run of adjacent lanes in one beat.
+    if (model_.burstProb > 0.0 && rng.chance(model_.burstProb)) {
+        ++outcome.burstEvents;
+        const unsigned beat =
+            static_cast<unsigned>(rng.below(frame.beats()));
+        const unsigned span =
+            model_.burstLanes < frame.lanes() ? model_.burstLanes
+                                              : frame.lanes();
+        const unsigned lane0 = static_cast<unsigned>(
+            rng.below(frame.lanes() - span + 1));
+        for (unsigned l = lane0; l < lane0 + span; ++l) {
+            frame.setBitAt(beat, l, !frame.bitAt(beat, l));
+            ++outcome.flippedBits;
+        }
+    }
+
+    // Strobe glitches: a mis-timed DQS makes the receiver re-latch
+    // the previous beat's levels (stale capture); a glitch on the
+    // first beat latches the complement instead.
+    if (model_.strobeGlitchProb > 0.0) {
+        for (unsigned beat = 0; beat < frame.beats(); ++beat) {
+            if (!rng.chance(model_.strobeGlitchProb))
+                continue;
+            ++outcome.strobeGlitches;
+            for (unsigned l = 0; l < frame.lanes(); ++l) {
+                const bool cur = frame.bitAt(beat, l);
+                const bool sampled =
+                    beat == 0 ? !cur : frame.bitAt(beat - 1, l);
+                if (sampled != cur) {
+                    frame.setBitAt(beat, l, sampled);
+                    ++outcome.flippedBits;
+                }
+            }
+        }
+    }
+
+    return outcome;
+}
+
+} // namespace mil

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic link-fault injection for bus frames in flight.
+ *
+ * The injector perturbs the bit image of a burst the way a marginal
+ * DDR4 channel would: independent single-bit flips at a configured
+ * bit-error rate, burst errors that corrupt a run of adjacent lanes
+ * in one beat (crosstalk / simultaneous-switching noise), and strobe
+ * glitches that mis-sample an entire beat (DQS timing failure).
+ *
+ * Every perturbation is a pure function of (model.seed, frame index):
+ * the injector owns no mutable state, all randomness comes from a
+ * counter-based PRNG streamed per frame, and so any frame's faults
+ * reproduce exactly regardless of thread count, call order, or what
+ * other frames were injected -- the same guarantee SweepRunner gives
+ * for per-cell seeds.
+ */
+
+#ifndef MIL_FAULT_FAULT_INJECTOR_HH
+#define MIL_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "coding/bus_frame.hh"
+
+namespace mil
+{
+
+/** The channel's fault characteristics. All rates default to zero. */
+struct FaultModel
+{
+    /** Independent per-bit flip probability (the channel BER). */
+    double ber = 0.0;
+
+    /** Per-frame probability of one adjacent-lane burst error. */
+    double burstProb = 0.0;
+
+    /** Lanes corrupted by one burst event. */
+    unsigned burstLanes = 4;
+
+    /** Per-beat probability of a strobe (DQS) glitch. */
+    double strobeGlitchProb = 0.0;
+
+    /** Base seed; combined with the frame index per perturbation. */
+    std::uint64_t seed = 0x51CC5EEDull;
+
+    /** Any fault mechanism active? */
+    bool
+    enabled() const
+    {
+        return ber > 0.0 || burstProb > 0.0 || strobeGlitchProb > 0.0;
+    }
+};
+
+/** What one perturbation did to a frame. */
+struct FaultOutcome
+{
+    /** Bit-flip events applied (two hits on one bit restore it). */
+    unsigned flippedBits = 0;
+    unsigned burstEvents = 0;    ///< Adjacent-lane bursts applied.
+    unsigned strobeGlitches = 0; ///< Beats mis-sampled.
+
+    bool corrupted() const { return flippedBits > 0; }
+};
+
+/** Applies a FaultModel to frames. Stateless and thread-compatible. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultModel &model);
+
+    const FaultModel &model() const { return model_; }
+    bool enabled() const { return model_.enabled(); }
+
+    /**
+     * Perturb @p frame in place. @p frame_index identifies the
+     * transfer (e.g. a per-channel burst counter); together with the
+     * model seed it fully determines the faults applied.
+     */
+    FaultOutcome perturb(BusFrame &frame,
+                         std::uint64_t frame_index) const;
+
+  private:
+    FaultModel model_;
+    double logOneMinusBer_ = 0.0;
+};
+
+} // namespace mil
+
+#endif // MIL_FAULT_FAULT_INJECTOR_HH

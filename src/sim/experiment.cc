@@ -5,7 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "mil/policies.hh"
 
 namespace mil
@@ -16,7 +16,8 @@ RunSpec::key() const
 {
     return system + "/" + workload + "/" + policy + "/X" +
         std::to_string(lookahead) + "/" + std::to_string(opsPerThread) +
-        "/" + std::to_string(scale) + "/S" + std::to_string(seed);
+        "/" + std::to_string(scale) + "/S" + std::to_string(seed) +
+        "/B" + std::to_string(ber);
 }
 
 std::unique_ptr<CodingPolicy>
@@ -46,12 +47,22 @@ makePolicy(const std::string &name, unsigned lookahead)
         return policies::milPerfect(lookahead);
     if (name == "MiL-adaptive")
         return policies::milAdaptive(lookahead);
-    if (name.rfind("BL", 0) == 0) {
+    if (name.rfind("BL", 0) == 0 && name.size() > 2 &&
+        name.find_first_not_of("0123456789", 2) == std::string::npos) {
         const unsigned bl = static_cast<unsigned>(
             std::strtoul(name.c_str() + 2, nullptr, 10));
+        if (bl < 8 || bl > 32)
+            throw ConfigError(strformat(
+                "policy %s: burst length %u outside [8, 32]",
+                name.c_str(), bl));
         return policies::fixedBurst(bl);
     }
-    mil_fatal("unknown policy '%s'", name.c_str());
+    std::string known;
+    for (const auto &n : policyNames())
+        known += (known.empty() ? "" : " ") + n;
+    throw ConfigError(strformat(
+        "unknown policy '%s' (choose from: %s BLn)", name.c_str(),
+        known.c_str()));
 }
 
 SystemConfig
@@ -61,7 +72,35 @@ makeSystemConfig(const std::string &name)
         return SystemConfig::microserver();
     if (name == "lpddr3")
         return SystemConfig::mobile();
-    mil_fatal("unknown system '%s'", name.c_str());
+    std::string known;
+    for (const auto &n : systemNames())
+        known += (known.empty() ? "" : " ") + n;
+    throw ConfigError(strformat("unknown system '%s' (choose from: %s)",
+                                name.c_str(), known.c_str()));
+}
+
+std::vector<std::string>
+systemNames()
+{
+    return {"ddr4", "lpddr3"};
+}
+
+std::vector<std::string>
+policyNames()
+{
+    return {"DBI", "Uncoded", "MiL", "MiL-nowopt", "MiLC", "CAFO2",
+            "CAFO4", "3LWC", "MiL-P3", "MiL-adaptive"};
+}
+
+bool
+isPolicyName(const std::string &name)
+{
+    try {
+        makePolicy(name);
+        return true;
+    } catch (const SimError &) {
+        return false;
+    }
 }
 
 std::uint64_t
@@ -104,7 +143,12 @@ runSpecFresh(const RunSpec &spec)
 {
     const RunSpec s = canonicalize(spec);
 
-    const SystemConfig config = makeSystemConfig(s.system);
+    SystemConfig config = makeSystemConfig(s.system);
+    if (s.ber != 0.0) {
+        config.controller.faultModel.ber = s.ber;
+        if (s.seed != 0)
+            config.controller.faultModel.seed = s.seed;
+    }
     WorkloadConfig wl_config;
     wl_config.scale = s.scale;
     if (s.seed != 0)

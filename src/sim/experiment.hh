@@ -30,18 +30,36 @@ struct RunSpec
     double scale = 0.0;            ///< 0 = the harness default.
     std::uint64_t seed = 0;        ///< 0 = the workload default seed.
 
+    /**
+     * Channel bit-error rate for link-fault injection; 0 keeps the
+     * perfect-channel model. Nonzero enables the DDR4 write-CRC +
+     * retry path, with the injector seeded from @ref seed (or a
+     * fixed default when seed is 0) so runs stay reproducible.
+     */
+    double ber = 0.0;
+
     std::string key() const;
 };
 
 /**
  * Instantiate a policy by name: "DBI", "MiL", "MiLC", "CAFO2",
  * "CAFO4", "3LWC", "MiL-nowopt", or "BLn" (fixed burst length n).
+ * Throws mil::ConfigError for unknown names.
  */
 std::unique_ptr<CodingPolicy> makePolicy(const std::string &name,
                                          unsigned lookahead = 8);
 
-/** System config by name ("ddr4" or "lpddr3"). */
+/** System config by name ("ddr4" or "lpddr3"); ConfigError otherwise. */
 SystemConfig makeSystemConfig(const std::string &name);
+
+/** The named systems makeSystemConfig() accepts. */
+std::vector<std::string> systemNames();
+
+/** The fixed policy names makePolicy() accepts ("BLn" not listed). */
+std::vector<std::string> policyNames();
+
+/** Would makePolicy() accept this name (including the BLn family)? */
+bool isPolicyName(const std::string &name);
 
 /** Harness defaults chosen so a full figure regenerates in seconds. */
 std::uint64_t defaultOpsPerThread();

@@ -5,6 +5,27 @@
 namespace mil
 {
 
+namespace
+{
+
+/** RFC-4180 escaping: quote when the field needs it, double quotes. */
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
 void
 CsvReporter::writeHeader(std::ostream &os)
 {
@@ -15,13 +36,18 @@ CsvReporter::writeHeader(std::ostream &os)
           "prefetches_issued,idle_pending_cycles,idle_empty_cycles,"
           "powerdown_cycles,dram_background_mj,dram_activate_mj,"
           "dram_rw_mj,dram_refresh_mj,dram_io_mj,dram_total_mj,"
-          "processor_mj,system_total_mj\n";
+          "processor_mj,system_total_mj,"
+          "faulty_frames,fault_bits,crc_detected,crc_retries,"
+          "crc_undetected,retry_aborts,retry_bits,retry_cycles,"
+          "status,error\n";
 }
 
 void
 CsvReporter::writeRow(std::ostream &os, const std::string &system,
                       const std::string &workload,
-                      const std::string &policy, const SimResult &r)
+                      const std::string &policy, const SimResult &r,
+                      const std::string &status,
+                      const std::string &error)
 {
     const auto &e = r.dramEnergy;
     os << system << ',' << workload << ',' << policy << ','
@@ -38,7 +64,12 @@ CsvReporter::writeRow(std::ostream &os, const std::string &system,
        << ',' << e.activateMj << ',' << e.readWriteMj << ','
        << e.refreshMj << ',' << e.ioMj << ',' << e.totalMj() << ','
        << r.systemEnergy.processorMj << ','
-       << r.systemEnergy.totalMj() << '\n';
+       << r.systemEnergy.totalMj() << ',' << r.bus.faultyFrames << ','
+       << r.bus.faultBitsInjected << ',' << r.bus.crcDetected << ','
+       << r.bus.crcRetries << ',' << r.bus.crcUndetected << ','
+       << r.bus.retryAborts << ',' << r.bus.retryBits << ','
+       << r.bus.retryCycles << ',' << csvEscape(status) << ','
+       << csvEscape(error) << '\n';
 }
 
 } // namespace mil

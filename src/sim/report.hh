@@ -26,10 +26,18 @@ class CsvReporter
     /**
      * One result row. @p system / @p workload / @p policy label the
      * run (they are not recoverable from the result itself).
+     *
+     * @p status is "ok" for a completed run or "error" for a cell
+     * whose simulation failed; @p error carries the failure message
+     * (CSV-escaped on output) and should be empty when status is
+     * "ok". An error row keeps every numeric column at its
+     * default-constructed zero.
      */
     static void writeRow(std::ostream &os, const std::string &system,
                          const std::string &workload,
-                         const std::string &policy, const SimResult &r);
+                         const std::string &policy, const SimResult &r,
+                         const std::string &status = "ok",
+                         const std::string &error = "");
 };
 
 } // namespace mil

@@ -54,6 +54,7 @@ SweepGrid::expand() const
                 spec.lookahead = lookahead;
                 spec.opsPerThread = opsPerThread;
                 spec.scale = scale;
+                spec.ber = ber;
                 if (baseSeed != 0)
                     spec.seed = deriveSeed(baseSeed, specs.size());
                 specs.push_back(std::move(spec));
@@ -95,7 +96,17 @@ SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
         const RunSpec &spec = specs[i];
         SweepResult cell;
         cell.spec = spec;
-        cell.result = useCache_ ? runSpec(spec) : runSpecFresh(spec);
+        // Isolate failures to their own cell: one bad policy name or
+        // a stalled simulation must not take down the other N-1
+        // simulations already minutes into their runs. The message is
+        // deterministic (no addresses, no timestamps), keeping the
+        // full result vector identical across jobs counts.
+        try {
+            cell.result = useCache_ ? runSpec(spec) : runSpecFresh(spec);
+        } catch (const std::exception &e) {
+            cell.status = "error";
+            cell.error = e.what();
+        }
         results[i] = std::move(cell);
         if (progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);

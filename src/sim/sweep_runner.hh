@@ -45,6 +45,12 @@ struct SweepGrid
      */
     std::uint64_t baseSeed = 0;
 
+    /**
+     * Channel bit-error rate applied to every cell; 0 keeps the
+     * perfect link. See RunSpec::ber for the seeding rules.
+     */
+    double ber = 0.0;
+
     /** Number of cells in the cross product. */
     std::size_t size() const;
 
@@ -60,7 +66,11 @@ struct SweepGrid
 struct SweepResult
 {
     RunSpec spec;
-    SimResult result;
+    SimResult result;   ///< Default-constructed unless ok().
+    std::string status = "ok"; ///< "ok" or "error".
+    std::string error;  ///< The failure message when !ok().
+
+    bool ok() const { return status == "ok"; }
 };
 
 /** Runs every cell of a SweepGrid across a pool of threads. */
@@ -90,8 +100,12 @@ class SweepRunner
     /**
      * Evaluate the whole grid. The returned vector is in grid order
      * (matching grid.expand()) regardless of completion order.
-     * Exceptions from cells (e.g. unknown policy names) propagate to
-     * the caller.
+     *
+     * A cell that throws (unknown policy name, timing violation,
+     * watchdog stall, ...) is recorded as status = "error" with the
+     * exception message; every sibling cell still runs to completion.
+     * Failures never depend on scheduling, so the full result vector
+     * -- including error rows -- is identical for any jobs count.
      */
     std::vector<SweepResult> run(const SweepGrid &grid,
                                  const Progress &progress = {}) const;

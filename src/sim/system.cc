@@ -1,7 +1,10 @@
 #include "system.hh"
 
-#include "common/logging.hh"
+#include <sstream>
+
+#include "common/sim_error.hh"
 #include "dram/address_map.hh"
+#include "fault/counter_rng.hh"
 #include "power/dram_power.hh"
 
 namespace mil
@@ -17,8 +20,15 @@ System::System(const SystemConfig &config, const Workload &workload,
     const AddressMap map(config_.timing, config_.channels);
     std::vector<MemoryController *> raw_controllers;
     for (unsigned ch = 0; ch < config_.channels; ++ch) {
+        // Each channel is an independent physical link, so it gets its
+        // own fault stream: same master seed, channel-indexed stream.
+        // Without this, every channel would replay identical faults.
+        ControllerConfig ctrl_config = config_.controller;
+        if (ctrl_config.faultModel.enabled())
+            ctrl_config.faultModel.seed = CounterRng::hash(
+                config_.controller.faultModel.seed, 0x11A7, ch);
         controllers_.push_back(std::make_unique<MemoryController>(
-            config_.timing, config_.controller, funcMem_.get(), policy));
+            config_.timing, ctrl_config, funcMem_.get(), policy));
         raw_controllers.push_back(controllers_.back().get());
     }
     port_ = std::make_unique<DramPort>(map, raw_controllers,
@@ -92,15 +102,17 @@ System::run(Cycle max_cycles)
             break;
 
         // Forward-progress watchdog: a livelock in the protocol would
-        // otherwise spin to max_cycles silently.
+        // otherwise spin to max_cycles silently. The check is cheap
+        // (one scan every ~1M cycles) and raises a recoverable
+        // StallError carrying the pending-request state, so a sweep
+        // records the stall in one cell and the siblings finish.
         if ((now & 0xFFFFF) == 0) {
             const std::uint64_t ops = retired();
-            if (ops == last_progress_ops && now > last_progress_cycle &&
-                now - last_progress_cycle > 4'000'000 && !all_done()) {
-                mil_panic("no forward progress for 4M cycles "
-                          "(cycle %llu, %llu ops retired)",
-                          static_cast<unsigned long long>(now),
-                          static_cast<unsigned long long>(ops));
+            if (config_.watchdogStallCycles != 0 &&
+                ops == last_progress_ops && now > last_progress_cycle &&
+                now - last_progress_cycle > config_.watchdogStallCycles &&
+                !all_done()) {
+                throw StallError(stallDiagnostic(now, ops));
             }
             if (ops != last_progress_ops) {
                 last_progress_ops = ops;
@@ -135,6 +147,32 @@ System::run(Cycle max_cycles)
                                         config_.timing.clockNs);
     result.systemEnergy = system_power.energy(now, result.dramEnergy);
     return result;
+}
+
+std::string
+System::stallDiagnostic(Cycle now, std::uint64_t ops) const
+{
+    std::ostringstream os;
+    os << "no forward progress for "
+       << static_cast<unsigned long long>(config_.watchdogStallCycles)
+       << " cycles (cycle " << now << ", " << ops
+       << " ops retired); pending state:";
+    for (std::size_t ch = 0; ch < controllers_.size(); ++ch) {
+        const MemoryController &ctrl = *controllers_[ch];
+        os << " ch" << ch << "{readQ=" << ctrl.readQueueDepth()
+           << " writeQ=" << ctrl.writeQueueDepth()
+           << " responses=" << ctrl.pendingResponses()
+           << " draining=" << (ctrl.draining() ? 1 : 0)
+           << " frames=" << ctrl.framesDriven()
+           << " retries=" << ctrl.stats().crcRetries << "}";
+    }
+    unsigned cores_done = 0;
+    for (const auto &core : cores_)
+        cores_done += core->done() ? 1 : 0;
+    os << " cores_done=" << cores_done << "/" << cores_.size()
+       << " l2_busy=" << (l2_->busy() ? 1 : 0)
+       << " port_busy=" << (port_->busy() ? 1 : 0);
+    return os.str();
 }
 
 } // namespace mil

@@ -11,6 +11,7 @@
 #define MIL_SIM_SYSTEM_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dram/coding_policy.hh"
@@ -69,6 +70,9 @@ class System
     MemoryController &controller(unsigned ch) { return *controllers_[ch]; }
 
   private:
+    /** Pending-request dump the stall watchdog attaches to its error. */
+    std::string stallDiagnostic(Cycle now, std::uint64_t ops) const;
+
     SystemConfig config_;
     std::unique_ptr<FunctionalMemory> funcMem_;
     std::vector<std::unique_ptr<MemoryController>> controllers_;

@@ -40,6 +40,14 @@ struct SystemConfig
     DramPowerParams dramPower;
     SystemPowerParams systemPower;
 
+    /**
+     * Forward-progress watchdog: if no core retires a memory op for
+     * this many cycles while work is pending, the run raises
+     * mil::StallError with a pending-request diagnostic instead of
+     * spinning to max_cycles. Zero disables the guard.
+     */
+    Cycle watchdogStallCycles = 4'000'000;
+
     /** Niagara-like DDR4-3200 microserver (Table 2, right column). */
     static SystemConfig microserver();
 

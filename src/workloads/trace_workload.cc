@@ -3,7 +3,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace mil
 {
@@ -28,19 +28,21 @@ parseTrace(std::istream &input)
         if (kind == "R" || kind == "r" || kind == "B" || kind == "b") {
             op.blocking = kind == "B" || kind == "b";
             if (!(fields >> std::hex >> op.addr >> std::dec))
-                mil_fatal("trace line %u: missing address", line_no);
+                throw ConfigError(strformat(
+                    "trace line %u: missing address", line_no));
             fields >> op.gap;
         } else if (kind == "W" || kind == "w") {
             op.isWrite = true;
             if (!(fields >> std::hex >> op.addr >> op.value >>
                   std::dec)) {
-                mil_fatal("trace line %u: W needs <addr> <value>",
-                          line_no);
+                throw ConfigError(strformat(
+                    "trace line %u: W needs <addr> <value>", line_no));
             }
             fields >> op.gap;
         } else {
-            mil_fatal("trace line %u: unknown op '%s'", line_no,
-                      kind.c_str());
+            throw ConfigError(strformat(
+                "trace line %u: unknown op '%s' (expected R, W, or B)",
+                line_no, kind.c_str()));
         }
         ops.push_back(op);
     }
@@ -95,7 +97,8 @@ TraceWorkload::fromFile(const WorkloadConfig &config,
 {
     std::ifstream input(path);
     if (!input)
-        mil_fatal("cannot open trace file '%s'", path.c_str());
+        throw ConfigError(strformat("cannot open trace file '%s'",
+                                    path.c_str()));
     return std::make_unique<TraceWorkload>(config, parseTrace(input));
 }
 

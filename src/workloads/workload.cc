@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "workloads/art.hh"
 #include "workloads/cg.hh"
 #include "workloads/fft.hh"
@@ -41,6 +41,9 @@ Workload::scaledLinear(std::uint64_t nominal) const
 WorkloadPtr
 makeWorkload(const std::string &name, const WorkloadConfig &config)
 {
+    if (config.scale <= 0.0 || config.scale > 1.0)
+        throw ConfigError(strformat(
+            "workload scale %g outside (0, 1]", config.scale));
     if (name == "GUPS")
         return std::make_unique<GupsWorkload>(config);
     if (name == "CG")
@@ -63,7 +66,11 @@ makeWorkload(const std::string &name, const WorkloadConfig &config)
         return std::make_unique<FftWorkload>(config);
     if (name == "OCEAN")
         return std::make_unique<OceanWorkload>(config);
-    mil_fatal("unknown workload '%s'", name.c_str());
+    std::string known;
+    for (const auto &n : workloadNames())
+        known += (known.empty() ? "" : " ") + n;
+    throw ConfigError(strformat("unknown workload '%s' (choose from: %s)",
+                                name.c_str(), known.c_str()));
 }
 
 std::vector<std::string>

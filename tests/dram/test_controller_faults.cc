@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "controller_fixture.hh"
+
+namespace mil
+{
+namespace
+{
+
+ControllerConfig
+faultyConfig(double ber, std::uint64_t seed = 77)
+{
+    ControllerConfig cfg;
+    cfg.refreshEnabled = false;
+    cfg.faultModel.ber = ber;
+    cfg.faultModel.seed = seed;
+    return cfg;
+}
+
+ControllerConfig
+cleanConfig()
+{
+    ControllerConfig cfg;
+    cfg.refreshEnabled = false;
+    return cfg;
+}
+
+/** Issue the same write burst train against any fixture. */
+void
+issueWrites(ControllerFixture &f, unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i)
+        f.write(0, 0, 0, 1, i);
+    f.run();
+}
+
+TEST(ControllerFaults, WritesRetryOnDetectedCrcErrors)
+{
+    // At BER 1e-2 a 576-bit DBI frame corrupts almost every transfer,
+    // so a short write train must exercise detection and re-drives.
+    ControllerFixture faulty(TimingParams::ddr4_3200(),
+                             faultyConfig(1e-2));
+    issueWrites(faulty, 20);
+    const ChannelStats &s = faulty.ctrl_.stats();
+    EXPECT_GT(s.faultyFrames, 0u);
+    EXPECT_GT(s.faultBitsInjected, 0u);
+    EXPECT_GT(s.crcDetected, 0u);
+    EXPECT_GT(s.crcRetries, 0u);
+    EXPECT_GT(s.retryCycles, 0u);
+    EXPECT_GT(s.retryBits, 0u);
+    // Retries show up in the per-scheme usage table too.
+    std::uint64_t scheme_retries = 0;
+    for (const auto &[name, usage] : s.schemes)
+        scheme_retries += usage.retries;
+    EXPECT_EQ(scheme_retries, s.crcRetries);
+}
+
+TEST(ControllerFaults, RetriesAreExtraWireExposure)
+{
+    // Every re-driven burst pays full IO energy: the faulty channel's
+    // bit count must exceed the clean channel's by exactly retryBits.
+    ControllerFixture faulty(TimingParams::ddr4_3200(),
+                             faultyConfig(1e-2));
+    ControllerFixture clean(TimingParams::ddr4_3200(), cleanConfig());
+    issueWrites(faulty, 20);
+    issueWrites(clean, 20);
+    const ChannelStats &fs = faulty.ctrl_.stats();
+    const ChannelStats &cs = clean.ctrl_.stats();
+    EXPECT_GT(fs.retryBits, 0u);
+    EXPECT_EQ(fs.bitsTransferred, cs.bitsTransferred + fs.retryBits);
+    // The functional image is fault-free either way: faults cost
+    // timing and energy, never data.
+    EXPECT_EQ(fs.writes, cs.writes);
+}
+
+TEST(ControllerFaults, ReadsHaveNoCrcAndDeliverTrueData)
+{
+    // DDR4 defines write CRC only: corrupted read frames count as
+    // undetected, trigger no retries, and (faults being
+    // statistics-only) the responses still carry the true line.
+    ControllerFixture faulty(TimingParams::ddr4_3200(),
+                             faultyConfig(1e-2));
+    ControllerFixture clean(TimingParams::ddr4_3200(), cleanConfig());
+    std::vector<ReqId> faulty_ids, clean_ids;
+    for (unsigned i = 0; i < 20; ++i) {
+        faulty_ids.push_back(faulty.read(0, 0, 0, 1, i));
+        clean_ids.push_back(clean.read(0, 0, 0, 1, i));
+    }
+    faulty.run();
+    clean.run();
+    const ChannelStats &s = faulty.ctrl_.stats();
+    EXPECT_GT(s.faultyFrames, 0u);
+    EXPECT_GT(s.crcUndetected, 0u);
+    EXPECT_EQ(s.crcDetected, 0u);
+    EXPECT_EQ(s.crcRetries, 0u);
+    EXPECT_EQ(s.retryBits, 0u);
+    for (unsigned i = 0; i < 20; ++i)
+        EXPECT_EQ(faulty.sink_.payloads[faulty_ids[i]],
+                  clean.sink_.payloads[clean_ids[i]]);
+}
+
+TEST(ControllerFaults, RetriesDelayCompletion)
+{
+    // The retry path costs real time: the same work finishes later on
+    // the marginal channel than on the clean one.
+    ControllerFixture faulty(TimingParams::ddr4_3200(),
+                             faultyConfig(2e-2));
+    ControllerFixture clean(TimingParams::ddr4_3200(), cleanConfig());
+    issueWrites(faulty, 20);
+    issueWrites(clean, 20);
+    ASSERT_GT(faulty.ctrl_.stats().crcRetries, 0u);
+    EXPECT_GT(faulty.ctrl_.stats().busBusyCycles,
+              clean.ctrl_.stats().busBusyCycles);
+}
+
+TEST(ControllerFaults, IdenticalSeedsReproduceIdenticalFaultStats)
+{
+    // The whole fault pipeline is a pure function of (seed, frame
+    // index): two controllers fed the same requests agree counter for
+    // counter.
+    ControllerFixture a(TimingParams::ddr4_3200(), faultyConfig(5e-3));
+    ControllerFixture b(TimingParams::ddr4_3200(), faultyConfig(5e-3));
+    issueWrites(a, 30);
+    issueWrites(b, 30);
+    const ChannelStats &sa = a.ctrl_.stats();
+    const ChannelStats &sb = b.ctrl_.stats();
+    EXPECT_EQ(sa.faultBitsInjected, sb.faultBitsInjected);
+    EXPECT_EQ(sa.faultyFrames, sb.faultyFrames);
+    EXPECT_EQ(sa.crcDetected, sb.crcDetected);
+    EXPECT_EQ(sa.crcRetries, sb.crcRetries);
+    EXPECT_EQ(sa.crcUndetected, sb.crcUndetected);
+    EXPECT_EQ(sa.retryCycles, sb.retryCycles);
+    EXPECT_EQ(sa.retryBits, sb.retryBits);
+
+    // A different seed, same everything else, diverges.
+    ControllerFixture c(TimingParams::ddr4_3200(),
+                        faultyConfig(5e-3, 78));
+    issueWrites(c, 30);
+    EXPECT_NE(sa.faultBitsInjected,
+              c.ctrl_.stats().faultBitsInjected);
+}
+
+TEST(ControllerFaults, HopelessChannelAbortsAfterRetryBudget)
+{
+    // Strobe glitches at probability 1 corrupt every re-drive too;
+    // the controller must give up after crcMaxRetries, count the
+    // abort, and move on rather than retry forever.
+    ControllerConfig cfg;
+    cfg.refreshEnabled = false;
+    cfg.faultModel.strobeGlitchProb = 1.0;
+    cfg.faultModel.seed = 21;
+    cfg.crcMaxRetries = 2;
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+    issueWrites(f, 5);
+    const ChannelStats &s = f.ctrl_.stats();
+    EXPECT_GT(s.retryAborts, 0u);
+    EXPECT_LE(s.crcRetries, 5u * cfg.crcMaxRetries);
+    EXPECT_EQ(s.writes, 5u);
+}
+
+TEST(ControllerFaults, InvalidWatermarksAreConfigErrors)
+{
+    ControllerConfig cfg;
+    cfg.drainLowWatermark = 60;
+    cfg.drainHighWatermark = 50;
+    EXPECT_THROW(ControllerFixture(TimingParams::ddr4_3200(), cfg),
+                 ConfigError);
+}
+
+TEST(ControllerFaults, InvalidTimingIsATimingViolation)
+{
+    TimingParams t = TimingParams::ddr4_3200();
+    t.tRAS = t.tRCD - 1; // A row cycle shorter than its own RCD.
+    EXPECT_THROW(ControllerFixture(t, cleanConfig()), TimingViolation);
+    TimingParams zero_ranks = TimingParams::ddr4_3200();
+    zero_ranks.ranks = 0;
+    EXPECT_THROW(zero_ranks.validate(), TimingViolation);
+}
+
+TEST(ControllerFaults, InvalidFaultModelIsAConfigError)
+{
+    ControllerConfig cfg;
+    cfg.faultModel.ber = 1.5;
+    EXPECT_THROW(ControllerFixture(TimingParams::ddr4_3200(), cfg),
+                 ConfigError);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/sim_error.hh"
+#include "fault/counter_rng.hh"
+#include "fault/fault_injector.hh"
+
+namespace mil
+{
+namespace
+{
+
+BusFrame
+randomFrame(unsigned lanes, unsigned beats, std::uint64_t seed)
+{
+    BusFrame frame(lanes, beats);
+    Rng rng(seed);
+    for (std::uint64_t k = 0; k < frame.totalBits(); ++k)
+        frame.setLinearBit(k, rng.below(2) != 0);
+    return frame;
+}
+
+std::uint64_t
+diffBits(const BusFrame &a, const BusFrame &b)
+{
+    std::uint64_t diff = 0;
+    for (std::uint64_t k = 0; k < a.totalBits(); ++k)
+        diff += a.linearBit(k) != b.linearBit(k) ? 1 : 0;
+    return diff;
+}
+
+TEST(CounterRng, DrawsArePureFunctionsOfSeedStreamCounter)
+{
+    CounterRng a(42, 7), b(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    // Draw k is hash(seed, stream, k) -- reachable without drawing
+    // the first k-1 values.
+    EXPECT_EQ(CounterRng::hash(42, 7, 0), CounterRng(42, 7).next());
+    // Distinct streams and seeds decorrelate immediately.
+    EXPECT_NE(CounterRng(42, 7).next(), CounterRng(42, 8).next());
+    EXPECT_NE(CounterRng(42, 7).next(), CounterRng(43, 7).next());
+}
+
+TEST(CounterRng, UniformStaysInUnitInterval)
+{
+    CounterRng rng(1, 0);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(FaultInjector, DisabledModelIsANoOp)
+{
+    const FaultInjector injector{FaultModel{}};
+    EXPECT_FALSE(injector.enabled());
+    const BusFrame original = randomFrame(72, 8, 1);
+    BusFrame frame = original;
+    const FaultOutcome out = injector.perturb(frame, 12345);
+    EXPECT_FALSE(out.corrupted());
+    EXPECT_EQ(out.flippedBits, 0u);
+    EXPECT_TRUE(frame == original);
+}
+
+TEST(FaultInjector, PerturbationDependsOnlyOnSeedAndFrameIndex)
+{
+    FaultModel model;
+    model.ber = 0.01;
+    model.burstProb = 0.2;
+    model.strobeGlitchProb = 0.05;
+    model.seed = 99;
+    const FaultInjector one(model);
+    const FaultInjector two(model);
+
+    const BusFrame original = randomFrame(72, 16, 2);
+    // 'one' perturbs frames 0..9 first; 'two' jumps straight to frame
+    // 7. History must not matter: perturbation is a pure function.
+    BusFrame warmup = original;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        warmup = original;
+        one.perturb(warmup, i);
+    }
+    BusFrame a = original;
+    BusFrame b = original;
+    one.perturb(a, 7);
+    two.perturb(b, 7);
+    EXPECT_TRUE(a == b);
+
+    // Different frame indices give different faults (at these rates
+    // two identical 1152-bit perturbations would be a miracle).
+    BusFrame c = original;
+    two.perturb(c, 8);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(FaultInjector, BerFlipCountMatchesFrameDiff)
+{
+    // BER-only flips visit strictly increasing positions, so the
+    // reported flip count must equal the number of differing bits.
+    FaultModel model;
+    model.ber = 0.02;
+    model.seed = 5;
+    const FaultInjector injector(model);
+    const BusFrame original = randomFrame(72, 8, 3);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        BusFrame frame = original;
+        const FaultOutcome out = injector.perturb(frame, i);
+        EXPECT_EQ(diffBits(original, frame), out.flippedBits);
+        EXPECT_EQ(out.corrupted(), out.flippedBits > 0);
+    }
+}
+
+TEST(FaultInjector, BerStatisticsMatchTheConfiguredRate)
+{
+    FaultModel model;
+    model.ber = 0.01;
+    model.seed = 11;
+    const FaultInjector injector(model);
+    const BusFrame original = randomFrame(72, 8, 4);
+    std::uint64_t flips = 0;
+    const std::uint64_t frames = 2000;
+    for (std::uint64_t i = 0; i < frames; ++i) {
+        BusFrame frame = original;
+        flips += injector.perturb(frame, i).flippedBits;
+    }
+    const double expected =
+        model.ber * static_cast<double>(original.totalBits()) *
+        static_cast<double>(frames); // ~11520
+    const double actual = static_cast<double>(flips);
+    EXPECT_NEAR(actual / expected, 1.0, 0.05);
+}
+
+TEST(FaultInjector, BurstCorruptsAdjacentLanesInOneBeat)
+{
+    FaultModel model;
+    model.burstProb = 1.0;
+    model.burstLanes = 4;
+    model.seed = 13;
+    const FaultInjector injector(model);
+    const BusFrame original = randomFrame(72, 8, 5);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        BusFrame frame = original;
+        const FaultOutcome out = injector.perturb(frame, i);
+        EXPECT_EQ(out.burstEvents, 1u);
+        EXPECT_EQ(out.flippedBits, 4u);
+        // All corrupted bits sit in one beat, in adjacent lanes.
+        unsigned hit_beats = 0;
+        for (unsigned beat = 0; beat < original.beats(); ++beat) {
+            unsigned lo = original.lanes(), hi = 0;
+            for (unsigned l = 0; l < original.lanes(); ++l) {
+                if (frame.bitAt(beat, l) != original.bitAt(beat, l)) {
+                    lo = std::min(lo, l);
+                    hi = std::max(hi, l);
+                }
+            }
+            if (lo <= hi) {
+                ++hit_beats;
+                EXPECT_EQ(hi - lo + 1, 4u);
+            }
+        }
+        EXPECT_EQ(hit_beats, 1u);
+    }
+}
+
+TEST(FaultInjector, StrobeGlitchLatchesThePreviousBeat)
+{
+    // With glitch probability 1 every beat re-latches its predecessor
+    // (in wire order), and the first beat latches its complement; the
+    // whole frame collapses to copies of ~beat0.
+    FaultModel model;
+    model.strobeGlitchProb = 1.0;
+    model.seed = 17;
+    const FaultInjector injector(model);
+    const BusFrame original = randomFrame(72, 8, 6);
+    BusFrame frame = original;
+    const FaultOutcome out = injector.perturb(frame, 0);
+    EXPECT_EQ(out.strobeGlitches, original.beats());
+    for (unsigned beat = 0; beat < original.beats(); ++beat)
+        for (unsigned l = 0; l < original.lanes(); ++l)
+            EXPECT_EQ(frame.bitAt(beat, l), !original.bitAt(0, l));
+}
+
+TEST(FaultInjector, RejectsOutOfRangeRates)
+{
+    FaultModel model;
+    model.ber = -0.1;
+    EXPECT_THROW(FaultInjector{model}, ConfigError);
+    model.ber = 1.0;
+    EXPECT_THROW(FaultInjector{model}, ConfigError);
+    model.ber = 0.0;
+    model.burstProb = 1.5;
+    EXPECT_THROW(FaultInjector{model}, ConfigError);
+    model.burstProb = 0.5;
+    model.burstLanes = 0;
+    EXPECT_THROW(FaultInjector{model}, ConfigError);
+    model.burstLanes = 4;
+    model.strobeGlitchProb = -1e-9;
+    EXPECT_THROW(FaultInjector{model}, ConfigError);
+}
+
+} // anonymous namespace
+} // namespace mil

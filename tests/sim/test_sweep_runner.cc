@@ -35,7 +35,8 @@ toCsv(const std::vector<SweepResult> &results)
     CsvReporter::writeHeader(os);
     for (const auto &cell : results)
         CsvReporter::writeRow(os, cell.spec.system, cell.spec.workload,
-                              cell.spec.policy, cell.result);
+                              cell.spec.policy, cell.result,
+                              cell.status, cell.error);
     return os.str();
 }
 
@@ -157,20 +158,91 @@ TEST(SweepRunner, CachedRunsWarmTheProcessWideMemo)
     }
 }
 
-TEST(SweepRunnerDeathTest, UnknownPolicyDiesCleanly)
+TEST(SweepRunnerFaultIsolation, PoisonedCellBecomesErrorRowSiblingsFinish)
 {
-    // makePolicy() reports unknown names through mil_fatal (a clean
-    // exit(1)), which must terminate the sweep rather than hang the
-    // pool.
+    // One bad policy name in the grid must cost exactly its own cell:
+    // the failure is recorded as status=error with the makePolicy()
+    // message, and every sibling simulation still completes.
     SweepGrid grid = smallGrid();
-    grid.policies = {"NoSuchPolicy"};
-    EXPECT_EXIT(
-        {
-            SweepRunner runner(1);
-            runner.setUseCache(false);
-            runner.run(grid);
-        },
-        ::testing::ExitedWithCode(1), "unknown policy");
+    grid.policies = {"DBI", "NoSuchPolicy", "MiL"};
+    SweepRunner runner(2);
+    runner.setUseCache(false);
+    const auto results = runner.run(grid);
+    ASSERT_EQ(results.size(), grid.size());
+    std::size_t errors = 0;
+    for (const auto &cell : results) {
+        if (cell.spec.policy == "NoSuchPolicy") {
+            ++errors;
+            EXPECT_EQ(cell.status, "error");
+            EXPECT_NE(cell.error.find("unknown policy"),
+                      std::string::npos)
+                << cell.error;
+            EXPECT_EQ(cell.result.cycles, 0u);
+        } else {
+            EXPECT_TRUE(cell.ok()) << cell.error;
+            EXPECT_TRUE(cell.error.empty());
+            EXPECT_GT(cell.result.cycles, 0u);
+        }
+    }
+    EXPECT_EQ(errors, 2u); // One poisoned cell per workload.
+}
+
+TEST(SweepRunnerFaultIsolation, ErrorRowsAreIdenticalAcrossJobCounts)
+{
+    // Error rows are part of the deterministic output contract: the
+    // CSV -- message text included -- must not depend on how many
+    // workers raced through the grid.
+    SweepGrid grid = smallGrid();
+    grid.policies = {"DBI", "NoSuchPolicy"};
+    SweepRunner serial(1);
+    serial.setUseCache(false);
+    SweepRunner parallel(4);
+    parallel.setUseCache(false);
+    EXPECT_EQ(toCsv(serial.run(grid)), toCsv(parallel.run(grid)));
+}
+
+TEST(SweepRunnerFaultIsolation, ErrorMessageIsCsvEscaped)
+{
+    // Failure messages may contain commas (name lists, diagnostics);
+    // the row must stay parseable. RFC-4180: the field is quoted.
+    SweepResult cell;
+    cell.spec.policy = "X";
+    cell.status = "error";
+    cell.error = "bad, worse, \"worst\"";
+    std::ostringstream os;
+    CsvReporter::writeRow(os, "ddr4", "GUPS", "X", cell.result,
+                          cell.status, cell.error);
+    EXPECT_NE(os.str().find("\"bad, worse, \"\"worst\"\"\""),
+              std::string::npos)
+        << os.str();
+}
+
+TEST(SweepRunnerFaultIsolation, FaultyGridRunsCrcRetryPath)
+{
+    // A grid with a nonzero BER exercises the write-CRC + retry
+    // machinery and stays deterministic across jobs counts.
+    SweepGrid grid = smallGrid();
+    grid.workloads = {"GUPS"};
+    // Dirty lines only reach DRAM once the random-access footprint
+    // evicts them from L2, so the cells need enough ops to produce
+    // writes for the CRC path to act on.
+    grid.opsPerThread = 2000;
+    grid.baseSeed = 7;
+    grid.ber = 2e-3; // ~2/3 of 576-bit frames corrupted.
+    SweepRunner serial(1);
+    serial.setUseCache(false);
+    SweepRunner parallel(4);
+    parallel.setUseCache(false);
+    const auto a = serial.run(grid);
+    const auto b = parallel.run(grid);
+    EXPECT_EQ(toCsv(a), toCsv(b));
+    for (const auto &cell : a) {
+        EXPECT_TRUE(cell.ok()) << cell.error;
+        EXPECT_GT(cell.result.bus.faultyFrames, 0u);
+        EXPECT_GT(cell.result.bus.crcDetected, 0u);
+        EXPECT_GT(cell.result.bus.crcRetries, 0u);
+        EXPECT_GT(cell.result.bus.retryCycles, 0u);
+    }
 }
 
 TEST(SweepRunner, DefaultJobsHonorsEnvOverride)

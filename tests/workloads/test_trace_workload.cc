@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/sim_error.hh"
 #include "mil/policies.hh"
 #include "sim/system.hh"
 #include "workloads/trace_workload.hh"
@@ -35,14 +36,21 @@ TEST(TraceParse, BasicRecords)
     EXPECT_EQ(ops[3].gap, 1u);
 }
 
-TEST(TraceParseDeath, RejectsGarbage)
+TEST(TraceParseErrors, RejectsGarbage)
 {
     std::istringstream bad("X 1234\n");
-    EXPECT_EXIT(parseTrace(bad), ::testing::ExitedWithCode(1),
-                "unknown op");
+    EXPECT_THROW(parseTrace(bad), ConfigError);
     std::istringstream missing("W 1000\n");
-    EXPECT_EXIT(parseTrace(missing), ::testing::ExitedWithCode(1),
-                "needs");
+    EXPECT_THROW(parseTrace(missing), ConfigError);
+    try {
+        std::istringstream again("X 1234\n");
+        parseTrace(again);
+        FAIL() << "parseTrace accepted an unknown op";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown op"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(TraceWorkload, StreamsEmitOnePassEach)

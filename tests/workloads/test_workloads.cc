@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/sim_error.hh"
 #include "workloads/workload.hh"
 
 namespace mil
@@ -31,10 +32,26 @@ TEST(Workloads, RegistryHasAllElevenBenchmarks)
     }
 }
 
-TEST(WorkloadsDeath, UnknownNameIsFatal)
+TEST(WorkloadsErrors, UnknownNameThrowsWithChoices)
 {
-    EXPECT_EXIT(makeWorkload("NOPE", smallConfig()),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    try {
+        makeWorkload("NOPE", smallConfig());
+        FAIL() << "makeWorkload accepted an unknown name";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown workload"), std::string::npos);
+        // The message lists the valid names so a typo is self-fixing.
+        EXPECT_NE(what.find("GUPS"), std::string::npos) << what;
+    }
+}
+
+TEST(WorkloadsErrors, ScaleOutsideUnitIntervalThrows)
+{
+    WorkloadConfig config = smallConfig();
+    config.scale = 0.0;
+    EXPECT_THROW(makeWorkload("GUPS", config), ConfigError);
+    config.scale = 1.5;
+    EXPECT_THROW(makeWorkload("GUPS", config), ConfigError);
 }
 
 /** Every workload, exercised generically. */

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared top-level error handling for the command-line tools.
+ *
+ * Library code reports user-facing failures by throwing mil::SimError
+ * subclasses; the tools translate them here into one-line stderr
+ * messages and distinct exit codes, so scripts can tell a bad
+ * invocation from a failed simulation without parsing text:
+ *
+ *   2  ConfigError        -- bad flags/names (same code as usage())
+ *   3  other SimError     -- the simulation itself failed (timing
+ *                            violation, decode error, stall, ...)
+ *   70 std::exception     -- internal software error (EX_SOFTWARE)
+ */
+
+#ifndef MIL_TOOLS_CLI_UTIL_HH
+#define MIL_TOOLS_CLI_UTIL_HH
+
+#include <cstdio>
+#include <exception>
+#include <functional>
+
+#include "common/sim_error.hh"
+
+namespace mil::cli
+{
+
+inline int
+runToolMain(const char *tool, const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s: %s\n", tool, e.what());
+        return 2;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "%s: %s\n", tool, e.what());
+        return 3;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: internal error: %s\n", tool,
+                     e.what());
+        return 70;
+    }
+}
+
+} // namespace mil::cli
+
+#endif // MIL_TOOLS_CLI_UTIL_HH

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <fstream>
 
+#include "cli_util.hh"
 #include "coding/codec_cost.hh"
 #include "common/table.hh"
 #include "rtl/codec_rtl.hh"
@@ -19,8 +20,11 @@
 
 using namespace mil;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     const std::filesystem::path dir =
         argc > 1 ? argv[1] : "rtl_out";
@@ -76,4 +80,13 @@ main(int argc, char **argv)
                 "feed them to your synthesis flow to\nreproduce the "
                 "paper's Table 4 methodology end to end.\n");
     return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return mil::cli::runToolMain("milrtl",
+                                 [&] { return run(argc, argv); });
 }

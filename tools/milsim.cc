@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "cli_util.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "workloads/trace_workload.hh"
@@ -41,6 +42,8 @@ struct Options
     bool powerDown = false;
     bool baseline = false;
     bool histograms = false;
+    double ber = 0.0;
+    std::uint64_t seed = 0;
     std::string csvPath;
     std::string tracePath;
 };
@@ -59,6 +62,10 @@ usage(const char *argv0)
         "  --scale F              workload footprint scale (0.05..1)\n"
         "  --lookahead X          MiL decision horizon in cycles\n"
         "  --powerdown            enable fast power-down (extension)\n"
+        "  --ber P                link bit-error rate (enables the\n"
+        "                         write-CRC + retry path; default 0)\n"
+        "  --seed S               RNG seed for workload data and the\n"
+        "                         fault injector (default: built-in)\n"
         "  --baseline             also run DBI and print deltas\n"
         "  --csv FILE             append machine-readable rows to FILE\n"
         "  --trace FILE           replay a memory trace instead of a\n"
@@ -99,6 +106,10 @@ parse(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         else if (arg == "--powerdown")
             opt.powerDown = true;
+        else if (arg == "--ber")
+            opt.ber = std::strtod(value(), nullptr);
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--baseline")
             opt.baseline = true;
         else if (arg == "--csv")
@@ -118,8 +129,15 @@ runOne(const Options &opt, const std::string &policy_name)
 {
     SystemConfig config = makeSystemConfig(opt.system);
     config.controller.powerDownEnabled = opt.powerDown;
+    if (opt.ber != 0.0) {
+        config.controller.faultModel.ber = opt.ber;
+        if (opt.seed != 0)
+            config.controller.faultModel.seed = opt.seed;
+    }
     WorkloadConfig wc;
     wc.scale = opt.scale;
+    if (opt.seed != 0)
+        wc.seed = opt.seed;
     WorkloadPtr workload;
     std::uint64_t ops = opt.ops;
     if (!opt.tracePath.empty()) {
@@ -160,6 +178,23 @@ printReport(const Options &opt, const SimResult &r)
         std::printf(" %s:%llu", name.c_str(),
                     static_cast<unsigned long long>(usage.bursts));
     std::printf("\n");
+    if (opt.ber != 0.0) {
+        std::printf("link faults       %llu frames hit (%llu bit flips "
+                    "injected)\n",
+                    static_cast<unsigned long long>(r.bus.faultyFrames),
+                    static_cast<unsigned long long>(
+                        r.bus.faultBitsInjected));
+        std::printf("write CRC         %llu detected, %llu retries "
+                    "(%llu cycles, %llu bits), %llu undetected, "
+                    "%llu aborted\n",
+                    static_cast<unsigned long long>(r.bus.crcDetected),
+                    static_cast<unsigned long long>(r.bus.crcRetries),
+                    static_cast<unsigned long long>(r.bus.retryCycles),
+                    static_cast<unsigned long long>(r.bus.retryBits),
+                    static_cast<unsigned long long>(
+                        r.bus.crcUndetected),
+                    static_cast<unsigned long long>(r.bus.retryAborts));
+    }
     std::printf("L1 miss rate      %.2f%%; L2 miss rate %.2f%%\n",
                 100.0 * r.l1.missRate(), 100.0 * r.l2.missRate());
     std::printf("prefetches        %llu issued, %llu streams trained\n",
@@ -199,10 +234,8 @@ printReport(const Options &opt, const SimResult &r)
     }
 }
 
-} // anonymous namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
     const SimResult r = runOne(opt, opt.policy);
@@ -244,4 +277,13 @@ main(int argc, char **argv)
                         base.systemEnergy.totalMj());
     }
     return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return mil::cli::runToolMain("milsim",
+                                 [&] { return run(argc, argv); });
 }

@@ -9,12 +9,20 @@
  * the CSV is byte-identical whatever the job count; --jobs 1 is the
  * historic serial loop.
  *
+ * A cell that fails (bad timing, watchdog stall, ...) is reported as
+ * a status=error CSV row carrying the message; the other cells still
+ * complete, and the exit code is 1 when any cell errored. Unknown
+ * system/workload/policy names are rejected up front -- before hours
+ * of sibling simulations run -- with the valid choices listed.
+ *
  * Usage:
  *   milsweep [--systems ddr4,lpddr3] [--workloads GUPS,CG,...|all]
  *            [--policies DBI,MiL,...] [--ops N] [--scale F]
- *            [--lookahead X] [--jobs N] [--seed S] [--out FILE]
+ *            [--lookahead X] [--jobs N] [--seed S] [--ber P]
+ *            [--out FILE]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hh"
 #include "sim/report.hh"
 #include "sim/sweep_runner.hh"
 
@@ -50,15 +59,51 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--systems a,b] [--workloads a,b|all] "
         "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
-        "[--jobs N] [--seed S] [--out FILE]\n",
+        "[--jobs N] [--seed S] [--ber P] [--out FILE]\n",
         argv0);
     std::exit(2);
 }
 
-} // anonymous namespace
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names)
+        out += (out.empty() ? "" : " ") + n;
+    return out;
+}
+
+/**
+ * Reject unknown grid axes before any simulation starts: a typo'd
+ * name should cost milliseconds, not surface as an error row after
+ * the rest of the grid has burned CPU-hours.
+ */
+void
+validateGrid(const SweepGrid &grid)
+{
+    const auto known_systems = systemNames();
+    for (const auto &s : grid.systems)
+        if (std::find(known_systems.begin(), known_systems.end(), s) ==
+            known_systems.end())
+            throw ConfigError(strformat(
+                "unknown system '%s' (choose from: %s)", s.c_str(),
+                joined(known_systems).c_str()));
+    const auto known_workloads = workloadNames();
+    for (const auto &w : grid.workloads)
+        if (std::find(known_workloads.begin(), known_workloads.end(),
+                      w) == known_workloads.end())
+            throw ConfigError(strformat(
+                "unknown workload '%s' (choose from: %s)", w.c_str(),
+                joined(known_workloads).c_str()));
+    for (const auto &p : grid.policies)
+        if (!isPolicyName(p))
+            throw ConfigError(strformat(
+                "unknown policy '%s' (choose from: %s BLn)", p.c_str(),
+                joined(policyNames()).c_str()));
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     SweepGrid grid;
     grid.workloads = workloadNames();
@@ -93,6 +138,8 @@ main(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         else if (arg == "--seed")
             grid.baseSeed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--ber")
+            grid.ber = std::strtod(value(), nullptr);
         else if (arg == "--out")
             out_path = value();
         else
@@ -100,6 +147,7 @@ main(int argc, char **argv)
     }
     if (jobs == 0)
         usage(argv[0]);
+    validateGrid(grid);
 
     std::ofstream file;
     std::ostream *os = &std::cout;
@@ -123,11 +171,30 @@ main(int argc, char **argv)
     const std::vector<SweepResult> results = runner.run(grid, progress);
 
     CsvReporter::writeHeader(*os);
-    for (const auto &cell : results)
+    std::size_t errors = 0;
+    for (const auto &cell : results) {
         CsvReporter::writeRow(*os, cell.spec.system, cell.spec.workload,
-                              cell.spec.policy, cell.result);
+                              cell.spec.policy, cell.result,
+                              cell.status, cell.error);
+        if (!cell.ok()) {
+            ++errors;
+            std::fprintf(stderr, "cell %s/%s/%s failed: %s\n",
+                         cell.spec.system.c_str(),
+                         cell.spec.workload.c_str(),
+                         cell.spec.policy.c_str(), cell.error.c_str());
+        }
+    }
     if (!out_path.empty())
         std::fprintf(stderr, "\rwrote %zu rows to %s\n", results.size(),
                      out_path.c_str());
-    return 0;
+    return errors == 0 ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return mil::cli::runToolMain("milsweep",
+                                 [&] { return run(argc, argv); });
 }
