@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Guard for the "zero cost when disabled" tracing claim
+ * (google-benchmark). Runs the same small simulation three ways:
+ *
+ *   NoSink    -- sink_ == nullptr, the production default. The emit
+ *                sites reduce to one null check per event site.
+ *   NullSink  -- a sink is attached but discards every event; isolates
+ *                the cost of building Event payloads.
+ *   MemorySink-- the full recording path milsim --trace uses.
+ *
+ * NoSink is the number that must not drift: the tracing subsystem may
+ * not tax an untraced run. Compare it against a historical baseline or
+ * the MIL_OBS_TRACING=OFF build when investigating regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mil/policies.hh"
+#include "obs/trace_sink.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace mil;
+
+SimResult
+runOnce(obs::TraceSink *sink)
+{
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const auto wl = makeWorkload("GUPS", wc);
+    auto policy = policies::mil();
+    System system(SystemConfig::microserver(), *wl, policy.get(), 500);
+    if (sink != nullptr)
+        system.setTraceSink(sink);
+    return system.run();
+}
+
+void
+benchNoSink(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const SimResult result = runOnce(nullptr);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+}
+
+void
+benchNullSink(benchmark::State &state)
+{
+    obs::NullTraceSink sink;
+    for (auto _ : state) {
+        const SimResult result = runOnce(&sink);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+}
+
+void
+benchMemorySink(benchmark::State &state)
+{
+    for (auto _ : state) {
+        obs::MemoryTraceSink sink;
+        const SimResult result = runOnce(&sink);
+        benchmark::DoNotOptimize(result.cycles);
+        benchmark::DoNotOptimize(sink.size());
+    }
+}
+
+BENCHMARK(benchNoSink)->Unit(benchmark::kMillisecond);
+BENCHMARK(benchNullSink)->Unit(benchmark::kMillisecond);
+BENCHMARK(benchMemorySink)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

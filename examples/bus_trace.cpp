@@ -11,13 +11,14 @@
 #include "dram/address_map.hh"
 #include "dram/controller.hh"
 #include "mil/policies.hh"
+#include "obs/trace_sink.hh"
 
 using namespace mil;
 
 namespace
 {
 
-struct TraceSink : MemResponseSink
+struct ResponsePrinter : MemResponseSink
 {
     void
     memResponse(ReqId id, const Line &, Cycle when) override
@@ -29,28 +30,34 @@ struct TraceSink : MemResponseSink
 };
 
 /** Prints every DRAM command as the controller issues it. */
-struct PrintingTracer : Tracer
+struct PrintingSink : obs::TraceSink
 {
     void
-    traceEvent(const TraceEvent &event) override
+    record(const obs::Event &event) override
     {
-        if (event.kind == TraceEvent::Kind::Read ||
-            event.kind == TraceEvent::Kind::Write) {
+        switch (event.kind) {
+          case obs::EventKind::Read:
+          case obs::EventKind::Write:
             std::printf("    cycle %4llu: %-3s bank(%u,%u) row %u -> "
                         "data [%llu, %llu) %s, %llu zeros\n",
                         static_cast<unsigned long long>(event.cycle),
-                        event.mnemonic(), event.coord.bankGroup,
-                        event.coord.bank, event.coord.row,
+                        event.mnemonic(), event.bankGroup, event.bank,
+                        event.row,
                         static_cast<unsigned long long>(
                             event.dataStart),
                         static_cast<unsigned long long>(event.dataEnd),
                         event.scheme.c_str(),
                         static_cast<unsigned long long>(event.zeros));
-        } else {
+            break;
+          case obs::EventKind::Activate:
+          case obs::EventKind::Precharge:
             std::printf("    cycle %4llu: %-3s bank(%u,%u) row %u\n",
                         static_cast<unsigned long long>(event.cycle),
-                        event.mnemonic(), event.coord.bankGroup,
-                        event.coord.bank, event.coord.row);
+                        event.mnemonic(), event.bankGroup, event.bank,
+                        event.row);
+            break;
+          default:
+            break; // Decisions and queue samples stay quiet here.
         }
     }
 };
@@ -65,9 +72,9 @@ runTrace(const char *label, CodingPolicy &policy)
     FunctionalMemory memory;
     MemoryController controller(timing, config, &memory, &policy);
     const AddressMap map(timing, 1);
-    TraceSink sink;
-    PrintingTracer tracer;
-    controller.setTracer(&tracer);
+    ResponsePrinter sink;
+    PrintingSink tracer;
+    controller.setTraceSink(&tracer);
 
     // Two reads to the same open row, then one to a different row of
     // the same bank: the row conflict guarantees a long idle window

@@ -1,6 +1,7 @@
 #include "histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "logging.hh"
 
@@ -30,7 +31,29 @@ Histogram::sample(std::uint64_t value, std::uint64_t weight)
         static_cast<std::size_t>(it - bounds_.begin());
     counts_[idx] += weight;
     total_ += weight;
+    if (weight > 0 && value > max_)
+        max_ = value;
     sum_ += static_cast<double>(value) * static_cast<double>(weight);
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    // The ceil(p * total)-th smallest sample, with at least rank 1 so
+    // p = 0 means "the smallest sample's bucket".
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(total_))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (cumulative >= rank)
+            return i < bounds_.size() ? bounds_[i] : max_;
+    }
+    return max_;
 }
 
 double
@@ -70,6 +93,7 @@ Histogram::merge(const Histogram &other)
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     total_ += other.total_;
+    max_ = std::max(max_, other.max_);
     sum_ += other.sum_;
 }
 
@@ -78,6 +102,7 @@ Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     total_ = 0;
+    max_ = 0;
     sum_ = 0.0;
 }
 

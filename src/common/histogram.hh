@@ -51,6 +51,18 @@ class Histogram
     /** Mean of all recorded samples (0 when empty). */
     double mean() const;
 
+    /** Largest sample recorded so far (0 when empty). */
+    std::uint64_t max() const { return max_; }
+
+    /**
+     * Bucket-bound approximation of the @p p quantile, p in [0, 1]:
+     * the inclusive upper bound of the bucket holding the
+     * ceil(p * total)-th smallest sample. Returns 0 when empty, and
+     * max() when the quantile lands in the overflow bucket (which has
+     * no finite bound). p outside [0, 1] is clamped.
+     */
+    std::uint64_t percentile(double p) const;
+
     /** Reset all counts. */
     void reset();
 
@@ -61,6 +73,7 @@ class Histogram
     std::vector<std::uint64_t> bounds_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+    std::uint64_t max_ = 0;
     double sum_ = 0.0;
 };
 

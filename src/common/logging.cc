@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace mil
 {
@@ -9,12 +10,78 @@ namespace mil
 namespace
 {
 
-void
-vreport(const char *tag, const char *fmt, va_list args)
+/** Per-severity limiter state, guarded by limiterMutex(). */
+struct Limiter
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    LogLimiterStats stats;
+    std::uint64_t sinceLastEmit = 0;
+};
+
+std::mutex &
+limiterMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+struct LimiterConfig
+{
+    bool enabled = true;
+    std::uint64_t burst = 32;
+    std::uint64_t every = 32;
+};
+
+LimiterConfig limiterConfig; // Guarded by limiterMutex().
+Limiter warnLimiter;         // Guarded by limiterMutex().
+Limiter informLimiter;       // Guarded by limiterMutex().
+
+/**
+ * Decide whether this message prints. When it does after a suppressed
+ * stretch, @p suppressed_since reports how many were dropped so the
+ * printed line can say so.
+ */
+bool
+admit(Limiter &lim, std::uint64_t &suppressed_since)
+{
+    std::lock_guard<std::mutex> lock(limiterMutex());
+    const LimiterConfig &cfg = limiterConfig;
+    ++lim.stats.seen;
+    bool emit;
+    if (!cfg.enabled || lim.stats.seen <= cfg.burst) {
+        emit = true;
+    } else if (cfg.every == 0) {
+        emit = false;
+    } else {
+        emit = (lim.stats.seen - cfg.burst) % cfg.every == 0;
+    }
+    if (emit) {
+        ++lim.stats.emitted;
+        suppressed_since = lim.sinceLastEmit;
+        lim.sinceLastEmit = 0;
+    } else {
+        ++lim.stats.suppressed;
+        ++lim.sinceLastEmit;
+        suppressed_since = 0;
+    }
+    return emit;
+}
+
+void
+vreport(Limiter &lim, const char *tag, const char *fmt, va_list args)
+{
+    std::uint64_t suppressed = 0;
+    if (!admit(lim, suppressed))
+        return;
+    // One formatting pass into a buffer so concurrent reporters cannot
+    // interleave fragments of each other's lines.
+    char body[1024];
+    std::vsnprintf(body, sizeof body, fmt, args);
+    if (suppressed > 0) {
+        std::fprintf(stderr, "%s: %s [%llu similar suppressed]\n", tag,
+                     body, static_cast<unsigned long long>(suppressed));
+    } else {
+        std::fprintf(stderr, "%s: %s\n", tag, body);
+    }
 }
 
 } // anonymous namespace
@@ -50,7 +117,7 @@ warnImpl(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("warn", fmt, args);
+    vreport(warnLimiter, "warn", fmt, args);
     va_end(args);
 }
 
@@ -59,8 +126,39 @@ informImpl(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("info", fmt, args);
+    vreport(informLimiter, "info", fmt, args);
     va_end(args);
+}
+
+void
+setLogRateLimit(std::uint64_t burst, std::uint64_t every)
+{
+    std::lock_guard<std::mutex> lock(limiterMutex());
+    limiterConfig.enabled = true;
+    limiterConfig.burst = burst;
+    limiterConfig.every = every;
+}
+
+void
+setLogUnlimited()
+{
+    std::lock_guard<std::mutex> lock(limiterMutex());
+    limiterConfig.enabled = false;
+}
+
+void
+resetLogRateLimiter()
+{
+    std::lock_guard<std::mutex> lock(limiterMutex());
+    warnLimiter = Limiter{};
+    informLimiter = Limiter{};
+}
+
+LogLimiterStats
+logLimiterStats(bool warnings)
+{
+    std::lock_guard<std::mutex> lock(limiterMutex());
+    return warnings ? warnLimiter.stats : informLimiter.stats;
 }
 
 } // namespace mil

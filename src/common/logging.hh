@@ -17,6 +17,7 @@
 #define MIL_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace mil
@@ -38,6 +39,38 @@ void warnImpl(const char *fmt, ...)
 /** Print a formatted status message to stderr. */
 void informImpl(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Rate limiting for warn()/inform() (panics are never limited).
+ *
+ * A fault-heavy sweep can emit one warning per aborted write -- easily
+ * millions of lines at high --ber -- so each severity class passes its
+ * first @p burst messages through and afterwards only every
+ * @p every-th, annotated with the count suppressed since the last one.
+ * Thread-safe (the sweep pool's workers warn concurrently).
+ *
+ * @param burst messages allowed through before limiting kicks in.
+ * @param every afterwards, pass one message in every @p every;
+ *        0 suppresses everything past the burst.
+ */
+void setLogRateLimit(std::uint64_t burst, std::uint64_t every);
+
+/** Remove rate limiting (all messages pass). */
+void setLogUnlimited();
+
+/** Reset the per-severity counters (tests; between sweep phases). */
+void resetLogRateLimiter();
+
+/** Counters for one severity class. */
+struct LogLimiterStats
+{
+    std::uint64_t seen = 0;      ///< Messages submitted.
+    std::uint64_t emitted = 0;   ///< Messages actually printed.
+    std::uint64_t suppressed = 0;///< Messages dropped by the limiter.
+};
+
+/** Snapshot the counters for warnings or (when false) status lines. */
+LogLimiterStats logLimiterStats(bool warnings);
 
 } // namespace mil
 

@@ -10,6 +10,9 @@
 #ifndef MIL_DRAM_CODING_POLICY_HH
 #define MIL_DRAM_CODING_POLICY_HH
 
+#include <string>
+#include <vector>
+
 #include "coding/code.hh"
 #include "dram/request.hh"
 
@@ -70,6 +73,20 @@ class CodingPolicy
      * pick; used by the controller for worst-case scheduling windows.
      */
     virtual unsigned maxBusCycles() const = 0;
+
+    /**
+     * Names of every code choose() can ever return, so observability
+     * consumers can pre-register per-scheme metric columns before the
+     * first burst (a metric set discovered mid-run would change the
+     * time-series CSV shape). Policies that cannot enumerate their
+     * codes return the default empty list and get no per-scheme
+     * columns.
+     */
+    virtual std::vector<std::string>
+    codeNames() const
+    {
+        return {};
+    }
 
     /**
      * Feedback from the controller after each burst: the code used

@@ -73,6 +73,33 @@ MemoryController::bank(const DramCoord &c) const
     return ranks_[c.rank].banks[c.flatBank(timing_.banksPerGroup)];
 }
 
+obs::Event
+MemoryController::makeEvent(obs::EventKind kind, Cycle cycle,
+                            const DramCoord &c) const
+{
+    obs::Event event;
+    event.kind = kind;
+    event.channel = channelId_;
+    event.rank = c.rank;
+    event.bankGroup = c.bankGroup;
+    event.bank = c.bank;
+    event.row = c.row;
+    event.cycle = cycle;
+    return event;
+}
+
+void
+MemoryController::emitQueueSample(Cycle cycle)
+{
+    obs::Event event;
+    event.kind = obs::EventKind::QueueSample;
+    event.channel = channelId_;
+    event.cycle = cycle;
+    event.value = static_cast<std::uint32_t>(readQ_.size());
+    event.value2 = static_cast<std::uint32_t>(writeQ_.size());
+    sink_->record(event);
+}
+
 bool
 MemoryController::canAccept(bool is_write) const
 {
@@ -97,6 +124,8 @@ MemoryController::enqueue(const MemRequest &req, MemResponseSink *sink)
         writeQ_.push_back(Entry{req, nullptr});
         ++rankPending_[req.coord.rank];
         updateDrainMode();
+        if (tracing())
+            emitQueueSample(req.arrival);
         return true;
     }
 
@@ -114,6 +143,8 @@ MemoryController::enqueue(const MemRequest &req, MemResponseSink *sink)
     mil_assert(sink != nullptr, "read without a response sink");
     readQ_.push_back(Entry{req, sink});
     ++rankPending_[req.coord.rank];
+    if (tracing())
+        emitQueueSample(req.arrival);
     return true;
 }
 
@@ -280,6 +311,22 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
     usage.bursts += 1;
     busBursts_.push_back(Burst{data_start, data_end});
 
+    if (tracing()) {
+        // The burst event carries the clean transfer window; CRC
+        // re-drives show up as separate CrcRetry events below, so a
+        // timeline viewer can tell first drives from retry traffic.
+        obs::Event event = makeEvent(is_write ? obs::EventKind::Write
+                                              : obs::EventKind::Read,
+                                     lastTick_, entry.req.coord);
+        event.isWrite = is_write;
+        event.dataStart = data_start;
+        event.dataEnd = data_end;
+        event.bits = bits;
+        event.zeros = zeros;
+        event.scheme = code.name();
+        sink_->record(event);
+    }
+
     // Link-fault injection and the DDR4 write-CRC/retry path. Faults
     // are timing/statistics events only: the functional image always
     // holds the true line, so corruption never propagates into the
@@ -306,6 +353,21 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
                 ++stats_.crcDetected;
                 if (attempts == config_.crcMaxRetries) {
                     ++stats_.retryAborts;
+                    mil_warn("channel %u: write retry budget (%u) "
+                             "exhausted at 0x%llx, frame %llu",
+                             channelId_, config_.crcMaxRetries,
+                             static_cast<unsigned long long>(
+                                 entry.req.lineAddr),
+                             static_cast<unsigned long long>(
+                                 frameCounter_));
+                    if (tracing()) {
+                        obs::Event event = makeEvent(
+                            obs::EventKind::RetryAbort, lastTick_,
+                            entry.req.coord);
+                        event.isWrite = true;
+                        event.value = attempts;
+                        sink_->record(event);
+                    }
                     break;
                 }
                 ++attempts;
@@ -322,6 +384,20 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
                 accountDrive();
                 busBursts_.push_back(Burst{retry_start, final_end});
 
+                if (tracing()) {
+                    obs::Event event = makeEvent(
+                        obs::EventKind::CrcRetry, lastTick_,
+                        entry.req.coord);
+                    event.isWrite = true;
+                    event.dataStart = retry_start;
+                    event.dataEnd = final_end;
+                    event.value = attempts;
+                    event.bits = bits;
+                    event.zeros = zeros;
+                    event.scheme = code.name();
+                    sink_->record(event);
+                }
+
                 wire = frame;
                 out = injector_.perturb(wire, frameCounter_++);
                 stats_.faultBitsInjected += out.flippedBits;
@@ -336,19 +412,6 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
         }
     } else {
         ++frameCounter_;
-    }
-
-    if (tracer_ != nullptr) {
-        TraceEvent event;
-        event.kind = is_write ? TraceEvent::Kind::Write
-                              : TraceEvent::Kind::Read;
-        event.cycle = lastTick_;
-        event.coord = entry.req.coord;
-        event.dataStart = data_start;
-        event.dataEnd = final_end;
-        event.scheme = code.name();
-        event.zeros = zeros;
-        tracer_->traceEvent(event);
     }
 
     busFreeAt_ = final_end;
@@ -381,6 +444,16 @@ MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
     ctx.othersReadyWithinX =
         x == 0 ? 0 : columnReadyWithin(now, x, &entry);
     const Code &code = policy_->choose(ctx);
+
+    if (tracing()) {
+        obs::Event event =
+            makeEvent(obs::EventKind::Decision, now, c);
+        event.isWrite = is_write;
+        event.value = ctx.othersReadyWithinX;
+        event.value2 = x;
+        event.scheme = code.name();
+        sink_->record(event);
+    }
 
     const Cycle latency =
         (is_write ? timing_.tCWL : timing_.tCL) + policy_->latencyAdder();
@@ -435,6 +508,8 @@ MemoryController::tryIssueColumn(Cycle now, std::deque<Entry> &queue,
             queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
             if (is_write)
                 updateDrainMode();
+            if (tracing())
+                emitQueueSample(now);
             return true;
         }
     }
@@ -492,13 +567,9 @@ MemoryController::tryIssueRowCommand(Cycle now, std::deque<Entry> &queue)
                 ++rank.actCount;
                 ++stats_.activates;
                 ++stats_.rowMisses;
-                if (tracer_ != nullptr) {
-                    TraceEvent event;
-                    event.kind = TraceEvent::Kind::Activate;
-                    event.cycle = now;
-                    event.coord = c;
-                    tracer_->traceEvent(event);
-                }
+                if (tracing())
+                    sink_->record(
+                        makeEvent(obs::EventKind::Activate, now, c));
                 return true;
             }
         } else if (b.row != c.row && !row_wanted[idx]) {
@@ -507,13 +578,9 @@ MemoryController::tryIssueRowCommand(Cycle now, std::deque<Entry> &queue)
                 bs.open = false;
                 bs.nextAct = std::max(bs.nextAct, now + timing_.tRP);
                 ++stats_.precharges;
-                if (tracer_ != nullptr) {
-                    TraceEvent event;
-                    event.kind = TraceEvent::Kind::Precharge;
-                    event.cycle = now;
-                    event.coord = c;
-                    tracer_->traceEvent(event);
-                }
+                if (tracing())
+                    sink_->record(
+                        makeEvent(obs::EventKind::Precharge, now, c));
                 return true;
             }
         }
@@ -558,12 +625,11 @@ MemoryController::tryRefresh(Cycle now)
             rank.refreshPending = false;
             rank.nextRefresh += timing_.tREFI;
             ++stats_.refreshes;
-            if (tracer_ != nullptr) {
-                TraceEvent event;
-                event.kind = TraceEvent::Kind::Refresh;
-                event.cycle = now;
-                event.coord.rank = r;
-                tracer_->traceEvent(event);
+            if (tracing()) {
+                obs::Event event = makeEvent(obs::EventKind::Refresh,
+                                             now, DramCoord{});
+                event.rank = r;
+                sink_->record(event);
             }
             return true;
         }
@@ -594,24 +660,22 @@ MemoryController::managePowerDown(Cycle now)
             if (rank.poweredDown) {
                 rank.poweredDown = false;
                 rank.wakeReadyAt = now + timing_.tXP;
-                if (tracer_ != nullptr) {
-                    TraceEvent event;
-                    event.kind = TraceEvent::Kind::PowerDownExit;
-                    event.cycle = now;
-                    event.coord.rank = r;
-                    tracer_->traceEvent(event);
+                if (tracing()) {
+                    obs::Event event = makeEvent(
+                        obs::EventKind::PowerDownExit, now, DramCoord{});
+                    event.rank = r;
+                    sink_->record(event);
                 }
             }
         } else if (!rank.poweredDown &&
                    now - rank.idleSince >= config_.powerDownIdleCycles) {
             rank.poweredDown = true;
             ++stats_.powerDownEntries;
-            if (tracer_ != nullptr) {
-                TraceEvent event;
-                event.kind = TraceEvent::Kind::PowerDownEnter;
-                event.cycle = now;
-                event.coord.rank = r;
-                tracer_->traceEvent(event);
+            if (tracing()) {
+                obs::Event event = makeEvent(
+                    obs::EventKind::PowerDownEnter, now, DramCoord{});
+                event.rank = r;
+                sink_->record(event);
             }
         }
     }

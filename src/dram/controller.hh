@@ -27,8 +27,8 @@
 #include "dram/request.hh"
 #include "dram/stats.hh"
 #include "dram/timing.hh"
-#include "dram/trace.hh"
 #include "fault/fault_injector.hh"
+#include "obs/trace_sink.hh"
 
 namespace mil
 {
@@ -103,8 +103,18 @@ class MemoryController
     const ChannelStats &stats() const { return stats_; }
     const TimingParams &timing() const { return timing_; }
 
-    /** Attach a command tracer (nullptr detaches). */
-    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+    /**
+     * Attach an event-trace sink (nullptr detaches); @p channel tags
+     * every event this controller emits. The sink must outlive the
+     * controller and is invoked from whichever thread calls tick(), so
+     * give each controller-owning System its own sink (see
+     * obs/trace_sink.hh for the threading contract).
+     */
+    void setTraceSink(obs::TraceSink *sink, std::uint32_t channel = 0)
+    {
+        sink_ = sink;
+        channelId_ = channel;
+    }
 
     /** Queue occupancies (used by tests and the decision logic). */
     std::size_t readQueueDepth() const { return readQ_.size(); }
@@ -209,6 +219,21 @@ class MemoryController
     void accountCycle(Cycle now);
     void drainResponses(Cycle now);
 
+    // --- tracing -------------------------------------------------------
+
+    /** True when the tracing hooks are live (compiled in + attached). */
+    bool tracing() const
+    {
+        return obs::kTraceCompiledIn && sink_ != nullptr;
+    }
+
+    /** Event pre-filled with this channel and the target coordinates. */
+    obs::Event makeEvent(obs::EventKind kind, Cycle cycle,
+                         const DramCoord &c) const;
+
+    /** Record the current queue depths (on enqueue/dequeue). */
+    void emitQueueSample(Cycle cycle);
+
     BankState &bank(const DramCoord &c);
     const BankState &bank(const DramCoord &c) const;
 
@@ -240,7 +265,8 @@ class MemoryController
 
     std::vector<PendingResponse> responses_;
     WireState wireState_{72};
-    Tracer *tracer_ = nullptr;
+    obs::TraceSink *sink_ = nullptr;
+    std::uint32_t channelId_ = 0;
     ChannelStats stats_;
 };
 

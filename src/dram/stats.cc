@@ -44,4 +44,77 @@ ChannelStats::merge(const ChannelStats &other)
     }
 }
 
+void
+ChannelStats::registerBusMetrics(obs::MetricsRegistry &registry) const
+{
+    registry.addCounter("reads", [this] { return reads; });
+    registry.addCounter("writes", [this] { return writes; });
+    registry.addCounter("activates", [this] { return activates; });
+    registry.addCounter("precharges", [this] { return precharges; });
+    registry.addCounter("refreshes", [this] { return refreshes; });
+    registry.addCounter("bits_transferred",
+                        [this] { return bitsTransferred; });
+    registry.addCounter("zeros_transferred",
+                        [this] { return zerosTransferred; });
+    registry.addGauge("zero_density", [this] {
+        return bitsTransferred == 0
+            ? 0.0
+            : static_cast<double>(zerosTransferred) /
+              static_cast<double>(bitsTransferred);
+    });
+    registry.addCounter("wire_transitions",
+                        [this] { return wireTransitions; });
+}
+
+void
+ChannelStats::registerIdleMetrics(obs::MetricsRegistry &registry) const
+{
+    registry.addCounter("idle_pending_cycles",
+                        [this] { return idlePendingCycles; });
+    registry.addCounter("idle_empty_cycles",
+                        [this] { return idleNoPendingCycles; });
+    registry.addCounter("powerdown_cycles",
+                        [this] { return rankPowerDownCycles; });
+}
+
+void
+ChannelStats::registerFaultMetrics(obs::MetricsRegistry &registry) const
+{
+    registry.addCounter("faulty_frames", [this] { return faultyFrames; });
+    registry.addCounter("fault_bits",
+                        [this] { return faultBitsInjected; });
+    registry.addCounter("crc_detected", [this] { return crcDetected; });
+    registry.addCounter("crc_retries", [this] { return crcRetries; });
+    registry.addCounter("crc_undetected",
+                        [this] { return crcUndetected; });
+    registry.addCounter("retry_aborts", [this] { return retryAborts; });
+    registry.addCounter("retry_bits", [this] { return retryBits; });
+    registry.addCounter("retry_cycles", [this] { return retryCycles; });
+}
+
+void
+ChannelStats::registerSchemeMetrics(
+    obs::MetricsRegistry &registry,
+    const std::vector<std::string> &scheme_names) const
+{
+    for (const auto &name : scheme_names) {
+        auto lookup = [this, name]() -> const SchemeUsage * {
+            const auto it = schemes.find(name);
+            return it == schemes.end() ? nullptr : &it->second;
+        };
+        registry.addCounter("scheme_" + name + "_bursts", [lookup] {
+            const SchemeUsage *u = lookup();
+            return u == nullptr ? 0 : u->bursts;
+        });
+        registry.addCounter("scheme_" + name + "_bits", [lookup] {
+            const SchemeUsage *u = lookup();
+            return u == nullptr ? 0 : u->bitsTransferred;
+        });
+        registry.addCounter("scheme_" + name + "_zeros", [lookup] {
+            const SchemeUsage *u = lookup();
+            return u == nullptr ? 0 : u->zeros;
+        });
+    }
+}
+
 } // namespace mil

@@ -13,6 +13,7 @@
 
 #include "common/histogram.hh"
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace mil
 {
@@ -93,6 +94,30 @@ struct ChannelStats
 
     /** Merge another channel's statistics into this one. */
     void merge(const ChannelStats &other);
+
+    // Metric registration: probes capture `this`, so the stats object
+    // must outlive every consumer of the registry. The groups are
+    // split so callers can interleave columns from other components
+    // while keeping a stable overall order (see sim/report.cc).
+
+    /** Commands, data movement, and zero density (Figures 17/18). */
+    void registerBusMetrics(obs::MetricsRegistry &registry) const;
+
+    /** Idle-cycle classification and power-down residency (Figure 5). */
+    void registerIdleMetrics(obs::MetricsRegistry &registry) const;
+
+    /** Link-fault injection and the write-CRC/retry path. */
+    void registerFaultMetrics(obs::MetricsRegistry &registry) const;
+
+    /**
+     * Per-scheme occupancy counters ("scheme_<name>_bursts" etc.) for
+     * each name in @p scheme_names (see CodingPolicy::codeNames).
+     * Probes look the name up on evaluation, so schemes that have not
+     * transferred yet read as zero.
+     */
+    void registerSchemeMetrics(obs::MetricsRegistry &registry,
+                               const std::vector<std::string>
+                                   &scheme_names) const;
 };
 
 } // namespace mil

@@ -24,6 +24,7 @@
 
 #include "common/types.hh"
 #include "mem/mem_types.hh"
+#include "obs/metrics.hh"
 
 namespace mil
 {
@@ -62,6 +63,19 @@ struct CacheStats
         return total == 0 ? 0.0
                           : static_cast<double>(misses) /
                             static_cast<double>(total);
+    }
+
+    /**
+     * Register "<prefix>_hits" / "<prefix>_misses" counters probing
+     * this object; it must outlive the registry's consumers.
+     */
+    void
+    registerMetrics(obs::MetricsRegistry &registry,
+                    const std::string &prefix) const
+    {
+        registry.addCounter(prefix + "_hits", [this] { return hits; });
+        registry.addCounter(prefix + "_misses",
+                            [this] { return misses; });
     }
 };
 

@@ -51,6 +51,15 @@ class AdaptiveMilPolicy : public CodingPolicy
     unsigned latencyAdder() const override;
     unsigned maxBusCycles() const override;
 
+    std::vector<std::string>
+    codeNames() const override
+    {
+        std::vector<std::string> names{base_->name()};
+        for (const auto &c : candidates_)
+            names.push_back(c->name());
+        return names;
+    }
+
     const Code &choose(const ColumnContext &ctx) override;
     void observe(const Code &code, std::uint64_t bits,
                  std::uint64_t zeros) override;

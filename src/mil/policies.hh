@@ -43,6 +43,12 @@ class DbiPolicy : public CodingPolicy
     unsigned latencyAdder() const override { return 0; }
     unsigned maxBusCycles() const override { return code_.busCycles(); }
 
+    std::vector<std::string>
+    codeNames() const override
+    {
+        return {code_.name()};
+    }
+
     const Code &
     choose(const ColumnContext & /* ctx */) override
     {
@@ -63,6 +69,12 @@ class FixedCodePolicy : public CodingPolicy
     unsigned lookahead() const override { return 0; }
     unsigned latencyAdder() const override { return code_->extraLatency(); }
     unsigned maxBusCycles() const override { return code_->busCycles(); }
+
+    std::vector<std::string>
+    codeNames() const override
+    {
+        return {code_->name()};
+    }
 
     const Code &
     choose(const ColumnContext & /* ctx */) override
@@ -95,6 +107,12 @@ class MilPolicy : public CodingPolicy
     unsigned lookahead() const override { return lookaheadX_; }
     unsigned latencyAdder() const override;
     unsigned maxBusCycles() const override;
+
+    std::vector<std::string>
+    codeNames() const override
+    {
+        return {base_->name(), long_->name()};
+    }
 
     const Code &choose(const ColumnContext &ctx) override;
 

@@ -1,0 +1,253 @@
+#include "chrome_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace mil::obs
+{
+
+namespace
+{
+
+/// Thread ids within a channel process. Bank tracks start at
+/// kTidBanks + bankGroup * banksPerGroup + bank.
+constexpr unsigned kTidBus = 0;
+constexpr unsigned kTidDecision = 1;
+constexpr unsigned kTidRank = 2;
+constexpr unsigned kTidBanks = 10;
+
+/// One serialized trace record plus the timestamp it sorts on.
+struct Record
+{
+    Cycle ts = 0;
+    std::string json;
+};
+
+unsigned
+flatBank(const Event &e, unsigned banks_per_group)
+{
+    return e.bankGroup * banks_per_group + e.bank;
+}
+
+std::string
+metadataLine(const char *what, unsigned pid, long tid, const std::string &name)
+{
+    std::ostringstream os;
+    os << "{\"ph\":\"M\",\"pid\":" << pid;
+    if (tid >= 0)
+        os << ",\"tid\":" << tid;
+    os << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+       << jsonEscape(name) << "\"}}";
+    return os.str();
+}
+
+std::string
+sortIndexLine(unsigned pid, unsigned index)
+{
+    std::ostringstream os;
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":"
+       << index << "}}";
+    return os.str();
+}
+
+/// Shared prefix of every timed record: phase, pid, tid, ts.
+std::ostringstream
+openRecord(const char *ph, unsigned pid, unsigned tid, Cycle ts)
+{
+    std::ostringstream os;
+    os << "{\"ph\":\"" << ph << "\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":" << ts;
+    return os;
+}
+
+void
+counterRecord(std::vector<Record> &out, unsigned pid, Cycle ts,
+              const char *name, const char *key, std::uint64_t value,
+              const char *key2 = nullptr, std::uint64_t value2 = 0)
+{
+    auto os = openRecord("C", pid, 0, ts);
+    os << ",\"name\":\"" << name << "\",\"args\":{\"" << key
+       << "\":" << value;
+    if (key2 != nullptr)
+        os << ",\"" << key2 << "\":" << value2;
+    os << "}}";
+    out.push_back({ts, os.str()});
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(ChromeTraceMeta meta)
+    : meta_(std::move(meta))
+{
+}
+
+void
+ChromeTraceWriter::write(std::ostream &os,
+                         const std::vector<Event> &events) const
+{
+    const unsigned system_pid = meta_.channels;
+
+    std::vector<Record> records;
+    records.reserve(events.size() * 2 + 16);
+
+    // Bank tracks get name metadata only when they actually appear;
+    // collect the (channel, flat bank) pairs while serializing.
+    std::vector<std::pair<unsigned, unsigned>> banks_seen;
+
+    for (const Event &e : events) {
+        const unsigned pid = e.channel;
+        switch (e.kind) {
+          case EventKind::Read:
+          case EventKind::Write: {
+            const std::string name =
+                e.scheme.empty() ? e.mnemonic() : e.scheme;
+            auto rec = openRecord("X", pid, kTidBus, e.dataStart);
+            rec << ",\"dur\":" << (e.dataEnd - e.dataStart)
+                << ",\"name\":\"" << jsonEscape(name)
+                << "\",\"cat\":\"bus\",\"args\":{\"write\":"
+                << (e.isWrite ? 1 : 0) << ",\"bits\":" << e.bits
+                << ",\"zeros\":" << e.zeros
+                << ",\"bank\":" << flatBank(e, meta_.banksPerGroup)
+                << ",\"row\":" << e.row << "}}";
+            records.push_back({e.dataStart, rec.str()});
+            counterRecord(records, pid, e.dataStart, "bus_busy", "busy", 1);
+            counterRecord(records, pid, e.dataEnd, "bus_busy", "busy", 0);
+            break;
+          }
+          case EventKind::CrcRetry: {
+            auto rec = openRecord("X", pid, kTidBus, e.dataStart);
+            rec << ",\"dur\":" << (e.dataEnd - e.dataStart)
+                << ",\"name\":\"retry\",\"cat\":\"fault\",\"args\":"
+                << "{\"attempt\":" << e.value << ",\"scheme\":\""
+                << jsonEscape(e.scheme) << "\",\"bits\":" << e.bits
+                << "}}";
+            records.push_back({e.dataStart, rec.str()});
+            counterRecord(records, pid, e.dataStart, "bus_busy", "busy", 1);
+            counterRecord(records, pid, e.dataEnd, "bus_busy", "busy", 0);
+            break;
+          }
+          case EventKind::RetryAbort: {
+            auto rec = openRecord("i", pid, kTidBus, e.cycle);
+            rec << ",\"name\":\"retry-abort\",\"cat\":\"fault\",\"s\":\"t\","
+                << "\"args\":{\"attempts\":" << e.value << "}}";
+            records.push_back({e.cycle, rec.str()});
+            break;
+          }
+          case EventKind::Decision: {
+            auto rec = openRecord("i", pid, kTidDecision, e.cycle);
+            rec << ",\"name\":\"" << jsonEscape(e.scheme)
+                << "\",\"cat\":\"decision\",\"s\":\"t\",\"args\":"
+                << "{\"rdyX\":" << e.value << ",\"lookahead\":" << e.value2
+                << ",\"write\":" << (e.isWrite ? 1 : 0) << "}}";
+            records.push_back({e.cycle, rec.str()});
+            break;
+          }
+          case EventKind::Refresh:
+          case EventKind::PowerDownEnter:
+          case EventKind::PowerDownExit: {
+            auto rec = openRecord("i", pid, kTidRank, e.cycle);
+            rec << ",\"name\":\"" << e.mnemonic()
+                << "\",\"cat\":\"rank\",\"s\":\"t\",\"args\":{\"rank\":"
+                << e.rank << "}}";
+            records.push_back({e.cycle, rec.str()});
+            break;
+          }
+          case EventKind::Activate:
+          case EventKind::Precharge: {
+            const unsigned bank = flatBank(e, meta_.banksPerGroup);
+            const auto key = std::make_pair(pid, bank);
+            if (std::find(banks_seen.begin(), banks_seen.end(), key) ==
+                banks_seen.end())
+                banks_seen.push_back(key);
+            auto rec = openRecord("i", pid, kTidBanks + bank, e.cycle);
+            rec << ",\"name\":\"" << e.mnemonic()
+                << "\",\"cat\":\"cmd\",\"s\":\"t\",\"args\":{\"row\":"
+                << e.row << "}}";
+            records.push_back({e.cycle, rec.str()});
+            break;
+          }
+          case EventKind::QueueSample:
+            counterRecord(records, pid, e.cycle, "queue", "read", e.value,
+                          "write", e.value2);
+            break;
+          case EventKind::Stall: {
+            auto rec = openRecord("i", system_pid, 0, e.cycle);
+            rec << ",\"name\":\"STALL\",\"cat\":\"system\",\"s\":\"g\","
+                << "\"args\":{\"channel\":" << e.channel << "}}";
+            records.push_back({e.cycle, rec.str()});
+            break;
+          }
+        }
+    }
+
+    // Viewers tolerate unsorted input, but sorted output keeps the
+    // bytes a pure function of the event stream regardless of how the
+    // caller batched emission.
+    std::stable_sort(records.begin(), records.end(),
+                     [](const Record &a, const Record &b) {
+                         return a.ts < b.ts;
+                     });
+
+    std::vector<std::string> header;
+    for (unsigned c = 0; c < meta_.channels; ++c) {
+        header.push_back(metadataLine("process_name", c, -1,
+                                      "channel " + std::to_string(c)));
+        header.push_back(sortIndexLine(c, c));
+        header.push_back(metadataLine("thread_name", c, kTidBus, "bus"));
+        header.push_back(
+            metadataLine("thread_name", c, kTidDecision, "decision"));
+        header.push_back(metadataLine("thread_name", c, kTidRank, "rank"));
+    }
+    std::sort(banks_seen.begin(), banks_seen.end());
+    for (const auto &[pid, bank] : banks_seen)
+        header.push_back(metadataLine("thread_name", pid, kTidBanks + bank,
+                                      "bank " + std::to_string(bank)));
+    header.push_back(metadataLine("process_name", system_pid, -1, "system"));
+    header.push_back(sortIndexLine(system_pid, system_pid));
+
+    os << "{\"displayTimeUnit\":\"ns\",\n\"otherData\":{\"label\":\""
+       << jsonEscape(meta_.label)
+       << "\",\"timeUnit\":\"controller cycles\"},\n\"traceEvents\":[\n";
+    bool first = true;
+    for (const std::string &line : header) {
+        os << (first ? "" : ",\n") << line;
+        first = false;
+    }
+    for (const Record &rec : records) {
+        os << (first ? "" : ",\n") << rec.json;
+        first = false;
+    }
+    os << "\n]}\n";
+}
+
+} // namespace mil::obs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto "Trace Event Format")
+ * export of a recorded event stream.
+ *
+ * Track layout: one process per memory channel, with
+ *   tid 0          -- "bus": one slice per data burst, named after the
+ *                     coding scheme (so MiL's stretched 3-LWC slots
+ *                     are visually distinct from MiLC/DBI bursts),
+ *                     plus "retry" slices for CRC re-drives;
+ *   tid 1          -- "decision": instants for every decision-logic
+ *                     verdict, args carrying rdyX and the horizon;
+ *   tid 2          -- "rank": refresh and power-down instants;
+ *   tid 10+bank    -- one track per bank: ACT/PRE instants with rows;
+ * and per-channel counter tracks "queue" (read/write depth) and
+ * "bus_busy" (0/1, synthesized from the burst windows). A final
+ * "system" process carries watchdog stalls.
+ *
+ * Timestamps are controller cycles written as integers; every field
+ * is integral or a fixed string, and events are stable-sorted by
+ * timestamp, so the JSON bytes are a pure function of the event
+ * stream (the CI determinism gate cmp's them across --jobs counts).
+ */
+
+#ifndef MIL_OBS_CHROME_TRACE_HH
+#define MIL_OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace mil::obs
+{
+
+/** Static context the writer needs beyond the events themselves. */
+struct ChromeTraceMeta
+{
+    std::string label;          ///< Run label (system/workload/policy).
+    unsigned channels = 1;      ///< Processes to declare.
+    unsigned banksPerGroup = 4; ///< Flattens (group, bank) to a tid.
+};
+
+/** Serializes recorded events as Chrome-trace JSON. */
+class ChromeTraceWriter
+{
+  public:
+    explicit ChromeTraceWriter(ChromeTraceMeta meta);
+
+    /** Write the full JSON document (deterministic bytes). */
+    void write(std::ostream &os, const std::vector<Event> &events) const;
+
+  private:
+    ChromeTraceMeta meta_;
+};
+
+/** Escape a string for embedding in a JSON literal. */
+std::string jsonEscape(const std::string &raw);
+
+} // namespace mil::obs
+
+#endif // MIL_OBS_CHROME_TRACE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The typed event vocabulary of the observability subsystem.
+ *
+ * Every component that wants to be visible on a timeline records
+ * obs::Event values into a TraceSink: the memory controller emits the
+ * DRAM command stream, data-bus burst windows (with the coding scheme
+ * and its bit/zero payload), the MiL decision-logic verdicts, and the
+ * write-CRC retry storms of the fault injector; the System emits
+ * watchdog stalls. Events carry plain integers only (no pointers, no
+ * wall-clock anything), so a recorded stream is a pure function of the
+ * simulation inputs -- byte-identical across runs and thread counts.
+ *
+ * obs deliberately depends only on src/common: DRAM coordinates are
+ * flattened into scalar fields rather than importing dram/request.hh,
+ * which lets the dram layer itself link against obs.
+ */
+
+#ifndef MIL_OBS_EVENT_HH
+#define MIL_OBS_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mil::obs
+{
+
+/** What happened. See Event's field notes for the per-kind payload. */
+enum class EventKind : std::uint8_t
+{
+    Activate,       ///< ACT command issued.
+    Precharge,      ///< PRE command issued.
+    Read,           ///< RD column command; carries the burst window.
+    Write,          ///< WR column command; carries the burst window.
+    Refresh,        ///< Rank refresh started (tRFC busy window).
+    PowerDownEnter, ///< Rank entered fast power-down.
+    PowerDownExit,  ///< Rank woke up (tXP penalty follows).
+    Decision,       ///< Decision-logic verdict at a column command.
+    CrcRetry,       ///< One write-CRC re-drive of a burst.
+    RetryAbort,     ///< Retry budget exhausted for one write.
+    QueueSample,    ///< Read/write queue depth changed.
+    Stall,          ///< Forward-progress watchdog fired.
+};
+
+/** One recorded observation. */
+struct Event
+{
+    EventKind kind = EventKind::Activate;
+    bool isWrite = false;     ///< Read/Write/Decision/CrcRetry.
+
+    /** Channel index as attached by the owner (see setTraceSink). */
+    std::uint32_t channel = 0;
+
+    // DRAM coordinates (rank-only for Refresh/power-down events).
+    std::uint32_t rank = 0;
+    std::uint32_t bankGroup = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+
+    Cycle cycle = 0;          ///< Cycle the event was emitted.
+    Cycle dataStart = 0;      ///< Burst/retry window start...
+    Cycle dataEnd = 0;        ///< ...and end (exclusive).
+
+    /**
+     * Kind-specific scalar:
+     *   Decision    -- rdyX, the number of other column commands ready
+     *                  within the look-ahead horizon (Figure 11).
+     *   CrcRetry    -- 1-based retry attempt number.
+     *   RetryAbort  -- attempts spent before giving up.
+     *   QueueSample -- read queue depth.
+     */
+    std::uint32_t value = 0;
+
+    /** QueueSample: write queue depth. Decision: look-ahead X. */
+    std::uint32_t value2 = 0;
+
+    // Burst payload (Read/Write/CrcRetry).
+    std::uint64_t bits = 0;
+    std::uint64_t zeros = 0;
+
+    /** Coding scheme (Read/Write/CrcRetry/Decision). */
+    std::string scheme;
+
+    /** Short mnemonic ("ACT", "RD", "DEC", ...). */
+    const char *mnemonic() const;
+};
+
+} // namespace mil::obs
+
+#endif // MIL_OBS_EVENT_HH

@@ -1,0 +1,112 @@
+#include "interval_sampler.hh"
+
+#include <ostream>
+
+#include "common/sim_error.hh"
+
+namespace mil::obs
+{
+
+IntervalSampler::IntervalSampler(const MetricsRegistry &registry,
+                                 Cycle interval_cycles)
+    : registry_(registry), interval_(interval_cycles),
+      prevCounters_(registry.size(), 0)
+{
+    if (interval_ == 0)
+        throw ConfigError("sampler interval must be nonzero");
+}
+
+void
+IntervalSampler::tick(Cycle now)
+{
+    if (finished_)
+        return;
+    if (ticksInInterval_ == 0)
+        intervalStart_ = now;
+    lastTick_ = now;
+    ++ticksInInterval_;
+    if (ticksInInterval_ >= interval_)
+        closeInterval();
+}
+
+void
+IntervalSampler::finish()
+{
+    if (finished_)
+        return;
+    if (ticksInInterval_ > 0)
+        closeInterval();
+    finished_ = true;
+}
+
+void
+IntervalSampler::closeInterval()
+{
+    Row row;
+    row.start = intervalStart_;
+    row.end = lastTick_ + 1;
+    row.values.resize(registry_.size());
+
+    const auto &metrics = registry_.metrics();
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const auto &m = metrics[i];
+        Value &v = row.values[i];
+        switch (m.kind) {
+          case MetricsRegistry::Kind::Counter: {
+            const std::uint64_t cur = m.counter();
+            v.isCount = true;
+            v.count = cur - prevCounters_[i];
+            prevCounters_[i] = cur;
+            break;
+          }
+          case MetricsRegistry::Kind::Gauge:
+            v.real = m.gauge();
+            break;
+          case MetricsRegistry::Kind::Ratio: {
+            // Operands are counters registered before this metric, so
+            // their deltas for this row are already in place.
+            const Value &num = row.values[m.numerator];
+            const Value &den = row.values[m.denominator];
+            v.real = den.count == 0
+                ? 0.0
+                : static_cast<double>(num.count) /
+                  static_cast<double>(den.count);
+            break;
+          }
+        }
+    }
+
+    rows_.push_back(std::move(row));
+    ticksInInterval_ = 0;
+}
+
+IntervalSampler::Value
+IntervalSampler::value(std::size_t row, const std::string &name) const
+{
+    if (row >= rows_.size())
+        throw ConfigError(strformat("sampler row %zu out of range", row));
+    return rows_[row].values.at(registry_.index(name));
+}
+
+void
+IntervalSampler::writeCsv(std::ostream &os) const
+{
+    os << "interval,start_cycle,end_cycle";
+    for (const auto &m : registry_.metrics())
+        os << ',' << m.name;
+    os << '\n';
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const Row &row = rows_[r];
+        os << r << ',' << row.start << ',' << row.end;
+        for (const Value &v : row.values) {
+            os << ',';
+            if (v.isCount)
+                os << v.count;
+            else
+                os << v.real;
+        }
+        os << '\n';
+    }
+}
+
+} // namespace mil::obs

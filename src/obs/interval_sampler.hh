@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Time-series sampling of a MetricsRegistry.
+ *
+ * The sampler is ticked once per simulated cycle (System::run does
+ * this when one is attached) and closes an interval every N cycles:
+ * counters are emitted as per-interval deltas, gauges as their
+ * instantaneous value at the interval boundary, ratios as the delta
+ * quotient (e.g. IPC = ops delta / cycle delta). finish() flushes the
+ * final partial interval, so summing a counter column over all rows
+ * reproduces the end-of-run aggregate exactly (asserted in
+ * tests/obs/test_interval_sampler.cc) -- the property that lets
+ * energy and slowdown be plotted over time instead of end-of-run.
+ */
+
+#ifndef MIL_OBS_INTERVAL_SAMPLER_HH
+#define MIL_OBS_INTERVAL_SAMPLER_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/metrics.hh"
+
+namespace mil::obs
+{
+
+/** Snapshots a registry every N cycles into CSV rows. */
+class IntervalSampler
+{
+  public:
+    /** One metric value in one interval. */
+    struct Value
+    {
+        bool isCount = false;     ///< Print as integer (counter delta).
+        std::uint64_t count = 0;
+        double real = 0.0;        ///< Gauge / ratio value.
+    };
+
+    /** One closed interval [start, end). */
+    struct Row
+    {
+        Cycle start = 0;
+        Cycle end = 0;
+        std::vector<Value> values; ///< One per registry metric.
+    };
+
+    /**
+     * @param registry must outlive the sampler; its probes are
+     *        evaluated at every interval boundary.
+     * @param interval_cycles interval length; must be nonzero.
+     */
+    IntervalSampler(const MetricsRegistry &registry,
+                    Cycle interval_cycles);
+
+    /** Advance one cycle; closes an interval when N cycles elapsed. */
+    void tick(Cycle now);
+
+    /** Flush the final partial interval (idempotent). */
+    void finish();
+
+    Cycle interval() const { return interval_; }
+    const std::vector<Row> &rows() const { return rows_; }
+
+    /** Value of metric @p name in row @p row (throws when unknown). */
+    Value value(std::size_t row, const std::string &name) const;
+
+    /**
+     * Write the time series as CSV: a header line
+     * "interval,start_cycle,end_cycle,<metric names>", one row per
+     * closed interval. Output is deterministic byte-for-byte.
+     */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void closeInterval();
+
+    const MetricsRegistry &registry_;
+    Cycle interval_;
+    Cycle intervalStart_ = 0;
+    Cycle lastTick_ = 0;
+    Cycle ticksInInterval_ = 0;
+    bool finished_ = false;
+    std::vector<std::uint64_t> prevCounters_;
+    std::vector<Row> rows_;
+};
+
+} // namespace mil::obs
+
+#endif // MIL_OBS_INTERVAL_SAMPLER_HH

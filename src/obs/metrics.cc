@@ -1,0 +1,97 @@
+#include "metrics.hh"
+
+#include <cmath>
+
+#include "common/sim_error.hh"
+
+namespace mil::obs
+{
+
+void
+MetricsRegistry::checkFresh(const std::string &name) const
+{
+    if (has(name))
+        throw ConfigError(strformat(
+            "metric '%s' registered twice", name.c_str()));
+}
+
+void
+MetricsRegistry::addCounter(const std::string &name, CounterFn probe)
+{
+    checkFresh(name);
+    Metric m;
+    m.name = name;
+    m.kind = Kind::Counter;
+    m.counter = std::move(probe);
+    metrics_.push_back(std::move(m));
+}
+
+void
+MetricsRegistry::addGauge(const std::string &name, GaugeFn probe)
+{
+    checkFresh(name);
+    Metric m;
+    m.name = name;
+    m.kind = Kind::Gauge;
+    m.gauge = std::move(probe);
+    metrics_.push_back(std::move(m));
+}
+
+void
+MetricsRegistry::addRatio(const std::string &name, const std::string &num,
+                          const std::string &den)
+{
+    checkFresh(name);
+    const std::size_t ni = index(num);
+    const std::size_t di = index(den);
+    if (metrics_[ni].kind != Kind::Counter ||
+        metrics_[di].kind != Kind::Counter)
+        throw ConfigError(strformat(
+            "ratio '%s' needs counter operands ('%s' / '%s')",
+            name.c_str(), num.c_str(), den.c_str()));
+    Metric m;
+    m.name = name;
+    m.kind = Kind::Ratio;
+    m.numerator = ni;
+    m.denominator = di;
+    metrics_.push_back(std::move(m));
+}
+
+void
+MetricsRegistry::addHistogram(const std::string &name,
+                              const Histogram *hist,
+                              const std::vector<double> &percentiles)
+{
+    for (double p : percentiles) {
+        if (p < 0.0 || p > 1.0)
+            throw ConfigError(strformat(
+                "histogram '%s': percentile %g outside [0, 1]",
+                name.c_str(), p));
+        // 0.5 -> "p50", 0.999 -> "p99.9": %g trims trailing zeros.
+        const std::string col =
+            name + "_p" + strformat("%g", p * 100.0);
+        addGauge(col, [hist, p] {
+            return static_cast<double>(hist->percentile(p));
+        });
+    }
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    for (const auto &m : metrics_)
+        if (m.name == name)
+            return true;
+    return false;
+}
+
+std::size_t
+MetricsRegistry::index(const std::string &name) const
+{
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+        if (metrics_[i].name == name)
+            return i;
+    throw ConfigError(strformat("unknown metric '%s'", name.c_str()));
+}
+
+} // namespace mil::obs

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A registry of named metrics backed by live probes.
+ *
+ * Components do not push values into the registry; they register
+ * probes (closures reading their existing statistics structs), so the
+ * simulation hot path is untouched and a metric costs nothing until
+ * somebody evaluates it. Two consumers iterate a registry:
+ *
+ *  - The IntervalSampler snapshots every metric each N cycles and
+ *    emits a time-series CSV (counters as per-interval deltas).
+ *  - The CsvReporter derives its end-of-run header AND row from one
+ *    registry built over a SimResult, so the column sets can never
+ *    drift apart (the PR 3 hand-maintained header did).
+ *
+ * Metric kinds:
+ *  - Counter: monotone std::uint64_t (bits transferred, ops retired).
+ *  - Gauge:   instantaneous double (utilization, a percentile).
+ *  - Ratio:   delta(numerator counter) / delta(denominator counter)
+ *             over whatever window the consumer evaluates (per
+ *             interval for the sampler; whole-run for a report).
+ */
+
+#ifndef MIL_OBS_METRICS_HH
+#define MIL_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+
+namespace mil::obs
+{
+
+/** Ordered collection of named metric probes. */
+class MetricsRegistry
+{
+  public:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Ratio,
+    };
+
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+
+    struct Metric
+    {
+        std::string name;
+        Kind kind = Kind::Counter;
+        CounterFn counter;        ///< Kind::Counter.
+        GaugeFn gauge;            ///< Kind::Gauge.
+        std::size_t numerator = 0;   ///< Kind::Ratio: counter index.
+        std::size_t denominator = 0; ///< Kind::Ratio: counter index.
+    };
+
+    /** Register a monotone counter probe. Throws on duplicate name. */
+    void addCounter(const std::string &name, CounterFn probe);
+
+    /** Register an instantaneous gauge probe. Throws on duplicate. */
+    void addGauge(const std::string &name, GaugeFn probe);
+
+    /**
+     * Register a derived delta-ratio over two already-registered
+     * counters (e.g. IPC = ops / cycles). Throws when either operand
+     * is missing or not a counter.
+     */
+    void addRatio(const std::string &name, const std::string &num,
+                  const std::string &den);
+
+    /**
+     * Register gauges "<name>_pNN" for each requested percentile of a
+     * live histogram (see Histogram::percentile for the bucket-bound
+     * approximation). The histogram must outlive the registry's
+     * consumers; percentiles are cumulative-to-date, not per-interval.
+     */
+    void addHistogram(const std::string &name, const Histogram *hist,
+                      const std::vector<double> &percentiles);
+
+    const std::vector<Metric> &metrics() const { return metrics_; }
+    std::size_t size() const { return metrics_.size(); }
+
+    bool has(const std::string &name) const;
+
+    /** Index of @p name; throws ConfigError when absent. */
+    std::size_t index(const std::string &name) const;
+
+  private:
+    void checkFresh(const std::string &name) const;
+
+    std::vector<Metric> metrics_;
+};
+
+} // namespace mil::obs
+
+#endif // MIL_OBS_METRICS_HH

@@ -1,0 +1,362 @@
+#include "trace_reader.hh"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/sim_error.hh"
+
+namespace mil::obs
+{
+
+namespace
+{
+
+/**
+ * Minimal JSON value model. Numbers keep an integer view alongside
+ * the double so cycle counts survive untruncated; trace files only
+ * ever contain integers, but the parser accepts general JSON.
+ */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::int64_t integer = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw SimError(strformat("trace JSON parse error at offset %zu: %s",
+                                 pos_, why.c_str()));
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(strformat("expected '%c'", c));
+        ++pos_;
+    }
+
+    bool consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expectLiteral(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p, ++pos_)
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(strformat("bad literal (wanted \"%s\")", word));
+    }
+
+    JsonValue parseValue()
+    {
+        JsonValue v;
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"':
+            v.type = JsonValue::Type::String;
+            v.string = parseString();
+            return v;
+          case 't':
+            expectLiteral("true");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            expectLiteral("false");
+            v.type = JsonValue::Type::Bool;
+            return v;
+          case 'n':
+            expectLiteral("null");
+            return v;
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        expect('{');
+        if (consumeIf('}'))
+            return v;
+        do {
+            std::string key;
+            if (peek() != '"')
+                fail("object key must be a string");
+            key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+        } while (consumeIf(','));
+        expect('}');
+        return v;
+    }
+
+    JsonValue parseArray()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        expect('[');
+        if (consumeIf(']'))
+            return v;
+        do {
+            v.array.push_back(parseValue());
+        } while (consumeIf(','));
+        expect(']');
+        return v;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // The writer only escapes control characters, so a
+                // plain one-byte decode covers everything we emit;
+                // other code points pass through as UTF-8 bytes.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        try {
+            v.number = std::stod(token);
+        } catch (const std::exception &) {
+            fail(strformat("bad number \"%s\"", token.c_str()));
+        }
+        try {
+            v.integer = std::stoll(token);
+        } catch (const std::exception &) {
+            v.integer = static_cast<std::int64_t>(v.number);
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::int64_t
+intField(const JsonValue &obj, const std::string &key, std::int64_t fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || v->type != JsonValue::Type::Number)
+        return fallback;
+    return v->integer;
+}
+
+std::string
+strField(const JsonValue &obj, const std::string &key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || v->type != JsonValue::Type::String)
+        return {};
+    return v->string;
+}
+
+std::map<std::string, std::int64_t>
+intArgs(const JsonValue &obj)
+{
+    std::map<std::string, std::int64_t> out;
+    const JsonValue *args = obj.find("args");
+    if (args == nullptr || args->type != JsonValue::Type::Object)
+        return out;
+    for (const auto &[k, v] : args->object)
+        if (v.type == JsonValue::Type::Number)
+            out[k] = v.integer;
+    return out;
+}
+
+} // namespace
+
+TraceReader
+TraceReader::parse(const std::string &json)
+{
+    const JsonValue doc = JsonParser(json).parseDocument();
+    if (doc.type != JsonValue::Type::Object)
+        throw SimError("trace document is not a JSON object");
+
+    TraceReader reader;
+    if (const JsonValue *other = doc.find("otherData");
+        other != nullptr && other->type == JsonValue::Type::Object)
+        reader.label_ = strField(*other, "label");
+
+    const JsonValue *events = doc.find("traceEvents");
+    if (events == nullptr || events->type != JsonValue::Type::Array)
+        throw SimError("trace document has no traceEvents array");
+
+    for (const JsonValue &e : events->array) {
+        if (e.type != JsonValue::Type::Object)
+            throw SimError("trace event is not an object");
+        const std::string ph = strField(e, "ph");
+        const auto pid = static_cast<unsigned>(intField(e, "pid", 0));
+        const auto tid = static_cast<unsigned>(intField(e, "tid", 0));
+        if (ph == "M") {
+            const std::string what = strField(e, "name");
+            const JsonValue *args = e.find("args");
+            if (args == nullptr)
+                continue;
+            if (what == "process_name")
+                reader.processNames_[pid] = strField(*args, "name");
+            else if (what == "thread_name")
+                reader.threadNames_[{pid, tid}] = strField(*args, "name");
+        } else if (ph == "X") {
+            TraceSlice s;
+            s.pid = pid;
+            s.tid = tid;
+            s.ts = static_cast<Cycle>(intField(e, "ts", 0));
+            s.dur = static_cast<Cycle>(intField(e, "dur", 0));
+            s.name = strField(e, "name");
+            s.cat = strField(e, "cat");
+            s.args = intArgs(e);
+            reader.slices_.push_back(std::move(s));
+        } else if (ph == "i" || ph == "I") {
+            TraceInstant inst;
+            inst.pid = pid;
+            inst.tid = tid;
+            inst.ts = static_cast<Cycle>(intField(e, "ts", 0));
+            inst.name = strField(e, "name");
+            inst.cat = strField(e, "cat");
+            inst.args = intArgs(e);
+            reader.instants_.push_back(std::move(inst));
+        } else if (ph == "C") {
+            TraceCounter c;
+            c.pid = pid;
+            c.ts = static_cast<Cycle>(intField(e, "ts", 0));
+            c.name = strField(e, "name");
+            c.args = intArgs(e);
+            reader.counters_.push_back(std::move(c));
+        }
+    }
+    return reader;
+}
+
+TraceReader
+TraceReader::parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SimError(strformat("cannot open trace file \"%s\"",
+                                 path.c_str()));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace mil::obs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reader for the Chrome-trace JSON this subsystem writes.
+ *
+ * miltrace and the round-trip tests need to look at an exported trace
+ * without dragging in an external JSON dependency, so this is a small
+ * recursive-descent parser of standard JSON (objects, arrays, strings
+ * with escapes, integers/doubles, literals) that then projects the
+ * "traceEvents" array into typed records: duration slices (ph "X"),
+ * instants (ph "i"), and counter samples (ph "C"). Metadata events
+ * are folded into process/thread name lookups.
+ */
+
+#ifndef MIL_OBS_TRACE_READER_HH
+#define MIL_OBS_TRACE_READER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mil::obs
+{
+
+/** A ph:"X" complete slice (bus burst or CRC retry). */
+struct TraceSlice
+{
+    unsigned pid = 0;
+    unsigned tid = 0;
+    Cycle ts = 0;
+    Cycle dur = 0;
+    std::string name;
+    std::string cat;
+    std::map<std::string, std::int64_t> args;
+};
+
+/** A ph:"i" instant (command, decision, stall, ...). */
+struct TraceInstant
+{
+    unsigned pid = 0;
+    unsigned tid = 0;
+    Cycle ts = 0;
+    std::string name;
+    std::string cat;
+    std::map<std::string, std::int64_t> args;
+};
+
+/** One ph:"C" counter sample. */
+struct TraceCounter
+{
+    unsigned pid = 0;
+    Cycle ts = 0;
+    std::string name;
+    std::map<std::string, std::int64_t> args;
+};
+
+/** Parsed view of one exported trace document. */
+class TraceReader
+{
+  public:
+    /** Parse a JSON document; throws SimError on malformed input. */
+    static TraceReader parse(const std::string &json);
+
+    /** Read and parse a file; throws SimError when unreadable. */
+    static TraceReader parseFile(const std::string &path);
+
+    const std::string &label() const { return label_; }
+
+    const std::vector<TraceSlice> &slices() const { return slices_; }
+    const std::vector<TraceInstant> &instants() const { return instants_; }
+    const std::vector<TraceCounter> &counters() const { return counters_; }
+
+    /** Process names from metadata, keyed by pid. */
+    const std::map<unsigned, std::string> &processNames() const
+    {
+        return processNames_;
+    }
+
+    /** Thread (track) names from metadata, keyed by (pid, tid). */
+    const std::map<std::pair<unsigned, unsigned>, std::string> &
+    threadNames() const
+    {
+        return threadNames_;
+    }
+
+  private:
+    std::string label_;
+    std::vector<TraceSlice> slices_;
+    std::vector<TraceInstant> instants_;
+    std::vector<TraceCounter> counters_;
+    std::map<unsigned, std::string> processNames_;
+    std::map<std::pair<unsigned, unsigned>, std::string> threadNames_;
+};
+
+} // namespace mil::obs
+
+#endif // MIL_OBS_TRACE_READER_HH

@@ -1,0 +1,62 @@
+#include "trace_sink.hh"
+
+namespace mil::obs
+{
+
+const char *
+Event::mnemonic() const
+{
+    switch (kind) {
+      case EventKind::Activate:
+        return "ACT";
+      case EventKind::Precharge:
+        return "PRE";
+      case EventKind::Read:
+        return "RD";
+      case EventKind::Write:
+        return "WR";
+      case EventKind::Refresh:
+        return "REF";
+      case EventKind::PowerDownEnter:
+        return "PDE";
+      case EventKind::PowerDownExit:
+        return "PDX";
+      case EventKind::Decision:
+        return "DEC";
+      case EventKind::CrcRetry:
+        return "RTY";
+      case EventKind::RetryAbort:
+        return "ABT";
+      case EventKind::QueueSample:
+        return "QUE";
+      case EventKind::Stall:
+        return "STL";
+    }
+    return "?";
+}
+
+void
+MemoryTraceSink::record(const Event &event)
+{
+    events_.push_back(event);
+}
+
+std::vector<Event>
+MemoryTraceSink::takeEvents()
+{
+    std::vector<Event> out = std::move(events_);
+    events_.clear();
+    return out;
+}
+
+std::size_t
+MemoryTraceSink::count(EventKind kind) const
+{
+    std::size_t n = 0;
+    for (const auto &e : events_)
+        if (e.kind == kind)
+            ++n;
+    return n;
+}
+
+} // namespace mil::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Event-trace recording layer.
+ *
+ * A TraceSink receives every obs::Event an instrumented component
+ * emits. Recording is opt-in twice over:
+ *
+ *  - Runtime: components hold a TraceSink pointer that defaults to
+ *    null; the emit site is a single predictable branch, so an
+ *    untraced simulation pays one compare per would-be event (guarded
+ *    by bench/bench_obs_overhead.cc). NullTraceSink exists for code
+ *    that wants an always-valid sink object instead of a null check.
+ *
+ *  - Compile time: configuring with -DMIL_OBS_TRACING=OFF defines
+ *    MIL_OBS_NO_TRACING, flipping kTraceCompiledIn to false. Emit
+ *    sites are written `if (obs::kTraceCompiledIn && sink != nullptr)`
+ *    so the whole block -- including event construction -- is dead
+ *    code the compiler deletes.
+ *
+ * Threading: a sink is NOT internally synchronized. The intended
+ * topology is one sink per simulated System, used only by the thread
+ * ticking that System; a parallel sweep gives every cell its own sink
+ * (see SweepRunner::setTraceDir), so pool workers never share one.
+ */
+
+#ifndef MIL_OBS_TRACE_SINK_HH
+#define MIL_OBS_TRACE_SINK_HH
+
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace mil::obs
+{
+
+/** False when the tracing hooks were compiled out (MIL_OBS_TRACING=OFF). */
+inline constexpr bool kTraceCompiledIn =
+#ifdef MIL_OBS_NO_TRACING
+    false;
+#else
+    true;
+#endif
+
+/** Receives recorded events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void record(const Event &event) = 0;
+};
+
+/** Discards everything: the runtime no-op path. */
+class NullTraceSink final : public TraceSink
+{
+  public:
+    void record(const Event & /* event */) override {}
+};
+
+/** Buffers events in memory, in emission order. */
+class MemoryTraceSink final : public TraceSink
+{
+  public:
+    void record(const Event &event) override;
+
+    const std::vector<Event> &events() const { return events_; }
+
+    /** Move the buffer out (the sink is empty afterwards). */
+    std::vector<Event> takeEvents();
+
+    void clear() { events_.clear(); }
+
+    std::size_t size() const { return events_.size(); }
+
+    /** Count events of one kind (test/report helper). */
+    std::size_t count(EventKind kind) const;
+
+  private:
+    std::vector<Event> events_;
+};
+
+} // namespace mil::obs
+
+#endif // MIL_OBS_TRACE_SINK_HH

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
 
+#include "common/logging.hh"
 #include "common/sim_error.hh"
 #include "mil/policies.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/interval_sampler.hh"
 
 namespace mil
 {
@@ -141,6 +145,12 @@ canonicalize(const RunSpec &spec)
 SimResult
 runSpecFresh(const RunSpec &spec)
 {
+    return runSpecFresh(spec, RunObservers{});
+}
+
+SimResult
+runSpecFresh(const RunSpec &spec, const RunObservers &observers)
+{
     const RunSpec s = canonicalize(spec);
 
     SystemConfig config = makeSystemConfig(s.system);
@@ -157,7 +167,55 @@ runSpecFresh(const RunSpec &spec)
     const auto policy = makePolicy(s.policy, s.lookahead);
 
     System system(config, *workload, policy.get(), s.opsPerThread);
-    return system.run();
+
+    // Event tracing: record into the caller's sink, or a private one
+    // when only the JSON file was requested.
+    obs::MemoryTraceSink own_sink;
+    const bool want_json = !observers.traceJsonPath.empty();
+    obs::TraceSink *sink = observers.sink;
+    if (sink == nullptr && want_json)
+        sink = &own_sink;
+    if (sink != nullptr)
+        system.setTraceSink(sink);
+    if (sink != nullptr && !obs::kTraceCompiledIn)
+        mil_warn("tracing requested but compiled out "
+                 "(MIL_OBS_TRACING=OFF): the trace will be empty");
+
+    // Time-series sampling over the live system metrics.
+    obs::MetricsRegistry registry;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    if (observers.sampleInterval != 0) {
+        system.registerMetrics(registry);
+        sampler = std::make_unique<obs::IntervalSampler>(
+            registry, observers.sampleInterval);
+        system.setSampler(sampler.get());
+    }
+
+    SimResult result = system.run();
+
+    if (want_json) {
+        const obs::MemoryTraceSink *mem_sink =
+            dynamic_cast<obs::MemoryTraceSink *>(sink);
+        if (mem_sink == nullptr)
+            throw ConfigError(
+                "traceJsonPath requires a MemoryTraceSink (or no "
+                "sink, to use the internal one)");
+        obs::ChromeTraceMeta meta;
+        meta.label = s.system + "/" + s.workload + "/" + s.policy;
+        meta.channels = config.channels;
+        meta.banksPerGroup = config.timing.banksPerGroup;
+        std::ofstream os(observers.traceJsonPath,
+                         std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw SimError(strformat("cannot write trace file '%s'",
+                                     observers.traceJsonPath.c_str()));
+        obs::ChromeTraceWriter(meta).write(os, mem_sink->events());
+    }
+
+    if (sampler != nullptr && observers.sampleCsv != nullptr)
+        sampler->writeCsv(*observers.sampleCsv);
+
+    return result;
 }
 
 const SimResult &

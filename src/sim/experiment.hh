@@ -9,11 +9,13 @@
 #define MIL_SIM_EXPERIMENT_HH
 
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace_sink.hh"
 #include "sim/system.hh"
 
 namespace mil
@@ -72,6 +74,38 @@ double defaultScale();
  * runs it or what ran before, so concurrent calls are safe.
  */
 SimResult runSpecFresh(const RunSpec &spec);
+
+/**
+ * Optional instrumentation attached to one fresh run. Observers make
+ * a run's side effects (files, sink contents) part of its output, so
+ * they only combine with runSpecFresh -- the memoizing runSpec would
+ * skip them on a cache hit.
+ */
+struct RunObservers
+{
+    /**
+     * Record events into this caller-owned sink. When null but
+     * @ref traceJsonPath is set, an internal sink is used.
+     */
+    obs::TraceSink *sink = nullptr;
+
+    /** Write a Chrome-trace JSON file here after the run; "" = none. */
+    std::string traceJsonPath;
+
+    /** Sample registered system metrics every N cycles; 0 = off. */
+    Cycle sampleInterval = 0;
+
+    /** Where the sampler's time-series CSV goes (null with a nonzero
+     *  interval keeps sampling overhead for nothing -- pass both). */
+    std::ostream *sampleCsv = nullptr;
+};
+
+/**
+ * runSpecFresh with tracing and/or time-series sampling attached.
+ * Throws SimError when a requested output file cannot be written.
+ */
+SimResult runSpecFresh(const RunSpec &spec,
+                       const RunObservers &observers);
 
 /**
  * Run one spec, memoized per process. Thread-safe: concurrent calls

@@ -27,19 +27,53 @@ csvEscape(const std::string &field)
 } // anonymous namespace
 
 void
+registerResultMetrics(obs::MetricsRegistry &registry, const SimResult &r)
+{
+    registry.addCounter("cycles", [&r] {
+        return static_cast<std::uint64_t>(r.cycles);
+    });
+    registry.addCounter("total_ops", [&r] { return r.totalOps; });
+    registry.addGauge("utilization", [&r] { return r.utilization(); });
+
+    r.bus.registerBusMetrics(registry);
+    r.l1.registerMetrics(registry, "l1");
+    r.l2.registerMetrics(registry, "l2");
+    registry.addCounter("prefetches_issued",
+                        [&r] { return r.prefetcher.prefetchesIssued; });
+    r.bus.registerIdleMetrics(registry);
+
+    registry.addGauge("dram_background_mj",
+                      [&r] { return r.dramEnergy.backgroundMj; });
+    registry.addGauge("dram_activate_mj",
+                      [&r] { return r.dramEnergy.activateMj; });
+    registry.addGauge("dram_rw_mj",
+                      [&r] { return r.dramEnergy.readWriteMj; });
+    registry.addGauge("dram_refresh_mj",
+                      [&r] { return r.dramEnergy.refreshMj; });
+    registry.addGauge("dram_io_mj", [&r] { return r.dramEnergy.ioMj; });
+    registry.addGauge("dram_total_mj",
+                      [&r] { return r.dramEnergy.totalMj(); });
+    registry.addGauge("processor_mj",
+                      [&r] { return r.systemEnergy.processorMj; });
+    registry.addGauge("system_total_mj",
+                      [&r] { return r.systemEnergy.totalMj(); });
+
+    r.bus.registerFaultMetrics(registry);
+}
+
+void
 CsvReporter::writeHeader(std::ostream &os)
 {
-    os << "system,workload,policy,cycles,total_ops,utilization,"
-          "reads,writes,activates,precharges,refreshes,"
-          "bits_transferred,zeros_transferred,zero_density,"
-          "wire_transitions,l1_hits,l1_misses,l2_hits,l2_misses,"
-          "prefetches_issued,idle_pending_cycles,idle_empty_cycles,"
-          "powerdown_cycles,dram_background_mj,dram_activate_mj,"
-          "dram_rw_mj,dram_refresh_mj,dram_io_mj,dram_total_mj,"
-          "processor_mj,system_total_mj,"
-          "faulty_frames,fault_bits,crc_detected,crc_retries,"
-          "crc_undetected,retry_aborts,retry_bits,retry_cycles,"
-          "status,error\n";
+    // The names come from the same registration the rows iterate; a
+    // throwaway result provides the (unused) probe targets.
+    const SimResult dummy;
+    obs::MetricsRegistry registry;
+    registerResultMetrics(registry, dummy);
+
+    os << "system,workload,policy";
+    for (const auto &metric : registry.metrics())
+        os << ',' << metric.name;
+    os << ",status,error\n";
 }
 
 void
@@ -49,27 +83,44 @@ CsvReporter::writeRow(std::ostream &os, const std::string &system,
                       const std::string &status,
                       const std::string &error)
 {
-    const auto &e = r.dramEnergy;
-    os << system << ',' << workload << ',' << policy << ','
-       << r.cycles << ',' << r.totalOps << ',' << r.utilization()
-       << ',' << r.bus.reads << ',' << r.bus.writes << ','
-       << r.bus.activates << ',' << r.bus.precharges << ','
-       << r.bus.refreshes << ',' << r.bus.bitsTransferred << ','
-       << r.bus.zerosTransferred << ',' << r.zeroDensity() << ','
-       << r.bus.wireTransitions << ',' << r.l1.hits << ','
-       << r.l1.misses << ',' << r.l2.hits << ',' << r.l2.misses << ','
-       << r.prefetcher.prefetchesIssued << ','
-       << r.bus.idlePendingCycles << ',' << r.bus.idleNoPendingCycles
-       << ',' << r.bus.rankPowerDownCycles << ',' << e.backgroundMj
-       << ',' << e.activateMj << ',' << e.readWriteMj << ','
-       << e.refreshMj << ',' << e.ioMj << ',' << e.totalMj() << ','
-       << r.systemEnergy.processorMj << ','
-       << r.systemEnergy.totalMj() << ',' << r.bus.faultyFrames << ','
-       << r.bus.faultBitsInjected << ',' << r.bus.crcDetected << ','
-       << r.bus.crcRetries << ',' << r.bus.crcUndetected << ','
-       << r.bus.retryAborts << ',' << r.bus.retryBits << ','
-       << r.bus.retryCycles << ',' << csvEscape(status) << ','
-       << csvEscape(error) << '\n';
+    obs::MetricsRegistry registry;
+    registerResultMetrics(registry, r);
+
+    os << csvEscape(system) << ',' << csvEscape(workload) << ','
+       << csvEscape(policy);
+    for (const auto &metric : registry.metrics()) {
+        os << ',';
+        switch (metric.kind) {
+        case obs::MetricsRegistry::Kind::Counter:
+            os << metric.counter();
+            break;
+        case obs::MetricsRegistry::Kind::Gauge:
+            os << metric.gauge();
+            break;
+        case obs::MetricsRegistry::Kind::Ratio: {
+            // Whole-run ratio: quotient of the operand counters.
+            const auto &metrics = registry.metrics();
+            const std::uint64_t num =
+                metrics[metric.numerator].counter();
+            const std::uint64_t den =
+                metrics[metric.denominator].counter();
+            os << (den == 0 ? 0.0
+                            : static_cast<double>(num) /
+                              static_cast<double>(den));
+            break;
+        }
+        }
+    }
+    os << ',' << csvEscape(status) << ',' << csvEscape(error) << '\n';
+}
+
+std::size_t
+CsvReporter::columnCount()
+{
+    const SimResult dummy;
+    obs::MetricsRegistry registry;
+    registerResultMetrics(registry, dummy);
+    return 3 + registry.size() + 2;
 }
 
 } // namespace mil

@@ -3,18 +3,34 @@
  * Machine-readable result export. Sweep scripts and plotting
  * pipelines consume CSV; every bench binary's human-readable table
  * has an equivalent here.
+ *
+ * The column set is not hand-maintained: both the header and each row
+ * are derived from one MetricsRegistry built over a SimResult by
+ * registerResultMetrics(), so they cannot drift apart (asserted in
+ * tests/sim/test_report.cc).
  */
 
 #ifndef MIL_SIM_REPORT_HH
 #define MIL_SIM_REPORT_HH
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
+#include "obs/metrics.hh"
 #include "sim/system.hh"
 
 namespace mil
 {
+
+/**
+ * Register every reported metric of @p r into @p registry, in the
+ * CSV column order. The probes reference @p r, which must outlive
+ * the registry. This is the single definition of the report schema;
+ * CsvReporter::writeHeader and writeRow both iterate it.
+ */
+void registerResultMetrics(obs::MetricsRegistry &registry,
+                           const SimResult &r);
 
 /** Writes SimResults as CSV rows. */
 class CsvReporter
@@ -38,6 +54,9 @@ class CsvReporter
                          const std::string &policy, const SimResult &r,
                          const std::string &status = "ok",
                          const std::string &error = "");
+
+    /** Total column count (labels + metrics + status/error). */
+    static std::size_t columnCount();
 };
 
 } // namespace mil

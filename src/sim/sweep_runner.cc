@@ -66,6 +66,21 @@ SweepGrid::expand() const
 
 SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
 
+std::string
+SweepRunner::traceFileName(const RunSpec &spec)
+{
+    std::string name =
+        spec.system + "_" + spec.workload + "_" + spec.policy;
+    for (char &c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '-' || c == '_' || c == '.';
+        if (!ok)
+            c = '_';
+    }
+    return name + ".json";
+}
+
 unsigned
 SweepRunner::defaultJobs()
 {
@@ -102,7 +117,15 @@ SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
         // deterministic (no addresses, no timestamps), keeping the
         // full result vector identical across jobs counts.
         try {
-            cell.result = useCache_ ? runSpec(spec) : runSpecFresh(spec);
+            if (!traceDir_.empty()) {
+                RunObservers observers;
+                observers.traceJsonPath =
+                    traceDir_ + "/" + traceFileName(spec);
+                cell.result = runSpecFresh(spec, observers);
+            } else {
+                cell.result =
+                    useCache_ ? runSpec(spec) : runSpecFresh(spec);
+            }
         } catch (const std::exception &e) {
             cell.status = "error";
             cell.error = e.what();

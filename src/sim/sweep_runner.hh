@@ -98,6 +98,21 @@ class SweepRunner
     void setUseCache(bool use) { useCache_ = use; }
 
     /**
+     * Write one Chrome-trace JSON file per cell into @p dir (which
+     * must already exist); "" disables tracing. Traced cells always
+     * run fresh -- a memoized result has no event stream -- so expect
+     * the sweep to cost full simulation time even with a warm cache.
+     */
+    void setTraceDir(const std::string &dir) { traceDir_ = dir; }
+
+    /**
+     * The file name a traced cell writes:
+     * "<system>_<workload>_<policy>.json", non-portable characters
+     * replaced with '_'. Unique within a grid (one lookahead/ber).
+     */
+    static std::string traceFileName(const RunSpec &spec);
+
+    /**
      * Evaluate the whole grid. The returned vector is in grid order
      * (matching grid.expand()) regardless of completion order.
      *
@@ -116,6 +131,7 @@ class SweepRunner
   private:
     unsigned jobs_;
     bool useCache_ = true;
+    std::string traceDir_;
 };
 
 } // namespace mil

@@ -12,7 +12,7 @@ namespace mil
 
 System::System(const SystemConfig &config, const Workload &workload,
                CodingPolicy *policy, std::uint64_t ops_per_thread)
-    : config_(config)
+    : config_(config), policy_(policy)
 {
     funcMem_ = std::make_unique<FunctionalMemory>();
     workload.registerRegions(*funcMem_);
@@ -62,6 +62,133 @@ System::System(const SystemConfig &config, const Workload &workload,
     l2_->setL1s(std::move(raw_l1s));
 }
 
+void
+System::setTraceSink(obs::TraceSink *sink)
+{
+    sink_ = sink;
+    for (unsigned ch = 0; ch < controllers_.size(); ++ch)
+        controllers_[ch]->setTraceSink(sink, ch);
+}
+
+void
+System::registerMetrics(obs::MetricsRegistry &registry) const
+{
+    // Execution time and retired work. All channels share one clock,
+    // so channel 0's cycle count is the system's.
+    registry.addCounter("cycles", [this] {
+        return static_cast<std::uint64_t>(
+            controllers_[0]->stats().totalCycles);
+    });
+    registry.addCounter("ops", [this] {
+        std::uint64_t ops = 0;
+        for (const auto &core : cores_)
+            ops += core->stats().loads + core->stats().stores;
+        return ops;
+    });
+    registry.addRatio("ipc", "ops", "cycles");
+
+    // Bus occupancy and data movement, summed over channels.
+    auto sum = [this](auto field) {
+        std::uint64_t total = 0;
+        for (const auto &ctrl : controllers_)
+            total += static_cast<std::uint64_t>(field(ctrl->stats()));
+        return total;
+    };
+    registry.addCounter("bus_cycles", [sum] {
+        return sum([](const ChannelStats &s) { return s.totalCycles; });
+    });
+    registry.addCounter("bus_busy_cycles", [sum] {
+        return sum([](const ChannelStats &s) { return s.busBusyCycles; });
+    });
+    registry.addRatio("bus_utilization", "bus_busy_cycles", "bus_cycles");
+    registry.addCounter("reads", [sum] {
+        return sum([](const ChannelStats &s) { return s.reads; });
+    });
+    registry.addCounter("writes", [sum] {
+        return sum([](const ChannelStats &s) { return s.writes; });
+    });
+    registry.addCounter("bits_transferred", [sum] {
+        return sum([](const ChannelStats &s) { return s.bitsTransferred; });
+    });
+    registry.addCounter("zeros_transferred", [sum] {
+        return sum(
+            [](const ChannelStats &s) { return s.zerosTransferred; });
+    });
+    registry.addRatio("zero_density", "zeros_transferred",
+                      "bits_transferred");
+
+    // Instantaneous queue pressure (a gauge: sampled, not a delta).
+    registry.addGauge("read_queue", [this] {
+        std::size_t depth = 0;
+        for (const auto &ctrl : controllers_)
+            depth += ctrl->readQueueDepth();
+        return static_cast<double>(depth);
+    });
+    registry.addGauge("write_queue", [this] {
+        std::size_t depth = 0;
+        for (const auto &ctrl : controllers_)
+            depth += ctrl->writeQueueDepth();
+        return static_cast<double>(depth);
+    });
+
+    // Cache pressure, summed over the private L1s plus the shared L2.
+    registry.addCounter("l1_hits", [this] {
+        std::uint64_t hits = 0;
+        for (const auto &l1 : l1s_)
+            hits += l1->stats().hits;
+        return hits;
+    });
+    registry.addCounter("l1_misses", [this] {
+        std::uint64_t misses = 0;
+        for (const auto &l1 : l1s_)
+            misses += l1->stats().misses;
+        return misses;
+    });
+    l2_->stats().registerMetrics(registry, "l2");
+
+    // Link-fault activity (the "BER retries" time series).
+    registry.addCounter("crc_retries", [sum] {
+        return sum([](const ChannelStats &s) { return s.crcRetries; });
+    });
+    registry.addCounter("retry_bits", [sum] {
+        return sum([](const ChannelStats &s) { return s.retryBits; });
+    });
+
+    // Scheme mix. The names come from the policy so the columns exist
+    // from interval zero, before any burst has used a given code.
+    if (policy_ != nullptr) {
+        for (const auto &name : policy_->codeNames()) {
+            auto scheme_sum = [this,
+                               name](auto field) -> std::uint64_t {
+                std::uint64_t total = 0;
+                for (const auto &ctrl : controllers_) {
+                    const auto &schemes = ctrl->stats().schemes;
+                    const auto it = schemes.find(name);
+                    if (it != schemes.end())
+                        total += field(it->second);
+                }
+                return total;
+            };
+            registry.addCounter("scheme_" + name + "_bursts",
+                                [scheme_sum] {
+                return scheme_sum(
+                    [](const SchemeUsage &u) { return u.bursts; });
+            });
+            registry.addCounter("scheme_" + name + "_bits",
+                                [scheme_sum] {
+                return scheme_sum([](const SchemeUsage &u) {
+                    return u.bitsTransferred;
+                });
+            });
+            registry.addCounter("scheme_" + name + "_zeros",
+                                [scheme_sum] {
+                return scheme_sum(
+                    [](const SchemeUsage &u) { return u.zeros; });
+            });
+        }
+    }
+}
+
 SimResult
 System::run(Cycle max_cycles)
 {
@@ -98,6 +225,9 @@ System::run(Cycle max_cycles)
         for (auto &core : cores_)
             core->tick(now);
 
+        if (sampler_ != nullptr)
+            sampler_->tick(now);
+
         if (all_done())
             break;
 
@@ -112,6 +242,13 @@ System::run(Cycle max_cycles)
                 ops == last_progress_ops && now > last_progress_cycle &&
                 now - last_progress_cycle > config_.watchdogStallCycles &&
                 !all_done()) {
+                if (tracing()) {
+                    obs::Event event;
+                    event.kind = obs::EventKind::Stall;
+                    event.cycle = now;
+                    event.value = static_cast<std::uint32_t>(ops);
+                    sink_->record(event);
+                }
                 throw StallError(stallDiagnostic(now, ops));
             }
             if (ops != last_progress_ops) {
@@ -121,6 +258,9 @@ System::run(Cycle max_cycles)
         }
         ++now;
     }
+
+    if (sampler_ != nullptr)
+        sampler_->finish();
 
     SimResult result;
     result.cycles = now;

@@ -19,6 +19,9 @@
 #include "mem/core.hh"
 #include "mem/dram_port.hh"
 #include "mem/prefetcher.hh"
+#include "obs/interval_sampler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "sim/system_config.hh"
 #include "workloads/workload.hh"
 
@@ -69,11 +72,47 @@ class System
     FunctionalMemory &memory() { return *funcMem_; }
     MemoryController &controller(unsigned ch) { return *controllers_[ch]; }
 
+    /**
+     * Attach an event-trace sink. Every controller reports into it
+     * tagged with its channel index, and the system itself records a
+     * Stall event when the forward-progress watchdog fires. Pass
+     * nullptr to detach. The sink must outlive the simulation.
+     */
+    void setTraceSink(obs::TraceSink *sink);
+
+    /**
+     * Attach a time-series sampler; it is ticked once per simulated
+     * cycle and finish()ed before run() returns, so a partial final
+     * interval is never lost. Register the probes first (see
+     * registerMetrics). Pass nullptr to detach.
+     */
+    void setSampler(obs::IntervalSampler *sampler) { sampler_ = sampler; }
+
+    /**
+     * Register live whole-system probes into @p registry: ops/ipc,
+     * bus occupancy and data movement summed over channels, queue
+     * depths, cache hits/misses, CRC-retry activity, and one counter
+     * triple per coding scheme the policy can emit. Probes read the
+     * live component stats, so the registry (and any sampler over it)
+     * must not outlive this System.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry) const;
+
   private:
+    bool
+    tracing() const
+    {
+        return obs::kTraceCompiledIn && sink_ != nullptr;
+    }
+
+
     /** Pending-request dump the stall watchdog attaches to its error. */
     std::string stallDiagnostic(Cycle now, std::uint64_t ops) const;
 
     SystemConfig config_;
+    CodingPolicy *policy_;
+    obs::TraceSink *sink_ = nullptr;
+    obs::IntervalSampler *sampler_ = nullptr;
     std::unique_ptr<FunctionalMemory> funcMem_;
     std::vector<std::unique_ptr<MemoryController>> controllers_;
     std::unique_ptr<DramPort> port_;

@@ -89,6 +89,67 @@ TEST(Histogram, MergeAddsBucketwise)
     EXPECT_EQ(a.total(), 4u);
 }
 
+// Percentile edge cases the IntervalSampler's "<name>_pNN" gauges
+// rely on (obs::MetricsRegistry::addHistogram evaluates these live).
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h({0, 2, 8});
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, PercentileSingleSample)
+{
+    Histogram h({0, 2, 8});
+    h.sample(1); // Bucket (0, 2].
+    // Every quantile of a one-sample distribution is that sample's
+    // bucket bound.
+    EXPECT_EQ(h.percentile(0.0), 2u);
+    EXPECT_EQ(h.percentile(0.5), 2u);
+    EXPECT_EQ(h.percentile(1.0), 2u);
+}
+
+TEST(Histogram, PercentileBucketBounds)
+{
+    Histogram h({0, 2, 8});
+    for (int i = 0; i < 50; ++i)
+        h.sample(0); // Bucket bound 0.
+    for (int i = 0; i < 25; ++i)
+        h.sample(2); // Bucket bound 2.
+    for (int i = 0; i < 25; ++i)
+        h.sample(5); // Bucket bound 8.
+    EXPECT_EQ(h.percentile(0.25), 0u);
+    EXPECT_EQ(h.percentile(0.50), 0u);
+    EXPECT_EQ(h.percentile(0.75), 2u);
+    EXPECT_EQ(h.percentile(1.00), 8u);
+}
+
+TEST(Histogram, PercentileOverflowBucketReportsMax)
+{
+    Histogram h({0, 2, 8});
+    h.sample(1);
+    h.sample(1000); // Overflow bucket (8, inf) -- no finite bound.
+    h.sample(4000);
+    EXPECT_EQ(h.max(), 4000u);
+    // Quantiles landing in the overflow bucket fall back to max().
+    EXPECT_EQ(h.percentile(0.9), 4000u);
+    EXPECT_EQ(h.percentile(1.0), 4000u);
+    // Earlier quantiles still use their bucket's bound.
+    EXPECT_EQ(h.percentile(0.3), 2u);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeP)
+{
+    Histogram h({0, 2, 8});
+    h.sample(1);
+    h.sample(5);
+    EXPECT_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
 TEST(HistogramDeath, MergeRejectsDifferentBuckets)
 {
     Histogram a({0, 4});

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mil
+{
+namespace
+{
+
+/** Restore the default limiter around every test in this file. */
+class LogRateLimiter : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetLogRateLimiter(); }
+
+    void
+    TearDown() override
+    {
+        setLogRateLimit(32, 32);
+        resetLogRateLimiter();
+    }
+};
+
+TEST_F(LogRateLimiter, BurstPassesThenEveryNth)
+{
+    setLogRateLimit(3, 4);
+    for (int i = 0; i < 20; ++i)
+        mil_warn("limiter test warning %d", i);
+
+    const LogLimiterStats s = logLimiterStats(true);
+    EXPECT_EQ(s.seen, 20u);
+    // Messages 1-3 are the burst; afterwards every 4th passes
+    // (messages 7, 11, 15, 19).
+    EXPECT_EQ(s.emitted, 7u);
+    EXPECT_EQ(s.suppressed, 13u);
+    EXPECT_EQ(s.seen, s.emitted + s.suppressed);
+}
+
+TEST_F(LogRateLimiter, EveryZeroSuppressesEverythingPastBurst)
+{
+    setLogRateLimit(2, 0);
+    for (int i = 0; i < 10; ++i)
+        mil_warn("limiter test warning %d", i);
+    const LogLimiterStats s = logLimiterStats(true);
+    EXPECT_EQ(s.emitted, 2u);
+    EXPECT_EQ(s.suppressed, 8u);
+}
+
+TEST_F(LogRateLimiter, UnlimitedPassesEverything)
+{
+    setLogUnlimited();
+    for (int i = 0; i < 5; ++i)
+        mil_warn("limiter test warning %d", i);
+    const LogLimiterStats s = logLimiterStats(true);
+    EXPECT_EQ(s.seen, 5u);
+    EXPECT_EQ(s.emitted, 5u);
+    EXPECT_EQ(s.suppressed, 0u);
+}
+
+TEST_F(LogRateLimiter, WarningsAndStatusAreSeparateClasses)
+{
+    setLogRateLimit(1, 0);
+    mil_warn("limiter test warning");
+    mil_warn("limiter test warning");
+    mil_inform("limiter test status");
+
+    // The warn class burning its budget must not eat status lines.
+    EXPECT_EQ(logLimiterStats(true).suppressed, 1u);
+    EXPECT_EQ(logLimiterStats(false).emitted, 1u);
+    EXPECT_EQ(logLimiterStats(false).suppressed, 0u);
+}
+
+TEST_F(LogRateLimiter, ResetClearsCounters)
+{
+    setLogRateLimit(1, 0);
+    mil_warn("limiter test warning");
+    resetLogRateLimiter();
+    const LogLimiterStats s = logLimiterStats(true);
+    EXPECT_EQ(s.seen, 0u);
+    EXPECT_EQ(s.emitted, 0u);
+}
+
+TEST_F(LogRateLimiter, ConcurrentWarningsAreAllCounted)
+{
+    // The fault-heavy sweep scenario: pool workers warn concurrently.
+    // Every submission must be counted exactly once (TSan runs this).
+    setLogRateLimit(4, 100);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([] {
+            for (int i = 0; i < kPerThread; ++i)
+                mil_warn("limiter test concurrent %d", i);
+        });
+    for (auto &thread : threads)
+        thread.join();
+
+    const LogLimiterStats s = logLimiterStats(true);
+    EXPECT_EQ(s.seen,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(s.seen, s.emitted + s.suppressed);
+}
+
+} // anonymous namespace
+} // namespace mil

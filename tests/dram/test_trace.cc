@@ -3,32 +3,16 @@
 #include <vector>
 
 #include "controller_fixture.hh"
+#include "obs/trace_sink.hh"
 
 namespace mil
 {
 namespace
 {
 
-struct VectorTracer : Tracer
-{
-    void
-    traceEvent(const TraceEvent &event) override
-    {
-        events.push_back(event);
-    }
-
-    std::vector<TraceEvent> events;
-
-    unsigned
-    count(TraceEvent::Kind kind) const
-    {
-        unsigned n = 0;
-        for (const auto &e : events)
-            if (e.kind == kind)
-                ++n;
-        return n;
-    }
-};
+using obs::Event;
+using obs::EventKind;
+using obs::MemoryTraceSink;
 
 ControllerConfig
 noRefresh()
@@ -38,49 +22,75 @@ noRefresh()
     return cfg;
 }
 
+/** First event of one kind, or nullptr. */
+const Event *
+firstOf(const MemoryTraceSink &sink, EventKind kind)
+{
+    for (const auto &e : sink.events())
+        if (e.kind == kind)
+            return &e;
+    return nullptr;
+}
+
+// Emit sites vanish in a MIL_OBS_TRACING=OFF build (the CI job that
+// exercises that configuration runs this suite), so tests that assert
+// on recorded events must skip there.
+#define SKIP_IF_TRACING_COMPILED_OUT()                                      \
+    if (!obs::kTraceCompiledIn)                                             \
+    GTEST_SKIP() << "tracing compiled out (MIL_OBS_TRACING=OFF)"
+
 TEST(Trace, CapturesCommandSequence)
 {
+    SKIP_IF_TRACING_COMPILED_OUT();
     ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
-    VectorTracer tracer;
-    f.ctrl_.setTracer(&tracer);
+    MemoryTraceSink sink;
+    f.ctrl_.setTraceSink(&sink, 0);
     f.read(0, 0, 0, 5, 0);
     f.read(0, 0, 0, 5, 1);
     f.read(0, 0, 0, 9, 0); // Conflict: PRE + ACT.
     f.run();
 
-    EXPECT_EQ(tracer.count(TraceEvent::Kind::Activate), 2u);
-    EXPECT_EQ(tracer.count(TraceEvent::Kind::Precharge), 1u);
-    EXPECT_EQ(tracer.count(TraceEvent::Kind::Read), 3u);
-    EXPECT_EQ(tracer.count(TraceEvent::Kind::Write), 0u);
+    EXPECT_EQ(sink.count(EventKind::Activate), 2u);
+    EXPECT_EQ(sink.count(EventKind::Precharge), 1u);
+    EXPECT_EQ(sink.count(EventKind::Read), 3u);
+    EXPECT_EQ(sink.count(EventKind::Write), 0u);
+    // Every column command records its decision verdict too.
+    EXPECT_EQ(sink.count(EventKind::Decision), 3u);
+    // Three enqueues and three dequeues sample the queue depth.
+    EXPECT_EQ(sink.count(EventKind::QueueSample), 6u);
 
     // Events are emitted in issue order with monotone cycles.
-    for (std::size_t i = 1; i < tracer.events.size(); ++i)
-        EXPECT_GE(tracer.events[i].cycle, tracer.events[i - 1].cycle);
+    const auto &events = sink.events();
+    ASSERT_FALSE(events.empty());
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].cycle, events[i - 1].cycle);
 
-    // The first event is the ACT of row 5; the first RD carries the
-    // DBI scheme and a sensible data window.
-    EXPECT_EQ(tracer.events.front().kind, TraceEvent::Kind::Activate);
-    for (const auto &e : tracer.events) {
-        if (e.kind == TraceEvent::Kind::Read) {
-            EXPECT_EQ(e.scheme, "DBI");
-            EXPECT_EQ(e.dataEnd - e.dataStart, 4u); // BL8 burst.
-            EXPECT_GT(e.dataStart, e.cycle);
-            break;
-        }
-    }
+    // The first command-stream event is the ACT of row 5; the first RD
+    // carries the DBI scheme and a sensible data window.
+    const Event *act = firstOf(sink, EventKind::Activate);
+    ASSERT_NE(act, nullptr);
+    EXPECT_EQ(act->row, 5u);
+    const Event *rd = firstOf(sink, EventKind::Read);
+    ASSERT_NE(rd, nullptr);
+    EXPECT_EQ(rd->scheme, "DBI");
+    EXPECT_FALSE(rd->isWrite);
+    EXPECT_EQ(rd->dataEnd - rd->dataStart, 4u); // BL8 burst.
+    EXPECT_GT(rd->dataStart, rd->cycle);
+    EXPECT_GT(rd->bits, 0u);
 }
 
 TEST(Trace, MnemonicsAndSchemesUnderMil)
 {
+    SKIP_IF_TRACING_COMPILED_OUT();
     ControllerFixture f(TimingParams::ddr4_3200(), noRefresh(),
                         policies::mil(8));
-    VectorTracer tracer;
-    f.ctrl_.setTracer(&tracer);
+    MemoryTraceSink sink;
+    f.ctrl_.setTraceSink(&sink, 0);
     f.read(0, 0, 0, 5, 0);
     f.run();
     bool saw_long_read = false;
-    for (const auto &e : tracer.events) {
-        if (e.kind == TraceEvent::Kind::Read) {
+    for (const auto &e : sink.events()) {
+        if (e.kind == EventKind::Read) {
             EXPECT_STREQ(e.mnemonic(), "RD");
             EXPECT_EQ(e.scheme, "3-LWC"); // Isolated read: long slot.
             EXPECT_EQ(e.dataEnd - e.dataStart, 8u); // BL16.
@@ -88,52 +98,116 @@ TEST(Trace, MnemonicsAndSchemesUnderMil)
         }
     }
     EXPECT_TRUE(saw_long_read);
+
+    // The decision event mirrors the verdict: nothing else was ready
+    // within the look-ahead, so the long code was safe.
+    const Event *dec = firstOf(sink, EventKind::Decision);
+    ASSERT_NE(dec, nullptr);
+    EXPECT_EQ(dec->scheme, "3-LWC");
+    EXPECT_EQ(dec->value, 0u);  // rdyX.
+    EXPECT_GT(dec->value2, 0u); // The look-ahead horizon X.
 }
 
 TEST(Trace, RefreshAndPowerDownEvents)
 {
+    SKIP_IF_TRACING_COMPILED_OUT();
     ControllerConfig cfg;
     cfg.powerDownEnabled = true;
     cfg.powerDownIdleCycles = 16;
     ControllerFixture f(TimingParams::ddr4_3200(), cfg);
-    VectorTracer tracer;
-    f.ctrl_.setTracer(&tracer);
+    MemoryTraceSink sink;
+    f.ctrl_.setTraceSink(&sink, 0);
     f.runFor(f.timing_.tREFI + f.timing_.tRFC + 100);
-    EXPECT_GE(tracer.count(TraceEvent::Kind::Refresh), 1u);
-    EXPECT_GE(tracer.count(TraceEvent::Kind::PowerDownEnter), 2u);
-    EXPECT_GE(tracer.count(TraceEvent::Kind::PowerDownExit), 1u);
+    EXPECT_GE(sink.count(EventKind::Refresh), 1u);
+    EXPECT_GE(sink.count(EventKind::PowerDownEnter), 2u);
+    EXPECT_GE(sink.count(EventKind::PowerDownExit), 1u);
 }
 
 TEST(Trace, DetachStopsEvents)
 {
+    SKIP_IF_TRACING_COMPILED_OUT();
     ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
-    VectorTracer tracer;
-    f.ctrl_.setTracer(&tracer);
+    MemoryTraceSink sink;
+    f.ctrl_.setTraceSink(&sink, 0);
     f.read(0, 0, 0, 5, 0);
     f.run();
-    const auto count = tracer.events.size();
+    const auto count = sink.size();
     EXPECT_GT(count, 0u);
-    f.ctrl_.setTracer(nullptr);
+    f.ctrl_.setTraceSink(nullptr);
     f.read(0, 0, 0, 5, 1);
     f.run();
-    EXPECT_EQ(tracer.events.size(), count);
+    EXPECT_EQ(sink.size(), count);
+}
+
+TEST(Trace, ChannelTagPropagates)
+{
+    SKIP_IF_TRACING_COMPILED_OUT();
+    ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
+    MemoryTraceSink sink;
+    f.ctrl_.setTraceSink(&sink, 3);
+    f.read(0, 0, 0, 5, 0);
+    f.run();
+    ASSERT_GT(sink.size(), 0u);
+    for (const auto &e : sink.events())
+        EXPECT_EQ(e.channel, 3u);
 }
 
 TEST(Trace, MnemonicsComplete)
 {
-    TraceEvent e;
-    e.kind = TraceEvent::Kind::Activate;
+    Event e;
+    e.kind = EventKind::Activate;
     EXPECT_STREQ(e.mnemonic(), "ACT");
-    e.kind = TraceEvent::Kind::Precharge;
+    e.kind = EventKind::Precharge;
     EXPECT_STREQ(e.mnemonic(), "PRE");
-    e.kind = TraceEvent::Kind::Write;
+    e.kind = EventKind::Read;
+    EXPECT_STREQ(e.mnemonic(), "RD");
+    e.kind = EventKind::Write;
     EXPECT_STREQ(e.mnemonic(), "WR");
-    e.kind = TraceEvent::Kind::Refresh;
+    e.kind = EventKind::Refresh;
     EXPECT_STREQ(e.mnemonic(), "REF");
-    e.kind = TraceEvent::Kind::PowerDownEnter;
+    e.kind = EventKind::PowerDownEnter;
     EXPECT_STREQ(e.mnemonic(), "PDE");
-    e.kind = TraceEvent::Kind::PowerDownExit;
+    e.kind = EventKind::PowerDownExit;
     EXPECT_STREQ(e.mnemonic(), "PDX");
+    e.kind = EventKind::Decision;
+    EXPECT_STREQ(e.mnemonic(), "DEC");
+    e.kind = EventKind::CrcRetry;
+    EXPECT_STREQ(e.mnemonic(), "RTY");
+    e.kind = EventKind::RetryAbort;
+    EXPECT_STREQ(e.mnemonic(), "ABT");
+    e.kind = EventKind::QueueSample;
+    EXPECT_STREQ(e.mnemonic(), "QUE");
+    e.kind = EventKind::Stall;
+    EXPECT_STREQ(e.mnemonic(), "STL");
+}
+
+TEST(Trace, CrcRetryEventsCarryWindows)
+{
+    SKIP_IF_TRACING_COMPILED_OUT();
+    ControllerConfig cfg = noRefresh();
+    cfg.faultModel.ber = 1e-3; // Heavy: most frames see flips.
+    cfg.faultModel.seed = 7;
+    ControllerFixture f(TimingParams::ddr4_3200(), cfg);
+    MemoryTraceSink sink;
+    f.ctrl_.setTraceSink(&sink, 0);
+    for (std::uint32_t col = 0; col < 8; ++col)
+        f.write(0, 0, 0, 5, col);
+    f.run();
+
+    ASSERT_GT(sink.count(EventKind::CrcRetry), 0u);
+    for (const auto &e : sink.events()) {
+        if (e.kind != EventKind::CrcRetry)
+            continue;
+        EXPECT_TRUE(e.isWrite);
+        EXPECT_GE(e.value, 1u); // 1-based attempt number.
+        // The retry re-drives the full burst after the alert gap.
+        EXPECT_EQ(e.dataEnd - e.dataStart, 4u);
+        EXPECT_GT(e.dataStart, e.cycle);
+        EXPECT_EQ(e.scheme, "DBI");
+    }
+    // Retry traffic matches the stats counter one-for-one.
+    EXPECT_EQ(sink.count(EventKind::CrcRetry),
+              f.ctrl_.stats().crcRetries);
 }
 
 TEST(ClosedPage, AutoPrechargeAfterColumn)
@@ -141,27 +215,29 @@ TEST(ClosedPage, AutoPrechargeAfterColumn)
     ControllerConfig cfg = noRefresh();
     cfg.pagePolicy = PagePolicy::Closed;
     ControllerFixture f(TimingParams::ddr4_3200(), cfg);
-    VectorTracer tracer;
-    f.ctrl_.setTracer(&tracer);
+    MemoryTraceSink sink;
+    f.ctrl_.setTraceSink(&sink, 0);
     const ReqId a = f.read(0, 0, 0, 5, 0);
     f.run();
     const ReqId b = f.read(0, 0, 0, 5, 1); // Same row, but bank closed.
     f.run();
-    EXPECT_EQ(tracer.count(TraceEvent::Kind::Activate), 2u);
+    if (obs::kTraceCompiledIn)
+        EXPECT_EQ(sink.count(EventKind::Activate), 2u);
     // No FR-FCFS row-hit benefit under closed-page.
     EXPECT_GT(f.respTime(b) - f.respTime(a), 40u);
 }
 
 TEST(ClosedPage, OpenPageKeepsRowHits)
 {
+    SKIP_IF_TRACING_COMPILED_OUT();
     ControllerFixture f(TimingParams::ddr4_3200(), noRefresh());
-    VectorTracer tracer;
-    f.ctrl_.setTracer(&tracer);
+    MemoryTraceSink sink;
+    f.ctrl_.setTraceSink(&sink, 0);
     f.read(0, 0, 0, 5, 0);
     f.run();
     f.read(0, 0, 0, 5, 1);
     f.run();
-    EXPECT_EQ(tracer.count(TraceEvent::Kind::Activate), 1u);
+    EXPECT_EQ(sink.count(EventKind::Activate), 1u);
 }
 
 TEST(ClosedPage, DataIntegrity)

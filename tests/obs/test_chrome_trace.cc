@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/thread_pool.hh"
+#include "mil/policies.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/trace_reader.hh"
+#include "obs/trace_sink.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+#include "workloads/workload.hh"
+
+namespace mil
+{
+namespace
+{
+
+/** Run a small instrumented simulation and export its trace JSON. */
+std::string
+traceSmallRun(double ber = 0.0, unsigned ops = 200)
+{
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const auto wl = makeWorkload("GUPS", wc);
+    auto policy = policies::mil();
+    SystemConfig config = SystemConfig::microserver();
+    if (ber != 0.0)
+        config.controller.faultModel.ber = ber;
+
+    System system(config, *wl, policy.get(), ops);
+    obs::MemoryTraceSink sink;
+    system.setTraceSink(&sink);
+    system.run();
+
+    obs::ChromeTraceMeta meta;
+    meta.label = "ddr4/GUPS/MiL";
+    meta.channels = config.channels;
+    meta.banksPerGroup = config.timing.banksPerGroup;
+    std::ostringstream os;
+    obs::ChromeTraceWriter(meta).write(os, sink.events());
+    return os.str();
+}
+
+TEST(ChromeTrace, RoundTripsThroughTraceReader)
+{
+    const std::string json = traceSmallRun();
+    const obs::TraceReader trace = obs::TraceReader::parse(json);
+
+    EXPECT_EQ(trace.label(), "ddr4/GUPS/MiL");
+
+    // Per-channel processes with named tracks.
+    ASSERT_TRUE(trace.processNames().count(0));
+    EXPECT_EQ(trace.processNames().at(0), "channel 0");
+    ASSERT_TRUE(trace.threadNames().count({0, 0}));
+    EXPECT_EQ(trace.threadNames().at({0, 0}), "bus");
+    EXPECT_EQ(trace.threadNames().at({0, 1}), "decision");
+
+    // Burst slices carry the scheme name and the bit payload.
+    ASSERT_FALSE(trace.slices().empty());
+    bool saw_milc = false;
+    bool saw_lwc = false;
+    for (const auto &slice : trace.slices()) {
+        ASSERT_EQ(slice.cat, "bus");
+        EXPECT_GT(slice.dur, 0u);
+        EXPECT_GT(slice.args.at("bits"), 0);
+        saw_milc = saw_milc || slice.name == "MiLC";
+        saw_lwc = saw_lwc || slice.name == "3-LWC";
+    }
+    EXPECT_TRUE(saw_milc);
+    EXPECT_TRUE(saw_lwc);
+
+    // Decision instants and command instants made it through.
+    std::size_t decisions = 0;
+    std::size_t commands = 0;
+    for (const auto &instant : trace.instants()) {
+        if (instant.cat == "decision") {
+            ++decisions;
+            EXPECT_TRUE(instant.args.count("rdyX"));
+        } else if (instant.name == "ACT") {
+            ++commands;
+            EXPECT_TRUE(instant.args.count("row"));
+        }
+    }
+    EXPECT_GT(decisions, 0u);
+    EXPECT_GT(commands, 0u);
+
+    // Counter tracks: queue depth and the synthesized bus-busy state.
+    bool saw_queue = false;
+    bool saw_busy = false;
+    for (const auto &counter : trace.counters()) {
+        saw_queue = saw_queue || counter.name == "queue";
+        saw_busy = saw_busy || counter.name == "bus_busy";
+    }
+    EXPECT_TRUE(saw_queue);
+    EXPECT_TRUE(saw_busy);
+}
+
+TEST(ChromeTrace, BusBusyPairsBracketEverySlice)
+{
+    const std::string json = traceSmallRun();
+    const obs::TraceReader trace = obs::TraceReader::parse(json);
+
+    // Every burst contributes a 1-at-start and 0-at-end bus_busy
+    // sample, so the samples per pid come in equal numbers.
+    std::map<unsigned, std::int64_t> ones;
+    std::map<unsigned, std::int64_t> zeros;
+    for (const auto &counter : trace.counters()) {
+        if (counter.name != "bus_busy")
+            continue;
+        const std::int64_t v = counter.args.at("busy");
+        (v == 1 ? ones : zeros)[counter.pid] += 1;
+    }
+    ASSERT_FALSE(ones.empty());
+    for (const auto &[pid, n] : ones)
+        EXPECT_EQ(zeros[pid], n) << "channel " << pid;
+}
+
+TEST(ChromeTrace, FaultyRunCarriesRetrySlices)
+{
+    // Write-CRC retries need DRAM *writes*: GUPS dirties lines but
+    // they only reach the bus as writebacks once L2 starts evicting,
+    // so this run must be long enough to fill the cache.
+    const std::string json = traceSmallRun(1e-3, 3000);
+    const obs::TraceReader trace = obs::TraceReader::parse(json);
+    std::size_t retries = 0;
+    for (const auto &slice : trace.slices())
+        if (slice.cat == "fault" && slice.name == "retry") {
+            ++retries;
+            EXPECT_GE(slice.args.at("attempt"), 1);
+        }
+    EXPECT_GT(retries, 0u);
+}
+
+TEST(ChromeTrace, BytesAreDeterministicAcrossRunsAndThreads)
+{
+    // Same simulation, serial: byte-identical JSON.
+    const std::string serial = traceSmallRun();
+    EXPECT_EQ(serial, traceSmallRun());
+
+    // Same simulation on pool workers, each with a private sink --
+    // the topology a traced sweep uses. Still byte-identical.
+    std::string parallel[2];
+    ThreadPool pool(2);
+    pool.parallelFor(2, [&](std::size_t i) {
+        parallel[i] = traceSmallRun();
+    });
+    EXPECT_EQ(parallel[0], serial);
+    EXPECT_EQ(parallel[1], serial);
+}
+
+TEST(ChromeTrace, JsonEscapeHandlesSpecials)
+{
+    EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(obs::jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(obs::jsonEscape(std::string("nul\x01") + "x"),
+              "nul\\u0001x");
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/sim_error.hh"
+#include "mil/policies.hh"
+#include "obs/interval_sampler.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+#include "workloads/workload.hh"
+
+namespace mil
+{
+namespace
+{
+
+using obs::IntervalSampler;
+using obs::MetricsRegistry;
+
+TEST(IntervalSampler, ZeroIntervalThrows)
+{
+    MetricsRegistry registry;
+    EXPECT_THROW(IntervalSampler(registry, 0), ConfigError);
+}
+
+TEST(IntervalSampler, CountersEmitPerIntervalDeltas)
+{
+    std::uint64_t total = 0;
+    MetricsRegistry registry;
+    registry.addCounter("total", [&] { return total; });
+    IntervalSampler sampler(registry, 4);
+
+    for (Cycle now = 0; now < 8; ++now) {
+        total += 3; // 3 units of work per cycle.
+        sampler.tick(now);
+    }
+    sampler.finish();
+
+    ASSERT_EQ(sampler.rows().size(), 2u);
+    EXPECT_EQ(sampler.rows()[0].start, 0u);
+    EXPECT_EQ(sampler.rows()[0].end, 4u);
+    EXPECT_EQ(sampler.rows()[1].start, 4u);
+    EXPECT_EQ(sampler.rows()[1].end, 8u);
+    EXPECT_TRUE(sampler.value(0, "total").isCount);
+    EXPECT_EQ(sampler.value(0, "total").count, 12u);
+    EXPECT_EQ(sampler.value(1, "total").count, 12u);
+}
+
+TEST(IntervalSampler, GaugesAreInstantaneous)
+{
+    double depth = 0.0;
+    MetricsRegistry registry;
+    registry.addGauge("depth", [&] { return depth; });
+    IntervalSampler sampler(registry, 2);
+
+    depth = 1.0;
+    sampler.tick(0);
+    depth = 7.0; // Value at the interval boundary wins.
+    sampler.tick(1);
+    sampler.finish();
+
+    EXPECT_DOUBLE_EQ(sampler.value(0, "depth").real, 7.0);
+}
+
+TEST(IntervalSampler, RatiosUseIntervalDeltas)
+{
+    std::uint64_t ops = 0;
+    std::uint64_t cycles = 0;
+    MetricsRegistry registry;
+    registry.addCounter("ops", [&] { return ops; });
+    registry.addCounter("cycles", [&] { return cycles; });
+    registry.addRatio("ipc", "ops", "cycles");
+    IntervalSampler sampler(registry, 2);
+
+    // Interval 0: 4 ops in 2 cycles. Interval 1: 1 op in 2 cycles.
+    for (Cycle now = 0; now < 4; ++now) {
+        ops += now < 2 ? 2 : (now == 2 ? 1 : 0);
+        ++cycles;
+        sampler.tick(now);
+    }
+    sampler.finish();
+
+    EXPECT_DOUBLE_EQ(sampler.value(0, "ipc").real, 2.0);
+    EXPECT_DOUBLE_EQ(sampler.value(1, "ipc").real, 0.5);
+}
+
+TEST(IntervalSampler, FinishFlushesPartialIntervalOnce)
+{
+    std::uint64_t total = 0;
+    MetricsRegistry registry;
+    registry.addCounter("total", [&] { return total; });
+    IntervalSampler sampler(registry, 100);
+
+    for (Cycle now = 0; now < 7; ++now) {
+        ++total;
+        sampler.tick(now);
+    }
+    sampler.finish();
+    sampler.finish(); // Idempotent.
+    sampler.tick(8);  // Ignored after finish().
+
+    ASSERT_EQ(sampler.rows().size(), 1u);
+    EXPECT_EQ(sampler.rows()[0].start, 0u);
+    EXPECT_EQ(sampler.rows()[0].end, 7u);
+    EXPECT_EQ(sampler.value(0, "total").count, 7u);
+}
+
+TEST(IntervalSampler, WriteCsvShape)
+{
+    std::uint64_t total = 0;
+    double depth = 0.0;
+    MetricsRegistry registry;
+    registry.addCounter("total", [&] { return total; });
+    registry.addGauge("depth", [&] { return depth; });
+    IntervalSampler sampler(registry, 2);
+
+    total = 5;
+    depth = 1.5;
+    sampler.tick(0);
+    sampler.tick(1);
+    sampler.finish();
+
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    EXPECT_EQ(os.str(),
+              "interval,start_cycle,end_cycle,total,depth\n"
+              "0,0,2,5,1.5\n");
+}
+
+/**
+ * The acceptance property: summing a counter column over every
+ * interval (finish() flushed the partial tail) reproduces the
+ * end-of-run aggregate exactly. Run a real system so the counters
+ * move the way they do in production, not in a toy.
+ */
+TEST(IntervalSampler, IntervalSumsReproduceEndOfRunAggregates)
+{
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const auto wl = makeWorkload("GUPS", wc);
+    auto policy = policies::mil();
+    System system(SystemConfig::microserver(), *wl, policy.get(), 300);
+
+    obs::MetricsRegistry registry;
+    system.registerMetrics(registry);
+    obs::IntervalSampler sampler(registry, 1000);
+    system.setSampler(&sampler);
+
+    const SimResult result = system.run();
+    ASSERT_GT(sampler.rows().size(), 1u);
+
+    auto column_sum = [&](const std::string &name) {
+        std::uint64_t sum = 0;
+        for (std::size_t r = 0; r < sampler.rows().size(); ++r)
+            sum += sampler.value(r, name).count;
+        return sum;
+    };
+
+    EXPECT_EQ(column_sum("bits_transferred"), result.bus.bitsTransferred);
+    EXPECT_EQ(column_sum("zeros_transferred"),
+              result.bus.zerosTransferred);
+    EXPECT_EQ(column_sum("bus_cycles"), result.bus.totalCycles);
+    EXPECT_EQ(column_sum("bus_busy_cycles"), result.bus.busBusyCycles);
+    EXPECT_EQ(column_sum("ops"), result.totalOps);
+    EXPECT_EQ(column_sum("reads") + column_sum("writes"),
+              result.bus.reads + result.bus.writes);
+    EXPECT_EQ(column_sum("l1_misses"), result.l1.misses);
+
+    // The per-scheme mix also sums, and covers all transferred bits.
+    EXPECT_EQ(column_sum("scheme_MiLC_bits") +
+                  column_sum("scheme_3-LWC_bits"),
+              result.bus.bitsTransferred);
+
+    // Intervals tile the run: contiguous, no overlap, full coverage.
+    // The loop ticks cycles [0, result.cycles], so the final interval
+    // ends one past the reported execution time.
+    Cycle expect_start = 0;
+    for (const auto &row : sampler.rows()) {
+        EXPECT_EQ(row.start, expect_start);
+        expect_start = row.end;
+    }
+    EXPECT_EQ(sampler.rows().back().end, result.cycles + 1);
+}
+
+} // anonymous namespace
+} // namespace mil

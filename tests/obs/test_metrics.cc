@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+#include "common/sim_error.hh"
+#include "obs/metrics.hh"
+
+namespace mil::obs
+{
+namespace
+{
+
+TEST(MetricsRegistry, CountersAndGaugesProbeLiveState)
+{
+    std::uint64_t hits = 0;
+    double load = 0.0;
+    MetricsRegistry registry;
+    registry.addCounter("hits", [&] { return hits; });
+    registry.addGauge("load", [&] { return load; });
+
+    hits = 42;
+    load = 0.75;
+    ASSERT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.metrics()[0].counter(), 42u);
+    EXPECT_DOUBLE_EQ(registry.metrics()[1].gauge(), 0.75);
+}
+
+TEST(MetricsRegistry, RegistrationOrderIsIterationOrder)
+{
+    MetricsRegistry registry;
+    registry.addCounter("b", [] { return 0ull; });
+    registry.addCounter("a", [] { return 0ull; });
+    registry.addCounter("c", [] { return 0ull; });
+    EXPECT_EQ(registry.metrics()[0].name, "b");
+    EXPECT_EQ(registry.metrics()[1].name, "a");
+    EXPECT_EQ(registry.metrics()[2].name, "c");
+    EXPECT_EQ(registry.index("a"), 1u);
+    EXPECT_TRUE(registry.has("c"));
+    EXPECT_FALSE(registry.has("d"));
+}
+
+TEST(MetricsRegistry, DuplicateNameThrows)
+{
+    MetricsRegistry registry;
+    registry.addCounter("x", [] { return 0ull; });
+    EXPECT_THROW(registry.addCounter("x", [] { return 0ull; }),
+                 ConfigError);
+    EXPECT_THROW(registry.addGauge("x", [] { return 0.0; }),
+                 ConfigError);
+}
+
+TEST(MetricsRegistry, UnknownIndexThrows)
+{
+    MetricsRegistry registry;
+    EXPECT_THROW(registry.index("nope"), ConfigError);
+}
+
+TEST(MetricsRegistry, RatioReferencesCounterOperands)
+{
+    MetricsRegistry registry;
+    registry.addCounter("ops", [] { return 10ull; });
+    registry.addCounter("cycles", [] { return 4ull; });
+    registry.addRatio("ipc", "ops", "cycles");
+
+    const auto &ipc = registry.metrics()[registry.index("ipc")];
+    EXPECT_EQ(ipc.kind, MetricsRegistry::Kind::Ratio);
+    EXPECT_EQ(ipc.numerator, registry.index("ops"));
+    EXPECT_EQ(ipc.denominator, registry.index("cycles"));
+}
+
+TEST(MetricsRegistry, RatioRejectsMissingOrNonCounterOperands)
+{
+    MetricsRegistry registry;
+    registry.addCounter("ops", [] { return 0ull; });
+    registry.addGauge("util", [] { return 0.0; });
+    EXPECT_THROW(registry.addRatio("r1", "ops", "missing"), ConfigError);
+    EXPECT_THROW(registry.addRatio("r2", "ops", "util"), ConfigError);
+}
+
+TEST(MetricsRegistry, HistogramPercentileGauges)
+{
+    Histogram hist({0, 2, 8});
+    MetricsRegistry registry;
+    registry.addHistogram("gap", &hist, {0.5, 0.999});
+
+    // Names trim trailing zeros: p50, p99.9.
+    ASSERT_TRUE(registry.has("gap_p50"));
+    ASSERT_TRUE(registry.has("gap_p99.9"));
+
+    // The gauges read the histogram live.
+    EXPECT_DOUBLE_EQ(
+        registry.metrics()[registry.index("gap_p50")].gauge(), 0.0);
+    for (int i = 0; i < 10; ++i)
+        hist.sample(1);
+    EXPECT_DOUBLE_EQ(
+        registry.metrics()[registry.index("gap_p50")].gauge(), 2.0);
+}
+
+TEST(MetricsRegistry, HistogramRejectsBadPercentile)
+{
+    Histogram hist({0, 2});
+    MetricsRegistry registry;
+    EXPECT_THROW(registry.addHistogram("gap", &hist, {1.5}),
+                 ConfigError);
+}
+
+} // anonymous namespace
+} // namespace mil::obs

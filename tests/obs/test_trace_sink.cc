@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "obs/trace_sink.hh"
+
+namespace mil::obs
+{
+namespace
+{
+
+Event
+makeEvent(EventKind kind, Cycle cycle)
+{
+    Event e;
+    e.kind = kind;
+    e.cycle = cycle;
+    return e;
+}
+
+TEST(TraceSink, TracingCompiledInByDefault)
+{
+    // The default build keeps the emit sites; the MIL_OBS_TRACING=OFF
+    // configuration is exercised by the CI matrix, not this binary.
+    EXPECT_TRUE(kTraceCompiledIn);
+}
+
+TEST(MemoryTraceSink, RecordsInEmissionOrder)
+{
+    MemoryTraceSink sink;
+    sink.record(makeEvent(EventKind::Activate, 5));
+    sink.record(makeEvent(EventKind::Read, 7));
+    sink.record(makeEvent(EventKind::Precharge, 7));
+
+    ASSERT_EQ(sink.size(), 3u);
+    EXPECT_EQ(sink.events()[0].kind, EventKind::Activate);
+    EXPECT_EQ(sink.events()[1].kind, EventKind::Read);
+    EXPECT_EQ(sink.events()[2].kind, EventKind::Precharge);
+    EXPECT_EQ(sink.events()[1].cycle, 7u);
+}
+
+TEST(MemoryTraceSink, CountByKind)
+{
+    MemoryTraceSink sink;
+    sink.record(makeEvent(EventKind::Read, 1));
+    sink.record(makeEvent(EventKind::Read, 2));
+    sink.record(makeEvent(EventKind::Write, 3));
+    EXPECT_EQ(sink.count(EventKind::Read), 2u);
+    EXPECT_EQ(sink.count(EventKind::Write), 1u);
+    EXPECT_EQ(sink.count(EventKind::Refresh), 0u);
+}
+
+TEST(MemoryTraceSink, TakeEventsEmptiesTheSink)
+{
+    MemoryTraceSink sink;
+    sink.record(makeEvent(EventKind::Read, 1));
+    const auto events = sink.takeEvents();
+    EXPECT_EQ(events.size(), 1u);
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(MemoryTraceSink, ClearEmptiesTheSink)
+{
+    MemoryTraceSink sink;
+    sink.record(makeEvent(EventKind::Read, 1));
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(MemoryTraceSink, EventPayloadPreserved)
+{
+    MemoryTraceSink sink;
+    Event e;
+    e.kind = EventKind::Write;
+    e.isWrite = true;
+    e.channel = 3;
+    e.rank = 1;
+    e.bankGroup = 2;
+    e.bank = 1;
+    e.row = 0x1234;
+    e.cycle = 100;
+    e.dataStart = 105;
+    e.dataEnd = 113;
+    e.bits = 640;
+    e.zeros = 42;
+    e.scheme = "3-LWC";
+    sink.record(e);
+
+    const Event &back = sink.events().back();
+    EXPECT_EQ(back.channel, 3u);
+    EXPECT_EQ(back.row, 0x1234u);
+    EXPECT_EQ(back.dataEnd, 113u);
+    EXPECT_EQ(back.bits, 640u);
+    EXPECT_EQ(back.zeros, 42u);
+    EXPECT_EQ(back.scheme, "3-LWC");
+}
+
+TEST(NullTraceSink, DiscardsSilently)
+{
+    NullTraceSink sink;
+    TraceSink &base = sink;
+    for (int i = 0; i < 1000; ++i)
+        base.record(Event{});
+    SUCCEED();
+}
+
+TEST(Event, MnemonicsAreStable)
+{
+    // miltrace and log scrapers key on these strings.
+    EXPECT_STREQ(makeEvent(EventKind::Activate, 0).mnemonic(), "ACT");
+    EXPECT_STREQ(makeEvent(EventKind::Precharge, 0).mnemonic(), "PRE");
+    EXPECT_STREQ(makeEvent(EventKind::Read, 0).mnemonic(), "RD");
+    EXPECT_STREQ(makeEvent(EventKind::Write, 0).mnemonic(), "WR");
+    EXPECT_STREQ(makeEvent(EventKind::Refresh, 0).mnemonic(), "REF");
+    EXPECT_STREQ(makeEvent(EventKind::Decision, 0).mnemonic(), "DEC");
+    EXPECT_STREQ(makeEvent(EventKind::CrcRetry, 0).mnemonic(), "RTY");
+    EXPECT_STREQ(makeEvent(EventKind::RetryAbort, 0).mnemonic(), "ABT");
+    EXPECT_STREQ(makeEvent(EventKind::QueueSample, 0).mnemonic(), "QUE");
+    EXPECT_STREQ(makeEvent(EventKind::Stall, 0).mnemonic(), "STL");
+}
+
+} // anonymous namespace
+} // namespace mil::obs

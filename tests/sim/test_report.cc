@@ -60,6 +60,66 @@ TEST(CsvReporter, RowCarriesLabelsAndNumbers)
     EXPECT_EQ(row.back(), '\n');
 }
 
+// Drift guard: header and rows are both derived from one
+// registerResultMetrics() registration, so adding a column in only
+// one place is impossible by construction -- and these tests make a
+// regression to hand-maintained strings fail immediately.
+
+TEST(CsvReporter, ColumnCountMatchesHeaderAndRows)
+{
+    std::ostringstream header_os;
+    CsvReporter::writeHeader(header_os);
+    std::string header = header_os.str();
+    ASSERT_EQ(header.back(), '\n');
+    header.pop_back();
+    EXPECT_EQ(countCommas(header) + 1, CsvReporter::columnCount());
+
+    std::ostringstream row_os;
+    CsvReporter::writeRow(row_os, "ddr4", "MM", "DBI", SimResult{});
+    std::string row = row_os.str();
+    row.pop_back();
+    EXPECT_EQ(countCommas(row) + 1, CsvReporter::columnCount());
+}
+
+TEST(CsvReporter, ErrorRowWithCommasKeepsColumnCount)
+{
+    // An escaped error message must not change the parsed column
+    // count: the commas are inside one quoted field.
+    std::ostringstream os;
+    CsvReporter::writeRow(os, "ddr4", "MM", "DBI", SimResult{}, "error",
+                          "stall: ch0{readQ=3, writeQ=1}, giving up");
+    const std::string row = os.str();
+    unsigned columns = 1;
+    bool quoted = false;
+    for (char c : row) {
+        if (c == '"')
+            quoted = !quoted;
+        else if (c == ',' && !quoted)
+            ++columns;
+    }
+    EXPECT_EQ(columns, CsvReporter::columnCount());
+    EXPECT_NE(row.find("\"stall: ch0{readQ=3, writeQ=1}, giving up\""),
+              std::string::npos);
+}
+
+TEST(CsvReporter, RegistryDefinesSchema)
+{
+    // The header names are exactly the registered metric names, in
+    // registration order, bracketed by the label and status columns.
+    const SimResult dummy;
+    obs::MetricsRegistry registry;
+    registerResultMetrics(registry, dummy);
+
+    std::string expected = "system,workload,policy";
+    for (const auto &metric : registry.metrics())
+        expected += "," + metric.name;
+    expected += ",status,error\n";
+
+    std::ostringstream os;
+    CsvReporter::writeHeader(os);
+    EXPECT_EQ(os.str(), expected);
+}
+
 TEST(CsvReporter, MultipleRowsAppend)
 {
     std::ostringstream os;

@@ -12,16 +12,25 @@
  *   milsim [--system ddr4|lpddr3] [--workload NAME] [--policy NAME]
  *          [--ops N] [--scale F] [--lookahead X] [--powerdown]
  *          [--baseline]  (also run DBI and print normalized deltas)
+ *          [--trace OUT.json] [--sample-interval N [--sample-csv F]]
+ *          [--replay FILE] [--jobs N]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "cli_util.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/interval_sampler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "workloads/trace_workload.hh"
@@ -45,7 +54,11 @@ struct Options
     double ber = 0.0;
     std::uint64_t seed = 0;
     std::string csvPath;
-    std::string tracePath;
+    std::string replayPath;
+    std::string chromeTracePath;
+    Cycle sampleInterval = 0;
+    std::string sampleCsvPath;
+    unsigned jobs = 1;
 };
 
 [[noreturn]] void
@@ -67,9 +80,18 @@ usage(const char *argv0)
         "  --seed S               RNG seed for workload data and the\n"
         "                         fault injector (default: built-in)\n"
         "  --baseline             also run DBI and print deltas\n"
+        "  --jobs N               with --baseline, run the DBI leg on\n"
+        "                         a second thread (default 1; never\n"
+        "                         changes any output byte)\n"
         "  --csv FILE             append machine-readable rows to FILE\n"
-        "  --trace FILE           replay a memory trace instead of a\n"
+        "  --replay FILE          replay a memory trace instead of a\n"
         "                         built-in workload (R/W/B records)\n"
+        "  --trace FILE           write a Chrome-trace JSON of the run\n"
+        "                         (open in chrome://tracing / Perfetto)\n"
+        "  --sample-interval N    snapshot system metrics every N\n"
+        "                         cycles into a time-series CSV\n"
+        "  --sample-csv FILE      where the time series goes (default\n"
+        "                         milsim_samples.csv)\n"
         "  --histograms           print idle-gap and slack histograms\n"
         "                         (the Figure 4/6 views of this run)\n"
         "workloads:",
@@ -114,18 +136,38 @@ parse(int argc, char **argv)
             opt.baseline = true;
         else if (arg == "--csv")
             opt.csvPath = value();
+        else if (arg == "--replay")
+            opt.replayPath = value();
         else if (arg == "--trace")
-            opt.tracePath = value();
+            opt.chromeTracePath = value();
+        else if (arg == "--sample-interval")
+            opt.sampleInterval = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--sample-csv")
+            opt.sampleCsvPath = value();
+        else if (arg == "--jobs")
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
         else if (arg == "--histograms")
             opt.histograms = true;
         else
             usage(argv[0]);
     }
+    if (opt.jobs == 0)
+        usage(argv[0]);
+    if (opt.sampleInterval != 0 && opt.sampleCsvPath.empty())
+        opt.sampleCsvPath = "milsim_samples.csv";
     return opt;
 }
 
+/**
+ * Run one policy. Instrumentation (the Chrome trace and the interval
+ * sampler) attaches only when @p instrument is set -- i.e. to the main
+ * run, never to the --baseline DBI leg -- so the trace bytes are
+ * independent of --jobs and of whether a baseline was requested.
+ */
 SimResult
-runOne(const Options &opt, const std::string &policy_name)
+runOne(const Options &opt, const std::string &policy_name,
+       bool instrument = false)
 {
     SystemConfig config = makeSystemConfig(opt.system);
     config.controller.powerDownEnabled = opt.powerDown;
@@ -140,15 +182,57 @@ runOne(const Options &opt, const std::string &policy_name)
         wc.seed = opt.seed;
     WorkloadPtr workload;
     std::uint64_t ops = opt.ops;
-    if (!opt.tracePath.empty()) {
-        workload = TraceWorkload::fromFile(wc, opt.tracePath);
+    if (!opt.replayPath.empty()) {
+        workload = TraceWorkload::fromFile(wc, opt.replayPath);
         ops = 0; // Run the trace to its end.
     } else {
         workload = makeWorkload(opt.workload, wc);
     }
     const auto policy = makePolicy(policy_name, opt.lookahead);
     System system(config, *workload, policy.get(), ops);
-    return system.run();
+
+    obs::MemoryTraceSink sink;
+    obs::MetricsRegistry registry;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    const bool trace = instrument && !opt.chromeTracePath.empty();
+    if (trace) {
+        system.setTraceSink(&sink);
+        if (!obs::kTraceCompiledIn)
+            mil_warn("tracing requested but compiled out "
+                     "(MIL_OBS_TRACING=OFF): the trace will be empty");
+    }
+    if (instrument && opt.sampleInterval != 0) {
+        system.registerMetrics(registry);
+        sampler = std::make_unique<obs::IntervalSampler>(
+            registry, opt.sampleInterval);
+        system.setSampler(sampler.get());
+    }
+
+    const SimResult r = system.run();
+
+    if (trace) {
+        obs::ChromeTraceMeta meta;
+        meta.label = opt.system + "/" +
+            (opt.replayPath.empty() ? opt.workload : opt.replayPath) +
+            "/" + policy_name;
+        meta.channels = config.channels;
+        meta.banksPerGroup = config.timing.banksPerGroup;
+        std::ofstream os(opt.chromeTracePath,
+                         std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw SimError(strformat("cannot write trace file '%s'",
+                                     opt.chromeTracePath.c_str()));
+        obs::ChromeTraceWriter(meta).write(os, sink.events());
+    }
+    if (sampler != nullptr) {
+        std::ofstream os(opt.sampleCsvPath,
+                         std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw SimError(strformat("cannot write sample file '%s'",
+                                     opt.sampleCsvPath.c_str()));
+        sampler->writeCsv(os);
+    }
+    return r;
 }
 
 void
@@ -238,8 +322,34 @@ int
 run(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
-    const SimResult r = runOne(opt, opt.policy);
+
+    const bool want_base = opt.baseline && opt.policy != "DBI";
+    SimResult r;
+    std::optional<SimResult> base;
+    if (want_base && opt.jobs > 1) {
+        // Two independent Systems; the instrumented main run and the
+        // DBI leg share nothing, so running them concurrently cannot
+        // change any output byte.
+        SimResult results[2];
+        ThreadPool pool(1);
+        pool.parallelFor(2, [&](std::size_t i) {
+            results[i] =
+                runOne(opt, i == 0 ? opt.policy : "DBI", i == 0);
+        });
+        r = results[0];
+        base = results[1];
+    } else {
+        r = runOne(opt, opt.policy, true);
+        if (want_base)
+            base = runOne(opt, "DBI");
+    }
     printReport(opt, r);
+    if (!opt.chromeTracePath.empty())
+        std::printf("\n(chrome trace written to %s)\n",
+                    opt.chromeTracePath.c_str());
+    if (opt.sampleInterval != 0)
+        std::printf("(time series written to %s)\n",
+                    opt.sampleCsvPath.c_str());
 
     if (!opt.csvPath.empty()) {
         const bool fresh = !std::ifstream(opt.csvPath).good();
@@ -257,24 +367,23 @@ run(int argc, char **argv)
                     opt.csvPath.c_str());
     }
 
-    if (opt.baseline && opt.policy != "DBI") {
-        const SimResult base = runOne(opt, "DBI");
+    if (base) {
         std::printf("\nvs DBI baseline:\n");
         std::printf("  exec time     %.3fx\n",
                     static_cast<double>(r.cycles) /
-                        static_cast<double>(base.cycles));
+                        static_cast<double>(base->cycles));
         std::printf("  zeros         %.3fx\n",
                     static_cast<double>(r.bus.zerosTransferred) /
                         static_cast<double>(
-                            base.bus.zerosTransferred));
+                            base->bus.zerosTransferred));
         std::printf("  IO energy     %.3fx\n",
-                    r.dramEnergy.ioMj / base.dramEnergy.ioMj);
+                    r.dramEnergy.ioMj / base->dramEnergy.ioMj);
         std::printf("  DRAM energy   %.3fx\n",
                     r.dramEnergy.totalMj() /
-                        base.dramEnergy.totalMj());
+                        base->dramEnergy.totalMj());
         std::printf("  system energy %.3fx\n",
                     r.systemEnergy.totalMj() /
-                        base.systemEnergy.totalMj());
+                        base->systemEnergy.totalMj());
     }
     return 0;
 }

@@ -19,12 +19,13 @@
  *   milsweep [--systems ddr4,lpddr3] [--workloads GUPS,CG,...|all]
  *            [--policies DBI,MiL,...] [--ops N] [--scale F]
  *            [--lookahead X] [--jobs N] [--seed S] [--ber P]
- *            [--out FILE]
+ *            [--out FILE] [--trace-dir DIR] [--list]
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -59,9 +60,29 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--systems a,b] [--workloads a,b|all] "
         "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
-        "[--jobs N] [--seed S] [--ber P] [--out FILE]\n",
+        "[--jobs N] [--seed S] [--ber P] [--out FILE] "
+        "[--trace-dir DIR] [--list]\n",
         argv0);
     std::exit(2);
+}
+
+/** --list: print the valid grid axes, machine-greppable, and exit 0. */
+int
+listAxes()
+{
+    std::printf("systems:");
+    for (const auto &name : systemNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\nworkloads:");
+    for (const auto &name : workloadNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\npolicies:");
+    for (const auto &name : policyNames())
+        std::printf(" %s", name.c_str());
+    std::printf(" BLn(8<=n<=32)");
+    std::printf("\nber: any rate in [0,1); 0 disables fault "
+                "injection\n");
+    return 0;
 }
 
 std::string
@@ -111,6 +132,7 @@ run(int argc, char **argv)
     grid.scale = 0.25;
     unsigned jobs = SweepRunner::defaultJobs();
     std::string out_path;
+    std::string trace_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -142,6 +164,10 @@ run(int argc, char **argv)
             grid.ber = std::strtod(value(), nullptr);
         else if (arg == "--out")
             out_path = value();
+        else if (arg == "--trace-dir")
+            trace_dir = value();
+        else if (arg == "--list")
+            return listAxes();
         else
             usage(argv[0]);
     }
@@ -161,6 +187,16 @@ run(int argc, char **argv)
     }
 
     SweepRunner runner(jobs);
+    if (!trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(trace_dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create %s: %s\n",
+                         trace_dir.c_str(), ec.message().c_str());
+            return 1;
+        }
+        runner.setTraceDir(trace_dir);
+    }
     SweepRunner::Progress progress;
     if (!out_path.empty()) {
         progress = [](std::size_t done, std::size_t total) {

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * miltrace -- offline analysis of an exported Chrome-trace JSON.
+ *
+ * The Chrome-trace file milsim/milsweep write is primarily for the
+ * chrome://tracing / Perfetto UI, but two questions come up often
+ * enough on the command line to answer without a browser:
+ *
+ *  - per-scheme bus occupancy: how much of the measured window each
+ *    coding scheme held the data bus (the Figure 17 view, but taken
+ *    from the timeline rather than the aggregate counters), plus the
+ *    time lost to CRC retries;
+ *  - top idle gaps: the longest bus-idle windows per channel -- the
+ *    opportunities MiL's decision logic is trying to fill with long
+ *    sparse codes (Figure 4's tail, with timestamps attached).
+ *
+ * Usage:
+ *   miltrace FILE.json [--top N]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cli_util.hh"
+#include "obs/trace_reader.hh"
+
+using namespace mil;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr, "usage: %s FILE.json [--top N]\n", argv0);
+    std::exit(2);
+}
+
+struct SchemeOccupancy
+{
+    std::uint64_t bursts = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t bits = 0;
+};
+
+struct Gap
+{
+    unsigned channel = 0;
+    Cycle start = 0;
+    Cycle length = 0;
+};
+
+int
+run(int argc, char **argv)
+{
+    std::string path;
+    std::size_t top = 10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top") {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            top = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (path.empty())
+        usage(argv[0]);
+
+    const obs::TraceReader trace = obs::TraceReader::parseFile(path);
+
+    // Span of the measured window and per-channel burst timelines.
+    Cycle span_end = 0;
+    std::map<std::string, SchemeOccupancy> schemes;
+    SchemeOccupancy retry;
+    std::map<unsigned, std::vector<const obs::TraceSlice *>> by_channel;
+    for (const auto &slice : trace.slices()) {
+        span_end = std::max(span_end, slice.ts + slice.dur);
+        if (slice.cat == "bus") {
+            auto &s = schemes[slice.name];
+            ++s.bursts;
+            s.cycles += slice.dur;
+            const auto bits = slice.args.find("bits");
+            if (bits != slice.args.end())
+                s.bits += static_cast<std::uint64_t>(bits->second);
+            by_channel[slice.pid].push_back(&slice);
+        } else if (slice.cat == "fault") {
+            ++retry.bursts;
+            retry.cycles += slice.dur;
+            by_channel[slice.pid].push_back(&slice);
+        }
+    }
+    for (const auto &instant : trace.instants())
+        span_end = std::max(span_end, instant.ts);
+
+    std::printf("trace   %s\n", path.c_str());
+    if (!trace.label().empty())
+        std::printf("run     %s\n", trace.label().c_str());
+    std::printf("span    %llu cycles, %zu channels, %zu slices, "
+                "%zu instants\n",
+                static_cast<unsigned long long>(span_end),
+                by_channel.size(), trace.slices().size(),
+                trace.instants().size());
+
+    std::printf("\nper-scheme bus occupancy:\n");
+    std::printf("  %-12s %10s %12s %7s %14s\n", "scheme", "bursts",
+                "bus cycles", "bus%", "bits");
+    const double denom =
+        span_end == 0 ? 1.0
+                      : static_cast<double>(span_end) *
+                        static_cast<double>(
+                            std::max<std::size_t>(by_channel.size(), 1));
+    for (const auto &[name, s] : schemes)
+        std::printf("  %-12s %10llu %12llu %6.1f%% %14llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(s.bursts),
+                    static_cast<unsigned long long>(s.cycles),
+                    100.0 * static_cast<double>(s.cycles) / denom,
+                    static_cast<unsigned long long>(s.bits));
+    if (retry.bursts != 0)
+        std::printf("  %-12s %10llu %12llu %6.1f%%\n", "(crc retry)",
+                    static_cast<unsigned long long>(retry.bursts),
+                    static_cast<unsigned long long>(retry.cycles),
+                    100.0 * static_cast<double>(retry.cycles) / denom);
+
+    // Idle gaps between consecutive occupied windows on each channel.
+    // Slices are sorted by ts in the file, but sort defensively; a
+    // retry window counts as occupancy (the bus is busy re-driving).
+    std::vector<Gap> gaps;
+    for (auto &[channel, slices] : by_channel) {
+        std::sort(slices.begin(), slices.end(),
+                  [](const obs::TraceSlice *a, const obs::TraceSlice *b) {
+                      return a->ts < b->ts;
+                  });
+        Cycle busy_until = 0;
+        for (const auto *slice : slices) {
+            if (slice->ts > busy_until)
+                gaps.push_back(
+                    {channel, busy_until, slice->ts - busy_until});
+            busy_until = std::max(busy_until, slice->ts + slice->dur);
+        }
+        if (span_end > busy_until)
+            gaps.push_back(
+                {channel, busy_until, span_end - busy_until});
+    }
+    std::sort(gaps.begin(), gaps.end(), [](const Gap &a, const Gap &b) {
+        if (a.length != b.length)
+            return a.length > b.length;
+        if (a.start != b.start)
+            return a.start < b.start;
+        return a.channel < b.channel;
+    });
+
+    std::printf("\ntop %zu idle gaps:\n", std::min(top, gaps.size()));
+    std::printf("  %-8s %14s %14s %10s\n", "channel", "start", "end",
+                "cycles");
+    for (std::size_t i = 0; i < gaps.size() && i < top; ++i)
+        std::printf("  %-8u %14llu %14llu %10llu\n", gaps[i].channel,
+                    static_cast<unsigned long long>(gaps[i].start),
+                    static_cast<unsigned long long>(gaps[i].start +
+                                                    gaps[i].length),
+                    static_cast<unsigned long long>(gaps[i].length));
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return mil::cli::runToolMain("miltrace",
+                                 [&] { return run(argc, argv); });
+}
