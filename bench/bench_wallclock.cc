@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Wall-clock benchmark of event-driven cycle skipping: each scenario
+ * runs the identical simulation with the per-cycle oracle loop and
+ * with cycle skipping (tracing and sampling off), and reports the
+ * host-time speedup. Results go to stdout as a table and, with
+ * --json FILE (or MIL_BENCH_JSON), to a machine-readable JSON file --
+ * scripts/bench_wallclock.sh writes the repo's BENCH_wallclock.json
+ * baseline with it.
+ *
+ * Scenario choice mirrors how the speedup scales with idleness:
+ *
+ *  - latency_bound_trace: pointer-chase-style replay (blocking loads
+ *    separated by 1500-3000 compute cycles) -- the timing-bound,
+ *    low-memory-intensity case cycle skipping exists for;
+ *  - mm_mil / gups_dbi: Table 3 workloads, bandwidth-heavy, where
+ *    most cycles hold a real event and the win is modest (the cost of
+ *    nextEventCycle bookkeeping shows up honestly here).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mil/policies.hh"
+#include "sim/experiment.hh"
+#include "workloads/trace_workload.hh"
+
+namespace mil
+{
+namespace
+{
+
+struct Scenario
+{
+    std::string name;
+    std::string workload; ///< Table 3 name, or "" for the trace.
+    std::string policy;
+    std::uint64_t opsPerThread;
+};
+
+/**
+ * The latency-bound replay: deterministic, built in memory. Blocking
+ * loads over a cache-resident footprint with 1500-3000 compute
+ * cycles between them -- execution time is gap arithmetic, which is
+ * exactly the shape the event loop collapses. Every thread replays
+ * the whole trace (opsPerThread = 0 below), as milsim --replay does.
+ */
+std::unique_ptr<TraceWorkload>
+makeLatencyBoundTrace()
+{
+    std::mt19937_64 rng(7);
+    std::vector<TraceOp> ops;
+    ops.reserve(6000);
+    for (int i = 0; i < 6000; ++i) {
+        TraceOp op;
+        op.addr = (rng() % (Addr{1} << 19)) & ~Addr{7};
+        op.blocking = true;
+        op.gap = 1500 + static_cast<std::uint32_t>(rng() % 1500);
+        ops.push_back(op);
+    }
+    WorkloadConfig wc;
+    return std::make_unique<TraceWorkload>(wc, std::move(ops));
+}
+
+struct Sample
+{
+    double seconds = 0.0;
+    Cycle cycles = 0;
+    std::uint64_t ops = 0;
+};
+
+/** One full simulation; returns wall seconds and simulated work. */
+Sample
+runOnce(const Scenario &sc, bool event_driven)
+{
+    SystemConfig config = makeSystemConfig("ddr4");
+    config.eventDriven = event_driven;
+
+    WorkloadPtr workload;
+    if (sc.workload.empty()) {
+        workload = makeLatencyBoundTrace();
+    } else {
+        WorkloadConfig wc;
+        wc.scale = 0.25;
+        workload = makeWorkload(sc.workload, wc);
+    }
+    const auto policy = makePolicy(sc.policy);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    System system(config, *workload, policy.get(), sc.opsPerThread);
+    const SimResult r = system.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Sample s;
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    s.cycles = r.cycles;
+    s.ops = r.totalOps;
+    return s;
+}
+
+/** Best of @p reps runs (min wall time; identical simulated work). */
+Sample
+best(const Scenario &sc, bool event_driven, int reps)
+{
+    Sample out;
+    for (int i = 0; i < reps; ++i) {
+        const Sample s = runOnce(sc, event_driven);
+        if (i == 0 || s.seconds < out.seconds)
+            out = s;
+    }
+    return out;
+}
+
+struct Row
+{
+    Scenario scenario;
+    Sample skip;
+    Sample oracle;
+
+    double
+    speedup() const
+    {
+        return skip.seconds > 0.0 ? oracle.seconds / skip.seconds
+                                  : 0.0;
+    }
+};
+
+void
+writeJson(const std::string &path, const std::vector<Row> &rows)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    os << "{\n  \"benches\": {\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    \"%s\": {\n"
+            "      \"cycles\": %llu,\n"
+            "      \"ops\": %llu,\n"
+            "      \"event_driven_seconds\": %.4f,\n"
+            "      \"per_cycle_seconds\": %.4f,\n"
+            "      \"event_driven_cycles_per_second\": %.0f,\n"
+            "      \"per_cycle_cycles_per_second\": %.0f,\n"
+            "      \"speedup\": %.2f\n"
+            "    }%s\n",
+            r.scenario.name.c_str(),
+            static_cast<unsigned long long>(r.skip.cycles),
+            static_cast<unsigned long long>(r.skip.ops),
+            r.skip.seconds, r.oracle.seconds,
+            r.skip.seconds > 0.0
+                ? static_cast<double>(r.skip.cycles) / r.skip.seconds
+                : 0.0,
+            r.oracle.seconds > 0.0
+                ? static_cast<double>(r.oracle.cycles) /
+                    r.oracle.seconds
+                : 0.0,
+            r.speedup(), i + 1 < rows.size() ? "," : "");
+        os << buf;
+    }
+    os << "  }\n}\n";
+}
+
+int
+benchMain(int argc, char **argv)
+{
+    std::string json_path;
+    if (const char *env = std::getenv("MIL_BENCH_JSON"))
+        json_path = env;
+    int reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+            reps = std::atoi(argv[++i]);
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--json FILE] [--reps N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const std::vector<Scenario> scenarios = {
+        {"latency_bound_trace", "", "MiL", 0},
+        {"mm_mil", "MM", "MiL", 8000},
+        {"gups_dbi", "GUPS", "DBI", 8000},
+    };
+
+    std::printf("=== wall-clock: event-driven cycle skipping vs "
+                "per-cycle oracle ===\n");
+    std::printf("(best of %d runs each; tracing and sampling off)\n\n",
+                reps);
+    std::printf("%-22s %12s %10s %10s %8s\n", "scenario", "cycles",
+                "skip[s]", "oracle[s]", "speedup");
+
+    std::vector<Row> rows;
+    for (const auto &sc : scenarios) {
+        Row row;
+        row.scenario = sc;
+        row.skip = best(sc, true, reps);
+        row.oracle = best(sc, false, reps);
+        if (row.skip.cycles != row.oracle.cycles) {
+            std::fprintf(stderr,
+                         "FATAL: %s modes disagree on cycles\n",
+                         sc.name.c_str());
+            return 1;
+        }
+        std::printf("%-22s %12llu %10.2f %10.2f %7.2fx\n",
+                    sc.name.c_str(),
+                    static_cast<unsigned long long>(row.skip.cycles),
+                    row.skip.seconds, row.oracle.seconds,
+                    row.speedup());
+        rows.push_back(row);
+    }
+
+    if (!json_path.empty()) {
+        writeJson(json_path, rows);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}
+
+} // anonymous namespace
+} // namespace mil
+
+int
+main(int argc, char **argv)
+{
+    return mil::benchMain(argc, argv);
+}

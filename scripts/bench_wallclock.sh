@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Measure the wall-clock speedup of event-driven cycle skipping over
+# the per-cycle oracle loop and refresh the repo's BENCH_wallclock.json
+# baseline. See docs/performance.md for how to read the numbers.
+#
+# Usage: scripts/bench_wallclock.sh [build-dir] [reps]
+# Knobs: MIL_BENCH_JSON overrides the output path
+#        (default: BENCH_wallclock.json at the repo root).
+set -euo pipefail
+
+BUILD="${1:-build}"
+REPS="${2:-3}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${MIL_BENCH_JSON:-$ROOT/BENCH_wallclock.json}"
+
+BIN="$ROOT/$BUILD/bench/bench_wallclock"
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (cmake --build $BUILD --target bench_wallclock)" >&2
+    exit 1
+fi
+
+"$BIN" --reps "$REPS" --json "$OUT"

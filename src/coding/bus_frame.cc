@@ -19,6 +19,48 @@ BusFrame::maskHigh() const
     return hi >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << hi) - 1);
 }
 
+void
+BusFrame::setLinearField(std::uint64_t k, unsigned width,
+                         std::uint64_t value)
+{
+    mil_assert(width <= 64, "linear field wider than a word");
+    while (width > 0) {
+        const unsigned beat = static_cast<unsigned>(k / lanes_);
+        const unsigned lane = static_cast<unsigned>(k % lanes_);
+        const unsigned off = lane % 64;
+        unsigned chunk = std::min(width, lanes_ - lane);
+        chunk = std::min(chunk, 64 - off);
+        auto &w = words_[2 * beat + lane / 64];
+        w = insertBits(w, off, chunk, value);
+        k += chunk;
+        width -= chunk;
+        value = chunk >= 64 ? 0 : value >> chunk;
+    }
+}
+
+std::uint64_t
+BusFrame::linearField(std::uint64_t k, unsigned width) const
+{
+    mil_assert(width <= 64, "linear field wider than a word");
+    std::uint64_t value = 0;
+    unsigned got = 0;
+    while (got < width) {
+        const unsigned beat = static_cast<unsigned>(k / lanes_);
+        const unsigned lane = static_cast<unsigned>(k % lanes_);
+        const unsigned off = lane % 64;
+        unsigned chunk = std::min(width - got, lanes_ - lane);
+        chunk = std::min(chunk, 64 - off);
+        const std::uint64_t w = words_[2 * beat + lane / 64];
+        const std::uint64_t mask =
+            chunk >= 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << chunk) - 1);
+        value |= ((w >> off) & mask) << got;
+        k += chunk;
+        got += chunk;
+    }
+    return value;
+}
+
 std::uint64_t
 BusFrame::zeroCount() const
 {

@@ -97,8 +97,15 @@ class BusFrame
     setLaneField(unsigned beat, unsigned lane, unsigned width,
                  std::uint64_t value)
     {
-        for (unsigned i = 0; i < width; ++i)
-            setBitAt(beat, lane + i, bit(value, i));
+        while (width > 0) {
+            const unsigned off = lane % 64;
+            const unsigned chunk = width < 64 - off ? width : 64 - off;
+            auto &w = words_[2 * beat + lane / 64];
+            w = insertBits(w, off, chunk, value);
+            lane += chunk;
+            width -= chunk;
+            value = chunk >= 64 ? 0 : value >> chunk;
+        }
     }
 
     /** Read @p width bits starting at @p lane of @p beat. */
@@ -106,8 +113,19 @@ class BusFrame
     laneField(unsigned beat, unsigned lane, unsigned width) const
     {
         std::uint64_t v = 0;
-        for (unsigned i = 0; i < width; ++i)
-            v = setBit(v, i, bitAt(beat, lane + i));
+        unsigned got = 0;
+        while (got < width) {
+            const unsigned off = lane % 64;
+            const unsigned rest = width - got;
+            const unsigned chunk = rest < 64 - off ? rest : 64 - off;
+            const std::uint64_t w = words_[2 * beat + lane / 64];
+            const std::uint64_t mask = chunk >= 64
+                ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << chunk) - 1);
+            v |= ((w >> off) & mask) << got;
+            lane += chunk;
+            got += chunk;
+        }
         return v;
     }
 
@@ -125,6 +143,19 @@ class BusFrame
         return bitAt(static_cast<unsigned>(k / lanes_),
                      static_cast<unsigned>(k % lanes_));
     }
+
+    /**
+     * Write @p width bits (<= 64) of @p value at linear position @p k,
+     * equivalent to setLinearBit() on k..k+width-1 but performed in
+     * word-sized chunks. Fields may cross lane-word and beat
+     * boundaries; the codec hot paths (17-bit 3-LWC symbols, 8-bit
+     * MiLC rows) depend on this being cheap.
+     */
+    void setLinearField(std::uint64_t k, unsigned width,
+                        std::uint64_t value);
+
+    /** Read @p width bits (<= 64) at linear position @p k. */
+    std::uint64_t linearField(std::uint64_t k, unsigned width) const;
 
     /** Number of 0 bits in the frame (the DDR4/POD energy proxy). */
     std::uint64_t zeroCount() const;

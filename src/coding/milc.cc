@@ -1,9 +1,113 @@
 #include "milc.hh"
 
+#include <vector>
+
 #include "common/bitops.hh"
 
 namespace mil
 {
+
+namespace
+{
+
+/** One row's resolved transform: the wire byte plus its mode bits. */
+struct RowChoice
+{
+    std::uint8_t value;
+    bool bi; ///< Inv-mode bit: true = inverted.
+    bool xr; ///< Xor-mode bit: true = no xor with previous row.
+};
+
+/** Row 0: inverted (inv=1, free) vs original (inv=0, one mode zero). */
+RowChoice
+chooseRow0(std::uint8_t orig)
+{
+    const auto inv = static_cast<std::uint8_t>(~orig);
+    if (zeroCount8(inv) <= zeroCount8(orig) + 1)
+        return {inv, true, true};
+    return {orig, false, true};
+}
+
+/** Rows 1..7: four candidates; cost = data zeros + mode-bit zeros. */
+RowChoice
+chooseRow(std::uint8_t orig, std::uint8_t prev)
+{
+    const auto inv = static_cast<std::uint8_t>(~orig);
+    const auto xored = static_cast<std::uint8_t>(orig ^ prev);
+    const auto inv_xored = static_cast<std::uint8_t>(~xored);
+
+    struct Candidate
+    {
+        std::uint8_t value;
+        bool bi;
+        bool xr;
+        unsigned modeZeros;
+    };
+    // Listed in tie-break priority: on equal cost, prefer the
+    // xor-engaged candidate -- its mode zero lands in the xor
+    // column, where the xorbi bus-invert can erase it when the
+    // pattern repeats across rows.
+    const Candidate candidates[4] = {
+        {inv_xored, true, false, 1},
+        {inv, true, true, 0},
+        {orig, false, true, 1},
+        {xored, false, false, 2},
+    };
+
+    unsigned best = 0;
+    unsigned best_cost =
+        zeroCount8(candidates[0].value) + candidates[0].modeZeros;
+    for (unsigned k = 1; k < 4; ++k) {
+        const unsigned cost = zeroCount8(candidates[k].value) +
+            candidates[k].modeZeros;
+        if (cost < best_cost) {
+            best = k;
+            best_cost = cost;
+        }
+    }
+    return {candidates[best].value, candidates[best].bi,
+            candidates[best].xr};
+}
+
+/** RowChoice packed as value | bi << 8 | xr << 9 for the tables. */
+std::uint16_t
+packChoice(const RowChoice &c)
+{
+    return static_cast<std::uint16_t>(
+        c.value | (c.bi ? 1u << 8 : 0u) | (c.xr ? 1u << 9 : 0u));
+}
+
+/** orig -> packed row-0 choice. */
+const std::array<std::uint16_t, 256> &
+row0Table()
+{
+    static const std::array<std::uint16_t, 256> table = [] {
+        std::array<std::uint16_t, 256> t{};
+        for (unsigned orig = 0; orig < 256; ++orig)
+            t[orig] = packChoice(
+                chooseRow0(static_cast<std::uint8_t>(orig)));
+        return t;
+    }();
+    return table;
+}
+
+/** (orig << 8 | prev) -> packed rows-1..7 choice. */
+const std::vector<std::uint16_t> &
+rowTable()
+{
+    static const std::vector<std::uint16_t> table = [] {
+        std::vector<std::uint16_t> t(65536);
+        for (unsigned orig = 0; orig < 256; ++orig)
+            for (unsigned prev = 0; prev < 256; ++prev)
+                t[(orig << 8) | prev] = packChoice(
+                    chooseRow(static_cast<std::uint8_t>(orig),
+                              static_cast<std::uint8_t>(prev)));
+        return t;
+    }();
+    return table;
+}
+
+} // anonymous namespace
 
 unsigned
 MilcSquare::zeroCount() const
@@ -19,65 +123,23 @@ MilcSquare::zeroCount() const
 MilcSquare
 MilcCode::encodeSquare(const std::array<std::uint8_t, 8> &rows)
 {
+    const std::array<std::uint16_t, 256> &t0 = row0Table();
+    const std::vector<std::uint16_t> &t = rowTable();
+
     MilcSquare sq{};
     std::uint8_t bi_col = 0;
     std::uint8_t xor_col = 0;
 
-    // Row 0: inverted (inv=1, free) vs original (inv=0, one mode zero).
-    {
-        const std::uint8_t orig = rows[0];
-        const auto inv = static_cast<std::uint8_t>(~orig);
-        if (zeroCount8(inv) <= zeroCount8(orig) + 1) {
-            sq.rows[0] = inv;
-            bi_col |= 1u;
-        } else {
-            sq.rows[0] = orig;
-        }
-    }
+    const std::uint16_t c0 = t0[rows[0]];
+    sq.rows[0] = static_cast<std::uint8_t>(c0);
+    bi_col |= static_cast<std::uint8_t>((c0 >> 8) & 1u);
 
-    // Rows 1..7: four candidates; cost = data zeros + mode-bit zeros.
     for (unsigned i = 1; i < 8; ++i) {
-        const std::uint8_t prev = rows[i - 1];
-        const std::uint8_t orig = rows[i];
-        const auto inv = static_cast<std::uint8_t>(~orig);
-        const auto xored = static_cast<std::uint8_t>(orig ^ prev);
-        const auto inv_xored = static_cast<std::uint8_t>(~xored);
-
-        struct Candidate
-        {
-            std::uint8_t value;
-            bool bi;  ///< Inv-mode bit: true = inverted.
-            bool xr;  ///< Xor-mode bit: true = no xor with previous row.
-            unsigned modeZeros;
-        };
-        // Listed in tie-break priority: on equal cost, prefer the
-        // xor-engaged candidate -- its mode zero lands in the xor
-        // column, where the xorbi bus-invert can erase it when the
-        // pattern repeats across rows.
-        const Candidate candidates[4] = {
-            {inv_xored, true, false, 1},
-            {inv, true, true, 0},
-            {orig, false, true, 1},
-            {xored, false, false, 2},
-        };
-
-        unsigned best = 0;
-        unsigned best_cost =
-            zeroCount8(candidates[0].value) + candidates[0].modeZeros;
-        for (unsigned k = 1; k < 4; ++k) {
-            const unsigned cost = zeroCount8(candidates[k].value) +
-                candidates[k].modeZeros;
-            if (cost < best_cost) {
-                best = k;
-                best_cost = cost;
-            }
-        }
-
-        sq.rows[i] = candidates[best].value;
-        if (candidates[best].bi)
-            bi_col |= std::uint8_t{1} << i;
-        if (candidates[best].xr)
-            xor_col |= std::uint8_t{1} << i;
+        const std::uint16_t c =
+            t[(unsigned{rows[i]} << 8) | rows[i - 1]];
+        sq.rows[i] = static_cast<std::uint8_t>(c);
+        bi_col |= static_cast<std::uint8_t>(((c >> 8) & 1u) << i);
+        xor_col |= static_cast<std::uint8_t>(((c >> 9) & 1u) << i);
     }
 
     // xorbi: DBI over the seven xor mode bits of rows 1..7. Inverting
@@ -87,6 +149,41 @@ MilcCode::encodeSquare(const std::array<std::uint8_t, 8> &rows)
     if (xor_zeros >= 4) {
         xor_col = static_cast<std::uint8_t>(~xor_col & 0xFE);
         // xorbi stays 0.
+    } else {
+        xor_col |= 1u;
+    }
+
+    sq.biColumn = bi_col;
+    sq.xorColumn = xor_col;
+    return sq;
+}
+
+MilcSquare
+MilcCode::encodeSquareRef(const std::array<std::uint8_t, 8> &rows)
+{
+    MilcSquare sq{};
+    std::uint8_t bi_col = 0;
+    std::uint8_t xor_col = 0;
+
+    {
+        const RowChoice c = chooseRow0(rows[0]);
+        sq.rows[0] = c.value;
+        if (c.bi)
+            bi_col |= 1u;
+    }
+
+    for (unsigned i = 1; i < 8; ++i) {
+        const RowChoice c = chooseRow(rows[i], rows[i - 1]);
+        sq.rows[i] = c.value;
+        if (c.bi)
+            bi_col |= std::uint8_t{1} << i;
+        if (c.xr)
+            xor_col |= std::uint8_t{1} << i;
+    }
+
+    const unsigned xor_zeros = 7 - popcount(xor_col >> 1);
+    if (xor_zeros >= 4) {
+        xor_col = static_cast<std::uint8_t>(~xor_col & 0xFE);
     } else {
         xor_col |= 1u;
     }

@@ -63,8 +63,20 @@ class MilcCode : public Code
     BusFrame encode(LineView line) const override;
     Line decode(const BusFrame &frame) const override;
 
-    /** Encode one 8-row square (rows are original data bytes). */
+    /**
+     * Encode one 8-row square (rows are original data bytes).
+     * Table-driven: a 256-entry row-0 table and a 64K-entry
+     * (orig, prev) table resolve each row's best candidate with one
+     * lookup. Built at first use from encodeSquareRef's row logic.
+     */
     static MilcSquare encodeSquare(const std::array<std::uint8_t, 8> &rows);
+
+    /**
+     * The branch-based reference encoder (candidate costs evaluated
+     * per row) that tests compare the table-driven path against.
+     */
+    static MilcSquare
+    encodeSquareRef(const std::array<std::uint8_t, 8> &rows);
 
     /** Decode one square back to its original rows. */
     static std::array<std::uint8_t, 8>

@@ -1,5 +1,8 @@
 #include "three_lwc.hh"
 
+#include <array>
+#include <bit>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -20,12 +23,47 @@ oneHot15(unsigned nibble)
 unsigned
 fromOneHot15(std::uint32_t oh)
 {
-    if (oh == 0)
-        return 0;
-    unsigned pos = 0;
-    while (!((oh >> pos) & 1))
-        ++pos;
-    return pos + 1;
+    return oh == 0
+        ? 0u
+        : static_cast<unsigned>(std::countr_zero(oh)) + 1;
+}
+
+/** byte -> (code, mode), built once from the reference encoder. */
+const std::array<Lwc17, 256> &
+encodeTable()
+{
+    static const std::array<Lwc17, 256> table = [] {
+        std::array<Lwc17, 256> t{};
+        for (unsigned b = 0; b < 256; ++b)
+            t[b] = ThreeLwcCode::encodeByteRef(
+                static_cast<std::uint8_t>(b));
+        return t;
+    }();
+    return table;
+}
+
+/**
+ * 17-bit wire image -> decoded byte, -1 for invalid codewords. Every
+ * codeword decodeByte accepts is in the image of the encoder (the
+ * weight/mode cases of Table 1 are exactly the encoder's outputs), so
+ * a -1 means the reference path would panic -- the fallback exists to
+ * reproduce that panic's diagnosis, not to decode more patterns.
+ */
+const std::array<std::int16_t, std::size_t{1} << 17> &
+decodeTable()
+{
+    static const std::array<std::int16_t, std::size_t{1} << 17>
+        table = [] {
+            std::array<std::int16_t, std::size_t{1} << 17> t;
+            t.fill(-1);
+            for (unsigned b = 0; b < 256; ++b) {
+                const Lwc17 enc = ThreeLwcCode::encodeByteRef(
+                    static_cast<std::uint8_t>(b));
+                t[enc.wireBits()] = static_cast<std::int16_t>(b);
+            }
+            return t;
+        }();
+    return table;
 }
 
 } // anonymous namespace
@@ -43,6 +81,12 @@ fromOneHot15(std::uint32_t oh)
  */
 Lwc17
 ThreeLwcCode::encodeByte(std::uint8_t data)
+{
+    return encodeTable()[data];
+}
+
+Lwc17
+ThreeLwcCode::encodeByteRef(std::uint8_t data)
 {
     const unsigned left = (data >> 4) & 0xF;
     const unsigned right = data & 0xF;
@@ -114,6 +158,9 @@ ThreeLwcCode::decodeByte(const Lwc17 &enc)
 std::uint8_t
 ThreeLwcCode::decodeWire(std::uint32_t wire_bits)
 {
+    const std::int16_t v = decodeTable()[wire_bits & 0x1FFFFu];
+    if (v >= 0)
+        return static_cast<std::uint8_t>(v);
     const std::uint32_t raw = ~wire_bits & 0x1FFFFu;
     Lwc17 enc{raw & 0x7FFFu, static_cast<std::uint8_t>((raw >> 15) & 0x3u)};
     return decodeByte(enc);
@@ -136,8 +183,8 @@ ThreeLwcCode::encode(LineView line) const
         for (unsigned j = 0; j < 8; ++j) {
             const std::uint32_t wire = encodeByte(line[j * 8 + c])
                 .wireBits();
-            for (unsigned t = 0; t < 17; ++t)
-                frame.setLinearBit(pos++, bit(wire, t));
+            frame.setLinearField(pos, 17, wire);
+            pos += 17;
         }
     }
     return frame;
@@ -150,9 +197,9 @@ ThreeLwcCode::decode(const BusFrame &frame) const
     std::uint64_t pos = 0;
     for (unsigned c = 0; c < 8; ++c) {
         for (unsigned j = 0; j < 8; ++j) {
-            std::uint32_t wire = 0;
-            for (unsigned t = 0; t < 17; ++t)
-                wire = setBit(wire, t, frame.linearBit(pos++));
+            const auto wire =
+                static_cast<std::uint32_t>(frame.linearField(pos, 17));
+            pos += 17;
             line[j * 8 + c] = decodeWire(wire);
         }
     }

@@ -57,13 +57,30 @@ class ThreeLwcCode : public Code
     BusFrame encode(LineView line) const override;
     Line decode(const BusFrame &frame) const override;
 
-    /** Encode one byte to its 17-bit (code, mode) form. */
+    /**
+     * Encode one byte to its 17-bit (code, mode) form. Table-driven
+     * (256 entries built from encodeByteRef at first use).
+     */
     static Lwc17 encodeByte(std::uint8_t data);
 
-    /** Decode a 17-bit (code, mode) form back to the byte. */
+    /**
+     * The branch-based reference encoder that builds the table and
+     * that tests compare the table against.
+     */
+    static Lwc17 encodeByteRef(std::uint8_t data);
+
+    /**
+     * Decode a 17-bit (code, mode) form back to the byte. This is the
+     * branch-based reference path; it panics on invalid codewords
+     * with a weight/mode diagnosis.
+     */
     static std::uint8_t decodeByte(const Lwc17 &enc);
 
-    /** Decode from the complemented wire image. */
+    /**
+     * Decode from the complemented wire image. Table-driven (a
+     * 2^17-entry wire -> byte map); invalid wire patterns fall back
+     * to decodeByte for its diagnostic panic.
+     */
     static std::uint8_t decodeWire(std::uint32_t wire_bits);
 
     /** Zeros on the wire for one encoded byte (at most 3). */

@@ -27,6 +27,14 @@ inline constexpr std::size_t lineBits = lineBytes * 8;
 /** A value that never compares equal to a real cycle. */
 inline constexpr Cycle invalidCycle = ~Cycle{0};
 
+/**
+ * "No future event": returned by a component's nextEventCycle() when
+ * nothing it models can change its state on any future cycle. Equal to
+ * invalidCycle so min-reductions over event candidates need no special
+ * case.
+ */
+inline constexpr Cycle kCycleNever = invalidCycle;
+
 /** A value that never compares equal to a real address. */
 inline constexpr Addr invalidAddr = ~Addr{0};
 

@@ -775,4 +775,186 @@ MemoryController::busy() const
         !busBursts_.empty();
 }
 
+Cycle
+MemoryController::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    // Action candidates: cycles at which the controller would *do*
+    // something at a tick. A candidate at or before now means the
+    // action was ready this cycle but lost the command slot (or the
+    // serve-writes arbitration), so it must be retried next cycle.
+    auto considerAction = [&](Cycle c) {
+        if (c == invalidCycle)
+            return;
+        next = std::min(next, std::max(c, now + 1));
+    };
+    // Boundary candidates: timestamps at which per-cycle bookkeeping
+    // changes classification (refresh windows ending, power-down
+    // countdowns expiring). A boundary in the past is spent and must
+    // NOT pin the next event to now + 1.
+    auto considerBoundary = [&](Cycle c) {
+        if (c > now)
+            next = std::min(next, c);
+    };
+
+    for (const auto &resp : responses_)
+        considerAction(resp.when);
+
+    // The bus falling idle is observable: busy() (and with it the
+    // simulation's all-done check) stays true until the tail burst is
+    // retired, and a write burst has no response to force a tick.
+    if (!busBursts_.empty())
+        considerBoundary(busBursts_.back().end);
+
+    // Scheduling horizon of every queued request. Scanning both
+    // queues regardless of the drain mode is conservative: an early
+    // tick is a no-op, and serve-writes arbitration only flips at
+    // tick cycles anyway.
+    auto scanQueue = [&](const std::deque<Entry> &q) {
+        for (const auto &e : q) {
+            if (next == now + 1)
+                return;
+            considerAction(earliestColumn(e, now));
+            considerAction(earliestActivate(e, now));
+            considerAction(earliestPrecharge(e, now));
+        }
+    };
+    scanQueue(readQ_);
+    scanQueue(writeQ_);
+
+    if (config_.refreshEnabled) {
+        for (const auto &rank : ranks_) {
+            if (!rank.refreshPending) {
+                // tryRefresh arms the quiesce at this deadline.
+                considerAction(rank.nextRefresh);
+                continue;
+            }
+            // Quiescing: each allowed PRE consumes one command slot;
+            // once all banks are closed the REF issues when the last
+            // precharge's tRP expires.
+            Cycle ready = now + 1;
+            bool all_closed = true;
+            for (const auto &b : rank.banks) {
+                if (b.open) {
+                    all_closed = false;
+                    considerAction(b.nextPre);
+                } else {
+                    ready = std::max(ready, b.nextAct);
+                }
+            }
+            if (all_closed)
+                considerAction(ready);
+        }
+    }
+
+    if (config_.powerDownEnabled) {
+        for (unsigned r = 0; r < static_cast<unsigned>(ranks_.size());
+             ++r) {
+            const RankState &rank = ranks_[r];
+            // managePowerDown's activity predicate can flip between
+            // ticks only at these time edges; ticking at each keeps
+            // idleSince, the entry cycle, and the pre-refresh wakeup
+            // identical to per-cycle mode.
+            considerBoundary(rank.refreshUntil);
+            if (rank.poweredDown) {
+                // managePowerDown initiates the wake (starting the
+                // tXP countdown) at the first tick where the rank has
+                // work, so evaluate its activity predicate at now + 1
+                // and tick there if it already fires. The only term
+                // that can newly fire later is the pre-refresh
+                // wakeup, covered by the boundary below.
+                bool active = rankPending_[r] > 0 ||
+                    rank.refreshPending ||
+                    now + 1 < rank.refreshUntil ||
+                    now + 1 + config_.powerDownIdleCycles >=
+                        rank.nextRefresh;
+                for (const auto &b : rank.banks) {
+                    if (active)
+                        break;
+                    active = b.open;
+                }
+                if (active)
+                    considerAction(now + 1);
+            } else {
+                considerBoundary(rank.idleSince +
+                                 config_.powerDownIdleCycles);
+            }
+            if (config_.refreshEnabled &&
+                rank.nextRefresh >= config_.powerDownIdleCycles) {
+                considerBoundary(rank.nextRefresh -
+                                 config_.powerDownIdleCycles);
+            }
+        }
+    }
+
+    return next;
+}
+
+void
+MemoryController::skipTo(Cycle now)
+{
+    mil_assert(ticked_, "skipTo before the first tick");
+    mil_assert(now > lastTick_, "skipTo must move time forward");
+    const Cycle first = lastTick_ + 1;
+    const Cycle skipped = now - first; // Cycles never ticked.
+    if (skipped == 0)
+        return;
+
+    // Reproduce accountCycle() for [first, now) in O(ranks + bursts).
+    // No command, enqueue, response, or power-mode event lies in the
+    // window (the nextEventCycle contract), so queue occupancy, bank
+    // state, and power-down mode are constant across it and only the
+    // time-interval overlaps need real arithmetic.
+    stats_.totalCycles += skipped;
+
+    Cycle busy = 0;
+    for (const auto &b : busBursts_) {
+        const Cycle lo = std::max(b.start, first);
+        const Cycle hi = std::min(b.end, now);
+        if (hi > lo)
+            busy += hi - lo;
+    }
+    while (!busBursts_.empty() && busBursts_.front().end < now)
+        busBursts_.pop_front();
+    const Cycle idle = skipped - busy;
+    if (!readQ_.empty() || !writeQ_.empty())
+        stats_.idlePendingCycles += idle;
+    else
+        stats_.idleNoPendingCycles += idle;
+
+    for (auto &rank : ranks_) {
+        const Cycle refresh = rank.refreshUntil > first
+            ? std::min(rank.refreshUntil, now) - first
+            : 0;
+        stats_.rankRefreshCycles += refresh;
+        const Cycle rest = skipped - refresh;
+        if (rank.poweredDown) {
+            stats_.rankPowerDownCycles += rest;
+        } else {
+            bool any_open = false;
+            for (const auto &b : rank.banks) {
+                if (b.open) {
+                    any_open = true;
+                    break;
+                }
+            }
+            if (any_open)
+                stats_.rankActiveStandbyCycles += rest;
+            else
+                stats_.rankPrechargeStandbyCycles += rest;
+        }
+
+        // managePowerDown refreshes idleSince on every active cycle;
+        // mid-skip the only activity source that can lapse is an
+        // in-progress refresh, so its final cycle is the last one a
+        // per-cycle run would have stamped.
+        if (config_.powerDownEnabled && rank.refreshUntil > first) {
+            rank.idleSince = std::max(
+                rank.idleSince, std::min(rank.refreshUntil, now) - 1);
+        }
+    }
+
+    lastTick_ = now - 1;
+}
+
 } // namespace mil

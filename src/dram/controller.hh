@@ -97,6 +97,26 @@ class MemoryController
     /** Advance one controller cycle. Must be called with now == last+1. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle (> @p now) at which this controller's
+     * state can change: a response maturing, a command's timing
+     * constraints expiring, a refresh deadline, or a power-down
+     * boundary. Returns kCycleNever when nothing is pending. Call
+     * after tick(now); the contract (asserted by the lockstep tests)
+     * is that ticking every cycle strictly between now and the
+     * returned value is observationally a no-op apart from the
+     * per-cycle accounting that skipTo() reproduces in bulk.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Jump the controller clock so the next tick may be @p now:
+     * bulk-accounts the skipped cycles (lastTick+1 .. now-1) exactly
+     * as per-cycle ticking would have, assuming no event lies in that
+     * range (the nextEventCycle contract). Does not tick @p now.
+     */
+    void skipTo(Cycle now);
+
     /** Work outstanding (queued requests or in-flight responses)? */
     bool busy() const;
 

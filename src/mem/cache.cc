@@ -464,4 +464,69 @@ Cache::busy() const
     return !mshrs_.empty() || !sendQueue_.empty() || !responses_.empty();
 }
 
+Cycle
+Cache::nextEventCycle(Cycle now) const
+{
+    for (const auto &acc : sendQueue_)
+        if (downstream_->wouldAccept(acc))
+            return now + 1;
+    if (prefetcher_ != nullptr && prefetcher_->hasPending())
+        return now + 1;
+    Cycle next = kCycleNever;
+    for (const auto &r : responses_)
+        next = std::min(next, std::max(r.when, now + 1));
+    return next;
+}
+
+void
+Cache::skipTo(Cycle now)
+{
+    const Cycle skipped = now - now_ - 1;
+    if (skipped == 0 || sendQueue_.empty())
+        return;
+    downstream_->noteBlockedRetries(sendQueue_.size() * skipped);
+}
+
+bool
+Cache::wouldAccept(const MemAccess &acc) const
+{
+    // Mirrors access() decision for decision, with no side effects;
+    // keep the two in lockstep when touching either.
+    if (acc.isWriteback)
+        return true;
+
+    const Way *way = findWay(acc.lineAddr);
+    if (way != nullptr) {
+        if (params_.inclusiveOfL1s && !acc.isPrefetch &&
+            pendingGrants_.count(acc.lineAddr)) {
+            return false;
+        }
+        const bool needs_upgrade =
+            acc.isWrite && !params_.inclusiveOfL1s && !way->writable;
+        if (!needs_upgrade)
+            return true;
+        // An upgrade takes the miss path below.
+    }
+
+    auto it = mshrs_.find(acc.lineAddr);
+    if (it != mshrs_.end()) {
+        const auto &entry = it->second;
+        if (params_.inclusiveOfL1s && !acc.isPrefetch) {
+            const bool write_involved = acc.isWrite ||
+                entry.needsWritable;
+            for (const auto &t : entry.targets) {
+                if (write_involved && t.core != acc.core)
+                    return false;
+            }
+        }
+        if (!acc.isPrefetch && acc.isWrite && !entry.needsWritable &&
+            !params_.inclusiveOfL1s) {
+            return false;
+        }
+        return true;
+    }
+
+    return mshrs_.size() < params_.mshrs;
+}
+
 } // namespace mil

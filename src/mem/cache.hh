@@ -97,8 +97,35 @@ class Cache : public MemLevel, public MemClient
 
     // MemLevel interface.
     bool access(const MemAccess &acc, MemClient *client) override;
+    bool wouldAccept(const MemAccess &acc) const override;
+
+    void
+    noteBlockedRetries(std::uint64_t count) override
+    {
+        stats_.blockedAccesses += count;
+    }
+
     void tick(Cycle now) override;
     bool busy() const override;
+
+    /**
+     * Earliest future cycle (> @p now) at which this cache will act
+     * on its own: the nearest matured response, a queued send the
+     * downstream would accept, or pending prefetches to inject.
+     * Sends the downstream would reject contribute no event -- the
+     * acceptance state can only flip at one of the downstream's own
+     * event cycles, which tick this cache too.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Replay the observable side effects of the per-cycle loop over
+     * the skipped range (now_ + 1, @p now): each skipped cycle would
+     * have retried every queued send and been rejected (a send that
+     * could succeed forces an event instead), bumping the
+     * downstream's blocked-access counter.
+     */
+    void skipTo(Cycle now);
 
     // MemClient interface (fills arriving from downstream).
     void accessDone(std::uint64_t token, Cycle now) override;

@@ -109,6 +109,9 @@ Core::tryIssue(Thread &t, unsigned tid, Cycle now)
 void
 Core::tick(Cycle now)
 {
+    lastTick_ = now;
+    ticked_ = true;
+
     // Progress compute gaps on every live thread.
     for (auto &t : threads_) {
         if (t.opValid && !t.blocked && t.gapLeft > 0)
@@ -129,6 +132,81 @@ Core::tick(Cycle now)
     rrNext_ = n == 0 ? 0 : (rrNext_ + 1) % n;
     if (issued == 0)
         ++stats_.stallCycles;
+}
+
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    for (const auto &t : threads_) {
+        if (!t.opValid || t.blocked)
+            continue;
+        if (t.gapLeft == 0) {
+            // Ready but not issued this tick. A load stopped only by
+            // its full outstanding window is side-effect-free to
+            // retry, and only an L1 response (a cache event) can open
+            // the window -- skippable. A thread the L1 keeps turning
+            // away is skippable too: each rejected retry only bumps
+            // counters (retryCycles here, blockedAccesses at the L1),
+            // which skipTo() replays in bulk, and the L1's verdict is
+            // frozen until one of its own events -- which tick this
+            // core as well. A thread the L1 *would* accept issues next
+            // cycle, so it is a real event.
+            const bool window_full = !t.op.isWrite &&
+                t.outstanding >= params_.maxOutstandingLoads;
+            if (window_full)
+                continue;
+            MemAccess acc;
+            acc.lineAddr =
+                t.op.addr & ~static_cast<Addr>(lineBytes - 1);
+            acc.isWrite = t.op.isWrite;
+            acc.core = id_;
+            if (l1_->wouldAccept(acc))
+                return now + 1;
+            continue;
+        }
+        next = std::min(next, now + t.gapLeft);
+    }
+    return next;
+}
+
+void
+Core::skipTo(Cycle now)
+{
+    mil_assert(ticked_, "skipTo before the first tick");
+    mil_assert(now > lastTick_, "skipTo must move time forward");
+    const Cycle skipped = now - lastTick_ - 1;
+    if (skipped == 0)
+        return;
+
+    for (auto &t : threads_) {
+        if (t.opValid && !t.blocked && t.gapLeft > 0) {
+            mil_assert(t.gapLeft > skipped,
+                       "compute gap expired inside a skipped range");
+            t.gapLeft -= skipped;
+        }
+    }
+    // No thread can issue mid-skip (nextEventCycle contract), so each
+    // skipped cycle is a stall and advances the round-robin pointer.
+    // Ready threads that stayed ready were therefore L1-rejected on
+    // every skipped cycle: replay the per-attempt counters in bulk.
+    std::uint64_t rejected = 0;
+    for (const auto &t : threads_) {
+        if (!t.opValid || t.blocked || t.gapLeft > 0)
+            continue;
+        const bool window_full = !t.op.isWrite &&
+            t.outstanding >= params_.maxOutstandingLoads;
+        if (!window_full)
+            ++rejected;
+    }
+    if (rejected > 0) {
+        stats_.retryCycles += rejected * skipped;
+        l1_->noteBlockedRetries(rejected * skipped);
+    }
+    stats_.stallCycles += skipped;
+    const unsigned n = static_cast<unsigned>(threads_.size());
+    rrNext_ = static_cast<unsigned>((rrNext_ + skipped % n) % n);
+    lastTick_ = now - 1;
 }
 
 void

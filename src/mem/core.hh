@@ -66,6 +66,26 @@ class Core : public MemClient
     /** Advance one cycle: progress gaps, issue ready ops. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle (> @p now) at which this core could issue
+     * an op or retry a rejected one: the nearest compute-gap expiry,
+     * or now + 1 while any thread is issue-ready (the retry itself
+     * has observable side effects). Threads waiting on an L1 response
+     * or a full load window contribute nothing -- the cache response
+     * that unblocks them is the cache's event. kCycleNever when every
+     * thread is finished or blocked.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Jump the core clock so the next tick may be @p now, bulk-
+     * applying the per-cycle effects of the skipped range: compute
+     * gaps shrink, the round-robin pointer advances, and every
+     * skipped cycle counts as a stall (nothing can issue mid-skip by
+     * the nextEventCycle contract).
+     */
+    void skipTo(Cycle now);
+
     /** All threads finished and no loads in flight? */
     bool done() const;
 
@@ -98,6 +118,8 @@ class Core : public MemClient
     FunctionalMemory *mem_;
     std::vector<Thread> threads_;
     unsigned rrNext_ = 0;
+    Cycle lastTick_ = 0;
+    bool ticked_ = false;
     CoreStats stats_;
 };
 

@@ -31,8 +31,24 @@ class DramPort : public MemLevel, public MemResponseSink
 
     // MemLevel interface.
     bool access(const MemAccess &acc, MemClient *client) override;
+
+    /** access() rejects exactly when the target channel is full. */
+    bool
+    wouldAccept(const MemAccess &acc) const override
+    {
+        const unsigned channel = map_.channelOf(acc.lineAddr);
+        return controllers_[channel]->canAccept(acc.isWriteback);
+    }
+
     void tick(Cycle now) override;
     bool busy() const override;
+
+    /**
+     * The port itself is a combinational adapter: responses fan out
+     * the moment a controller delivers them, so it never originates
+     * an event of its own (the controllers are polled directly).
+     */
+    Cycle nextEventCycle(Cycle /* now */) const { return kCycleNever; }
 
     // MemResponseSink interface.
     void memResponse(ReqId id, const Line &data, Cycle when) override;

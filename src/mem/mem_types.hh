@@ -59,6 +59,30 @@ class MemLevel
      */
     virtual bool access(const MemAccess &acc, MemClient *client) = 0;
 
+    /**
+     * Would access() return true for @p acc this cycle? Must be free
+     * of side effects and agree exactly with access()'s verdict on
+     * the current state. The event-driven loop uses it to tell a
+     * sendable retry (a real next-cycle action) from a hopeless one
+     * (woken later by this level's own events). The default is
+     * conservatively true: callers then tick-and-retry every cycle,
+     * which is always correct, just slower.
+     */
+    virtual bool wouldAccept(const MemAccess & /* acc */) const
+    {
+        return true;
+    }
+
+    /**
+     * Bulk-account @p count retry calls that per-cycle ticking would
+     * have made -- and this level would have rejected -- during a
+     * skipped range. Levels whose rejections are observable (counted
+     * in stats) replay them here so both loop modes stay
+     * bit-identical; the default no-op is for levels that reject
+     * statelessly.
+     */
+    virtual void noteBlockedRetries(std::uint64_t /* count */) {}
+
     /** Advance one cycle. */
     virtual void tick(Cycle now) = 0;
 

@@ -55,6 +55,9 @@ class Prefetcher
      */
     void drainPending(std::vector<Addr> &out);
 
+    /** Prefetches waiting to be drained (the cache must tick soon). */
+    bool hasPending() const { return !pending_.empty(); }
+
     const PrefetcherStats &stats() const { return stats_; }
 
   private:

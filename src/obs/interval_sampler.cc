@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "common/logging.hh"
 #include "common/sim_error.hh"
 
 namespace mil::obs
@@ -27,6 +28,22 @@ IntervalSampler::tick(Cycle now)
     ++ticksInInterval_;
     if (ticksInInterval_ >= interval_)
         closeInterval();
+}
+
+void
+IntervalSampler::skipTo(Cycle now)
+{
+    if (finished_)
+        return;
+    const Cycle skipped = now - lastTick_ - 1;
+    if (skipped == 0)
+        return;
+    if (ticksInInterval_ == 0)
+        intervalStart_ = lastTick_ + 1;
+    ticksInInterval_ += skipped;
+    mil_assert(ticksInInterval_ < interval_,
+               "skip crossed an interval boundary");
+    lastTick_ = now - 1;
 }
 
 void

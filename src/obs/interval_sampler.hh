@@ -56,6 +56,24 @@ class IntervalSampler
     /** Advance one cycle; closes an interval when N cycles elapsed. */
     void tick(Cycle now);
 
+    /**
+     * Next cycle whose tick closes an interval. Skipping to (but not
+     * past) it and ticking there reproduces per-cycle sampling
+     * exactly, because intermediate ticks only count cycles.
+     */
+    Cycle
+    nextEventCycle(Cycle /* now */) const
+    {
+        return lastTick_ + (interval_ - ticksInInterval_);
+    }
+
+    /**
+     * Jump the sampler clock so the next tick may be @p now,
+     * crediting the skipped cycles to the current interval. The
+     * caller must not skip across an interval boundary (asserted).
+     */
+    void skipTo(Cycle now);
+
     /** Flush the final partial interval (idempotent). */
     void finish();
 

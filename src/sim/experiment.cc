@@ -21,7 +21,7 @@ RunSpec::key() const
     return system + "/" + workload + "/" + policy + "/X" +
         std::to_string(lookahead) + "/" + std::to_string(opsPerThread) +
         "/" + std::to_string(scale) + "/S" + std::to_string(seed) +
-        "/B" + std::to_string(ber);
+        "/B" + std::to_string(ber) + (eventDriven ? "" : "/noskip");
 }
 
 std::unique_ptr<CodingPolicy>
@@ -154,6 +154,7 @@ runSpecFresh(const RunSpec &spec, const RunObservers &observers)
     const RunSpec s = canonicalize(spec);
 
     SystemConfig config = makeSystemConfig(s.system);
+    config.eventDriven = s.eventDriven;
     if (s.ber != 0.0) {
         config.controller.faultModel.ber = s.ber;
         if (s.seed != 0)

@@ -40,6 +40,14 @@ struct RunSpec
      */
     double ber = 0.0;
 
+    /**
+     * Run with event-driven cycle skipping (the default) or the
+     * per-cycle oracle loop. Results are bit-identical either way
+     * (asserted by tests and CI), so the mode only appears in key()
+     * when set to the non-default -- existing memo keys are stable.
+     */
+    bool eventDriven = true;
+
     std::string key() const;
 };
 

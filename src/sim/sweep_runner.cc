@@ -55,6 +55,7 @@ SweepGrid::expand() const
                 spec.opsPerThread = opsPerThread;
                 spec.scale = scale;
                 spec.ber = ber;
+                spec.eventDriven = eventDriven;
                 if (baseSeed != 0)
                     spec.seed = deriveSeed(baseSeed, specs.size());
                 specs.push_back(std::move(spec));

@@ -51,6 +51,12 @@ struct SweepGrid
      */
     double ber = 0.0;
 
+    /**
+     * Event-driven cycle skipping for every cell (see
+     * RunSpec::eventDriven); false runs the per-cycle oracle loop.
+     */
+    bool eventDriven = true;
+
     /** Number of cells in the cross product. */
     std::size_t size() const;
 

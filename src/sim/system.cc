@@ -215,6 +215,15 @@ System::run(Cycle max_cycles)
         return ops;
     };
 
+    // Watchdog sampling is relative ("1M cycles since the last
+    // check"), not `now & mask`: an absolute-alignment check would
+    // silently stop firing once the event-driven loop skips over the
+    // aligned cycles. The next check is an event candidate, so both
+    // loop modes check -- and, on a livelock, throw -- at identical
+    // cycles.
+    constexpr Cycle check_interval = Cycle{1} << 20;
+    Cycle last_check = 0;
+
     while (now < max_cycles) {
         for (auto &ctrl : controllers_)
             ctrl->tick(now);
@@ -236,7 +245,8 @@ System::run(Cycle max_cycles)
         // (one scan every ~1M cycles) and raises a recoverable
         // StallError carrying the pending-request state, so a sweep
         // records the stall in one cell and the siblings finish.
-        if ((now & 0xFFFFF) == 0) {
+        if (now - last_check >= check_interval) {
+            last_check = now;
             const std::uint64_t ops = retired();
             if (config_.watchdogStallCycles != 0 &&
                 ops == last_progress_ops && now > last_progress_cycle &&
@@ -256,7 +266,30 @@ System::run(Cycle max_cycles)
                 last_progress_cycle = now;
             }
         }
-        ++now;
+
+        Cycle next = now + 1;
+        if (config_.eventDriven) {
+            next = nextEventCycle(now);
+            if (config_.watchdogStallCycles != 0)
+                next = std::min(next, last_check + check_interval);
+            next = std::min(next, max_cycles);
+            next = std::max(next, now + 1);
+            if (next > now + 1) {
+                // Bulk-account the skipped range so stats, compute
+                // gaps, and sampler intervals match the per-cycle
+                // loop bit for bit.
+                for (auto &ctrl : controllers_)
+                    ctrl->skipTo(next);
+                l2_->skipTo(next);
+                for (auto &l1 : l1s_)
+                    l1->skipTo(next);
+                for (auto &core : cores_)
+                    core->skipTo(next);
+                if (sampler_ != nullptr)
+                    sampler_->skipTo(next);
+            }
+        }
+        now = next;
     }
 
     if (sampler_ != nullptr)
@@ -287,6 +320,36 @@ System::run(Cycle max_cycles)
                                         config_.timing.clockNs);
     result.systemEnergy = system_power.energy(now, result.dramEnergy);
     return result;
+}
+
+Cycle
+System::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    auto consider = [&](Cycle c) {
+        if (c < next)
+            next = c;
+        return next <= now + 1;
+    };
+    for (const auto &core : cores_) {
+        if (consider(core->nextEventCycle(now)))
+            return now + 1;
+    }
+    for (const auto &l1 : l1s_) {
+        if (consider(l1->nextEventCycle(now)))
+            return now + 1;
+    }
+    if (consider(l2_->nextEventCycle(now)))
+        return now + 1;
+    if (consider(port_->nextEventCycle(now)))
+        return now + 1;
+    if (sampler_ != nullptr && consider(sampler_->nextEventCycle(now)))
+        return now + 1;
+    for (const auto &ctrl : controllers_) {
+        if (consider(ctrl->nextEventCycle(now)))
+            return now + 1;
+    }
+    return next;
 }
 
 std::string

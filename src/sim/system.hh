@@ -109,6 +109,14 @@ class System
     /** Pending-request dump the stall watchdog attaches to its error. */
     std::string stallDiagnostic(Cycle now, std::uint64_t ops) const;
 
+    /**
+     * Minimum of every component's nextEventCycle after the ticks of
+     * cycle @p now: the next cycle the event-driven loop must tick.
+     * Cheap sources (cores, caches) are polled first so a now + 1
+     * answer short-circuits the controller queue scans.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     SystemConfig config_;
     CodingPolicy *policy_;
     obs::TraceSink *sink_ = nullptr;

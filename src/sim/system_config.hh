@@ -48,6 +48,17 @@ struct SystemConfig
      */
     Cycle watchdogStallCycles = 4'000'000;
 
+    /**
+     * Event-driven cycle skipping: System::run jumps straight to the
+     * earliest cycle any component reports it can act (see
+     * nextEventCycle on the controller, caches, cores, and sampler)
+     * instead of ticking every cycle. Results are bit-identical to
+     * the per-cycle loop (asserted by tests/sim/test_event_driven.cc
+     * and the CI smoke job); turn it off (milsim/milsweep --no-skip)
+     * to run the per-cycle oracle.
+     */
+    bool eventDriven = true;
+
     /** Niagara-like DDR4-3200 microserver (Table 2, right column). */
     static SystemConfig microserver();
 

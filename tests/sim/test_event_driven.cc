@@ -1,0 +1,720 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dram/controller.hh"
+#include "mem/cache.hh"
+#include "mem/core.hh"
+#include "mil/policies.hh"
+#include "obs/interval_sampler.hh"
+#include "obs/metrics.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/sweep_runner.hh"
+
+/*
+ * Event-driven cycle skipping is an optimization, not a model change:
+ * every run must be bit-identical to the per-cycle oracle loop
+ * (SystemConfig::eventDriven = false / milsim --no-skip). These tests
+ * pin that down at two granularities:
+ *
+ *  - whole-system determinism: identical result rows, sweep CSV
+ *    bytes, Chrome-trace bytes, and sampler time series across modes;
+ *  - per-component lockstep: each tickable component, driven at only
+ *    its own nextEventCycle() cycles (with skipTo() bridging the
+ *    gaps), reproduces the state trajectory of ticking every cycle.
+ */
+
+namespace mil
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Whole-system determinism.
+// ---------------------------------------------------------------------
+
+class EventDrivenEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setenv("MIL_OPS_PER_THREAD", "150", 1);
+        setenv("MIL_SCALE", "0.1", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("MIL_OPS_PER_THREAD");
+        unsetenv("MIL_SCALE");
+    }
+};
+
+/** Serialize every reported metric of one fresh run into a CSV row. */
+std::string
+resultRow(RunSpec spec, bool event_driven)
+{
+    spec.eventDriven = event_driven;
+    const SimResult r = runSpecFresh(spec);
+    std::ostringstream os;
+    CsvReporter::writeRow(os, spec.system, spec.workload, spec.policy,
+                          r);
+    return os.str();
+}
+
+TEST_F(EventDrivenEnv, ResultRowsIdenticalAcrossModes)
+{
+    std::vector<RunSpec> specs(4);
+    specs[0].workload = "MM";
+    specs[0].policy = "MiL";
+    specs[1].workload = "GUPS";
+    specs[1].policy = "DBI";
+    specs[2].workload = "MG";
+    specs[2].policy = "3LWC";
+    specs[3].system = "lpddr3";
+    specs[3].workload = "ART";
+    specs[3].policy = "MiL-adaptive";
+    for (const auto &spec : specs) {
+        EXPECT_EQ(resultRow(spec, true), resultRow(spec, false))
+            << spec.key();
+    }
+}
+
+TEST_F(EventDrivenEnv, FaultInjectionIdenticalAcrossModes)
+{
+    RunSpec spec;
+    spec.workload = "CG";
+    spec.policy = "3LWC";
+    spec.ber = 1e-6;
+    EXPECT_EQ(resultRow(spec, true), resultRow(spec, false));
+}
+
+/** runSpecFresh with tracing and sampling, returning all bytes. */
+struct ObservedRun
+{
+    std::string row;
+    std::string traceJson;
+    std::string samples;
+};
+
+ObservedRun
+observedRun(RunSpec spec, bool event_driven)
+{
+    spec.eventDriven = event_driven;
+    const std::string trace_path =
+        ::testing::TempDir() + "event_driven_" +
+        (event_driven ? "skip" : "noskip") + ".json";
+
+    RunObservers obs;
+    obs.traceJsonPath = trace_path;
+    std::ostringstream samples;
+    obs.sampleInterval = 512;
+    obs.sampleCsv = &samples;
+
+    const SimResult r = runSpecFresh(spec, obs);
+
+    ObservedRun out;
+    std::ostringstream os;
+    CsvReporter::writeRow(os, spec.system, spec.workload, spec.policy,
+                          r);
+    out.row = os.str();
+    std::ifstream is(trace_path, std::ios::binary);
+    out.traceJson.assign(std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>());
+    std::remove(trace_path.c_str());
+    out.samples = samples.str();
+    return out;
+}
+
+TEST_F(EventDrivenEnv, TraceAndSamplerBytesIdenticalAcrossModes)
+{
+    RunSpec spec;
+    spec.workload = "OCEAN";
+    spec.policy = "MiL";
+    const ObservedRun skip = observedRun(spec, true);
+    const ObservedRun oracle = observedRun(spec, false);
+    EXPECT_EQ(skip.row, oracle.row);
+    EXPECT_FALSE(skip.traceJson.empty());
+    EXPECT_EQ(skip.traceJson, oracle.traceJson);
+    EXPECT_FALSE(skip.samples.empty());
+    EXPECT_EQ(skip.samples, oracle.samples);
+}
+
+TEST_F(EventDrivenEnv, PowerDownIdenticalAcrossModes)
+{
+    // Power-down entry/wake is the subtlest skipping case (the
+    // activity predicate is evaluated per cycle in the oracle loop),
+    // so it gets a direct System-level identity check.
+    auto run = [](bool event_driven) {
+        SystemConfig config = makeSystemConfig("ddr4");
+        config.controller.powerDownEnabled = true;
+        config.eventDriven = event_driven;
+        WorkloadConfig wc;
+        wc.scale = 0.1;
+        const auto wl = makeWorkload("SWIM", wc);
+        const auto policy = makePolicy("DBI");
+        System system(config, *wl, policy.get(), 150);
+        const SimResult r = system.run();
+        std::ostringstream os;
+        CsvReporter::writeRow(os, "ddr4", "SWIM", "DBI", r);
+        return os.str();
+    };
+    EXPECT_EQ(run(true), run(false));
+}
+
+TEST_F(EventDrivenEnv, SweepCsvBytesIdenticalAcrossModes)
+{
+    auto sweep_csv = [](bool event_driven) {
+        SweepGrid grid;
+        grid.workloads = {"CG", "HISTOGRAM"};
+        grid.policies = {"DBI", "MiL"};
+        grid.eventDriven = event_driven;
+        SweepRunner runner(2);
+        runner.setUseCache(false);
+        const auto cells = runner.run(grid);
+        std::ostringstream os;
+        CsvReporter::writeHeader(os);
+        for (const auto &cell : cells) {
+            CsvReporter::writeRow(os, cell.spec.system,
+                                  cell.spec.workload, cell.spec.policy,
+                                  cell.result, cell.status, cell.error);
+        }
+        return os.str();
+    };
+    EXPECT_EQ(sweep_csv(true), sweep_csv(false));
+}
+
+// ---------------------------------------------------------------------
+// Per-component lockstep property tests.
+//
+// Each driver pair runs the same scripted stimulus through two
+// identical component instances: the oracle ticks every cycle, the
+// event-driven twin ticks only at its component's nextEventCycle()
+// (plus the script's own stimulus cycles, which stand in for the rest
+// of the system) and bridges the gaps with skipTo(). The trajectories
+// must agree on every observable.
+// ---------------------------------------------------------------------
+
+void
+expectChannelStatsEq(const ChannelStats &a, const ChannelStats &b)
+{
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.activates, b.activates);
+    EXPECT_EQ(a.precharges, b.precharges);
+    EXPECT_EQ(a.refreshes, b.refreshes);
+    EXPECT_EQ(a.rowHits, b.rowHits);
+    EXPECT_EQ(a.rowMisses, b.rowMisses);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.busBusyCycles, b.busBusyCycles);
+    EXPECT_EQ(a.idlePendingCycles, b.idlePendingCycles);
+    EXPECT_EQ(a.idleNoPendingCycles, b.idleNoPendingCycles);
+    EXPECT_EQ(a.bitsTransferred, b.bitsTransferred);
+    EXPECT_EQ(a.zerosTransferred, b.zerosTransferred);
+    EXPECT_EQ(a.wireTransitions, b.wireTransitions);
+    EXPECT_EQ(a.rankActiveStandbyCycles, b.rankActiveStandbyCycles);
+    EXPECT_EQ(a.rankPrechargeStandbyCycles,
+              b.rankPrechargeStandbyCycles);
+    EXPECT_EQ(a.rankRefreshCycles, b.rankRefreshCycles);
+    EXPECT_EQ(a.rankPowerDownCycles, b.rankPowerDownCycles);
+    EXPECT_EQ(a.powerDownEntries, b.powerDownEntries);
+}
+
+class LockstepSink : public MemResponseSink
+{
+  public:
+    void
+    memResponse(ReqId id, const Line & /* data */, Cycle when) override
+    {
+        times[id] = when;
+    }
+
+    std::map<ReqId, Cycle> times;
+};
+
+/** One channel plus its private backing state and response log. */
+struct ChannelUnderTest
+{
+    explicit ChannelUnderTest(const ControllerConfig &config)
+        : policy(policies::dbi()),
+          ctrl(TimingParams::ddr4_3200(), config, &mem, policy.get())
+    {}
+
+    FunctionalMemory mem;
+    std::unique_ptr<CodingPolicy> policy;
+    MemoryController ctrl;
+    LockstepSink sink;
+};
+
+void
+runControllerLockstep(const ControllerConfig &config,
+                      std::uint64_t seed)
+{
+    const TimingParams timing = TimingParams::ddr4_3200();
+    const AddressMap map(timing, 1);
+
+    // A reproducible burst of requests with gaps long enough to give
+    // the event loop something to skip and short enough to exercise
+    // queue contention.
+    struct Arrival
+    {
+        Cycle at;
+        MemRequest req;
+    };
+    std::mt19937_64 rng(seed);
+    std::vector<Arrival> arrivals;
+    Cycle at = 0;
+    for (ReqId id = 1; id <= 60; ++id) {
+        at += rng() % 200;
+        DramCoord c;
+        c.rank = static_cast<unsigned>(rng() % 2);
+        c.bankGroup = static_cast<unsigned>(rng() % 2);
+        c.bank = static_cast<unsigned>(rng() % 4);
+        c.row = static_cast<std::uint32_t>(rng() % 8);
+        c.col = static_cast<std::uint32_t>(rng() % 64);
+        MemRequest req;
+        req.id = id;
+        req.lineAddr = map.encode(0, c);
+        req.isWrite = rng() % 3 == 0;
+        req.coord = c;
+        arrivals.push_back({at, req});
+    }
+
+    ChannelUnderTest oracle(config);
+    ChannelUnderTest event(config);
+
+    auto deliver = [](ChannelUnderTest &ch, const Arrival &a,
+                      Cycle now) {
+        MemRequest req = a.req;
+        req.arrival = now;
+        ASSERT_TRUE(ch.ctrl.enqueue(
+            req, req.isWrite ? nullptr : &ch.sink));
+    };
+
+    // Oracle: tick every cycle.
+    {
+        Cycle now = 0;
+        std::size_t next = 0;
+        while (next < arrivals.size() || oracle.ctrl.busy()) {
+            oracle.ctrl.tick(now);
+            while (next < arrivals.size() &&
+                   arrivals[next].at == now) {
+                deliver(oracle, arrivals[next], now);
+                ++next;
+            }
+            ++now;
+            ASSERT_LT(now, Cycle{2'000'000});
+        }
+    }
+
+    // Event-driven: tick only at the controller's own events and at
+    // the scripted arrival cycles.
+    {
+        Cycle now = 0;
+        std::size_t next = 0;
+        while (true) {
+            event.ctrl.tick(now);
+            while (next < arrivals.size() &&
+                   arrivals[next].at == now) {
+                deliver(event, arrivals[next], now);
+                ++next;
+            }
+            if (next == arrivals.size() && !event.ctrl.busy())
+                break;
+            Cycle target = event.ctrl.nextEventCycle(now);
+            if (next < arrivals.size())
+                target = std::min(target, arrivals[next].at);
+            target = std::max(target, now + 1);
+            ASSERT_LT(target, Cycle{2'000'000});
+            if (target > now + 1)
+                event.ctrl.skipTo(target);
+            now = target;
+        }
+    }
+
+    EXPECT_EQ(oracle.sink.times, event.sink.times);
+    expectChannelStatsEq(oracle.ctrl.stats(), event.ctrl.stats());
+}
+
+TEST(EventDrivenLockstep, Controller)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u})
+        runControllerLockstep(ControllerConfig{}, seed);
+}
+
+TEST(EventDrivenLockstep, ControllerWithPowerDown)
+{
+    ControllerConfig config;
+    config.powerDownEnabled = true;
+    for (std::uint64_t seed : {1u, 2u, 3u})
+        runControllerLockstep(config, seed);
+}
+
+/**
+ * Downstream stub whose wouldAccept() honors the side-effect-free
+ * contract: it agrees with access() (both keyed on `blocked`), and
+ * rejected retries are counted identically whether they happen one
+ * tick at a time or are replayed in bulk via noteBlockedRetries().
+ */
+class ContractStub : public MemLevel
+{
+  public:
+    explicit ContractStub(Cycle latency) : latency_(latency) {}
+
+    bool
+    access(const MemAccess &acc, MemClient *client) override
+    {
+        if (blocked) {
+            ++blockedRetries;
+            return false;
+        }
+        ++accesses;
+        if (acc.isWriteback) {
+            ++writebacks;
+            return true;
+        }
+        pending_.push_back({now_ + latency_, acc.token, client});
+        return true;
+    }
+
+    bool
+    wouldAccept(const MemAccess & /* acc */) const override
+    {
+        return !blocked;
+    }
+
+    void
+    noteBlockedRetries(std::uint64_t count) override
+    {
+        blockedRetries += count;
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        now_ = now;
+        for (std::size_t i = 0; i < pending_.size();) {
+            if (pending_[i].when <= now) {
+                auto p = pending_[i];
+                pending_[i] = pending_.back();
+                pending_.pop_back();
+                if (p.client != nullptr)
+                    p.client->accessDone(p.token, now);
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    bool busy() const override { return !pending_.empty(); }
+
+    /** Earliest pending completion (an event for the harness). */
+    Cycle
+    nextEvent() const
+    {
+        Cycle next = kCycleNever;
+        for (const auto &p : pending_)
+            next = std::min(next, p.when);
+        return next;
+    }
+
+    bool blocked = false;
+    std::uint64_t accesses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t blockedRetries = 0;
+
+  private:
+    struct Pending
+    {
+        Cycle when;
+        std::uint64_t token;
+        MemClient *client;
+    };
+
+    Cycle latency_;
+    Cycle now_ = 0;
+    std::vector<Pending> pending_;
+};
+
+class CountingClient : public MemClient
+{
+  public:
+    void
+    accessDone(std::uint64_t token, Cycle now) override
+    {
+        completions[token] = now;
+    }
+
+    std::map<std::uint64_t, Cycle> completions;
+};
+
+void
+expectCacheStatsEq(const CacheStats &a, const CacheStats &b)
+{
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.mshrMerges, b.mshrMerges);
+    EXPECT_EQ(a.writebacks, b.writebacks);
+    EXPECT_EQ(a.upgrades, b.upgrades);
+    EXPECT_EQ(a.blockedAccesses, b.blockedAccesses);
+}
+
+TEST(EventDrivenLockstep, Cache)
+{
+    // Scripted stimulus: demand accesses over a small line pool so
+    // hits, misses, MSHR merges, and evictions all occur, plus two
+    // windows during which the downstream refuses everything (the
+    // send queue then retries -- per cycle in the oracle, replayed in
+    // bulk by skipTo in the event twin).
+    struct Stim
+    {
+        Cycle at;
+        Addr line;
+        bool isWrite;
+    };
+    std::mt19937_64 rng(7);
+    std::vector<Stim> stims;
+    Cycle at = 0;
+    for (int i = 0; i < 80; ++i) {
+        at += 1 + rng() % 60;
+        stims.push_back({at, (rng() % 24) * lineBytes,
+                         rng() % 4 == 0});
+    }
+    const Cycle block_from = stims[20].at + 1;
+    const Cycle block_until = block_from + 400;
+
+    CacheParams params;
+    params.sizeBytes = 4 * lineBytes; // Tiny: force evictions.
+    params.ways = 2;
+    params.mshrs = 4;
+
+    auto run = [&](bool event_driven, CacheStats &stats_out,
+                   ContractStub &stub) {
+        Cache cache(params, &stub);
+        CountingClient client;
+
+        Cycle now = 0;
+        std::size_t next = 0;
+        std::uint64_t token = 0;
+        std::vector<std::pair<std::uint64_t, bool>> verdicts;
+        while (true) {
+            stub.blocked = now >= block_from && now < block_until;
+            stub.tick(now);
+            cache.tick(now);
+            while (next < stims.size() && stims[next].at == now) {
+                MemAccess acc;
+                acc.lineAddr = stims[next].line;
+                acc.isWrite = stims[next].isWrite;
+                acc.core = 0;
+                acc.token = ++token;
+                // Rejected submissions are dropped, not retried: the
+                // verdict itself is part of the compared trajectory.
+                verdicts.emplace_back(token,
+                                      cache.access(acc, &client));
+                ++next;
+            }
+            if (next == stims.size() && !cache.busy() &&
+                !stub.busy())
+                break;
+            Cycle target = now + 1;
+            if (event_driven) {
+                target = std::min(cache.nextEventCycle(now),
+                                  stub.nextEvent());
+                if (next < stims.size())
+                    target = std::min(target, stims[next].at);
+                // The downstream unblocking is an external event the
+                // harness knows about (in the full system it always
+                // coincides with one of the downstream's own events).
+                if (now < block_from)
+                    target = std::min(target, block_from);
+                if (now < block_until)
+                    target = std::min(target, block_until);
+                target = std::max(target, now + 1);
+                if (target > now + 1)
+                    cache.skipTo(target);
+            }
+            now = target;
+            if (now >= Cycle{1'000'000}) {
+                ADD_FAILURE() << "cache lockstep did not converge";
+                break;
+            }
+        }
+        stats_out = cache.stats();
+        return std::make_pair(client.completions, verdicts);
+    };
+
+    CacheStats oracle_stats, event_stats;
+    ContractStub oracle_stub(30), event_stub(30);
+    const auto oracle = run(false, oracle_stats, oracle_stub);
+    const auto event = run(true, event_stats, event_stub);
+
+    EXPECT_EQ(oracle.first, event.first);   // Completion times.
+    EXPECT_EQ(oracle.second, event.second); // Acceptance verdicts.
+    expectCacheStatsEq(oracle_stats, event_stats);
+    EXPECT_EQ(oracle_stub.accesses, event_stub.accesses);
+    EXPECT_EQ(oracle_stub.writebacks, event_stub.writebacks);
+    EXPECT_EQ(oracle_stub.blockedRetries, event_stub.blockedRetries);
+}
+
+/** Fixed op list, shared by both core twins. */
+class ScriptedStream : public ThreadStream
+{
+  public:
+    explicit ScriptedStream(std::vector<CoreMemOp> ops)
+        : ops_(std::move(ops))
+    {}
+
+    bool
+    next(CoreMemOp &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<CoreMemOp> ops_;
+    std::size_t pos_ = 0;
+};
+
+TEST(EventDrivenLockstep, Core)
+{
+    // Two threads mixing compute gaps, blocking and windowed loads,
+    // and stores, against an L1 stub that stonewalls for a while --
+    // the case where the core must bulk-replay retryCycles and the
+    // stub's blocked counter instead of ticking through.
+    std::mt19937_64 rng(11);
+    auto make_ops = [&](unsigned salt) {
+        std::vector<CoreMemOp> ops;
+        for (int i = 0; i < 40; ++i) {
+            CoreMemOp op;
+            op.addr = ((rng() + salt) % 64) * lineBytes;
+            op.isWrite = rng() % 4 == 0;
+            op.blocking = !op.isWrite && rng() % 2 == 0;
+            op.gap = static_cast<std::uint32_t>(rng() % 90);
+            ops.push_back(op);
+        }
+        return ops;
+    };
+    const auto ops0 = make_ops(0);
+    const auto ops1 = make_ops(1);
+    const Cycle block_from = 120;
+    const Cycle block_until = 700;
+
+    CoreParams params;
+    params.threads = 2;
+    params.issueWidth = 1;
+    params.maxOutstandingLoads = 2;
+
+    auto run = [&](bool event_driven, CoreStats &stats_out,
+                   ContractStub &stub) {
+        FunctionalMemory mem;
+        Core core(0, params, &stub, &mem);
+        core.setStream(0, std::make_unique<ScriptedStream>(ops0));
+        core.setStream(1, std::make_unique<ScriptedStream>(ops1));
+
+        Cycle now = 0;
+        Cycle done_at = 0;
+        while (true) {
+            stub.blocked = now >= block_from && now < block_until;
+            stub.tick(now);
+            core.tick(now);
+            if (core.done() && !stub.busy()) {
+                done_at = now;
+                break;
+            }
+            Cycle target = now + 1;
+            if (event_driven) {
+                target = std::min(core.nextEventCycle(now),
+                                  stub.nextEvent());
+                if (now < block_from)
+                    target = std::min(target, block_from);
+                if (now < block_until)
+                    target = std::min(target, block_until);
+                target = std::max(target, now + 1);
+                if (target > now + 1)
+                    core.skipTo(target);
+            }
+            now = target;
+            if (now >= Cycle{1'000'000}) {
+                ADD_FAILURE() << "core lockstep did not converge";
+                break;
+            }
+        }
+        stats_out = core.stats();
+        return done_at;
+    };
+
+    CoreStats oracle_stats, event_stats;
+    ContractStub oracle_stub(25), event_stub(25);
+    const Cycle oracle_done = run(false, oracle_stats, oracle_stub);
+    const Cycle event_done = run(true, event_stats, event_stub);
+
+    EXPECT_EQ(oracle_done, event_done);
+    EXPECT_EQ(oracle_stats.loads, event_stats.loads);
+    EXPECT_EQ(oracle_stats.stores, event_stats.stores);
+    EXPECT_EQ(oracle_stats.stallCycles, event_stats.stallCycles);
+    EXPECT_EQ(oracle_stats.retryCycles, event_stats.retryCycles);
+    EXPECT_EQ(oracle_stub.accesses, event_stub.accesses);
+    EXPECT_EQ(oracle_stub.blockedRetries, event_stub.blockedRetries);
+}
+
+TEST(EventDrivenLockstep, IntervalSampler)
+{
+    // A counter that jumps at scripted cycles; the sampler must
+    // attribute every delta to the same interval in both modes.
+    std::uint64_t counter = 0;
+    obs::MetricsRegistry registry;
+    registry.addCounter("events", [&] { return counter; });
+
+    const std::vector<Cycle> bumps = {3, 97, 256, 257, 900, 1023,
+                                      1024, 2047};
+
+    auto run = [&](bool event_driven) {
+        counter = 0;
+        obs::IntervalSampler sampler(registry, 256);
+        Cycle now = 0;
+        std::size_t next = 0;
+        while (now < 2500) {
+            sampler.tick(now);
+            while (next < bumps.size() && bumps[next] == now) {
+                counter += 10;
+                ++next;
+            }
+            Cycle target = now + 1;
+            if (event_driven) {
+                target = sampler.nextEventCycle(now);
+                if (next < bumps.size())
+                    target = std::min(target, bumps[next]);
+                target = std::max(target, now + 1);
+                target = std::min(target, Cycle{2500});
+                if (target > now + 1)
+                    sampler.skipTo(target);
+            }
+            now = target;
+        }
+        sampler.finish();
+        std::ostringstream os;
+        sampler.writeCsv(os);
+        return os.str();
+    };
+
+    const std::string oracle = run(false);
+    const std::string event = run(true);
+    EXPECT_FALSE(oracle.empty());
+    EXPECT_EQ(oracle, event);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -59,6 +59,7 @@ struct Options
     Cycle sampleInterval = 0;
     std::string sampleCsvPath;
     unsigned jobs = 1;
+    bool noSkip = false;
 };
 
 [[noreturn]] void
@@ -94,6 +95,9 @@ usage(const char *argv0)
         "                         milsim_samples.csv)\n"
         "  --histograms           print idle-gap and slack histograms\n"
         "                         (the Figure 4/6 views of this run)\n"
+        "  --no-skip              run the per-cycle oracle loop instead\n"
+        "                         of event-driven cycle skipping (same\n"
+        "                         results, slower; see docs/performance)\n"
         "workloads:",
         argv0);
     for (const auto &name : workloadNames())
@@ -149,6 +153,8 @@ parse(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         else if (arg == "--histograms")
             opt.histograms = true;
+        else if (arg == "--no-skip")
+            opt.noSkip = true;
         else
             usage(argv[0]);
     }
@@ -171,6 +177,7 @@ runOne(const Options &opt, const std::string &policy_name,
 {
     SystemConfig config = makeSystemConfig(opt.system);
     config.controller.powerDownEnabled = opt.powerDown;
+    config.eventDriven = !opt.noSkip;
     if (opt.ber != 0.0) {
         config.controller.faultModel.ber = opt.ber;
         if (opt.seed != 0)

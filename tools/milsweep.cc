@@ -19,7 +19,7 @@
  *   milsweep [--systems ddr4,lpddr3] [--workloads GUPS,CG,...|all]
  *            [--policies DBI,MiL,...] [--ops N] [--scale F]
  *            [--lookahead X] [--jobs N] [--seed S] [--ber P]
- *            [--out FILE] [--trace-dir DIR] [--list]
+ *            [--out FILE] [--trace-dir DIR] [--no-skip] [--list]
  */
 
 #include <algorithm>
@@ -61,7 +61,7 @@ usage(const char *argv0)
         "usage: %s [--systems a,b] [--workloads a,b|all] "
         "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
         "[--jobs N] [--seed S] [--ber P] [--out FILE] "
-        "[--trace-dir DIR] [--list]\n",
+        "[--trace-dir DIR] [--no-skip] [--list]\n",
         argv0);
     std::exit(2);
 }
@@ -166,6 +166,8 @@ run(int argc, char **argv)
             out_path = value();
         else if (arg == "--trace-dir")
             trace_dir = value();
+        else if (arg == "--no-skip")
+            grid.eventDriven = false;
         else if (arg == "--list")
             return listAxes();
         else
