@@ -1,29 +1,46 @@
 /**
  * @file
- * Wall-clock benchmark of event-driven cycle skipping: each scenario
- * runs the identical simulation with the per-cycle oracle loop and
- * with cycle skipping (tracing and sampling off), and reports the
- * host-time speedup. Results go to stdout as a table and, with
- * --json FILE (or MIL_BENCH_JSON), to a machine-readable JSON file --
- * scripts/bench_wallclock.sh writes the repo's BENCH_wallclock.json
- * baseline with it.
+ * Wall-clock benchmarks with committed per-bench floors: each scenario
+ * runs the identical simulation twice -- a baseline and a candidate
+ * configuration -- and reports the host-time speedup. Two comparison
+ * kinds exist:
  *
- * Scenario choice mirrors how the speedup scales with idleness:
+ *  - skip benches: event-driven cycle skipping vs the per-cycle
+ *    oracle loop (tracing and sampling off);
+ *  - shard benches: the sharded engine (SystemConfig::shards = N) vs
+ *    the serial path (shards = 0), both event-driven -- the
+ *    datacenter-8ch case intra-run parallelism exists for.
+ *
+ * Results go to stdout as a table and, with --json FILE (or
+ * MIL_BENCH_JSON), to a machine-readable JSON file --
+ * scripts/bench_wallclock.sh writes the repo's BENCH_wallclock.json
+ * baseline with it, and scripts/check_bench_floors.py compares a
+ * fresh run against the committed floor_speedup values.
+ *
+ * Scenario choice mirrors how the speedup scales:
  *
  *  - latency_bound_trace: pointer-chase-style replay (blocking loads
  *    separated by 1500-3000 compute cycles) -- the timing-bound,
  *    low-memory-intensity case cycle skipping exists for;
  *  - mm_mil / gups_dbi: Table 3 workloads, bandwidth-heavy, where
  *    most cycles hold a real event and the win is modest (the cost of
- *    nextEventCycle bookkeeping shows up honestly here).
+ *    nextEventCycle bookkeeping shows up honestly here);
+ *  - datacenter_shards: datacenter-8ch (8 channels, 128 threads)
+ *    with the controller phase forked across a WorkerCrew. Its
+ *    speedup is bounded by host cores, so the bench clamps the crew
+ *    to std::thread::hardware_concurrency() and records both the
+ *    requested and the used count; the floor only gates on hosts
+ *    with at least min_host_cores cores.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mil/policies.hh"
@@ -38,9 +55,18 @@ namespace
 struct Scenario
 {
     std::string name;
+    std::string system;   ///< makeSystemConfig() name.
     std::string workload; ///< Table 3 name, or "" for the trace.
     std::string policy;
     std::uint64_t opsPerThread;
+    /// 0: candidate = event-driven, baseline = per-cycle oracle.
+    /// N>0: candidate = shards N, baseline = shards 0 (both
+    /// event-driven); clamped to host cores before running.
+    unsigned shards;
+    /// Committed regression floor on speedup; shard floors only gate
+    /// when the host has at least minHostCores cores.
+    double floorSpeedup;
+    unsigned minHostCores;
 };
 
 /**
@@ -76,10 +102,16 @@ struct Sample
 
 /** One full simulation; returns wall seconds and simulated work. */
 Sample
-runOnce(const Scenario &sc, bool event_driven)
+runOnce(const Scenario &sc, bool candidate, unsigned shards_used)
 {
-    SystemConfig config = makeSystemConfig("ddr4");
-    config.eventDriven = event_driven;
+    SystemConfig config = makeSystemConfig(
+        sc.system.empty() ? "ddr4" : sc.system);
+    if (sc.shards == 0) {
+        config.eventDriven = candidate;
+    } else {
+        config.eventDriven = true;
+        config.shards = candidate ? shards_used : 0;
+    }
 
     WorkloadPtr workload;
     if (sc.workload.empty()) {
@@ -105,11 +137,11 @@ runOnce(const Scenario &sc, bool event_driven)
 
 /** Best of @p reps runs (min wall time; identical simulated work). */
 Sample
-best(const Scenario &sc, bool event_driven, int reps)
+best(const Scenario &sc, bool candidate, unsigned shards_used, int reps)
 {
     Sample out;
     for (int i = 0; i < reps; ++i) {
-        const Sample s = runOnce(sc, event_driven);
+        const Sample s = runOnce(sc, candidate, shards_used);
         if (i == 0 || s.seconds < out.seconds)
             out = s;
     }
@@ -119,16 +151,34 @@ best(const Scenario &sc, bool event_driven, int reps)
 struct Row
 {
     Scenario scenario;
-    Sample skip;
-    Sample oracle;
+    unsigned shardsUsed = 0;
+    Sample candidate;
+    Sample baseline;
 
     double
     speedup() const
     {
-        return skip.seconds > 0.0 ? oracle.seconds / skip.seconds
-                                  : 0.0;
+        return candidate.seconds > 0.0
+            ? baseline.seconds / candidate.seconds
+            : 0.0;
+    }
+
+    std::string
+    compare() const
+    {
+        if (scenario.shards == 0)
+            return "event-driven skip vs per-cycle oracle";
+        return "shards=" + std::to_string(shardsUsed) +
+            " vs serial (shards=0)";
     }
 };
+
+unsigned
+hostCores()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
 
 void
 writeJson(const std::string &path, const std::vector<Row> &rows)
@@ -138,33 +188,42 @@ writeJson(const std::string &path, const std::vector<Row> &rows)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    os << "{\n  \"benches\": {\n";
+    os << "{\n  \"host_cores\": " << hostCores() << ",\n"
+       << "  \"benches\": {\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
-        char buf[512];
+        char buf[1024];
         std::snprintf(
             buf, sizeof(buf),
             "    \"%s\": {\n"
+            "      \"compare\": \"%s\",\n"
             "      \"cycles\": %llu,\n"
             "      \"ops\": %llu,\n"
-            "      \"event_driven_seconds\": %.4f,\n"
-            "      \"per_cycle_seconds\": %.4f,\n"
-            "      \"event_driven_cycles_per_second\": %.0f,\n"
-            "      \"per_cycle_cycles_per_second\": %.0f,\n"
-            "      \"speedup\": %.2f\n"
+            "      \"candidate_seconds\": %.4f,\n"
+            "      \"baseline_seconds\": %.4f,\n"
+            "      \"candidate_cycles_per_second\": %.0f,\n"
+            "      \"baseline_cycles_per_second\": %.0f,\n"
+            "      \"speedup\": %.2f,\n"
+            "      \"floor_speedup\": %.2f,\n"
+            "      \"shards_requested\": %u,\n"
+            "      \"shards_used\": %u,\n"
+            "      \"min_host_cores\": %u\n"
             "    }%s\n",
-            r.scenario.name.c_str(),
-            static_cast<unsigned long long>(r.skip.cycles),
-            static_cast<unsigned long long>(r.skip.ops),
-            r.skip.seconds, r.oracle.seconds,
-            r.skip.seconds > 0.0
-                ? static_cast<double>(r.skip.cycles) / r.skip.seconds
+            r.scenario.name.c_str(), r.compare().c_str(),
+            static_cast<unsigned long long>(r.candidate.cycles),
+            static_cast<unsigned long long>(r.candidate.ops),
+            r.candidate.seconds, r.baseline.seconds,
+            r.candidate.seconds > 0.0
+                ? static_cast<double>(r.candidate.cycles) /
+                    r.candidate.seconds
                 : 0.0,
-            r.oracle.seconds > 0.0
-                ? static_cast<double>(r.oracle.cycles) /
-                    r.oracle.seconds
+            r.baseline.seconds > 0.0
+                ? static_cast<double>(r.baseline.cycles) /
+                    r.baseline.seconds
                 : 0.0,
-            r.speedup(), i + 1 < rows.size() ? "," : "");
+            r.speedup(), r.scenario.floorSpeedup, r.scenario.shards,
+            r.shardsUsed, r.scenario.minHostCores,
+            i + 1 < rows.size() ? "," : "");
         os << buf;
     }
     os << "  }\n}\n";
@@ -190,36 +249,46 @@ benchMain(int argc, char **argv)
         }
     }
 
+    // {name, system, workload, policy, opsPerThread, shards,
+    //  floor_speedup, min_host_cores}
     const std::vector<Scenario> scenarios = {
-        {"latency_bound_trace", "", "MiL", 0},
-        {"mm_mil", "MM", "MiL", 8000},
-        {"gups_dbi", "GUPS", "DBI", 8000},
+        {"latency_bound_trace", "", "", "MiL", 0, 0, 4.0, 1},
+        {"mm_mil", "", "MM", "MiL", 8000, 0, 1.0, 1},
+        {"gups_dbi", "", "GUPS", "DBI", 8000, 0, 0.7, 1},
+        {"datacenter_shards", "datacenter-8ch", "MM", "MiL", 6000, 8,
+         2.0, 8},
     };
 
-    std::printf("=== wall-clock: event-driven cycle skipping vs "
-                "per-cycle oracle ===\n");
-    std::printf("(best of %d runs each; tracing and sampling off)\n\n",
-                reps);
+    std::printf("=== wall-clock: candidate vs baseline "
+                "(skip vs oracle; sharded vs serial) ===\n");
+    std::printf("(best of %d runs each; tracing and sampling off; "
+                "host cores: %u)\n\n",
+                reps, hostCores());
     std::printf("%-22s %12s %10s %10s %8s\n", "scenario", "cycles",
-                "skip[s]", "oracle[s]", "speedup");
+                "cand[s]", "base[s]", "speedup");
 
     std::vector<Row> rows;
     for (const auto &sc : scenarios) {
         Row row;
         row.scenario = sc;
-        row.skip = best(sc, true, reps);
-        row.oracle = best(sc, false, reps);
-        if (row.skip.cycles != row.oracle.cycles) {
+        // A crew wider than the host spends its time context
+        // switching, not simulating; clamp and record what ran.
+        row.shardsUsed = sc.shards == 0
+            ? 0
+            : std::min(sc.shards, hostCores());
+        row.candidate = best(sc, true, row.shardsUsed, reps);
+        row.baseline = best(sc, false, row.shardsUsed, reps);
+        if (row.candidate.cycles != row.baseline.cycles) {
             std::fprintf(stderr,
                          "FATAL: %s modes disagree on cycles\n",
                          sc.name.c_str());
             return 1;
         }
-        std::printf("%-22s %12llu %10.2f %10.2f %7.2fx\n",
-                    sc.name.c_str(),
-                    static_cast<unsigned long long>(row.skip.cycles),
-                    row.skip.seconds, row.oracle.seconds,
-                    row.speedup());
+        std::printf(
+            "%-22s %12llu %10.2f %10.2f %7.2fx\n", sc.name.c_str(),
+            static_cast<unsigned long long>(row.candidate.cycles),
+            row.candidate.seconds, row.baseline.seconds,
+            row.speedup());
         rows.push_back(row);
     }
 

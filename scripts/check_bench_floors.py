@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_wallclock JSON against the committed floors.
+
+The committed BENCH_wallclock.json at the repo root carries a
+``floor_speedup`` per bench -- the wall-clock regression floor agreed
+for that scenario. This script re-reads a fresh measurement (written
+by scripts/bench_wallclock.sh to some other path) and reports every
+bench whose measured speedup fell below its committed floor.
+
+Shard benches (``shards_requested > 0``) measure real parallelism, so
+their floors only apply on hosts with at least ``min_host_cores``
+cores; on smaller hosts they are reported as skipped, not failed.
+
+Exit status: 0 when every applicable floor holds (or --no-gate is
+given), 1 otherwise. CI runs this non-gating (continue-on-error), so
+a wall-clock wobble annotates the build instead of breaking it.
+
+Usage:
+    scripts/check_bench_floors.py FRESH.json [--baseline BENCH_wallclock.json]
+                                  [--no-gate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load(path: pathlib.Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=pathlib.Path,
+                        help="JSON written by a fresh bench_wallclock run")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_wallclock.json",
+                        help="committed baseline holding the floors")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="always exit 0 (report only)")
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+
+    host_cores = int(fresh.get("host_cores", 1))
+    failures = []
+    print(f"bench floors vs {args.baseline} (host cores: {host_cores})")
+    for name, floor_bench in baseline.get("benches", {}).items():
+        floor = floor_bench.get("floor_speedup")
+        if floor is None:
+            continue
+        bench = fresh.get("benches", {}).get(name)
+        if bench is None:
+            print(f"  MISSING {name}: not in fresh results")
+            failures.append(name)
+            continue
+        speedup = float(bench.get("speedup", 0.0))
+        min_cores = int(floor_bench.get("min_host_cores", 1))
+        if host_cores < min_cores:
+            print(f"  SKIP    {name}: needs >= {min_cores} host cores "
+                  f"(have {host_cores}); measured {speedup:.2f}x")
+            continue
+        verdict = "ok" if speedup >= floor else "BELOW"
+        print(f"  {verdict:7} {name}: {speedup:.2f}x "
+              f"(floor {floor:.2f}x)")
+        if speedup < floor:
+            failures.append(name)
+
+    if failures:
+        print(f"{len(failures)} bench(es) below floor: "
+              + ", ".join(failures))
+        return 0 if args.no_gate else 1
+    print("all applicable floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

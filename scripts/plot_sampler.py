@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Plot IntervalSampler time-series CSVs (milsim --sample-csv).
+
+The sampler CSV has one row per interval with ``interval``,
+``start_cycle``, ``end_cycle`` and one column per metric (queue
+occupancy, hit/miss counts, retries, bits on the bus, per-scheme
+burst tallies, ...). This script turns selected columns into a
+time-series figure, or -- without matplotlib -- into a text summary.
+
+Presets bundle the columns people actually look at:
+
+  occupancy    read_queue, write_queue
+  retries      crc_retries, retry_bits
+  traffic      bus_utilization, bits_transferred, zero_density
+  hierarchy    l1_hits, l1_misses, l2_hits, l2_misses
+
+Energy over time is the ``bits_transferred`` / ``zeros_transferred``
+pair: bus energy in this model is a function of bits moved and their
+zero density (see docs/energy_model.md), so those two columns are the
+per-interval energy view.
+
+Usage:
+    scripts/plot_sampler.py SAMPLES.csv [--columns a,b,c | --preset P]
+                            [--out FIG.png] [--summary] [--list]
+
+matplotlib is imported lazily: --summary and --list work on hosts
+without it; plotting exits with a pointer at the missing module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+PRESETS = {
+    "occupancy": ["read_queue", "write_queue"],
+    "retries": ["crc_retries", "retry_bits"],
+    "traffic": ["bus_utilization", "bits_transferred", "zero_density"],
+    "hierarchy": ["l1_hits", "l1_misses", "l2_hits", "l2_misses"],
+}
+
+
+def read_samples(path):
+    """Returns (fieldnames, rows) with numeric values parsed."""
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        fields = reader.fieldnames or []
+        rows = []
+        for row in reader:
+            parsed = {}
+            for key, value in row.items():
+                try:
+                    parsed[key] = float(value)
+                except (TypeError, ValueError):
+                    parsed[key] = float("nan")
+            rows.append(parsed)
+    return fields, rows
+
+
+def pick_columns(fields, args):
+    if args.columns:
+        wanted = [c.strip() for c in args.columns.split(",") if c.strip()]
+    else:
+        wanted = PRESETS[args.preset]
+    missing = [c for c in wanted if c not in fields]
+    if missing:
+        sys.exit(f"error: column(s) not in CSV: {', '.join(missing)}\n"
+                 f"available: {', '.join(fields)}")
+    return wanted
+
+
+def summarize(rows, columns):
+    print(f"{'column':24} {'min':>12} {'mean':>12} {'max':>12}")
+    for col in columns:
+        values = [r[col] for r in rows if r[col] == r[col]]
+        if not values:
+            print(f"{col:24} {'-':>12} {'-':>12} {'-':>12}")
+            continue
+        mean = sum(values) / len(values)
+        print(f"{col:24} {min(values):12.4g} {mean:12.4g} "
+              f"{max(values):12.4g}")
+
+
+def plot(rows, columns, out, title):
+    try:
+        import matplotlib
+        if out:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("error: matplotlib is not installed; install it or "
+                 "use --summary for a text view")
+
+    cycles = [r["end_cycle"] for r in rows]
+    fig, axes = plt.subplots(len(columns), 1, sharex=True,
+                             figsize=(10, 2.2 * len(columns)),
+                             squeeze=False)
+    for ax, col in zip((a for row in axes for a in row), columns):
+        ax.plot(cycles, [r[col] for r in rows], drawstyle="steps-post")
+        ax.set_ylabel(col)
+        ax.grid(True, alpha=0.3)
+    axes[-1][0].set_xlabel("cycle")
+    fig.suptitle(title)
+    fig.tight_layout()
+    if out:
+        fig.savefig(out, dpi=120)
+        print(f"wrote {out}")
+    else:
+        plt.show()
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="sampler CSV from milsim --sample-csv")
+    parser.add_argument("--columns",
+                        help="comma-separated metric columns to plot")
+    parser.add_argument("--preset", choices=sorted(PRESETS),
+                        default="occupancy",
+                        help="named column bundle (default: occupancy)")
+    parser.add_argument("--out", help="write the figure here (PNG/SVG)"
+                        " instead of showing it")
+    parser.add_argument("--summary", action="store_true",
+                        help="print min/mean/max per column (no "
+                        "matplotlib needed)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the CSV's columns and exit")
+    args = parser.parse_args(argv)
+
+    fields, rows = read_samples(args.csv)
+    if args.list:
+        print("\n".join(fields))
+        return 0
+    if not rows:
+        sys.exit(f"error: {args.csv} has no sample rows")
+
+    columns = pick_columns(fields, args)
+    if args.summary:
+        summarize(rows, columns)
+        return 0
+    plot(rows, columns, args.out, title=args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

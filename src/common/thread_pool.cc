@@ -131,4 +131,73 @@ ThreadPool::parallelFor(std::size_t count,
         std::rethrow_exception(loop->error);
 }
 
+WorkerCrew::WorkerCrew(unsigned participants)
+    : nparticipants_(participants == 0 ? 1 : participants)
+{
+    errors_.resize(nparticipants_);
+    threads_.reserve(nparticipants_ - 1);
+    for (unsigned i = 1; i < nparticipants_; ++i)
+        threads_.emplace_back([this, i]() { memberLoop(i); });
+}
+
+WorkerCrew::~WorkerCrew()
+{
+    if (threads_.empty())
+        return;
+    stopping_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+WorkerCrew::run(const std::function<void(unsigned)> &fn)
+{
+    if (threads_.empty()) {
+        fn(0);
+        return;
+    }
+    for (auto &error : errors_)
+        error = nullptr;
+    fn_ = &fn;
+    // The release increment publishes fn_ and the cleared errors_;
+    // members pick both up through their acquire load of epoch_.
+    epoch_.fetch_add(1, std::memory_order_release);
+    try {
+        fn(0);
+    } catch (...) {
+        errors_[0] = std::current_exception();
+    }
+    // Barrier: each member's release increment of done_ publishes its
+    // errors_ slot before we read it below.
+    while (done_.load(std::memory_order_acquire) !=
+           nparticipants_ - 1)
+        std::this_thread::yield();
+    done_.store(0, std::memory_order_relaxed);
+    fn_ = nullptr;
+    for (auto &error : errors_)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+void
+WorkerCrew::memberLoop(unsigned index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t now;
+        while ((now = epoch_.load(std::memory_order_acquire)) == seen)
+            std::this_thread::yield();
+        seen = now;
+        if (stopping_.load(std::memory_order_acquire))
+            return;
+        try {
+            (*fn_)(index);
+        } catch (...) {
+            errors_[index] = std::current_exception();
+        }
+        done_.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
 } // namespace mil

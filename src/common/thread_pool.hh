@@ -24,8 +24,10 @@
 #ifndef MIL_COMMON_THREAD_POOL_HH
 #define MIL_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -102,6 +104,60 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable available_;
     bool stopping_ = false;
+};
+
+/**
+ * A fixed crew of persistent threads for fine-grained fork/join
+ * phases, as opposed to the ThreadPool's seconds-long tasks: the
+ * sharded simulation engine forks the crew once per *simulated
+ * cycle*, so the dispatch path must cost well under a microsecond.
+ * The crew therefore synchronizes on spinning atomics (with
+ * std::this_thread::yield() so an oversubscribed host still makes
+ * progress) instead of a mutex/condvar handshake.
+ *
+ * Semantics:
+ *  - a crew of P participants owns P-1 threads; the caller of run()
+ *    is always participant 0, so a crew of 1 spawns nothing and
+ *    run() degrades to a plain inline call;
+ *  - run(fn) invokes fn(i) exactly once for every participant i in
+ *    [0, P) and returns only after all have finished (a full
+ *    barrier);
+ *  - exceptions thrown by fn are captured per participant and the
+ *    one from the lowest participant index is rethrown by run(),
+ *    deterministically, after the barrier;
+ *  - run() calls must not be nested or concurrent on one crew.
+ */
+class WorkerCrew
+{
+  public:
+    /** @param participants total workers including the caller (>=1). */
+    explicit WorkerCrew(unsigned participants);
+
+    ~WorkerCrew();
+
+    WorkerCrew(const WorkerCrew &) = delete;
+    WorkerCrew &operator=(const WorkerCrew &) = delete;
+
+    /** Total participants including the calling thread. */
+    unsigned participants() const { return nparticipants_; }
+
+    /**
+     * Run fn(i) for every participant i in [0, participants());
+     * the caller executes fn(0). Blocks until every participant is
+     * done; rethrows the lowest-index captured exception, if any.
+     */
+    void run(const std::function<void(unsigned)> &fn);
+
+  private:
+    void memberLoop(unsigned index);
+
+    unsigned nparticipants_;
+    std::vector<std::thread> threads_;
+    const std::function<void(unsigned)> *fn_ = nullptr;
+    std::vector<std::exception_ptr> errors_;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<unsigned> done_{0};
+    std::atomic<bool> stopping_{false};
 };
 
 } // namespace mil

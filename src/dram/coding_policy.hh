@@ -89,6 +89,17 @@ class CodingPolicy
     }
 
     /**
+     * Whether choose()/observe() are pure of mutable policy state.
+     * One policy instance is shared by every channel's controller, so
+     * the sharded engine may call a stateless policy from concurrent
+     * controller ticks; a stateful policy (observe() feeds back into
+     * choose(), like MiL-adaptive) forces the engine to keep the
+     * controller phase sequential so the call order -- and therefore
+     * the decisions -- match the serial oracle exactly.
+     */
+    virtual bool stateless() const { return true; }
+
+    /**
      * Feedback from the controller after each burst: the code used
      * and the bits/zeros it actually moved. Adaptive policies use
      * this the way hardware would use per-scheme zero counters; the

@@ -254,12 +254,17 @@ Cycle
 MemoryController::transferData(Cycle data_start, const Entry &entry,
                                bool is_write, const Code &code)
 {
+    // Local copy on the read path: FunctionalMemory::read() returns
+    // by value (a reference would dangle across a concurrent shard's
+    // materialization; see functional_memory.hh).
+    Line read_copy;
     const Line *line = nullptr;
     if (is_write) {
         backing_->write(entry.req.lineAddr, entry.req.data);
         line = &entry.req.data;
     } else {
-        line = &backing_->read(entry.req.lineAddr);
+        read_copy = backing_->read(entry.req.lineAddr);
+        line = &read_copy;
     }
 
     const BusFrame frame = code.encode(*line);
@@ -319,6 +324,7 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
                                               : obs::EventKind::Read,
                                      lastTick_, entry.req.coord);
         event.isWrite = is_write;
+        event.core = entry.req.core;
         event.dataStart = data_start;
         event.dataEnd = data_end;
         event.bits = bits;
@@ -732,11 +738,25 @@ MemoryController::drainResponses(Cycle now)
             PendingResponse resp = std::move(responses_[i]);
             responses_[i] = std::move(responses_.back());
             responses_.pop_back();
-            resp.sink->memResponse(resp.id, resp.data, now);
+            if (deferDeliveries_)
+                deferred_.push_back(std::move(resp));
+            else
+                resp.sink->memResponse(resp.id, resp.data, now);
         } else {
             ++i;
         }
     }
+}
+
+void
+MemoryController::deliverDeferred()
+{
+    // Same invocation order and the same `now` the in-tick drain
+    // would have used; the swap-remove scan above already fixed the
+    // order when the responses were collected.
+    for (auto &resp : deferred_)
+        resp.sink->memResponse(resp.id, resp.data, lastTick_);
+    deferred_.clear();
 }
 
 void

@@ -144,6 +144,22 @@ class MemoryController
     /** In-flight read responses (used by the stall diagnostic). */
     std::size_t pendingResponses() const { return responses_.size(); }
 
+    /**
+     * Deferred-delivery mode for the sharded engine. While enabled,
+     * tick() collects the cycle's matured read responses instead of
+     * invoking their sinks, so concurrent per-channel ticks never
+     * call into the (shared, unsynchronized) cache hierarchy. The
+     * engine then calls deliverDeferred() from its serial section, in
+     * channel order; each controller replays its collected responses
+     * in exactly the order and with exactly the timestamp the serial
+     * drain would have used, so the hand-off is observationally
+     * identical to the oracle loop.
+     */
+    void setDeferDeliveries(bool defer) { deferDeliveries_ = defer; }
+
+    /** Invoke the sinks of the responses the last tick() deferred. */
+    void deliverDeferred();
+
     /** Bursts injected so far (the fault-injection frame index). */
     std::uint64_t framesDriven() const { return frameCounter_; }
 
@@ -284,6 +300,8 @@ class MemoryController
     bool ticked_ = false;
 
     std::vector<PendingResponse> responses_;
+    bool deferDeliveries_ = false;
+    std::vector<PendingResponse> deferred_;
     WireState wireState_{72};
     obs::TraceSink *sink_ = nullptr;
     std::uint32_t channelId_ = 0;

@@ -31,15 +31,17 @@ FunctionalMemory::materialize(Addr line_addr)
     return it->second;
 }
 
-const Line &
+Line
 FunctionalMemory::read(Addr line_addr)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return materialize(line_addr);
 }
 
 void
 FunctionalMemory::write(Addr line_addr, const Line &data)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     materialize(line_addr) = data;
 }
 

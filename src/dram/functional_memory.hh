@@ -13,6 +13,7 @@
 #define MIL_DRAM_FUNCTIONAL_MEMORY_HH
 
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -22,7 +23,17 @@
 namespace mil
 {
 
-/** Sparse, lazily-initialized line-granularity memory image. */
+/**
+ * Sparse, lazily-initialized line-granularity memory image.
+ *
+ * read() and write() are internally synchronized so the sharded
+ * engine's controllers can touch the image concurrently: channel
+ * interleaving means no two controllers ever address the same line,
+ * but a lazy materialization can rehash the map under a concurrent
+ * lookup, so the map itself needs the lock. read() hands back a copy
+ * (a Line is 64 bytes) because a reference into the map would dangle
+ * across a concurrent rehash.
+ */
 class FunctionalMemory
 {
   public:
@@ -37,13 +48,18 @@ class FunctionalMemory
     void addRegion(Addr base, std::uint64_t size, Initializer init);
 
     /** Read a line, materializing it if needed. */
-    const Line &read(Addr line_addr);
+    Line read(Addr line_addr);
 
     /** Overwrite a line. */
     void write(Addr line_addr, const Line &data);
 
     /** Number of materialized lines (for tests / memory accounting). */
-    std::size_t residentLines() const { return lines_.size(); }
+    std::size_t
+    residentLines() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return lines_.size();
+    }
 
   private:
     struct Region
@@ -57,6 +73,7 @@ class FunctionalMemory
 
     std::vector<Region> regions_;
     std::unordered_map<Addr, Line> lines_;
+    mutable std::mutex mutex_;
 };
 
 } // namespace mil

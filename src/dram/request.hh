@@ -50,6 +50,15 @@ struct MemRequest
     Cycle arrival = 0;      ///< Cycle the controller accepted it.
     DramCoord coord;
     Line data{};            ///< Write payload (unused for reads).
+
+    /**
+     * Core that caused this request, or ~0u for writebacks,
+     * prefetches and anything else without a single originator
+     * (matches mem_types.hh's CoreId/noCore, which live above this
+     * layer); observability-only, the controller schedules without
+     * it.
+     */
+    std::uint32_t core = ~0u;
 };
 
 /**

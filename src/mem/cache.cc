@@ -25,7 +25,7 @@ Cache::setL1s(std::vector<Cache *> l1s)
 {
     mil_assert(params_.inclusiveOfL1s,
                "only the shared L2 tracks L1 presence");
-    mil_assert(l1s.size() <= 32, "presence bitmap holds up to 32 L1s");
+    mil_assert(l1s.size() <= 64, "presence bitmap holds up to 64 L1s");
     l1s_ = std::move(l1s);
 }
 
@@ -122,12 +122,12 @@ Cache::grantAtDirectory(Way &way, const MemAccess &acc, bool wants_write)
         return 0;
 
     unsigned messages = 0;
-    const std::uint32_t requester_bit = std::uint32_t{1} << acc.core;
+    const std::uint64_t requester_bit = std::uint64_t{1} << acc.core;
 
     if (wants_write) {
         // Invalidate every other sharer; requester becomes owner.
         for (std::size_t i = 0; i < l1s_.size(); ++i) {
-            const std::uint32_t ibit = std::uint32_t{1} << i;
+            const std::uint64_t ibit = std::uint64_t{1} << i;
             if ((way.presence & ibit) && i != acc.core) {
                 if (l1s_[i]->invalidateLine(way.tag))
                     way.dirty = true;
@@ -142,7 +142,7 @@ Cache::grantAtDirectory(Way &way, const MemAccess &acc, bool wants_write)
         // A previous writable owner must downgrade to Shared.
         if (way.owner != noCore && way.owner != acc.core) {
             if (way.owner < l1s_.size() &&
-                (way.presence & (std::uint32_t{1} << way.owner))) {
+                (way.presence & (std::uint64_t{1} << way.owner))) {
                 if (l1s_[way.owner]->downgradeLine(way.tag))
                     way.dirty = true;
                 ++messages;
@@ -164,7 +164,7 @@ Cache::evict(Way &way, Addr /* line_addr_of_set_member */)
     bool dirty = way.dirty;
     if (params_.inclusiveOfL1s && way.presence != 0) {
         for (std::size_t i = 0; i < l1s_.size(); ++i) {
-            if (way.presence & (std::uint32_t{1} << i)) {
+            if (way.presence & (std::uint64_t{1} << i)) {
                 if (l1s_[i]->invalidateLine(way.tag))
                     dirty = true;
                 ++stats_.backInvalidations;
@@ -194,7 +194,7 @@ Cache::handleWriteback(const MemAccess &acc)
     if (way != nullptr) {
         way->dirty = true;
         if (params_.inclusiveOfL1s && acc.core != noCore) {
-            way->presence &= ~(std::uint32_t{1} << acc.core);
+            way->presence &= ~(std::uint64_t{1} << acc.core);
             if (way->owner == acc.core)
                 way->owner = noCore;
         }

@@ -161,7 +161,7 @@ class Cache : public MemLevel, public MemClient
         bool prefetched = false; ///< Filled by prefetch, untouched yet.
         Addr tag = 0;
         Cycle lastUse = 0;
-        std::uint32_t presence = 0; ///< L1 presence bits (L2 only).
+        std::uint64_t presence = 0; ///< L1 presence bits (L2 only).
         CoreId owner = noCore;      ///< Writable L1, if any (L2 only).
     };
 

@@ -34,6 +34,7 @@ DramPort::access(const MemAccess &acc, MemClient *client)
     req.isWrite = is_write;
     req.arrival = now_;
     req.coord = map_.decode(acc.lineAddr);
+    req.core = acc.core;
 
     if (is_write) {
         // Snapshot current line contents for the burst.

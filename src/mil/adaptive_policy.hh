@@ -64,6 +64,9 @@ class AdaptiveMilPolicy : public CodingPolicy
     void observe(const Code &code, std::uint64_t bits,
                  std::uint64_t zeros) override;
 
+    /** Epoch tallies feed back into choose(): not safe to shard. */
+    bool stateless() const override { return false; }
+
     /** Currently preferred long-code index (for tests/reports). */
     std::size_t currentBest() const { return best_; }
     bool exploring() const { return exploring_; }

@@ -124,6 +124,16 @@ ChromeTraceWriter::write(std::ostream &os,
     // collect the (channel, flat bank) pairs while serializing.
     std::vector<std::pair<unsigned, unsigned>> banks_seen;
 
+    // Likewise for the per-core processes: a burst whose demand miss
+    // is attributable to one core (Event::core) is mirrored onto that
+    // core's track, so a viewer can read the timeline by originator
+    // as well as by channel. Core pids start one past the system
+    // process: channels, then system, then cores.
+    std::vector<std::uint32_t> cores_seen;
+    const auto core_pid = [&](std::uint32_t core) {
+        return meta_.channels + 1 + core;
+    };
+
     for (const Event &e : events) {
         const unsigned pid = e.channel;
         switch (e.kind) {
@@ -142,6 +152,20 @@ ChromeTraceWriter::write(std::ostream &os,
             records.push_back({e.dataStart, rec.str()});
             counterRecord(records, pid, e.dataStart, "bus_busy", "busy", 1);
             counterRecord(records, pid, e.dataEnd, "bus_busy", "busy", 0);
+            if (e.core != Event::kNoCore) {
+                if (std::find(cores_seen.begin(), cores_seen.end(),
+                              e.core) == cores_seen.end())
+                    cores_seen.push_back(e.core);
+                auto mirror =
+                    openRecord("X", core_pid(e.core), 0, e.dataStart);
+                mirror << ",\"dur\":" << (e.dataEnd - e.dataStart)
+                       << ",\"name\":\"" << jsonEscape(name)
+                       << "\",\"cat\":\"core\",\"args\":{\"write\":"
+                       << (e.isWrite ? 1 : 0)
+                       << ",\"channel\":" << e.channel
+                       << ",\"bits\":" << e.bits << "}}";
+                records.push_back({e.dataStart, mirror.str()});
+            }
             break;
           }
           case EventKind::CrcRetry: {
@@ -234,6 +258,15 @@ ChromeTraceWriter::write(std::ostream &os,
                                       "bank " + std::to_string(bank)));
     header.push_back(metadataLine("process_name", system_pid, -1, "system"));
     header.push_back(sortIndexLine(system_pid, system_pid));
+    std::sort(cores_seen.begin(), cores_seen.end());
+    for (const std::uint32_t core : cores_seen) {
+        header.push_back(
+            metadataLine("process_name", core_pid(core), -1,
+                         "core " + std::to_string(core)));
+        header.push_back(sortIndexLine(core_pid(core), core_pid(core)));
+        header.push_back(
+            metadataLine("thread_name", core_pid(core), 0, "bursts"));
+    }
 
     os << "{\"displayTimeUnit\":\"ns\",\n\"otherData\":{\"label\":\""
        << jsonEscape(meta_.label)

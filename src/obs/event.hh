@@ -53,6 +53,15 @@ struct Event
     /** Channel index as attached by the owner (see setTraceSink). */
     std::uint32_t channel = 0;
 
+    /**
+     * Originating core for Read/Write bursts whose demand miss can be
+     * pinned on one core; kNoCore for writebacks, prefetches, and
+     * every other kind. Drives the per-core Chrome-trace tracks.
+     */
+    std::uint32_t core = kNoCore;
+
+    static constexpr std::uint32_t kNoCore = ~0u;
+
     // DRAM coordinates (rank-only for Refresh/power-down events).
     std::uint32_t rank = 0;
     std::uint32_t bankGroup = 0;

@@ -21,7 +21,8 @@ RunSpec::key() const
     return system + "/" + workload + "/" + policy + "/X" +
         std::to_string(lookahead) + "/" + std::to_string(opsPerThread) +
         "/" + std::to_string(scale) + "/S" + std::to_string(seed) +
-        "/B" + std::to_string(ber) + (eventDriven ? "" : "/noskip");
+        "/B" + std::to_string(ber) + (eventDriven ? "" : "/noskip") +
+        (shards == 0 ? "" : "/sh" + std::to_string(shards));
 }
 
 std::unique_ptr<CodingPolicy>
@@ -76,6 +77,8 @@ makeSystemConfig(const std::string &name)
         return SystemConfig::microserver();
     if (name == "lpddr3")
         return SystemConfig::mobile();
+    if (name == "datacenter-8ch")
+        return SystemConfig::datacenter8ch();
     std::string known;
     for (const auto &n : systemNames())
         known += (known.empty() ? "" : " ") + n;
@@ -86,7 +89,7 @@ makeSystemConfig(const std::string &name)
 std::vector<std::string>
 systemNames()
 {
-    return {"ddr4", "lpddr3"};
+    return {"ddr4", "lpddr3", "datacenter-8ch"};
 }
 
 std::vector<std::string>
@@ -155,6 +158,7 @@ runSpecFresh(const RunSpec &spec, const RunObservers &observers)
 
     SystemConfig config = makeSystemConfig(s.system);
     config.eventDriven = s.eventDriven;
+    config.shards = s.shards;
     if (s.ber != 0.0) {
         config.controller.faultModel.ber = s.ber;
         if (s.seed != 0)

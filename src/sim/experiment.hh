@@ -24,7 +24,7 @@ namespace mil
 /** Identifies one simulation of the experiment grid. */
 struct RunSpec
 {
-    std::string system = "ddr4";   ///< "ddr4" or "lpddr3".
+    std::string system = "ddr4";   ///< See systemNames().
     std::string workload = "GUPS"; ///< Table 3 name.
     std::string policy = "DBI";    ///< See makePolicy().
     unsigned lookahead = 8;        ///< X for the MiL policy.
@@ -48,6 +48,15 @@ struct RunSpec
      */
     bool eventDriven = true;
 
+    /**
+     * Intra-run sharding (see SystemConfig::shards): 0 runs the
+     * serial oracle, N >= 1 the sharded engine with min(N, channels)
+     * crew threads. Results are byte-identical for every value, so
+     * the knob only appears in key() when nonzero -- existing memo
+     * keys are stable.
+     */
+    unsigned shards = 0;
+
     std::string key() const;
 };
 
@@ -59,7 +68,10 @@ struct RunSpec
 std::unique_ptr<CodingPolicy> makePolicy(const std::string &name,
                                          unsigned lookahead = 8);
 
-/** System config by name ("ddr4" or "lpddr3"); ConfigError otherwise. */
+/**
+ * System config by name ("ddr4", "lpddr3", or "datacenter-8ch");
+ * ConfigError otherwise.
+ */
 SystemConfig makeSystemConfig(const std::string &name);
 
 /** The named systems makeSystemConfig() accepts. */

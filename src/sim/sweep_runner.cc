@@ -56,6 +56,7 @@ SweepGrid::expand() const
                 spec.scale = scale;
                 spec.ber = ber;
                 spec.eventDriven = eventDriven;
+                spec.shards = shards;
                 if (baseSeed != 0)
                     spec.seed = deriveSeed(baseSeed, specs.size());
                 specs.push_back(std::move(spec));

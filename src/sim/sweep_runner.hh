@@ -57,6 +57,14 @@ struct SweepGrid
      */
     bool eventDriven = true;
 
+    /**
+     * Intra-run sharding for every cell (see RunSpec::shards); mind
+     * that jobs x shards threads can run at once, so large grids
+     * usually want cell-level parallelism (--jobs) and big single
+     * configs want --shards.
+     */
+    unsigned shards = 0;
+
     /** Number of cells in the cross product. */
     std::size_t size() const;
 

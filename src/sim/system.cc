@@ -1,8 +1,12 @@
 #include "system.hh"
 
+#include <algorithm>
+#include <optional>
 #include <sstream>
 
+#include "common/logging.hh"
 #include "common/sim_error.hh"
+#include "common/thread_pool.hh"
 #include "dram/address_map.hh"
 #include "fault/counter_rng.hh"
 #include "power/dram_power.hh"
@@ -224,9 +228,98 @@ System::run(Cycle max_cycles)
     constexpr Cycle check_interval = Cycle{1} << 20;
     Cycle last_check = 0;
 
-    while (now < max_cycles) {
+    // --- the sharded engine (SystemConfig::shards >= 1) ------------
+    //
+    // Each simulated cycle splits into a parallel back-end phase and
+    // a serial front-end phase:
+    //
+    //   1. the per-channel controllers tick concurrently on a
+    //      WorkerCrew (channel ch belongs to crew member ch % crew
+    //      size), with read-response deliveries deferred and, when
+    //      tracing, events buffered per channel;
+    //   2. barrier; a captured exception rethrows from the lowest
+    //      channel index (the one the serial loop would have thrown);
+    //   3. the per-channel event buffers flush into the main sink in
+    //      channel order -- the order the serial tick loop emits;
+    //   4. the deferred responses deliver in (channel, drain-scan)
+    //      order, which is exactly the serial invocation order
+    //      because a delivery only ever mutates cache/port state,
+    //      never any controller (see setDeferDeliveries);
+    //   5. the front end (port, L2, L1s, cores, sampler) ticks
+    //      serially on the calling thread, as always.
+    //
+    // Controllers are mutually independent within a tick -- distinct
+    // channels, distinct bank state, data through the internally-
+    // synchronized FunctionalMemory -- so step 1 commutes with the
+    // serial interleaving and every observable byte matches the
+    // shards=0 oracle (asserted by tests/sim/test_shard_engine.cc).
+    const unsigned nchannels =
+        static_cast<unsigned>(controllers_.size());
+    const bool sharded = config_.shards >= 1;
+    unsigned crew_size = 1;
+    if (sharded) {
+        crew_size = std::min(std::max(config_.shards, 1u), nchannels);
+        if (crew_size > 1 && policy_ != nullptr &&
+            !policy_->stateless()) {
+            mil_warn("policy is stateful; the sharded engine keeps "
+                     "the controller phase sequential so the "
+                     "observe()/choose() order matches the serial "
+                     "oracle");
+            crew_size = 1;
+        }
+    }
+    std::optional<WorkerCrew> crew;
+    std::vector<obs::MemoryTraceSink> shard_buffers;
+    std::vector<std::exception_ptr> shard_errors;
+    if (sharded) {
+        crew.emplace(crew_size);
+        shard_errors.resize(nchannels);
+        if (tracing())
+            shard_buffers.resize(nchannels);
         for (auto &ctrl : controllers_)
-            ctrl->tick(now);
+            ctrl->setDeferDeliveries(true);
+    }
+
+    auto tickControllers = [&](Cycle cycle) {
+        if (!sharded) {
+            for (auto &ctrl : controllers_)
+                ctrl->tick(cycle);
+            return;
+        }
+        const bool buffering = !shard_buffers.empty();
+        if (buffering) {
+            for (unsigned ch = 0; ch < nchannels; ++ch)
+                controllers_[ch]->setTraceSink(&shard_buffers[ch], ch);
+        }
+        crew->run([&](unsigned member) {
+            for (unsigned ch = member; ch < nchannels; ch += crew_size) {
+                try {
+                    controllers_[ch]->tick(cycle);
+                } catch (...) {
+                    shard_errors[ch] = std::current_exception();
+                }
+            }
+        });
+        if (buffering) {
+            for (unsigned ch = 0; ch < nchannels; ++ch)
+                controllers_[ch]->setTraceSink(sink_, ch);
+        }
+        for (const auto &error : shard_errors)
+            if (error)
+                std::rethrow_exception(error);
+        if (buffering) {
+            for (auto &buffer : shard_buffers) {
+                for (const auto &event : buffer.events())
+                    sink_->record(event);
+                buffer.clear();
+            }
+        }
+        for (auto &ctrl : controllers_)
+            ctrl->deliverDeferred();
+    };
+
+    while (now < max_cycles) {
+        tickControllers(now);
         port_->tick(now);
         l2_->tick(now);
         for (auto &l1 : l1s_)
@@ -290,6 +383,11 @@ System::run(Cycle max_cycles)
             }
         }
         now = next;
+    }
+
+    if (sharded) {
+        for (auto &ctrl : controllers_)
+            ctrl->setDeferDeliveries(false);
     }
 
     if (sampler_ != nullptr)

@@ -77,4 +77,23 @@ SystemConfig::mobile()
     return c;
 }
 
+SystemConfig
+SystemConfig::datacenter8ch()
+{
+    // The microserver scaled to a datacenter sled: same per-core
+    // microarchitecture and DDR4-3200 timing (dual rank), but 8
+    // channels, 64 cores x 2 threads, and a 4x L2 with more MSHRs so
+    // the extra cores can actually expose memory parallelism.
+    SystemConfig c = microserver();
+    c.name = "datacenter-8ch";
+    c.channels = 8;
+    c.cores = 64;
+    c.core.threads = 2;
+
+    c.l2.sizeBytes = 16 * 1024 * 1024;
+    c.l2.ways = 16;
+    c.l2.mshrs = 64;
+    return c;
+}
+
 } // namespace mil

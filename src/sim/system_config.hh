@@ -59,11 +59,35 @@ struct SystemConfig
      */
     bool eventDriven = true;
 
+    /**
+     * Intra-run sharding: 0 runs the serial oracle loop untouched;
+     * N >= 1 runs the sharded engine, which ticks the per-channel
+     * memory controllers on min(N, channels) crew threads with a
+     * barrier every simulated cycle and defers their read-response
+     * deliveries into a serial, channel-ordered section. Results,
+     * trace bytes, and sampler CSVs are byte-identical for every
+     * value (asserted by tests/sim/test_shard_engine.cc and the CI
+     * smoke job); shards=1 exercises the engine's deferral seams on
+     * a single thread. Stateful coding policies (MiL-adaptive) force
+     * the engine's controller phase sequential -- see
+     * CodingPolicy::stateless().
+     */
+    unsigned shards = 0;
+
     /** Niagara-like DDR4-3200 microserver (Table 2, right column). */
     static SystemConfig microserver();
 
     /** Snapdragon-like LPDDR3-1600 mobile system (Table 2, left). */
     static SystemConfig mobile();
+
+    /**
+     * Datacenter-scale extension target: 8 DDR4-3200 channels (dual
+     * rank, as ddr4_3200() already models) feeding 64 microserver
+     * cores with 2 threads each and a larger shared L2. Far beyond
+     * the paper's Table 2 -- this is the configuration the sharded
+     * engine exists for; it is impractical to sweep single-threaded.
+     */
+    static SystemConfig datacenter8ch();
 };
 
 } // namespace mil

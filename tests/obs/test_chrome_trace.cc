@@ -57,19 +57,44 @@ TEST(ChromeTrace, RoundTripsThroughTraceReader)
     EXPECT_EQ(trace.threadNames().at({0, 0}), "bus");
     EXPECT_EQ(trace.threadNames().at({0, 1}), "decision");
 
-    // Burst slices carry the scheme name and the bit payload.
+    // Burst slices carry the scheme name and the bit payload. Bursts
+    // attributable to one core are mirrored onto that core's process
+    // (pids past the system process) with the channel in the args.
     ASSERT_FALSE(trace.slices().empty());
     bool saw_milc = false;
     bool saw_lwc = false;
+    std::size_t bus_slices = 0;
+    std::size_t core_slices = 0;
     for (const auto &slice : trace.slices()) {
-        ASSERT_EQ(slice.cat, "bus");
+        ASSERT_TRUE(slice.cat == "bus" || slice.cat == "core")
+            << slice.cat;
         EXPECT_GT(slice.dur, 0u);
-        EXPECT_GT(slice.args.at("bits"), 0);
+        if (slice.cat == "core") {
+            ++core_slices;
+            // Microserver: pids 0-1 are channels, 2 is the system.
+            EXPECT_GT(slice.pid, 2u);
+            EXPECT_TRUE(slice.args.count("channel"));
+        } else {
+            ++bus_slices;
+            EXPECT_GT(slice.args.at("bits"), 0);
+        }
         saw_milc = saw_milc || slice.name == "MiLC";
         saw_lwc = saw_lwc || slice.name == "3-LWC";
     }
     EXPECT_TRUE(saw_milc);
     EXPECT_TRUE(saw_lwc);
+    EXPECT_GT(core_slices, 0u);
+    EXPECT_LE(core_slices, bus_slices);
+
+    // The mirrored cores announce themselves as named processes.
+    bool saw_core_process = false;
+    for (const auto &[pid, name] : trace.processNames())
+        if (name.rfind("core ", 0) == 0) {
+            saw_core_process = true;
+            EXPECT_TRUE(trace.threadNames().count({pid, 0}));
+            EXPECT_EQ(trace.threadNames().at({pid, 0}), "bursts");
+        }
+    EXPECT_TRUE(saw_core_process);
 
     // Decision instants and command instants made it through.
     std::size_t decisions = 0;

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/sweep_runner.hh"
+#include "sim/system_config.hh"
+
+/*
+ * The sharded engine (SystemConfig::shards >= 1) is an execution
+ * strategy, not a model change: ticking the per-channel controllers
+ * concurrently -- with deliveries deferred into a serial,
+ * channel-ordered section -- must reproduce the serial oracle loop
+ * byte for byte. These tests pin that down across shard counts, with
+ * and without event-driven skipping, under fault injection, through
+ * the sweep runner, and on the datacenter-8ch preset the engine
+ * exists for. They are also the TSan targets for the crew/engine
+ * interaction (this binary runs under the sanitizer CI leg).
+ */
+
+namespace mil
+{
+namespace
+{
+
+class ShardEngineEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setenv("MIL_OPS_PER_THREAD", "150", 1);
+        setenv("MIL_SCALE", "0.1", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("MIL_OPS_PER_THREAD");
+        unsetenv("MIL_SCALE");
+    }
+};
+
+/** Serialize every reported metric of one fresh run into a CSV row. */
+std::string
+resultRow(RunSpec spec, unsigned shards)
+{
+    spec.shards = shards;
+    const SimResult r = runSpecFresh(spec);
+    std::ostringstream os;
+    CsvReporter::writeRow(os, spec.system, spec.workload, spec.policy,
+                          r);
+    return os.str();
+}
+
+TEST_F(ShardEngineEnv, ResultRowsIdenticalAcrossShardCounts)
+{
+    std::vector<RunSpec> specs(3);
+    specs[0].workload = "MM";
+    specs[0].policy = "MiL";
+    specs[1].workload = "GUPS";
+    specs[1].policy = "DBI";
+    specs[2].system = "lpddr3";
+    specs[2].workload = "ART";
+    specs[2].policy = "3LWC";
+    for (const auto &spec : specs) {
+        const std::string oracle = resultRow(spec, 0);
+        // shards=1 exercises the deferral seams single-threaded;
+        // shards=2 saturates the microserver's two channels; a
+        // larger count must clamp to the channel count, not break.
+        EXPECT_EQ(oracle, resultRow(spec, 1)) << spec.key();
+        EXPECT_EQ(oracle, resultRow(spec, 2)) << spec.key();
+        EXPECT_EQ(oracle, resultRow(spec, 16)) << spec.key();
+    }
+}
+
+TEST_F(ShardEngineEnv, OracleLoopAlsoShards)
+{
+    // shards composes with --no-skip: the engine parallelizes the
+    // controller phase of whichever loop mode is active.
+    RunSpec spec;
+    spec.workload = "CG";
+    spec.policy = "MiL";
+    spec.eventDriven = false;
+    EXPECT_EQ(resultRow(spec, 0), resultRow(spec, 2));
+}
+
+TEST_F(ShardEngineEnv, FaultInjectionIdenticalAcrossShards)
+{
+    RunSpec spec;
+    spec.workload = "CG";
+    spec.policy = "3LWC";
+    spec.ber = 1e-6;
+    const std::string oracle = resultRow(spec, 0);
+    EXPECT_EQ(oracle, resultRow(spec, 2));
+}
+
+TEST_F(ShardEngineEnv, StatefulPolicyFallsBackSequential)
+{
+    // MiL-adaptive's observe() feeds back into choose(), so the
+    // engine must keep the controller phase sequential (with a
+    // warning) -- and still match the oracle byte for byte.
+    RunSpec spec;
+    spec.workload = "ART";
+    spec.policy = "MiL-adaptive";
+    const std::string oracle = resultRow(spec, 0);
+    EXPECT_EQ(oracle, resultRow(spec, 2));
+}
+
+TEST_F(ShardEngineEnv, RepeatedShardedRunsAreDeterministic)
+{
+    RunSpec spec;
+    spec.workload = "GUPS";
+    spec.policy = "MiL";
+    EXPECT_EQ(resultRow(spec, 2), resultRow(spec, 2));
+}
+
+/** runSpecFresh with tracing and sampling, returning all bytes. */
+struct ObservedRun
+{
+    std::string row;
+    std::string traceJson;
+    std::string samples;
+};
+
+ObservedRun
+observedRun(RunSpec spec, unsigned shards)
+{
+    spec.shards = shards;
+    const std::string trace_path = ::testing::TempDir() +
+        "shard_engine_" + std::to_string(shards) + ".json";
+
+    RunObservers obs;
+    obs.traceJsonPath = trace_path;
+    std::ostringstream samples;
+    obs.sampleInterval = 512;
+    obs.sampleCsv = &samples;
+
+    const SimResult r = runSpecFresh(spec, obs);
+
+    ObservedRun out;
+    std::ostringstream os;
+    CsvReporter::writeRow(os, spec.system, spec.workload, spec.policy,
+                          r);
+    out.row = os.str();
+    std::ifstream is(trace_path, std::ios::binary);
+    out.traceJson.assign(std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>());
+    std::remove(trace_path.c_str());
+    out.samples = samples.str();
+    return out;
+}
+
+TEST_F(ShardEngineEnv, TraceAndSamplerBytesIdenticalAcrossShards)
+{
+    // The hardest byte contract: trace events are emitted from the
+    // parallel controller phase into per-channel buffers and merged,
+    // so any ordering slip shows up here.
+    RunSpec spec;
+    spec.workload = "OCEAN";
+    spec.policy = "MiL";
+    const ObservedRun oracle = observedRun(spec, 0);
+    const ObservedRun one = observedRun(spec, 1);
+    const ObservedRun many = observedRun(spec, 4);
+    EXPECT_EQ(oracle.row, one.row);
+    EXPECT_EQ(oracle.row, many.row);
+    EXPECT_FALSE(oracle.traceJson.empty());
+    EXPECT_EQ(oracle.traceJson, one.traceJson);
+    EXPECT_EQ(oracle.traceJson, many.traceJson);
+    EXPECT_FALSE(oracle.samples.empty());
+    EXPECT_EQ(oracle.samples, one.samples);
+    EXPECT_EQ(oracle.samples, many.samples);
+}
+
+TEST_F(ShardEngineEnv, DatacenterPresetShardsIdentically)
+{
+    // The preset the engine exists for: 8 channels, 64 cores. Tiny
+    // per-thread quota keeps this test-sized; the wall-clock case
+    // lives in bench_wallclock.
+    RunSpec spec;
+    spec.system = "datacenter-8ch";
+    spec.workload = "GUPS";
+    spec.policy = "MiL";
+    spec.opsPerThread = 40;
+    const std::string oracle = resultRow(spec, 0);
+    EXPECT_EQ(oracle, resultRow(spec, 8));
+}
+
+TEST_F(ShardEngineEnv, DatacenterPresetShape)
+{
+    const SystemConfig c = makeSystemConfig("datacenter-8ch");
+    EXPECT_EQ(c.channels, 8u);
+    EXPECT_EQ(c.cores, 64u);
+    EXPECT_GE(c.timing.ranks, 2u);
+
+    const auto names = systemNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "datacenter-8ch"),
+              names.end());
+}
+
+TEST_F(ShardEngineEnv, SweepCsvBytesIdenticalAcrossShards)
+{
+    auto sweep_csv = [](unsigned shards) {
+        SweepGrid grid;
+        grid.workloads = {"CG", "HISTOGRAM"};
+        grid.policies = {"DBI", "MiL"};
+        grid.shards = shards;
+        SweepRunner runner(2);
+        runner.setUseCache(false);
+        const auto cells = runner.run(grid);
+        std::ostringstream os;
+        CsvReporter::writeHeader(os);
+        for (const auto &cell : cells) {
+            CsvReporter::writeRow(os, cell.spec.system,
+                                  cell.spec.workload, cell.spec.policy,
+                                  cell.result, cell.status, cell.error);
+        }
+        return os.str();
+    };
+    const std::string oracle = sweep_csv(0);
+    EXPECT_EQ(oracle, sweep_csv(1));
+    EXPECT_EQ(oracle, sweep_csv(2));
+}
+
+TEST(ShardEngineSpec, ShardsTagOnlyAppearsWhenNonzero)
+{
+    RunSpec spec;
+    const std::string base = spec.key();
+    spec.shards = 3;
+    EXPECT_NE(spec.key(), base);
+    EXPECT_NE(spec.key().find("/sh3"), std::string::npos);
+    spec.shards = 0;
+    EXPECT_EQ(spec.key(), base);
+}
+
+TEST(ShardEngineSpec, PolicyStatelessness)
+{
+    EXPECT_TRUE(makePolicy("DBI")->stateless());
+    EXPECT_TRUE(makePolicy("MiL")->stateless());
+    EXPECT_TRUE(makePolicy("3LWC")->stateless());
+    EXPECT_FALSE(makePolicy("MiL-adaptive")->stateless());
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -9,11 +9,12 @@
  * sweep against the library API.
  *
  * Usage:
- *   milsim [--system ddr4|lpddr3] [--workload NAME] [--policy NAME]
- *          [--ops N] [--scale F] [--lookahead X] [--powerdown]
+ *   milsim [--system ddr4|lpddr3|datacenter-8ch] [--workload NAME]
+ *          [--policy NAME] [--ops N] [--scale F] [--lookahead X]
+ *          [--powerdown]
  *          [--baseline]  (also run DBI and print normalized deltas)
  *          [--trace OUT.json] [--sample-interval N [--sample-csv F]]
- *          [--replay FILE] [--jobs N]
+ *          [--replay FILE] [--jobs N] [--shards N]
  */
 
 #include <cstdio>
@@ -60,6 +61,7 @@ struct Options
     std::string sampleCsvPath;
     unsigned jobs = 1;
     bool noSkip = false;
+    unsigned shards = 0;
 };
 
 [[noreturn]] void
@@ -67,7 +69,8 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s [options]\n"
-        "  --system ddr4|lpddr3   Table 2 system (default ddr4)\n"
+        "  --system NAME          ddr4 | lpddr3 | datacenter-8ch\n"
+        "                         (default ddr4)\n"
         "  --workload NAME        Table 3 benchmark (default GUPS)\n"
         "  --policy NAME          DBI | MiL | MiLC | CAFO2 | CAFO4 |\n"
         "                         3LWC | BLn | MiL-P3 | MiL-adaptive |\n"
@@ -98,6 +101,10 @@ usage(const char *argv0)
         "  --no-skip              run the per-cycle oracle loop instead\n"
         "                         of event-driven cycle skipping (same\n"
         "                         results, slower; see docs/performance)\n"
+        "  --shards N             shard this run: tick the channel\n"
+        "                         controllers on min(N, channels)\n"
+        "                         threads (0 = serial oracle; same\n"
+        "                         output bytes either way)\n"
         "workloads:",
         argv0);
     for (const auto &name : workloadNames())
@@ -155,6 +162,9 @@ parse(int argc, char **argv)
             opt.histograms = true;
         else if (arg == "--no-skip")
             opt.noSkip = true;
+        else if (arg == "--shards")
+            opt.shards = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
         else
             usage(argv[0]);
     }
@@ -178,6 +188,7 @@ runOne(const Options &opt, const std::string &policy_name,
     SystemConfig config = makeSystemConfig(opt.system);
     config.controller.powerDownEnabled = opt.powerDown;
     config.eventDriven = !opt.noSkip;
+    config.shards = opt.shards;
     if (opt.ber != 0.0) {
         config.controller.faultModel.ber = opt.ber;
         if (opt.seed != 0)

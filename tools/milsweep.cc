@@ -16,10 +16,12 @@
  * of sibling simulations run -- with the valid choices listed.
  *
  * Usage:
- *   milsweep [--systems ddr4,lpddr3] [--workloads GUPS,CG,...|all]
+ *   milsweep [--systems ddr4,lpddr3,datacenter-8ch]
+ *            [--workloads GUPS,CG,...|all]
  *            [--policies DBI,MiL,...] [--ops N] [--scale F]
- *            [--lookahead X] [--jobs N] [--seed S] [--ber P]
- *            [--out FILE] [--trace-dir DIR] [--no-skip] [--list]
+ *            [--lookahead X] [--jobs N] [--shards N] [--seed S]
+ *            [--ber P] [--out FILE] [--trace-dir DIR] [--no-skip]
+ *            [--list]
  */
 
 #include <algorithm>
@@ -60,7 +62,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--systems a,b] [--workloads a,b|all] "
         "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
-        "[--jobs N] [--seed S] [--ber P] [--out FILE] "
+        "[--jobs N] [--shards N] [--seed S] [--ber P] [--out FILE] "
         "[--trace-dir DIR] [--no-skip] [--list]\n",
         argv0);
     std::exit(2);
@@ -157,6 +159,9 @@ run(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         else if (arg == "--jobs")
             jobs = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (arg == "--shards")
+            grid.shards = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 10));
         else if (arg == "--seed")
             grid.baseSeed = std::strtoull(value(), nullptr, 10);
