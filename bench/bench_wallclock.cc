@@ -5,11 +5,12 @@
  * configuration -- and reports the host-time speedup. Two comparison
  * kinds exist:
  *
- *  - skip benches: event-driven cycle skipping vs the per-cycle
- *    oracle loop (tracing and sampling off);
+ *  - skip benches: the hybrid tick mode (TickMode::Auto, the
+ *    default) vs the per-cycle oracle loop (tracing and sampling
+ *    off);
  *  - shard benches: the sharded engine (SystemConfig::shards = N) vs
- *    the serial path (shards = 0), both event-driven -- the
- *    datacenter-8ch case intra-run parallelism exists for.
+ *    the serial path (shards = 0), both in the default tick mode --
+ *    the datacenter-8ch case intra-run parallelism exists for.
  *
  * Results go to stdout as a table and, with --json FILE (or
  * MIL_BENCH_JSON), to a machine-readable JSON file --
@@ -59,9 +60,9 @@ struct Scenario
     std::string workload; ///< Table 3 name, or "" for the trace.
     std::string policy;
     std::uint64_t opsPerThread;
-    /// 0: candidate = event-driven, baseline = per-cycle oracle.
-    /// N>0: candidate = shards N, baseline = shards 0 (both
-    /// event-driven); clamped to host cores before running.
+    /// 0: candidate = TickMode::Auto, baseline = per-cycle oracle.
+    /// N>0: candidate = shards N, baseline = shards 0 (both in the
+    /// default tick mode); clamped to host cores before running.
     unsigned shards;
     /// Committed regression floor on speedup; shard floors only gate
     /// when the host has at least minHostCores cores.
@@ -107,9 +108,10 @@ runOnce(const Scenario &sc, bool candidate, unsigned shards_used)
     SystemConfig config = makeSystemConfig(
         sc.system.empty() ? "ddr4" : sc.system);
     if (sc.shards == 0) {
-        config.eventDriven = candidate;
+        config.tickMode =
+            candidate ? TickMode::Auto : TickMode::Cycle;
     } else {
-        config.eventDriven = true;
+        config.tickMode = TickMode::Auto;
         config.shards = candidate ? shards_used : 0;
     }
 
@@ -135,17 +137,25 @@ runOnce(const Scenario &sc, bool candidate, unsigned shards_used)
     return s;
 }
 
-/** Best of @p reps runs (min wall time; identical simulated work). */
-Sample
-best(const Scenario &sc, bool candidate, unsigned shards_used, int reps)
+/**
+ * Best of @p reps runs of each configuration (min wall time;
+ * identical simulated work). Candidate and baseline reps interleave
+ * so slow machine drift -- CPU steal on shared runners, thermal
+ * throttling -- hits both sides of the ratio instead of whichever
+ * block ran second.
+ */
+void
+best(const Scenario &sc, unsigned shards_used, int reps,
+     Sample &candidate, Sample &baseline)
 {
-    Sample out;
     for (int i = 0; i < reps; ++i) {
-        const Sample s = runOnce(sc, candidate, shards_used);
-        if (i == 0 || s.seconds < out.seconds)
-            out = s;
+        const Sample c = runOnce(sc, true, shards_used);
+        if (i == 0 || c.seconds < candidate.seconds)
+            candidate = c;
+        const Sample b = runOnce(sc, false, shards_used);
+        if (i == 0 || b.seconds < baseline.seconds)
+            baseline = b;
     }
-    return out;
 }
 
 struct Row
@@ -167,7 +177,7 @@ struct Row
     compare() const
     {
         if (scenario.shards == 0)
-            return "event-driven skip vs per-cycle oracle";
+            return "hybrid tick mode (auto) vs per-cycle oracle";
         return "shards=" + std::to_string(shardsUsed) +
             " vs serial (shards=0)";
     }
@@ -254,7 +264,7 @@ benchMain(int argc, char **argv)
     const std::vector<Scenario> scenarios = {
         {"latency_bound_trace", "", "", "MiL", 0, 0, 4.0, 1},
         {"mm_mil", "", "MM", "MiL", 8000, 0, 1.0, 1},
-        {"gups_dbi", "", "GUPS", "DBI", 8000, 0, 0.7, 1},
+        {"gups_dbi", "", "GUPS", "DBI", 8000, 0, 1.0, 1},
         {"datacenter_shards", "datacenter-8ch", "MM", "MiL", 6000, 8,
          2.0, 8},
     };
@@ -276,8 +286,7 @@ benchMain(int argc, char **argv)
         row.shardsUsed = sc.shards == 0
             ? 0
             : std::min(sc.shards, hostCores());
-        row.candidate = best(sc, true, row.shardsUsed, reps);
-        row.baseline = best(sc, false, row.shardsUsed, reps);
+        best(sc, row.shardsUsed, reps, row.candidate, row.baseline);
         if (row.candidate.cycles != row.baseline.cycles) {
             std::fprintf(stderr,
                          "FATAL: %s modes disagree on cycles\n",

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench_wallclock run against the committed baseline.
+
+Where check_bench_floors.py answers "did anything regress past its
+floor?", this script answers "how did each scenario move?": it prints
+a per-scenario table of the committed baseline speedup, the fresh
+measurement, and the delta, plus the raw candidate/baseline wall
+seconds behind them. CI pipes the markdown flavor into
+``$GITHUB_STEP_SUMMARY`` so the speedup trajectory shows up on the
+workflow run page without downloading artifacts.
+
+Always exits 0: this is a trend report, not a gate (the gate is
+check_bench_floors.py --gate).
+
+Usage:
+    scripts/bench_compare.py FRESH.json [--baseline BENCH_wallclock.json]
+                             [--markdown FILE]
+
+With --markdown FILE the GitHub-flavored table is appended to FILE
+(pass "$GITHUB_STEP_SUMMARY" in CI); the plain table always goes to
+stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load(path: pathlib.Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def fmt_delta(fresh: float, committed: float) -> str:
+    delta = fresh - committed
+    return f"{delta:+.2f}x"
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=pathlib.Path,
+                        help="JSON written by a fresh bench_wallclock run")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_wallclock.json",
+                        help="committed baseline JSON to diff against")
+    parser.add_argument("--markdown", type=pathlib.Path, default=None,
+                        metavar="FILE",
+                        help="append a GitHub-flavored markdown table "
+                             "to FILE (e.g. \"$GITHUB_STEP_SUMMARY\")")
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    fresh_benches = fresh.get("benches", {})
+    base_benches = baseline.get("benches", {})
+
+    rows = []
+    names = list(base_benches)
+    names += [n for n in fresh_benches if n not in base_benches]
+    for name in names:
+        b = base_benches.get(name)
+        f = fresh_benches.get(name)
+        if f is None:
+            rows.append((name, b.get("speedup"), None, None, None,
+                         "missing from fresh run"))
+            continue
+        note = ""
+        host = int(fresh.get("host_cores", 1))
+        if b is None:
+            note = "new scenario (no committed baseline)"
+        elif host < int(b.get("min_host_cores", 1)):
+            note = (f"floor not applicable "
+                    f"(needs >= {b.get('min_host_cores')} cores)")
+        rows.append((name,
+                     None if b is None else float(b.get("speedup", 0.0)),
+                     float(f.get("speedup", 0.0)),
+                     float(f.get("candidate_seconds", 0.0)),
+                     float(f.get("baseline_seconds", 0.0)),
+                     note))
+
+    header = (f"bench speedups: fresh {args.fresh} vs committed "
+              f"{args.baseline} (host cores: "
+              f"{fresh.get('host_cores', '?')})")
+    print(header)
+    print(f"{'scenario':<22} {'committed':>10} {'fresh':>8} "
+          f"{'delta':>8} {'cand[s]':>8} {'base[s]':>8}  note")
+    for name, committed, measured, cand_s, base_s, note in rows:
+        committed_s = "-" if committed is None else f"{committed:.2f}x"
+        if measured is None:
+            print(f"{name:<22} {committed_s:>10} {'-':>8} {'-':>8} "
+                  f"{'-':>8} {'-':>8}  {note}")
+            continue
+        delta = ("-" if committed is None
+                 else fmt_delta(measured, committed))
+        print(f"{name:<22} {committed_s:>10} {measured:.2f}x{'':>2} "
+              f"{delta:>8} {cand_s:>8.2f} {base_s:>8.2f}  {note}")
+
+    if args.markdown is not None:
+        md = ["### Wall-clock bench speedups", "",
+              f"Fresh run vs committed `{args.baseline.name}` "
+              f"(host cores: {fresh.get('host_cores', '?')})", "",
+              "| scenario | committed | fresh | delta | cand [s] "
+              "| base [s] | note |",
+              "|---|---:|---:|---:|---:|---:|---|"]
+        for name, committed, measured, cand_s, base_s, note in rows:
+            committed_s = ("–" if committed is None
+                           else f"{committed:.2f}x")
+            if measured is None:
+                md.append(f"| {name} | {committed_s} | – | – | – | – "
+                          f"| {note} |")
+                continue
+            delta = ("–" if committed is None
+                     else fmt_delta(measured, committed))
+            md.append(f"| {name} | {committed_s} | {measured:.2f}x "
+                      f"| {delta} | {cand_s:.2f} | {base_s:.2f} "
+                      f"| {note} |")
+        md.append("")
+        with open(args.markdown, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(md) + "\n")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -48,29 +48,34 @@ MemoryController::MemoryController(const TimingParams &timing,
             config_.drainLowWatermark, config_.drainHighWatermark,
             config_.writeQueueSize));
     }
-
-    ranks_.resize(timing_.ranks);
-    rankPending_.assign(timing_.ranks, 0);
-    for (unsigned r = 0; r < timing_.ranks; ++r) {
-        auto &rank = ranks_[r];
-        rank.banks.resize(timing_.banks());
-        rank.nextColSameGroup.assign(timing_.bankGroups, 0);
-        rank.nextRdSameGroup.assign(timing_.bankGroups, 0);
-        // Stagger refreshes across ranks so they do not collide.
-        rank.nextRefresh = timing_.tREFI * (r + 1) / timing_.ranks;
+    // QueueHot packs the decoded coordinates into bytes and
+    // rankPending_ counts into 16 bits; reject configurations those
+    // widths cannot represent (none of the supported parts comes
+    // close).
+    if (timing_.ranks > 256 || timing_.banks() > 256) {
+        throw ConfigError(strformat(
+            "organization of %u ranks x %u banks exceeds the packed "
+            "queue-entry coordinate range",
+            timing_.ranks, timing_.banks()));
     }
-}
+    if (config_.readQueueSize + config_.writeQueueSize > 0xFFFF) {
+        throw ConfigError(strformat(
+            "queue sizes %u+%u overflow the per-rank pending counter",
+            config_.readQueueSize, config_.writeQueueSize));
+    }
 
-MemoryController::BankState &
-MemoryController::bank(const DramCoord &c)
-{
-    return ranks_[c.rank].banks[c.flatBank(timing_.banksPerGroup)];
-}
-
-const MemoryController::BankState &
-MemoryController::bank(const DramCoord &c) const
-{
-    return ranks_[c.rank].banks[c.flatBank(timing_.banksPerGroup)];
+    banksPerRank_ = timing_.banks();
+    ranks_.resize(timing_.ranks);
+    bankTiming_.assign(
+        static_cast<std::size_t>(timing_.ranks) * banksPerRank_,
+        BankTiming{});
+    bankRow_.assign(bankTiming_.size(), kBankClosed);
+    rankPending_.assign(timing_.ranks, 0);
+    bankScratch_.assign(bankTiming_.size(), 0);
+    for (unsigned r = 0; r < timing_.ranks; ++r) {
+        // Stagger refreshes across ranks so they do not collide.
+        ranks_[r].nextRefresh = timing_.tREFI * (r + 1) / timing_.ranks;
+    }
 }
 
 obs::Event
@@ -113,36 +118,54 @@ MemoryController::enqueue(const MemRequest &req, MemResponseSink *sink)
     if (!canAccept(req.isWrite))
         return false;
 
+    mil_assert(req.coord.row != kBankClosed,
+               "row index collides with the closed-bank sentinel");
+
     if (req.isWrite) {
         // Coalesce with an already-queued write to the same line.
-        for (auto &e : writeQ_) {
-            if (e.req.lineAddr == req.lineAddr) {
-                e.req.data = req.data;
+        // Data-only update: no timing state moves, so the cached
+        // horizon stays valid.
+        for (std::size_t i = 0; i < writeQ_.size(); ++i) {
+            if (writeQ_.hot[i].lineAddr == req.lineAddr) {
+                writeQ_.cold[i].req.data = req.data;
                 return true;
             }
         }
-        writeQ_.push_back(Entry{req, nullptr});
-        ++rankPending_[req.coord.rank];
-        updateDrainMode();
-        if (tracing())
-            emitQueueSample(req.arrival);
-        return true;
-    }
-
-    // Read forwarding from the write queue: the freshest queued write
-    // to this line supplies the data without a DRAM access.
-    for (auto it = writeQ_.rbegin(); it != writeQ_.rend(); ++it) {
-        if (it->req.lineAddr == req.lineAddr) {
-            mil_assert(sink != nullptr, "read without a response sink");
-            responses_.push_back(PendingResponse{
-                req.arrival + timing_.tCL, req.id, it->req.data, sink});
-            return true;
+    } else {
+        // Read forwarding from the write queue: the freshest queued
+        // write to this line supplies the data without a DRAM access.
+        for (std::size_t i = writeQ_.size(); i-- > 0;) {
+            if (writeQ_.hot[i].lineAddr == req.lineAddr) {
+                mil_assert(sink != nullptr,
+                           "read without a response sink");
+                responses_.push_back(PendingResponse{
+                    req.arrival + timing_.tCL, req.id,
+                    writeQ_.cold[i].req.data, sink});
+                invalidateHorizon();
+                return true;
+            }
         }
     }
 
-    mil_assert(sink != nullptr, "read without a response sink");
-    readQ_.push_back(Entry{req, sink});
-    ++rankPending_[req.coord.rank];
+    QueueHot h;
+    h.lineAddr = req.lineAddr;
+    h.row = req.coord.row;
+    h.rank = static_cast<std::uint8_t>(req.coord.rank);
+    h.bankGroup = static_cast<std::uint8_t>(req.coord.bankGroup);
+    h.flatBank = static_cast<std::uint8_t>(
+        req.coord.flatBank(timing_.banksPerGroup));
+    h.isWrite = req.isWrite ? 1 : 0;
+
+    if (req.isWrite) {
+        writeQ_.push(h, EntryCold{req, nullptr});
+        ++rankPending_[h.rank];
+        updateDrainMode();
+    } else {
+        mil_assert(sink != nullptr, "read without a response sink");
+        readQ_.push(h, EntryCold{req, sink});
+        ++rankPending_[h.rank];
+    }
+    invalidateHorizon();
     if (tracing())
         emitQueueSample(req.arrival);
     return true;
@@ -173,29 +196,32 @@ MemoryController::turnaroundGap(bool next_is_write,
 }
 
 Cycle
-MemoryController::earliestColumn(const Entry &e, Cycle now) const
+MemoryController::earliestColumn(const QueueHot &h, Cycle now) const
 {
-    const DramCoord &c = e.req.coord;
-    const BankState &b = bank(c);
-    if (!b.open || b.row != c.row)
+    const std::size_t bi = bankIndex(h);
+    // A closed bank holds the kBankClosed sentinel, which no real row
+    // equals, so one compare covers both "closed" and "wrong row".
+    if (bankRow_[bi] != h.row)
         return invalidCycle;
 
-    const RankState &rank = ranks_[c.rank];
+    const BankTiming &b = bankTiming_[bi];
+    const RankState &rank = ranks_[h.rank];
+    const bool is_write = h.isWrite != 0;
     Cycle t = std::max({b.nextCol, rank.nextColAnyGroup,
-                        rank.nextColSameGroup[c.bankGroup],
+                        rank.nextColSameGroup[h.bankGroup],
                         rank.wakeReadyAt});
-    if (!e.req.isWrite) {
+    if (!is_write) {
         t = std::max({t, rank.nextRdAnyGroup,
-                      rank.nextRdSameGroup[c.bankGroup]});
+                      rank.nextRdSameGroup[h.bankGroup]});
     }
 
     // Data-bus availability: the burst must start no earlier than the
     // bus frees up plus any turnaround gap.
     const Cycle latency =
-        (e.req.isWrite ? timing_.tCWL : timing_.tCL) +
+        (is_write ? timing_.tCWL : timing_.tCL) +
         policy_->latencyAdder();
     const Cycle bus_ready =
-        busFreeAt_ + turnaroundGap(e.req.isWrite, c.rank);
+        busFreeAt_ + turnaroundGap(is_write, h.rank);
     if (bus_ready > latency && bus_ready - latency > t)
         t = bus_ready - latency;
 
@@ -203,14 +229,13 @@ MemoryController::earliestColumn(const Entry &e, Cycle now) const
 }
 
 Cycle
-MemoryController::earliestActivate(const Entry &e, Cycle now) const
+MemoryController::earliestActivate(const QueueHot &h, Cycle now) const
 {
-    const DramCoord &c = e.req.coord;
-    const BankState &b = bank(c);
-    if (b.open)
+    const std::size_t bi = bankIndex(h);
+    if (bankRow_[bi] != kBankClosed)
         return invalidCycle;
 
-    const RankState &rank = ranks_[c.rank];
+    const RankState &rank = ranks_[h.rank];
     if (rank.refreshPending)
         return invalidCycle; // Quiesce the rank for refresh first.
 
@@ -218,17 +243,17 @@ MemoryController::earliestActivate(const Entry &e, Cycle now) const
     const Cycle faw_gate = rank.actCount >= 4
         ? rank.actTimes[rank.actPtr] + timing_.tFAW
         : 0;
-    return std::max({b.nextAct, faw_gate, rank.wakeReadyAt, now});
+    return std::max(
+        {bankTiming_[bi].nextAct, faw_gate, rank.wakeReadyAt, now});
 }
 
 Cycle
-MemoryController::earliestPrecharge(const Entry &e, Cycle now) const
+MemoryController::earliestPrecharge(const QueueHot &h, Cycle now) const
 {
-    const DramCoord &c = e.req.coord;
-    const BankState &b = bank(c);
-    if (!b.open || b.row == c.row)
+    const std::size_t bi = bankIndex(h);
+    if (bankRow_[bi] == kBankClosed || bankRow_[bi] == h.row)
         return invalidCycle;
-    return std::max(b.nextPre, now);
+    return std::max(bankTiming_[bi].nextPre, now);
 }
 
 unsigned
@@ -236,11 +261,11 @@ MemoryController::columnReadyWithin(Cycle now, Cycle horizon,
                                     const void *exclude) const
 {
     unsigned count = 0;
-    auto scan = [&](const std::deque<Entry> &q) {
-        for (const auto &e : q) {
-            if (&e == exclude)
+    auto scan = [&](const RequestQueue &q) {
+        for (const QueueHot &h : q.hot) {
+            if (&h == exclude)
                 continue;
-            const Cycle t = earliestColumn(e, now);
+            const Cycle t = earliestColumn(h, now);
             if (t != invalidCycle && t <= now + horizon)
                 ++count;
         }
@@ -251,7 +276,7 @@ MemoryController::columnReadyWithin(Cycle now, Cycle horizon,
 }
 
 Cycle
-MemoryController::transferData(Cycle data_start, const Entry &entry,
+MemoryController::transferData(Cycle data_start, const EntryCold &entry,
                                bool is_write, const Code &code)
 {
     // Local copy on the read path: FunctionalMemory::read() returns
@@ -435,11 +460,14 @@ MemoryController::transferData(Cycle data_start, const Entry &entry,
 }
 
 void
-MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
+MemoryController::issueColumn(Cycle now, RequestQueue &queue,
+                              std::size_t i, bool is_write)
 {
-    const DramCoord &c = entry.req.coord;
-    RankState &rank = ranks_[c.rank];
-    BankState &b = bank(c);
+    const QueueHot &h = queue.hot[i];
+    const EntryCold &entry = queue.cold[i];
+    RankState &rank = ranks_[h.rank];
+    const std::size_t bi = bankIndex(h);
+    BankTiming &b = bankTiming_[bi];
 
     // Consult the coding policy (the MiL decision point, Section 4.2).
     ColumnContext ctx;
@@ -448,12 +476,12 @@ MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
     ctx.now = now;
     const unsigned x = policy_->lookahead();
     ctx.othersReadyWithinX =
-        x == 0 ? 0 : columnReadyWithin(now, x, &entry);
+        x == 0 ? 0 : columnReadyWithin(now, x, &h);
     const Code &code = policy_->choose(ctx);
 
     if (tracing()) {
         obs::Event event =
-            makeEvent(obs::EventKind::Decision, now, c);
+            makeEvent(obs::EventKind::Decision, now, entry.req.coord);
         event.isWrite = is_write;
         event.value = ctx.othersReadyWithinX;
         event.value2 = x;
@@ -468,8 +496,8 @@ MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
     // Column-to-column spacing (bank-group aware).
     rank.nextColAnyGroup =
         std::max(rank.nextColAnyGroup, now + timing_.tCCD_S);
-    rank.nextColSameGroup[c.bankGroup] = std::max(
-        rank.nextColSameGroup[c.bankGroup], now + timing_.tCCD_L);
+    rank.nextColSameGroup[h.bankGroup] = std::max(
+        rank.nextColSameGroup[h.bankGroup], now + timing_.tCCD_L);
 
     // data_end covers CRC retries: a re-driven write pushes its
     // write-recovery and write-to-read windows out with the data.
@@ -479,8 +507,8 @@ MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
         // Write-to-read turnaround, measured from the end of write data.
         rank.nextRdAnyGroup =
             std::max(rank.nextRdAnyGroup, data_end + timing_.tWTR_S);
-        rank.nextRdSameGroup[c.bankGroup] = std::max(
-            rank.nextRdSameGroup[c.bankGroup], data_end + timing_.tWTR_L);
+        rank.nextRdSameGroup[h.bankGroup] = std::max(
+            rank.nextRdSameGroup[h.bankGroup], data_end + timing_.tWTR_L);
         // Write recovery gates the precharge.
         b.nextPre = std::max(b.nextPre, data_end + timing_.tWR);
         ++stats_.writes;
@@ -492,26 +520,25 @@ MemoryController::issueColumn(Cycle now, Entry &entry, bool is_write)
     // Closed-page policy: auto-precharge after the access; the bank
     // reopens for every new column command.
     if (config_.pagePolicy == PagePolicy::Closed) {
-        b.open = false;
+        bankRow_[bi] = kBankClosed;
         b.nextAct = std::max(b.nextAct, b.nextPre + timing_.tRP);
         ++stats_.precharges;
     }
 }
 
 bool
-MemoryController::tryIssueColumn(Cycle now, std::deque<Entry> &queue,
+MemoryController::tryIssueColumn(Cycle now, RequestQueue &queue,
                                  bool is_write)
 {
     // FR-FCFS: the oldest ready column command wins. Only open-row
     // hits can be column-ready, so this is exactly "first ready".
     for (std::size_t i = 0; i < queue.size(); ++i) {
-        Entry &e = queue[i];
-        const Cycle t = earliestColumn(e, now);
+        const Cycle t = earliestColumn(queue.hot[i], now);
         if (t == now) {
             ++stats_.rowHits;
-            issueColumn(now, e, is_write);
-            --rankPending_[e.req.coord.rank];
-            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+            issueColumn(now, queue, i, is_write);
+            --rankPending_[queue.hot[i].rank];
+            queue.erase(i);
             if (is_write)
                 updateDrainMode();
             if (tracing())
@@ -523,70 +550,70 @@ MemoryController::tryIssueColumn(Cycle now, std::deque<Entry> &queue,
 }
 
 bool
-MemoryController::tryIssueRowCommand(Cycle now, std::deque<Entry> &queue)
+MemoryController::tryIssueRowCommand(Cycle now, RequestQueue &queue)
 {
-    // Consider only the oldest entry per bank; younger entries to the
-    // same bank wait behind it.
-    std::vector<bool> bank_seen(timing_.ranks * timing_.banks(), false);
-    // Open rows that still have pending hits must not be closed.
-    std::vector<bool> row_wanted(timing_.ranks * timing_.banks(), false);
-    for (const auto &e : queue) {
-        const DramCoord &c = e.req.coord;
-        const BankState &b = bank(c);
-        if (b.open && b.row == c.row) {
-            row_wanted[c.rank * timing_.banks() +
-                       c.flatBank(timing_.banksPerGroup)] = true;
-        }
+    // Consider only the oldest entry per bank (bit 0 of the scratch
+    // mark); younger entries to the same bank wait behind it. Open
+    // rows that still have pending hits (bit 1) must not be closed.
+    // The marks live in a member array so the per-tick scan allocates
+    // nothing.
+    std::fill(bankScratch_.begin(), bankScratch_.end(),
+              static_cast<std::uint8_t>(0));
+    for (const QueueHot &h : queue.hot) {
+        const std::size_t bi = bankIndex(h);
+        if (bankRow_[bi] == h.row)
+            bankScratch_[bi] |= 2;
     }
 
-    for (auto &e : queue) {
-        const DramCoord &c = e.req.coord;
-        const unsigned idx =
-            c.rank * timing_.banks() + c.flatBank(timing_.banksPerGroup);
-        if (bank_seen[idx])
+    for (std::size_t idx = 0; idx < queue.hot.size(); ++idx) {
+        const QueueHot &h = queue.hot[idx];
+        const std::size_t bi = bankIndex(h);
+        if (bankScratch_[bi] & 1)
             continue;
-        bank_seen[idx] = true;
+        bankScratch_[bi] |= 1;
 
-        const BankState &b = bank(c);
-        if (!b.open) {
-            if (earliestActivate(e, now) == now) {
+        if (bankRow_[bi] == kBankClosed) {
+            if (earliestActivate(h, now) == now) {
                 // Issue ACT.
-                RankState &rank = ranks_[c.rank];
-                BankState &bs = bank(c);
-                bs.open = true;
-                bs.row = c.row;
+                RankState &rank = ranks_[h.rank];
+                BankTiming &bs = bankTiming_[bi];
+                bankRow_[bi] = h.row;
                 bs.nextCol = now + timing_.tRCD;
                 bs.nextPre = std::max(bs.nextPre, now + timing_.tRAS);
                 bs.nextAct = now + timing_.tRC;
+                const std::size_t base = bankIndex(h.rank, 0);
                 for (unsigned g = 0; g < timing_.bankGroups; ++g) {
-                    const Cycle rrd = now + timing_.rrd(g == c.bankGroup);
+                    const Cycle rrd = now + timing_.rrd(g == h.bankGroup);
                     for (unsigned k = 0; k < timing_.banksPerGroup; ++k) {
-                        BankState &other =
-                            rank.banks[g * timing_.banksPerGroup + k];
-                        if (&other != &bs)
-                            other.nextAct =
-                                std::max(other.nextAct, rrd);
+                        const std::size_t obi =
+                            base + g * timing_.banksPerGroup + k;
+                        if (obi != bi) {
+                            bankTiming_[obi].nextAct = std::max(
+                                bankTiming_[obi].nextAct, rrd);
+                        }
                     }
                 }
                 rank.actTimes[rank.actPtr] = now;
-                rank.actPtr = (rank.actPtr + 1) % 4;
-                ++rank.actCount;
+                rank.actPtr =
+                    static_cast<std::uint8_t>((rank.actPtr + 1) & 3);
+                if (rank.actCount < 4)
+                    ++rank.actCount;
                 ++stats_.activates;
                 ++stats_.rowMisses;
                 if (tracing())
-                    sink_->record(
-                        makeEvent(obs::EventKind::Activate, now, c));
+                    sink_->record(makeEvent(obs::EventKind::Activate,
+                                            now, queue.cold[idx].req.coord));
                 return true;
             }
-        } else if (b.row != c.row && !row_wanted[idx]) {
-            if (earliestPrecharge(e, now) == now) {
-                BankState &bs = bank(c);
-                bs.open = false;
-                bs.nextAct = std::max(bs.nextAct, now + timing_.tRP);
+        } else if (bankRow_[bi] != h.row && !(bankScratch_[bi] & 2)) {
+            if (earliestPrecharge(h, now) == now) {
+                bankRow_[bi] = kBankClosed;
+                bankTiming_[bi].nextAct = std::max(
+                    bankTiming_[bi].nextAct, now + timing_.tRP);
                 ++stats_.precharges;
                 if (tracing())
-                    sink_->record(
-                        makeEvent(obs::EventKind::Precharge, now, c));
+                    sink_->record(makeEvent(obs::EventKind::Precharge,
+                                            now, queue.cold[idx].req.coord));
                 return true;
             }
         }
@@ -611,22 +638,26 @@ MemoryController::tryRefresh(Cycle now)
         // allowed; each PRE consumes this cycle's command slot.
         bool all_closed = true;
         Cycle ready = now;
-        for (auto &b : rank.banks) {
-            if (b.open) {
+        const std::size_t base = bankIndex(r, 0);
+        for (unsigned b = 0; b < banksPerRank_; ++b) {
+            BankTiming &bt = bankTiming_[base + b];
+            if (bankRow_[base + b] != kBankClosed) {
                 all_closed = false;
-                if (b.nextPre <= now) {
-                    b.open = false;
-                    b.nextAct = std::max(b.nextAct, now + timing_.tRP);
+                if (bt.nextPre <= now) {
+                    bankRow_[base + b] = kBankClosed;
+                    bt.nextAct = std::max(bt.nextAct, now + timing_.tRP);
                     ++stats_.precharges;
                     return true;
                 }
             } else {
-                ready = std::max(ready, b.nextAct);
+                ready = std::max(ready, bt.nextAct);
             }
         }
         if (all_closed && ready <= now) {
-            for (auto &b : rank.banks)
-                b.nextAct = std::max(b.nextAct, now + timing_.tRFC);
+            for (unsigned b = 0; b < banksPerRank_; ++b) {
+                bankTiming_[base + b].nextAct = std::max(
+                    bankTiming_[base + b].nextAct, now + timing_.tRFC);
+            }
             rank.refreshUntil = now + timing_.tRFC;
             rank.refreshPending = false;
             rank.nextRefresh += timing_.tREFI;
@@ -643,6 +674,17 @@ MemoryController::tryRefresh(Cycle now)
     return false;
 }
 
+bool
+MemoryController::rankHasOpenBank(unsigned r) const
+{
+    const std::size_t base = bankIndex(r, 0);
+    for (unsigned b = 0; b < banksPerRank_; ++b) {
+        if (bankRow_[base + b] != kBankClosed)
+            return true;
+    }
+    return false;
+}
+
 void
 MemoryController::managePowerDown(Cycle now)
 {
@@ -650,17 +692,10 @@ MemoryController::managePowerDown(Cycle now)
         return;
     for (unsigned r = 0; r < timing_.ranks; ++r) {
         RankState &rank = ranks_[r];
-        bool active = rankPending_[r] > 0 || rank.refreshPending ||
+        const bool active = rankPending_[r] > 0 || rank.refreshPending ||
             now < rank.refreshUntil ||
-            now + config_.powerDownIdleCycles >= rank.nextRefresh;
-        if (!active) {
-            for (const auto &b : rank.banks) {
-                if (b.open) {
-                    active = true;
-                    break;
-                }
-            }
-        }
+            now + config_.powerDownIdleCycles >= rank.nextRefresh ||
+            rankHasOpenBank(r);
         if (active) {
             rank.idleSince = now;
             if (rank.poweredDown) {
@@ -707,7 +742,8 @@ MemoryController::accountCycle(Cycle now)
             ++stats_.idleNoPendingCycles;
     }
 
-    for (const auto &rank : ranks_) {
+    for (unsigned r = 0; r < timing_.ranks; ++r) {
+        const RankState &rank = ranks_[r];
         if (now < rank.refreshUntil) {
             ++stats_.rankRefreshCycles;
             continue;
@@ -716,14 +752,7 @@ MemoryController::accountCycle(Cycle now)
             ++stats_.rankPowerDownCycles;
             continue;
         }
-        bool any_open = false;
-        for (const auto &b : rank.banks) {
-            if (b.open) {
-                any_open = true;
-                break;
-            }
-        }
-        if (any_open)
+        if (rankHasOpenBank(r))
             ++stats_.rankActiveStandbyCycles;
         else
             ++stats_.rankPrechargeStandbyCycles;
@@ -771,6 +800,15 @@ MemoryController::tick(Cycle now)
     lastTick_ = now;
     ticked_ = true;
 
+    // Horizon cache: a tick that drains a response, issues a command,
+    // or arms a refresh always happens at a cycle the cached horizon
+    // already bounded (cached <= now), so those paths self-invalidate
+    // via the `cached > now` validity check. Power-down is the
+    // exception -- managePowerDown moves per-rank idle clocks on
+    // every active cycle -- so that mode drops the cache outright.
+    if (config_.powerDownEnabled)
+        invalidateHorizon();
+
     accountCycle(now);
     managePowerDown(now);
     drainResponses(now);
@@ -781,7 +819,7 @@ MemoryController::tick(Cycle now)
 
     const bool serve_writes =
         draining_ || (readQ_.empty() && !writeQ_.empty());
-    std::deque<Entry> &active = serve_writes ? writeQ_ : readQ_;
+    RequestQueue &active = serve_writes ? writeQ_ : readQ_;
 
     if (tryIssueColumn(now, active, serve_writes))
         return;
@@ -797,6 +835,22 @@ MemoryController::busy() const
 
 Cycle
 MemoryController::nextEventCycle(Cycle now) const
+{
+    // A cached horizon H is exact for any query cycle q < H with no
+    // intervening mutation: every candidate that produced H is >= H
+    // itself, so re-deriving at q selects the same minimum. Anything
+    // that could move the answer either invalidates explicitly
+    // (enqueue, power-down ticks) or leaves H <= q (a command issued,
+    // a response drained, a refresh armed -- all at cycles H bounded).
+    if (horizonValid_ && horizonCache_ > now)
+        return horizonCache_;
+    horizonCache_ = computeNextEventCycle(now);
+    horizonValid_ = true;
+    return horizonCache_;
+}
+
+Cycle
+MemoryController::computeNextEventCycle(Cycle now) const
 {
     Cycle next = kCycleNever;
     // Action candidates: cycles at which the controller would *do*
@@ -830,20 +884,21 @@ MemoryController::nextEventCycle(Cycle now) const
     // queues regardless of the drain mode is conservative: an early
     // tick is a no-op, and serve-writes arbitration only flips at
     // tick cycles anyway.
-    auto scanQueue = [&](const std::deque<Entry> &q) {
-        for (const auto &e : q) {
+    auto scanQueue = [&](const RequestQueue &q) {
+        for (const QueueHot &h : q.hot) {
             if (next == now + 1)
                 return;
-            considerAction(earliestColumn(e, now));
-            considerAction(earliestActivate(e, now));
-            considerAction(earliestPrecharge(e, now));
+            considerAction(earliestColumn(h, now));
+            considerAction(earliestActivate(h, now));
+            considerAction(earliestPrecharge(h, now));
         }
     };
     scanQueue(readQ_);
     scanQueue(writeQ_);
 
     if (config_.refreshEnabled) {
-        for (const auto &rank : ranks_) {
+        for (unsigned r = 0; r < timing_.ranks; ++r) {
+            const RankState &rank = ranks_[r];
             if (!rank.refreshPending) {
                 // tryRefresh arms the quiesce at this deadline.
                 considerAction(rank.nextRefresh);
@@ -854,12 +909,14 @@ MemoryController::nextEventCycle(Cycle now) const
             // precharge's tRP expires.
             Cycle ready = now + 1;
             bool all_closed = true;
-            for (const auto &b : rank.banks) {
-                if (b.open) {
+            const std::size_t base = bankIndex(r, 0);
+            for (unsigned b = 0; b < banksPerRank_; ++b) {
+                if (bankRow_[base + b] != kBankClosed) {
                     all_closed = false;
-                    considerAction(b.nextPre);
+                    considerAction(bankTiming_[base + b].nextPre);
                 } else {
-                    ready = std::max(ready, b.nextAct);
+                    ready = std::max(ready,
+                                     bankTiming_[base + b].nextAct);
                 }
             }
             if (all_closed)
@@ -883,16 +940,12 @@ MemoryController::nextEventCycle(Cycle now) const
                 // and tick there if it already fires. The only term
                 // that can newly fire later is the pre-refresh
                 // wakeup, covered by the boundary below.
-                bool active = rankPending_[r] > 0 ||
+                const bool active = rankPending_[r] > 0 ||
                     rank.refreshPending ||
                     now + 1 < rank.refreshUntil ||
                     now + 1 + config_.powerDownIdleCycles >=
-                        rank.nextRefresh;
-                for (const auto &b : rank.banks) {
-                    if (active)
-                        break;
-                    active = b.open;
-                }
+                        rank.nextRefresh ||
+                    rankHasOpenBank(r);
                 if (active)
                     considerAction(now + 1);
             } else {
@@ -942,7 +995,8 @@ MemoryController::skipTo(Cycle now)
     else
         stats_.idleNoPendingCycles += idle;
 
-    for (auto &rank : ranks_) {
+    for (unsigned r = 0; r < timing_.ranks; ++r) {
+        RankState &rank = ranks_[r];
         const Cycle refresh = rank.refreshUntil > first
             ? std::min(rank.refreshUntil, now) - first
             : 0;
@@ -950,18 +1004,10 @@ MemoryController::skipTo(Cycle now)
         const Cycle rest = skipped - refresh;
         if (rank.poweredDown) {
             stats_.rankPowerDownCycles += rest;
+        } else if (rankHasOpenBank(r)) {
+            stats_.rankActiveStandbyCycles += rest;
         } else {
-            bool any_open = false;
-            for (const auto &b : rank.banks) {
-                if (b.open) {
-                    any_open = true;
-                    break;
-                }
-            }
-            if (any_open)
-                stats_.rankActiveStandbyCycles += rest;
-            else
-                stats_.rankPrechargeStandbyCycles += rest;
+            stats_.rankPrechargeStandbyCycles += rest;
         }
 
         // managePowerDown refreshes idleSince on every active cycle;
@@ -973,6 +1019,8 @@ MemoryController::skipTo(Cycle now)
                 rank.idleSince, std::min(rank.refreshUntil, now) - 1);
         }
     }
+    if (config_.powerDownEnabled)
+        invalidateHorizon();
 
     lastTick_ = now - 1;
 }

@@ -11,12 +11,23 @@
  * (Figure 11) is computed from the same next-allowed timestamps that
  * gate command issue (a timestamp comparison against now + X is
  * exactly a saturating down-counter compare against X).
+ *
+ * Data layout: the scheduling scans (earliest*, columnReadyWithin,
+ * nextEventCycle) touch every queued request and every bank each
+ * call, so the state they read is split structure-of-arrays style.
+ * Queue entries keep a 16-byte hot record (address, row, decoded bank
+ * coordinates) in one densely packed vector -- four entries per cache
+ * line -- with the cold payload (the 64-byte line, the response sink)
+ * in a parallel vector touched only at issue time. Bank timing lives
+ * in a flat 24-byte-per-bank vector plus a separate open-row vector,
+ * instead of nested per-rank vectors of 48-byte bank structs.
  */
 
 #ifndef MIL_DRAM_CONTROLLER_HH
 #define MIL_DRAM_CONTROLLER_HH
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -106,6 +117,18 @@ class MemoryController
      * is that ticking every cycle strictly between now and the
      * returned value is observationally a no-op apart from the
      * per-cycle accounting that skipTo() reproduces in bulk.
+     *
+     * The answer is cached between calls: a computed horizon H stays
+     * exact for any later query cycle q < H as long as no state
+     * mutation happened in between, because every candidate that
+     * produced H is itself >= H. Mutating operations (enqueue, a tick
+     * that issues a command / drains a response / arms a refresh)
+     * invalidate the cache; mutations the controller cannot cheaply
+     * see (a burst boundary passing, a refresh deadline arming)
+     * self-heal because they leave the cached value <= q, which
+     * forces a recompute. Power-down mode updates per-rank idle
+     * clocks on every active cycle, so the cache is dropped
+     * unconditionally on tick/skipTo while that mode is on.
      */
     Cycle nextEventCycle(Cycle now) const;
 
@@ -172,39 +195,92 @@ class MemoryController
                                const void *exclude) const;
 
   private:
-    struct Entry
+    /**
+     * The scheduling-scan view of one queued request: everything
+     * earliestColumn/Activate/Precharge read, packed so the FR-FCFS
+     * and readiness scans stream through four entries per cache line.
+     */
+    struct QueueHot
+    {
+        Addr lineAddr = 0;        ///< Coalescing/forwarding match key.
+        std::uint32_t row = 0;
+        std::uint8_t rank = 0;
+        std::uint8_t bankGroup = 0;
+        std::uint8_t flatBank = 0; ///< Bank index within the rank.
+        std::uint8_t isWrite = 0;
+    };
+    static_assert(sizeof(QueueHot) == 16,
+                  "QueueHot must stay four-per-cache-line");
+
+    /** Issue-time payload, parallel to the hot record. */
+    struct EntryCold
     {
         MemRequest req;
         MemResponseSink *sink = nullptr;
     };
 
-    struct BankState
+    /**
+     * A FIFO request queue split into parallel hot/cold arrays.
+     * Indices are positional (FR-FCFS age order); erase shifts both
+     * arrays, exactly as the former deque did.
+     */
+    struct RequestQueue
     {
-        bool open = false;
-        std::uint32_t row = 0;
+        std::vector<QueueHot> hot;
+        std::vector<EntryCold> cold;
+
+        std::size_t size() const { return hot.size(); }
+        bool empty() const { return hot.empty(); }
+
+        void
+        push(const QueueHot &h, EntryCold c)
+        {
+            hot.push_back(h);
+            cold.push_back(std::move(c));
+        }
+
+        void
+        erase(std::size_t i)
+        {
+            hot.erase(hot.begin() + static_cast<std::ptrdiff_t>(i));
+            cold.erase(cold.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+    };
+
+    /** Per-bank command timing, flat-indexed rank * banks + flatBank. */
+    struct BankTiming
+    {
         Cycle nextAct = 0;  ///< Earliest ACT (tRC, tRP, tRFC).
         Cycle nextPre = 0;  ///< Earliest PRE (tRAS, tRTP, tWR).
         Cycle nextCol = 0;  ///< Earliest RD/WR (tRCD).
     };
+    static_assert(sizeof(BankTiming) == 24,
+                  "BankTiming should be three packed cycles");
 
+    /** bankRow_ value for a closed bank (no real row decodes to it). */
+    static constexpr std::uint32_t kBankClosed = 0xFFFFFFFFu;
+
+    /**
+     * Per-rank gates. The per-group arrays are fixed-size
+     * (kMaxBankGroups, enforced by TimingParams::validate), so a
+     * RankState is one contiguous block with no per-rank heap
+     * allocations chasing pointers in the scheduling scans.
+     */
     struct RankState
     {
-        std::vector<BankState> banks;
         std::array<Cycle, 4> actTimes{}; ///< Rolling ACT window (tFAW).
-        unsigned actPtr = 0;
-        std::uint64_t actCount = 0; ///< ACTs so far (FAW needs >= 4).
-        std::vector<Cycle> nextColSameGroup; ///< Per-group tCCD_L gate.
-        Cycle nextColAnyGroup = 0;           ///< tCCD_S gate.
-        std::vector<Cycle> nextRdSameGroup;  ///< Per-group tWTR_L gate.
-        Cycle nextRdAnyGroup = 0;            ///< tWTR_S gate.
+        std::array<Cycle, kMaxBankGroups> nextColSameGroup{}; ///< tCCD_L.
+        std::array<Cycle, kMaxBankGroups> nextRdSameGroup{};  ///< tWTR_L.
+        Cycle nextColAnyGroup = 0;  ///< tCCD_S gate.
+        Cycle nextRdAnyGroup = 0;   ///< tWTR_S gate.
         Cycle nextRefresh = 0;
+        Cycle refreshUntil = 0;     ///< Rank busy refreshing before this.
+        Cycle idleSince = 0;        ///< Last cycle with rank activity.
+        Cycle wakeReadyAt = 0;      ///< Earliest command after wakeup.
+        std::uint8_t actPtr = 0;
+        std::uint8_t actCount = 0;  ///< ACTs so far, saturating at 4.
         bool refreshPending = false;
-        Cycle refreshUntil = 0; ///< Rank busy refreshing before this.
-
-        // Power-down state (when the mode is enabled).
         bool poweredDown = false;
-        Cycle idleSince = 0;   ///< Last cycle with rank activity.
-        Cycle wakeReadyAt = 0; ///< Earliest command after wakeup.
     };
 
     struct Burst
@@ -224,36 +300,42 @@ class MemoryController
     // --- scheduling helpers -------------------------------------------
 
     /** Earliest cycle entry's column command satisfies all constraints. */
-    Cycle earliestColumn(const Entry &e, Cycle now) const;
+    Cycle earliestColumn(const QueueHot &h, Cycle now) const;
 
     /** Earliest cycle an ACT for this entry could issue. */
-    Cycle earliestActivate(const Entry &e, Cycle now) const;
+    Cycle earliestActivate(const QueueHot &h, Cycle now) const;
 
     /** Earliest cycle a PRE of this entry's bank could issue. */
-    Cycle earliestPrecharge(const Entry &e, Cycle now) const;
+    Cycle earliestPrecharge(const QueueHot &h, Cycle now) const;
 
     /** Gap the bus needs between the previous burst and this one. */
     Cycle turnaroundGap(bool next_is_write, unsigned next_rank) const;
 
     bool tryRefresh(Cycle now);
     void managePowerDown(Cycle now);
-    bool tryIssueColumn(Cycle now, std::deque<Entry> &queue,
-                        bool is_write);
-    bool tryIssueRowCommand(Cycle now, std::deque<Entry> &queue);
+    bool tryIssueColumn(Cycle now, RequestQueue &queue, bool is_write);
+    bool tryIssueRowCommand(Cycle now, RequestQueue &queue);
 
-    void issueColumn(Cycle now, Entry &entry, bool is_write);
+    void issueColumn(Cycle now, RequestQueue &queue, std::size_t i,
+                     bool is_write);
 
     /**
      * Drive one burst (plus any CRC-triggered re-drives) on the bus.
      * Returns the cycle the last data beat of the transfer -- retries
      * included -- leaves the wire, which gates tWR/tWTR.
      */
-    Cycle transferData(Cycle data_start, const Entry &entry, bool is_write,
-                       const Code &code);
+    Cycle transferData(Cycle data_start, const EntryCold &entry,
+                       bool is_write, const Code &code);
 
     void updateDrainMode();
     void accountCycle(Cycle now);
     void drainResponses(Cycle now);
+
+    /** Compute nextEventCycle from scratch (the cache-miss path). */
+    Cycle computeNextEventCycle(Cycle now) const;
+
+    /** Drop the cached horizon (any state mutation). */
+    void invalidateHorizon() { horizonValid_ = false; }
 
     // --- tracing -------------------------------------------------------
 
@@ -270,8 +352,20 @@ class MemoryController
     /** Record the current queue depths (on enqueue/dequeue). */
     void emitQueueSample(Cycle cycle);
 
-    BankState &bank(const DramCoord &c);
-    const BankState &bank(const DramCoord &c) const;
+    /** Flat bank index across ranks: rank * banks-per-rank + flatBank. */
+    std::size_t
+    bankIndex(unsigned rank, unsigned flat_bank) const
+    {
+        return static_cast<std::size_t>(rank) * banksPerRank_ + flat_bank;
+    }
+    std::size_t
+    bankIndex(const QueueHot &h) const
+    {
+        return bankIndex(h.rank, h.flatBank);
+    }
+
+    /** Any bank of rank @p r open? (per-cycle accounting scans). */
+    bool rankHasOpenBank(unsigned r) const;
 
     // --- state ---------------------------------------------------------
 
@@ -281,11 +375,15 @@ class MemoryController
     CodingPolicy *policy_;
     FaultInjector injector_;
     std::uint64_t frameCounter_ = 0; ///< Frames driven, retries included.
+    unsigned banksPerRank_ = 0;      ///< Cached timing_.banks().
 
-    std::deque<Entry> readQ_;
-    std::deque<Entry> writeQ_;
+    RequestQueue readQ_;
+    RequestQueue writeQ_;
     std::vector<RankState> ranks_;
-    std::vector<unsigned> rankPending_; ///< Queued requests per rank.
+    std::vector<BankTiming> bankTiming_; ///< [rank * banks + flatBank].
+    std::vector<std::uint32_t> bankRow_; ///< Open row or kBankClosed.
+    std::vector<std::uint16_t> rankPending_; ///< Queued reqs per rank.
+    std::vector<std::uint8_t> bankScratch_;  ///< tryIssueRowCommand marks.
     std::deque<Burst> busBursts_;  ///< Scheduled, not-yet-finished bursts.
     Cycle busFreeAt_ = 0;
 
@@ -298,6 +396,11 @@ class MemoryController
     bool draining_ = false;
     Cycle lastTick_ = 0;
     bool ticked_ = false;
+
+    // Cached nextEventCycle answer; see the method comment for the
+    // validity argument.
+    mutable Cycle horizonCache_ = 0;
+    mutable bool horizonValid_ = false;
 
     std::vector<PendingResponse> responses_;
     bool deferDeliveries_ = false;

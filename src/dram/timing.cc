@@ -13,6 +13,11 @@ TimingParams::validate() const
             "%s: organization needs >= 1 rank, bank group, and bank "
             "(ranks=%u groups=%u banks/group=%u)",
             name.c_str(), ranks, bankGroups, banksPerGroup));
+    if (bankGroups > kMaxBankGroups)
+        throw TimingViolation(strformat(
+            "%s: %u bank groups exceed the supported maximum %u "
+            "(see kMaxBankGroups)",
+            name.c_str(), bankGroups, kMaxBankGroups));
     if (clockNs <= 0.0)
         throw TimingViolation(strformat(
             "%s: controller clock period %g ns must be positive",

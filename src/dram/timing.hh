@@ -21,6 +21,14 @@
 namespace mil
 {
 
+/**
+ * Upper bound on bankGroups the controller supports: lets per-rank
+ * bank-group gate arrays be fixed-size (cache-resident, no per-rank
+ * heap blocks). validate() enforces it; every real DDRx part is at or
+ * below 8 groups.
+ */
+inline constexpr unsigned kMaxBankGroups = 8;
+
 /** Which DDRx standard a channel implements. */
 enum class DramStandard
 {
@@ -47,39 +55,51 @@ struct TimingParams
     double clockNs = 0.625;      ///< Controller clock period.
     double dataRateMtps = 3200;  ///< Transfers per second per pin.
 
+    /**
+     * Timing constraints, all in controller cycles. Deliberately
+     * std::uint16_t: the largest constraint of any supported part is
+     * tREFI (12480 cycles at DDR4-3200; a x16 part's tRFC2 tops out
+     * far below 65535 too), and the controller's hot scheduling scans
+     * read these fields on every queue entry -- half-width keeps the
+     * whole constraint set in a single cache line. validate() rejects
+     * out-of-range combinations; arithmetic against Cycle promotes
+     * losslessly.
+     */
+    using Constraint = std::uint16_t;
+
     // Column access.
-    unsigned tCL = 20;   ///< Read command to first data beat.
-    unsigned tCWL = 16;  ///< Write command to first data beat.
-    unsigned tCCD_S = 4; ///< Column-to-column, different bank group.
-    unsigned tCCD_L = 8; ///< Column-to-column, same bank group.
+    Constraint tCL = 20;   ///< Read command to first data beat.
+    Constraint tCWL = 16;  ///< Write command to first data beat.
+    Constraint tCCD_S = 4; ///< Column-to-column, different bank group.
+    Constraint tCCD_L = 8; ///< Column-to-column, same bank group.
 
     // Row management.
-    unsigned tRC = 72;   ///< ACT to ACT, same bank.
-    unsigned tRTP = 12;  ///< Read to precharge.
-    unsigned tRP = 20;   ///< Precharge to ACT.
-    unsigned tRCD = 20;  ///< ACT to column command.
-    unsigned tRAS = 52;  ///< ACT to precharge.
-    unsigned tWR = 4;    ///< Write recovery (end of data to precharge).
+    Constraint tRC = 72;   ///< ACT to ACT, same bank.
+    Constraint tRTP = 12;  ///< Read to precharge.
+    Constraint tRP = 20;   ///< Precharge to ACT.
+    Constraint tRCD = 20;  ///< ACT to column command.
+    Constraint tRAS = 52;  ///< ACT to precharge.
+    Constraint tWR = 4;    ///< Write recovery (end of data to precharge).
 
     // Turnaround.
-    unsigned tRTRS = 2;  ///< Rank-to-rank (and RD->WR) bus gap.
-    unsigned tWTR_S = 4; ///< Write-to-read, different bank group.
-    unsigned tWTR_L = 12;///< Write-to-read, same bank group.
+    Constraint tRTRS = 2;  ///< Rank-to-rank (and RD->WR) bus gap.
+    Constraint tWTR_S = 4; ///< Write-to-read, different bank group.
+    Constraint tWTR_L = 12;///< Write-to-read, same bank group.
 
     // Activation pacing.
-    unsigned tRRD_S = 9; ///< ACT to ACT, different bank group.
-    unsigned tRRD_L = 11;///< ACT to ACT, same bank group.
-    unsigned tFAW = 48;  ///< Four-activate window per rank.
+    Constraint tRRD_S = 9; ///< ACT to ACT, different bank group.
+    Constraint tRRD_L = 11;///< ACT to ACT, same bank group.
+    Constraint tFAW = 48;  ///< Four-activate window per rank.
 
     // Refresh.
-    unsigned tREFI = 12480; ///< Average refresh interval.
-    unsigned tRFC = 416;    ///< Refresh cycle time.
+    Constraint tREFI = 12480; ///< Average refresh interval.
+    Constraint tRFC = 416;    ///< Refresh cycle time.
 
     // Power-down (used only when the controller enables the mode).
-    unsigned tXP = 10;      ///< Power-down exit to first command.
+    Constraint tXP = 10;      ///< Power-down exit to first command.
 
     // Write CRC (used only when fault injection is active).
-    unsigned tCrcAlert = 8; ///< End of write data to CRC error alert.
+    Constraint tCrcAlert = 8; ///< End of write data to CRC error alert.
 
     /** Total banks per rank. */
     unsigned banks() const { return bankGroups * banksPerGroup; }
@@ -101,6 +121,7 @@ struct TimingParams
         return same_group ? tWTR_L : tWTR_S;
     }
 
+
     /**
      * Sanity-check the parameter set; throws mil::TimingViolation on
      * impossible values (zero clock, no banks, tRAS < tRCD, ...).
@@ -121,6 +142,13 @@ struct TimingParams
      */
     static TimingParams ddr3_1600();
 };
+
+// The scheduling hot loops read TimingParams on every queue entry;
+// the half-width Constraint fields keep the whole struct (name string
+// included) within two cache lines. Revisit the layout before adding
+// fields that push it over.
+static_assert(sizeof(TimingParams) <= 128,
+              "TimingParams outgrew two cache lines");
 
 } // namespace mil
 

@@ -21,7 +21,10 @@ RunSpec::key() const
     return system + "/" + workload + "/" + policy + "/X" +
         std::to_string(lookahead) + "/" + std::to_string(opsPerThread) +
         "/" + std::to_string(scale) + "/S" + std::to_string(seed) +
-        "/B" + std::to_string(ber) + (eventDriven ? "" : "/noskip") +
+        "/B" + std::to_string(ber) +
+        (tickMode == TickMode::Auto
+             ? ""
+             : (tickMode == TickMode::Cycle ? "/noskip" : "/event")) +
         (shards == 0 ? "" : "/sh" + std::to_string(shards));
 }
 
@@ -157,7 +160,7 @@ runSpecFresh(const RunSpec &spec, const RunObservers &observers)
     const RunSpec s = canonicalize(spec);
 
     SystemConfig config = makeSystemConfig(s.system);
-    config.eventDriven = s.eventDriven;
+    config.tickMode = s.tickMode;
     config.shards = s.shards;
     if (s.ber != 0.0) {
         config.controller.faultModel.ber = s.ber;

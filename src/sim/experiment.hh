@@ -41,12 +41,14 @@ struct RunSpec
     double ber = 0.0;
 
     /**
-     * Run with event-driven cycle skipping (the default) or the
-     * per-cycle oracle loop. Results are bit-identical either way
+     * How the run advances simulated time (see sim/tick_mode.hh):
+     * hybrid Auto (the default), pure Event skipping, or the
+     * per-cycle Cycle oracle. Results are bit-identical in every mode
      * (asserted by tests and CI), so the mode only appears in key()
-     * when set to the non-default -- existing memo keys are stable.
+     * when set to a non-default -- existing memo keys are stable
+     * ("/noskip" for Cycle predates the Event/Auto split).
      */
-    bool eventDriven = true;
+    TickMode tickMode = TickMode::Auto;
 
     /**
      * Intra-run sharding (see SystemConfig::shards): 0 runs the

@@ -55,7 +55,7 @@ SweepGrid::expand() const
                 spec.opsPerThread = opsPerThread;
                 spec.scale = scale;
                 spec.ber = ber;
-                spec.eventDriven = eventDriven;
+                spec.tickMode = tickMode;
                 spec.shards = shards;
                 if (baseSeed != 0)
                     spec.seed = deriveSeed(baseSeed, specs.size());

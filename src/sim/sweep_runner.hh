@@ -52,10 +52,10 @@ struct SweepGrid
     double ber = 0.0;
 
     /**
-     * Event-driven cycle skipping for every cell (see
-     * RunSpec::eventDriven); false runs the per-cycle oracle loop.
+     * Tick mode for every cell (see RunSpec::tickMode); Cycle runs
+     * the per-cycle oracle loop.
      */
-    bool eventDriven = true;
+    TickMode tickMode = TickMode::Auto;
 
     /**
      * Intra-run sharding for every cell (see RunSpec::shards); mind

@@ -228,6 +228,30 @@ System::run(Cycle max_cycles)
     constexpr Cycle check_interval = Cycle{1} << 20;
     Cycle last_check = 0;
 
+    // --- hybrid tick mode (SystemConfig::tickMode) -----------------
+    //
+    // TickMode::Cycle never computes a horizon; TickMode::Event
+    // computes one every iteration. TickMode::Auto starts in the
+    // event phase and watches how much simulated time the horizon
+    // polls actually buy: every kAutoWindowIters iterations it checks
+    // the cycles advanced, and below kAutoMinAvgSkip per iteration
+    // (saturated bus -- polls cost more than they save) it drops to
+    // plain per-cycle ticking. While ticking per cycle it probes the
+    // horizon once every kAutoProbeCycles and re-enters the event
+    // phase the moment a probe finds a skip of at least
+    // kAutoReenterSkip cycles. Any deterministic switching policy is
+    // exact: ticking a cycle the event loop would have skipped is an
+    // observational no-op, and every skip taken still honors the
+    // nextEventCycle contract -- so all three modes produce identical
+    // bytes (tests/sim/test_event_driven.cc, test_tick_mode.cc).
+    const TickMode mode = config_.tickMode;
+    bool event_phase = mode != TickMode::Cycle;
+    Cycle window_iters = 0;
+    Cycle window_start = 0;
+    Cycle next_probe = 0;
+    switchesToCycle_ = 0;
+    switchesToEvent_ = 0;
+
     // --- the sharded engine (SystemConfig::shards >= 1) ------------
     //
     // Each simulated cycle splits into a parallel back-end phase and
@@ -360,26 +384,64 @@ System::run(Cycle max_cycles)
             }
         }
 
-        Cycle next = now + 1;
-        if (config_.eventDriven) {
-            next = nextEventCycle(now);
+        // The watchdog check above is an event candidate: clamping to
+        // last_check + check_interval makes every mode check -- and,
+        // on a livelock, throw -- at identical cycles.
+        auto clamp_skip = [&](Cycle c) {
             if (config_.watchdogStallCycles != 0)
-                next = std::min(next, last_check + check_interval);
-            next = std::min(next, max_cycles);
-            next = std::max(next, now + 1);
-            if (next > now + 1) {
-                // Bulk-account the skipped range so stats, compute
-                // gaps, and sampler intervals match the per-cycle
-                // loop bit for bit.
-                for (auto &ctrl : controllers_)
-                    ctrl->skipTo(next);
-                l2_->skipTo(next);
-                for (auto &l1 : l1s_)
-                    l1->skipTo(next);
-                for (auto &core : cores_)
-                    core->skipTo(next);
-                if (sampler_ != nullptr)
-                    sampler_->skipTo(next);
+                c = std::min(c, last_check + check_interval);
+            c = std::min(c, max_cycles);
+            return std::max(c, now + 1);
+        };
+        auto skip_all = [&](Cycle to) {
+            // Bulk-account the skipped range so stats, compute gaps,
+            // and sampler intervals match the per-cycle loop bit for
+            // bit.
+            for (auto &ctrl : controllers_)
+                ctrl->skipTo(to);
+            l2_->skipTo(to);
+            for (auto &l1 : l1s_)
+                l1->skipTo(to);
+            for (auto &core : cores_)
+                core->skipTo(to);
+            if (sampler_ != nullptr)
+                sampler_->skipTo(to);
+        };
+
+        Cycle next = now + 1;
+        if (event_phase) {
+            next = clamp_skip(nextEventCycle(now));
+            if (next > now + 1)
+                skip_all(next);
+            if (mode == TickMode::Auto &&
+                ++window_iters >= kAutoWindowIters) {
+                if (next - window_start <
+                    kAutoWindowIters * kAutoMinAvgSkip) {
+                    event_phase = false;
+                    ++switchesToCycle_;
+                    next_probe = next + kAutoProbeCycles;
+                }
+                window_iters = 0;
+                window_start = next;
+            }
+        } else if (mode == TickMode::Auto && now >= next_probe) {
+            const Cycle cand = clamp_skip(nextEventCycle(now));
+            // The poll is already paid for, so harvest whatever skip
+            // it found even when staying in the cycle phase -- on a
+            // saturated bus this reclaims the refresh-quiesce windows
+            // a probe happens to land in, which is how auto beats the
+            // plain cycle loop instead of merely matching it.
+            if (cand > now + 1) {
+                next = cand;
+                skip_all(next);
+            }
+            if (cand >= now + 1 + kAutoReenterSkip) {
+                event_phase = true;
+                ++switchesToEvent_;
+                window_iters = 0;
+                window_start = cand;
+            } else {
+                next_probe = next + kAutoProbeCycles;
             }
         }
         now = next;
@@ -429,24 +491,30 @@ System::nextEventCycle(Cycle now) const
             next = c;
         return next <= now + 1;
     };
-    for (const auto &core : cores_) {
-        if (consider(core->nextEventCycle(now)))
-            return now + 1;
-    }
-    for (const auto &l1 : l1s_) {
-        if (consider(l1->nextEventCycle(now)))
-            return now + 1;
-    }
-    if (consider(l2_->nextEventCycle(now)))
-        return now + 1;
-    if (consider(port_->nextEventCycle(now)))
-        return now + 1;
-    if (sampler_ != nullptr && consider(sampler_->nextEventCycle(now)))
-        return now + 1;
+    // Poll order is pure host-time tuning: the min is order-
+    // independent and the early-out value is the clamped result
+    // either way. Controllers go first because on a busy bus they
+    // are the component due next cycle -- one (usually cached)
+    // horizon lookup short-circuits the whole core/cache scan, which
+    // is what keeps the auto-mode probes cheap on saturated runs.
     for (const auto &ctrl : controllers_) {
         if (consider(ctrl->nextEventCycle(now)))
             return now + 1;
     }
+    if (consider(port_->nextEventCycle(now)))
+        return now + 1;
+    if (consider(l2_->nextEventCycle(now)))
+        return now + 1;
+    for (const auto &l1 : l1s_) {
+        if (consider(l1->nextEventCycle(now)))
+            return now + 1;
+    }
+    for (const auto &core : cores_) {
+        if (consider(core->nextEventCycle(now)))
+            return now + 1;
+    }
+    if (sampler_ != nullptr && consider(sampler_->nextEventCycle(now)))
+        return now + 1;
     return next;
 }
 

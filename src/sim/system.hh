@@ -59,6 +59,33 @@ class System
 {
   public:
     /**
+     * Tuning of TickMode::Auto (see SystemConfig::tickMode). The
+     * constants are deliberately public so the mode-switch property
+     * tests can construct workloads that straddle the thresholds.
+     * Changing them can never change simulation results -- only which
+     * loop variant spends the host time -- because per-cycle ticking
+     * and contract-respecting skips are both observationally exact.
+     */
+    /// Event-phase loop iterations per yield measurement window.
+    static constexpr Cycle kAutoWindowIters = 64;
+    /// Leave the event phase when a window advances fewer than
+    /// kAutoMinAvgSkip cycles per iteration (horizon polls are not
+    /// paying for themselves; the bus is saturated).
+    static constexpr Cycle kAutoMinAvgSkip = 2;
+    /// In the cycle phase, probe the event horizon once every this
+    /// many cycles to detect that idle spans are back. A probe is a
+    /// full-system nextEventCycle reduction -- tens of ordinary ticks
+    /// worth of host time -- so the interval is sized to keep probe
+    /// overhead well under 1% of a saturated run; the price is at
+    /// most this many per-cycle ticks of lag before an idle span is
+    /// noticed, which is host-time noise.
+    static constexpr Cycle kAutoProbeCycles = 4096;
+    /// Re-enter the event phase only when a probe finds a skip at
+    /// least this large (smaller wins do not repay the per-iteration
+    /// horizon polls of the event phase).
+    static constexpr Cycle kAutoReenterSkip = 16;
+
+    /**
      * @param ops_per_thread memory ops each hardware thread retires
      *        before finishing (the fixed work that defines execution
      *        time).
@@ -98,6 +125,17 @@ class System
      */
     void registerMetrics(obs::MetricsRegistry &registry) const;
 
+    /**
+     * How often the last run() crossed between the event-driven and
+     * per-cycle phases (TickMode::Auto only; both stay 0 for the
+     * fixed modes). Host-side instrumentation for tests and tuning --
+     * never part of any reported metric or CSV column, because the
+     * values depend on the tick mode while all simulation output must
+     * not.
+     */
+    std::uint64_t autoSwitchesToCycle() const { return switchesToCycle_; }
+    std::uint64_t autoSwitchesToEvent() const { return switchesToEvent_; }
+
   private:
     bool
     tracing() const
@@ -119,6 +157,8 @@ class System
 
     SystemConfig config_;
     CodingPolicy *policy_;
+    std::uint64_t switchesToCycle_ = 0;
+    std::uint64_t switchesToEvent_ = 0;
     obs::TraceSink *sink_ = nullptr;
     obs::IntervalSampler *sampler_ = nullptr;
     std::unique_ptr<FunctionalMemory> funcMem_;

@@ -21,6 +21,7 @@
 #include "mem/prefetcher.hh"
 #include "power/dram_power.hh"
 #include "power/system_power.hh"
+#include "sim/tick_mode.hh"
 
 namespace mil
 {
@@ -49,15 +50,17 @@ struct SystemConfig
     Cycle watchdogStallCycles = 4'000'000;
 
     /**
-     * Event-driven cycle skipping: System::run jumps straight to the
-     * earliest cycle any component reports it can act (see
-     * nextEventCycle on the controller, caches, cores, and sampler)
-     * instead of ticking every cycle. Results are bit-identical to
-     * the per-cycle loop (asserted by tests/sim/test_event_driven.cc
-     * and the CI smoke job); turn it off (milsim/milsweep --no-skip)
-     * to run the per-cycle oracle.
+     * How System::run advances simulated time (see sim/tick_mode.hh).
+     * All modes produce bit-identical results (asserted by
+     * tests/sim/test_event_driven.cc, tests/sim/test_tick_mode.cc and
+     * the CI smoke job); they only trade host time differently.
+     * TickMode::Cycle is the per-cycle oracle (milsim/milsweep
+     * --no-skip), TickMode::Event skips unconditionally, and the
+     * default TickMode::Auto starts event-driven but falls back to
+     * per-cycle ticking while the windowed skip yield says the system
+     * is saturated, probing its way back once idle spans reappear.
      */
-    bool eventDriven = true;
+    TickMode tickMode = TickMode::Auto;
 
     /**
      * Intra-run sharding: 0 runs the serial oracle loop untouched;

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * How System::run advances simulated time. All three modes are
+ * observationally identical -- same SimResult, same sweep-CSV bytes,
+ * same Chrome-trace bytes, same sampler time series (asserted by
+ * tests/sim/test_event_driven.cc and tests/sim/test_tick_mode.cc) --
+ * they only trade host time differently:
+ *
+ *  - Cycle: the per-cycle oracle loop. Ticks every simulated cycle.
+ *    Slowest and simplest; the permanent reference the other modes
+ *    are checked against (milsim/milsweep --no-skip).
+ *  - Event: pure event-driven skipping. Every loop iteration computes
+ *    the global event horizon and jumps there. Fastest when the
+ *    system has idle spans; pays the horizon computation for nothing
+ *    when the bus is saturated.
+ *  - Auto (the default): hybrid. Starts event-driven, tracks how much
+ *    time each horizon computation actually buys over a sliding
+ *    window, and falls back to plain per-cycle ticking while the
+ *    system is saturated -- probing occasionally so it re-enters skip
+ *    mode as soon as idle spans reappear.
+ */
+
+#ifndef MIL_SIM_TICK_MODE_HH
+#define MIL_SIM_TICK_MODE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_error.hh"
+
+namespace mil
+{
+
+/** Time-advance strategy of System::run. */
+enum class TickMode : std::uint8_t
+{
+    Cycle, ///< Per-cycle oracle loop.
+    Event, ///< Always event-driven (cycle skipping).
+    Auto,  ///< Hybrid: event-driven with saturation fallback.
+};
+
+inline const char *
+tickModeName(TickMode mode)
+{
+    switch (mode) {
+    case TickMode::Cycle:
+        return "cycle";
+    case TickMode::Event:
+        return "event";
+    case TickMode::Auto:
+        return "auto";
+    }
+    return "?";
+}
+
+inline TickMode
+parseTickMode(const std::string &name)
+{
+    if (name == "cycle")
+        return TickMode::Cycle;
+    if (name == "event")
+        return TickMode::Event;
+    if (name == "auto")
+        return TickMode::Auto;
+    throw ConfigError(strformat(
+        "unknown tick mode '%s' (choose from: cycle event auto)",
+        name.c_str()));
+}
+
+} // namespace mil
+
+#endif // MIL_SIM_TICK_MODE_HH

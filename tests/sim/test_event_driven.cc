@@ -23,14 +23,19 @@
 /*
  * Event-driven cycle skipping is an optimization, not a model change:
  * every run must be bit-identical to the per-cycle oracle loop
- * (SystemConfig::eventDriven = false / milsim --no-skip). These tests
- * pin that down at two granularities:
+ * (SystemConfig::tickMode = TickMode::Cycle / milsim --no-skip), in
+ * pure event mode and in the hybrid auto mode alike. These tests pin
+ * that down at two granularities:
  *
  *  - whole-system determinism: identical result rows, sweep CSV
- *    bytes, Chrome-trace bytes, and sampler time series across modes;
+ *    bytes, Chrome-trace bytes, and sampler time series across all
+ *    three tick modes;
  *  - per-component lockstep: each tickable component, driven at only
  *    its own nextEventCycle() cycles (with skipTo() bridging the
  *    gaps), reproduces the state trajectory of ticking every cycle.
+ *
+ * tests/sim/test_tick_mode.cc adds the auto-mode switching-boundary
+ * properties on top (forced saturated/idle phase changes).
  */
 
 namespace mil
@@ -62,9 +67,9 @@ class EventDrivenEnv : public ::testing::Test
 
 /** Serialize every reported metric of one fresh run into a CSV row. */
 std::string
-resultRow(RunSpec spec, bool event_driven)
+resultRow(RunSpec spec, TickMode mode)
 {
-    spec.eventDriven = event_driven;
+    spec.tickMode = mode;
     const SimResult r = runSpecFresh(spec);
     std::ostringstream os;
     CsvReporter::writeRow(os, spec.system, spec.workload, spec.policy,
@@ -85,8 +90,11 @@ TEST_F(EventDrivenEnv, ResultRowsIdenticalAcrossModes)
     specs[3].workload = "ART";
     specs[3].policy = "MiL-adaptive";
     for (const auto &spec : specs) {
-        EXPECT_EQ(resultRow(spec, true), resultRow(spec, false))
-            << spec.key();
+        const std::string oracle = resultRow(spec, TickMode::Cycle);
+        EXPECT_EQ(resultRow(spec, TickMode::Event), oracle)
+            << spec.key() << " (event)";
+        EXPECT_EQ(resultRow(spec, TickMode::Auto), oracle)
+            << spec.key() << " (auto)";
     }
 }
 
@@ -96,7 +104,9 @@ TEST_F(EventDrivenEnv, FaultInjectionIdenticalAcrossModes)
     spec.workload = "CG";
     spec.policy = "3LWC";
     spec.ber = 1e-6;
-    EXPECT_EQ(resultRow(spec, true), resultRow(spec, false));
+    const std::string oracle = resultRow(spec, TickMode::Cycle);
+    EXPECT_EQ(resultRow(spec, TickMode::Event), oracle);
+    EXPECT_EQ(resultRow(spec, TickMode::Auto), oracle);
 }
 
 /** runSpecFresh with tracing and sampling, returning all bytes. */
@@ -108,12 +118,12 @@ struct ObservedRun
 };
 
 ObservedRun
-observedRun(RunSpec spec, bool event_driven)
+observedRun(RunSpec spec, TickMode mode)
 {
-    spec.eventDriven = event_driven;
+    spec.tickMode = mode;
     const std::string trace_path =
-        ::testing::TempDir() + "event_driven_" +
-        (event_driven ? "skip" : "noskip") + ".json";
+        ::testing::TempDir() + "event_driven_" + tickModeName(mode) +
+        ".json";
 
     RunObservers obs;
     obs.traceJsonPath = trace_path;
@@ -141,13 +151,16 @@ TEST_F(EventDrivenEnv, TraceAndSamplerBytesIdenticalAcrossModes)
     RunSpec spec;
     spec.workload = "OCEAN";
     spec.policy = "MiL";
-    const ObservedRun skip = observedRun(spec, true);
-    const ObservedRun oracle = observedRun(spec, false);
-    EXPECT_EQ(skip.row, oracle.row);
-    EXPECT_FALSE(skip.traceJson.empty());
-    EXPECT_EQ(skip.traceJson, oracle.traceJson);
-    EXPECT_FALSE(skip.samples.empty());
-    EXPECT_EQ(skip.samples, oracle.samples);
+    const ObservedRun oracle = observedRun(spec, TickMode::Cycle);
+    EXPECT_FALSE(oracle.traceJson.empty());
+    EXPECT_FALSE(oracle.samples.empty());
+    for (TickMode mode : {TickMode::Event, TickMode::Auto}) {
+        const ObservedRun run = observedRun(spec, mode);
+        EXPECT_EQ(run.row, oracle.row) << tickModeName(mode);
+        EXPECT_EQ(run.traceJson, oracle.traceJson)
+            << tickModeName(mode);
+        EXPECT_EQ(run.samples, oracle.samples) << tickModeName(mode);
+    }
 }
 
 TEST_F(EventDrivenEnv, PowerDownIdenticalAcrossModes)
@@ -155,10 +168,10 @@ TEST_F(EventDrivenEnv, PowerDownIdenticalAcrossModes)
     // Power-down entry/wake is the subtlest skipping case (the
     // activity predicate is evaluated per cycle in the oracle loop),
     // so it gets a direct System-level identity check.
-    auto run = [](bool event_driven) {
+    auto run = [](TickMode mode) {
         SystemConfig config = makeSystemConfig("ddr4");
         config.controller.powerDownEnabled = true;
-        config.eventDriven = event_driven;
+        config.tickMode = mode;
         WorkloadConfig wc;
         wc.scale = 0.1;
         const auto wl = makeWorkload("SWIM", wc);
@@ -169,16 +182,18 @@ TEST_F(EventDrivenEnv, PowerDownIdenticalAcrossModes)
         CsvReporter::writeRow(os, "ddr4", "SWIM", "DBI", r);
         return os.str();
     };
-    EXPECT_EQ(run(true), run(false));
+    const std::string oracle = run(TickMode::Cycle);
+    EXPECT_EQ(run(TickMode::Event), oracle);
+    EXPECT_EQ(run(TickMode::Auto), oracle);
 }
 
 TEST_F(EventDrivenEnv, SweepCsvBytesIdenticalAcrossModes)
 {
-    auto sweep_csv = [](bool event_driven) {
+    auto sweep_csv = [](TickMode mode) {
         SweepGrid grid;
         grid.workloads = {"CG", "HISTOGRAM"};
         grid.policies = {"DBI", "MiL"};
-        grid.eventDriven = event_driven;
+        grid.tickMode = mode;
         SweepRunner runner(2);
         runner.setUseCache(false);
         const auto cells = runner.run(grid);
@@ -191,7 +206,22 @@ TEST_F(EventDrivenEnv, SweepCsvBytesIdenticalAcrossModes)
         }
         return os.str();
     };
-    EXPECT_EQ(sweep_csv(true), sweep_csv(false));
+    const std::string oracle = sweep_csv(TickMode::Cycle);
+    EXPECT_EQ(sweep_csv(TickMode::Event), oracle);
+    EXPECT_EQ(sweep_csv(TickMode::Auto), oracle);
+}
+
+TEST_F(EventDrivenEnv, KeyEncodesTickMode)
+{
+    RunSpec spec;
+    spec.tickMode = TickMode::Auto;
+    const std::string base = spec.key();
+    spec.tickMode = TickMode::Cycle;
+    EXPECT_NE(spec.key(), base);
+    EXPECT_NE(spec.key().find("/noskip"), std::string::npos);
+    spec.tickMode = TickMode::Event;
+    EXPECT_NE(spec.key(), base);
+    EXPECT_NE(spec.key().find("/event"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -88,7 +88,7 @@ TEST_F(ShardEngineEnv, OracleLoopAlsoShards)
     RunSpec spec;
     spec.workload = "CG";
     spec.policy = "MiL";
-    spec.eventDriven = false;
+    spec.tickMode = TickMode::Cycle;
     EXPECT_EQ(resultRow(spec, 0), resultRow(spec, 2));
 }
 

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "mil/policies.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/interval_sampler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+#include "sim/tick_mode.hh"
+#include "workloads/trace_workload.hh"
+
+/*
+ * TickMode::Auto switches between the event-driven loop and per-cycle
+ * ticking based on measured skip yield. The switching policy is pure
+ * host-side scheduling -- any deterministic policy is exact, because
+ * per-cycle ticking and contract-respecting skips are both
+ * observationally identical -- but that is precisely the property
+ * that silently breaks if a switch boundary ever lands a tick or a
+ * skip in the wrong place. These tests build a workload whose bus
+ * occupancy crosses the auto thresholds mid-run (saturated burst ->
+ * idle tail -> saturated burst), verify the loop really does change
+ * phase in both directions, and pin byte-identity of every output
+ * (result row, Chrome trace, sampler time series) against both fixed
+ * modes, including under sharding and fault injection.
+ *
+ * tests/sim/test_event_driven.cc holds the steady-state identity and
+ * per-component lockstep suites this file builds on.
+ */
+
+namespace mil
+{
+namespace
+{
+
+/**
+ * A trace whose memory intensity crosses the auto-mode thresholds
+ * twice. The saturated phases keep every queue busy (events on almost
+ * every cycle, so an event-phase window yields fewer than
+ * kAutoMinAvgSkip cycles per iteration); the idle middle separates
+ * blocking loads by gaps far above kAutoProbeCycles, so the first
+ * cycle-phase probe inside it sees a skip >= kAutoReenterSkip.
+ */
+std::unique_ptr<TraceWorkload>
+makePhasedTrace()
+{
+    std::vector<TraceOp> ops;
+    auto burst = [&](Addr base, int count) {
+        for (int i = 0; i < count; ++i) {
+            TraceOp op;
+            op.addr = base + static_cast<Addr>(i) * lineBytes;
+            op.gap = 0;
+            ops.push_back(op);
+        }
+    };
+    auto idle = [&](Addr base, int count) {
+        for (int i = 0; i < count; ++i) {
+            TraceOp op;
+            op.addr = base + static_cast<Addr>(i) * lineBytes;
+            op.blocking = true;
+            op.gap = 40 * static_cast<std::uint32_t>(
+                System::kAutoProbeCycles);
+            ops.push_back(op);
+        }
+    };
+    burst(0x00000, 500);
+    idle(0x80000, 8);
+    burst(0x40000, 500);
+    WorkloadConfig wc;
+    return std::make_unique<TraceWorkload>(wc, std::move(ops));
+}
+
+/** Everything observable from one phased run. */
+struct PhasedRun
+{
+    std::string row;
+    std::string traceJson;
+    std::string samples;
+    std::uint64_t switchesToCycle = 0;
+    std::uint64_t switchesToEvent = 0;
+};
+
+PhasedRun
+runPhased(TickMode mode, unsigned shards = 0, double ber = 0.0,
+          bool observe = true)
+{
+    SystemConfig config = makeSystemConfig("ddr4");
+    config.tickMode = mode;
+    config.shards = shards;
+    if (ber != 0.0)
+        config.controller.faultModel.ber = ber;
+
+    const auto workload = makePhasedTrace();
+    const auto policy = makePolicy("MiL");
+    // opsPerThread = 0: every thread replays the whole trace.
+    System system(config, *workload, policy.get(), 0);
+
+    obs::MemoryTraceSink sink;
+    obs::MetricsRegistry registry;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    if (observe) {
+        system.setTraceSink(&sink);
+        system.registerMetrics(registry);
+        sampler = std::make_unique<obs::IntervalSampler>(registry, 512);
+        system.setSampler(sampler.get());
+    }
+
+    const SimResult r = system.run();
+
+    PhasedRun out;
+    std::ostringstream os;
+    CsvReporter::writeRow(os, "ddr4", "TRACE", "MiL", r);
+    out.row = os.str();
+    if (observe) {
+        obs::ChromeTraceMeta meta;
+        meta.label = "tick-mode-phased";
+        meta.channels = config.channels;
+        meta.banksPerGroup = config.timing.banksPerGroup;
+        std::ostringstream trace;
+        obs::ChromeTraceWriter(meta).write(trace, sink.events());
+        out.traceJson = trace.str();
+        std::ostringstream samples;
+        sampler->writeCsv(samples);
+        out.samples = samples.str();
+    }
+    out.switchesToCycle = system.autoSwitchesToCycle();
+    out.switchesToEvent = system.autoSwitchesToEvent();
+    return out;
+}
+
+TEST(TickModeSwitch, AutoCrossesBothBoundaries)
+{
+    // The point of the phased trace: the hybrid loop must actually
+    // leave the event phase in the saturated head, re-enter it in the
+    // idle middle, and leave again in the saturated tail. If these
+    // counters stay at zero the remaining identity tests would pass
+    // vacuously (auto would just be event mode).
+    const PhasedRun run = runPhased(TickMode::Auto, 0, 0.0, false);
+    EXPECT_GE(run.switchesToCycle, 2u);
+    EXPECT_GE(run.switchesToEvent, 1u);
+}
+
+TEST(TickModeSwitch, FixedModesNeverSwitch)
+{
+    for (TickMode mode : {TickMode::Cycle, TickMode::Event}) {
+        const PhasedRun run = runPhased(mode, 0, 0.0, false);
+        EXPECT_EQ(run.switchesToCycle, 0u) << tickModeName(mode);
+        EXPECT_EQ(run.switchesToEvent, 0u) << tickModeName(mode);
+    }
+}
+
+TEST(TickModeSwitch, PhasedBytesIdenticalAcrossModes)
+{
+    // Byte-identity of every output across the forced mode switches:
+    // result row, Chrome trace (every command and burst timestamp),
+    // and the sampler time series (whose interval attribution is the
+    // part a misplaced skip would smear).
+    const PhasedRun oracle = runPhased(TickMode::Cycle);
+    ASSERT_FALSE(oracle.traceJson.empty());
+    ASSERT_FALSE(oracle.samples.empty());
+    for (TickMode mode : {TickMode::Event, TickMode::Auto}) {
+        const PhasedRun run = runPhased(mode);
+        EXPECT_EQ(run.row, oracle.row) << tickModeName(mode);
+        EXPECT_EQ(run.traceJson, oracle.traceJson)
+            << tickModeName(mode);
+        EXPECT_EQ(run.samples, oracle.samples) << tickModeName(mode);
+    }
+}
+
+TEST(TickModeSwitch, PhasedIdenticalWithShards)
+{
+    // The sharded engine forks the controller phase of whichever loop
+    // variant is active, so a mid-run mode switch must compose with
+    // deferred deliveries. shards=1 exercises the deferral seams
+    // single-threaded; shards=2 adds real concurrency.
+    const PhasedRun oracle = runPhased(TickMode::Cycle);
+    for (unsigned shards : {1u, 2u}) {
+        const PhasedRun run = runPhased(TickMode::Auto, shards);
+        EXPECT_EQ(run.row, oracle.row) << "shards=" << shards;
+        EXPECT_EQ(run.traceJson, oracle.traceJson)
+            << "shards=" << shards;
+        EXPECT_EQ(run.samples, oracle.samples) << "shards=" << shards;
+    }
+}
+
+TEST(TickModeSwitch, PhasedIdenticalUnderFaultInjection)
+{
+    // Fault injection indexes its RNG by frame count, so a skipped or
+    // duplicated burst anywhere near a switch boundary would shift
+    // every subsequent perturbation.
+    const PhasedRun oracle = runPhased(TickMode::Cycle, 0, 1e-6);
+    for (TickMode mode : {TickMode::Event, TickMode::Auto}) {
+        const PhasedRun run = runPhased(mode, 0, 1e-6);
+        EXPECT_EQ(run.row, oracle.row) << tickModeName(mode);
+        EXPECT_EQ(run.traceJson, oracle.traceJson)
+            << tickModeName(mode);
+    }
+}
+
+TEST(TickModeParse, NamesRoundTrip)
+{
+    EXPECT_EQ(parseTickMode("cycle"), TickMode::Cycle);
+    EXPECT_EQ(parseTickMode("event"), TickMode::Event);
+    EXPECT_EQ(parseTickMode("auto"), TickMode::Auto);
+    for (TickMode mode :
+         {TickMode::Cycle, TickMode::Event, TickMode::Auto})
+        EXPECT_EQ(parseTickMode(tickModeName(mode)), mode);
+}
+
+TEST(TickModeParse, UnknownNameRejectedWithChoices)
+{
+    try {
+        parseTickMode("warp");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("warp"), std::string::npos);
+        EXPECT_NE(msg.find("cycle"), std::string::npos);
+        EXPECT_NE(msg.find("auto"), std::string::npos);
+    }
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -60,7 +60,7 @@ struct Options
     Cycle sampleInterval = 0;
     std::string sampleCsvPath;
     unsigned jobs = 1;
-    bool noSkip = false;
+    TickMode tickMode = TickMode::Auto;
     unsigned shards = 0;
 };
 
@@ -98,9 +98,13 @@ usage(const char *argv0)
         "                         milsim_samples.csv)\n"
         "  --histograms           print idle-gap and slack histograms\n"
         "                         (the Figure 4/6 views of this run)\n"
-        "  --no-skip              run the per-cycle oracle loop instead\n"
-        "                         of event-driven cycle skipping (same\n"
-        "                         results, slower; see docs/performance)\n"
+        "  --tick-mode MODE       cycle | event | auto (default auto):\n"
+        "                         per-cycle oracle, pure event-driven\n"
+        "                         skipping, or the hybrid that falls\n"
+        "                         back to per-cycle ticking while the\n"
+        "                         bus is saturated. Identical results\n"
+        "                         either way (see docs/performance)\n"
+        "  --no-skip              shorthand for --tick-mode cycle\n"
         "  --shards N             shard this run: tick the channel\n"
         "                         controllers on min(N, channels)\n"
         "                         threads (0 = serial oracle; same\n"
@@ -160,8 +164,10 @@ parse(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         else if (arg == "--histograms")
             opt.histograms = true;
+        else if (arg == "--tick-mode")
+            opt.tickMode = parseTickMode(value());
         else if (arg == "--no-skip")
-            opt.noSkip = true;
+            opt.tickMode = TickMode::Cycle;
         else if (arg == "--shards")
             opt.shards = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 10));
@@ -187,7 +193,7 @@ runOne(const Options &opt, const std::string &policy_name,
 {
     SystemConfig config = makeSystemConfig(opt.system);
     config.controller.powerDownEnabled = opt.powerDown;
-    config.eventDriven = !opt.noSkip;
+    config.tickMode = opt.tickMode;
     config.shards = opt.shards;
     if (opt.ber != 0.0) {
         config.controller.faultModel.ber = opt.ber;

@@ -20,8 +20,8 @@
  *            [--workloads GUPS,CG,...|all]
  *            [--policies DBI,MiL,...] [--ops N] [--scale F]
  *            [--lookahead X] [--jobs N] [--shards N] [--seed S]
- *            [--ber P] [--out FILE] [--trace-dir DIR] [--no-skip]
- *            [--list]
+ *            [--ber P] [--out FILE] [--trace-dir DIR]
+ *            [--tick-mode cycle|event|auto] [--no-skip] [--list]
  */
 
 #include <algorithm>
@@ -63,7 +63,8 @@ usage(const char *argv0)
         "usage: %s [--systems a,b] [--workloads a,b|all] "
         "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
         "[--jobs N] [--shards N] [--seed S] [--ber P] [--out FILE] "
-        "[--trace-dir DIR] [--no-skip] [--list]\n",
+        "[--trace-dir DIR] [--tick-mode cycle|event|auto] [--no-skip] "
+        "[--list]\n",
         argv0);
     std::exit(2);
 }
@@ -171,8 +172,10 @@ run(int argc, char **argv)
             out_path = value();
         else if (arg == "--trace-dir")
             trace_dir = value();
+        else if (arg == "--tick-mode")
+            grid.tickMode = parseTickMode(value());
         else if (arg == "--no-skip")
-            grid.eventDriven = false;
+            grid.tickMode = TickMode::Cycle;
         else if (arg == "--list")
             return listAxes();
         else
