@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end exercise of milsweep --store / --resume through the real
+# binary and real signals -- the shell-level half of the crash-safe
+# sweep contract (tests/sim/test_sweep_store.cc is the library half):
+#
+#   1. an interrupted store-backed run (SIGINT mid-grid) exits 130,
+#      keeps its completed cells, and a --resume produces a CSV
+#      byte-identical to an uninterrupted cold run;
+#   2. a warm re-run -- different --jobs and --tick-mode on purpose --
+#      simulates zero cells and still emits identical bytes;
+#   3. an unusable --store path fails fast with ConfigError's exit 2
+#      before anything simulates.
+#
+# Usage: scripts/test_store_resume.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+build_dir=${1:-build}
+milsweep=$build_dir/tools/milsweep
+[ -x "$milsweep" ] || {
+    echo "error: $milsweep not built" >&2
+    exit 1
+}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# A grid slow enough (~15 s serial) that a 2 s SIGINT reliably lands
+# mid-sweep with cells both completed and still pending.
+grid=(--workloads all --policies DBI,MiL --ops 12000 --scale 0.2
+      --seed 3)
+
+echo "== cold reference run =="
+"$milsweep" "${grid[@]}" --out "$work/cold.csv"
+
+echo "== interrupted store run (SIGINT at 2s) =="
+# timeout's default would report 124 and mask the tool's own code;
+# --preserve-status lets the graceful-drain 130 through. On a very
+# fast machine the sweep may simply finish first (rc 0) -- fine, the
+# resume below then just runs fully warm.
+rc=0
+timeout --preserve-status -s INT 2 \
+    "$milsweep" "${grid[@]}" --jobs 1 --store "$work/store" \
+    --out "$work/interrupted.csv" 2> "$work/interrupted.log" || rc=$?
+cat "$work/interrupted.log" >&2
+if [ "$rc" -ne 130 ] && [ "$rc" -ne 0 ]; then
+    echo "error: interrupted run exited $rc, want 130 (or 0)" >&2
+    exit 1
+fi
+if [ "$rc" -eq 130 ] && [ -s "$work/interrupted.csv" ]; then
+    echo "error: interrupted run must not write a truncated CSV" >&2
+    exit 1
+fi
+
+echo "== resume completes to cold-run bytes =="
+"$milsweep" "${grid[@]}" --store "$work/store" --resume \
+    --out "$work/resumed.csv" 2> "$work/resumed.log"
+cat "$work/resumed.log" >&2
+cmp "$work/cold.csv" "$work/resumed.csv"
+echo "resumed CSV byte-identical to cold run"
+
+echo "== warm re-run simulates nothing, any jobs/tick-mode =="
+"$milsweep" "${grid[@]}" --store "$work/store" --resume \
+    --jobs 4 --tick-mode cycle --shards 2 \
+    --out "$work/warm.csv" 2> "$work/warm.log"
+cat "$work/warm.log" >&2
+grep -q 'simulated=0 ' "$work/warm.log" || {
+    echo "error: warm run re-simulated cells" >&2
+    exit 1
+}
+cmp "$work/cold.csv" "$work/warm.csv"
+echo "warm CSV byte-identical, zero cells simulated"
+
+echo "== unusable --store path fails fast with exit 2 =="
+rc=0
+"$milsweep" "${grid[@]}" --store "$work/cold.csv/sub" \
+    --out "$work/never.csv" 2> "$work/badstore.log" || rc=$?
+cat "$work/badstore.log" >&2
+if [ "$rc" -ne 2 ]; then
+    echo "error: bad --store path exited $rc, want 2" >&2
+    exit 1
+fi
+if [ -e "$work/never.csv" ]; then
+    echo "error: bad --store run must fail before writing output" >&2
+    exit 1
+fi
+
+echo "PASS: store resume contract holds"

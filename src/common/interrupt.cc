@@ -1,0 +1,67 @@
+#include "interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace mil
+{
+
+namespace
+{
+
+// Lock-free atomic: the only signal-safe C++ shared state. Holds the
+// first signal's number, 0 until one arrives.
+std::atomic<int> g_signal{0};
+
+extern "C" void
+milInterruptHandler(int sig)
+{
+    int expected = 0;
+    if (!g_signal.compare_exchange_strong(expected, sig)) {
+        // Second signal: the graceful drain is taking too long (or
+        // is wedged). Leave immediately; _Exit is async-signal-safe.
+        std::_Exit(128 + sig);
+    }
+}
+
+} // anonymous namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa;
+    sa.sa_handler = &milInterruptHandler;
+    sigemptyset(&sa.sa_mask);
+    // SA_RESTART keeps interrupted writes (CSV, store appends) from
+    // surfacing as spurious EINTR failures mid-drain.
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+interruptSignal()
+{
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+int
+interruptExitCode()
+{
+    return 128 + interruptSignal();
+}
+
+void
+clearInterruptForTesting()
+{
+    g_signal.store(0);
+}
+
+} // namespace mil

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for long-running tools.
+ *
+ * A sweep that dies mid-grid loses whatever was in flight; a sweep
+ * that *drains* can flush every completed cell to the result store
+ * and resume later. The contract:
+ *
+ *  - The first SIGINT/SIGTERM only latches a flag. Run loops poll
+ *    interruptRequested() (the SweepRunner does so before
+ *    dispatching each cell), stop scheduling new work, let in-flight
+ *    work finish, persist state, and exit with interruptExitCode()
+ *    -- the shell convention 128 + signal (130 for SIGINT, 143 for
+ *    SIGTERM), distinct from the ConfigError/SimError codes.
+ *  - A second signal means "now": the handler _Exit()s immediately
+ *    with that same code, so a wedged drain can always be cut short.
+ */
+
+#ifndef MIL_COMMON_INTERRUPT_HH
+#define MIL_COMMON_INTERRUPT_HH
+
+namespace mil
+{
+
+/**
+ * Install the SIGINT/SIGTERM handlers described above. Idempotent;
+ * call once near the top of main(), before any long work starts.
+ */
+void installInterruptHandlers();
+
+/** Has a graceful stop been requested (first signal seen)? */
+bool interruptRequested();
+
+/** The latched signal number, or 0 when none arrived. */
+int interruptSignal();
+
+/** 128 + interruptSignal(); meaningless unless interruptRequested(). */
+int interruptExitCode();
+
+/** Reset the latch (tests re-running scenarios in one process). */
+void clearInterruptForTesting();
+
+} // namespace mil
+
+#endif // MIL_COMMON_INTERRUPT_HH

@@ -1,6 +1,7 @@
 #include "report.hh"
 
 #include <ostream>
+#include <sstream>
 
 namespace mil
 {
@@ -76,20 +77,21 @@ CsvReporter::writeHeader(std::ostream &os)
     os << ",status,error\n";
 }
 
-void
-CsvReporter::writeRow(std::ostream &os, const std::string &system,
-                      const std::string &workload,
-                      const std::string &policy, const SimResult &r,
-                      const std::string &status,
-                      const std::string &error)
+std::string
+CsvReporter::metricsFragment(const SimResult &r)
 {
     obs::MetricsRegistry registry;
     registerResultMetrics(registry, r);
 
-    os << csvEscape(system) << ',' << csvEscape(workload) << ','
-       << csvEscape(policy);
+    // A fresh ostringstream carries the same default float formatting
+    // as the fresh file/cout streams the tools write rows into, so
+    // the fragment is byte-equal to an inline render.
+    std::ostringstream os;
+    bool first = true;
     for (const auto &metric : registry.metrics()) {
-        os << ',';
+        if (!first)
+            os << ',';
+        first = false;
         switch (metric.kind) {
         case obs::MetricsRegistry::Kind::Counter:
             os << metric.counter();
@@ -111,7 +113,31 @@ CsvReporter::writeRow(std::ostream &os, const std::string &system,
         }
         }
     }
-    os << ',' << csvEscape(status) << ',' << csvEscape(error) << '\n';
+    return os.str();
+}
+
+void
+CsvReporter::writeRowParts(std::ostream &os, const std::string &system,
+                           const std::string &workload,
+                           const std::string &policy,
+                           const std::string &metricsCsv,
+                           const std::string &status,
+                           const std::string &error)
+{
+    os << csvEscape(system) << ',' << csvEscape(workload) << ','
+       << csvEscape(policy) << ',' << metricsCsv << ','
+       << csvEscape(status) << ',' << csvEscape(error) << '\n';
+}
+
+void
+CsvReporter::writeRow(std::ostream &os, const std::string &system,
+                      const std::string &workload,
+                      const std::string &policy, const SimResult &r,
+                      const std::string &status,
+                      const std::string &error)
+{
+    writeRowParts(os, system, workload, policy, metricsFragment(r),
+                  status, error);
 }
 
 std::size_t

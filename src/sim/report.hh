@@ -55,6 +55,28 @@ class CsvReporter
                          const std::string &status = "ok",
                          const std::string &error = "");
 
+    /**
+     * The metric columns of @p r rendered exactly as writeRow would
+     * emit them, comma-separated, with no leading/trailing comma and
+     * no label/status columns. This is the fragment the sweep result
+     * store persists: re-emitting a stored fragment through
+     * writeRowParts reproduces the cold run's row byte for byte.
+     */
+    static std::string metricsFragment(const SimResult &r);
+
+    /**
+     * writeRow from pre-rendered metric columns. writeRow(r, ...) and
+     * writeRowParts(metricsFragment(r), ...) are defined to produce
+     * identical bytes (asserted in tests/sim/test_report.cc).
+     */
+    static void writeRowParts(std::ostream &os,
+                              const std::string &system,
+                              const std::string &workload,
+                              const std::string &policy,
+                              const std::string &metricsCsv,
+                              const std::string &status = "ok",
+                              const std::string &error = "");
+
     /** Total column count (labels + metrics + status/error). */
     static std::size_t columnCount();
 };

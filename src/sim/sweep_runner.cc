@@ -1,9 +1,14 @@
 #include "sweep_runner.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <sstream>
 
 #include "common/thread_pool.hh"
+#include "sim/report.hh"
+#include "store/code_version.hh"
+#include "store/crc32.hh"
 #include "workloads/workload.hh"
 
 namespace mil
@@ -26,7 +31,50 @@ deriveSeed(std::uint64_t base, std::uint64_t index)
     return z == 0 ? 1 : z;
 }
 
+/**
+ * Shortest round-trippable rendering of a double: %.17g is exact for
+ * every IEEE-754 binary64, so distinct scale/ber values can never
+ * collide in a key.
+ */
+std::string
+keyDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
 } // anonymous namespace
+
+std::string
+storeKeyFor(const RunSpec &spec)
+{
+    // Resolve the harness defaults (which themselves honor the
+    // MIL_OPS_PER_THREAD / MIL_SCALE environment overrides) so that
+    // "ops=0" and an explicit "ops=<default>" -- which simulate
+    // identically -- share one record. tickMode and shards are
+    // intentionally absent; see the declaration.
+    const std::uint64_t ops =
+        spec.opsPerThread == 0 ? defaultOpsPerThread()
+                               : spec.opsPerThread;
+    const double scale = spec.scale == 0.0 ? defaultScale()
+                                           : spec.scale;
+    return "sys=" + spec.system + ";wl=" + spec.workload +
+        ";pol=" + spec.policy + ";X=" +
+        std::to_string(spec.lookahead) + ";ops=" +
+        std::to_string(ops) + ";scale=" + keyDouble(scale) +
+        ";seed=" + std::to_string(spec.seed) + ";ber=" +
+        keyDouble(spec.ber);
+}
+
+std::string
+sweepStoreVersion()
+{
+    std::ostringstream header;
+    CsvReporter::writeHeader(header);
+    return store::codeVersionStamp() + "+csv" +
+        std::to_string(store::crc32(header.str()));
+}
 
 std::size_t
 SweepGrid::size() const
@@ -68,6 +116,19 @@ SweepGrid::expand() const
 
 SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
 
+void
+SweepRunner::setStore(store::ResultStore *store, bool retryErrors)
+{
+    store_ = store;
+    retryErrors_ = retryErrors;
+}
+
+void
+SweepRunner::setCancelCheck(std::function<bool()> cancelled)
+{
+    cancelled_ = std::move(cancelled);
+}
+
 std::string
 SweepRunner::traceFileName(const RunSpec &spec)
 {
@@ -101,8 +162,9 @@ SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
     const std::vector<RunSpec> specs = grid.expand();
 
     std::vector<SweepResult> results(specs.size());
-    std::mutex progress_mutex;
+    std::mutex state_mutex; // Guards done + stats_.
     std::size_t done = 0;
+    stats_ = SweepRunStats{};
 
     // jobs_ == 1 -> a 0-worker pool, i.e. the caller runs every cell
     // inline in grid order: exactly the historic serial loop. Each
@@ -113,6 +175,57 @@ SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
         const RunSpec &spec = specs[i];
         SweepResult cell;
         cell.spec = spec;
+
+        const auto finish = [&] {
+            results[i] = std::move(cell);
+            std::lock_guard<std::mutex> lock(state_mutex);
+            if (progress)
+                progress(++done, specs.size());
+        };
+
+        // A requested stop (SIGINT/SIGTERM relayed via the cancel
+        // check) takes effect at dispatch: this cell is marked
+        // cancelled without simulating, while cells already running
+        // on other workers drain to completion -- and, store-backed,
+        // persist. parallelFor still visits every index, so the
+        // result vector stays complete and in grid order.
+        if (cancelled_ && cancelled_()) {
+            cell.status = "cancelled";
+            {
+                std::lock_guard<std::mutex> lock(state_mutex);
+                ++stats_.cancelled;
+            }
+            finish();
+            return;
+        }
+
+        // Traced cells must actually run: a stored result carries no
+        // event stream (same reason they bypass the process memo).
+        const bool canServe = store_ != nullptr && traceDir_.empty();
+        std::string key;
+        if (store_ != nullptr)
+            key = storeKeyFor(spec);
+
+        if (canServe) {
+            if (auto rec = store_->find(key)) {
+                const bool isError = rec->status == "error";
+                if (!(retryErrors_ && isError)) {
+                    cell.status = rec->status;
+                    cell.error = rec->error;
+                    cell.csv = rec->csv;
+                    cell.fromStore = true;
+                    {
+                        std::lock_guard<std::mutex> lock(state_mutex);
+                        ++stats_.storeHits;
+                        if (isError)
+                            ++stats_.errorsSkipped;
+                    }
+                    finish();
+                    return;
+                }
+            }
+        }
+
         // Isolate failures to their own cell: one bad policy name or
         // a stalled simulation must not take down the other N-1
         // simulations already minutes into their runs. The message is
@@ -132,11 +245,20 @@ SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
             cell.status = "error";
             cell.error = e.what();
         }
-        results[i] = std::move(cell);
-        if (progress) {
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            progress(++done, specs.size());
+        if (store_ != nullptr) {
+            // Persist-on-complete: the fragment is rendered once,
+            // here, and those exact bytes are what every later warm
+            // run emits. The put is durable (flushed) before the cell
+            // counts as done, so an interruption after this point
+            // cannot lose it.
+            cell.csv = CsvReporter::metricsFragment(cell.result);
+            store_->put({key, cell.status, cell.error, cell.csv});
         }
+        {
+            std::lock_guard<std::mutex> lock(state_mutex);
+            ++stats_.simulated;
+        }
+        finish();
     });
     return results;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "store/result_store.hh"
 
 namespace mil
 {
@@ -76,15 +77,56 @@ struct SweepGrid
     std::vector<RunSpec> expand() const;
 };
 
+/**
+ * The normalized content key identifying a cell's result in a
+ * ResultStore. Two specs share a key exactly when their simulations
+ * are defined to produce identical results: harness defaults for
+ * opsPerThread/scale are resolved before rendering, and tickMode and
+ * shards are deliberately excluded (all modes and shard counts are
+ * byte-identical by contract, so a store warmed at --shards 0 serves
+ * a --shards 8 --tick-mode cycle resume). The code-version stamp is
+ * *not* part of the key; staleness is handled store-wide (see
+ * sweepStoreVersion and store/result_store.hh).
+ */
+std::string storeKeyFor(const RunSpec &spec);
+
+/**
+ * The store code-version stamp milsweep opens stores with: the
+ * binary's codeVersionStamp() plus a fingerprint of the CSV schema,
+ * so either a new binary or a changed column set invalidates every
+ * persisted record.
+ */
+std::string sweepStoreVersion();
+
 /** One evaluated grid cell. */
 struct SweepResult
 {
     RunSpec spec;
     SimResult result;   ///< Default-constructed unless ok().
-    std::string status = "ok"; ///< "ok" or "error".
+    std::string status = "ok"; ///< "ok", "error", or "cancelled".
     std::string error;  ///< The failure message when !ok().
 
+    /**
+     * The cell's rendered CSV metrics fragment
+     * (CsvReporter::metricsFragment). Populated only on store-backed
+     * runs -- for cache hits it is the *stored* bytes, making the
+     * emitted row independent of any float-formatting drift.
+     */
+    std::string csv;
+
+    /** Served from the ResultStore without simulating? */
+    bool fromStore = false;
+
     bool ok() const { return status == "ok"; }
+};
+
+/** What one SweepRunner::run did, beyond the results themselves. */
+struct SweepRunStats
+{
+    std::size_t simulated = 0;  ///< Cells actually simulated.
+    std::size_t storeHits = 0;  ///< Cells served from the store.
+    std::size_t errorsSkipped = 0; ///< Stored error cells not retried.
+    std::size_t cancelled = 0;  ///< Cells never dispatched (interrupt).
 };
 
 /** Runs every cell of a SweepGrid across a pool of threads. */
@@ -127,6 +169,31 @@ class SweepRunner
     static std::string traceFileName(const RunSpec &spec);
 
     /**
+     * Serve cells from (and persist fresh cells into) @p store,
+     * making the sweep incremental and resumable. A stored
+     * status=error cell is served as-is -- a cell known to fail is
+     * not worth re-failing on every resume -- unless @p retryErrors,
+     * which re-simulates exactly the stored error cells. Cells being
+     * traced (setTraceDir) always simulate, since a stored result has
+     * no event stream; their results still land in the store. Pass
+     * nullptr to detach.
+     */
+    void setStore(store::ResultStore *store, bool retryErrors = false);
+
+    /**
+     * Poll @p cancelled before dispatching each cell; once it returns
+     * true, remaining cells are marked status=cancelled without
+     * simulating while in-flight cells drain normally. milsweep wires
+     * this to interruptRequested() (common/interrupt.hh), making a
+     * store-backed sweep SIGINT-safe: everything completed is already
+     * persisted, everything cancelled is recomputed on --resume.
+     */
+    void setCancelCheck(std::function<bool()> cancelled);
+
+    /** Counters from the most recent run() on this runner. */
+    const SweepRunStats &lastRunStats() const { return stats_; }
+
+    /**
      * Evaluate the whole grid. The returned vector is in grid order
      * (matching grid.expand()) regardless of completion order.
      *
@@ -146,6 +213,10 @@ class SweepRunner
     unsigned jobs_;
     bool useCache_ = true;
     std::string traceDir_;
+    store::ResultStore *store_ = nullptr;
+    bool retryErrors_ = false;
+    std::function<bool()> cancelled_;
+    mutable SweepRunStats stats_;
 };
 
 } // namespace mil

@@ -1,0 +1,21 @@
+#include "code_version.hh"
+
+#include <cstdlib>
+
+#ifndef MIL_CODE_VERSION
+#define MIL_CODE_VERSION "unversioned"
+#endif
+
+namespace mil::store
+{
+
+std::string
+codeVersionStamp()
+{
+    if (const char *env = std::getenv("MIL_CODE_VERSION"))
+        if (*env != '\0')
+            return env;
+    return MIL_CODE_VERSION;
+}
+
+} // namespace mil::store

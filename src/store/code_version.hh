@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The compile-time code-version stamp baked into every result store.
+ *
+ * A persisted simulation result is only reusable while the binary
+ * that produced it would still produce the same bytes. The store
+ * therefore records a version stamp at creation and treats every
+ * record in a store whose stamp differs from the running binary's as
+ * stale: detected, quarantined, and re-simulated -- never silently
+ * served (see result_store.hh).
+ */
+
+#ifndef MIL_STORE_CODE_VERSION_HH
+#define MIL_STORE_CODE_VERSION_HH
+
+#include <string>
+
+namespace mil::store
+{
+
+/**
+ * The running binary's code identity: the git revision CMake saw at
+ * configure time (MIL_CODE_VERSION compile definition; "unversioned"
+ * when git was unavailable). The MIL_CODE_VERSION environment
+ * variable overrides it at runtime -- tests and CI use that to
+ * simulate a stale binary against a warmed store without rebuilding.
+ *
+ * Callers composing a store version should mix in a fingerprint of
+ * whatever schema they persist (milsweep adds the CSV header CRC via
+ * sweepStoreVersion()), so schema drift invalidates even when the
+ * configure-time stamp has gone stale.
+ */
+std::string codeVersionStamp();
+
+} // namespace mil::store
+
+#endif // MIL_STORE_CODE_VERSION_HH

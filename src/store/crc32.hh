@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) used to
+ * self-checksum on-disk result-store records. The fault subsystem's
+ * CRC-8 models the DDR4 *wire* checksum; this one protects *our own*
+ * persistence layer, so it lives with the store, not with the fault
+ * model, and uses the ubiquitous 32-bit polynomial every external
+ * tool (zlib, cksum -o3, python binascii) can re-verify.
+ */
+
+#ifndef MIL_STORE_CRC32_HH
+#define MIL_STORE_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mil::store
+{
+
+/**
+ * CRC-32 of @p len bytes at @p data. @p seed chains incremental
+ * computations: pass the previous call's result to continue a
+ * running checksum (0 starts a fresh one).
+ */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t
+crc32(std::string_view bytes, std::uint32_t seed = 0)
+{
+    return crc32(bytes.data(), bytes.size(), seed);
+}
+
+/**
+ * Exact-match overload for string literals: without it, a seeded
+ * crc32("...", seed) call is ambiguous between the (void*, size_t)
+ * and (string_view, seed) overloads, and compilers that resolve the
+ * tie as an extension pick the pointer form -- silently reinterpreting
+ * the seed as a byte count.
+ */
+inline std::uint32_t
+crc32(const char *cstr, std::uint32_t seed = 0)
+{
+    return crc32(std::string_view(cstr), seed);
+}
+
+} // namespace mil::store
+
+#endif // MIL_STORE_CRC32_HH

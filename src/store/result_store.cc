@@ -1,0 +1,478 @@
+#include "result_store.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/sim_error.hh"
+#include "crc32.hh"
+
+namespace fs = std::filesystem;
+
+namespace mil::store
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'M', 'R', 'E', 'C'};
+constexpr std::size_t kFrameHeaderBytes = 12; // magic + len + crc.
+constexpr const char *kFormatVersion = "mrs1";
+
+/**
+ * Ceiling on one payload. Far above any real record (a CSV fragment
+ * is a few hundred bytes); its job is to stop a corrupted length
+ * field from making the scanner treat the rest of the file as one
+ * giant half-record instead of resynchronizing.
+ */
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 24;
+
+void
+put32(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t
+get32(const std::string &buf, std::size_t pos)
+{
+    const auto b = [&](std::size_t i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(buf[pos + i]));
+    };
+    return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+void
+putLp(std::string &out, const std::string &s)
+{
+    put32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/** Bounds-checked payload reader; any overrun latches !ok(). */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &buf) : buf_(buf) {}
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return ok_ && pos_ == buf_.size(); }
+
+    std::uint8_t
+    u8()
+    {
+        if (!ok_ || pos_ + 1 > buf_.size()) {
+            ok_ = false;
+            return 0;
+        }
+        return static_cast<std::uint8_t>(buf_[pos_++]);
+    }
+
+    std::string
+    lp()
+    {
+        if (!ok_ || pos_ + 4 > buf_.size()) {
+            ok_ = false;
+            return {};
+        }
+        const std::uint32_t len = get32(buf_, pos_);
+        pos_ += 4;
+        if (len > buf_.size() - pos_) {
+            ok_ = false;
+            return {};
+        }
+        std::string s = buf_.substr(pos_, len);
+        pos_ += len;
+        return s;
+    }
+
+  private:
+    const std::string &buf_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+std::string
+encodeRecordPayload(const Record &rec)
+{
+    std::string p;
+    p.push_back(1);
+    putLp(p, rec.key);
+    p.push_back(rec.status == "error" ? 1 : 0);
+    putLp(p, rec.error);
+    putLp(p, rec.csv);
+    return p;
+}
+
+std::string
+encodeHeaderPayload(const std::string &codeVersion)
+{
+    std::string p;
+    p.push_back(0);
+    putLp(p, kFormatVersion);
+    putLp(p, codeVersion);
+    return p;
+}
+
+std::string
+frame(const std::string &payload)
+{
+    std::string rec(kMagic, sizeof(kMagic));
+    put32(rec, static_cast<std::uint32_t>(payload.size()));
+    put32(rec, crc32(payload));
+    rec += payload;
+    return rec;
+}
+
+/**
+ * Parse the frame starting at @p pos: magic, sane length, matching
+ * payload CRC. Returns {payload, end offset} or nullopt when the
+ * bytes there are not a complete, intact record.
+ */
+std::optional<std::pair<std::string, std::size_t>>
+frameAt(const std::string &buf, std::size_t pos)
+{
+    if (pos + kFrameHeaderBytes > buf.size())
+        return std::nullopt;
+    if (std::memcmp(buf.data() + pos, kMagic, sizeof(kMagic)) != 0)
+        return std::nullopt;
+    const std::uint32_t len = get32(buf, pos + 4);
+    const std::uint32_t crc = get32(buf, pos + 8);
+    if (len > kMaxPayloadBytes ||
+        len > buf.size() - pos - kFrameHeaderBytes)
+        return std::nullopt;
+    std::string payload =
+        buf.substr(pos + kFrameHeaderBytes, len);
+    if (crc32(payload) != crc)
+        return std::nullopt;
+    return std::make_pair(std::move(payload),
+                          pos + kFrameHeaderBytes + len);
+}
+
+/** Decoded header payload, or nullopt for anything malformed. */
+std::optional<std::pair<std::string, std::string>>
+decodeHeader(const std::string &payload)
+{
+    Reader r(payload);
+    if (r.u8() != 0)
+        return std::nullopt;
+    std::string format = r.lp();
+    std::string version = r.lp();
+    if (!r.atEnd())
+        return std::nullopt;
+    return std::make_pair(std::move(format), std::move(version));
+}
+
+std::optional<Record>
+decodeRecord(const std::string &payload)
+{
+    Reader r(payload);
+    if (r.u8() != 1)
+        return std::nullopt;
+    Record rec;
+    rec.key = r.lp();
+    rec.status = r.u8() == 0 ? "ok" : "error";
+    rec.error = r.lp();
+    rec.csv = r.lp();
+    if (!r.atEnd() || rec.key.empty())
+        return std::nullopt;
+    return rec;
+}
+
+/** Best-effort forensic copy of damaged bytes; never throws. */
+void
+saveQuarantine(const std::string &dir, const std::string &bytes)
+{
+    std::ofstream q(dir + "/quarantine.bin",
+                    std::ios::binary | std::ios::app);
+    if (q)
+        q.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Write a fresh log (header + records) committed by atomic rename. */
+void
+commitLog(const std::string &path, const std::string &codeVersion,
+          const std::vector<const Record *> &records)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw ConfigError(strformat(
+                "store: cannot write %s", tmp.c_str()));
+        const std::string header =
+            frame(encodeHeaderPayload(codeVersion));
+        out.write(header.data(),
+                  static_cast<std::streamsize>(header.size()));
+        for (const Record *rec : records) {
+            const std::string bytes =
+                frame(encodeRecordPayload(*rec));
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+        out.flush();
+        if (!out)
+            throw ConfigError(strformat(
+                "store: write failed for %s", tmp.c_str()));
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        throw ConfigError(strformat(
+            "store: cannot commit %s: %s", path.c_str(),
+            ec.message().c_str()));
+}
+
+} // anonymous namespace
+
+ResultStore::ResultStore(std::string dir, std::string codeVersion)
+    : dir_(std::move(dir)), codeVersion_(std::move(codeVersion))
+{
+    openAndRecover();
+}
+
+std::string
+ResultStore::logPath() const
+{
+    return dir_ + "/" + fileName();
+}
+
+bool
+ResultStore::exists(const std::string &dir)
+{
+    std::error_code ec;
+    return fs::is_regular_file(dir + "/" + fileName(), ec);
+}
+
+void
+ResultStore::openAndRecover()
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        throw ConfigError(strformat(
+            "store: cannot create directory %s%s%s", dir_.c_str(),
+            ec ? ": " : "", ec ? ec.message().c_str() : ""));
+
+    const std::string path = logPath();
+
+    // Slurp the existing log. Logs are bounded by grid sizes (a
+    // 10,000-cell sweep is a few MB), so whole-file reads keep the
+    // recovery scan simple and make resync trivially correct.
+    std::string buf;
+    bool fresh = true;
+    if (fs::exists(path, ec)) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            throw ConfigError(strformat(
+                "store: cannot read %s", path.c_str()));
+        std::ostringstream slurp;
+        slurp << in.rdbuf();
+        buf = slurp.str();
+        fresh = buf.empty(); // 0-byte debris counts as no store.
+    }
+
+    bool sawDamage = false;
+    std::vector<std::string> order; // First-seen keys, for compaction.
+
+    if (!fresh) {
+        // The header must be the intact first record: it carries the
+        // format and code-version stamps that decide whether any
+        // record in the file may be trusted at all. A file whose
+        // header cannot be verified is set aside wholesale -- a
+        // recovered store must never poison a resume.
+        const auto first = frameAt(buf, 0);
+        const auto header =
+            first ? decodeHeader(first->first) : std::nullopt;
+        if (!header || header->first != kFormatVersion) {
+            fs::rename(path, path + ".corrupt", ec);
+            if (ec)
+                throw ConfigError(strformat(
+                    "store: cannot quarantine %s: %s", path.c_str(),
+                    ec.message().c_str()));
+            ++stats_.quarantined;
+            fresh = true;
+        } else if (header->second != codeVersion_) {
+            // Stale binary stamp: count what is being dropped so the
+            // invalidation is observable, then set the file aside.
+            std::size_t pos = first->second;
+            while (pos < buf.size()) {
+                const auto f = frameAt(buf, pos);
+                if (f && decodeRecord(f->first)) {
+                    ++stats_.stale;
+                    pos = f->second;
+                    continue;
+                }
+                pos = buf.find("MREC", pos + 1);
+                if (pos == std::string::npos)
+                    break;
+            }
+            fs::rename(path, path + ".stale", ec);
+            if (ec)
+                throw ConfigError(strformat(
+                    "store: cannot set aside stale %s: %s",
+                    path.c_str(), ec.message().c_str()));
+            fresh = true;
+        } else {
+            // Record scan with resynchronization: a damaged span is
+            // quarantined and the scan continues at the next
+            // verifiable record, so one bit flip costs one record,
+            // not the rest of the file.
+            std::size_t pos = first->second;
+            while (pos < buf.size()) {
+                if (const auto f = frameAt(buf, pos)) {
+                    if (auto rec = decodeRecord(f->first)) {
+                        std::string key = rec->key;
+                        auto [it, inserted] =
+                            records_.insert_or_assign(
+                                std::move(key), std::move(*rec));
+                        if (inserted)
+                            order.push_back(it->first);
+                        else
+                            ++stats_.superseded;
+                        pos = f->second;
+                        continue;
+                    }
+                    // Intact frame, undecodable payload (a header
+                    // mid-file, an unknown type): quarantine it.
+                    sawDamage = true;
+                    ++stats_.quarantined;
+                    saveQuarantine(
+                        dir_, buf.substr(pos, f->second - pos));
+                    pos = f->second;
+                    continue;
+                }
+                // Damage at pos. Resync on the next offset that
+                // parses as a complete, checksummed record.
+                sawDamage = true;
+                std::size_t next = std::string::npos;
+                std::size_t search = pos + 1;
+                while (true) {
+                    const std::size_t cand =
+                        buf.find("MREC", search);
+                    if (cand == std::string::npos)
+                        break;
+                    if (frameAt(buf, cand)) {
+                        next = cand;
+                        break;
+                    }
+                    search = cand + 1;
+                }
+                if (next == std::string::npos) {
+                    // No verifiable record follows: this is the torn
+                    // tail an interrupted append leaves behind.
+                    stats_.tornTailBytes += buf.size() - pos;
+                    break;
+                }
+                ++stats_.quarantined;
+                saveQuarantine(dir_, buf.substr(pos, next - pos));
+                pos = next;
+            }
+        }
+    }
+
+    stats_.loaded = records_.size();
+
+    if (fresh || sawDamage || stats_.tornTailBytes > 0) {
+        // (Re)write a clean log -- temp file, then atomic rename --
+        // so damage is healed exactly once instead of being rescanned
+        // (or growing) on every reopen.
+        std::vector<const Record *> survivors;
+        survivors.reserve(order.size());
+        for (const auto &key : order)
+            survivors.push_back(&records_.at(key));
+        commitLog(path, codeVersion_, survivors);
+        if (!fresh)
+            ++stats_.compactions;
+    }
+
+    out_.open(path, std::ios::binary | std::ios::app);
+    if (!out_)
+        throw ConfigError(strformat(
+            "store: cannot append to %s", path.c_str()));
+}
+
+std::optional<Record>
+ResultStore::find(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = records_.find(key);
+    if (it == records_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+}
+
+void
+ResultStore::put(Record rec)
+{
+    const std::string bytes = frame(encodeRecordPayload(rec));
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size()));
+    out_.flush();
+    if (!out_)
+        throw SimError(strformat(
+            "store: append failed to %s", logPath().c_str()));
+    ++stats_.inserts;
+    std::string key = rec.key;
+    records_.insert_or_assign(std::move(key), std::move(rec));
+}
+
+void
+ResultStore::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.flush();
+    if (!out_)
+        throw SimError(strformat(
+            "store: flush failed for %s", logPath().c_str()));
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+registerStoreMetrics(obs::MetricsRegistry &registry,
+                     const StoreStats &stats)
+{
+    registry.addCounter("store_hits", [&stats] { return stats.hits; });
+    registry.addCounter("store_misses",
+                        [&stats] { return stats.misses; });
+    registry.addCounter("store_inserts",
+                        [&stats] { return stats.inserts; });
+    registry.addCounter("store_loaded",
+                        [&stats] { return stats.loaded; });
+    registry.addCounter("store_superseded",
+                        [&stats] { return stats.superseded; });
+    registry.addCounter("store_quarantined",
+                        [&stats] { return stats.quarantined; });
+    registry.addCounter("store_torn_tail_bytes",
+                        [&stats] { return stats.tornTailBytes; });
+    registry.addCounter("store_stale",
+                        [&stats] { return stats.stale; });
+    registry.addCounter("store_compactions",
+                        [&stats] { return stats.compactions; });
+}
+
+} // namespace mil::store

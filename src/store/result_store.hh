@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A crash-safe on-disk store of sweep-cell results.
+ *
+ * The store makes `milsweep` restartable: every evaluated grid cell
+ * is persisted as soon as it completes, so a run that dies at cell
+ * 9,999 of 10,000 -- crash, OOM, SIGINT, CI timeout -- resumes with
+ * one cell left instead of recomputing the grid. Records are keyed
+ * by a caller-supplied content key (for sweeps: a normalized
+ * rendering of the RunSpec, see storeKeyFor() in
+ * sim/sweep_runner.hh) and carry the cell's fully rendered CSV
+ * metrics fragment, so a cache hit reproduces the cold run's output
+ * byte for byte.
+ *
+ * On-disk format (`<dir>/results.mrs`, little-endian):
+ *
+ *   file    := header record*
+ *   header  := "MREC" u32 len u32 crc32(payload)  payload(type 0)
+ *   record  := "MREC" u32 len u32 crc32(payload)  payload(type 1)
+ *   payload := u8 type
+ *              type 0: lp(format-version) lp(code-version)
+ *              type 1: lp(key) u8 status lp(error) lp(csv)
+ *   lp      := u32 byte-count, then that many bytes
+ *
+ * This layout is an internal format, not a stability guarantee: a
+ * store is a cache, never an archive, and any version skew simply
+ * costs re-simulation.
+ *
+ * Durability and recovery:
+ *
+ *  - Appends are single buffered write() + flush per record, so an
+ *    interrupted process tears at most the trailing record.
+ *  - Opening scans the log record by record, verifying magic,
+ *    length sanity, and the payload CRC-32. A torn/truncated tail is
+ *    dropped; corruption in the middle (bit flips, partial
+ *    overwrites) quarantines the damaged span and resynchronizes on
+ *    the next verifiable record, so one bad record never poisons the
+ *    rest. Quarantined bytes are preserved in `quarantine.bin` for
+ *    forensics -- a damaged record is re-simulated, never reused.
+ *  - When the scan found damage, the surviving records are rewritten
+ *    through a temp file committed by atomic rename, so the next
+ *    open starts from a clean log.
+ *  - A store whose code-version stamp does not match the running
+ *    binary's is stale: every record is counted, the whole file is
+ *    set aside as `results.mrs.stale`, and the store starts empty.
+ *  - Duplicate keys are legal in the log (e.g. --retry-errors
+ *    re-simulating a failed cell); the *last* record for a key wins.
+ *
+ * Thread safety: find()/put()/flush()/stats() may be called
+ * concurrently (the SweepRunner calls them from every ThreadPool
+ * worker); one mutex serializes the map and the append stream.
+ * Multiple *processes* appending to one store are not supported --
+ * run one milsweep per store directory.
+ */
+
+#ifndef MIL_STORE_RESULT_STORE_HH
+#define MIL_STORE_RESULT_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace mil::store
+{
+
+/** One persisted cell result. */
+struct Record
+{
+    std::string key;           ///< Content key (see storeKeyFor()).
+    std::string status = "ok"; ///< "ok" or "error".
+    std::string error;         ///< Failure message when status=error.
+    std::string csv;           ///< Rendered CSV metrics fragment.
+};
+
+/** What open-time recovery and run-time lookups did, for metrics. */
+struct StoreStats
+{
+    std::uint64_t loaded = 0;      ///< Distinct records after open.
+    std::uint64_t superseded = 0;  ///< Older duplicates dropped.
+    std::uint64_t quarantined = 0; ///< Corrupt spans quarantined.
+    std::uint64_t tornTailBytes = 0; ///< Truncated tail dropped.
+    std::uint64_t stale = 0;       ///< Records dropped on version skew.
+    std::uint64_t compactions = 0; ///< Atomic rewrites performed.
+    std::uint64_t hits = 0;        ///< find() served a record.
+    std::uint64_t misses = 0;      ///< find() had nothing.
+    std::uint64_t inserts = 0;     ///< put() appended a record.
+};
+
+/** Durable, corruption-tolerant key -> Record store (one directory). */
+class ResultStore
+{
+  public:
+    /**
+     * Open (creating the directory and log as needed) and run the
+     * recovery scan. @p codeVersion is the running binary's stamp
+     * (see code_version.hh; sweeps use sweepStoreVersion()).
+     *
+     * Throws mil::ConfigError when the directory cannot be created,
+     * the log cannot be read, or the log cannot be appended to --
+     * callers fail fast *before* burning simulation time.
+     */
+    ResultStore(std::string dir, std::string codeVersion);
+
+    /**
+     * The record for @p key, or nullopt. Counted as a hit or miss.
+     * Returns a copy: the store may be concurrently appended to.
+     */
+    std::optional<Record> find(const std::string &key);
+
+    /**
+     * Upsert: append @p rec to the log (flushed to the OS before
+     * returning, so a subsequent crash cannot lose it) and replace
+     * any in-memory record with the same key.
+     */
+    void put(Record rec);
+
+    /** Flush the append stream; throws SimError on write failure. */
+    void flush();
+
+    /** Distinct records currently served. */
+    std::size_t size() const;
+
+    /** Snapshot of the counters (copy; safe to outlive the store). */
+    StoreStats stats() const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Does @p dir already hold a store log? (--resume precondition) */
+    static bool exists(const std::string &dir);
+
+    /** Log file name within the store directory. */
+    static const char *fileName() { return "results.mrs"; }
+
+  private:
+    void openAndRecover();
+    std::string logPath() const;
+
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::string codeVersion_;
+    std::unordered_map<std::string, Record> records_;
+    std::ofstream out_;
+    StoreStats stats_;
+};
+
+/**
+ * Register the store counters into @p registry (names store_hits,
+ * store_misses, store_loaded, store_superseded, store_quarantined,
+ * store_torn_tail_bytes, store_stale, store_compactions,
+ * store_inserts). The probes reference @p stats, which must outlive
+ * the registry's consumers.
+ */
+void registerStoreMetrics(obs::MetricsRegistry &registry,
+                          const StoreStats &stats);
+
+} // namespace mil::store
+
+#endif // MIL_STORE_RESULT_STORE_HH

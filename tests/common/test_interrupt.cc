@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include <unistd.h>
+
+#include "common/interrupt.hh"
+
+namespace mil
+{
+namespace
+{
+
+/**
+ * The handlers are process-global state, so these tests run the full
+ * lifecycle in order within each body and always restore the clean
+ * state on the way out. raise() delivers synchronously on this
+ * thread, so no waiting or sync is needed.
+ */
+
+TEST(Interrupt, FirstSignalLatchesInsteadOfKilling)
+{
+    installInterruptHandlers();
+    clearInterruptForTesting();
+    EXPECT_FALSE(interruptRequested());
+    EXPECT_EQ(interruptSignal(), 0);
+
+    ASSERT_EQ(std::raise(SIGINT), 0);
+    // Still alive: the first signal only set the flag.
+    EXPECT_TRUE(interruptRequested());
+    EXPECT_EQ(interruptSignal(), SIGINT);
+    EXPECT_EQ(interruptExitCode(), 130);
+
+    clearInterruptForTesting();
+    EXPECT_FALSE(interruptRequested());
+    EXPECT_EQ(interruptSignal(), 0);
+}
+
+TEST(Interrupt, SigtermMapsToShellConvention143)
+{
+    installInterruptHandlers();
+    clearInterruptForTesting();
+    ASSERT_EQ(std::raise(SIGTERM), 0);
+    EXPECT_TRUE(interruptRequested());
+    EXPECT_EQ(interruptSignal(), SIGTERM);
+    EXPECT_EQ(interruptExitCode(), 143);
+    clearInterruptForTesting();
+}
+
+TEST(Interrupt, FirstSignalWinsWhenBothArrive)
+{
+    // SIGINT then SIGTERM: the latch keeps the first signal (that is
+    // the exit code the draining tool reports)... and the second
+    // would normally _Exit. The death test below covers that; here we
+    // only check the latch itself is first-writer-wins via clear().
+    installInterruptHandlers();
+    clearInterruptForTesting();
+    ASSERT_EQ(std::raise(SIGTERM), 0);
+    EXPECT_EQ(interruptSignal(), SIGTERM);
+    clearInterruptForTesting();
+    ASSERT_EQ(std::raise(SIGINT), 0);
+    EXPECT_EQ(interruptSignal(), SIGINT);
+    clearInterruptForTesting();
+}
+
+TEST(InterruptDeathTest, SecondSignalExitsImmediately)
+{
+    // A wedged drain must always be interruptible: the second signal
+    // bypasses every atexit/flush path via _Exit(128+sig).
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        {
+            installInterruptHandlers();
+            clearInterruptForTesting();
+            std::raise(SIGINT);
+            std::raise(SIGINT); // _Exit(130); never returns.
+            _exit(99);          // Unreachable if the contract holds.
+        },
+        testing::ExitedWithCode(130), "");
+}
+
+} // anonymous namespace
+} // namespace mil

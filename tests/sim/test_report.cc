@@ -120,6 +120,23 @@ TEST(CsvReporter, RegistryDefinesSchema)
     EXPECT_EQ(os.str(), expected);
 }
 
+TEST(CsvReporter, FragmentReplayedThroughPartsMatchesInlineRender)
+{
+    // The result store persists metricsFragment() and replays it via
+    // writeRowParts on warm runs; the byte-identical-CSV guarantee of
+    // --resume rests on this identity holding for every row shape.
+    for (const SimResult &r : {smallResult(), SimResult{}}) {
+        std::ostringstream inline_os;
+        CsvReporter::writeRow(inline_os, "ddr4", "MM", "DBI", r,
+                              "error", "msg, with comma");
+        std::ostringstream parts_os;
+        CsvReporter::writeRowParts(parts_os, "ddr4", "MM", "DBI",
+                                   CsvReporter::metricsFragment(r),
+                                   "error", "msg, with comma");
+        EXPECT_EQ(parts_os.str(), inline_os.str());
+    }
+}
+
 TEST(CsvReporter, MultipleRowsAppend)
 {
     std::ostringstream os;

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * SweepRunner <-> ResultStore integration: warm runs simulate zero
+ * cells and stay byte-identical to cold runs across jobs / tick-mode
+ * / shard variations, stale stamps invalidate, stored errors are
+ * skipped (unless retried), and a cancelled run resumes to the same
+ * bytes. This is the library-level half of the milsweep --store /
+ * --resume contract; scripts/test_store_resume.sh drives the same
+ * scenarios through the actual binary and signals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sim/report.hh"
+#include "sim/sweep_runner.hh"
+#include "store/result_store.hh"
+
+namespace mil
+{
+namespace
+{
+
+/** Tiny grid that still crosses >1 of each axis. */
+SweepGrid
+smallGrid()
+{
+    SweepGrid grid;
+    grid.systems = {"ddr4"};
+    grid.workloads = {"GUPS", "MM"};
+    grid.policies = {"DBI", "MiL"};
+    // Keep the cells tiny and independent of the env defaults.
+    grid.opsPerThread = 150;
+    grid.scale = 0.1;
+    return grid;
+}
+
+/**
+ * The CSV milsweep would emit: stored cells replay their persisted
+ * fragment through writeRowParts, fresh cells render inline.
+ */
+std::string
+toCsv(const std::vector<SweepResult> &results)
+{
+    std::ostringstream os;
+    CsvReporter::writeHeader(os);
+    for (const auto &cell : results) {
+        if (!cell.csv.empty())
+            CsvReporter::writeRowParts(os, cell.spec.system,
+                                       cell.spec.workload,
+                                       cell.spec.policy, cell.csv,
+                                       cell.status, cell.error);
+        else
+            CsvReporter::writeRow(os, cell.spec.system,
+                                  cell.spec.workload,
+                                  cell.spec.policy, cell.result,
+                                  cell.status, cell.error);
+    }
+    return os.str();
+}
+
+std::string
+freshDir(const std::string &tag)
+{
+    static int counter = 0;
+    const std::string dir = testing::TempDir() + "mil_sweepstore_" +
+        tag + "_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(SweepStore, WarmRunSimulatesNothingAndMatchesColdBytes)
+{
+    const SweepGrid grid = smallGrid();
+    const std::string dir = freshDir("warm");
+    store::ResultStore store(dir, "v1");
+
+    SweepRunner cold(1);
+    cold.setUseCache(false);
+    cold.setStore(&store);
+    const std::string cold_csv = toCsv(cold.run(grid));
+    EXPECT_EQ(cold.lastRunStats().simulated, grid.size());
+    EXPECT_EQ(cold.lastRunStats().storeHits, 0u);
+    EXPECT_EQ(store.size(), grid.size());
+
+    // Warm runs must serve every cell from disk -- the incremental
+    // sweep contract -- for ANY jobs / tick-mode / shards choice,
+    // because results are byte-identical across all of them and the
+    // store key deliberately ignores those knobs.
+    struct Variant
+    {
+        unsigned jobs;
+        TickMode tickMode;
+        unsigned shards;
+    };
+    const std::vector<Variant> variants = {
+        {1, TickMode::Auto, 0},
+        {3, TickMode::Auto, 0},
+        {2, TickMode::Cycle, 0},
+        {2, TickMode::Event, 2},
+        {4, TickMode::Auto, 2},
+    };
+    for (const auto &v : variants) {
+        SweepGrid warm_grid = grid;
+        warm_grid.tickMode = v.tickMode;
+        warm_grid.shards = v.shards;
+        SweepRunner warm(v.jobs);
+        warm.setUseCache(false);
+        warm.setStore(&store);
+        const auto results = warm.run(warm_grid);
+        EXPECT_EQ(warm.lastRunStats().simulated, 0u)
+            << "jobs=" << v.jobs << " shards=" << v.shards;
+        EXPECT_EQ(warm.lastRunStats().storeHits, grid.size());
+        for (const auto &cell : results)
+            EXPECT_TRUE(cell.fromStore);
+        EXPECT_EQ(toCsv(results), cold_csv)
+            << "jobs=" << v.jobs << " shards=" << v.shards;
+    }
+}
+
+TEST(SweepStore, ReopenedStoreServesAPriorProcessesResults)
+{
+    const SweepGrid grid = smallGrid();
+    const std::string dir = freshDir("reopen");
+    std::string cold_csv;
+    {
+        store::ResultStore store(dir, "v1");
+        SweepRunner runner(2);
+        runner.setUseCache(false);
+        runner.setStore(&store);
+        cold_csv = toCsv(runner.run(grid));
+    } // Store closed: simulates the first process exiting.
+    store::ResultStore store(dir, "v1");
+    EXPECT_EQ(store.stats().loaded, grid.size());
+    SweepRunner warm(2);
+    warm.setUseCache(false);
+    warm.setStore(&store);
+    EXPECT_EQ(toCsv(warm.run(grid)), cold_csv);
+    EXPECT_EQ(warm.lastRunStats().simulated, 0u);
+}
+
+TEST(SweepStore, StaleCodeVersionForcesFullResimulation)
+{
+    const SweepGrid grid = smallGrid();
+    const std::string dir = freshDir("stale");
+    std::string cold_csv;
+    {
+        store::ResultStore store(dir, "binary-A");
+        SweepRunner runner(1);
+        runner.setUseCache(false);
+        runner.setStore(&store);
+        cold_csv = toCsv(runner.run(grid));
+    }
+    // A different stamp (new binary) must not serve old records --
+    // but the re-simulation lands the same bytes back in the store.
+    store::ResultStore store(dir, "binary-B");
+    EXPECT_EQ(store.stats().stale, grid.size());
+    SweepRunner runner(2);
+    runner.setUseCache(false);
+    runner.setStore(&store);
+    EXPECT_EQ(toCsv(runner.run(grid)), cold_csv);
+    EXPECT_EQ(runner.lastRunStats().simulated, grid.size());
+    EXPECT_EQ(runner.lastRunStats().storeHits, 0u);
+}
+
+TEST(SweepStore, StoredErrorCellsAreSkippedUnlessRetried)
+{
+    SweepGrid grid = smallGrid();
+    grid.policies = {"DBI", "NoSuchPolicy"};
+    const std::string dir = freshDir("errors");
+    store::ResultStore store(dir, "v1");
+
+    SweepRunner cold(1);
+    cold.setUseCache(false);
+    cold.setStore(&store);
+    const std::string cold_csv = toCsv(cold.run(grid));
+    EXPECT_EQ(cold.lastRunStats().simulated, grid.size());
+
+    // Default resume: known-bad cells are served as stored error
+    // rows, not re-failed.
+    SweepRunner warm(1);
+    warm.setUseCache(false);
+    warm.setStore(&store);
+    EXPECT_EQ(toCsv(warm.run(grid)), cold_csv);
+    EXPECT_EQ(warm.lastRunStats().simulated, 0u);
+    EXPECT_EQ(warm.lastRunStats().errorsSkipped, 2u);
+
+    // --retry-errors: exactly the error cells re-simulate; the
+    // deterministic failure reproduces the same CSV.
+    SweepRunner retry(1);
+    retry.setUseCache(false);
+    retry.setStore(&store, /*retryErrors=*/true);
+    EXPECT_EQ(toCsv(retry.run(grid)), cold_csv);
+    EXPECT_EQ(retry.lastRunStats().simulated, 2u);
+    EXPECT_EQ(retry.lastRunStats().storeHits, 2u);
+    EXPECT_EQ(retry.lastRunStats().errorsSkipped, 0u);
+}
+
+TEST(SweepStore, CancelledRunPersistsProgressAndResumesIdentically)
+{
+    const SweepGrid grid = smallGrid();
+    const std::string reference = freshDir("cancel_ref");
+    std::string cold_csv;
+    {
+        store::ResultStore store(reference, "v1");
+        SweepRunner runner(1);
+        runner.setUseCache(false);
+        runner.setStore(&store);
+        cold_csv = toCsv(runner.run(grid));
+    }
+
+    const std::string dir = freshDir("cancel");
+    store::ResultStore store(dir, "v1");
+    // jobs=1 dispatches in grid order, so "cancel after 2 polls"
+    // deterministically completes cells 0-1 and cancels 2-3 --
+    // modelling SIGINT arriving mid-sweep.
+    std::atomic<std::size_t> polls{0};
+    SweepRunner interrupted(1);
+    interrupted.setUseCache(false);
+    interrupted.setStore(&store);
+    interrupted.setCancelCheck(
+        [&] { return polls.fetch_add(1) >= 2; });
+    const auto partial = interrupted.run(grid);
+    EXPECT_EQ(interrupted.lastRunStats().simulated, 2u);
+    EXPECT_EQ(interrupted.lastRunStats().cancelled, 2u);
+    ASSERT_EQ(partial.size(), grid.size());
+    EXPECT_EQ(partial[0].status, "ok");
+    EXPECT_EQ(partial[1].status, "ok");
+    EXPECT_EQ(partial[2].status, "cancelled");
+    EXPECT_EQ(partial[3].status, "cancelled");
+    EXPECT_EQ(store.size(), 2u); // Completed cells are durable.
+
+    // The resume simulates only the cancelled cells and lands on the
+    // exact cold-run bytes.
+    SweepRunner resume(2);
+    resume.setUseCache(false);
+    resume.setStore(&store);
+    EXPECT_EQ(toCsv(resume.run(grid)), cold_csv);
+    EXPECT_EQ(resume.lastRunStats().simulated, 2u);
+    EXPECT_EQ(resume.lastRunStats().storeHits, 2u);
+}
+
+TEST(SweepStoreKey, NormalizesDefaultsAndIgnoresExecutionKnobs)
+{
+    RunSpec spec = smallGrid().expand()[0];
+    const std::string base = storeKeyFor(spec);
+
+    // Harness defaults resolve to the same key as their explicit
+    // values: ops=0 and ops=<default> simulate identically.
+    RunSpec explicit_ops = spec;
+    explicit_ops.opsPerThread = 0;
+    RunSpec resolved_ops = spec;
+    resolved_ops.opsPerThread = defaultOpsPerThread();
+    EXPECT_EQ(storeKeyFor(explicit_ops), storeKeyFor(resolved_ops));
+    RunSpec explicit_scale = spec;
+    explicit_scale.scale = 0.0;
+    RunSpec resolved_scale = spec;
+    resolved_scale.scale = defaultScale();
+    EXPECT_EQ(storeKeyFor(explicit_scale),
+              storeKeyFor(resolved_scale));
+
+    // Execution knobs that cannot change the bytes do not split the
+    // key space: a store warmed serially serves sharded resumes.
+    RunSpec knobs = spec;
+    knobs.tickMode = TickMode::Cycle;
+    knobs.shards = 8;
+    EXPECT_EQ(storeKeyFor(knobs), base);
+
+    // Everything that CAN change the result must split the key.
+    for (const auto &mutate : std::vector<std::function<void(
+             RunSpec &)>>{
+             [](RunSpec &s) { s.system = "lpddr3"; },
+             [](RunSpec &s) { s.workload = "MM"; },
+             [](RunSpec &s) { s.policy = "MiL"; },
+             [](RunSpec &s) { s.lookahead += 1; },
+             [](RunSpec &s) { s.opsPerThread += 1; },
+             [](RunSpec &s) { s.scale = 0.33; },
+             [](RunSpec &s) { s.seed = 99; },
+             [](RunSpec &s) { s.ber = 1e-4; },
+         }) {
+        RunSpec changed = spec;
+        mutate(changed);
+        EXPECT_NE(storeKeyFor(changed), base);
+    }
+}
+
+TEST(SweepStoreKey, VersionStampFoldsInCsvSchema)
+{
+    // Same binary stamp, so the only variable part is the schema
+    // fingerprint; the stamp must be stable within a process...
+    EXPECT_EQ(sweepStoreVersion(), sweepStoreVersion());
+    // ...and visibly derived from both inputs.
+    const std::string version = sweepStoreVersion();
+    EXPECT_NE(version.find("+csv"), std::string::npos);
+    setenv("MIL_CODE_VERSION", "stamp-under-test", 1);
+    EXPECT_NE(sweepStoreVersion(), version);
+    EXPECT_EQ(sweepStoreVersion().rfind("stamp-under-test+csv", 0),
+              0u);
+    unsetenv("MIL_CODE_VERSION");
+    EXPECT_EQ(sweepStoreVersion(), version);
+}
+
+TEST(SweepStore, TracedCellsSimulateButStillWarmTheStore)
+{
+    SweepGrid grid = smallGrid();
+    grid.workloads = {"GUPS"};
+    const std::string dir = freshDir("traced");
+    const std::string traces = freshDir("traced_out");
+    std::filesystem::create_directories(traces);
+    store::ResultStore store(dir, "v1");
+
+    SweepRunner traced(1);
+    traced.setUseCache(false);
+    traced.setStore(&store);
+    traced.setTraceDir(traces);
+    traced.run(grid);
+    // A stored result has no event stream, so traced cells must not
+    // be served from the store...
+    EXPECT_EQ(traced.lastRunStats().simulated, grid.size());
+    EXPECT_EQ(traced.lastRunStats().storeHits, 0u);
+    // ...but their results still persist for later un-traced runs.
+    EXPECT_EQ(store.size(), grid.size());
+    SweepRunner warm(1);
+    warm.setUseCache(false);
+    warm.setStore(&store);
+    warm.run(grid);
+    EXPECT_EQ(warm.lastRunStats().simulated, 0u);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -1,0 +1,445 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+#include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "store/code_version.hh"
+#include "store/crc32.hh"
+#include "store/result_store.hh"
+
+namespace fs = std::filesystem;
+
+namespace mil::store
+{
+namespace
+{
+
+/** A unique, empty scratch directory under the gtest temp root. */
+std::string
+freshDir(const std::string &tag)
+{
+    static int counter = 0;
+    const std::string dir = testing::TempDir() + "mil_store_" + tag +
+        "_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++);
+    fs::remove_all(dir);
+    return dir;
+}
+
+std::string
+logPath(const std::string &dir)
+{
+    return dir + "/" + ResultStore::fileName();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+Record
+record(int i)
+{
+    Record rec;
+    rec.key = "key-" + std::to_string(i);
+    rec.status = i % 5 == 4 ? "error" : "ok";
+    rec.error = rec.status == "error"
+        ? "cell " + std::to_string(i) + " failed"
+        : "";
+    rec.csv = std::to_string(i * 100) + "," +
+        std::to_string(i * 100 + 1) + ",0.5";
+    return rec;
+}
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // The classic IEEE 802.3 check value.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0u);
+    // Incremental chaining equals one-shot.
+    const std::uint32_t part = crc32("12345");
+    EXPECT_EQ(crc32("6789", part), crc32("123456789"));
+}
+
+TEST(CodeVersion, EnvOverridesCompiledStamp)
+{
+    const std::string compiled = codeVersionStamp();
+    EXPECT_FALSE(compiled.empty());
+    setenv("MIL_CODE_VERSION", "test-stamp", 1);
+    EXPECT_EQ(codeVersionStamp(), "test-stamp");
+    unsetenv("MIL_CODE_VERSION");
+    EXPECT_EQ(codeVersionStamp(), compiled);
+}
+
+TEST(ResultStore, RoundTripsAcrossReopen)
+{
+    const std::string dir = freshDir("roundtrip");
+    {
+        ResultStore store(dir, "v1");
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_FALSE(store.find("key-0").has_value());
+        for (int i = 0; i < 8; ++i)
+            store.put(record(i));
+        EXPECT_EQ(store.size(), 8u);
+    }
+    ResultStore store(dir, "v1");
+    EXPECT_EQ(store.size(), 8u);
+    EXPECT_EQ(store.stats().loaded, 8u);
+    EXPECT_EQ(store.stats().quarantined, 0u);
+    for (int i = 0; i < 8; ++i) {
+        const auto rec = store.find("key-" + std::to_string(i));
+        ASSERT_TRUE(rec.has_value()) << i;
+        const Record want = record(i);
+        EXPECT_EQ(rec->status, want.status);
+        EXPECT_EQ(rec->error, want.error);
+        EXPECT_EQ(rec->csv, want.csv);
+    }
+}
+
+TEST(ResultStore, LastRecordForAKeyWins)
+{
+    const std::string dir = freshDir("lastwins");
+    {
+        ResultStore store(dir, "v1");
+        Record first = record(0);
+        first.status = "error";
+        first.error = "transient";
+        store.put(first);
+        Record second = record(0);
+        second.csv = "42,43,0.9";
+        store.put(second);
+        const auto rec = store.find("key-0");
+        ASSERT_TRUE(rec.has_value());
+        EXPECT_EQ(rec->status, "ok");
+        EXPECT_EQ(rec->csv, "42,43,0.9");
+    }
+    ResultStore store(dir, "v1");
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().superseded, 1u);
+    const auto rec = store.find("key-0");
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->status, "ok");
+    EXPECT_EQ(rec->csv, "42,43,0.9");
+}
+
+TEST(ResultStore, HitAndMissCounters)
+{
+    const std::string dir = freshDir("counters");
+    ResultStore store(dir, "v1");
+    store.put(record(1));
+    EXPECT_TRUE(store.find("key-1").has_value());
+    EXPECT_FALSE(store.find("nope").has_value());
+    EXPECT_FALSE(store.find("nope").has_value());
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(ResultStore, ExistsOnlyAfterCreation)
+{
+    const std::string dir = freshDir("exists");
+    EXPECT_FALSE(ResultStore::exists(dir));
+    ResultStore store(dir, "v1");
+    EXPECT_TRUE(ResultStore::exists(dir));
+}
+
+TEST(ResultStore, UnusablePathFailsFastAsConfigError)
+{
+    // A regular file where a path component should be a directory:
+    // the failure mode of a typo'd --store, and -- unlike permission
+    // bits -- one that still fails when the tests run as root.
+    const std::string dir = freshDir("unusable");
+    fs::create_directories(dir);
+    writeFile(dir + "/blocker", "not a directory");
+    EXPECT_THROW(ResultStore(dir + "/blocker/sub", "v1"),
+                 ConfigError);
+}
+
+/**
+ * Truncate the log at every byte length from full down to the header
+ * and reopen each time: exactly the records wholly inside the
+ * truncation survive, the torn tail is dropped and healed, and no
+ * truncation point crashes, hangs, or fabricates data.
+ */
+TEST(ResultStoreRecovery, EveryTruncationPointRecoversCleanly)
+{
+    const std::string dir = freshDir("trunc");
+    std::vector<std::size_t> ends; // Log size after each put.
+    std::size_t header_end = 0;
+    {
+        ResultStore store(dir, "v1");
+        header_end = static_cast<std::size_t>(
+            fs::file_size(logPath(dir)));
+        for (int i = 0; i < 4; ++i) {
+            store.put(record(i));
+            ends.push_back(
+                static_cast<std::size_t>(
+                    fs::file_size(logPath(dir))));
+        }
+    }
+    const std::string pristine = readFile(logPath(dir));
+    // Cutting exactly on a frame boundary leaves a clean, shorter
+    // log: fewer records, but nothing torn.
+    std::set<std::size_t> boundaries(ends.begin(), ends.end());
+    boundaries.insert(header_end);
+
+    for (std::size_t cut = pristine.size(); cut > 0; --cut) {
+        writeFile(logPath(dir), pristine.substr(0, cut));
+        ResultStore store(dir, "v1");
+        // Records fully contained in the first `cut` bytes survive.
+        std::size_t expect = 0;
+        while (expect < ends.size() && ends[expect] <= cut)
+            ++expect;
+        EXPECT_EQ(store.size(), expect) << "cut=" << cut;
+        for (std::size_t i = 0; i < expect; ++i) {
+            const auto rec =
+                store.find("key-" + std::to_string(i));
+            ASSERT_TRUE(rec.has_value()) << "cut=" << cut;
+            EXPECT_EQ(rec->csv, record(static_cast<int>(i)).csv);
+        }
+        if (cut < pristine.size() && boundaries.count(cut) == 0)
+            EXPECT_GT(store.stats().tornTailBytes +
+                          store.stats().quarantined,
+                      0u)
+                << "cut=" << cut;
+        // The heal is one-shot: a second open sees a clean log.
+        ResultStore again(dir, "v1");
+        EXPECT_EQ(again.size(), expect) << "cut=" << cut;
+        EXPECT_EQ(again.stats().quarantined, 0u) << "cut=" << cut;
+        EXPECT_EQ(again.stats().tornTailBytes, 0u) << "cut=" << cut;
+    }
+}
+
+/**
+ * Flip one random bit anywhere in the log, reopen, and require that
+ * every served record is byte-for-byte one of the originals --
+ * corruption may cost records (quarantined and re-simulated later),
+ * but may never be *served*. Deterministically seeded fuzz.
+ */
+TEST(ResultStoreRecovery, BitFlipFuzzNeverServesCorruptData)
+{
+    const std::string dir = freshDir("bitflip");
+    constexpr int kRecords = 6;
+    std::size_t header_end = 0;
+    {
+        ResultStore store(dir, "v1");
+        header_end = static_cast<std::size_t>(
+            fs::file_size(logPath(dir)));
+        for (int i = 0; i < kRecords; ++i)
+            store.put(record(i));
+    }
+    const std::string pristine = readFile(logPath(dir));
+
+    std::mt19937_64 rng(0xC0FFEE);
+    std::uniform_int_distribution<std::size_t> posDist(
+        0, pristine.size() - 1);
+    std::uniform_int_distribution<int> bitDist(0, 7);
+
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string mutated = pristine;
+        const std::size_t pos = posDist(rng);
+        mutated[pos] = static_cast<char>(
+            static_cast<unsigned char>(mutated[pos]) ^
+            (1u << bitDist(rng)));
+        writeFile(logPath(dir), mutated);
+        fs::remove(dir + "/quarantine.bin");
+
+        ResultStore store(dir, "v1");
+        std::size_t served = 0;
+        for (int i = 0; i < kRecords; ++i) {
+            const auto rec =
+                store.find("key-" + std::to_string(i));
+            if (!rec)
+                continue;
+            ++served;
+            const Record want = record(i);
+            EXPECT_EQ(rec->status, want.status)
+                << "trial=" << trial << " pos=" << pos;
+            EXPECT_EQ(rec->error, want.error);
+            EXPECT_EQ(rec->csv, want.csv);
+        }
+        EXPECT_EQ(store.size(), served);
+        const StoreStats stats = store.stats();
+        if (pos < header_end) {
+            // Header damage: unverifiable stamp, so the whole file
+            // is set aside rather than trusted.
+            EXPECT_EQ(served, 0u)
+                << "trial=" << trial << " pos=" << pos;
+            EXPECT_EQ(stats.quarantined, 1u)
+                << "trial=" << trial << " pos=" << pos;
+        } else {
+            // Body damage: resynchronization loses at most the one
+            // record the flip landed in.
+            EXPECT_GE(served + 1,
+                      static_cast<std::size_t>(kRecords))
+                << "trial=" << trial << " pos=" << pos;
+            EXPECT_GT(stats.quarantined + stats.tornTailBytes, 0u)
+                << "trial=" << trial << " pos=" << pos;
+        }
+        // Reopen: recovered stores never poison a resume.
+        ResultStore again(dir, "v1");
+        EXPECT_EQ(again.size(), served);
+        EXPECT_EQ(again.stats().quarantined, 0u);
+    }
+}
+
+TEST(ResultStoreRecovery, GarbageFileIsQuarantinedWholesale)
+{
+    const std::string dir = freshDir("garbage");
+    fs::create_directories(dir);
+    writeFile(logPath(dir), "this is not a store log at all");
+    ResultStore store(dir, "v1");
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    EXPECT_TRUE(fs::exists(logPath(dir) + ".corrupt"));
+    // And the store is fully usable afterwards.
+    store.put(record(0));
+    ResultStore again(dir, "v1");
+    EXPECT_EQ(again.size(), 1u);
+}
+
+TEST(ResultStoreRecovery, EmptyFileDebrisCountsAsNoStore)
+{
+    const std::string dir = freshDir("empty");
+    fs::create_directories(dir);
+    writeFile(logPath(dir), "");
+    ResultStore store(dir, "v1");
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.stats().quarantined, 0u);
+    store.put(record(0));
+    EXPECT_EQ(ResultStore(dir, "v1").size(), 1u);
+}
+
+TEST(ResultStoreRecovery, StaleCodeVersionQuarantinesEverything)
+{
+    const std::string dir = freshDir("stale");
+    {
+        ResultStore store(dir, "binary-A");
+        for (int i = 0; i < 5; ++i)
+            store.put(record(i));
+    }
+    ResultStore store(dir, "binary-B");
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.stats().stale, 5u);
+    EXPECT_FALSE(store.find("key-0").has_value());
+    EXPECT_TRUE(fs::exists(logPath(dir) + ".stale"));
+    // New records land under the new stamp and persist.
+    store.put(record(9));
+    ResultStore again(dir, "binary-B");
+    EXPECT_EQ(again.size(), 1u);
+    EXPECT_EQ(again.stats().stale, 0u);
+    EXPECT_TRUE(again.find("key-9").has_value());
+}
+
+TEST(ResultStoreRecovery, MidFileCorruptionResyncsOnLaterRecords)
+{
+    const std::string dir = freshDir("midfile");
+    std::vector<std::size_t> ends;
+    {
+        ResultStore store(dir, "v1");
+        for (int i = 0; i < 5; ++i) {
+            store.put(record(i));
+            ends.push_back(static_cast<std::size_t>(
+                fs::file_size(logPath(dir))));
+        }
+    }
+    std::string bytes = readFile(logPath(dir));
+    // Zero a few bytes in the middle of record 1's span.
+    const std::size_t target = ends[0] + (ends[1] - ends[0]) / 2;
+    for (std::size_t i = 0; i < 4; ++i)
+        bytes[target + i] = '\0';
+    writeFile(logPath(dir), bytes);
+
+    ResultStore store(dir, "v1");
+    EXPECT_EQ(store.size(), 4u);
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    EXPECT_FALSE(store.find("key-1").has_value());
+    for (int i : {0, 2, 3, 4})
+        EXPECT_TRUE(store.find("key-" + std::to_string(i))
+                        .has_value())
+            << i;
+    EXPECT_TRUE(fs::exists(dir + "/quarantine.bin"));
+}
+
+TEST(ResultStore, ConcurrentPutsAndFindsAreRaceClean)
+{
+    const std::string dir = freshDir("concurrent");
+    constexpr int kCells = 64;
+    {
+        ResultStore store(dir, "v1");
+        ThreadPool pool(7);
+        pool.parallelFor(kCells, [&](std::size_t i) {
+            store.put(record(static_cast<int>(i)));
+            // Interleave lookups with writes, as SweepRunner does.
+            const auto rec =
+                store.find("key-" + std::to_string(i));
+            EXPECT_TRUE(rec.has_value());
+        });
+        EXPECT_EQ(store.size(), static_cast<std::size_t>(kCells));
+    }
+    ResultStore store(dir, "v1");
+    EXPECT_EQ(store.size(), static_cast<std::size_t>(kCells));
+    EXPECT_EQ(store.stats().quarantined, 0u);
+    for (int i = 0; i < kCells; ++i) {
+        const auto rec = store.find("key-" + std::to_string(i));
+        ASSERT_TRUE(rec.has_value()) << i;
+        EXPECT_EQ(rec->csv, record(i).csv);
+    }
+}
+
+TEST(StoreMetrics, RegistersEveryCounterWithLiveProbes)
+{
+    StoreStats stats;
+    stats.hits = 3;
+    stats.misses = 2;
+    stats.quarantined = 1;
+    obs::MetricsRegistry registry;
+    registerStoreMetrics(registry, stats);
+    const std::set<std::string> want = {
+        "store_hits",        "store_misses",
+        "store_inserts",     "store_loaded",
+        "store_superseded",  "store_quarantined",
+        "store_torn_tail_bytes", "store_stale",
+        "store_compactions",
+    };
+    std::set<std::string> got;
+    for (const auto &metric : registry.metrics())
+        got.insert(metric.name);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(registry.metrics()[registry.index("store_hits")]
+                  .counter(),
+              3u);
+    stats.hits = 9; // Probes are live, not snapshots.
+    EXPECT_EQ(registry.metrics()[registry.index("store_hits")]
+                  .counter(),
+              9u);
+}
+
+} // anonymous namespace
+} // namespace mil::store

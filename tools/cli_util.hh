@@ -7,10 +7,15 @@
  * messages and distinct exit codes, so scripts can tell a bad
  * invocation from a failed simulation without parsing text:
  *
- *   2  ConfigError        -- bad flags/names (same code as usage())
- *   3  other SimError     -- the simulation itself failed (timing
+ *   2   ConfigError       -- bad flags/names (same code as usage())
+ *   3   other SimError    -- the simulation itself failed (timing
  *                            violation, decode error, stall, ...)
- *   70 std::exception     -- internal software error (EX_SOFTWARE)
+ *   70  std::exception    -- internal software error (EX_SOFTWARE)
+ *   130 / 143             -- graceful SIGINT / SIGTERM drain (128 +
+ *                            signal; see common/interrupt.hh --
+ *                            milsweep stops dispatching, drains
+ *                            in-flight cells, flushes the result
+ *                            store, then exits with this code)
  */
 
 #ifndef MIL_TOOLS_CLI_UTIL_HH

@@ -15,12 +15,21 @@
  * system/workload/policy names are rejected up front -- before hours
  * of sibling simulations run -- with the valid choices listed.
  *
+ * --store DIR makes the sweep crash-safe and incremental: every
+ * completed cell is persisted (see docs/sweep_store.md), cached
+ * cells are served from disk byte-identically, and an interrupted
+ * run (SIGINT/SIGTERM drains in-flight cells, exits 130/143; a
+ * second signal exits immediately) picks up where it left off with
+ * --resume. Stored status=error cells are skipped on resume unless
+ * --retry-errors.
+ *
  * Usage:
  *   milsweep [--systems ddr4,lpddr3,datacenter-8ch]
  *            [--workloads GUPS,CG,...|all]
  *            [--policies DBI,MiL,...] [--ops N] [--scale F]
  *            [--lookahead X] [--jobs N] [--shards N] [--seed S]
  *            [--ber P] [--out FILE] [--trace-dir DIR]
+ *            [--store DIR] [--resume] [--retry-errors]
  *            [--tick-mode cycle|event|auto] [--no-skip] [--list]
  */
 
@@ -30,13 +39,16 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli_util.hh"
+#include "common/interrupt.hh"
 #include "sim/report.hh"
 #include "sim/sweep_runner.hh"
+#include "store/result_store.hh"
 
 using namespace mil;
 
@@ -63,8 +75,8 @@ usage(const char *argv0)
         "usage: %s [--systems a,b] [--workloads a,b|all] "
         "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
         "[--jobs N] [--shards N] [--seed S] [--ber P] [--out FILE] "
-        "[--trace-dir DIR] [--tick-mode cycle|event|auto] [--no-skip] "
-        "[--list]\n",
+        "[--trace-dir DIR] [--store DIR] [--resume] [--retry-errors] "
+        "[--tick-mode cycle|event|auto] [--no-skip] [--list]\n",
         argv0);
     std::exit(2);
 }
@@ -85,6 +97,16 @@ listAxes()
     std::printf(" BLn(8<=n<=32)");
     std::printf("\nber: any rate in [0,1); 0 disables fault "
                 "injection\n");
+    // The store-effectiveness counters a --store run reports on
+    // stderr, published here so scripts can discover them the same
+    // way they discover the grid axes.
+    obs::MetricsRegistry registry;
+    const store::StoreStats none;
+    store::registerStoreMetrics(registry, none);
+    std::printf("store metrics:");
+    for (const auto &metric : registry.metrics())
+        std::printf(" %s", metric.name.c_str());
+    std::printf("\n");
     return 0;
 }
 
@@ -136,6 +158,9 @@ run(int argc, char **argv)
     unsigned jobs = SweepRunner::defaultJobs();
     std::string out_path;
     std::string trace_dir;
+    std::string store_dir;
+    bool resume = false;
+    bool retry_errors = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -172,6 +197,12 @@ run(int argc, char **argv)
             out_path = value();
         else if (arg == "--trace-dir")
             trace_dir = value();
+        else if (arg == "--store")
+            store_dir = value();
+        else if (arg == "--resume")
+            resume = true;
+        else if (arg == "--retry-errors")
+            retry_errors = true;
         else if (arg == "--tick-mode")
             grid.tickMode = parseTickMode(value());
         else if (arg == "--no-skip")
@@ -184,6 +215,26 @@ run(int argc, char **argv)
     if (jobs == 0)
         usage(argv[0]);
     validateGrid(grid);
+
+    if (store_dir.empty() && (resume || retry_errors))
+        throw ConfigError(strformat(
+            "--%s requires --store DIR",
+            resume ? "resume" : "retry-errors"));
+    if (resume && !store::ResultStore::exists(store_dir))
+        throw ConfigError(strformat(
+            "--resume: no store at %s (a first --store run creates "
+            "it)", store_dir.c_str()));
+
+    // Open the store before anything simulates: an unusable path
+    // (unwritable parent, a file where the directory should be) must
+    // cost milliseconds as a ConfigError, not die mid-sweep after
+    // burning CPU-hours. The constructor also runs the recovery scan,
+    // so torn/corrupt/stale state left by a crashed run is healed
+    // here, up front.
+    std::unique_ptr<store::ResultStore> result_store;
+    if (!store_dir.empty())
+        result_store = std::make_unique<store::ResultStore>(
+            store_dir, sweepStoreVersion());
 
     std::ofstream file;
     std::ostream *os = &std::cout;
@@ -207,6 +258,13 @@ run(int argc, char **argv)
         }
         runner.setTraceDir(trace_dir);
     }
+    if (result_store) {
+        runner.setStore(result_store.get(), retry_errors);
+        // First signal: stop dispatching, drain, persist, exit
+        // 128+sig. Second signal: immediate exit (see interrupt.hh).
+        installInterruptHandlers();
+        runner.setCancelCheck([] { return interruptRequested(); });
+    }
     SweepRunner::Progress progress;
     if (!out_path.empty()) {
         progress = [](std::size_t done, std::size_t total) {
@@ -215,13 +273,55 @@ run(int argc, char **argv)
         };
     }
     const std::vector<SweepResult> results = runner.run(grid, progress);
+    const SweepRunStats &run_stats = runner.lastRunStats();
+
+    if (result_store) {
+        result_store->flush();
+        // Effectiveness counters, via the same MetricsRegistry the
+        // CSV schema and --list use, one greppable stderr line:
+        // incremental-run savings are observable, not anecdotal.
+        const store::StoreStats store_stats = result_store->stats();
+        obs::MetricsRegistry registry;
+        store::registerStoreMetrics(registry, store_stats);
+        std::fprintf(stderr, "store: simulated=%zu cancelled=%zu "
+                     "errors_skipped=%zu",
+                     run_stats.simulated, run_stats.cancelled,
+                     run_stats.errorsSkipped);
+        for (const auto &metric : registry.metrics())
+            std::fprintf(stderr, " %s=%llu", metric.name.c_str(),
+                         static_cast<unsigned long long>(
+                             metric.counter()));
+        std::fprintf(stderr, "\n");
+    }
+
+    if (interruptRequested()) {
+        // The CSV would be missing the cancelled cells; leave it
+        // unwritten rather than emit a truncated grid. Everything
+        // completed is in the store, so the resume costs only the
+        // cancelled cells.
+        std::fprintf(stderr,
+                     "interrupted: %zu of %zu cells not run; resume "
+                     "with --store %s --resume\n",
+                     run_stats.cancelled, results.size(),
+                     store_dir.c_str());
+        return interruptExitCode();
+    }
 
     CsvReporter::writeHeader(*os);
     std::size_t errors = 0;
     for (const auto &cell : results) {
-        CsvReporter::writeRow(*os, cell.spec.system, cell.spec.workload,
-                              cell.spec.policy, cell.result,
-                              cell.status, cell.error);
+        // Store-backed cells carry their pre-rendered metric columns
+        // (for cache hits: the stored bytes); everything else renders
+        // inline. Both paths share CsvReporter's formatting.
+        if (!cell.csv.empty())
+            CsvReporter::writeRowParts(*os, cell.spec.system,
+                                       cell.spec.workload,
+                                       cell.spec.policy, cell.csv,
+                                       cell.status, cell.error);
+        else
+            CsvReporter::writeRow(*os, cell.spec.system,
+                                  cell.spec.workload, cell.spec.policy,
+                                  cell.result, cell.status, cell.error);
         if (!cell.ok()) {
             ++errors;
             std::fprintf(stderr, "cell %s/%s/%s failed: %s\n",
