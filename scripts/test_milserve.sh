@@ -1,0 +1,224 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the milserve daemon through real sockets and
+# real signals -- the shell-level half of the sweep-as-a-service
+# contract (tests/serve/ is the library half):
+#
+#   1. the daemon comes up on an ephemeral port over a temp store and
+#      answers /healthz;
+#   2. a submitted grid runs to done and GET /v1/jobs/<id>/csv is
+#      byte-identical (cmp) to a cold milsweep run of the same grid;
+#   3. resubmitting the same grid is served warm from the store:
+#      the job reports "simulated":0 and identical bytes;
+#   4. /v1/metrics (JSON) and /metrics (Prometheus) expose the store
+#      and job counters;
+#   5. SIGINT mid-grid drains gracefully (exit 130), and a restarted
+#      daemon resumes the grid from the store instead of starting
+#      over.
+#
+# The HTTP client is a tiny python3 stdlib script (python3 is already
+# a build prerequisite via gtest/CI tooling; no curl dependency).
+#
+# Usage: scripts/test_milserve.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+build_dir=${1:-build}
+milserve=$build_dir/tools/milserve
+milsweep=$build_dir/tools/milsweep
+for bin in "$milserve" "$milsweep"; do
+    [ -x "$bin" ] || {
+        echo "error: $bin not built" >&2
+        exit 1
+    }
+done
+
+work=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# http METHOD URL [BODY] -> body on stdout, status in $http_status.
+http() {
+    local method=$1 url=$2 body=${3:-}
+    http_status=$(BODY="$body" python3 - "$method" "$url" \
+        "$work/http_body" <<'PY'
+import os, sys, urllib.request, urllib.error
+method, url, out = sys.argv[1:4]
+data = os.environ["BODY"].encode() if method == "POST" else None
+req = urllib.request.Request(url, data=data, method=method)
+try:
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        open(out, "wb").write(resp.read())
+        print(resp.status)
+except urllib.error.HTTPError as e:
+    open(out, "wb").write(e.read())
+    print(e.code)
+PY
+    )
+    cat "$work/http_body"
+}
+
+# json_field FIELD FILE: extract a scalar field from a JSON object.
+json_field() {
+    python3 -c 'import json,sys; print(json.load(open(sys.argv[2]))[sys.argv[1]])' \
+        "$1" "$2"
+}
+
+start_daemon() { # store_dir log_file [extra flags...]
+    local store=$1 log=$2
+    shift 2
+    "$milserve" --store "$store" --port 0 --jobs 2 "$@" \
+        2> "$log" &
+    serve_pid=$!
+    # Wait for the startup line carrying the kernel-assigned port.
+    for _ in $(seq 1 100); do
+        if grep -q 'milserve: listening on ' "$log"; then
+            port=$(sed -n \
+                's/^milserve: listening on [^:]*:\([0-9]*\).*/\1/p' \
+                "$log")
+            base="http://127.0.0.1:$port"
+            return 0
+        fi
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "error: daemon failed to start" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+# submit_and_wait GRID_BODY -> job id in $job_id; polls until done.
+submit_and_wait() {
+    local body=$1
+    http POST "$base/v1/sweep" "$body" > /dev/null
+    [ "$http_status" = 202 ] || {
+        echo "error: submit returned $http_status" >&2
+        cat "$work/http_body" >&2
+        exit 1
+    }
+    job_id=$(json_field id "$work/http_body")
+    for _ in $(seq 1 600); do
+        http GET "$base/v1/jobs/$job_id" > /dev/null
+        state=$(json_field state "$work/http_body")
+        case "$state" in
+        done) return 0 ;;
+        error)
+            echo "error: job $job_id failed:" >&2
+            cat "$work/http_body" >&2
+            exit 1
+            ;;
+        esac
+        sleep 0.2
+    done
+    echo "error: job $job_id never finished" >&2
+    exit 1
+}
+
+grid='systems=ddr4&workloads=GUPS,MM,CG&policies=DBI,MiL&ops=2000&scale=0.2&seed=3'
+
+echo "== cold milsweep reference run =="
+"$milsweep" --systems ddr4 --workloads GUPS,MM,CG --policies DBI,MiL \
+    --ops 2000 --scale 0.2 --seed 3 --out "$work/reference.csv"
+
+echo "== daemon starts and answers /healthz =="
+start_daemon "$work/store" "$work/serve.log"
+http GET "$base/healthz" > "$work/health.txt"
+[ "$http_status" = 200 ] || {
+    echo "error: /healthz returned $http_status" >&2
+    exit 1
+}
+grep -q '^ok ' "$work/health.txt" || {
+    echo "error: unexpected /healthz body" >&2
+    cat "$work/health.txt" >&2
+    exit 1
+}
+
+echo "== submitted grid runs to done, CSV byte-identical =="
+submit_and_wait "$grid"
+http GET "$base/v1/jobs/$job_id/csv" > "$work/served.csv"
+[ "$http_status" = 200 ] || {
+    echo "error: csv fetch returned $http_status" >&2
+    exit 1
+}
+cmp "$work/reference.csv" "$work/served.csv"
+echo "served CSV byte-identical to milsweep"
+
+echo "== resubmission is served warm from the store =="
+cold_job=$job_id
+submit_and_wait "$grid"
+[ "$job_id" != "$cold_job" ] || {
+    echo "error: finished grid deduped instead of re-queued" >&2
+    exit 1
+}
+simulated=$(json_field simulated "$work/http_body")
+[ "$simulated" = 0 ] || {
+    echo "error: warm job simulated $simulated cells, want 0" >&2
+    exit 1
+}
+http GET "$base/v1/jobs/$job_id/csv" > "$work/warm.csv"
+cmp "$work/reference.csv" "$work/warm.csv"
+echo "warm job simulated nothing, identical bytes"
+
+echo "== bad grids are 400, unknown jobs 404 =="
+http POST "$base/v1/sweep" 'warp=9' > /dev/null
+[ "$http_status" = 400 ] || {
+    echo "error: bad grid returned $http_status, want 400" >&2
+    exit 1
+}
+http GET "$base/v1/jobs/job-999" > /dev/null
+[ "$http_status" = 404 ] || {
+    echo "error: unknown job returned $http_status, want 404" >&2
+    exit 1
+}
+
+echo "== metrics endpoints expose store and job counters =="
+http GET "$base/v1/metrics" > "$work/metrics.json"
+python3 -c '
+import json, sys
+m = json.load(open(sys.argv[1]))
+for key in ("store_hits", "jobs_submitted", "jobs_completed",
+            "cells_simulated", "http_requests"):
+    assert key in m, key
+assert m["jobs_completed"] >= 2, m
+' "$work/metrics.json"
+http GET "$base/metrics" > "$work/metrics.prom"
+grep -q '^# TYPE milserve_store_hits counter$' "$work/metrics.prom"
+grep -q '^milserve_jobs_completed ' "$work/metrics.prom"
+
+echo "== SIGINT drains gracefully with exit 130 =="
+# A grid big enough that the signal lands mid-run.
+http POST "$base/v1/sweep" \
+    'systems=ddr4&workloads=all&policies=DBI,MiL&ops=12000&scale=0.2&seed=5' \
+    > /dev/null
+[ "$http_status" = 202 ] || {
+    echo "error: big submit returned $http_status" >&2
+    exit 1
+}
+sleep 1
+kill -INT "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+serve_pid=""
+cat "$work/serve.log" >&2
+[ "$rc" = 130 ] || {
+    echo "error: daemon exited $rc on SIGINT, want 130" >&2
+    exit 1
+}
+
+echo "== restarted daemon resumes the interrupted grid =="
+start_daemon "$work/store" "$work/serve2.log"
+submit_and_wait \
+    'systems=ddr4&workloads=all&policies=DBI,MiL&ops=12000&scale=0.2&seed=5'
+hits=$(json_field store_hits "$work/http_body")
+[ "$hits" -gt 0 ] || {
+    echo "error: resumed job had no store hits" >&2
+    exit 1
+}
+echo "resume served $hits cells from the drained store"
+kill -INT "$serve_pid"
+wait "$serve_pid" || true
+serve_pid=""
+
+echo "PASS: milserve serving contract holds"

@@ -4,15 +4,22 @@
 #include <csignal>
 #include <cstdlib>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 namespace mil
 {
 
 namespace
 {
 
-// Lock-free atomic: the only signal-safe C++ shared state. Holds the
-// first signal's number, 0 until one arrives.
+// Lock-free atomics: the only signal-safe C++ shared state. g_signal
+// holds the first signal's number (0 until one arrives); the pipe
+// fds let the handler wake a poll()ing event loop without violating
+// async-signal-safety (write() is on the safe list).
 std::atomic<int> g_signal{0};
+std::atomic<int> g_wakeupRead{-1};
+std::atomic<int> g_wakeupWrite{-1};
 
 extern "C" void
 milInterruptHandler(int sig)
@@ -23,6 +30,32 @@ milInterruptHandler(int sig)
         // is wedged). Leave immediately; _Exit is async-signal-safe.
         std::_Exit(128 + sig);
     }
+    // First signal: nudge any event loop blocked on the wakeup fd.
+    // The pipe is non-blocking, so a full pipe (impossible at one
+    // byte per latch, but still) cannot wedge the handler.
+    const int fd = g_wakeupWrite.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const ssize_t ignored = ::write(fd, "x", 1);
+        (void)ignored;
+    }
+}
+
+void
+makeWakeupPipe()
+{
+    if (g_wakeupRead.load(std::memory_order_relaxed) >= 0)
+        return;
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return; // Waiters fall back to their poll timeout.
+    for (int fd : fds) {
+        ::fcntl(fd, F_SETFL,
+                ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        ::fcntl(fd, F_SETFD,
+                ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+    }
+    g_wakeupRead.store(fds[0], std::memory_order_relaxed);
+    g_wakeupWrite.store(fds[1], std::memory_order_release);
 }
 
 } // anonymous namespace
@@ -30,6 +63,7 @@ milInterruptHandler(int sig)
 void
 installInterruptHandlers()
 {
+    makeWakeupPipe();
     struct sigaction sa;
     sa.sa_handler = &milInterruptHandler;
     sigemptyset(&sa.sa_mask);
@@ -44,6 +78,12 @@ bool
 interruptRequested()
 {
     return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+interruptWakeupFd()
+{
+    return g_wakeupRead.load(std::memory_order_relaxed);
 }
 
 int
@@ -62,6 +102,13 @@ void
 clearInterruptForTesting()
 {
     g_signal.store(0);
+    // Drain any wakeup bytes so a later latch is a fresh edge.
+    const int fd = g_wakeupRead.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char buf[16];
+        while (::read(fd, buf, sizeof(buf)) > 0) {
+        }
+    }
 }
 
 } // namespace mil

@@ -31,6 +31,17 @@ void installInterruptHandlers();
 /** Has a graceful stop been requested (first signal seen)? */
 bool interruptRequested();
 
+/**
+ * A file descriptor that becomes readable the moment the first
+ * signal latches. Blocking poll()/select() loops (milserve's accept
+ * loop) add it to their wait set so a graceful stop wakes them
+ * immediately instead of at the next poll timeout. Returns -1 until
+ * installInterruptHandlers() has run. The byte in the pipe is only
+ * the wakeup; interruptRequested() remains the actual state -- do
+ * not consume the byte, so every waiter sees it.
+ */
+int interruptWakeupFd();
+
 /** The latched signal number, or 0 when none arrived. */
 int interruptSignal();
 

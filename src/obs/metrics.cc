@@ -76,6 +76,90 @@ MetricsRegistry::addHistogram(const std::string &name,
     }
 }
 
+std::string
+MetricsRegistry::renderValue(const Metric &m) const
+{
+    switch (m.kind) {
+    case Kind::Counter:
+        return std::to_string(m.counter());
+    case Kind::Gauge:
+        return strformat("%.17g", m.gauge());
+    case Kind::Ratio: {
+        const std::uint64_t num = metrics_[m.numerator].counter();
+        const std::uint64_t den = metrics_[m.denominator].counter();
+        return strformat("%.17g",
+                         den == 0 ? 0.0
+                                  : static_cast<double>(num) /
+                                        static_cast<double>(den));
+    }
+    }
+    return "0";
+}
+
+std::string
+MetricsRegistry::renderJson() const
+{
+    // Metric names are identifiers (no quotes/backslashes/control
+    // characters to escape); the only JSON hazard is a non-finite
+    // gauge, which becomes null.
+    std::string out = "{";
+    bool first = true;
+    for (const auto &m : metrics_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"' + m.name + "\":";
+        // Only a gauge can be non-finite: counters are integers and
+        // a ratio of two finite counters is finite by construction.
+        if (m.kind == Kind::Gauge && !std::isfinite(m.gauge()))
+            out += "null";
+        else
+            out += renderValue(m);
+    }
+    out += '}';
+    return out;
+}
+
+std::string
+MetricsRegistry::renderPrometheus(const std::string &prefix) const
+{
+    std::string out;
+    for (const auto &m : metrics_) {
+        std::string name = prefix + m.name;
+        for (char &c : name) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                c == '_' || c == ':';
+            if (!ok)
+                c = '_';
+        }
+        out += "# TYPE " + name +
+            (m.kind == Kind::Counter ? " counter\n" : " gauge\n");
+        std::string value = renderValue(m);
+        if (m.kind == Kind::Gauge) {
+            const double v = m.gauge();
+            if (std::isnan(v))
+                value = "NaN";
+            else if (std::isinf(v))
+                value = v > 0 ? "+Inf" : "-Inf";
+        }
+        out += name + ' ' + value + '\n';
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderLine() const
+{
+    std::string out;
+    for (const auto &m : metrics_) {
+        if (!out.empty())
+            out += ' ';
+        out += m.name + '=' + renderValue(m);
+    }
+    return out;
+}
+
 bool
 MetricsRegistry::has(const std::string &name) const
 {

@@ -84,6 +84,37 @@ class MetricsRegistry
     const std::vector<Metric> &metrics() const { return metrics_; }
     std::size_t size() const { return metrics_.size(); }
 
+    /**
+     * Evaluate @p m now: counters as their integer value, gauges in
+     * round-trippable %.17g, ratios as the whole-run quotient of
+     * their operand counters (0 when the denominator is 0 -- the
+     * CsvReporter convention). The shared core of every renderer
+     * below.
+     */
+    std::string renderValue(const Metric &m) const;
+
+    /**
+     * One compact JSON object, keys in registration order:
+     * {"store_hits":42,"queue_depth":3}. Non-finite gauges render as
+     * null (JSON has no NaN/Inf). milserve's GET /v1/metrics.
+     */
+    std::string renderJson() const;
+
+    /**
+     * Prometheus text exposition format: a # TYPE line (counter or
+     * gauge) and a sample per metric, names prefixed with @p prefix
+     * and sanitized to [a-zA-Z0-9_:]. Non-finite gauges use the
+     * Prometheus NaN/+Inf/-Inf spellings.
+     */
+    std::string renderPrometheus(const std::string &prefix) const;
+
+    /**
+     * One greppable line: "name=value name=value" in registration
+     * order, no trailing newline. The milsweep/milserve `store:`
+     * stderr line (scripts grep e.g. 'simulated=0 ' out of it).
+     */
+    std::string renderLine() const;
+
     bool has(const std::string &name) const;
 
     /** Index of @p name; throws ConfigError when absent. */

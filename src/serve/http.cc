@@ -1,0 +1,258 @@
+#include "http.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mil::serve
+{
+
+namespace
+{
+
+/** RFC 7230 token characters (method and header names). */
+bool
+isTokenChar(char c)
+{
+    if (std::isalnum(static_cast<unsigned char>(c)))
+        return true;
+    switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'':
+    case '*': case '+': case '-': case '.': case '^': case '_':
+    case '`': case '|': case '~':
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool
+isToken(const std::string &s)
+{
+    return !s.empty() &&
+        std::all_of(s.begin(), s.end(), isTokenChar);
+}
+
+/** Printable ASCII only: a control byte in a target is an attack. */
+bool
+isCleanTarget(const std::string &s)
+{
+    return std::all_of(s.begin(), s.end(), [](char c) {
+        return c > 0x20 && c != 0x7F;
+    });
+}
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Strip optional whitespace around a header value. */
+std::string
+trimOws(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // anonymous namespace
+
+const std::string *
+HttpRequest::header(const std::string &name) const
+{
+    for (const auto &[key, value] : headers)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+bool
+HttpRequest::keepAlive() const
+{
+    const std::string *conn = header("connection");
+    const std::string token = conn ? lower(trimOws(*conn)) : "";
+    if (versionMinor >= 1)
+        return token != "close";
+    return token == "keep-alive";
+}
+
+RequestParser::RequestParser(ParseLimits limits) : limits_(limits) {}
+
+RequestParser::Status
+RequestParser::fail(int status, std::string reason)
+{
+    httpStatus_ = status;
+    reason_ = std::move(reason);
+    return Status::Error;
+}
+
+RequestParser::Status
+RequestParser::parse(const std::string &buf)
+{
+    request_ = HttpRequest{};
+    consumed_ = 0;
+
+    // Head section first: everything up to the blank line must fit
+    // the header cap. Searching only the capped prefix keeps a
+    // blank-line-free flood from costing repeated full scans.
+    const std::size_t headCap =
+        std::min(buf.size(), limits_.maxHeaderBytes + 4);
+    const std::size_t headEnd =
+        buf.substr(0, headCap).find("\r\n\r\n");
+    if (headEnd == std::string::npos) {
+        if (buf.size() > limits_.maxHeaderBytes)
+            return fail(431, "request header section too large");
+        return Status::NeedMore;
+    }
+    if (headEnd > limits_.maxHeaderBytes)
+        return fail(431, "request header section too large");
+    const std::size_t bodyStart = headEnd + 4;
+
+    // Request line: METHOD SP target SP HTTP/1.x
+    const std::size_t lineEnd = buf.find("\r\n");
+    const std::string line = buf.substr(0, lineEnd);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.find(' ', sp2 + 1) != std::string::npos)
+        return fail(400, "malformed request line");
+    request_.method = line.substr(0, sp1);
+    request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    if (!isToken(request_.method) || request_.method.size() > 16)
+        return fail(400, "malformed method");
+    if (request_.target.empty() || request_.target[0] != '/' ||
+        !isCleanTarget(request_.target))
+        return fail(400, "malformed request target");
+    if (version == "HTTP/1.1")
+        request_.versionMinor = 1;
+    else if (version == "HTTP/1.0")
+        request_.versionMinor = 0;
+    else if (version.rfind("HTTP/", 0) == 0)
+        return fail(505, "HTTP version not supported");
+    else
+        return fail(400, "malformed HTTP version");
+    const std::size_t qmark = request_.target.find('?');
+    request_.path = request_.target.substr(0, qmark);
+    request_.query = qmark == std::string::npos
+        ? ""
+        : request_.target.substr(qmark + 1);
+
+    // Header fields.
+    std::size_t pos = lineEnd + 2;
+    while (pos < headEnd) {
+        std::size_t eol = buf.find("\r\n", pos);
+        if (eol > headEnd)
+            eol = headEnd;
+        const std::string field = buf.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (field.empty())
+            return fail(400, "empty header field");
+        if (field[0] == ' ' || field[0] == '\t')
+            return fail(400, "obsolete header folding");
+        const std::size_t colon = field.find(':');
+        if (colon == std::string::npos)
+            return fail(400, "header field without ':'");
+        const std::string name = field.substr(0, colon);
+        if (!isToken(name))
+            return fail(400, "malformed header name");
+        std::string value = trimOws(field.substr(colon + 1));
+        for (char c : value)
+            if ((c < 0x20 && c != '\t') || c == 0x7F)
+                return fail(400, "control byte in header value");
+        request_.headers.emplace_back(lower(name),
+                                      std::move(value));
+    }
+
+    // Body framing. Chunked bodies are out of scope for this API,
+    // and silently ignoring the header would misframe the stream --
+    // refuse loudly instead.
+    if (request_.header("transfer-encoding") != nullptr)
+        return fail(501, "transfer-encoding not supported");
+    std::size_t bodyLen = 0;
+    bool sawLength = false;
+    for (const auto &[key, value] : request_.headers) {
+        if (key != "content-length")
+            continue;
+        if (sawLength)
+            return fail(400, "duplicate content-length");
+        sawLength = true;
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") !=
+                std::string::npos ||
+            value.size() > 12)
+            return fail(400, "malformed content-length");
+        bodyLen = std::stoull(value);
+    }
+    if (bodyLen > limits_.maxBodyBytes)
+        return fail(413, "request body too large");
+    if (buf.size() - bodyStart < bodyLen)
+        return Status::NeedMore;
+
+    request_.body = buf.substr(bodyStart, bodyLen);
+    consumed_ = bodyStart + bodyLen;
+    return Status::Done;
+}
+
+const char *
+HttpResponse::reasonPhrase(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+    }
+}
+
+std::string
+HttpResponse::render(bool keepAlive) const
+{
+    const bool close = closeConnection || !keepAlive;
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+        reasonPhrase(status) + "\r\n";
+    out += "Content-Type: " + contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += close ? "Connection: close\r\n"
+                 : "Connection: keep-alive\r\n";
+    out += "\r\n";
+    out += body;
+    return out;
+}
+
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.body = std::to_string(status) + " " +
+        HttpResponse::reasonPhrase(status) + ": " + message + "\n";
+    // Protocol-level failures poison framing; never reuse the
+    // connection after one.
+    resp.closeConnection = status == 400 || status == 408 ||
+        status == 413 || status == 431 || status == 501 ||
+        status == 505;
+    return resp;
+}
+
+} // namespace mil::serve

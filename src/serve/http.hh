@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A minimal, hardened HTTP/1.1 request parser and response renderer
+ * for milserve. Plain C++ over byte buffers -- no sockets in here, no
+ * third-party dependencies -- so every parsing decision is unit
+ * testable without a network.
+ *
+ * Hardening posture: the daemon faces whatever curl, a load
+ * balancer's health checker, or a fuzzer throws at it, so the parser
+ * is strict and bounded rather than permissive:
+ *
+ *  - the request line and headers together may not exceed
+ *    ParseLimits::maxHeaderBytes (431 when they do);
+ *  - a declared body may not exceed ParseLimits::maxBodyBytes (413);
+ *  - malformed request lines, header names with control bytes,
+ *    obs-folded continuation lines, and duplicate/garbage
+ *    Content-Length values are all 400, never a crash or a guess;
+ *  - Transfer-Encoding is not implemented and is rejected as 501
+ *    rather than silently misframing the connection.
+ *
+ * The parser is incremental: feed it the connection buffer as bytes
+ * arrive and it answers NeedMore until one full request is present
+ * (which is how the server enforces its slow-loris timeout), then
+ * reports how many bytes the request consumed so pipelined requests
+ * behind it stay in the buffer for the next round.
+ */
+
+#ifndef MIL_SERVE_HTTP_HH
+#define MIL_SERVE_HTTP_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mil::serve
+{
+
+/** One parsed request. Header names are lower-cased on parse. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ... (upper-case token).
+    std::string target;  ///< Raw request target, e.g. "/v1/metrics?x".
+    std::string path;    ///< Target before any '?'.
+    std::string query;   ///< Target after the first '?', or "".
+    int versionMinor = 1; ///< HTTP/1.<minor>: 0 or 1.
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** First value of lower-case @p name, or nullptr when absent. */
+    const std::string *header(const std::string &name) const;
+
+    /**
+     * Does the connection stay open after this exchange? HTTP/1.1
+     * defaults to yes ("connection: close" opts out), HTTP/1.0 to no
+     * ("connection: keep-alive" opts in).
+     */
+    bool keepAlive() const;
+};
+
+/** Caps the parser enforces; defaults sized for milserve's API. */
+struct ParseLimits
+{
+    std::size_t maxHeaderBytes = 8 * 1024;
+    std::size_t maxBodyBytes = 1024 * 1024;
+};
+
+/** Incremental single-request parser (see the file comment). */
+class RequestParser
+{
+  public:
+    enum class Status
+    {
+        NeedMore, ///< Prefix is valid but incomplete; feed more bytes.
+        Done,     ///< request() is complete; consumed() bytes used.
+        Error,    ///< Protocol violation; httpStatus()/reason() say why.
+    };
+
+    explicit RequestParser(ParseLimits limits = {});
+
+    /**
+     * Parse one request from the front of @p buf. Stateless between
+     * calls -- the caller re-passes its whole accumulated buffer --
+     * so a verdict never depends on how the bytes were chunked.
+     */
+    Status parse(const std::string &buf);
+
+    /** Valid after Done. */
+    const HttpRequest &request() const { return request_; }
+
+    /** Bytes of the buffer this request used (valid after Done). */
+    std::size_t consumed() const { return consumed_; }
+
+    /** Response status for a rejected request (after Error). */
+    int httpStatus() const { return httpStatus_; }
+
+    /** One-line human reason for the rejection (after Error). */
+    const std::string &reason() const { return reason_; }
+
+  private:
+    Status fail(int status, std::string reason);
+
+    ParseLimits limits_;
+    HttpRequest request_;
+    std::size_t consumed_ = 0;
+    int httpStatus_ = 400;
+    std::string reason_;
+};
+
+/** One response to render. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+    bool closeConnection = false; ///< Force close after sending.
+
+    /** "OK", "Not Found", ... (unknown codes render "Status"). */
+    static const char *reasonPhrase(int status);
+
+    /**
+     * The full wire bytes: status line, Content-Type/Length and
+     * Connection headers, blank line, body. @p keepAlive reflects
+     * the request side; closeConnection overrides it.
+     */
+    std::string render(bool keepAlive) const;
+};
+
+/** Convenience: a plain-text error body matching @p status. */
+HttpResponse errorResponse(int status, const std::string &message);
+
+} // namespace mil::serve
+
+#endif // MIL_SERVE_HTTP_HH

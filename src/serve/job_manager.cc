@@ -1,0 +1,218 @@
+#include "job_manager.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "common/interrupt.hh"
+
+namespace mil::serve
+{
+
+JobManager::JobManager(store::ResultStore *store, unsigned simJobs,
+                       bool retryErrors)
+    : store_(store), simJobs_(simJobs == 0 ? 1 : simJobs),
+      retryErrors_(retryErrors),
+      scheduler_([this] { schedulerLoop(); })
+{
+}
+
+JobManager::~JobManager()
+{
+    shutdown();
+}
+
+JobSnapshot
+JobManager::submit(const SweepGridSpec &spec)
+{
+    const std::string canonical = spec.canonical();
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    const auto inflight = inflight_.find(canonical);
+    if (inflight != inflight_.end()) {
+        // Same grid already queued or running: share it. The second
+        // client polls the same job id; the simulation happens once.
+        deduped_.fetch_add(1, std::memory_order_relaxed);
+        JobSnapshot snap = jobs_.at(inflight->second)->snap;
+        snap.deduped = true;
+        return snap;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->grid = spec.grid;
+    job->snap.id = "job-" + std::to_string(nextId_++);
+    job->snap.state = "queued";
+    job->snap.spec = canonical;
+    job->snap.cellsTotal = spec.grid.size();
+    jobs_.emplace(job->snap.id, job);
+    inflight_.emplace(canonical, job->snap.id);
+    queue_.push_back(job);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    wake_.notify_one();
+    return job->snap;
+}
+
+std::optional<JobSnapshot>
+JobManager::status(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    return it->second->snap;
+}
+
+std::optional<std::string>
+JobManager::csv(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->snap.state != "done")
+        return std::nullopt;
+    return it->second->csv;
+}
+
+std::size_t
+JobManager::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+JobManager::registerMetrics(obs::MetricsRegistry &registry) const
+{
+    registry.addCounter("jobs_submitted", [this] {
+        return submitted_.load(std::memory_order_relaxed);
+    });
+    registry.addCounter("jobs_deduped", [this] {
+        return deduped_.load(std::memory_order_relaxed);
+    });
+    registry.addCounter("jobs_completed", [this] {
+        return completed_.load(std::memory_order_relaxed);
+    });
+    registry.addCounter("jobs_failed", [this] {
+        return failed_.load(std::memory_order_relaxed);
+    });
+    registry.addGauge("jobs_queue_depth", [this] {
+        return static_cast<double>(queueDepth());
+    });
+    registry.addCounter("cells_simulated", [this] {
+        return cellsSimulated_.load(std::memory_order_relaxed);
+    });
+    registry.addCounter("cells_from_store", [this] {
+        return cellsFromStore_.load(std::memory_order_relaxed);
+    });
+}
+
+void
+JobManager::schedulerLoop()
+{
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (stopping_)
+                return;
+            job = queue_.front();
+            queue_.pop_front();
+            job->snap.state = "running";
+        }
+        runJob(job);
+    }
+}
+
+void
+JobManager::runJob(const std::shared_ptr<Job> &job)
+{
+    SweepRunner runner(simJobs_);
+    runner.setStore(store_, retryErrors_);
+    // The store *is* the daemon's result cache; the per-process
+    // runSpec memo would duplicate every result in anonymous heap
+    // that a long-lived daemon never frees.
+    runner.setUseCache(false);
+    // Stop dispatching cells on SIGINT (daemon drain) or shutdown();
+    // cells already simulating finish and persist first.
+    runner.setCancelCheck([this] {
+        return interruptRequested() ||
+            [this] {
+                std::lock_guard<std::mutex> lock(mutex_);
+                return stopping_;
+            }();
+    });
+    runner.setCellProgress([&](std::size_t done, std::size_t total,
+                               const SweepRunStats &sofar) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->snap.cellsDone = done;
+        job->snap.cellsTotal = total;
+        job->snap.stats = sofar;
+    });
+
+    std::string error;
+    std::string csv;
+    SweepRunStats stats;
+    try {
+        const std::vector<SweepResult> results =
+            runner.run(job->grid);
+        stats = runner.lastRunStats();
+        if (stats.cancelled > 0) {
+            error = "interrupted: " +
+                std::to_string(stats.cancelled) + " of " +
+                std::to_string(results.size()) +
+                " cells not run; every completed cell is in the "
+                "store -- resubmit to resume";
+        } else {
+            std::ostringstream os;
+            writeSweepCsv(os, results);
+            csv = os.str();
+        }
+    } catch (const std::exception &e) {
+        error = e.what();
+        stats = runner.lastRunStats();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->snap.stats = stats;
+    cellsSimulated_.fetch_add(stats.simulated,
+                              std::memory_order_relaxed);
+    cellsFromStore_.fetch_add(stats.storeHits,
+                              std::memory_order_relaxed);
+    if (error.empty()) {
+        job->snap.state = "done";
+        job->csv = std::move(csv);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        job->snap.state = "error";
+        job->snap.error = error;
+        failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    inflight_.erase(job->snap.spec);
+}
+
+void
+JobManager::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && !scheduler_.joinable())
+            return;
+        stopping_ = true;
+        // Jobs never started cannot resume anything; fail them
+        // loudly rather than leaving clients polling "queued"
+        // forever against a dead daemon.
+        for (const auto &job : queue_) {
+            job->snap.state = "error";
+            job->snap.error = "daemon shutting down";
+            inflight_.erase(job->snap.spec);
+            failed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        queue_.clear();
+    }
+    wake_.notify_all();
+    if (scheduler_.joinable())
+        scheduler_.join();
+}
+
+} // namespace mil::serve

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Sweep jobs behind the milserve endpoints: a FIFO of submitted
+ * grids, one background scheduler thread that runs them through the
+ * SweepRunner with the ResultStore attached, and snapshot-style
+ * status for concurrent HTTP responders.
+ *
+ * Semantics:
+ *
+ *  - submit() is cheap and never simulates: it assigns a job id and
+ *    queues the grid. Identical grids (same canonical() spec) still
+ *    queued or running are deduped onto the existing job -- two
+ *    clients asking for the same sweep share one simulation. A grid
+ *    resubmitted after its job finished gets a *new* job, which runs
+ *    warm from the store (simulated=0) -- that is the service's
+ *    whole point, and what lets a client distinguish "my sweep" from
+ *    "a cached sweep" by job id.
+ *  - Jobs run one at a time, in submission order; within a job,
+ *    cells run on simJobs threads (the daemon's --jobs). Bounding
+ *    concurrency at the cell level keeps one giant grid from
+ *    starving the HTTP responders of cores while still saturating
+ *    the machine.
+ *  - Every completed cell is persisted by the runner before the job
+ *    advances, so a crash or SIGINT mid-job loses nothing that
+ *    finished; the job itself reports state "error" with an
+ *    "interrupted" message, and resubmitting the grid to a restarted
+ *    daemon resumes from the store.
+ *  - CSV bytes for a done job are rendered by writeSweepCsv -- the
+ *    same function milsweep prints through -- so GET /v1/jobs/id/csv
+ *    is byte-identical to a milsweep run of the same grid.
+ */
+
+#ifndef MIL_SERVE_JOB_MANAGER_HH
+#define MIL_SERVE_JOB_MANAGER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/metrics.hh"
+#include "sim/grid_spec.hh"
+
+namespace mil::serve
+{
+
+/** One job's externally visible state, copied under the lock. */
+struct JobSnapshot
+{
+    std::string id;
+    std::string state; ///< "queued", "running", "done", or "error".
+    std::string spec;  ///< The canonical grid spec.
+    std::string error; ///< Failure message when state == "error".
+    std::size_t cellsTotal = 0;
+    std::size_t cellsDone = 0;
+    SweepRunStats stats; ///< Live during the run, final after.
+    bool deduped = false; ///< submit(): joined an in-flight job?
+};
+
+/** The sweep-job queue and scheduler (see the file comment). */
+class JobManager
+{
+  public:
+    /**
+     * @param store    every job's result cache; must outlive this.
+     * @param simJobs  cell-level concurrency per job (>= 1).
+     * @param retryErrors re-simulate stored error cells
+     *        (milsweep --retry-errors).
+     */
+    JobManager(store::ResultStore *store, unsigned simJobs,
+               bool retryErrors = false);
+
+    /** shutdown()s if the caller did not. */
+    ~JobManager();
+
+    JobManager(const JobManager &) = delete;
+    JobManager &operator=(const JobManager &) = delete;
+
+    /**
+     * Queue @p spec (which must already be validate()d) and return
+     * the resulting job's snapshot -- the existing one, flagged
+     * deduped, when an identical grid is queued or running.
+     */
+    JobSnapshot submit(const SweepGridSpec &spec);
+
+    /** Snapshot of job @p id, or nullopt for an unknown id. */
+    std::optional<JobSnapshot> status(const std::string &id) const;
+
+    /**
+     * The finished job's CSV bytes. nullopt when the id is unknown
+     * or the job is not in state "done" (callers disambiguate via
+     * status()).
+     */
+    std::optional<std::string> csv(const std::string &id) const;
+
+    /** Jobs waiting behind the running one. */
+    std::size_t queueDepth() const;
+
+    /**
+     * Register the job counters (jobs_submitted, jobs_deduped,
+     * jobs_completed, jobs_failed, jobs_queue_depth,
+     * cells_simulated, cells_from_store) into @p registry. The
+     * probes read live atomics and are valid while this manager
+     * lives.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry) const;
+
+    /**
+     * Graceful drain: stop starting queued jobs, cancel the running
+     * job's undispatched cells (in-flight cells finish and persist),
+     * fail still-queued jobs with "daemon shutting down", and join
+     * the scheduler thread. Idempotent.
+     */
+    void shutdown();
+
+  private:
+    struct Job
+    {
+        JobSnapshot snap;
+        SweepGrid grid;
+        std::string csv; ///< Rendered once the job is done.
+    };
+
+    void schedulerLoop();
+    void runJob(const std::shared_ptr<Job> &job);
+
+    store::ResultStore *store_;
+    unsigned simJobs_;
+    bool retryErrors_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    std::uint64_t nextId_ = 1;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::unordered_map<std::string, std::shared_ptr<Job>> jobs_;
+    /** canonical spec -> job id, for queued/running jobs only. */
+    std::unordered_map<std::string, std::string> inflight_;
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> deduped_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> cellsSimulated_{0};
+    std::atomic<std::uint64_t> cellsFromStore_{0};
+
+    std::thread scheduler_;
+};
+
+} // namespace mil::serve
+
+#endif // MIL_SERVE_JOB_MANAGER_HH

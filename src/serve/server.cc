@@ -1,0 +1,237 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/interrupt.hh"
+#include "common/sim_error.hh"
+#include "common/thread_pool.hh"
+
+namespace mil::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Milliseconds until @p deadline, floored at 0. */
+int
+remainingMs(Clock::time_point deadline)
+{
+    const auto left = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - Clock::now());
+    return left.count() <= 0
+        ? 0
+        : static_cast<int>(std::min<long long>(left.count(),
+                                               1000000));
+}
+
+/**
+ * Write all of @p bytes. MSG_NOSIGNAL keeps a client that closed
+ * mid-response from killing the daemon with SIGPIPE. Returns false
+ * on any unrecoverable error (the connection is then abandoned).
+ */
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+HttpServer::HttpServer(ServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler))
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw ConfigError(strformat("serve: socket: %s",
+                                    std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(),
+                    &addr.sin_addr) != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ConfigError(strformat(
+            "serve: '%s' is not a numeric IPv4 address",
+            config_.host.c_str()));
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ConfigError(strformat(
+            "serve: cannot listen on %s:%u: %s",
+            config_.host.c_str(), unsigned(config_.port),
+            std::strerror(err)));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+}
+
+HttpServer::~HttpServer()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+bool
+HttpServer::stopRequested() const
+{
+    return stopRequested_.load(std::memory_order_relaxed) ||
+        interruptRequested() || (config_.stop && config_.stop());
+}
+
+void
+HttpServer::serve()
+{
+    // connThreads == 1 still gets one real worker: the caller's
+    // thread is occupied by the accept loop, so inline (0-worker)
+    // execution would deadlock the listener behind a connection.
+    ThreadPool pool(std::max(1u, config_.connThreads));
+
+    while (!stopRequested()) {
+        pollfd fds[2];
+        fds[0] = {listenFd_, POLLIN, 0};
+        nfds_t nfds = 1;
+        // The interrupt pipe makes a SIGINT wake this poll
+        // immediately; without it the drain starts up to one poll
+        // timeout late.
+        const int wakeFd = interruptWakeupFd();
+        if (wakeFd >= 0) {
+            fds[1] = {wakeFd, POLLIN, 0};
+            nfds = 2;
+        }
+        const int rc = ::poll(fds, nfds, 200);
+        if (rc < 0 && errno != EINTR)
+            break;
+        if (rc <= 0 || !(fds[0].revents & POLLIN))
+            continue;
+        const int conn = ::accept(listenFd_, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([this, conn] { handleConnection(conn); });
+    }
+
+    // Stop taking connections, then drain the accepted ones: the
+    // pool destructor joins only after its queue empties, so every
+    // in-flight response completes -- the same drain-then-exit
+    // contract milsweep's SIGINT path keeps.
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+HttpServer::handleConnection(int fd)
+{
+    std::string buf;
+    while (true) {
+        // A connection accepted before shutdown still finishes its
+        // current exchange below; we just refuse to *start* another
+        // request once a stop is pending.
+        if (stopRequested())
+            break;
+        RequestParser parser(config_.limits);
+        const auto deadline = Clock::now() +
+            std::chrono::milliseconds(config_.requestTimeoutMs);
+        bool sawBytes = !buf.empty();
+        RequestParser::Status status = parser.parse(buf);
+
+        while (status == RequestParser::Status::NeedMore) {
+            const int left = remainingMs(deadline);
+            if (left == 0)
+                break;
+            pollfd pfd{fd, POLLIN, 0};
+            const int rc = ::poll(&pfd, 1, std::min(left, 200));
+            if (rc < 0 && errno != EINTR)
+                break;
+            if (stopRequested() && !sawBytes)
+                break; // Idle keep-alive connection at shutdown.
+            if (rc <= 0)
+                continue;
+            char chunk[4096];
+            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n == 0)
+                break; // Peer closed.
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            sawBytes = true;
+            buf.append(chunk, static_cast<std::size_t>(n));
+            status = parser.parse(buf);
+        }
+
+        if (status == RequestParser::Status::Error) {
+            writeAll(fd, errorResponse(parser.httpStatus(),
+                                       parser.reason())
+                             .render(false));
+            break;
+        }
+        if (status == RequestParser::Status::NeedMore) {
+            // Timeout, EOF, or shutdown mid-request. A client that
+            // sent a partial request gets told; an idle one just
+            // gets the close.
+            if (sawBytes && remainingMs(deadline) == 0)
+                writeAll(fd,
+                         errorResponse(408, "request incomplete "
+                                            "after timeout")
+                             .render(false));
+            break;
+        }
+
+        // One complete request: hand it to the service. The handler
+        // maps its own domain errors; anything escaping is a bug,
+        // answered 500 so the daemon stays up.
+        HttpResponse resp;
+        try {
+            resp = handler_(parser.request());
+        } catch (const std::exception &e) {
+            resp = errorResponse(500, e.what());
+        }
+        const bool keep = parser.request().keepAlive() &&
+            !resp.closeConnection && !stopRequested();
+        if (!writeAll(fd, resp.render(keep)) || !keep)
+            break;
+        // Pipelined requests: whatever followed this request in the
+        // buffer is the start of the next one.
+        buf.erase(0, parser.consumed());
+    }
+    ::close(fd);
+}
+
+} // namespace mil::serve

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The milserve HTTP/1.1 listener: plain POSIX sockets, a blocking
+ * accept loop on the caller's thread, and a small connection pool on
+ * the existing ThreadPool. No event library, no TLS, no new
+ * dependencies -- the daemon fronts a simulation store on a trusted
+ * network, so the complexity budget goes into robustness (strict
+ * parser limits, per-request timeouts, graceful shutdown) rather
+ * than C10K throughput.
+ *
+ * Concurrency model:
+ *
+ *  - serve() accepts on the caller's thread, polling the listener
+ *    alongside the interrupt wakeup pipe (common/interrupt.hh), so a
+ *    SIGINT wakes the loop immediately;
+ *  - each accepted connection is handed to one pool worker, which
+ *    owns it for its whole keep-alive lifetime (read -> parse ->
+ *    handler -> write, repeated); with every worker busy, further
+ *    connections queue in the pool;
+ *  - a slow or stalled client (slow-loris) gets requestTimeoutMs per
+ *    request to deliver complete bytes: a partial request past the
+ *    deadline is answered 408 and the connection closed, an idle
+ *    keep-alive connection is closed silently;
+ *  - on shutdown the accept loop stops, the listener closes, and the
+ *    pool destructor drains connections already accepted -- their
+ *    in-flight responses complete, matching milsweep's drain
+ *    contract.
+ *
+ * The handler runs on pool threads, concurrently: it must be
+ * thread-safe (MilServeService is).
+ */
+
+#ifndef MIL_SERVE_SERVER_HH
+#define MIL_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/http.hh"
+
+namespace mil
+{
+class ThreadPool;
+}
+
+namespace mil::serve
+{
+
+/** Listener + hardening knobs (milserve flags map onto these). */
+struct ServerConfig
+{
+    std::string host = "127.0.0.1"; ///< Numeric IPv4 listen address.
+    std::uint16_t port = 0;         ///< 0 = kernel-assigned.
+    unsigned connThreads = 4;       ///< Connection-pool workers.
+    ParseLimits limits;             ///< Header/body caps.
+    int requestTimeoutMs = 5000;    ///< Whole-request read budget.
+
+    /**
+     * Extra stop predicate polled by serve() besides
+     * interruptRequested(); tests use it to stop a server without
+     * raising a real signal. May be empty.
+     */
+    std::function<bool()> stop;
+};
+
+/** One bound listener serving a request handler. */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    /**
+     * Bind and listen immediately (so an unusable address fails fast
+     * as ConfigError, before any jobs are accepted), but accept
+     * nothing until serve().
+     */
+    HttpServer(ServerConfig config, Handler handler);
+
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** The bound port (the kernel's pick when config.port was 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Accept and serve until interruptRequested(), config.stop, or
+     * requestStop(). Returns after the listener is closed and every
+     * accepted connection has drained.
+     */
+    void serve();
+
+    /** Thread-safe: make serve() return at its next poll tick. */
+    void requestStop() { stopRequested_.store(true); }
+
+    /** Connections accepted so far (exposed via /v1/metrics). */
+    std::uint64_t connectionsAccepted() const
+    {
+        return connections_.load();
+    }
+
+  private:
+    bool stopRequested() const;
+    void handleConnection(int fd);
+
+    ServerConfig config_;
+    Handler handler_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<std::uint64_t> connections_{0};
+};
+
+} // namespace mil::serve
+
+#endif // MIL_SERVE_SERVER_HH

@@ -1,0 +1,241 @@
+#include "service.hh"
+
+#include <utility>
+
+#include "common/sim_error.hh"
+#include "store/result_store.hh"
+
+namespace mil::serve
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslash, control bytes). */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strformat("\\u%04x", unsigned(c));
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * A job snapshot as the /v1/jobs JSON body. The stats fields are
+ * what the smoke script asserts on ("simulated":0 for a warm job).
+ */
+std::string
+jobJson(const JobSnapshot &snap)
+{
+    std::string out = "{";
+    out += "\"id\":" + jsonString(snap.id);
+    out += ",\"state\":" + jsonString(snap.state);
+    out += ",\"spec\":" + jsonString(snap.spec);
+    if (!snap.error.empty())
+        out += ",\"error\":" + jsonString(snap.error);
+    out += strformat(",\"cells_total\":%zu", snap.cellsTotal);
+    out += strformat(",\"cells_done\":%zu", snap.cellsDone);
+    out += strformat(",\"simulated\":%zu", snap.stats.simulated);
+    out += strformat(",\"store_hits\":%zu", snap.stats.storeHits);
+    out += strformat(",\"errors_skipped\":%zu",
+                     snap.stats.errorsSkipped);
+    out += strformat(",\"cancelled\":%zu", snap.stats.cancelled);
+    out += snap.deduped ? ",\"deduped\":true}" : ",\"deduped\":false}";
+    return out;
+}
+
+HttpResponse
+jsonResponse(int status, std::string body)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.contentType = "application/json";
+    resp.body = std::move(body);
+    return resp;
+}
+
+/** "format=prometheus" (or &-separated containing it)? */
+bool
+wantsPrometheus(const std::string &query)
+{
+    std::size_t pos = 0;
+    while (pos <= query.size()) {
+        const std::size_t amp = query.find('&', pos);
+        const std::string pair = query.substr(
+            pos, amp == std::string::npos ? std::string::npos
+                                          : amp - pos);
+        if (pair == "format=prometheus")
+            return true;
+        if (amp == std::string::npos)
+            break;
+        pos = amp + 1;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+MilServeService::MilServeService(store::ResultStore *store,
+                                 JobManager *jobs,
+                                 std::string version)
+    : store_(store), jobs_(jobs), version_(std::move(version))
+{
+}
+
+void
+MilServeService::setExtraMetrics(
+    std::function<void(obs::MetricsRegistry &)> add)
+{
+    extraMetrics_ = std::move(add);
+}
+
+HttpResponse
+MilServeService::handle(const HttpRequest &req)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    if (req.path == "/v1/sweep") {
+        if (req.method != "POST")
+            return errorResponse(405, "POST /v1/sweep");
+        return submitSweep(req);
+    }
+    if (req.path.rfind("/v1/jobs/", 0) == 0) {
+        if (req.method != "GET")
+            return errorResponse(405, "GET only");
+        std::string rest = req.path.substr(9);
+        const std::size_t slash = rest.find('/');
+        if (slash == std::string::npos)
+            return jobStatus(rest);
+        if (rest.substr(slash) == "/csv")
+            return jobCsv(rest.substr(0, slash));
+        return errorResponse(404, "no such endpoint");
+    }
+    if (req.path == "/v1/metrics") {
+        if (req.method != "GET")
+            return errorResponse(405, "GET only");
+        return metrics(req, wantsPrometheus(req.query));
+    }
+    if (req.path == "/metrics") {
+        if (req.method != "GET")
+            return errorResponse(405, "GET only");
+        return metrics(req, true);
+    }
+    if (req.path == "/healthz") {
+        if (req.method != "GET")
+            return errorResponse(405, "GET only");
+        return health();
+    }
+    return errorResponse(404, "no such endpoint");
+}
+
+HttpResponse
+MilServeService::submitSweep(const HttpRequest &req)
+{
+    SweepGridSpec spec;
+    try {
+        spec = SweepGridSpec::parseForm(req.body);
+        spec.validate();
+    } catch (const ConfigError &e) {
+        // The same message milsweep would print for the same typo.
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+        return errorResponse(400, e.what());
+    }
+    const JobSnapshot snap = jobs_->submit(spec);
+    return jsonResponse(202, jobJson(snap));
+}
+
+HttpResponse
+MilServeService::jobStatus(const std::string &id)
+{
+    const auto snap = jobs_->status(id);
+    if (!snap)
+        return errorResponse(404, "unknown job id '" + id + "'");
+    return jsonResponse(200, jobJson(*snap));
+}
+
+HttpResponse
+MilServeService::jobCsv(const std::string &id)
+{
+    const auto snap = jobs_->status(id);
+    if (!snap)
+        return errorResponse(404, "unknown job id '" + id + "'");
+    if (snap->state == "error")
+        return errorResponse(500, snap->error);
+    if (snap->state != "done") {
+        // Not ready yet: tell the poller where the job stands. 409
+        // rather than 404 so a client can tell "poll again" from
+        // "wrong id".
+        return jsonResponse(409, jobJson(*snap));
+    }
+    const auto csv = jobs_->csv(id);
+    if (!csv)
+        return errorResponse(500, "job finished without CSV");
+    HttpResponse resp;
+    resp.contentType = "text/csv";
+    resp.body = *csv;
+    return resp;
+}
+
+HttpResponse
+MilServeService::metrics(const HttpRequest &, bool prometheus)
+{
+    // Probes read live state; the registry itself is rebuilt per
+    // request (construction is a handful of closures) so the service
+    // needs no metric locking of its own.
+    const store::StoreStats storeStats = store_->stats();
+    obs::MetricsRegistry registry;
+    store::registerStoreMetrics(registry, storeStats);
+    jobs_->registerMetrics(registry);
+    registry.addCounter("http_requests", [this] {
+        return requests_.load(std::memory_order_relaxed);
+    });
+    registry.addCounter("http_bad_requests", [this] {
+        return badRequests_.load(std::memory_order_relaxed);
+    });
+    if (extraMetrics_)
+        extraMetrics_(registry);
+
+    if (prometheus) {
+        HttpResponse resp;
+        resp.contentType = "text/plain; version=0.0.4";
+        resp.body = registry.renderPrometheus("milserve_");
+        return resp;
+    }
+    return jsonResponse(200, registry.renderJson());
+}
+
+HttpResponse
+MilServeService::health() const
+{
+    HttpResponse resp;
+    resp.body = "ok " + version_ + "\n";
+    return resp;
+}
+
+} // namespace mil::serve

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The milserve endpoint surface, as a plain request -> response
+ * function so every route is testable without sockets:
+ *
+ *   POST /v1/sweep            submit a grid (body: the SweepGridSpec
+ *                             form keys); 202 + job JSON, deduped
+ *                             onto an identical in-flight job
+ *   GET  /v1/jobs/<id>        job status JSON with per-cell progress
+ *   GET  /v1/jobs/<id>/csv    the result CSV, byte-identical to
+ *                             milsweep's for the same grid (409 JSON
+ *                             while the job is still queued/running,
+ *                             500 + message when it failed)
+ *   GET  /v1/metrics          MetricsRegistry as JSON
+ *                             (?format=prometheus for text format)
+ *   GET  /metrics             Prometheus text format (the
+ *                             conventional scrape path)
+ *   GET  /healthz             "ok <code-version stamp>"
+ *
+ * Domain errors map to HTTP: a malformed or unknown-name grid spec
+ * is a 400 carrying the same ConfigError message milsweep prints, an
+ * unknown path 404, a wrong method 405. The handler is thread-safe
+ * and runs concurrently on the server's connection pool.
+ */
+
+#ifndef MIL_SERVE_SERVICE_HH
+#define MIL_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/http.hh"
+#include "serve/job_manager.hh"
+
+namespace mil::serve
+{
+
+/** Routes requests over one JobManager + ResultStore pair. */
+class MilServeService
+{
+  public:
+    /**
+     * @param store    the daemon's result store (metrics source);
+     *                 must outlive this.
+     * @param jobs     the job queue; must outlive this.
+     * @param version  the code-version stamp /healthz reports
+     *                 (milserve passes sweepStoreVersion()).
+     */
+    MilServeService(store::ResultStore *store, JobManager *jobs,
+                    std::string version);
+
+    /** The HttpServer handler. Thread-safe. */
+    HttpResponse handle(const HttpRequest &req);
+
+    /**
+     * Extra metrics (e.g. the server's connections_accepted probe)
+     * rendered into /v1/metrics alongside the store and job
+     * counters. Must be thread-safe; may be empty.
+     */
+    void setExtraMetrics(
+        std::function<void(obs::MetricsRegistry &)> add);
+
+    /** Requests answered so far (itself exposed as http_requests). */
+    std::uint64_t requestsServed() const { return requests_.load(); }
+
+  private:
+    HttpResponse submitSweep(const HttpRequest &req);
+    HttpResponse jobStatus(const std::string &id);
+    HttpResponse jobCsv(const std::string &id);
+    HttpResponse metrics(const HttpRequest &req, bool prometheus);
+    HttpResponse health() const;
+
+    store::ResultStore *store_;
+    JobManager *jobs_;
+    std::string version_;
+    std::function<void(obs::MetricsRegistry &)> extraMetrics_;
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> badRequests_{0};
+};
+
+} // namespace mil::serve
+
+#endif // MIL_SERVE_SERVICE_HH

@@ -1,0 +1,261 @@
+#include "grid_spec.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <sstream>
+
+#include "common/sim_error.hh"
+#include "workloads/workload.hh"
+
+namespace mil
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::istringstream is(arg);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+joinCsv(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names)
+        out += (out.empty() ? "" : ",") + n;
+    return out;
+}
+
+std::string
+joinSpaced(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names)
+        out += (out.empty() ? "" : " ") + n;
+    return out;
+}
+
+/**
+ * Shortest round-trippable rendering of a double: %.17g is exact for
+ * every IEEE-754 binary64, so a canonical() string re-parsed through
+ * set() reconstructs bit-identical scale/ber values.
+ */
+std::string
+renderDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || errno == ERANGE ||
+        value[0] == '-')
+        throw ConfigError(strformat(
+            "%s: '%s' is not an unsigned integer", key.c_str(),
+            value.c_str()));
+    return v;
+}
+
+unsigned
+parseU32(const std::string &key, const std::string &value)
+{
+    const std::uint64_t v = parseU64(key, value);
+    if (v > 0xFFFFFFFFull)
+        throw ConfigError(strformat(
+            "%s: %s does not fit in 32 bits", key.c_str(),
+            value.c_str()));
+    return static_cast<unsigned>(v);
+}
+
+double
+parseF64(const std::string &key, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0' || errno == ERANGE)
+        throw ConfigError(strformat(
+            "%s: '%s' is not a number", key.c_str(), value.c_str()));
+    return v;
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** %XX and '+' decoding; a malformed escape is a hard error. */
+std::string
+urlDecode(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '+') {
+            out += ' ';
+        } else if (s[i] == '%') {
+            const int hi =
+                i + 1 < s.size() ? hexDigit(s[i + 1]) : -1;
+            const int lo =
+                i + 2 < s.size() ? hexDigit(s[i + 2]) : -1;
+            if (hi < 0 || lo < 0)
+                throw ConfigError(strformat(
+                    "malformed %%-escape in '%s'", s.c_str()));
+            out += static_cast<char>(hi * 16 + lo);
+            i += 2;
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+constexpr const char *kGridKeys[] = {
+    "systems", "workloads", "policies", "lookahead", "ops",
+    "scale",   "seed",      "ber",      "tick-mode", "shards",
+};
+
+} // anonymous namespace
+
+SweepGridSpec::SweepGridSpec()
+{
+    grid.workloads = workloadNames();
+    grid.opsPerThread = 3000;
+    grid.scale = 0.25;
+}
+
+bool
+SweepGridSpec::isGridKey(const std::string &key)
+{
+    for (const char *k : kGridKeys)
+        if (key == k)
+            return true;
+    return false;
+}
+
+void
+SweepGridSpec::set(const std::string &key, const std::string &value)
+{
+    if (key == "systems") {
+        grid.systems = splitCsv(value);
+    } else if (key == "workloads") {
+        grid.workloads =
+            value == "all" ? workloadNames() : splitCsv(value);
+    } else if (key == "policies") {
+        grid.policies = splitCsv(value);
+    } else if (key == "lookahead") {
+        grid.lookahead = parseU32(key, value);
+    } else if (key == "ops") {
+        grid.opsPerThread = parseU64(key, value);
+    } else if (key == "scale") {
+        grid.scale = parseF64(key, value);
+    } else if (key == "seed") {
+        grid.baseSeed = parseU64(key, value);
+    } else if (key == "ber") {
+        const double ber = parseF64(key, value);
+        if (ber < 0.0 || ber >= 1.0)
+            throw ConfigError(strformat(
+                "ber: %s outside [0, 1)", value.c_str()));
+        grid.ber = ber;
+    } else if (key == "tick-mode") {
+        grid.tickMode = parseTickMode(value);
+    } else if (key == "shards") {
+        grid.shards = parseU32(key, value);
+    } else {
+        throw ConfigError(strformat(
+            "unknown grid key '%s' (choose from: %s)", key.c_str(),
+            joinSpaced({std::begin(kGridKeys), std::end(kGridKeys)})
+                .c_str()));
+    }
+}
+
+SweepGridSpec
+SweepGridSpec::parseForm(const std::string &body)
+{
+    SweepGridSpec spec;
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+        std::size_t end = body.find_first_of("&\n", pos);
+        if (end == std::string::npos)
+            end = body.size();
+        std::string pair = body.substr(pos, end - pos);
+        pos = end + 1;
+        if (!pair.empty() && pair.back() == '\r')
+            pair.pop_back();
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            throw ConfigError(strformat(
+                "grid spec: '%s' is not key=value", pair.c_str()));
+        spec.set(urlDecode(pair.substr(0, eq)),
+                 urlDecode(pair.substr(eq + 1)));
+    }
+    return spec;
+}
+
+void
+SweepGridSpec::validate() const
+{
+    const auto known_systems = systemNames();
+    for (const auto &s : grid.systems)
+        if (std::find(known_systems.begin(), known_systems.end(), s) ==
+            known_systems.end())
+            throw ConfigError(strformat(
+                "unknown system '%s' (choose from: %s)", s.c_str(),
+                joinSpaced(known_systems).c_str()));
+    const auto known_workloads = workloadNames();
+    for (const auto &w : grid.workloads)
+        if (std::find(known_workloads.begin(), known_workloads.end(),
+                      w) == known_workloads.end())
+            throw ConfigError(strformat(
+                "unknown workload '%s' (choose from: %s)", w.c_str(),
+                joinSpaced(known_workloads).c_str()));
+    for (const auto &p : grid.policies)
+        if (!isPolicyName(p))
+            throw ConfigError(strformat(
+                "unknown policy '%s' (choose from: %s BLn)", p.c_str(),
+                joinSpaced(policyNames()).c_str()));
+}
+
+std::string
+SweepGridSpec::canonical() const
+{
+    return "systems=" + joinCsv(grid.systems) +
+        "&workloads=" + joinCsv(grid.workloads) +
+        "&policies=" + joinCsv(grid.policies) +
+        "&lookahead=" + std::to_string(grid.lookahead) +
+        "&ops=" + std::to_string(grid.opsPerThread) +
+        "&scale=" + renderDouble(grid.scale) +
+        "&seed=" + std::to_string(grid.baseSeed) +
+        "&ber=" + renderDouble(grid.ber) +
+        "&tick-mode=" + tickModeName(grid.tickMode) +
+        "&shards=" + std::to_string(grid.shards);
+}
+
+} // namespace mil

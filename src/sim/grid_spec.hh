@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The one parser for sweep-grid specifications.
+ *
+ * Two front-ends accept grids: milsweep's argv flags and milserve's
+ * `POST /v1/sweep` body. Both funnel every field through
+ * SweepGridSpec::set, so the accepted keys, their value syntax, and
+ * their defaults are defined exactly once and the front-ends cannot
+ * drift apart (a field added here is immediately a milsweep flag
+ * *and* a milserve body key).
+ *
+ * Keys (all optional; the default grid is the historic milsweep
+ * default grid):
+ *
+ *   systems=a,b      workloads=a,b|all   policies=a,b
+ *   ops=N            scale=F             lookahead=X
+ *   seed=S           ber=P               tick-mode=cycle|event|auto
+ *   shards=N
+ *
+ * Values are parsed strictly: a malformed number or an unknown key
+ * throws mil::ConfigError (exit 2 at the CLI, HTTP 400 from the
+ * daemon) instead of silently simulating a zero.
+ */
+
+#ifndef MIL_SIM_GRID_SPEC_HH
+#define MIL_SIM_GRID_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep_runner.hh"
+
+namespace mil
+{
+
+/** A SweepGrid plus the shared parsing/validation front half. */
+struct SweepGridSpec
+{
+    /**
+     * Starts at the shared front-end defaults: every Table 3
+     * workload, DBI + MiL on ddr4, ops=3000, scale=0.25 -- the grid
+     * `milsweep` with no flags has always run.
+     */
+    SweepGridSpec();
+
+    SweepGrid grid;
+
+    /**
+     * Apply one key=value pair (see the file comment for the keys).
+     * Throws ConfigError for unknown keys or malformed values.
+     */
+    void set(const std::string &key, const std::string &value);
+
+    /** Is @p key one set() accepts? (milsweep flag routing) */
+    static bool isGridKey(const std::string &key);
+
+    /**
+     * Parse an application/x-www-form-urlencoded body: key=value
+     * pairs separated by '&' or newlines, '+' and %XX decoded.
+     * Empty pairs are skipped; a pair without '=' or with an unknown
+     * key throws ConfigError.
+     */
+    static SweepGridSpec parseForm(const std::string &body);
+
+    /**
+     * Reject unknown system/workload/policy names (listing the valid
+     * choices) before any simulation starts: a typo'd name should
+     * cost milliseconds, not surface as an error row after the rest
+     * of the grid has burned CPU-hours.
+     */
+    void validate() const;
+
+    /**
+     * Normalized rendering: every key in a fixed order, '&'
+     * separated, doubles in round-trippable %.17g. Identical grids
+     * render identically whatever the order or spelling of the
+     * input, so this string is both the JobManager's dedupe key and
+     * a parseForm round-trip fixture:
+     * parseForm(s.canonical()).canonical() == s.canonical().
+     */
+    std::string canonical() const;
+};
+
+} // namespace mil
+
+#endif // MIL_SIM_GRID_SPEC_HH

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <ostream>
 #include <sstream>
 
 #include "common/thread_pool.hh"
@@ -129,6 +130,12 @@ SweepRunner::setCancelCheck(std::function<bool()> cancelled)
     cancelled_ = std::move(cancelled);
 }
 
+void
+SweepRunner::setCellProgress(CellProgress progress)
+{
+    cellProgress_ = std::move(progress);
+}
+
 std::string
 SweepRunner::traceFileName(const RunSpec &spec)
 {
@@ -179,8 +186,14 @@ SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
         const auto finish = [&] {
             results[i] = std::move(cell);
             std::lock_guard<std::mutex> lock(state_mutex);
+            ++done;
             if (progress)
-                progress(++done, specs.size());
+                progress(done, specs.size());
+            // Every path increments its stats_ counter before
+            // calling finish(), so this snapshot already includes
+            // the finishing cell.
+            if (cellProgress_)
+                cellProgress_(done, specs.size(), stats_);
         };
 
         // A requested stop (SIGINT/SIGTERM relayed via the cancel
@@ -261,6 +274,27 @@ SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
         finish();
     });
     return results;
+}
+
+void
+writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
+{
+    CsvReporter::writeHeader(os);
+    for (const auto &cell : results) {
+        // Store-backed cells carry their pre-rendered metric columns
+        // (for cache hits: the stored bytes); everything else renders
+        // inline. Both paths share CsvReporter's formatting.
+        if (!cell.csv.empty())
+            CsvReporter::writeRowParts(os, cell.spec.system,
+                                       cell.spec.workload,
+                                       cell.spec.policy, cell.csv,
+                                       cell.status, cell.error);
+        else
+            CsvReporter::writeRow(os, cell.spec.system,
+                                  cell.spec.workload,
+                                  cell.spec.policy, cell.result,
+                                  cell.status, cell.error);
+    }
 }
 
 } // namespace mil

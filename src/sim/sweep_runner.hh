@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -138,6 +139,17 @@ class SweepRunner
                                         std::size_t total)>;
 
     /**
+     * Richer per-cell progress for live consumers (milserve's job
+     * status endpoint): invoked after each cell completes -- from
+     * whichever thread ran it, but serialized -- with a snapshot of
+     * the running counters, so a concurrent status reader never
+     * touches the runner's mutable state mid-run.
+     */
+    using CellProgress =
+        std::function<void(std::size_t done, std::size_t total,
+                           const SweepRunStats &sofar)>;
+
+    /**
      * @param jobs total concurrency: 1 reproduces the serial loop
      *        exactly (cells run inline on the caller in grid order),
      *        N > 1 uses the caller plus N-1 pool workers.
@@ -190,6 +202,9 @@ class SweepRunner
      */
     void setCancelCheck(std::function<bool()> cancelled);
 
+    /** See CellProgress; {} disables. */
+    void setCellProgress(CellProgress progress);
+
     /** Counters from the most recent run() on this runner. */
     const SweepRunStats &lastRunStats() const { return stats_; }
 
@@ -216,8 +231,20 @@ class SweepRunner
     store::ResultStore *store_ = nullptr;
     bool retryErrors_ = false;
     std::function<bool()> cancelled_;
+    CellProgress cellProgress_;
     mutable SweepRunStats stats_;
 };
+
+/**
+ * Render @p results exactly as milsweep's CSV output: the header
+ * plus one row per cell in grid order, store-served cells emitted
+ * from their persisted fragment bytes. milsweep and milserve both
+ * emit through this one function, which is what makes a CSV fetched
+ * from the daemon byte-identical to the batch tool's (asserted end
+ * to end by scripts/test_milserve.sh).
+ */
+void writeSweepCsv(std::ostream &os,
+                   const std::vector<SweepResult> &results);
 
 } // namespace mil
 

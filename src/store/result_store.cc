@@ -1,5 +1,6 @@
 #include "result_store.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -426,6 +427,35 @@ ResultStore::put(Record rec)
     ++stats_.inserts;
     std::string key = rec.key;
     records_.insert_or_assign(std::move(key), std::move(rec));
+}
+
+void
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Close the append stream *before* the rename: committing the
+    // temp file over the log while out_ still held the old inode
+    // would leave every subsequent append on the unlinked file --
+    // durably written, never read again. With the mutex held, no
+    // put() can interleave between the close and the reopen.
+    out_.flush();
+    out_.close();
+    std::vector<std::string> keys;
+    keys.reserve(records_.size());
+    for (const auto &kv : records_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    std::vector<const Record *> survivors;
+    survivors.reserve(keys.size());
+    for (const auto &key : keys)
+        survivors.push_back(&records_.at(key));
+    commitLog(logPath(), codeVersion_, survivors);
+    ++stats_.compactions;
+    out_.open(logPath(), std::ios::binary | std::ios::app);
+    if (!out_)
+        throw SimError(strformat(
+            "store: cannot reopen %s after compaction",
+            logPath().c_str()));
 }
 
 void

@@ -124,6 +124,22 @@ class ResultStore
     /** Flush the append stream; throws SimError on write failure. */
     void flush();
 
+    /**
+     * Rewrite the log to exactly the live records (older duplicates
+     * from re-puts dropped, keys in sorted order), committed by temp
+     * file + atomic rename, then reopen the append stream on the new
+     * file. Safe against concurrent readers and writers: the store
+     * mutex is held across the whole rewrite, so a find()/put()
+     * either completes before the swap or begins after it -- there is
+     * no window where a reader observes the half-written temp file or
+     * a writer appends to the renamed-away inode (regression-tested
+     * by ConcurrentReadersSurviveCompaction in
+     * tests/store/test_result_store.cc). milserve compacts on
+     * graceful shutdown so a long-lived store does not grow
+     * unboundedly with superseded records.
+     */
+    void compact();
+
     /** Distinct records currently served. */
     std::size_t size() const;
 

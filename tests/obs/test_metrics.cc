@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/histogram.hh"
 #include "common/sim_error.hh"
 #include "obs/metrics.hh"
@@ -101,6 +103,85 @@ TEST(MetricsRegistry, HistogramRejectsBadPercentile)
     MetricsRegistry registry;
     EXPECT_THROW(registry.addHistogram("gap", &hist, {1.5}),
                  ConfigError);
+}
+
+TEST(MetricsRender, JsonIsCompactAndInRegistrationOrder)
+{
+    std::uint64_t hits = 42;
+    std::uint64_t total = 84;
+    MetricsRegistry registry;
+    registry.addCounter("hits", [&] { return hits; });
+    registry.addCounter("total", [&] { return total; });
+    registry.addGauge("load", [] { return 0.5; });
+    registry.addRatio("hit_rate", "hits", "total");
+    EXPECT_EQ(registry.renderJson(),
+              "{\"hits\":42,\"total\":84,\"load\":0.5,"
+              "\"hit_rate\":0.5}");
+
+    hits = 0;
+    total = 0; // Probes are live; 0/0 renders as 0 (CSV convention).
+    EXPECT_EQ(registry.renderJson(),
+              "{\"hits\":0,\"total\":0,\"load\":0.5,"
+              "\"hit_rate\":0}");
+}
+
+TEST(MetricsRender, JsonRendersNonFiniteGaugesAsNull)
+{
+    MetricsRegistry registry;
+    registry.addGauge("bad", [] {
+        return std::numeric_limits<double>::quiet_NaN();
+    });
+    registry.addGauge("inf", [] {
+        return std::numeric_limits<double>::infinity();
+    });
+    EXPECT_EQ(registry.renderJson(), "{\"bad\":null,\"inf\":null}");
+}
+
+TEST(MetricsRender, PrometheusEmitsTypedSamples)
+{
+    MetricsRegistry registry;
+    registry.addCounter("reqs_total", [] {
+        return std::uint64_t(7);
+    });
+    registry.addGauge("queue.depth", [] { return 3.0; });
+    EXPECT_EQ(registry.renderPrometheus("milserve_"),
+              "# TYPE milserve_reqs_total counter\n"
+              "milserve_reqs_total 7\n"
+              "# TYPE milserve_queue_depth gauge\n"
+              "milserve_queue_depth 3\n");
+}
+
+TEST(MetricsRender, PrometheusSpellsNonFiniteThePrometheusWay)
+{
+    MetricsRegistry registry;
+    registry.addGauge("nan", [] {
+        return std::numeric_limits<double>::quiet_NaN();
+    });
+    registry.addGauge("pinf", [] {
+        return std::numeric_limits<double>::infinity();
+    });
+    registry.addGauge("ninf", [] {
+        return -std::numeric_limits<double>::infinity();
+    });
+    const std::string out = registry.renderPrometheus("");
+    EXPECT_NE(out.find("nan NaN\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("pinf +Inf\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("ninf -Inf\n"), std::string::npos) << out;
+}
+
+TEST(MetricsRender, LineIsGreppableKeyValuePairs)
+{
+    // The milsweep/milserve `store:` stderr format: scripts grep
+    // e.g. 'simulated=0 ' out of this exact rendering.
+    std::uint64_t simulated = 0;
+    MetricsRegistry registry;
+    registry.addCounter("simulated", [&] { return simulated; });
+    registry.addCounter("store_hits", [] {
+        return std::uint64_t(12);
+    });
+    EXPECT_EQ(registry.renderLine(), "simulated=0 store_hits=12");
+    simulated = 5;
+    EXPECT_EQ(registry.renderLine(), "simulated=5 store_hits=12");
 }
 
 } // anonymous namespace

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/http.hh"
+
+namespace mil::serve
+{
+namespace
+{
+
+RequestParser::Status
+parseAll(const std::string &wire, HttpRequest *out = nullptr,
+         ParseLimits limits = {})
+{
+    RequestParser parser(limits);
+    const auto status = parser.parse(wire);
+    if (out && status == RequestParser::Status::Done)
+        *out = parser.request();
+    return status;
+}
+
+TEST(RequestParser, ParsesASimpleGet)
+{
+    HttpRequest req;
+    ASSERT_EQ(parseAll("GET /v1/metrics?format=prometheus HTTP/1.1"
+                       "\r\nHost: localhost\r\nAccept: */*\r\n\r\n",
+                       &req),
+              RequestParser::Status::Done);
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.path, "/v1/metrics");
+    EXPECT_EQ(req.query, "format=prometheus");
+    EXPECT_EQ(req.versionMinor, 1);
+    ASSERT_NE(req.header("host"), nullptr); // Names lower-cased.
+    EXPECT_EQ(*req.header("host"), "localhost");
+    EXPECT_EQ(req.header("x-absent"), nullptr);
+    EXPECT_TRUE(req.body.empty());
+    EXPECT_TRUE(req.keepAlive());
+}
+
+TEST(RequestParser, ParsesAPostBodyAndReportsConsumed)
+{
+    const std::string wire =
+        "POST /v1/sweep HTTP/1.1\r\nContent-Length: 11\r\n\r\n"
+        "ops=5&ber=0";
+    RequestParser parser;
+    ASSERT_EQ(parser.parse(wire), RequestParser::Status::Done);
+    EXPECT_EQ(parser.request().body, "ops=5&ber=0");
+    EXPECT_EQ(parser.consumed(), wire.size());
+}
+
+TEST(RequestParser, VerdictIndependentOfByteChunking)
+{
+    const std::string wire =
+        "POST /v1/sweep HTTP/1.1\r\nContent-Length: 5\r\n\r\nops=1"
+        "GET /healthz HTTP/1.1\r\n\r\n"; // Pipelined follower.
+    // Feed one byte at a time: NeedMore until the first request is
+    // complete, never an error, and the follower stays unconsumed.
+    RequestParser parser;
+    const std::size_t firstLen = wire.find("ops=1") + 5;
+    for (std::size_t n = 1; n < firstLen; ++n)
+        ASSERT_EQ(parser.parse(wire.substr(0, n)),
+                  RequestParser::Status::NeedMore)
+            << n;
+    ASSERT_EQ(parser.parse(wire), RequestParser::Status::Done);
+    EXPECT_EQ(parser.request().body, "ops=1");
+    EXPECT_EQ(parser.consumed(), firstLen);
+
+    // The remainder parses as the next request.
+    RequestParser next;
+    ASSERT_EQ(next.parse(wire.substr(parser.consumed())),
+              RequestParser::Status::Done);
+    EXPECT_EQ(next.request().path, "/healthz");
+}
+
+TEST(RequestParser, RejectsOversizedHeaderSection)
+{
+    ParseLimits limits;
+    limits.maxHeaderBytes = 256;
+    const std::string wire = "GET / HTTP/1.1\r\nX-Pad: " +
+        std::string(512, 'a') + "\r\n\r\n";
+    RequestParser parser(limits);
+    ASSERT_EQ(parser.parse(wire), RequestParser::Status::Error);
+    EXPECT_EQ(parser.httpStatus(), 431);
+
+    // A blank-line-free flood past the cap is rejected too -- the
+    // parser must not wait forever for the terminator.
+    RequestParser flood(limits);
+    ASSERT_EQ(flood.parse("GET / HTTP/1.1\r\nX: " +
+                          std::string(512, 'b')),
+              RequestParser::Status::Error);
+    EXPECT_EQ(flood.httpStatus(), 431);
+}
+
+TEST(RequestParser, RejectsOversizedBodyWithoutBufferingIt)
+{
+    ParseLimits limits;
+    limits.maxBodyBytes = 64;
+    // The declared length alone triggers the refusal -- no body
+    // bytes needed, so a hostile client cannot make the server
+    // buffer the payload first.
+    RequestParser parser(limits);
+    ASSERT_EQ(parser.parse("POST /v1/sweep HTTP/1.1\r\n"
+                           "Content-Length: 65\r\n\r\n"),
+              RequestParser::Status::Error);
+    EXPECT_EQ(parser.httpStatus(), 413);
+}
+
+TEST(RequestParser, RejectsMalformedRequestLines)
+{
+    for (const char *wire : {
+             "GET\r\n\r\n",
+             "GET /\r\n\r\n",
+             "GET / HTTP/1.1 extra\r\n\r\n",
+             "GET relative HTTP/1.1\r\n\r\n",
+             "GET /a\tb HTTP/1.1\r\n\r\n",
+             " / HTTP/1.1\r\n\r\n",
+             "GET / FTP/1.1\r\n\r\n",
+         }) {
+        RequestParser parser;
+        ASSERT_EQ(parser.parse(wire), RequestParser::Status::Error)
+            << wire;
+        EXPECT_EQ(parser.httpStatus(), 400) << wire;
+    }
+}
+
+TEST(RequestParser, RejectsUnsupportedHttpVersions)
+{
+    RequestParser parser;
+    ASSERT_EQ(parser.parse("GET / HTTP/2.0\r\n\r\n"),
+              RequestParser::Status::Error);
+    EXPECT_EQ(parser.httpStatus(), 505);
+}
+
+TEST(RequestParser, RejectsMalformedHeaders)
+{
+    for (const char *wire : {
+             "GET / HTTP/1.1\r\nNoColon\r\n\r\n",
+             "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",
+             "GET / HTTP/1.1\r\n: empty\r\n\r\n",
+             "GET / HTTP/1.1\r\nA: b\r\n folded\r\n\r\n",
+             "GET / HTTP/1.1\r\nA: \x01\r\n\r\n",
+         }) {
+        RequestParser parser;
+        ASSERT_EQ(parser.parse(wire), RequestParser::Status::Error)
+            << wire;
+        EXPECT_EQ(parser.httpStatus(), 400) << wire;
+    }
+}
+
+TEST(RequestParser, RejectsContentLengthGames)
+{
+    for (const char *wire : {
+             "POST / HTTP/1.1\r\nContent-Length: 1\r\n"
+             "Content-Length: 1\r\n\r\nx",
+             "POST / HTTP/1.1\r\nContent-Length: two\r\n\r\n",
+             "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+             "POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n",
+             "POST / HTTP/1.1\r\nContent-Length: "
+             "99999999999999999\r\n\r\n",
+         }) {
+        RequestParser parser;
+        ASSERT_EQ(parser.parse(wire), RequestParser::Status::Error)
+            << wire;
+        EXPECT_EQ(parser.httpStatus(), 400) << wire;
+    }
+}
+
+TEST(RequestParser, RefusesTransferEncodingLoudly)
+{
+    RequestParser parser;
+    ASSERT_EQ(parser.parse("POST / HTTP/1.1\r\n"
+                           "Transfer-Encoding: chunked\r\n\r\n"),
+              RequestParser::Status::Error);
+    EXPECT_EQ(parser.httpStatus(), 501);
+}
+
+TEST(HttpRequest, KeepAliveDefaultsPerVersion)
+{
+    HttpRequest req;
+    ASSERT_EQ(parseAll("GET / HTTP/1.1\r\n\r\n", &req),
+              RequestParser::Status::Done);
+    EXPECT_TRUE(req.keepAlive());
+    ASSERT_EQ(parseAll("GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+                       &req),
+              RequestParser::Status::Done);
+    EXPECT_FALSE(req.keepAlive());
+    ASSERT_EQ(parseAll("GET / HTTP/1.0\r\n\r\n", &req),
+              RequestParser::Status::Done);
+    EXPECT_FALSE(req.keepAlive());
+    ASSERT_EQ(parseAll("GET / HTTP/1.0\r\n"
+                       "Connection: Keep-Alive\r\n\r\n",
+                       &req),
+              RequestParser::Status::Done);
+    EXPECT_TRUE(req.keepAlive());
+}
+
+TEST(HttpResponse, RendersFramedWireBytes)
+{
+    HttpResponse resp;
+    resp.status = 200;
+    resp.contentType = "text/csv";
+    resp.body = "a,b\n1,2\n";
+    EXPECT_EQ(resp.render(true),
+              "HTTP/1.1 200 OK\r\n"
+              "Content-Type: text/csv\r\n"
+              "Content-Length: 8\r\n"
+              "Connection: keep-alive\r\n"
+              "\r\n"
+              "a,b\n1,2\n");
+    EXPECT_NE(resp.render(false).find("Connection: close"),
+              std::string::npos);
+    resp.closeConnection = true; // Overrides the request side.
+    EXPECT_NE(resp.render(true).find("Connection: close"),
+              std::string::npos);
+}
+
+TEST(HttpResponse, ErrorResponsesCloseAfterFramingFailures)
+{
+    EXPECT_TRUE(errorResponse(400, "x").closeConnection);
+    EXPECT_TRUE(errorResponse(431, "x").closeConnection);
+    EXPECT_TRUE(errorResponse(413, "x").closeConnection);
+    EXPECT_TRUE(errorResponse(501, "x").closeConnection);
+    // A domain-level miss does not poison the connection.
+    EXPECT_FALSE(errorResponse(404, "x").closeConnection);
+    EXPECT_FALSE(errorResponse(405, "x").closeConnection);
+    EXPECT_EQ(errorResponse(404, "no such job").body,
+              "404 Not Found: no such job\n");
+}
+
+} // anonymous namespace
+} // namespace mil::serve

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "serve/job_manager.hh"
+#include "sim/sweep_runner.hh"
+#include "store/result_store.hh"
+
+namespace mil::serve
+{
+namespace
+{
+
+std::string
+freshDir(const std::string &tag)
+{
+    static int counter = 0;
+    const std::string dir = testing::TempDir() + "mil_jobs_" + tag +
+        "_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** Tiny 4-cell grid (the test_sweep_store sizing). */
+SweepGridSpec
+smallSpec()
+{
+    SweepGridSpec spec;
+    spec.set("systems", "ddr4");
+    spec.set("workloads", "GUPS,MM");
+    spec.set("policies", "DBI,MiL");
+    spec.set("ops", "150");
+    spec.set("scale", "0.1");
+    return spec;
+}
+
+/** Poll until the job leaves queued/running (sanitizers are slow). */
+JobSnapshot
+waitForSettled(JobManager &jobs, const std::string &id)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::minutes(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+        const auto snap = jobs.status(id);
+        if (!snap)
+            break;
+        if (snap->state == "done" || snap->state == "error")
+            return *snap;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ADD_FAILURE() << "job " << id << " never settled";
+    return {};
+}
+
+/** milsweep's bytes for the same grid, computed directly. */
+std::string
+referenceCsv(const SweepGrid &grid)
+{
+    SweepRunner runner(2);
+    const auto results = runner.run(grid);
+    std::ostringstream os;
+    writeSweepCsv(os, results);
+    return os.str();
+}
+
+TEST(JobManager, RunsAJobAndServesMilsweepIdenticalCsv)
+{
+    const std::string dir = freshDir("run");
+    store::ResultStore store(dir, "v-test");
+    JobManager jobs(&store, 2);
+
+    const SweepGridSpec spec = smallSpec();
+    const JobSnapshot submitted = jobs.submit(spec);
+    EXPECT_EQ(submitted.id, "job-1");
+    EXPECT_FALSE(submitted.deduped);
+    EXPECT_EQ(submitted.spec, spec.canonical());
+    EXPECT_EQ(submitted.cellsTotal, spec.grid.size());
+
+    const JobSnapshot done = waitForSettled(jobs, submitted.id);
+    EXPECT_EQ(done.state, "done");
+    EXPECT_EQ(done.cellsDone, spec.grid.size());
+    EXPECT_EQ(done.stats.simulated, spec.grid.size());
+    EXPECT_EQ(done.stats.storeHits, 0u);
+
+    const auto csv = jobs.csv(submitted.id);
+    ASSERT_TRUE(csv.has_value());
+    EXPECT_EQ(*csv, referenceCsv(spec.grid));
+}
+
+TEST(JobManager, ResubmissionAfterCompletionRunsWarmFromStore)
+{
+    const std::string dir = freshDir("warm");
+    store::ResultStore store(dir, "v-test");
+    JobManager jobs(&store, 2);
+
+    const SweepGridSpec spec = smallSpec();
+    const JobSnapshot cold = jobs.submit(spec);
+    const std::string coldCsv =
+        *jobs.csv(waitForSettled(jobs, cold.id).id);
+
+    // Same grid again: a *new* job (the first finished, so there is
+    // nothing to dedupe onto) that serves every cell from the store.
+    const JobSnapshot warm = jobs.submit(spec);
+    EXPECT_NE(warm.id, cold.id);
+    EXPECT_FALSE(warm.deduped);
+    const JobSnapshot done = waitForSettled(jobs, warm.id);
+    EXPECT_EQ(done.state, "done");
+    EXPECT_EQ(done.stats.simulated, 0u);
+    EXPECT_EQ(done.stats.storeHits, spec.grid.size());
+    EXPECT_EQ(*jobs.csv(warm.id), coldCsv);
+}
+
+TEST(JobManager, IdenticalInFlightGridsDedupeOntoOneJob)
+{
+    const std::string dir = freshDir("dedupe");
+    store::ResultStore store(dir, "v-test");
+    // One cell thread: the first job occupies the scheduler while
+    // the second sits in the queue, where the duplicate must land.
+    JobManager jobs(&store, 1);
+
+    const JobSnapshot first = jobs.submit(smallSpec());
+
+    SweepGridSpec other = smallSpec();
+    other.set("seed", "7");
+    const JobSnapshot queued = jobs.submit(other);
+    EXPECT_NE(queued.id, first.id);
+
+    const JobSnapshot duplicate = jobs.submit(other);
+    EXPECT_TRUE(duplicate.deduped);
+    EXPECT_EQ(duplicate.id, queued.id);
+
+    EXPECT_EQ(waitForSettled(jobs, first.id).state, "done");
+    EXPECT_EQ(waitForSettled(jobs, queued.id).state, "done");
+}
+
+TEST(JobManager, UnknownIdsAndUnfinishedJobsHaveNoCsv)
+{
+    const std::string dir = freshDir("unknown");
+    store::ResultStore store(dir, "v-test");
+    JobManager jobs(&store, 1);
+    EXPECT_FALSE(jobs.status("job-999").has_value());
+    EXPECT_FALSE(jobs.csv("job-999").has_value());
+    jobs.shutdown();
+}
+
+TEST(JobManager, ShutdownFailsQueuedJobsLoudly)
+{
+    const std::string dir = freshDir("shutdown");
+    store::ResultStore store(dir, "v-test");
+    JobManager jobs(&store, 1);
+
+    const JobSnapshot running = jobs.submit(smallSpec());
+    SweepGridSpec other = smallSpec();
+    other.set("seed", "1");
+    const JobSnapshot queued = jobs.submit(other);
+    jobs.shutdown();
+
+    // The queued job must not be left "queued" forever against a
+    // dead scheduler; the running one either finished or drained as
+    // an interrupted error -- never silently vanished.
+    const auto queuedNow = jobs.status(queued.id);
+    ASSERT_TRUE(queuedNow.has_value());
+    EXPECT_EQ(queuedNow->state, "error");
+    EXPECT_EQ(queuedNow->error, "daemon shutting down");
+    const auto runningNow = jobs.status(running.id);
+    ASSERT_TRUE(runningNow.has_value());
+    EXPECT_TRUE(runningNow->state == "done" ||
+                runningNow->state == "error")
+        << runningNow->state;
+
+    // Idempotent, including from the destructor after this.
+    jobs.shutdown();
+}
+
+TEST(JobManager, RegistersLiveJobCounters)
+{
+    const std::string dir = freshDir("metrics");
+    store::ResultStore store(dir, "v-test");
+    JobManager jobs(&store, 2);
+    obs::MetricsRegistry registry;
+    jobs.registerMetrics(registry);
+    for (const char *name :
+         {"jobs_submitted", "jobs_deduped", "jobs_completed",
+          "jobs_failed", "jobs_queue_depth", "cells_simulated",
+          "cells_from_store"})
+        EXPECT_TRUE(registry.has(name)) << name;
+
+    const auto counter = [&](const char *name) {
+        return registry.metrics()[registry.index(name)].counter();
+    };
+    EXPECT_EQ(counter("jobs_submitted"), 0u);
+    const JobSnapshot snap = jobs.submit(smallSpec());
+    EXPECT_EQ(counter("jobs_submitted"), 1u);
+    waitForSettled(jobs, snap.id);
+    EXPECT_EQ(counter("jobs_completed"), 1u);
+    EXPECT_EQ(counter("cells_simulated"), smallSpec().grid.size());
+}
+
+} // anonymous namespace
+} // namespace mil::serve

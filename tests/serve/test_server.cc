@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+#include "serve/server.hh"
+
+namespace mil::serve
+{
+namespace
+{
+
+/** A server running on a background thread for one test. */
+class TestServer
+{
+  public:
+    explicit TestServer(HttpServer::Handler handler,
+                        ServerConfig config = {})
+    {
+        config.port = 0;
+        config.stop = [this] { return stop_.load(); };
+        server_ =
+            std::make_unique<HttpServer>(config, std::move(handler));
+        thread_ = std::thread([this] { server_->serve(); });
+    }
+
+    ~TestServer()
+    {
+        stop_.store(true);
+        thread_.join();
+    }
+
+    std::uint16_t port() const { return server_->port(); }
+    HttpServer &server() { return *server_; }
+
+  private:
+    std::atomic<bool> stop_{false};
+    std::unique_ptr<HttpServer> server_;
+    std::thread thread_;
+};
+
+/** Blocking client socket connected to 127.0.0.1:port. */
+class Client
+{
+  public:
+    explicit Client(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        connected_ =
+            ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0;
+    }
+
+    ~Client()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool connected() const { return connected_; }
+
+    void send(const std::string &bytes)
+    {
+        ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(),
+                         MSG_NOSIGNAL),
+                  static_cast<ssize_t>(bytes.size()));
+    }
+
+    /**
+     * One full response: headers, then Content-Length body bytes.
+     * Empty string on timeout or early close.
+     */
+    std::string readResponse(int timeoutMs = 60000)
+    {
+        // buf_ persists across calls: pipelined responses can land
+        // in one recv, and the follower must not be dropped.
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeoutMs);
+        while (std::chrono::steady_clock::now() < deadline) {
+            const std::size_t headEnd = buf_.find("\r\n\r\n");
+            if (headEnd != std::string::npos) {
+                const std::size_t bodyStart = headEnd + 4;
+                const std::size_t cl =
+                    buf_.find("Content-Length: ");
+                if (cl == std::string::npos || cl > headEnd)
+                    break;
+                const std::size_t len = std::stoull(
+                    buf_.substr(cl + 16,
+                                buf_.find("\r\n", cl) - cl - 16));
+                if (buf_.size() >= bodyStart + len) {
+                    const std::string resp =
+                        buf_.substr(0, bodyStart + len);
+                    buf_.erase(0, bodyStart + len);
+                    return resp;
+                }
+            }
+            pollfd pfd{fd_, POLLIN, 0};
+            if (::poll(&pfd, 1, 100) <= 0)
+                continue;
+            char chunk[4096];
+            const ssize_t n =
+                ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                break; // Closed (or error) mid-read.
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        }
+        const std::string resp = buf_;
+        buf_.clear();
+        return resp;
+    }
+
+    /** Has the peer closed (EOF observed within @p timeoutMs)? */
+    bool peerClosed(int timeoutMs = 60000)
+    {
+        pollfd pfd{fd_, POLLIN, 0};
+        if (::poll(&pfd, 1, timeoutMs) <= 0)
+            return false;
+        char byte;
+        return ::recv(fd_, &byte, 1, MSG_PEEK) == 0;
+    }
+
+  private:
+    int fd_ = -1;
+    bool connected_ = false;
+    std::string buf_;
+};
+
+HttpResponse
+echoHandler(const HttpRequest &req)
+{
+    HttpResponse resp;
+    resp.body = req.method + " " + req.path + "\n";
+    return resp;
+}
+
+TEST(HttpServer, BindsAnEphemeralPortAndServes)
+{
+    TestServer server(echoHandler);
+    ASSERT_NE(server.port(), 0);
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send("GET /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+    const std::string resp = client.readResponse();
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(resp.find("GET /hello\n"), std::string::npos);
+    EXPECT_GE(server.server().connectionsAccepted(), 1u);
+}
+
+TEST(HttpServer, RefusesARelistenOnABusyPort)
+{
+    TestServer server(echoHandler);
+    ServerConfig clash;
+    clash.port = server.port();
+    EXPECT_THROW(HttpServer(clash, echoHandler), ConfigError);
+    EXPECT_THROW(
+        [] {
+            ServerConfig bad;
+            bad.host = "not-an-ip";
+            HttpServer(bad, echoHandler);
+        }(),
+        ConfigError);
+}
+
+TEST(HttpServer, KeepAliveServesPipelinedRequests)
+{
+    TestServer server(echoHandler);
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    // Both requests in one write: the server must answer both, in
+    // order, on the same connection.
+    client.send("GET /first HTTP/1.1\r\n\r\n"
+                "GET /second HTTP/1.1\r\n\r\n");
+    EXPECT_NE(client.readResponse().find("GET /first\n"),
+              std::string::npos);
+    EXPECT_NE(client.readResponse().find("GET /second\n"),
+              std::string::npos);
+}
+
+TEST(HttpServer, ConcurrentClientsAllGetAnswered)
+{
+    TestServer server(echoHandler);
+    constexpr int kClients = 8;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            Client client(server.port());
+            if (!client.connected())
+                return;
+            for (int r = 0; r < 4; ++r) {
+                client.send("GET /c" + std::to_string(i) +
+                            " HTTP/1.1\r\n\r\n");
+                if (client.readResponse().find(
+                        "/c" + std::to_string(i)) !=
+                    std::string::npos)
+                    ok.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load(), kClients * 4);
+}
+
+TEST(HttpServer, MalformedRequestGets400AndAClose)
+{
+    TestServer server(echoHandler);
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send("NOT-HTTP\r\n\r\n");
+    const std::string resp = client.readResponse();
+    EXPECT_NE(resp.find("HTTP/1.1 400"), std::string::npos);
+    EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+    EXPECT_TRUE(client.peerClosed());
+}
+
+TEST(HttpServer, OversizedHeadersGet431)
+{
+    ServerConfig config;
+    config.limits.maxHeaderBytes = 512;
+    TestServer server(echoHandler, config);
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send("GET / HTTP/1.1\r\nX-Flood: " +
+                std::string(2048, 'a') + "\r\n\r\n");
+    EXPECT_NE(client.readResponse().find("HTTP/1.1 431"),
+              std::string::npos);
+}
+
+TEST(HttpServer, OversizedBodyGets413)
+{
+    ServerConfig config;
+    config.limits.maxBodyBytes = 64;
+    TestServer server(echoHandler, config);
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send("POST / HTTP/1.1\r\nContent-Length: 1024\r\n\r\n");
+    EXPECT_NE(client.readResponse().find("HTTP/1.1 413"),
+              std::string::npos);
+}
+
+TEST(HttpServer, SlowLorisGets408AfterTheRequestTimeout)
+{
+    ServerConfig config;
+    config.requestTimeoutMs = 200;
+    TestServer server(echoHandler, config);
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    // A partial request that never completes: the server must cut
+    // the connection with 408 instead of holding the worker hostage.
+    client.send("GET /slow HTTP/1.1\r\nX-Dribble: a");
+    const std::string resp = client.readResponse();
+    EXPECT_NE(resp.find("HTTP/1.1 408"), std::string::npos) << resp;
+    EXPECT_TRUE(client.peerClosed());
+}
+
+TEST(HttpServer, HandlerExceptionsBecome500NotACrash)
+{
+    TestServer server([](const HttpRequest &) -> HttpResponse {
+        throw std::runtime_error("handler bug");
+    });
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send("GET / HTTP/1.1\r\n\r\n");
+    const std::string resp = client.readResponse();
+    EXPECT_NE(resp.find("HTTP/1.1 500"), std::string::npos);
+    EXPECT_NE(resp.find("handler bug"), std::string::npos);
+
+    // The daemon is still alive and serving.
+    Client again(server.port());
+    ASSERT_TRUE(again.connected());
+    again.send("GET / HTTP/1.1\r\n\r\n");
+    EXPECT_NE(again.readResponse().find("HTTP/1.1 500"),
+              std::string::npos);
+}
+
+TEST(HttpServer, StopPredicateDrainsAndCloses)
+{
+    auto server = std::make_unique<TestServer>(echoHandler);
+    const std::uint16_t port = server->port();
+    {
+        Client client(port);
+        ASSERT_TRUE(client.connected());
+        client.send("GET / HTTP/1.1\r\n\r\n");
+        EXPECT_NE(client.readResponse().find("200 OK"),
+                  std::string::npos);
+    }
+    server.reset(); // Sets the stop flag and joins serve().
+    Client late(port);
+    // The listener is gone: either the connect fails outright or the
+    // kernel-accepted connection is closed without an answer.
+    if (late.connected()) {
+        late.send("GET / HTTP/1.1\r\n\r\n");
+        EXPECT_EQ(late.readResponse(2000).find("200 OK"),
+                  std::string::npos);
+    }
+}
+
+} // anonymous namespace
+} // namespace mil::serve

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "serve/service.hh"
+#include "sim/sweep_runner.hh"
+#include "store/result_store.hh"
+
+namespace mil::serve
+{
+namespace
+{
+
+std::string
+freshDir(const std::string &tag)
+{
+    static int counter = 0;
+    const std::string dir = testing::TempDir() + "mil_service_" +
+        tag + "_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** One store + manager + service per fixture-style helper. */
+struct ServiceUnderTest
+{
+    explicit ServiceUnderTest(const std::string &tag)
+        : store(freshDir(tag), "v-test"), jobs(&store, 2),
+          service(&store, &jobs, "v-test")
+    {
+    }
+
+    store::ResultStore store;
+    JobManager jobs;
+    MilServeService service;
+
+    HttpResponse get(const std::string &target)
+    {
+        HttpRequest req;
+        req.method = "GET";
+        req.target = target;
+        const std::size_t qmark = target.find('?');
+        req.path = target.substr(0, qmark);
+        req.query = qmark == std::string::npos
+            ? ""
+            : target.substr(qmark + 1);
+        return service.handle(req);
+    }
+
+    HttpResponse post(const std::string &path,
+                      const std::string &body)
+    {
+        HttpRequest req;
+        req.method = "POST";
+        req.target = path;
+        req.path = path;
+        req.body = body;
+        return service.handle(req);
+    }
+};
+
+constexpr const char *kSmallGrid =
+    "systems=ddr4&workloads=GUPS,MM&policies=DBI,MiL"
+    "&ops=150&scale=0.1";
+
+/** Pull "field":"value" out of a (known-shape) JSON body. */
+std::string
+jsonField(const std::string &body, const std::string &field)
+{
+    const std::string needle = "\"" + field + "\":\"";
+    const std::size_t at = body.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t start = at + needle.size();
+    return body.substr(start, body.find('"', start) - start);
+}
+
+std::string
+waitForDone(ServiceUnderTest &sut, const std::string &id)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::minutes(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+        const HttpResponse resp = sut.get("/v1/jobs/" + id);
+        EXPECT_EQ(resp.status, 200);
+        const std::string state = jsonField(resp.body, "state");
+        if (state == "done" || state == "error")
+            return resp.body;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ADD_FAILURE() << "job " << id << " never settled";
+    return "";
+}
+
+TEST(MilServeService, HealthzReportsTheCodeVersionStamp)
+{
+    ServiceUnderTest sut("health");
+    const HttpResponse resp = sut.get("/healthz");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "ok v-test\n");
+}
+
+TEST(MilServeService, RoutesRejectUnknownPathsAndWrongMethods)
+{
+    ServiceUnderTest sut("routes");
+    EXPECT_EQ(sut.get("/nope").status, 404);
+    EXPECT_EQ(sut.get("/v1/sweep").status, 405);
+    EXPECT_EQ(sut.post("/healthz", "").status, 405);
+    EXPECT_EQ(sut.post("/v1/metrics", "").status, 405);
+    EXPECT_EQ(sut.get("/v1/jobs/job-1/extra").status, 404);
+    EXPECT_EQ(sut.get("/v1/jobs/no-such-id").status, 404);
+    EXPECT_EQ(sut.get("/v1/jobs/no-such-id/csv").status, 404);
+}
+
+TEST(MilServeService, SubmitRejectsBadGridsWithTheParserMessage)
+{
+    ServiceUnderTest sut("badgrid");
+    const HttpResponse bogusKey = sut.post("/v1/sweep", "warp=9");
+    EXPECT_EQ(bogusKey.status, 400);
+    EXPECT_NE(bogusKey.body.find("unknown grid key 'warp'"),
+              std::string::npos);
+    const HttpResponse badName =
+        sut.post("/v1/sweep", "systems=ddr5");
+    EXPECT_EQ(badName.status, 400);
+    EXPECT_NE(badName.body.find("unknown system 'ddr5'"),
+              std::string::npos);
+    const HttpResponse badValue = sut.post("/v1/sweep", "ops=lots");
+    EXPECT_EQ(badValue.status, 400);
+}
+
+TEST(MilServeService, SubmitPollFetchServesMilsweepIdenticalCsv)
+{
+    ServiceUnderTest sut("flow");
+    const HttpResponse accepted = sut.post("/v1/sweep", kSmallGrid);
+    ASSERT_EQ(accepted.status, 202);
+    EXPECT_EQ(accepted.contentType, "application/json");
+    const std::string id = jsonField(accepted.body, "id");
+    ASSERT_FALSE(id.empty()) << accepted.body;
+
+    const std::string done = waitForDone(sut, id);
+    EXPECT_EQ(jsonField(done, "state"), "done");
+    EXPECT_NE(done.find("\"cells_done\":4"), std::string::npos)
+        << done;
+    EXPECT_NE(done.find("\"simulated\":4"), std::string::npos)
+        << done;
+
+    const HttpResponse csv = sut.get("/v1/jobs/" + id + "/csv");
+    ASSERT_EQ(csv.status, 200);
+    EXPECT_EQ(csv.contentType, "text/csv");
+
+    // Byte-identity with the batch tool's emission path.
+    const SweepGridSpec spec = SweepGridSpec::parseForm(kSmallGrid);
+    SweepRunner runner(2);
+    std::ostringstream reference;
+    writeSweepCsv(reference, runner.run(spec.grid));
+    EXPECT_EQ(csv.body, reference.str());
+
+    // Resubmitting the finished grid runs warm from the store.
+    const HttpResponse again = sut.post("/v1/sweep", kSmallGrid);
+    ASSERT_EQ(again.status, 202);
+    const std::string warmId = jsonField(again.body, "id");
+    EXPECT_NE(warmId, id);
+    const std::string warmDone = waitForDone(sut, warmId);
+    EXPECT_NE(warmDone.find("\"simulated\":0"), std::string::npos)
+        << warmDone;
+    EXPECT_NE(warmDone.find("\"store_hits\":4"), std::string::npos)
+        << warmDone;
+    EXPECT_EQ(sut.get("/v1/jobs/" + warmId + "/csv").body, csv.body);
+}
+
+TEST(MilServeService, CsvBeforeCompletionIsA409WithStatus)
+{
+    ServiceUnderTest sut("pending");
+    // Occupy the (serial) scheduler, then queue a second job whose
+    // CSV cannot be ready when we ask for it.
+    const std::string firstId = jsonField(
+        sut.post("/v1/sweep", kSmallGrid).body, "id");
+    const std::string queuedId = jsonField(
+        sut.post("/v1/sweep", std::string(kSmallGrid) + "&seed=9")
+            .body,
+        "id");
+    const HttpResponse notReady =
+        sut.get("/v1/jobs/" + queuedId + "/csv");
+    if (notReady.status == 409) {
+        EXPECT_EQ(jsonField(notReady.body, "id"), queuedId);
+        EXPECT_NE(jsonField(notReady.body, "state"), "done");
+    } else {
+        // Only acceptable when the job genuinely finished already.
+        EXPECT_EQ(notReady.status, 200);
+    }
+    waitForDone(sut, firstId);
+    waitForDone(sut, queuedId);
+}
+
+TEST(MilServeService, MetricsRenderJsonAndPrometheus)
+{
+    ServiceUnderTest sut("metrics");
+    sut.service.setExtraMetrics([](obs::MetricsRegistry &registry) {
+        registry.addCounter("extra_probe",
+                            [] { return std::uint64_t(5); });
+    });
+
+    const HttpResponse json = sut.get("/v1/metrics");
+    EXPECT_EQ(json.status, 200);
+    EXPECT_EQ(json.contentType, "application/json");
+    for (const char *key :
+         {"\"store_hits\":", "\"jobs_submitted\":",
+          "\"jobs_queue_depth\":", "\"http_requests\":",
+          "\"extra_probe\":5"})
+        EXPECT_NE(json.body.find(key), std::string::npos)
+            << key << " missing from " << json.body;
+
+    for (const char *target :
+         {"/metrics", "/v1/metrics?format=prometheus"}) {
+        const HttpResponse prom = sut.get(target);
+        EXPECT_EQ(prom.status, 200);
+        EXPECT_NE(prom.body.find(
+                      "# TYPE milserve_store_hits counter\n"),
+                  std::string::npos)
+            << target;
+        EXPECT_NE(prom.body.find("milserve_extra_probe 5\n"),
+                  std::string::npos)
+            << target;
+    }
+
+    // http_requests counts the handled requests above.
+    EXPECT_GE(sut.service.requestsServed(), 3u);
+}
+
+} // anonymous namespace
+} // namespace mil::serve

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/sim_error.hh"
+#include "sim/grid_spec.hh"
+#include "workloads/workload.hh"
+
+namespace mil
+{
+namespace
+{
+
+TEST(SweepGridSpec, DefaultsMatchTheHistoricMilsweepGrid)
+{
+    const SweepGridSpec spec;
+    EXPECT_EQ(spec.grid.systems,
+              std::vector<std::string>{"ddr4"});
+    EXPECT_EQ(spec.grid.workloads, workloadNames());
+    EXPECT_EQ(spec.grid.policies,
+              (std::vector<std::string>{"DBI", "MiL"}));
+    EXPECT_EQ(spec.grid.opsPerThread, 3000u);
+    EXPECT_DOUBLE_EQ(spec.grid.scale, 0.25);
+    EXPECT_EQ(spec.grid.lookahead, 8u);
+    EXPECT_EQ(spec.grid.baseSeed, 0u);
+    EXPECT_DOUBLE_EQ(spec.grid.ber, 0.0);
+    EXPECT_EQ(spec.grid.tickMode, TickMode::Auto);
+    EXPECT_EQ(spec.grid.shards, 0u);
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SweepGridSpec, SetAppliesEveryKey)
+{
+    SweepGridSpec spec;
+    spec.set("systems", "ddr4,lpddr3");
+    spec.set("workloads", "GUPS");
+    spec.set("policies", "DBI,BL16");
+    spec.set("lookahead", "4");
+    spec.set("ops", "500");
+    spec.set("scale", "0.125");
+    spec.set("seed", "42");
+    spec.set("ber", "1e-6");
+    spec.set("tick-mode", "cycle");
+    spec.set("shards", "2");
+    EXPECT_EQ(spec.grid.systems,
+              (std::vector<std::string>{"ddr4", "lpddr3"}));
+    EXPECT_EQ(spec.grid.workloads,
+              std::vector<std::string>{"GUPS"});
+    EXPECT_EQ(spec.grid.policies,
+              (std::vector<std::string>{"DBI", "BL16"}));
+    EXPECT_EQ(spec.grid.lookahead, 4u);
+    EXPECT_EQ(spec.grid.opsPerThread, 500u);
+    EXPECT_DOUBLE_EQ(spec.grid.scale, 0.125);
+    EXPECT_EQ(spec.grid.baseSeed, 42u);
+    EXPECT_DOUBLE_EQ(spec.grid.ber, 1e-6);
+    EXPECT_EQ(spec.grid.tickMode, TickMode::Cycle);
+    EXPECT_EQ(spec.grid.shards, 2u);
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SweepGridSpec, WorkloadsAllExpandsToEveryWorkload)
+{
+    SweepGridSpec spec;
+    spec.set("workloads", "GUPS");
+    spec.set("workloads", "all");
+    EXPECT_EQ(spec.grid.workloads, workloadNames());
+}
+
+TEST(SweepGridSpec, RejectsUnknownKeysAndMalformedValues)
+{
+    SweepGridSpec spec;
+    EXPECT_THROW(spec.set("bogus", "1"), ConfigError);
+    EXPECT_THROW(spec.set("ops", "many"), ConfigError);
+    EXPECT_THROW(spec.set("ops", "-1"), ConfigError);
+    EXPECT_THROW(spec.set("ops", "12x"), ConfigError);
+    EXPECT_THROW(spec.set("scale", "fast"), ConfigError);
+    EXPECT_THROW(spec.set("lookahead", "99999999999"), ConfigError);
+    EXPECT_THROW(spec.set("ber", "1.5"), ConfigError);
+    EXPECT_THROW(spec.set("ber", "-0.1"), ConfigError);
+    EXPECT_THROW(spec.set("tick-mode", "warp"), ConfigError);
+}
+
+TEST(SweepGridSpec, ValidateRejectsUnknownNames)
+{
+    SweepGridSpec bad_system;
+    bad_system.set("systems", "ddr5");
+    EXPECT_THROW(bad_system.validate(), ConfigError);
+
+    SweepGridSpec bad_workload;
+    bad_workload.set("workloads", "SPECINT");
+    EXPECT_THROW(bad_workload.validate(), ConfigError);
+
+    SweepGridSpec bad_policy;
+    bad_policy.set("policies", "XOR");
+    EXPECT_THROW(bad_policy.validate(), ConfigError);
+}
+
+TEST(SweepGridSpec, ParseFormAcceptsAmpersandsNewlinesAndEscapes)
+{
+    const SweepGridSpec spec = SweepGridSpec::parseForm(
+        "systems=ddr4%2Clpddr3&ops=500\nscale=0.5\r\nseed=7&&\n");
+    EXPECT_EQ(spec.grid.systems,
+              (std::vector<std::string>{"ddr4", "lpddr3"}));
+    EXPECT_EQ(spec.grid.opsPerThread, 500u);
+    EXPECT_DOUBLE_EQ(spec.grid.scale, 0.5);
+    EXPECT_EQ(spec.grid.baseSeed, 7u);
+}
+
+TEST(SweepGridSpec, ParseFormRejectsGarbage)
+{
+    EXPECT_THROW(SweepGridSpec::parseForm("ops"), ConfigError);
+    EXPECT_THROW(SweepGridSpec::parseForm("ops=1&bogus=2"),
+                 ConfigError);
+    EXPECT_THROW(SweepGridSpec::parseForm("ops=%zz"), ConfigError);
+    EXPECT_THROW(SweepGridSpec::parseForm("ops=%2"), ConfigError);
+}
+
+TEST(SweepGridSpec, CanonicalRoundTripsThroughParseForm)
+{
+    // The daemon's dedupe key and the one-parser guarantee in one
+    // property: canonical() is a fixed point of parseForm.
+    SweepGridSpec spec;
+    spec.set("systems", "lpddr3,ddr4");
+    spec.set("workloads", "CG,GUPS");
+    spec.set("policies", "BL16,DBI");
+    spec.set("ops", "1234");
+    spec.set("scale", "0.3333333333333333");
+    spec.set("seed", "987654321");
+    spec.set("ber", "2.5e-7");
+    spec.set("tick-mode", "event");
+    spec.set("shards", "3");
+    const std::string canonical = spec.canonical();
+    EXPECT_EQ(SweepGridSpec::parseForm(canonical).canonical(),
+              canonical);
+
+    // Different spellings of the same grid canonicalize identically.
+    const SweepGridSpec respelled = SweepGridSpec::parseForm(
+        "shards=3&tick-mode=event&ber=2.5e-07&seed=987654321"
+        "&scale=0.3333333333333333&ops=1234&policies=BL16%2CDBI"
+        "&workloads=CG,GUPS&systems=lpddr3,ddr4");
+    EXPECT_EQ(respelled.canonical(), canonical);
+}
+
+TEST(SweepGridSpec, CanonicalDistinguishesDifferentGrids)
+{
+    SweepGridSpec a;
+    SweepGridSpec b;
+    b.set("seed", "1");
+    EXPECT_NE(a.canonical(), b.canonical());
+}
+
+TEST(SweepGridSpec, IsGridKeyCoversExactlyTheSpecLanguage)
+{
+    for (const char *key :
+         {"systems", "workloads", "policies", "lookahead", "ops",
+          "scale", "seed", "ber", "tick-mode", "shards"})
+        EXPECT_TRUE(SweepGridSpec::isGridKey(key)) << key;
+    EXPECT_FALSE(SweepGridSpec::isGridKey("jobs"));
+    EXPECT_FALSE(SweepGridSpec::isGridKey("store"));
+    EXPECT_FALSE(SweepGridSpec::isGridKey("out"));
+}
+
+} // anonymous namespace
+} // namespace mil

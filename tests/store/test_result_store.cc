@@ -413,6 +413,43 @@ TEST(ResultStore, ConcurrentPutsAndFindsAreRaceClean)
     }
 }
 
+TEST(ResultStore, ConcurrentReadersSurviveCompaction)
+{
+    const std::string dir = freshDir("compact");
+    constexpr int kOps = 96;
+    {
+        ResultStore store(dir, "v1");
+        // Seed a few records so the first compaction has survivors
+        // to rewrite while readers are already active.
+        for (int i = 0; i < 8; ++i)
+            store.put(record(i));
+        ThreadPool pool(7);
+        pool.parallelFor(kOps, [&](std::size_t i) {
+            if (i % 16 == 0)
+                store.compact();
+            store.put(record(static_cast<int>(i)));
+            // A reader racing the rewrite must always be served.
+            const auto rec = store.find(
+                "key-" + std::to_string(i % 8));
+            EXPECT_TRUE(rec.has_value()) << i;
+        });
+        EXPECT_EQ(store.size(), static_cast<std::size_t>(kOps));
+        EXPECT_GE(store.stats().compactions, 1u);
+    }
+    // The decisive half of the regression: a put() racing (or
+    // following) a compaction must append to the *new* log, not the
+    // renamed-away inode -- an append to the old inode is durably
+    // written and never read again, which only a reopen can expose.
+    ResultStore store(dir, "v1");
+    EXPECT_EQ(store.size(), static_cast<std::size_t>(kOps));
+    EXPECT_EQ(store.stats().quarantined, 0u);
+    for (int i = 0; i < kOps; ++i) {
+        const auto rec = store.find("key-" + std::to_string(i));
+        ASSERT_TRUE(rec.has_value()) << i;
+        EXPECT_EQ(rec->csv, record(i).csv);
+    }
+}
+
 TEST(StoreMetrics, RegistersEveryCounterWithLiveProbes)
 {
     StoreStats stats;

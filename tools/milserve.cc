@@ -1,0 +1,169 @@
+/**
+ * @file
+ * milserve -- sweep-as-a-service over the crash-safe result store.
+ *
+ * A long-running daemon answering sweep-grid queries from a
+ * ResultStore and scheduling the misses as simulation jobs, so the
+ * store warms monotonically across every client instead of per
+ * milsweep invocation. The grid language, the store format, and the
+ * CSV bytes are exactly milsweep's (shared via SweepGridSpec,
+ * ResultStore, and writeSweepCsv); the daemon adds only queueing,
+ * dedupe, and HTTP. See docs/serving.md for the API:
+ *
+ *   POST /v1/sweep           submit a grid, get a job id back
+ *   GET  /v1/jobs/<id>       job status with per-cell progress
+ *   GET  /v1/jobs/<id>/csv   the CSV, byte-identical to milsweep's
+ *   GET  /v1/metrics         store + job counters (JSON; /metrics or
+ *                            ?format=prometheus for Prometheus text)
+ *   GET  /healthz            liveness + the code-version stamp
+ *
+ * Shutdown mirrors milsweep's drain contract: the first SIGINT or
+ * SIGTERM stops the accept loop, drains in-flight connections and
+ * cells (every completed cell already persisted), compacts and
+ * flushes the store, and exits 130/143; a second signal exits
+ * immediately.
+ *
+ * Usage:
+ *   milserve --store DIR [--host A.B.C.D] [--port N] [--jobs N]
+ *            [--conn-threads N] [--timeout-ms N] [--max-header N]
+ *            [--max-body N] [--retry-errors]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cli_util.hh"
+#include "common/interrupt.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "sim/sweep_runner.hh"
+#include "store/result_store.hh"
+
+using namespace mil;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --store DIR [--host A.B.C.D] [--port N] "
+        "[--jobs N] [--conn-threads N] [--timeout-ms N] "
+        "[--max-header N] [--max-body N] [--retry-errors]\n",
+        argv0);
+    std::exit(2);
+}
+
+/** Strict non-negative integer flag value (ConfigError on garbage). */
+unsigned long long
+parseCount(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(value, &end, 10);
+    if (errno != 0 || end == value || *end != '\0')
+        throw ConfigError(strformat("%s: '%s' is not a count",
+                                    flag.c_str(), value));
+    return n;
+}
+
+int
+run(int argc, char **argv)
+{
+    std::string store_dir;
+    serve::ServerConfig config;
+    unsigned jobs = SweepRunner::defaultJobs();
+    bool retry_errors = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--store")
+            store_dir = value();
+        else if (arg == "--host")
+            config.host = value();
+        else if (arg == "--port")
+            config.port =
+                static_cast<std::uint16_t>(parseCount(arg, value()));
+        else if (arg == "--jobs")
+            jobs = static_cast<unsigned>(parseCount(arg, value()));
+        else if (arg == "--conn-threads")
+            config.connThreads =
+                static_cast<unsigned>(parseCount(arg, value()));
+        else if (arg == "--timeout-ms")
+            config.requestTimeoutMs =
+                static_cast<int>(parseCount(arg, value()));
+        else if (arg == "--max-header")
+            config.limits.maxHeaderBytes =
+                static_cast<std::size_t>(parseCount(arg, value()));
+        else if (arg == "--max-body")
+            config.limits.maxBodyBytes =
+                static_cast<std::size_t>(parseCount(arg, value()));
+        else if (arg == "--retry-errors")
+            retry_errors = true;
+        else
+            usage(argv[0]);
+    }
+    if (store_dir.empty() || jobs == 0 || config.connThreads == 0 ||
+        config.requestTimeoutMs <= 0)
+        usage(argv[0]);
+
+    // Open (and recover) the store and bind the listener before
+    // announcing readiness: an unusable store path or occupied port
+    // must fail fast as ConfigError (exit 2), not after clients
+    // started submitting.
+    installInterruptHandlers();
+    store::ResultStore store(store_dir, sweepStoreVersion());
+    serve::JobManager job_manager(&store, jobs, retry_errors);
+    serve::MilServeService service(&store, &job_manager,
+                                   sweepStoreVersion());
+    serve::HttpServer server(config, [&](const serve::HttpRequest &r) {
+        return service.handle(r);
+    });
+    service.setExtraMetrics([&](obs::MetricsRegistry &registry) {
+        registry.addCounter("http_connections", [&server] {
+            return server.connectionsAccepted();
+        });
+    });
+
+    // The startup line scripts wait for; the bound port matters when
+    // --port 0 let the kernel pick.
+    std::fprintf(stderr, "milserve: listening on %s:%u store=%s\n",
+                 config.host.c_str(), unsigned(server.port()),
+                 store.dir().c_str());
+    std::fflush(stderr);
+
+    server.serve();
+
+    // Graceful drain: no new connections (serve() returned), cancel
+    // undispatched cells, let in-flight cells finish and persist,
+    // then leave the log compacted for the next daemon.
+    job_manager.shutdown();
+    store.compact();
+    store.flush();
+
+    const store::StoreStats store_stats = store.stats();
+    obs::MetricsRegistry registry;
+    store::registerStoreMetrics(registry, store_stats);
+    job_manager.registerMetrics(registry);
+    std::fprintf(stderr, "store: %s\n",
+                 registry.renderLine().c_str());
+
+    return interruptRequested() ? interruptExitCode() : 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return mil::cli::runToolMain("milserve",
+                                 [&] { return run(argc, argv); });
+}

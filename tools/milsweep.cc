@@ -9,6 +9,11 @@
  * the CSV is byte-identical whatever the job count; --jobs 1 is the
  * historic serial loop.
  *
+ * Grid flags are the SweepGridSpec keys (sim/grid_spec.hh) spelled
+ * with a leading "--": the exact language `POST /v1/sweep` on
+ * milserve accepts, parsed by the same code, so the batch tool and
+ * the daemon cannot drift.
+ *
  * A cell that fails (bad timing, watchdog stall, ...) is reported as
  * a status=error CSV row carrying the message; the other cells still
  * complete, and the exit code is 1 when any cell errored. Unknown
@@ -33,19 +38,18 @@
  *            [--tick-mode cycle|event|auto] [--no-skip] [--list]
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli_util.hh"
 #include "common/interrupt.hh"
+#include "sim/grid_spec.hh"
 #include "sim/report.hh"
 #include "sim/sweep_runner.hh"
 #include "store/result_store.hh"
@@ -54,18 +58,6 @@ using namespace mil;
 
 namespace
 {
-
-std::vector<std::string>
-splitCsv(const std::string &arg)
-{
-    std::vector<std::string> out;
-    std::istringstream is(arg);
-    std::string item;
-    while (std::getline(is, item, ','))
-        if (!item.empty())
-            out.push_back(item);
-    return out;
-}
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -110,51 +102,10 @@ listAxes()
     return 0;
 }
 
-std::string
-joined(const std::vector<std::string> &names)
-{
-    std::string out;
-    for (const auto &n : names)
-        out += (out.empty() ? "" : " ") + n;
-    return out;
-}
-
-/**
- * Reject unknown grid axes before any simulation starts: a typo'd
- * name should cost milliseconds, not surface as an error row after
- * the rest of the grid has burned CPU-hours.
- */
-void
-validateGrid(const SweepGrid &grid)
-{
-    const auto known_systems = systemNames();
-    for (const auto &s : grid.systems)
-        if (std::find(known_systems.begin(), known_systems.end(), s) ==
-            known_systems.end())
-            throw ConfigError(strformat(
-                "unknown system '%s' (choose from: %s)", s.c_str(),
-                joined(known_systems).c_str()));
-    const auto known_workloads = workloadNames();
-    for (const auto &w : grid.workloads)
-        if (std::find(known_workloads.begin(), known_workloads.end(),
-                      w) == known_workloads.end())
-            throw ConfigError(strformat(
-                "unknown workload '%s' (choose from: %s)", w.c_str(),
-                joined(known_workloads).c_str()));
-    for (const auto &p : grid.policies)
-        if (!isPolicyName(p))
-            throw ConfigError(strformat(
-                "unknown policy '%s' (choose from: %s BLn)", p.c_str(),
-                joined(policyNames()).c_str()));
-}
-
 int
 run(int argc, char **argv)
 {
-    SweepGrid grid;
-    grid.workloads = workloadNames();
-    grid.opsPerThread = 3000;
-    grid.scale = 0.25;
+    SweepGridSpec spec;
     unsigned jobs = SweepRunner::defaultJobs();
     std::string out_path;
     std::string trace_dir;
@@ -169,30 +120,16 @@ run(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
-        if (arg == "--systems")
-            grid.systems = splitCsv(value());
-        else if (arg == "--workloads") {
-            const std::string v = value();
-            grid.workloads = v == "all" ? workloadNames() : splitCsv(v);
-        } else if (arg == "--policies")
-            grid.policies = splitCsv(value());
-        else if (arg == "--ops")
-            grid.opsPerThread = std::strtoull(value(), nullptr, 10);
-        else if (arg == "--scale")
-            grid.scale = std::strtod(value(), nullptr);
-        else if (arg == "--lookahead")
-            grid.lookahead = static_cast<unsigned>(
-                std::strtoul(value(), nullptr, 10));
+        // Grid axes go through the shared spec parser -- the same
+        // keys, value syntax, and errors as milserve's POST body.
+        if (arg.rfind("--", 0) == 0 &&
+            SweepGridSpec::isGridKey(arg.substr(2)))
+            spec.set(arg.substr(2), value());
+        else if (arg == "--no-skip")
+            spec.set("tick-mode", "cycle");
         else if (arg == "--jobs")
             jobs = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 10));
-        else if (arg == "--shards")
-            grid.shards = static_cast<unsigned>(
-                std::strtoul(value(), nullptr, 10));
-        else if (arg == "--seed")
-            grid.baseSeed = std::strtoull(value(), nullptr, 10);
-        else if (arg == "--ber")
-            grid.ber = std::strtod(value(), nullptr);
         else if (arg == "--out")
             out_path = value();
         else if (arg == "--trace-dir")
@@ -203,10 +140,6 @@ run(int argc, char **argv)
             resume = true;
         else if (arg == "--retry-errors")
             retry_errors = true;
-        else if (arg == "--tick-mode")
-            grid.tickMode = parseTickMode(value());
-        else if (arg == "--no-skip")
-            grid.tickMode = TickMode::Cycle;
         else if (arg == "--list")
             return listAxes();
         else
@@ -214,7 +147,8 @@ run(int argc, char **argv)
     }
     if (jobs == 0)
         usage(argv[0]);
-    validateGrid(grid);
+    spec.validate();
+    const SweepGrid &grid = spec.grid;
 
     if (store_dir.empty() && (resume || retry_errors))
         throw ConfigError(strformat(
@@ -277,21 +211,24 @@ run(int argc, char **argv)
 
     if (result_store) {
         result_store->flush();
-        // Effectiveness counters, via the same MetricsRegistry the
-        // CSV schema and --list use, one greppable stderr line:
-        // incremental-run savings are observable, not anecdotal.
+        // Effectiveness counters, via the same MetricsRegistry (and
+        // renderLine format) milserve's /v1/metrics uses, one
+        // greppable stderr line: incremental-run savings are
+        // observable, not anecdotal.
         const store::StoreStats store_stats = result_store->stats();
         obs::MetricsRegistry registry;
+        registry.addCounter("simulated", [&run_stats] {
+            return std::uint64_t(run_stats.simulated);
+        });
+        registry.addCounter("cancelled", [&run_stats] {
+            return std::uint64_t(run_stats.cancelled);
+        });
+        registry.addCounter("errors_skipped", [&run_stats] {
+            return std::uint64_t(run_stats.errorsSkipped);
+        });
         store::registerStoreMetrics(registry, store_stats);
-        std::fprintf(stderr, "store: simulated=%zu cancelled=%zu "
-                     "errors_skipped=%zu",
-                     run_stats.simulated, run_stats.cancelled,
-                     run_stats.errorsSkipped);
-        for (const auto &metric : registry.metrics())
-            std::fprintf(stderr, " %s=%llu", metric.name.c_str(),
-                         static_cast<unsigned long long>(
-                             metric.counter()));
-        std::fprintf(stderr, "\n");
+        std::fprintf(stderr, "store: %s\n",
+                     registry.renderLine().c_str());
     }
 
     if (interruptRequested()) {
@@ -307,28 +244,19 @@ run(int argc, char **argv)
         return interruptExitCode();
     }
 
-    CsvReporter::writeHeader(*os);
+    // One shared emission path with milserve's /v1/jobs/<id>/csv
+    // (byte-identity is asserted end to end by
+    // scripts/test_milserve.sh).
+    writeSweepCsv(*os, results);
     std::size_t errors = 0;
     for (const auto &cell : results) {
-        // Store-backed cells carry their pre-rendered metric columns
-        // (for cache hits: the stored bytes); everything else renders
-        // inline. Both paths share CsvReporter's formatting.
-        if (!cell.csv.empty())
-            CsvReporter::writeRowParts(*os, cell.spec.system,
-                                       cell.spec.workload,
-                                       cell.spec.policy, cell.csv,
-                                       cell.status, cell.error);
-        else
-            CsvReporter::writeRow(*os, cell.spec.system,
-                                  cell.spec.workload, cell.spec.policy,
-                                  cell.result, cell.status, cell.error);
-        if (!cell.ok()) {
-            ++errors;
-            std::fprintf(stderr, "cell %s/%s/%s failed: %s\n",
-                         cell.spec.system.c_str(),
-                         cell.spec.workload.c_str(),
-                         cell.spec.policy.c_str(), cell.error.c_str());
-        }
+        if (cell.ok())
+            continue;
+        ++errors;
+        std::fprintf(stderr, "cell %s/%s/%s failed: %s\n",
+                     cell.spec.system.c_str(),
+                     cell.spec.workload.c_str(),
+                     cell.spec.policy.c_str(), cell.error.c_str());
     }
     if (!out_path.empty())
         std::fprintf(stderr, "\rwrote %zu rows to %s\n", results.size(),
