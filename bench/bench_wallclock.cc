@@ -31,7 +31,14 @@
  *    speedup is bounded by host cores, so the bench clamps the crew
  *    to std::thread::hardware_concurrency() and records both the
  *    requested and the used count; the floor only gates on hosts
- *    with at least min_host_cores cores.
+ *    with at least min_host_cores cores;
+ *  - datacenter_frontend: datacenter-8ch again, but MM at a small
+ *    scale so the working set is cache-resident and the 64 cores +
+ *    64 L1s -- the front-end phases the two-phase barrier pipeline
+ *    parallelizes -- dominate the tick. Unlike datacenter_shards it
+ *    also carries a small_host_floor: hosts below min_host_cores
+ *    gate against that (the sharded seams must not cost measurable
+ *    wall time at crew 1) instead of skipping.
  */
 
 #include <algorithm>
@@ -68,6 +75,16 @@ struct Scenario
     /// when the host has at least minHostCores cores.
     double floorSpeedup;
     unsigned minHostCores;
+    /// Workload scale for named workloads; 0 = the bench default
+    /// (0.25). Small values shrink the footprint until it is
+    /// cache-resident, which is how a scenario becomes front-end
+    /// bound.
+    double scale = 0.0;
+    /// When > 0, hosts with fewer than minHostCores cores gate
+    /// against this floor instead of being skipped (the crew clamps
+    /// toward 1 there, so this is a "sharded seams are free" floor,
+    /// not a parallelism floor).
+    double smallHostFloor = 0.0;
 };
 
 /**
@@ -120,7 +137,7 @@ runOnce(const Scenario &sc, bool candidate, unsigned shards_used)
         workload = makeLatencyBoundTrace();
     } else {
         WorkloadConfig wc;
-        wc.scale = 0.25;
+        wc.scale = sc.scale > 0.0 ? sc.scale : 0.25;
         workload = makeWorkload(sc.workload, wc);
     }
     const auto policy = makePolicy(sc.policy);
@@ -217,7 +234,8 @@ writeJson(const std::string &path, const std::vector<Row> &rows)
             "      \"floor_speedup\": %.2f,\n"
             "      \"shards_requested\": %u,\n"
             "      \"shards_used\": %u,\n"
-            "      \"min_host_cores\": %u\n"
+            "      \"min_host_cores\": %u,\n"
+            "      \"small_host_floor\": %.2f\n"
             "    }%s\n",
             r.scenario.name.c_str(), r.compare().c_str(),
             static_cast<unsigned long long>(r.candidate.cycles),
@@ -233,6 +251,7 @@ writeJson(const std::string &path, const std::vector<Row> &rows)
                 : 0.0,
             r.speedup(), r.scenario.floorSpeedup, r.scenario.shards,
             r.shardsUsed, r.scenario.minHostCores,
+            r.scenario.smallHostFloor,
             i + 1 < rows.size() ? "," : "");
         os << buf;
     }
@@ -260,13 +279,15 @@ benchMain(int argc, char **argv)
     }
 
     // {name, system, workload, policy, opsPerThread, shards,
-    //  floor_speedup, min_host_cores}
+    //  floor_speedup, min_host_cores[, scale, small_host_floor]}
     const std::vector<Scenario> scenarios = {
         {"latency_bound_trace", "", "", "MiL", 0, 0, 4.0, 1},
         {"mm_mil", "", "MM", "MiL", 8000, 0, 1.0, 1},
         {"gups_dbi", "", "GUPS", "DBI", 8000, 0, 1.0, 1},
         {"datacenter_shards", "datacenter-8ch", "MM", "MiL", 6000, 8,
          2.0, 8},
+        {"datacenter_frontend", "datacenter-8ch", "MM", "MiL", 6000,
+         8, 2.0, 8, 0.05, 1.0},
     };
 
     std::printf("=== wall-clock: candidate vs baseline "

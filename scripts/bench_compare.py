@@ -74,8 +74,13 @@ def main(argv: list[str]) -> int:
         if b is None:
             note = "new scenario (no committed baseline)"
         elif host < int(b.get("min_host_cores", 1)):
-            note = (f"floor not applicable "
-                    f"(needs >= {b.get('min_host_cores')} cores)")
+            small = float(b.get("small_host_floor", 0.0))
+            if small > 0.0:
+                note = (f"small-host floor {small:.2f}x applies "
+                        f"(< {b.get('min_host_cores')} cores)")
+            else:
+                note = (f"floor not applicable "
+                        f"(needs >= {b.get('min_host_cores')} cores)")
         rows.append((name,
                      None if b is None else float(b.get("speedup", 0.0)),
                      float(f.get("speedup", 0.0)),

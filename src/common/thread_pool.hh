@@ -145,6 +145,16 @@ class WorkerCrew
      * Run fn(i) for every participant i in [0, participants());
      * the caller executes fn(0). Blocks until every participant is
      * done; rethrows the lowest-index captured exception, if any.
+     *
+     * Sequential run() regions are cheap enough to issue several
+     * times per simulated cycle -- the sharded engine forks the same
+     * crew for its controller phase and both front-end phases, and
+     * again for event-mode horizon scans and bulk skips. A region
+     * whose fn returns immediately for high-index members (a
+     * partition smaller than the crew) costs those members one
+     * epoch wakeup and one barrier increment. With one participant
+     * run() degenerates to a plain call on the caller: the shards=1
+     * seams stay thread-free.
      */
     void run(const std::function<void(unsigned)> &fn);
 

@@ -415,6 +415,51 @@ Cache::downgradeLine(Addr line_addr)
 }
 
 void
+Cache::deliverResponses(Cycle now)
+{
+    // Deliver matured responses.
+    for (std::size_t i = 0; i < responses_.size();) {
+        if (responses_[i].when <= now) {
+            Response r = responses_[i];
+            responses_[i] = responses_.back();
+            responses_.pop_back();
+            if (r.grantLine != invalidAddr) {
+                auto it = pendingGrants_.find(r.grantLine);
+                if (it != pendingGrants_.end() && --it->second == 0)
+                    pendingGrants_.erase(it);
+            }
+            r.client->accessDone(r.token, now);
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+Cache::drainDeferredSends()
+{
+    // Retry downstream sends (misses and writebacks).
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < sendQueue_.size(); ++i) {
+        if (!downstream_->access(sendQueue_[i], this))
+            sendQueue_[kept++] = sendQueue_[i];
+    }
+    sendQueue_.resize(kept);
+}
+
+void
+Cache::tickLocal(Cycle now)
+{
+    // The split tick is defined for the private L1s only: a shared
+    // directory tick touches sibling caches and the prefetcher, which
+    // must stay on the serial path.
+    mil_assert(!params_.inclusiveOfL1s && prefetcher_ == nullptr,
+               "tickLocal is for private caches only");
+    now_ = now;
+    deliverResponses(now);
+}
+
+void
 Cache::tick(Cycle now)
 {
     now_ = now;
@@ -432,30 +477,8 @@ Cache::tick(Cycle now)
         }
     }
 
-    // Retry downstream sends (misses and writebacks).
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < sendQueue_.size(); ++i) {
-        if (!downstream_->access(sendQueue_[i], this))
-            sendQueue_[kept++] = sendQueue_[i];
-    }
-    sendQueue_.resize(kept);
-
-    // Deliver matured responses.
-    for (std::size_t i = 0; i < responses_.size();) {
-        if (responses_[i].when <= now) {
-            Response r = responses_[i];
-            responses_[i] = responses_.back();
-            responses_.pop_back();
-            if (r.grantLine != invalidAddr) {
-                auto it = pendingGrants_.find(r.grantLine);
-                if (it != pendingGrants_.end() && --it->second == 0)
-                    pendingGrants_.erase(it);
-            }
-            r.client->accessDone(r.token, now);
-        } else {
-            ++i;
-        }
-    }
+    drainDeferredSends();
+    deliverResponses(now);
 }
 
 bool
@@ -478,13 +501,21 @@ Cache::nextEventCycle(Cycle now) const
     return next;
 }
 
-void
-Cache::skipTo(Cycle now)
+std::uint64_t
+Cache::deferredBlockedRetries(Cycle now) const
 {
     const Cycle skipped = now - now_ - 1;
     if (skipped == 0 || sendQueue_.empty())
-        return;
-    downstream_->noteBlockedRetries(sendQueue_.size() * skipped);
+        return 0;
+    return sendQueue_.size() * skipped;
+}
+
+void
+Cache::skipTo(Cycle now)
+{
+    const std::uint64_t blocked = deferredBlockedRetries(now);
+    if (blocked != 0)
+        downstream_->noteBlockedRetries(blocked);
 }
 
 bool

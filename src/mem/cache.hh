@@ -109,6 +109,27 @@ class Cache : public MemLevel, public MemClient
     bool busy() const override;
 
     /**
+     * The sharded front-end splits tick() in two (see System::run).
+     * tickLocal() is the part that only touches this cache and its
+     * own client (advance the local clock, deliver matured
+     * responses): safe to run concurrently across private L1s, since
+     * a delivery only mutates the owning core. The downstream sends
+     * -- which serialize on the shared L2 -- are left queued for
+     * drainDeferredSends(), which the engine calls serially in
+     * ascending core order between the barrier and the core phase.
+     * That order is exactly the serial loop's L1-tick order, so the
+     * shared L2 observes the identical arbitration (MSHR pressure,
+     * directory grants, prefetcher training). Private (non-inclusive,
+     * prefetcher-less) caches only; the shared L2 keeps plain tick().
+     *
+     * tick(now) == tickLocal(now) + drainDeferredSends(): the two
+     * halves commute because a delivery never reads or writes the
+     * send queue and a drain never touches the response list.
+     */
+    void tickLocal(Cycle now);
+    void drainDeferredSends();
+
+    /**
      * Earliest future cycle (> @p now) at which this cache will act
      * on its own: the nearest matured response, a queued send the
      * downstream would accept, or pending prefetches to inject.
@@ -126,6 +147,16 @@ class Cache : public MemLevel, public MemClient
      * downstream's blocked-access counter.
      */
     void skipTo(Cycle now);
+
+    /**
+     * The counter delta skipTo(@p now) would push downstream, without
+     * pushing it. The sharded skip phase computes these per core
+     * group in parallel (pure read), sums, and applies one
+     * noteBlockedRetries on the shared L2 after the join -- addition
+     * commutes, so the final counter matches the serial loop's
+     * per-L1 increments bit for bit.
+     */
+    std::uint64_t deferredBlockedRetries(Cycle now) const;
 
     // MemClient interface (fills arriving from downstream).
     void accessDone(std::uint64_t token, Cycle now) override;
@@ -200,6 +231,7 @@ class Cache : public MemLevel, public MemClient
     void scheduleResponse(Cycle when, std::uint64_t token,
                           MemClient *client,
                           Addr grant_line = invalidAddr);
+    void deliverResponses(Cycle now);
     void handleWriteback(const MemAccess &acc);
     unsigned grantAtDirectory(Way &way, const MemAccess &acc,
                               bool wants_write);

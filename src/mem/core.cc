@@ -57,16 +57,32 @@ Core::fetchNextOp(Thread &t)
 }
 
 void
-Core::performStore(const CoreMemOp &op)
+Core::performStore(Addr addr, std::uint64_t value)
 {
     // Functional update at issue: merge the 8-byte store value into
     // the line image so later bursts carry the program's data.
-    const Addr line_addr = op.addr & ~static_cast<Addr>(lineBytes - 1);
+    const Addr line_addr = addr & ~static_cast<Addr>(lineBytes - 1);
     const unsigned offset =
-        static_cast<unsigned>(op.addr - line_addr) & ~7u;
+        static_cast<unsigned>(addr - line_addr) & ~7u;
     Line line = mem_->read(line_addr);
-    store64(line.data() + offset, op.storeValue);
+    store64(line.data() + offset, value);
     mem_->write(line_addr, line);
+}
+
+void
+Core::setDeferStores(bool defer)
+{
+    if (!defer)
+        applyDeferredStores();
+    deferStores_ = defer;
+}
+
+void
+Core::applyDeferredStores()
+{
+    for (const PendingStore &s : deferredStores_)
+        performStore(s.addr, s.value);
+    deferredStores_.clear();
 }
 
 bool
@@ -92,7 +108,11 @@ Core::tryIssue(Thread &t, unsigned tid, Cycle now)
     }
 
     if (t.op.isWrite) {
-        performStore(t.op);
+        if (deferStores_)
+            deferredStores_.push_back(
+                PendingStore{t.op.addr, t.op.storeValue});
+        else
+            performStore(t.op.addr, t.op.storeValue);
         ++stats_.stores;
     } else {
         ++t.outstanding;

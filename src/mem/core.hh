@@ -89,6 +89,23 @@ class Core : public MemClient
     /** All threads finished and no loads in flight? */
     bool done() const;
 
+    /**
+     * Sharded front-end support: while enabled, tick() buffers the
+     * functional image update of every issued store instead of
+     * merging it into the FunctionalMemory line at issue. The store's
+     * timing side (L1 access, stats) is unchanged -- only the 8-byte
+     * read-merge-write of the line image is deferred, because that
+     * read-modify-write is not atomic across cores ticking in
+     * parallel. The engine calls applyDeferredStores() serially in
+     * ascending core order after the core-phase barrier; nothing
+     * reads the image between the core ticks and the end of the
+     * cycle (controllers encode bursts at their *next* tick), so the
+     * replay is exact: each merge sees precisely the predecessors the
+     * serial loop's issue-time merge saw.
+     */
+    void setDeferStores(bool defer);
+    void applyDeferredStores();
+
     // MemClient interface (L1 responses).
     void accessDone(std::uint64_t token, Cycle now) override;
 
@@ -108,15 +125,24 @@ class Core : public MemClient
         bool finished = false;
     };
 
+    /** One buffered functional store (see setDeferStores). */
+    struct PendingStore
+    {
+        Addr addr;
+        std::uint64_t value;
+    };
+
     void fetchNextOp(Thread &t);
     bool tryIssue(Thread &t, unsigned tid, Cycle now);
-    void performStore(const CoreMemOp &op);
+    void performStore(Addr addr, std::uint64_t value);
 
     CoreId id_;
     CoreParams params_;
     MemLevel *l1_;
     FunctionalMemory *mem_;
     std::vector<Thread> threads_;
+    std::vector<PendingStore> deferredStores_;
+    bool deferStores_ = false;
     unsigned rrNext_ = 0;
     Cycle lastTick_ = 0;
     bool ticked_ = false;

@@ -29,6 +29,7 @@ DramPort::access(const MemAccess &acc, MemClient *client)
         return false;
 
     MemRequest req;
+    // Serial-only id allocation (see the header's access() contract).
     req.id = nextId_++;
     req.lineAddr = acc.lineAddr;
     req.isWrite = is_write;

@@ -30,6 +30,15 @@ class DramPort : public MemLevel, public MemResponseSink
              FunctionalMemory *backing);
 
     // MemLevel interface.
+    //
+    // access() allocates the monotonically increasing request id that
+    // fault seeding and trace correlation key on, so it is
+    // serial-only by contract. The sharded engine honors this
+    // structurally: the port is reached exclusively from the shared
+    // L2 (its tick and the core-ordered drainDeferredSends pass),
+    // both of which run on the calling thread between barriers --
+    // never from a crew member. wouldAccept() is the one member
+    // called concurrently (core/L1 horizon scans); it is a pure read.
     bool access(const MemAccess &acc, MemClient *client) override;
 
     /** access() rejects exactly when the target channel is full. */

@@ -185,7 +185,13 @@ SweepGridSpec::set(const std::string &key, const std::string &value)
     } else if (key == "tick-mode") {
         grid.tickMode = parseTickMode(value);
     } else if (key == "shards") {
-        grid.shards = parseU32(key, value);
+        if (value == "auto") {
+            grid.shardsAuto = true;
+            grid.shards = 0;
+        } else {
+            grid.shardsAuto = false;
+            grid.shards = parseU32(key, value);
+        }
     } else {
         throw ConfigError(strformat(
             "unknown grid key '%s' (choose from: %s)", key.c_str(),
@@ -255,7 +261,9 @@ SweepGridSpec::canonical() const
         "&seed=" + std::to_string(grid.baseSeed) +
         "&ber=" + renderDouble(grid.ber) +
         "&tick-mode=" + tickModeName(grid.tickMode) +
-        "&shards=" + std::to_string(grid.shards);
+        "&shards=" +
+        (grid.shardsAuto ? std::string("auto")
+                         : std::to_string(grid.shards));
 }
 
 } // namespace mil

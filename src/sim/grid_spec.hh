@@ -15,7 +15,13 @@
  *   systems=a,b      workloads=a,b|all   policies=a,b
  *   ops=N            scale=F             lookahead=X
  *   seed=S           ber=P               tick-mode=cycle|event|auto
- *   shards=N
+ *   shards=N|auto
+ *
+ * shards=auto defers the count to run time: hardware threads minus
+ * the runner's --jobs workers, at least 1 (SweepGrid::autoShards) --
+ * so a sweep that saturates its cells with --jobs still gives each
+ * cell the spare cores, and a big single-cell run on an idle host
+ * gets all of them.
  *
  * Values are parsed strictly: a malformed number or an unknown key
  * throws mil::ConfigError (exit 2 at the CLI, HTTP 400 from the

@@ -163,10 +163,22 @@ SweepRunner::defaultJobs()
     return ThreadPool::hardwareConcurrency();
 }
 
+unsigned
+SweepGrid::autoShards(unsigned hardware, unsigned jobs)
+{
+    if (hardware == 0)
+        return 1;
+    return hardware > jobs ? hardware - jobs : 1;
+}
+
 std::vector<SweepResult>
 SweepRunner::run(const SweepGrid &grid, const Progress &progress) const
 {
-    const std::vector<RunSpec> specs = grid.expand();
+    SweepGrid resolved = grid;
+    if (resolved.shardsAuto)
+        resolved.shards = SweepGrid::autoShards(
+            ThreadPool::hardwareConcurrency(), jobs_);
+    const std::vector<RunSpec> specs = resolved.expand();
 
     std::vector<SweepResult> results(specs.size());
     std::mutex state_mutex; // Guards done + stats_.

@@ -67,6 +67,25 @@ struct SweepGrid
      */
     unsigned shards = 0;
 
+    /**
+     * "--shards auto": resolve the shard count at run time from the
+     * host's spare concurrency -- hardware threads minus the sweep's
+     * --jobs workers, clamped to at least 1 (autoShards). The runner
+     * resolves it (SweepRunner::run), so milserve jobs pick it up
+     * through the same one spec parser. When set, `shards` above is
+     * ignored; canonical() renders "shards=auto".
+     */
+    bool shardsAuto = false;
+
+    /**
+     * The "auto" shard-count rule: the hardware threads left over
+     * after @p jobs sweep workers claim theirs, never less than 1
+     * (and 1 when @p hardware is 0 -- hardware_concurrency() may be
+     * unknown). Shard counts above the per-cell clamp
+     * (max(channels, cores)) cost nothing; System::run clamps.
+     */
+    static unsigned autoShards(unsigned hardware, unsigned jobs);
+
     /** Number of cells in the cross product. */
     std::size_t size() const;
 

@@ -254,58 +254,119 @@ System::run(Cycle max_cycles)
 
     // --- the sharded engine (SystemConfig::shards >= 1) ------------
     //
-    // Each simulated cycle splits into a parallel back-end phase and
-    // a serial front-end phase:
+    // Each simulated cycle is a barrier pipeline over one WorkerCrew.
+    // Two component partitions share the crew: channel ch belongs to
+    // crew member ch % ctrl_workers in the controller phase, and core
+    // c (with its private L1) to member c % fe_groups in the
+    // front-end phases.
     //
-    //   1. the per-channel controllers tick concurrently on a
-    //      WorkerCrew (channel ch belongs to crew member ch % crew
-    //      size), with read-response deliveries deferred and, when
-    //      tracing, events buffered per channel;
+    //   1. controller phase: the per-channel controllers tick
+    //      concurrently, with read-response deliveries deferred and,
+    //      when tracing, events buffered per channel;
     //   2. barrier; a captured exception rethrows from the lowest
     //      channel index (the one the serial loop would have thrown);
-    //   3. the per-channel event buffers flush into the main sink in
-    //      channel order -- the order the serial tick loop emits;
-    //   4. the deferred responses deliver in (channel, drain-scan)
-    //      order, which is exactly the serial invocation order
-    //      because a delivery only ever mutates cache/port state,
-    //      never any controller (see setDeferDeliveries);
-    //   5. the front end (port, L2, L1s, cores, sampler) ticks
-    //      serially on the calling thread, as always.
+    //      the per-channel event buffers flush into the main sink in
+    //      channel order -- the order the serial tick loop emits --
+    //      and the deferred responses deliver in (channel,
+    //      drain-scan) order, which is exactly the serial invocation
+    //      order because a delivery only ever mutates cache/port
+    //      state, never any controller (see setDeferDeliveries);
+    //   3. the shared port and L2 tick serially on the caller;
+    //   4. front-end phase A: each core group's L1s run tickLocal()
+    //      concurrently -- local clock plus response delivery, which
+    //      only mutates the owning core -- while their L2-bound sends
+    //      stay queued;
+    //   5. barrier; the staged send queues drain into the shared L2
+    //      serially in ascending core order (drainDeferredSends),
+    //      reproducing the serial loop's L1-tick arbitration exactly:
+    //      MSHR allocation, directory grants/invalidations, and
+    //      prefetcher training all observe the oracle's order;
+    //   6. front-end phase B: each core group's cores tick
+    //      concurrently. A core only touches its own threads and its
+    //      own L1 (the L2 is not reached: a miss is *queued* at the
+    //      L1 for the next cycle's drain, same as the serial loop).
+    //      The one cross-core hazard -- the functional image's
+    //      read-merge-write on stores -- is deferred per core
+    //      (setDeferStores);
+    //   7. barrier; deferred stores apply serially in ascending core
+    //      order, matching the serial loop's issue order;
+    //   8. the sampler ticks serially on the caller.
     //
     // Controllers are mutually independent within a tick -- distinct
     // channels, distinct bank state, data through the internally-
-    // synchronized FunctionalMemory -- so step 1 commutes with the
-    // serial interleaving and every observable byte matches the
-    // shards=0 oracle (asserted by tests/sim/test_shard_engine.cc).
+    // synchronized FunctionalMemory -- and so are the core/L1 groups
+    // once the L2-facing work is staged behind the barrier, so every
+    // observable byte matches the shards=0 oracle (asserted by
+    // tests/sim/test_shard_engine.cc, test_frontend_shards.cc).
+    //
+    // A stateful coding policy serializes the *controller* phase only
+    // (observe()/choose() order is part of the contract); the
+    // front-end phases stay parallel.
+    //
+    // Either half degrades to its serial oracle loop when its worker
+    // count is 1: one member would execute the whole phase in
+    // ascending order anyway, so the staging seams (deferred
+    // deliveries, split L1 ticks, deferred stores) would buy nothing
+    // and only cost queue traffic. shards=1 is therefore the oracle
+    // wearing the sharded engine's entry points; real staging starts
+    // at 2 workers (asserted free on small hosts by the
+    // datacenter_frontend bench's small_host_floor).
     const unsigned nchannels =
         static_cast<unsigned>(controllers_.size());
+    const unsigned ncores = static_cast<unsigned>(cores_.size());
     const bool sharded = config_.shards >= 1;
     unsigned crew_size = 1;
+    unsigned ctrl_workers = 1;
+    unsigned fe_groups = 1;
     if (sharded) {
-        crew_size = std::min(std::max(config_.shards, 1u), nchannels);
-        if (crew_size > 1 && policy_ != nullptr &&
+        crew_size = std::min(std::max(config_.shards, 1u),
+                             std::max(nchannels, ncores));
+        ctrl_workers = std::min(crew_size, nchannels);
+        fe_groups = std::min(crew_size, ncores);
+        if (ctrl_workers > 1 && policy_ != nullptr &&
             !policy_->stateless()) {
             mil_warn("policy is stateful; the sharded engine keeps "
                      "the controller phase sequential so the "
                      "observe()/choose() order matches the serial "
-                     "oracle");
-            crew_size = 1;
+                     "oracle (core/L1 groups still tick on %u "
+                     "shards)", fe_groups);
+            ctrl_workers = 1;
         }
     }
     std::optional<WorkerCrew> crew;
     std::vector<obs::MemoryTraceSink> shard_buffers;
     std::vector<std::exception_ptr> shard_errors;
+    std::vector<std::exception_ptr> fe_errors;
+    std::vector<Cycle> horizon_scratch;
+    std::vector<std::uint64_t> skip_scratch;
     if (sharded) {
         crew.emplace(crew_size);
         shard_errors.resize(nchannels);
+        fe_errors.resize(ncores);
+        horizon_scratch.resize(fe_groups);
+        skip_scratch.resize(fe_groups);
         if (tracing())
             shard_buffers.resize(nchannels);
-        for (auto &ctrl : controllers_)
-            ctrl->setDeferDeliveries(true);
+        if (ctrl_workers > 1)
+            for (auto &ctrl : controllers_)
+                ctrl->setDeferDeliveries(true);
+        if (fe_groups > 1)
+            for (auto &core : cores_)
+                core->setDeferStores(true);
     }
 
+    auto rethrow_first = [](std::vector<std::exception_ptr> &errors) {
+        for (const auto &error : errors)
+            if (error)
+                std::rethrow_exception(error);
+    };
+
     auto tickControllers = [&](Cycle cycle) {
-        if (!sharded) {
+        if (!sharded || ctrl_workers == 1) {
+            // One worker (stateful policy, a single shard, or a
+            // one-channel system) ticks the channels in ascending
+            // order with immediate deliveries -- the serial oracle
+            // loop itself, so the deferral seam costs nothing here.
             for (auto &ctrl : controllers_)
                 ctrl->tick(cycle);
             return;
@@ -316,7 +377,10 @@ System::run(Cycle max_cycles)
                 controllers_[ch]->setTraceSink(&shard_buffers[ch], ch);
         }
         crew->run([&](unsigned member) {
-            for (unsigned ch = member; ch < nchannels; ch += crew_size) {
+            if (member >= ctrl_workers)
+                return;
+            for (unsigned ch = member; ch < nchannels;
+                 ch += ctrl_workers) {
                 try {
                     controllers_[ch]->tick(cycle);
                 } catch (...) {
@@ -328,9 +392,7 @@ System::run(Cycle max_cycles)
             for (unsigned ch = 0; ch < nchannels; ++ch)
                 controllers_[ch]->setTraceSink(sink_, ch);
         }
-        for (const auto &error : shard_errors)
-            if (error)
-                std::rethrow_exception(error);
+        rethrow_first(shard_errors);
         if (buffering) {
             for (auto &buffer : shard_buffers) {
                 for (const auto &event : buffer.events())
@@ -342,14 +404,57 @@ System::run(Cycle max_cycles)
             ctrl->deliverDeferred();
     };
 
+    auto tickFrontEnd = [&](Cycle cycle) {
+        if (!sharded || fe_groups == 1) {
+            // A single group walks the cores in ascending order --
+            // exactly the oracle's arbitration and store order -- so
+            // the staged-send and deferred-store seams would only
+            // add queue traffic. Take the serial loop.
+            for (auto &l1 : l1s_)
+                l1->tick(cycle);
+            for (auto &core : cores_)
+                core->tick(cycle);
+            return;
+        }
+        // Phase A: group-local L1 ticks (clock + response delivery).
+        crew->run([&](unsigned member) {
+            if (member >= fe_groups)
+                return;
+            for (unsigned c = member; c < ncores; c += fe_groups) {
+                try {
+                    l1s_[c]->tickLocal(cycle);
+                } catch (...) {
+                    fe_errors[c] = std::current_exception();
+                }
+            }
+        });
+        rethrow_first(fe_errors);
+        // The staged sends drain into the shared L2 in ascending core
+        // order -- the serial oracle's arbitration order.
+        for (unsigned c = 0; c < ncores; ++c)
+            l1s_[c]->drainDeferredSends();
+        // Phase B: group-local core ticks, functional stores staged.
+        crew->run([&](unsigned member) {
+            if (member >= fe_groups)
+                return;
+            for (unsigned c = member; c < ncores; c += fe_groups) {
+                try {
+                    cores_[c]->tick(cycle);
+                } catch (...) {
+                    fe_errors[c] = std::current_exception();
+                }
+            }
+        });
+        rethrow_first(fe_errors);
+        for (auto &core : cores_)
+            core->applyDeferredStores();
+    };
+
     while (now < max_cycles) {
         tickControllers(now);
         port_->tick(now);
         l2_->tick(now);
-        for (auto &l1 : l1s_)
-            l1->tick(now);
-        for (auto &core : cores_)
-            core->tick(now);
+        tickFrontEnd(now);
 
         if (sampler_ != nullptr)
             sampler_->tick(now);
@@ -396,7 +501,36 @@ System::run(Cycle max_cycles)
         auto skip_all = [&](Cycle to) {
             // Bulk-account the skipped range so stats, compute gaps,
             // and sampler intervals match the per-cycle loop bit for
-            // bit.
+            // bit. With front-end shards, each group replays its own
+            // cores and L1s in parallel; the L1s' blocked-retry
+            // deltas against the shared L2 are summed per group and
+            // applied once after the join (addition commutes, so the
+            // counter lands on the serial value).
+            if (sharded && fe_groups > 1) {
+                crew->run([&](unsigned member) {
+                    if (member >= fe_groups)
+                        return;
+                    std::uint64_t blocked = 0;
+                    for (unsigned c = member; c < ncores;
+                         c += fe_groups) {
+                        blocked +=
+                            l1s_[c]->deferredBlockedRetries(to);
+                        cores_[c]->skipTo(to);
+                    }
+                    skip_scratch[member] = blocked;
+                });
+                std::uint64_t blocked = 0;
+                for (std::uint64_t b : skip_scratch)
+                    blocked += b;
+                if (blocked != 0)
+                    l2_->noteBlockedRetries(blocked);
+                for (auto &ctrl : controllers_)
+                    ctrl->skipTo(to);
+                l2_->skipTo(to);
+                if (sampler_ != nullptr)
+                    sampler_->skipTo(to);
+                return;
+            }
             for (auto &ctrl : controllers_)
                 ctrl->skipTo(to);
             l2_->skipTo(to);
@@ -407,10 +541,16 @@ System::run(Cycle max_cycles)
             if (sampler_ != nullptr)
                 sampler_->skipTo(to);
         };
+        auto horizon = [&](Cycle at) {
+            if (sharded && fe_groups > 1)
+                return nextEventCycleSharded(at, *crew, fe_groups,
+                                             horizon_scratch);
+            return nextEventCycle(at);
+        };
 
         Cycle next = now + 1;
         if (event_phase) {
-            next = clamp_skip(nextEventCycle(now));
+            next = clamp_skip(horizon(now));
             if (next > now + 1)
                 skip_all(next);
             if (mode == TickMode::Auto &&
@@ -425,7 +565,7 @@ System::run(Cycle max_cycles)
                 window_start = next;
             }
         } else if (mode == TickMode::Auto && now >= next_probe) {
-            const Cycle cand = clamp_skip(nextEventCycle(now));
+            const Cycle cand = clamp_skip(horizon(now));
             // The poll is already paid for, so harvest whatever skip
             // it found even when staying in the cycle phase -- on a
             // saturated bus this reclaims the refresh-quiesce windows
@@ -450,6 +590,8 @@ System::run(Cycle max_cycles)
     if (sharded) {
         for (auto &ctrl : controllers_)
             ctrl->setDeferDeliveries(false);
+        for (auto &core : cores_)
+            core->setDeferStores(false);
     }
 
     if (sampler_ != nullptr)
@@ -515,6 +657,54 @@ System::nextEventCycle(Cycle now) const
     }
     if (sampler_ != nullptr && consider(sampler_->nextEventCycle(now)))
         return now + 1;
+    return next;
+}
+
+Cycle
+System::nextEventCycleSharded(Cycle now, WorkerCrew &crew,
+                              unsigned fe_groups,
+                              std::vector<Cycle> &scratch) const
+{
+    Cycle next = kCycleNever;
+    auto consider = [&](Cycle c) {
+        if (c < next)
+            next = c;
+        return next <= now + 1;
+    };
+    // Serial short-circuit prefix: on a busy bus the controllers
+    // answer now + 1 from a cached horizon, and forking the crew for
+    // that answer would cost more than the whole serial scan.
+    for (const auto &ctrl : controllers_) {
+        if (consider(ctrl->nextEventCycle(now)))
+            return now + 1;
+    }
+    if (consider(port_->nextEventCycle(now)))
+        return now + 1;
+    if (consider(l2_->nextEventCycle(now)))
+        return now + 1;
+    if (sampler_ != nullptr && consider(sampler_->nextEventCycle(now)))
+        return now + 1;
+    // Core/L1 horizons, min-reduced per core group. Every poll is a
+    // const read (an L1 horizon reads the L2's acceptance state, but
+    // nothing mutates between the ticks and this scan), and min
+    // commutes, so the result is the serial scan's value.
+    const unsigned ncores = static_cast<unsigned>(cores_.size());
+    crew.run([&](unsigned member) {
+        if (member >= fe_groups)
+            return;
+        Cycle local = kCycleNever;
+        for (unsigned c = member; c < ncores; c += fe_groups) {
+            local = std::min(local, l1s_[c]->nextEventCycle(now));
+            if (local <= now + 1)
+                break;
+            local = std::min(local, cores_[c]->nextEventCycle(now));
+            if (local <= now + 1)
+                break;
+        }
+        scratch[member] = local;
+    });
+    for (Cycle c : scratch)
+        next = std::min(next, c);
     return next;
 }
 

@@ -28,6 +28,8 @@
 namespace mil
 {
 
+class WorkerCrew;
+
 /** Everything measured by one simulation. */
 struct SimResult
 {
@@ -154,6 +156,18 @@ class System
      * answer short-circuits the controller queue scans.
      */
     Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * nextEventCycle with the core/L1 scan fanned out over the shard
+     * crew: the serial short-circuit prefix (controllers, port, L2,
+     * sampler) runs on the caller, then each crew member min-reduces
+     * the horizons of its core group into @p scratch. Every poll is a
+     * const read and min is order-independent, so the value equals
+     * the serial scan's for any group count.
+     */
+    Cycle nextEventCycleSharded(Cycle now, WorkerCrew &crew,
+                                unsigned fe_groups,
+                                std::vector<Cycle> &scratch) const;
 
     SystemConfig config_;
     CodingPolicy *policy_;

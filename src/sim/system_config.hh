@@ -64,16 +64,22 @@ struct SystemConfig
 
     /**
      * Intra-run sharding: 0 runs the serial oracle loop untouched;
-     * N >= 1 runs the sharded engine, which ticks the per-channel
-     * memory controllers on min(N, channels) crew threads with a
-     * barrier every simulated cycle and defers their read-response
-     * deliveries into a serial, channel-ordered section. Results,
-     * trace bytes, and sampler CSVs are byte-identical for every
-     * value (asserted by tests/sim/test_shard_engine.cc and the CI
-     * smoke job); shards=1 exercises the engine's deferral seams on
-     * a single thread. Stateful coding policies (MiL-adaptive) force
-     * the engine's controller phase sequential -- see
-     * CodingPolicy::stateless().
+     * N >= 1 runs the sharded engine on a crew of
+     * min(N, max(channels, cores)) threads with barriers every
+     * simulated cycle. The crew ticks both halves of the machine:
+     * the per-channel memory controllers (deferred read-response
+     * deliveries, channel-ordered flush) and the core/L1 groups of
+     * the front end (two-phase pipeline: parallel L1 response
+     * delivery, a serial core-ordered drain of the staged L2 sends,
+     * parallel core issue with deferred functional stores -- see
+     * System::run and docs/performance.md). Results, trace bytes,
+     * and sampler CSVs are byte-identical for every value (asserted
+     * by tests/sim/test_shard_engine.cc,
+     * tests/sim/test_frontend_shards.cc and the CI smoke job);
+     * shards=1 exercises every deferral seam on a single thread.
+     * Stateful coding policies (MiL-adaptive) force the engine's
+     * controller phase sequential -- the front-end phases stay
+     * parallel -- see CodingPolicy::stateless().
      */
     unsigned shards = 0;
 

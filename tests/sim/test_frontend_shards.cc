@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "mil/policies.hh"
+#include "sim/experiment.hh"
+#include "sim/grid_spec.hh"
+#include "sim/report.hh"
+#include "sim/sweep_runner.hh"
+#include "sim/system.hh"
+#include "sim/tick_mode.hh"
+#include "workloads/trace_workload.hh"
+#include "workloads/workload.hh"
+
+/*
+ * Front-end sharding: SystemConfig::shards now ticks the cores and
+ * their private L1s on the WorkerCrew too, through a two-phase
+ * barrier pipeline (parallel L1 response delivery, serial
+ * core-ordered drain into the shared L2, parallel core issue with
+ * deferred functional stores -- see System::run). Like the
+ * controller phase before it, this is an execution strategy, not a
+ * model change: every observable byte must match the shards=0 serial
+ * oracle. These tests pin that down per cycle (capped-run lockstep
+ * ladders), across shard counts {1, 2, 7, 64}, across all three tick
+ * modes, under fault injection with distinct seeds, through forced
+ * tick-mode switches mid-run, and for the stateful-policy fallback
+ * that now serializes only the controller phase. This binary runs
+ * under the ASan/UBSan and TSan CI legs; the crew/front-end
+ * interaction is exactly what TSan is pointed at.
+ */
+
+namespace mil
+{
+namespace
+{
+
+class FrontendShardsEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setenv("MIL_OPS_PER_THREAD", "120", 1);
+        setenv("MIL_SCALE", "0.1", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("MIL_OPS_PER_THREAD");
+        unsetenv("MIL_SCALE");
+    }
+};
+
+/** Serialize every reported metric of one fresh run into a CSV row. */
+std::string
+resultRow(RunSpec spec, unsigned shards)
+{
+    spec.shards = shards;
+    const SimResult r = runSpecFresh(spec);
+    std::ostringstream os;
+    CsvReporter::writeRow(os, spec.system, spec.workload, spec.policy,
+                          r);
+    return os.str();
+}
+
+/**
+ * Run one (config, shards) pair to a cycle cap and serialize the
+ * whole observable state: the CSV metrics row (cycles, ops, bus
+ * bytes, cache stats, energy) plus the per-channel and per-L1-merged
+ * counters the row aggregates. Comparing these at every rung of a
+ * cap ladder is per-cycle lockstep against the oracle: the first
+ * cycle where any core, L1, L2, or controller diverges flips some
+ * counter at that cap.
+ */
+std::string
+cappedStateDump(const std::string &system_name, TickMode mode,
+                unsigned shards, Cycle cap)
+{
+    SystemConfig config = makeSystemConfig(system_name);
+    config.tickMode = mode;
+    config.shards = shards;
+
+    WorkloadConfig wc;
+    wc.scale = 0.1;
+    const WorkloadPtr workload = makeWorkload("MM", wc);
+    const auto policy = makePolicy("MiL");
+    System system(config, *workload, policy.get(), 200);
+    const SimResult r = system.run(cap);
+
+    std::ostringstream os;
+    CsvReporter::writeRow(os, system_name, "MM", "MiL", r);
+    os << "|cycles=" << r.cycles << " ops=" << r.totalOps;
+    os << " l1=" << r.l1.hits << "/" << r.l1.misses << "/"
+       << r.l1.writebacks << "/" << r.l1.upgrades << "/"
+       << r.l1.mshrMerges;
+    os << " l2=" << r.l2.hits << "/" << r.l2.misses << "/"
+       << r.l2.writebacks << "/" << r.l2.blockedAccesses << "/"
+       << r.l2.invalidationsSent << "/" << r.l2.backInvalidations;
+    for (const auto &ch : r.perChannel)
+        os << " ch=" << ch.reads << "/" << ch.writes << "/"
+           << ch.busBusyCycles << "/" << ch.bitsTransferred << "/"
+           << ch.zerosTransferred;
+    return os.str();
+}
+
+TEST(FrontendLockstep, PerCycleStateMatchesOracle)
+{
+    // Per-cycle mode, a dense cap ladder over the warm-up (the
+    // cycles where cores, L1s, the directory, and the controllers
+    // all come alive), then sparse primes deeper in.
+    std::vector<Cycle> caps;
+    for (Cycle c = 1; c <= 61; c += 4)
+        caps.push_back(c);
+    for (Cycle c : {Cycle{97}, Cycle{211}, Cycle{503}, Cycle{1009}})
+        caps.push_back(c);
+    for (Cycle cap : caps) {
+        const std::string oracle =
+            cappedStateDump("ddr4", TickMode::Cycle, 0, cap);
+        EXPECT_EQ(oracle,
+                  cappedStateDump("ddr4", TickMode::Cycle, 2, cap))
+            << "cap " << cap << " shards 2";
+        EXPECT_EQ(oracle,
+                  cappedStateDump("ddr4", TickMode::Cycle, 7, cap))
+            << "cap " << cap << " shards 7";
+    }
+}
+
+TEST(FrontendLockstep, PerCycleStateMatchesOracleEventAndAuto)
+{
+    // The event and auto loops must land on the same state at every
+    // cap too -- the clamp makes max_cycles an event, so a capped
+    // skip stops where the oracle's per-cycle loop stops.
+    for (Cycle cap : {Cycle{33}, Cycle{210}, Cycle{997}}) {
+        const std::string oracle =
+            cappedStateDump("ddr4", TickMode::Cycle, 0, cap);
+        EXPECT_EQ(oracle,
+                  cappedStateDump("ddr4", TickMode::Event, 7, cap))
+            << "cap " << cap << " event";
+        EXPECT_EQ(oracle,
+                  cappedStateDump("ddr4", TickMode::Auto, 7, cap))
+            << "cap " << cap << " auto";
+    }
+}
+
+TEST_F(FrontendShardsEnv, ShardLadderIdenticalOnDatacenterPreset)
+{
+    // The machine the front-end pipeline exists for: 64 cores, 8
+    // channels. 1 degrades every phase to its serial oracle loop
+    // (the boundary case), 2 and 7 stage with uneven groups (7 does
+    // not divide 64), 64 gives every core its own group; anything
+    // larger clamps.
+    RunSpec spec;
+    spec.system = "datacenter-8ch";
+    spec.workload = "MM";
+    spec.policy = "MiL";
+    spec.opsPerThread = 40;
+    const std::string oracle = resultRow(spec, 0);
+    for (unsigned shards : {1u, 2u, 7u, 64u})
+        EXPECT_EQ(oracle, resultRow(spec, shards))
+            << "shards " << shards;
+}
+
+TEST_F(FrontendShardsEnv, AllTickModesIdenticalAcrossShards)
+{
+    RunSpec spec;
+    spec.system = "datacenter-8ch";
+    spec.workload = "GUPS";
+    spec.policy = "DBI";
+    spec.opsPerThread = 40;
+    for (TickMode mode :
+         {TickMode::Cycle, TickMode::Event, TickMode::Auto}) {
+        spec.tickMode = mode;
+        const std::string oracle = resultRow(spec, 0);
+        EXPECT_EQ(oracle, resultRow(spec, 2))
+            << tickModeName(mode) << " shards 2";
+        EXPECT_EQ(oracle, resultRow(spec, 7))
+            << tickModeName(mode) << " shards 7";
+    }
+}
+
+TEST_F(FrontendShardsEnv, FaultInjectionIdenticalAcrossShards)
+{
+    RunSpec spec;
+    spec.system = "datacenter-8ch";
+    spec.workload = "CG";
+    spec.policy = "3LWC";
+    spec.opsPerThread = 40;
+    spec.ber = 1e-6;
+    for (std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{77}}) {
+        spec.seed = seed;
+        const std::string oracle = resultRow(spec, 0);
+        EXPECT_EQ(oracle, resultRow(spec, 7)) << "seed " << seed;
+        EXPECT_EQ(oracle, resultRow(spec, 64)) << "seed " << seed;
+    }
+}
+
+TEST_F(FrontendShardsEnv, StatefulPolicySerializesControllersOnly)
+{
+    // MiL-adaptive forces the *controller* phase sequential; the
+    // core/L1 groups still tick on the crew. The observable contract
+    // is unchanged: byte-identical to the oracle.
+    RunSpec spec;
+    spec.system = "datacenter-8ch";
+    spec.workload = "ART";
+    spec.policy = "MiL-adaptive";
+    spec.opsPerThread = 40;
+    const std::string oracle = resultRow(spec, 0);
+    EXPECT_EQ(oracle, resultRow(spec, 4));
+    EXPECT_EQ(oracle, resultRow(spec, 64));
+}
+
+/** runSpecFresh with tracing and sampling, returning all bytes. */
+struct ObservedRun
+{
+    std::string row;
+    std::string traceJson;
+    std::string samples;
+};
+
+ObservedRun
+observedRun(RunSpec spec, unsigned shards)
+{
+    spec.shards = shards;
+    const std::string trace_path = ::testing::TempDir() +
+        "frontend_shards_" + std::to_string(shards) + ".json";
+
+    RunObservers obs;
+    obs.traceJsonPath = trace_path;
+    std::ostringstream samples;
+    obs.sampleInterval = 256;
+    obs.sampleCsv = &samples;
+
+    const SimResult r = runSpecFresh(spec, obs);
+
+    ObservedRun out;
+    std::ostringstream os;
+    CsvReporter::writeRow(os, spec.system, spec.workload, spec.policy,
+                          r);
+    out.row = os.str();
+    std::ifstream is(trace_path, std::ios::binary);
+    out.traceJson.assign(std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>());
+    std::remove(trace_path.c_str());
+    out.samples = samples.str();
+    return out;
+}
+
+TEST_F(FrontendShardsEnv, TraceAndSamplerBytesIdenticalOnDatacenter)
+{
+    // Sampler probes read live core/L1 counters, so a front-end
+    // phase that drifted by one cycle shows up in the time series
+    // even when the end-of-run row happens to match.
+    RunSpec spec;
+    spec.system = "datacenter-8ch";
+    spec.workload = "OCEAN";
+    spec.policy = "MiL";
+    spec.opsPerThread = 40;
+    const ObservedRun oracle = observedRun(spec, 0);
+    const ObservedRun one = observedRun(spec, 1);
+    const ObservedRun many = observedRun(spec, 7);
+    EXPECT_EQ(oracle.row, one.row);
+    EXPECT_EQ(oracle.row, many.row);
+    EXPECT_FALSE(oracle.traceJson.empty());
+    EXPECT_EQ(oracle.traceJson, one.traceJson);
+    EXPECT_EQ(oracle.traceJson, many.traceJson);
+    EXPECT_FALSE(oracle.samples.empty());
+    EXPECT_EQ(oracle.samples, one.samples);
+    EXPECT_EQ(oracle.samples, many.samples);
+}
+
+/**
+ * A trace whose memory intensity crosses the auto-mode thresholds
+ * twice (saturated burst -> idle tail -> saturated burst), same
+ * construction as tests/sim/test_tick_mode.cc. Here it forces the
+ * *sharded* loop through both switch boundaries, so the parallel
+ * horizon reduction and the group-parallel bulk skip both run.
+ */
+std::unique_ptr<TraceWorkload>
+makePhasedTrace()
+{
+    std::vector<TraceOp> ops;
+    auto burst = [&](Addr base, int count) {
+        for (int i = 0; i < count; ++i) {
+            TraceOp op;
+            op.addr = base + static_cast<Addr>(i) * lineBytes;
+            op.gap = 0;
+            ops.push_back(op);
+        }
+    };
+    auto idle = [&](Addr base, int count) {
+        for (int i = 0; i < count; ++i) {
+            TraceOp op;
+            op.addr = base + static_cast<Addr>(i) * lineBytes;
+            op.blocking = true;
+            op.gap = 40 * static_cast<std::uint32_t>(
+                System::kAutoProbeCycles);
+            ops.push_back(op);
+        }
+    };
+    burst(0x00000, 400);
+    idle(0x80000, 6);
+    burst(0x40000, 400);
+    WorkloadConfig wc;
+    return std::make_unique<TraceWorkload>(wc, std::move(ops));
+}
+
+struct PhasedRun
+{
+    std::string row;
+    std::uint64_t switchesToCycle = 0;
+    std::uint64_t switchesToEvent = 0;
+};
+
+PhasedRun
+runPhased(unsigned shards)
+{
+    SystemConfig config = makeSystemConfig("ddr4");
+    config.tickMode = TickMode::Auto;
+    config.shards = shards;
+    const auto workload = makePhasedTrace();
+    const auto policy = makePolicy("MiL");
+    System system(config, *workload, policy.get(), 0);
+    const SimResult r = system.run();
+
+    PhasedRun out;
+    std::ostringstream os;
+    CsvReporter::writeRow(os, "ddr4", "TRACE", "MiL", r);
+    out.row = os.str();
+    out.switchesToCycle = system.autoSwitchesToCycle();
+    out.switchesToEvent = system.autoSwitchesToEvent();
+    return out;
+}
+
+TEST(FrontendShardsPhased, TickModeSwitchesMidRunIdentical)
+{
+    const PhasedRun oracle = runPhased(0);
+    // The workload must actually cross both boundaries, or this test
+    // proves nothing about the switch seams.
+    ASSERT_GE(oracle.switchesToCycle, 1u);
+    ASSERT_GE(oracle.switchesToEvent, 1u);
+    for (unsigned shards : {1u, 7u, 64u}) {
+        const PhasedRun sharded = runPhased(shards);
+        EXPECT_EQ(oracle.row, sharded.row) << "shards " << shards;
+        EXPECT_EQ(oracle.switchesToCycle, sharded.switchesToCycle)
+            << "shards " << shards;
+        EXPECT_EQ(oracle.switchesToEvent, sharded.switchesToEvent)
+            << "shards " << shards;
+    }
+}
+
+TEST(AutoShards, ClampRule)
+{
+    // hardware minus jobs, at least 1; unknown hardware (0) is 1.
+    EXPECT_EQ(SweepGrid::autoShards(0, 4), 1u);
+    EXPECT_EQ(SweepGrid::autoShards(16, 1), 15u);
+    EXPECT_EQ(SweepGrid::autoShards(8, 4), 4u);
+    EXPECT_EQ(SweepGrid::autoShards(4, 4), 1u);
+    EXPECT_EQ(SweepGrid::autoShards(2, 8), 1u);
+    EXPECT_EQ(SweepGrid::autoShards(1, 1), 1u);
+}
+
+TEST(AutoShards, GridSpecParsesAuto)
+{
+    SweepGridSpec spec;
+    EXPECT_FALSE(spec.grid.shardsAuto);
+    spec.set("shards", "auto");
+    EXPECT_TRUE(spec.grid.shardsAuto);
+    EXPECT_NE(spec.canonical().find("&shards=auto"),
+              std::string::npos);
+
+    // canonical() must round-trip through the same parser (the
+    // milserve dedupe key path).
+    const SweepGridSpec reparsed =
+        SweepGridSpec::parseForm(spec.canonical());
+    EXPECT_TRUE(reparsed.grid.shardsAuto);
+    EXPECT_EQ(reparsed.canonical(), spec.canonical());
+
+    // A numeric value switches auto back off.
+    spec.set("shards", "3");
+    EXPECT_FALSE(spec.grid.shardsAuto);
+    EXPECT_EQ(spec.grid.shards, 3u);
+    EXPECT_NE(spec.canonical().find("&shards=3"), std::string::npos);
+
+    // Malformed values still throw.
+    EXPECT_THROW(spec.set("shards", "some"), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace mil

@@ -72,9 +72,10 @@ TEST_F(ShardEngineEnv, ResultRowsIdenticalAcrossShardCounts)
     specs[2].policy = "3LWC";
     for (const auto &spec : specs) {
         const std::string oracle = resultRow(spec, 0);
-        // shards=1 exercises the deferral seams single-threaded;
-        // shards=2 saturates the microserver's two channels; a
-        // larger count must clamp to the channel count, not break.
+        // shards=1 degrades each phase to its serial oracle loop
+        // (the boundary case); shards=2 turns the deferral seams on
+        // and saturates the microserver's two channels; a larger
+        // count must clamp, not break.
         EXPECT_EQ(oracle, resultRow(spec, 1)) << spec.key();
         EXPECT_EQ(oracle, resultRow(spec, 2)) << spec.key();
         EXPECT_EQ(oracle, resultRow(spec, 16)) << spec.key();

@@ -175,10 +175,11 @@ TEST(TickModeSwitch, PhasedBytesIdenticalAcrossModes)
 
 TEST(TickModeSwitch, PhasedIdenticalWithShards)
 {
-    // The sharded engine forks the controller phase of whichever loop
-    // variant is active, so a mid-run mode switch must compose with
-    // deferred deliveries. shards=1 exercises the deferral seams
-    // single-threaded; shards=2 adds real concurrency.
+    // The sharded engine forks the controller and front-end phases of
+    // whichever loop variant is active, so a mid-run mode switch must
+    // compose with the staging seams. shards=1 degrades every phase
+    // to its serial oracle loop (the boundary case); shards=2 stages
+    // with real concurrency.
     const PhasedRun oracle = runPhased(TickMode::Cycle);
     for (unsigned shards : {1u, 2u}) {
         const PhasedRun run = runPhased(TickMode::Auto, shards);

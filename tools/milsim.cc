@@ -106,7 +106,8 @@ usage(const char *argv0)
         "                         either way (see docs/performance)\n"
         "  --no-skip              shorthand for --tick-mode cycle\n"
         "  --shards N             shard this run: tick the channel\n"
-        "                         controllers on min(N, channels)\n"
+        "                         controllers and the core/L1 groups\n"
+        "                         on min(N, max(channels, cores))\n"
         "                         threads (0 = serial oracle; same\n"
         "                         output bytes either way)\n"
         "workloads:",

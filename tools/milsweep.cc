@@ -32,7 +32,7 @@
  *   milsweep [--systems ddr4,lpddr3,datacenter-8ch]
  *            [--workloads GUPS,CG,...|all]
  *            [--policies DBI,MiL,...] [--ops N] [--scale F]
- *            [--lookahead X] [--jobs N] [--shards N] [--seed S]
+ *            [--lookahead X] [--jobs N] [--shards N|auto] [--seed S]
  *            [--ber P] [--out FILE] [--trace-dir DIR]
  *            [--store DIR] [--resume] [--retry-errors]
  *            [--tick-mode cycle|event|auto] [--no-skip] [--list]
@@ -66,7 +66,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--systems a,b] [--workloads a,b|all] "
         "[--policies a,b] [--ops N] [--scale F] [--lookahead X] "
-        "[--jobs N] [--shards N] [--seed S] [--ber P] [--out FILE] "
+        "[--jobs N] [--shards N|auto] [--seed S] [--ber P] [--out FILE] "
         "[--trace-dir DIR] [--store DIR] [--resume] [--retry-errors] "
         "[--tick-mode cycle|event|auto] [--no-skip] [--list]\n",
         argv0);
